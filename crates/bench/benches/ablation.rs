@@ -1,0 +1,74 @@
+//! Ablation benches for the design decisions DESIGN.md calls out:
+//!
+//! 1. **condition-first** immediate execution (conditions as queries in
+//!    the triggering transaction) vs the naive subtransaction-per-
+//!    condition design;
+//! 2. the cost of the (class, method) monitoring *mask* itself, by
+//!    firing an event with zero attached rules.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reach_bench::sensor_world;
+use reach_core::event::MethodPhase;
+use reach_core::{CouplingMode, ReachConfig, RuleBuilder};
+use reach_object::Value;
+
+/// World with R immediate rules whose conditions are all false — the
+/// selective-dispatch hot path.
+fn false_rule_world(rules: usize, subtxn_conditions: bool) -> reach_bench::SensorWorld {
+    let w = sensor_world(1, ReachConfig::default()).unwrap();
+    w.sys.engine().set_conditions_in_subtxn(subtxn_conditions);
+    let ev = w
+        .sys
+        .define_method_event("ev", w.class, "report", MethodPhase::After)
+        .unwrap();
+    for i in 0..rules {
+        w.sys
+            .define_rule(
+                RuleBuilder::new(&format!("r{i}"))
+                    .on(ev)
+                    .coupling(CouplingMode::Immediate)
+                    .when(|_| Ok(false))
+                    .then(|_| Ok(())),
+            )
+            .unwrap();
+    }
+    w
+}
+
+fn bench_condition_first(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_condition_first");
+    g.sample_size(20);
+    for (label, subtxn) in [("conditions_as_queries", false), ("conditions_in_subtxn", true)] {
+        let w = false_rule_world(10, subtxn);
+        let db = std::sync::Arc::clone(&w.db);
+        let t = db.begin().unwrap();
+        let oid = w.sensors[0];
+        g.bench_function(label, |b| {
+            b.iter(|| db.invoke(t, oid, "report", &[Value::Int(1)]).unwrap())
+        });
+        db.commit(t).unwrap();
+    }
+    g.finish();
+}
+
+fn bench_empty_manager(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_event_no_rules");
+    g.sample_size(20);
+    // Monitored event type with no rules at all: measures pure
+    // detection + event-object + history cost.
+    let w = sensor_world(1, ReachConfig::default()).unwrap();
+    w.sys
+        .define_method_event("ev", w.class, "report", MethodPhase::After)
+        .unwrap();
+    let db = std::sync::Arc::clone(&w.db);
+    let t = db.begin().unwrap();
+    let oid = w.sensors[0];
+    g.bench_function("monitored_zero_rules", |b| {
+        b.iter(|| db.invoke(t, oid, "report", &[Value::Int(1)]).unwrap())
+    });
+    db.commit(t).unwrap();
+    g.finish();
+}
+
+criterion_group!(benches, bench_condition_first, bench_empty_manager);
+criterion_main!(benches);

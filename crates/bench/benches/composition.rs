@@ -1,0 +1,151 @@
+//! Criterion bench for E6/E9: event composition throughput per
+//! consumption policy, synchronous vs parallel compositors, and the
+//! life-span GC cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reach_bench::sensor_world;
+use reach_core::algebra::{CompositionScope, EventExpr, Lifespan};
+use reach_core::compositor::Compositor;
+use reach_core::consumption::ConsumptionPolicy;
+use reach_core::eca::CompositionMode;
+use reach_core::event::{EventData, EventOccurrence, MethodPhase};
+use reach_core::{CouplingMode, ReachConfig, RuleBuilder};
+use reach_common::{EventTypeId, TimePoint, Timestamp, TxnId};
+use reach_object::Value;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn occ(ty: u64, seq: u64) -> Arc<EventOccurrence> {
+    Arc::new(EventOccurrence {
+        event_type: EventTypeId::new(ty),
+        seq: Timestamp::new(seq),
+        at: TimePoint::from_millis(seq),
+        txn: Some(TxnId::new(1)),
+        top_txn: Some(TxnId::new(1)),
+        data: EventData::default(),
+        constituents: Vec::new(),
+    })
+}
+
+/// Raw compositor feed cost per consumption policy.
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compositor_feed");
+    for policy in ConsumptionPolicy::ALL {
+        let comp = Compositor::new(
+            EventExpr::Sequence(vec![
+                EventExpr::Primitive(EventTypeId::new(1)),
+                EventExpr::Primitive(EventTypeId::new(2)),
+            ]),
+            CompositionScope::CrossTransaction,
+            Lifespan::Interval(Duration::from_secs(3600)),
+            policy,
+        );
+        let mut seq = 0u64;
+        g.bench_function(format!("{policy}"), |b| {
+            b.iter(|| {
+                seq += 1;
+                let ty = if seq.is_multiple_of(2) { 2 } else { 1 };
+                criterion::black_box(comp.feed(&occ(ty, seq)));
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Full-stack: events through K compositors, sync vs parallel workers.
+fn bench_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("composition_fanout");
+    g.sample_size(10);
+    for &k in &[4usize, 16] {
+        for mode in [CompositionMode::Synchronous, CompositionMode::Parallel] {
+            let w = sensor_world(
+                1,
+                ReachConfig {
+                    composition: mode,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            let ev = w
+                .sys
+                .define_method_event("prim", w.class, "report", MethodPhase::After)
+                .unwrap();
+            for i in 0..k {
+                let comp = w
+                    .sys
+                    .define_composite(
+                        &format!("c{i}"),
+                        EventExpr::History {
+                            expr: Box::new(EventExpr::Primitive(ev)),
+                            count: 3,
+                        },
+                        CompositionScope::CrossTransaction,
+                        Lifespan::Interval(Duration::from_secs(3600)),
+                        ConsumptionPolicy::Chronicle,
+                    )
+                    .unwrap();
+                w.sys
+                    .define_rule(
+                        RuleBuilder::new(&format!("r{i}"))
+                            .on(comp)
+                            .coupling(CouplingMode::Detached)
+                            .then(|_| Ok(())),
+                    )
+                    .unwrap();
+            }
+            let db = Arc::clone(&w.db);
+            let sys = Arc::clone(&w.sys);
+            let oid = w.sensors[0];
+            g.bench_with_input(
+                BenchmarkId::new(format!("{mode:?}"), format!("{k}compositors")),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        let t = db.begin().unwrap();
+                        for i in 0..60 {
+                            db.invoke(t, oid, "report", &[Value::Int(i)]).unwrap();
+                        }
+                        db.commit(t).unwrap();
+                        sys.wait_quiescent();
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+/// E9: discarding semi-composed instances at transaction end.
+fn bench_gc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lifespan_gc");
+    g.sample_size(10);
+    for &open_instances in &[100usize, 1000] {
+        g.bench_function(format!("{open_instances}_instances_at_eot"), |b| {
+            b.iter_batched(
+                || {
+                    let comp = Compositor::new(
+                        EventExpr::Sequence(vec![
+                            EventExpr::Primitive(EventTypeId::new(1)),
+                            EventExpr::Primitive(EventTypeId::new(2)),
+                        ]),
+                        CompositionScope::SameTransaction,
+                        Lifespan::Transaction,
+                        ConsumptionPolicy::Chronicle,
+                    );
+                    for i in 0..open_instances {
+                        comp.feed(&occ(1, i as u64 + 1));
+                    }
+                    comp
+                },
+                |comp| {
+                    comp.close_txn(TxnId::new(1));
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_fanout, bench_gc);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Criterion bench for E7: the layered baseline vs the integrated
+//! architecture on the operations both can perform.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reach_bench::sensor_world;
+use reach_core::event::MethodPhase;
+use reach_core::{CouplingMode, ReachConfig, RuleBuilder};
+use reach_layered::{ClosedOodb, LayeredLayer};
+use reach_object::{Value, ValueType};
+use std::sync::Arc;
+
+fn bench_method_events(c: &mut Criterion) {
+    let mut g = c.benchmark_group("method_event_with_rule");
+    g.sample_size(30);
+    // Integrated.
+    {
+        let w = sensor_world(1, ReachConfig::default()).unwrap();
+        let ev = w
+            .sys
+            .define_method_event("e", w.class, "report", MethodPhase::After)
+            .unwrap();
+        w.sys
+            .define_rule(
+                RuleBuilder::new("r")
+                    .on(ev)
+                    .coupling(CouplingMode::Immediate)
+                    .then(|_| Ok(())),
+            )
+            .unwrap();
+        let db = Arc::clone(&w.db);
+        let t = db.begin().unwrap();
+        let oid = w.sensors[0];
+        g.bench_function("integrated", |b| {
+            b.iter(|| db.invoke(t, oid, "report", &[Value::Int(1)]).unwrap())
+        });
+        db.commit(t).unwrap();
+    }
+    // Layered (wrapper subclass).
+    {
+        let closed = Arc::new(ClosedOodb::in_memory().unwrap());
+        let (b_, report) = closed
+            .define_class("Sensor")
+            .attr("value", ValueType::Int, Value::Int(0))
+            .virtual_method("report");
+        let sensor = b_.define().unwrap();
+        closed.register_method(
+            report,
+            Arc::new(|ctx| {
+                ctx.set("value", ctx.arg(0))?;
+                Ok(Value::Null)
+            }),
+        );
+        let layer = LayeredLayer::new(Arc::clone(&closed));
+        let active = layer.wrap_class(sensor, "Sensor").unwrap();
+        let rule = layer.rule("r", 0, |_, _, _, _| Ok(true), |_, _, _, _| Ok(()));
+        layer.define_method_rule(sensor, "report", rule);
+        let t = closed.begin().unwrap();
+        let oid = closed.create(t, active).unwrap();
+        g.bench_function("layered_wrapper", |b| {
+            b.iter(|| closed.invoke(t, oid, "report", &[Value::Int(1)]).unwrap())
+        });
+        closed.commit(t).unwrap();
+    }
+    g.finish();
+}
+
+fn bench_state_change(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_change_detection");
+    g.sample_size(20);
+    // Integrated: the write itself carries detection.
+    {
+        let w = sensor_world(1, ReachConfig::default()).unwrap();
+        let ev = w.sys.define_state_event("sc", w.class, "value").unwrap();
+        w.sys
+            .define_rule(
+                RuleBuilder::new("r")
+                    .on(ev)
+                    .coupling(CouplingMode::Immediate)
+                    .then(|_| Ok(())),
+            )
+            .unwrap();
+        let db = Arc::clone(&w.db);
+        let t = db.begin().unwrap();
+        let oid = w.sensors[0];
+        let mut i = 0i64;
+        g.bench_function("integrated_write", |b| {
+            b.iter(|| {
+                i += 1;
+                db.set_attr(t, oid, "value", Value::Int(i)).unwrap();
+            })
+        });
+        db.commit(t).unwrap();
+    }
+    // Layered: write + the poll needed to observe it (100 watched objs).
+    {
+        let closed = Arc::new(ClosedOodb::in_memory().unwrap());
+        let b_ = closed
+            .define_class("Sensor")
+            .attr("value", ValueType::Int, Value::Int(0));
+        let sensor = b_.define().unwrap();
+        let layer = LayeredLayer::new(Arc::clone(&closed));
+        let t = closed.begin().unwrap();
+        let mut oids = Vec::new();
+        for _ in 0..100 {
+            let oid = closed.create(t, sensor).unwrap();
+            layer.watch(t, oid).unwrap();
+            oids.push(oid);
+        }
+        let mut i = 0i64;
+        g.bench_function("layered_write_plus_poll_100w", |b| {
+            b.iter(|| {
+                i += 1;
+                closed.set_attr(t, oids[0], "value", Value::Int(i)).unwrap();
+                let changes = layer.poll(t).unwrap();
+                assert_eq!(changes.len(), 1);
+            })
+        });
+        closed.commit(t).unwrap();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_method_events, bench_state_change);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion bench for E10: ECA-manager rule dispatch stays flat in the
+//! total number of registered rules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use open_oodb::Database;
+use reach_core::event::MethodPhase;
+use reach_core::{CouplingMode, ReachConfig, ReachSystem, RuleBuilder};
+use reach_object::{Value, ValueType};
+use std::sync::Arc;
+
+/// A system with `total_rules` rules spread over `total_rules / 10`
+/// event types; returns what's needed to fire one of them.
+fn build(total_rules: usize) -> (Arc<Database>, reach_common::ObjectId) {
+    let db = Database::in_memory().unwrap();
+    let types = (total_rules / 10).max(1);
+    let mut classes = Vec::new();
+    for m in 0..types {
+        let (b, mid) = db
+            .define_class(&format!("C{m}"))
+            .attr("v", ValueType::Int, Value::Int(0))
+            .virtual_method("go");
+        let class = b.define().unwrap();
+        db.methods().register_fn(mid, |_| Ok(Value::Null));
+        classes.push(class);
+    }
+    let sys = ReachSystem::new(Arc::clone(&db), ReachConfig::default());
+    for (m, class) in classes.iter().enumerate() {
+        let ev = sys
+            .define_method_event(&format!("ev{m}"), *class, "go", MethodPhase::After)
+            .unwrap();
+        for r in 0..(total_rules / types) {
+            sys.define_rule(
+                RuleBuilder::new(&format!("r{m}-{r}"))
+                    .on(ev)
+                    .coupling(CouplingMode::Immediate)
+                    .when(|_| Ok(false))
+                    .then(|_| Ok(())),
+            )
+            .unwrap();
+        }
+    }
+    // Leak the system so its sentries stay alive for the bench body.
+    std::mem::forget(sys);
+    let t = db.begin().unwrap();
+    let oid = db.create(t, classes[0]).unwrap();
+    db.commit(t).unwrap();
+    (db, oid)
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rule_dispatch");
+    g.sample_size(20);
+    for &rules in &[10usize, 100, 1_000, 10_000] {
+        let (db, oid) = build(rules);
+        let t = db.begin().unwrap();
+        g.bench_with_input(BenchmarkId::new("eca_manager", rules), &(), |b, _| {
+            b.iter(|| db.invoke(t, oid, "go", &[]).unwrap())
+        });
+        db.commit(t).unwrap();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

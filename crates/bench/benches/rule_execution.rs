@@ -1,0 +1,102 @@
+//! Criterion bench for E5: serial ring-sequence vs parallel sibling
+//! subtransactions (§6.4), and the per-coupling-mode firing overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reach_bench::{busy_work, sensor_world};
+use reach_core::event::MethodPhase;
+use reach_core::{CouplingMode, ExecutionStrategy, ReachConfig, RuleBuilder};
+use reach_object::Value;
+
+fn strategy_world(
+    rules: usize,
+    cost_us: u64,
+    strategy: ExecutionStrategy,
+) -> reach_bench::SensorWorld {
+    let w = sensor_world(1, ReachConfig::default()).unwrap();
+    w.sys.engine().set_strategy(strategy);
+    let ev = w
+        .sys
+        .define_method_event("ev", w.class, "report", MethodPhase::After)
+        .unwrap();
+    for i in 0..rules {
+        w.sys
+            .define_rule(
+                RuleBuilder::new(&format!("r{i}"))
+                    .on(ev)
+                    .coupling(CouplingMode::Immediate)
+                    .then(move |_| {
+                        busy_work(cost_us);
+                        Ok(())
+                    }),
+            )
+            .unwrap();
+    }
+    w
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rule_execution");
+    g.sample_size(10);
+    for &(rules, cost) in &[(4usize, 0u64), (4, 200), (8, 200), (8, 1000)] {
+        for strategy in [ExecutionStrategy::Serial, ExecutionStrategy::Parallel] {
+            let label = format!("{rules}rules_{cost}us");
+            let w = strategy_world(rules, cost, strategy);
+            let db = std::sync::Arc::clone(&w.db);
+            let oid = w.sensors[0];
+            g.bench_with_input(
+                BenchmarkId::new(format!("{strategy:?}"), label),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        let t = db.begin().unwrap();
+                        db.invoke(t, oid, "report", &[Value::Int(1)]).unwrap();
+                        db.commit(t).unwrap();
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_couplings(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coupling_overhead");
+    g.sample_size(10);
+    for mode in [
+        CouplingMode::Immediate,
+        CouplingMode::Deferred,
+        CouplingMode::Detached,
+        CouplingMode::ParallelCausallyDependent,
+    ] {
+        let w = sensor_world(1, ReachConfig::default()).unwrap();
+        let ev = w
+            .sys
+            .define_method_event("ev", w.class, "report", MethodPhase::After)
+            .unwrap();
+        w.sys
+            .define_rule(
+                RuleBuilder::new("r")
+                    .on(ev)
+                    .coupling(mode)
+                    .then(|_| Ok(())),
+            )
+            .unwrap();
+        let db = std::sync::Arc::clone(&w.db);
+        let sys = std::sync::Arc::clone(&w.sys);
+        let oid = w.sensors[0];
+        g.bench_function(format!("{mode:?}"), |b| {
+            b.iter(|| {
+                let t = db.begin().unwrap();
+                db.invoke(t, oid, "report", &[Value::Int(1)]).unwrap();
+                db.commit(t).unwrap();
+                if mode.is_detached() {
+                    sys.wait_quiescent();
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies, bench_couplings);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Criterion bench for E4: sentry overhead categories (§6.2).
+//!
+//! Measures a method invocation through the integrated dispatcher when
+//! (a) nothing is monitored, (b) other methods are monitored, (c) the
+//! invoked method is monitored with a live event route.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use reach_bench::sensor_world;
+use reach_core::event::MethodPhase;
+use reach_core::ReachConfig;
+use reach_object::Value;
+
+fn bench_sentry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sentry_overhead");
+    g.sample_size(30);
+
+    // (a) Unmonitored system.
+    {
+        let w = sensor_world(1, ReachConfig::default()).unwrap();
+        let db = std::sync::Arc::clone(&w.db);
+        let t = db.begin().unwrap();
+        let oid = w.sensors[0];
+        g.bench_function("unmonitored", |b| {
+            b.iter(|| db.invoke(t, oid, "noop", &[]).unwrap())
+        });
+        db.commit(t).unwrap();
+    }
+    // (b) Potentially useful: another method monitored.
+    {
+        let w = sensor_world(1, ReachConfig::default()).unwrap();
+        w.sys
+            .define_method_event("other", w.class, "report", MethodPhase::After)
+            .unwrap();
+        let db = std::sync::Arc::clone(&w.db);
+        let t = db.begin().unwrap();
+        let oid = w.sensors[0];
+        g.bench_function("potentially_useful", |b| {
+            b.iter(|| db.invoke(t, oid, "noop", &[]).unwrap())
+        });
+        db.commit(t).unwrap();
+    }
+    // (c) Useful: this method monitored (event object created, history
+    // recorded, zero rules attached).
+    {
+        let w = sensor_world(1, ReachConfig::default()).unwrap();
+        w.sys
+            .define_method_event("mine", w.class, "noop", MethodPhase::After)
+            .unwrap();
+        let db = std::sync::Arc::clone(&w.db);
+        let t = db.begin().unwrap();
+        let oid = w.sensors[0];
+        g.bench_function("useful", |b| {
+            b.iter(|| db.invoke(t, oid, "noop", &[]).unwrap())
+        });
+        db.commit(t).unwrap();
+    }
+    // (d) Useful + an argument-carrying call (parameter capture cost).
+    {
+        let w = sensor_world(1, ReachConfig::default()).unwrap();
+        w.sys
+            .define_method_event("mine", w.class, "report", MethodPhase::After)
+            .unwrap();
+        let db = std::sync::Arc::clone(&w.db);
+        let t = db.begin().unwrap();
+        let oid = w.sensors[0];
+        g.bench_function("useful_with_args", |b| {
+            b.iter(|| db.invoke(t, oid, "report", &[Value::Int(1)]).unwrap())
+        });
+        db.commit(t).unwrap();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sentry);
+criterion_main!(benches);

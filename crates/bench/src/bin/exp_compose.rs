@@ -1,0 +1,196 @@
+//! Experiment E6 — event composition strategies (§6.3, §7).
+//!
+//! "Ongoing work is concerned with efficient event composition comparing
+//! different strategies, with efficient garbage-collection of
+//! semi-composed events." Two measurements:
+//!
+//! 1. **throughput**: N primitive events fanned out to K composite
+//!    ECA-managers — synchronous (one thread does all composition, the
+//!    monolithic shape) vs parallel (one worker thread per compositor,
+//!    the paper's "many small compositors");
+//! 2. **GC of semi-composed events**: how many instances accumulate and
+//!    what discarding them at transaction end costs.
+//!
+//! ```sh
+//! cargo run --release -p reach-bench --bin exp_compose
+//! ```
+
+use reach_bench::sensor_world;
+use reach_core::eca::CompositionMode;
+use reach_core::event::MethodPhase;
+use reach_core::{CompositionScope, ConsumptionPolicy, EventExpr, Lifespan, ReachConfig};
+use reach_object::Value;
+use std::time::{Duration, Instant};
+
+/// Returns (application-thread events/s, end-to-end events/s, completions).
+/// The paper's claim is about the *application thread*: "the event
+/// composition process should be executed asynchronously with normal
+/// processing to avoid unnecessary delays" — so the first number is the
+/// one that matters; the second shows the total composition backlog cost.
+fn throughput(mode: CompositionMode, compositors: usize, events: usize) -> (f64, f64, usize) {
+    let w = sensor_world(
+        1,
+        ReachConfig {
+            composition: mode,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let sys = &w.sys;
+    let ev = sys
+        .define_method_event("prim", w.class, "report", MethodPhase::After)
+        .unwrap();
+    let mut composite_types = Vec::with_capacity(compositors);
+    for k in 0..compositors {
+        // Each compositor runs a deliberately *wide* automaton — a
+        // disjunction of long histories — so one feed does real work
+        // (realistic complex patterns); completions land in the
+        // composite manager's local history, which is how we count them
+        // (no rules attached — this isolates composition cost).
+        let branch = |n: u32| EventExpr::History {
+            expr: Box::new(EventExpr::Primitive(ev)),
+            count: n,
+        };
+        let comp = sys
+            .define_composite(
+                &format!("comp-{k}"),
+                EventExpr::Conjunction(vec![
+                    branch(20 + (k as u32 % 5)),
+                    branch(25 + (k as u32 % 7)),
+                    branch(30 + (k as u32 % 11)),
+                    branch(35 + (k as u32 % 13)),
+                ]),
+                CompositionScope::CrossTransaction,
+                Lifespan::Interval(Duration::from_secs(3600)),
+                ConsumptionPolicy::Cumulative,
+            )
+            .unwrap();
+        composite_types.push(comp);
+    }
+    let db = &w.db;
+    let oid = w.sensors[0];
+    let start = Instant::now();
+    let t = db.begin().unwrap();
+    for i in 0..events {
+        db.invoke(t, oid, "report", &[Value::Int(i as i64)]).unwrap();
+    }
+    // Application-perceived time: the app thread is done here (in
+    // parallel mode composition continues on the workers). Commit is
+    // excluded because pre-commit flushes the workers by design.
+    let app_elapsed = start.elapsed().as_secs_f64();
+    db.commit(t).unwrap();
+    sys.wait_quiescent();
+    let elapsed = start.elapsed().as_secs_f64();
+    // Completions = composite occurrences recorded in manager histories
+    // (plus those already drained to the global history at EOT).
+    let fired: usize = sys.global_history().len()
+        + composite_types
+            .iter()
+            .map(|ty| sys.manager(*ty).unwrap().history.len())
+            .sum::<usize>();
+    (events as f64 / app_elapsed, events as f64 / elapsed, fired)
+}
+
+fn gc_experiment() {
+    let w = sensor_world(1, ReachConfig::default()).unwrap();
+    let sys = &w.sys;
+    let ev = sys
+        .define_method_event("prim", w.class, "report", MethodPhase::After)
+        .unwrap();
+    // A same-transaction sequence that never completes (waits for a
+    // second event type that never comes after the first), leaving a
+    // semi-composed instance per transaction.
+    let other = sys
+        .define_method_event("never", w.class, "noop", MethodPhase::After)
+        .unwrap();
+    let _ = sys
+        .define_composite(
+            "never-completes",
+            EventExpr::Sequence(vec![EventExpr::Primitive(ev), EventExpr::Primitive(other)]),
+            CompositionScope::SameTransaction,
+            Lifespan::Transaction,
+            ConsumptionPolicy::Chronicle,
+        )
+        .unwrap();
+    let db = &w.db;
+    let oid = w.sensors[0];
+    let t = db.begin().unwrap();
+    for i in 0..1000 {
+        db.invoke(t, oid, "report", &[Value::Int(i)]).unwrap();
+    }
+    let live_before = sys.router().total_live_instances();
+    let start = Instant::now();
+    db.commit(t).unwrap(); // EOT discards the whole instance pool
+    let gc_time = start.elapsed();
+    let live_after = sys.router().total_live_instances();
+    println!("\nGC of semi-composed events (§3.3):");
+    println!("  semi-composed instances before EOT: {live_before}");
+    println!("  after EOT:                          {live_after}");
+    println!("  commit incl. instance discard:      {gc_time:?}");
+    // Cross-transaction validity-interval expiry.
+    let w2 = sensor_world(1, ReachConfig::default()).unwrap();
+    let ev2 = w2
+        .sys
+        .define_method_event("p", w2.class, "report", MethodPhase::After)
+        .unwrap();
+    let other2 = w2
+        .sys
+        .define_method_event("n", w2.class, "noop", MethodPhase::After)
+        .unwrap();
+    w2.sys
+        .define_composite(
+            "windowed",
+            EventExpr::Sequence(vec![EventExpr::Primitive(ev2), EventExpr::Primitive(other2)]),
+            CompositionScope::CrossTransaction,
+            Lifespan::Interval(Duration::from_secs(10)),
+            ConsumptionPolicy::Continuous,
+        )
+        .unwrap();
+    for i in 0..500 {
+        let t = w2.db.begin().unwrap();
+        w2.db.invoke(t, w2.sensors[0], "report", &[Value::Int(i)]).unwrap();
+        w2.db.commit(t).unwrap();
+    }
+    let live = w2.sys.router().total_live_instances();
+    let start = Instant::now();
+    w2.sys.advance_time(Duration::from_secs(60)); // expire all windows
+    let sweep = start.elapsed();
+    println!("  cross-tx instances with open validity windows: {live}");
+    println!(
+        "  after interval expiry sweep:                   {} ({sweep:?})",
+        w2.sys.router().total_live_instances()
+    );
+}
+
+fn main() {
+    println!("E6: event composition strategies");
+    println!("(N = 20_000 primitive events fanned out to K compositors)\n");
+    println!(
+        "{:>4} | {:>15} {:>15} {:>9} | {:>15} {:>15}",
+        "K", "sync app ev/s", "par app ev/s", "app gain", "sync total", "par total"
+    );
+    println!("{}", "-".repeat(86));
+    for &k in &[1usize, 2, 4, 8, 16] {
+        let (sync_app, sync_total, sync_fired) =
+            throughput(CompositionMode::Synchronous, k, 20_000);
+        let (par_app, par_total, par_fired) = throughput(CompositionMode::Parallel, k, 20_000);
+        assert_eq!(
+            sync_fired, par_fired,
+            "both strategies must fire the same completions"
+        );
+        println!(
+            "{:>4} | {:>15.0} {:>15.0} {:>8.2}x | {:>15.0} {:>15.0}",
+            k, sync_app, par_app, par_app / sync_app, sync_total, par_total
+        );
+    }
+    gc_experiment();
+    println!(
+        "\nshape check (paper): in the synchronous (monolithic) strategy the\n\
+         application thread pays for all K compositors inline, so its\n\
+         throughput falls as K grows; with parallel small compositors the\n\
+         application thread only enqueues — its throughput stays nearly\n\
+         flat in K (the paper's asynchronous-composition requirement).\n\
+         Total end-to-end time is bounded by the slowest compositor and\n\
+         the core count. Instance discard at EOT is O(live)."
+    );
+}

@@ -1,0 +1,117 @@
+//! Experiment E10 — rule-firing selectivity (§6.4).
+//!
+//! "To make rule firing efficient the crucial part is to minimize the
+//! search for the rule that is to be fired." ECA-managers are dedicated
+//! per event type, so lookup is O(rules on this event). The rejected
+//! alternative — one global rule list scanned per event — is O(all
+//! rules). This experiment registers R rules spread over R/10 event
+//! types and measures the per-event firing cost both ways.
+//!
+//! ```sh
+//! cargo run --release -p reach-bench --bin exp_dispatch
+//! ```
+
+use reach_bench::{fmt_ns, sensor_world, time_per_op};
+use reach_core::event::MethodPhase;
+use reach_core::{CouplingMode, ReachConfig, RuleBuilder};
+use reach_object::{Value, ValueType};
+use std::sync::Arc;
+
+const ITERS: u64 = 50_000;
+
+/// ECA-manager dispatch: R rules over M method-event types; fire one.
+fn eca_dispatch(total_rules: usize) -> f64 {
+    let db = open_oodb::Database::in_memory().unwrap();
+    // M classes, each with one monitored method and 10 rules.
+    let types = (total_rules / 10).max(1);
+    let mut class_ids = Vec::new();
+    for m in 0..types {
+        let (b, mid) = db
+            .define_class(&format!("C{m}"))
+            .attr("v", ValueType::Int, Value::Int(0))
+            .virtual_method("go");
+        let class = b.define().unwrap();
+        db.methods().register_fn(mid, |_| Ok(Value::Null));
+        class_ids.push(class);
+    }
+    let sys = reach_core::ReachSystem::new(Arc::clone(&db), ReachConfig::default());
+    for (m, class) in class_ids.iter().enumerate() {
+        let ev = sys
+            .define_method_event(&format!("ev{m}"), *class, "go", MethodPhase::After)
+            .unwrap();
+        for r in 0..(total_rules / types) {
+            sys.define_rule(
+                RuleBuilder::new(&format!("r{m}-{r}"))
+                    .on(ev)
+                    .coupling(CouplingMode::Immediate)
+                    .when(|_| Ok(false)) // measure lookup + condition only
+                    .then(|_| Ok(())),
+            )
+            .unwrap();
+        }
+    }
+    let t = db.begin().unwrap();
+    let oid = db.create(t, class_ids[0]).unwrap();
+    let ns = time_per_op(ITERS, || {
+        db.invoke(t, oid, "go", &[]).unwrap();
+    });
+    db.commit(t).unwrap();
+    ns
+}
+
+/// The rejected design: a global rule list; every event scans all R
+/// rules, testing each for applicability.
+fn global_scan(total_rules: usize) -> f64 {
+    struct FlatRule {
+        event_key: usize,
+        _priority: i32,
+    }
+    let rules: Vec<FlatRule> = (0..total_rules)
+        .map(|i| FlatRule {
+            event_key: i / 10,
+            _priority: 0,
+        })
+        .collect();
+    let target_key = 0usize;
+    time_per_op(ITERS * 4, || {
+        let mut matched = 0usize;
+        for r in &rules {
+            if r.event_key == target_key {
+                matched += 1;
+            }
+        }
+        std::hint::black_box(matched);
+    })
+}
+
+fn main() {
+    println!("E10: rule dispatch — per-event-type ECA-managers vs global scan");
+    println!("(R rules over R/10 event types; one event fires; its 10 rules'");
+    println!(" conditions evaluate to false)\n");
+    println!(
+        "{:>8} {:>18} {:>22}",
+        "rules", "ECA-manager/event", "global-scan lookup only"
+    );
+    println!("{}", "-".repeat(52));
+    for &r in &[10usize, 100, 1_000, 10_000] {
+        let eca = eca_dispatch(r);
+        let scan = global_scan(r);
+        println!("{:>8} {:>18} {:>22}", r, fmt_ns(eca), fmt_ns(scan));
+    }
+    // Baseline: the same world with zero rules on the fired event.
+    let w = sensor_world(1, ReachConfig::default()).unwrap();
+    let db = &w.db;
+    let t = db.begin().unwrap();
+    let oid = w.sensors[0];
+    let base = time_per_op(ITERS, || {
+        db.invoke(t, oid, "noop", &[]).unwrap();
+    });
+    db.commit(t).unwrap();
+    println!("{:>8} {:>18}   (unmonitored baseline)", "-", fmt_ns(base));
+    println!(
+        "\nshape check (paper): ECA-manager cost is flat in the total rule\n\
+         count (only this event's rules are touched); the global scan's\n\
+         *lookup alone* grows linearly with R and overtakes the entire\n\
+         integrated dispatch well before 10k rules."
+    );
+}

@@ -1,0 +1,107 @@
+//! Experiment E12 — distributed vs centralized event histories (§6.3).
+//!
+//! "The maintenance of a highly distributed history eliminates the
+//! bottleneck that would result from centrally logging the occurrence
+//! of events." T threads record N events each, either into per-manager
+//! local histories (one ring per event type — the REACH design) or into
+//! one central, globally locked log (the rejected design).
+//!
+//! ```sh
+//! cargo run --release -p reach-bench --bin exp_history
+//! ```
+
+use reach_core::event::{EventData, EventOccurrence};
+use reach_core::history::{GlobalHistory, LocalHistory};
+use reach_common::{EventTypeId, TimePoint, Timestamp, TxnId};
+use std::sync::Arc;
+use std::time::Instant;
+
+const EVENTS_PER_THREAD: u64 = 100_000;
+
+fn occ(ty: u64, seq: u64) -> Arc<EventOccurrence> {
+    Arc::new(EventOccurrence {
+        event_type: EventTypeId::new(ty),
+        seq: Timestamp::new(seq),
+        at: TimePoint::ZERO,
+        txn: Some(TxnId::new(seq % 8 + 1)),
+        top_txn: Some(TxnId::new(seq % 8 + 1)),
+        data: EventData::default(),
+        constituents: Vec::new(),
+    })
+}
+
+fn run_distributed(threads: usize) -> f64 {
+    // One local history per thread's event type — each thread writes to
+    // "its" ECA-manager's ring, contention-free.
+    let histories: Vec<Arc<LocalHistory>> = (0..threads)
+        .map(|_| Arc::new(LocalHistory::new(1 << 20)))
+        .collect();
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let h = Arc::clone(&histories[t]);
+            std::thread::spawn(move || {
+                for i in 0..EVENTS_PER_THREAD {
+                    h.record(occ(t as u64 + 1, i + 1));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    (threads as u64 * EVENTS_PER_THREAD) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn run_centralized(threads: usize) -> f64 {
+    // Every thread appends to the single global log.
+    let global = Arc::new(GlobalHistory::new(1 << 22));
+    let start = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let g = Arc::clone(&global);
+            std::thread::spawn(move || {
+                for i in 0..EVENTS_PER_THREAD {
+                    g.absorb(vec![occ(t as u64 + 1, i + 1)]);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    (threads as u64 * EVENTS_PER_THREAD) as f64 / start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    // Warm up the allocator and page cache so neither variant pays the
+    // process's cold-start cost (it distorts the first measurement by
+    // an order of magnitude).
+    for _ in 0..2 {
+        run_distributed(2);
+        run_centralized(2);
+    }
+    println!("E12: distributed per-manager histories vs central log");
+    println!("({EVENTS_PER_THREAD} events recorded per thread)\n");
+    println!(
+        "{:>8} {:>20} {:>20} {:>8}",
+        "threads", "distributed (ev/s)", "centralized (ev/s)", "ratio"
+    );
+    println!("{}", "-".repeat(62));
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let best = |f: &dyn Fn(usize) -> f64, t: usize| -> f64 {
+        (0..5).map(|_| f(t)).fold(0.0f64, f64::max)
+    };
+    for &threads in &[1usize, 2, 4, 8] {
+        let d = best(&run_distributed, threads);
+        let c = best(&run_centralized, threads);
+        println!("{:>8} {:>20.0} {:>20.0} {:>7.2}x", threads, d, c, d / c);
+    }
+    println!("(best of 5 runs per cell; {cores} cores on this host)");
+    println!(
+        "\nshape check (paper): the central log serializes all detectors on\n\
+         one lock and degrades as threads are added; distributed local\n\
+         histories scale near-linearly. The price — a post-EOT collection\n\
+         pass into the global history — is paid off the critical path."
+    );
+}

@@ -1,0 +1,220 @@
+//! The clock used for temporal events, validity intervals and milestones.
+//!
+//! REACH's temporal events (§3.1: absolute, relative, periodic, and the
+//! milestone events of \[BBK93\]) need a time source that the test suite
+//! and the benchmark harness can control deterministically. The
+//! [`VirtualClock`] therefore runs in one of two modes:
+//!
+//! * **virtual** — time only moves when [`VirtualClock::advance`] or
+//!   [`VirtualClock::set`] is called. This is the default and is what
+//!   every test and every experiment regenerator uses.
+//! * **real** — time is the wall clock, measured from clock creation.
+//!
+//! All timestamps are microseconds as [`TimePoint`] newtypes.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A point in time: microseconds since the clock's origin.
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct TimePoint(pub u64);
+
+impl TimePoint {
+    pub const ZERO: TimePoint = TimePoint(0);
+    /// A point later than every reachable instant (used for "no deadline").
+    pub const MAX: TimePoint = TimePoint(u64::MAX);
+
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        TimePoint(us)
+    }
+
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        TimePoint(ms * 1_000)
+    }
+
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        TimePoint(s * 1_000_000)
+    }
+
+    #[inline]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a duration.
+    #[inline]
+    pub fn plus(self, d: Duration) -> TimePoint {
+        TimePoint(self.0.saturating_add(d.as_micros() as u64))
+    }
+
+    /// Saturating subtraction of a duration.
+    #[inline]
+    pub fn minus(self, d: Duration) -> TimePoint {
+        TimePoint(self.0.saturating_sub(d.as_micros() as u64))
+    }
+
+    /// Elapsed duration since `earlier` (zero if `earlier` is later).
+    #[inline]
+    pub fn since(self, earlier: TimePoint) -> Duration {
+        Duration::from_micros(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for TimePoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}µs", self.0)
+    }
+}
+
+enum Mode {
+    Virtual(AtomicU64),
+    Real(Instant),
+}
+
+/// The time source. Shared by reference (usually inside an `Arc`)
+/// between the temporal-event manager, compositors and the test driver.
+pub struct VirtualClock {
+    mode: Mode,
+}
+
+impl VirtualClock {
+    /// A deterministic clock starting at `t = 0` that only moves on demand.
+    pub fn new_virtual() -> Self {
+        VirtualClock {
+            mode: Mode::Virtual(AtomicU64::new(0)),
+        }
+    }
+
+    /// A wall clock measured from now.
+    pub fn new_real() -> Self {
+        VirtualClock {
+            mode: Mode::Real(Instant::now()),
+        }
+    }
+
+    /// The current time.
+    #[inline]
+    pub fn now(&self) -> TimePoint {
+        match &self.mode {
+            Mode::Virtual(t) => TimePoint(t.load(Ordering::Acquire)),
+            Mode::Real(start) => TimePoint(start.elapsed().as_micros() as u64),
+        }
+    }
+
+    /// Move a virtual clock forward by `d` and return the new time.
+    /// No-op (returns `now`) on a real clock.
+    pub fn advance(&self, d: Duration) -> TimePoint {
+        match &self.mode {
+            Mode::Virtual(t) => TimePoint(
+                t.fetch_add(d.as_micros() as u64, Ordering::AcqRel) + d.as_micros() as u64,
+            ),
+            Mode::Real(_) => self.now(),
+        }
+    }
+
+    /// Set a virtual clock to an absolute point, never moving backwards.
+    /// No-op on a real clock.
+    pub fn set(&self, at: TimePoint) -> TimePoint {
+        match &self.mode {
+            Mode::Virtual(t) => {
+                t.fetch_max(at.0, Ordering::AcqRel);
+                self.now()
+            }
+            Mode::Real(_) => self.now(),
+        }
+    }
+
+    /// Whether this clock is virtual (controllable).
+    pub fn is_virtual(&self) -> bool {
+        matches!(self.mode, Mode::Virtual(_))
+    }
+}
+
+impl fmt::Debug for VirtualClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VirtualClock")
+            .field("virtual", &self.is_virtual())
+            .field("now", &self.now())
+            .finish()
+    }
+}
+
+/// Trait alias-like abstraction so components can take any time source.
+pub trait Clock: Send + Sync {
+    fn now(&self) -> TimePoint;
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> TimePoint {
+        VirtualClock::now(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_starts_at_zero_and_advances() {
+        let c = VirtualClock::new_virtual();
+        assert_eq!(c.now(), TimePoint::ZERO);
+        let t = c.advance(Duration::from_millis(5));
+        assert_eq!(t, TimePoint::from_millis(5));
+        assert_eq!(c.now(), TimePoint::from_millis(5));
+    }
+
+    #[test]
+    fn virtual_clock_set_never_goes_backwards() {
+        let c = VirtualClock::new_virtual();
+        c.set(TimePoint::from_secs(10));
+        c.set(TimePoint::from_secs(4));
+        assert_eq!(c.now(), TimePoint::from_secs(10));
+    }
+
+    #[test]
+    fn real_clock_moves_on_its_own() {
+        let c = VirtualClock::new_real();
+        let a = c.now();
+        std::thread::sleep(Duration::from_millis(2));
+        let b = c.now();
+        assert!(b > a);
+        assert!(!c.is_virtual());
+    }
+
+    #[test]
+    fn timepoint_arithmetic() {
+        let t = TimePoint::from_secs(1);
+        assert_eq!(t.plus(Duration::from_secs(1)), TimePoint::from_secs(2));
+        assert_eq!(t.minus(Duration::from_secs(2)), TimePoint::ZERO);
+        assert_eq!(
+            TimePoint::from_secs(3).since(TimePoint::from_secs(1)),
+            Duration::from_secs(2)
+        );
+        assert_eq!(
+            TimePoint::from_secs(1).since(TimePoint::from_secs(3)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn timepoint_max_is_a_ceiling() {
+        assert!(TimePoint::MAX > TimePoint::from_secs(u32::MAX as u64));
+        assert_eq!(TimePoint::MAX.plus(Duration::from_secs(1)), TimePoint::MAX);
+    }
+}

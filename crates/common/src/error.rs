@@ -1,0 +1,196 @@
+//! The unified error type for the whole system.
+//!
+//! One enum rather than per-crate error types keeps the `?`-chains across
+//! the storage → object → transaction → rule layers short, at the cost of
+//! a slightly wide surface. Variants are grouped by subsystem.
+
+use crate::ids::{ClassId, MethodId, ObjectId, PageId, RuleId, TxnId};
+use std::fmt;
+
+/// Result alias used across all REACH crates.
+pub type Result<T> = std::result::Result<T, ReachError>;
+
+/// Every error the REACH system can surface to a caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReachError {
+    // ---- storage manager ----
+    /// An I/O failure in the underlying address space (file) manager.
+    Io(String),
+    /// The page does not exist in the segment.
+    PageNotFound(PageId),
+    /// A slot lookup failed (page, slot).
+    SlotNotFound(PageId, u16),
+    /// The record is too large to ever fit on a page.
+    RecordTooLarge { size: usize, max: usize },
+    /// The buffer pool has no evictable frame (everything pinned).
+    BufferPoolExhausted,
+    /// WAL replay found a corrupt or truncated record.
+    WalCorrupt(String),
+
+    // ---- object model ----
+    /// Unknown class.
+    ClassNotFound(ClassId),
+    /// Unknown class name.
+    ClassNameNotFound(String),
+    /// Unknown method on a class.
+    MethodNotFound(MethodId),
+    /// Method name could not be resolved on the class or its bases.
+    MethodNameNotFound { class: String, method: String },
+    /// Unknown attribute on a class.
+    AttributeNotFound { class: String, attribute: String },
+    /// Unknown object.
+    ObjectNotFound(ObjectId),
+    /// A value had the wrong runtime type for the declared attribute.
+    TypeMismatch { expected: String, got: String },
+    /// Schema definition error (duplicate class, inheritance cycle, ...).
+    SchemaError(String),
+    /// A method implementation signalled failure.
+    MethodFailed(String),
+
+    // ---- transactions ----
+    /// Unknown transaction id.
+    TxnNotFound(TxnId),
+    /// Operation on a transaction that is no longer active.
+    TxnNotActive(TxnId),
+    /// Deadlock detected; this transaction was chosen as the victim.
+    Deadlock(TxnId),
+    /// Lock request timed out.
+    LockTimeout(TxnId),
+    /// Lock upgrade/acquire conflict that is not resolvable.
+    LockConflict(String),
+    /// Nested-transaction structural violation (e.g. committing a parent
+    /// while a child is still active).
+    NestedViolation(String),
+    /// A commit/abort dependency forbids the requested outcome.
+    DependencyViolation(String),
+    /// The transaction was aborted (possibly by a rule or dependency).
+    TxnAborted(TxnId),
+
+    // ---- active layer ----
+    /// Unknown rule.
+    RuleNotFound(RuleId),
+    /// The (event category, coupling mode) combination is not supported —
+    /// exactly the "N" cells of Table 1 in the paper.
+    UnsupportedCoupling { event: String, mode: String },
+    /// A composite event definition is illegal (e.g. no validity interval
+    /// for a multi-transaction composition, §3.3).
+    IllegalEventDefinition(String),
+    /// A rule attempted to pass a transient object by reference into a
+    /// detached execution (§3.2 forbids this).
+    TransientReferenceEscape(ObjectId),
+    /// Condition or action evaluation failed.
+    RuleEvaluation(String),
+    /// The rule language parser rejected the source.
+    Parse { line: u32, message: String },
+
+    // ---- meta architecture ----
+    /// No policy manager registered for the requested dimension.
+    PolicyManagerMissing(String),
+    /// A named object lookup in the data dictionary failed.
+    NameNotFound(String),
+    /// Capability is not available in this configuration — used by the
+    /// layered baseline to report what the closed platform cannot do.
+    NotSupported(String),
+    /// Query compilation/execution error.
+    Query(String),
+}
+
+impl fmt::Display for ReachError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use ReachError::*;
+        match self {
+            Io(m) => write!(f, "i/o error: {m}"),
+            PageNotFound(p) => write!(f, "page not found: {p}"),
+            SlotNotFound(p, s) => write!(f, "slot {s} not found on {p}"),
+            RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds page capacity {max}")
+            }
+            BufferPoolExhausted => write!(f, "buffer pool exhausted: all frames pinned"),
+            WalCorrupt(m) => write!(f, "write-ahead log corrupt: {m}"),
+            ClassNotFound(c) => write!(f, "class not found: {c}"),
+            ClassNameNotFound(n) => write!(f, "class not found: {n:?}"),
+            MethodNotFound(m) => write!(f, "method not found: {m}"),
+            MethodNameNotFound { class, method } => {
+                write!(f, "no method {method:?} on class {class:?} or its bases")
+            }
+            AttributeNotFound { class, attribute } => {
+                write!(f, "no attribute {attribute:?} on class {class:?}")
+            }
+            ObjectNotFound(o) => write!(f, "object not found: {o}"),
+            TypeMismatch { expected, got } => {
+                write!(f, "type mismatch: expected {expected}, got {got}")
+            }
+            SchemaError(m) => write!(f, "schema error: {m}"),
+            MethodFailed(m) => write!(f, "method failed: {m}"),
+            TxnNotFound(t) => write!(f, "transaction not found: {t}"),
+            TxnNotActive(t) => write!(f, "transaction not active: {t}"),
+            Deadlock(t) => write!(f, "deadlock: {t} chosen as victim"),
+            LockTimeout(t) => write!(f, "lock timeout in {t}"),
+            LockConflict(m) => write!(f, "lock conflict: {m}"),
+            NestedViolation(m) => write!(f, "nested transaction violation: {m}"),
+            DependencyViolation(m) => write!(f, "commit dependency violation: {m}"),
+            TxnAborted(t) => write!(f, "transaction aborted: {t}"),
+            RuleNotFound(r) => write!(f, "rule not found: {r}"),
+            UnsupportedCoupling { event, mode } => {
+                write!(
+                    f,
+                    "coupling mode {mode} not supported for {event} events (Table 1)"
+                )
+            }
+            IllegalEventDefinition(m) => write!(f, "illegal event definition: {m}"),
+            TransientReferenceEscape(o) => write!(
+                f,
+                "transient object {o} may not be passed by reference to a detached rule"
+            ),
+            RuleEvaluation(m) => write!(f, "rule evaluation failed: {m}"),
+            Parse { line, message } => write!(f, "parse error at line {line}: {message}"),
+            PolicyManagerMissing(d) => write!(f, "no policy manager for dimension {d:?}"),
+            NameNotFound(n) => write!(f, "name not bound in data dictionary: {n:?}"),
+            NotSupported(m) => write!(f, "not supported on this platform: {m}"),
+            Query(m) => write!(f, "query error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ReachError {}
+
+impl From<std::io::Error> for ReachError {
+    fn from(e: std::io::Error) -> Self {
+        ReachError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = ReachError::UnsupportedCoupling {
+            event: "composite(n-tx)".into(),
+            mode: "immediate".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("immediate"));
+        assert!(s.contains("Table 1"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: ReachError = io.into();
+        assert!(matches!(e, ReachError::Io(_)));
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        assert_eq!(
+            ReachError::ObjectNotFound(ObjectId::new(1)),
+            ReachError::ObjectNotFound(ObjectId::new(1))
+        );
+        assert_ne!(
+            ReachError::ObjectNotFound(ObjectId::new(1)),
+            ReachError::ObjectNotFound(ObjectId::new(2))
+        );
+    }
+}

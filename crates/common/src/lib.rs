@@ -1,0 +1,18 @@
+//! Common kernel types shared by every layer of the REACH active OODBMS.
+//!
+//! This crate deliberately has no knowledge of storage, objects,
+//! transactions or rules; it only provides the vocabulary the other
+//! crates speak: strongly-typed identifiers, the unified error type,
+//! the virtual clock used for temporal events, and rule priorities.
+
+pub mod clock;
+pub mod error;
+pub mod ids;
+pub mod priority;
+
+pub use clock::{Clock, TimePoint, VirtualClock};
+pub use error::{ReachError, Result};
+pub use ids::{
+    ClassId, EventTypeId, IdGen, MethodId, ObjectId, PageId, RuleId, Timestamp, TxnId,
+};
+pub use priority::Priority;

@@ -1,0 +1,73 @@
+//! Rule priorities (the `prio 5;` clause of the rule language, §6.1).
+//!
+//! Higher numeric value means *more* urgent — a rule with `prio 10` fires
+//! before a rule with `prio 5`. Ties are broken by the ECA-manager's
+//! timestamp policy (§6.4), which lives in `reach-core`.
+
+use std::fmt;
+
+/// A rule priority. Default is 0 (lowest).
+#[derive(
+    Debug,
+    Clone,
+    Copy,
+    PartialEq,
+    Eq,
+    PartialOrd,
+    Ord,
+    Hash,
+    Default,
+    serde::Serialize,
+    serde::Deserialize,
+)]
+pub struct Priority(pub i32);
+
+impl Priority {
+    pub const DEFAULT: Priority = Priority(0);
+    pub const MIN: Priority = Priority(i32::MIN);
+    pub const MAX: Priority = Priority(i32::MAX);
+
+    #[inline]
+    pub const fn new(level: i32) -> Self {
+        Priority(level)
+    }
+
+    #[inline]
+    pub const fn level(self) -> i32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "prio {}", self.0)
+    }
+}
+
+impl From<i32> for Priority {
+    fn from(level: i32) -> Self {
+        Priority(level)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn higher_value_is_more_urgent() {
+        assert!(Priority::new(10) > Priority::new(5));
+        assert!(Priority::MAX > Priority::DEFAULT);
+        assert!(Priority::MIN < Priority::new(-1));
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(Priority::default(), Priority::new(0));
+    }
+
+    #[test]
+    fn displays_like_the_rule_language() {
+        assert_eq!(Priority::new(5).to_string(), "prio 5");
+    }
+}

@@ -1,0 +1,251 @@
+//! The event composition algebra.
+//!
+//! §3.1: "The REACH algebra inherits the sequence, disjunction and
+//! closure of the HiPAC algebra ... In addition, it takes from SAMOS the
+//! notion of validity interval for an event and uses SAMOS's negation,
+//! conjunction and history operators."
+//!
+//! Operator semantics implemented here (documented choices where the
+//! paper defers to the cited algebras):
+//!
+//! * **sequence** `(E1 ; E2 ; ...)` — completes when each part has
+//!   completed in order; occurrences that cannot extend the current
+//!   prefix are ignored (non-blocking);
+//! * **conjunction** `(E1 & E2 & ...)` — all parts, any order;
+//! * **disjunction** `(E1 | E2 | ...)` — any one part;
+//! * **negation** `¬E` — *window-close* semantics (SAMOS `NOT E IN I`):
+//!   raised at the end of the composition's validity interval iff `E`
+//!   never completed within it. Only legal where the lifespan defines a
+//!   window (a transaction or an explicit interval);
+//! * **closure** `E*` — raised at window close iff `E` completed at
+//!   least once; all completions are accumulated as constituents
+//!   (multiple firings collapse into one);
+//! * **history** `TIMES(n, E)` — completes the instant `E` has
+//!   completed `n` times within the window.
+//!
+//! §3.3 (event life-span): single-transaction composites live for the
+//! duration of the transaction; cross-transaction composites **must**
+//! carry a validity interval — "composite events without an explicit or
+//! implicit validity interval are illegal".
+
+use reach_common::{EventTypeId, ReachError, Result};
+use std::time::Duration;
+
+/// Whether a composite's primitives must all originate in one
+/// transaction (§3.2's third kind of event) or may span several
+/// (the fourth).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompositionScope {
+    SameTransaction,
+    CrossTransaction,
+}
+
+/// Constituent correlation: whether all primitives of one composition
+/// instance must concern the same object (SAMOS's "same object"
+/// modifier — without it, a pattern like "3 failures" mixes failures of
+/// unrelated objects).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Correlation {
+    /// Constituents may concern any objects.
+    #[default]
+    None,
+    /// Every constituent must have the same receiver object; instances
+    /// are keyed per receiver.
+    SameReceiver,
+}
+
+/// How long a partially-composed event stays alive (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lifespan {
+    /// Until the originating transaction ends (single-tx composites).
+    Transaction,
+    /// A validity interval from the composition's first primitive.
+    Interval(Duration),
+}
+
+/// A composition expression over registered event types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventExpr {
+    /// A (registered) event type — primitive or itself composite.
+    Primitive(EventTypeId),
+    /// Ordered sequence.
+    Sequence(Vec<EventExpr>),
+    /// All, in any order.
+    Conjunction(Vec<EventExpr>),
+    /// Any one.
+    Disjunction(Vec<EventExpr>),
+    /// Absence within the validity window.
+    Negation(Box<EventExpr>),
+    /// One or more occurrences within the window, collapsed.
+    Closure(Box<EventExpr>),
+    /// Exactly `count` occurrences.
+    History { expr: Box<EventExpr>, count: u32 },
+}
+
+impl EventExpr {
+    /// Every event type referenced by the expression (with duplicates
+    /// removed, in first-mention order). These are the types the
+    /// composite's ECA-manager must subscribe to.
+    pub fn referenced_types(&self) -> Vec<EventTypeId> {
+        let mut out = Vec::new();
+        fn walk(e: &EventExpr, out: &mut Vec<EventTypeId>) {
+            match e {
+                EventExpr::Primitive(id) => {
+                    if !out.contains(id) {
+                        out.push(*id);
+                    }
+                }
+                EventExpr::Sequence(parts)
+                | EventExpr::Conjunction(parts)
+                | EventExpr::Disjunction(parts) => {
+                    for p in parts {
+                        walk(p, out);
+                    }
+                }
+                EventExpr::Negation(inner)
+                | EventExpr::Closure(inner)
+                | EventExpr::History { expr: inner, .. } => walk(inner, out),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// Whether the expression contains a window-close operator (negation
+    /// or closure) anywhere — such composites can only fire when their
+    /// window ends.
+    pub fn has_window_operator(&self) -> bool {
+        match self {
+            EventExpr::Primitive(_) => false,
+            EventExpr::Negation(_) | EventExpr::Closure(_) => true,
+            EventExpr::Sequence(parts)
+            | EventExpr::Conjunction(parts)
+            | EventExpr::Disjunction(parts) => parts.iter().any(|p| p.has_window_operator()),
+            EventExpr::History { expr, .. } => expr.has_window_operator(),
+        }
+    }
+
+    /// Structural validation of the expression itself.
+    pub fn validate(&self) -> Result<()> {
+        match self {
+            EventExpr::Primitive(id) => {
+                if id.is_null() {
+                    return Err(ReachError::IllegalEventDefinition(
+                        "null event type in expression".into(),
+                    ));
+                }
+                Ok(())
+            }
+            EventExpr::Sequence(parts)
+            | EventExpr::Conjunction(parts)
+            | EventExpr::Disjunction(parts) => {
+                if parts.len() < 2 {
+                    return Err(ReachError::IllegalEventDefinition(
+                        "sequence/conjunction/disjunction need at least two operands".into(),
+                    ));
+                }
+                parts.iter().try_for_each(|p| p.validate())
+            }
+            EventExpr::Negation(inner) | EventExpr::Closure(inner) => inner.validate(),
+            EventExpr::History { expr, count } => {
+                if *count == 0 {
+                    return Err(ReachError::IllegalEventDefinition(
+                        "history count must be at least 1".into(),
+                    ));
+                }
+                expr.validate()
+            }
+        }
+    }
+}
+
+/// Validate a full composite definition per §3.3:
+/// cross-transaction composites require a validity *interval*, and a
+/// pure negation needs a window to ever fire.
+pub fn validate_composite(
+    expr: &EventExpr,
+    scope: CompositionScope,
+    lifespan: Lifespan,
+) -> Result<()> {
+    expr.validate()?;
+    match (scope, lifespan) {
+        (CompositionScope::CrossTransaction, Lifespan::Transaction) => {
+            Err(ReachError::IllegalEventDefinition(
+                "composite events spanning transactions require a validity interval (§3.3)"
+                    .into(),
+            ))
+        }
+        _ => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(n: u64) -> EventExpr {
+        EventExpr::Primitive(EventTypeId::new(n))
+    }
+
+    #[test]
+    fn referenced_types_dedupes_in_order() {
+        let expr = EventExpr::Sequence(vec![
+            e(1),
+            EventExpr::Conjunction(vec![e(2), e(1)]),
+            EventExpr::Negation(Box::new(e(3))),
+        ]);
+        assert_eq!(
+            expr.referenced_types(),
+            vec![EventTypeId::new(1), EventTypeId::new(2), EventTypeId::new(3)]
+        );
+    }
+
+    #[test]
+    fn window_operator_detection() {
+        assert!(!e(1).has_window_operator());
+        assert!(EventExpr::Negation(Box::new(e(1))).has_window_operator());
+        assert!(EventExpr::Sequence(vec![e(1), EventExpr::Closure(Box::new(e(2)))])
+            .has_window_operator());
+        assert!(!EventExpr::History {
+            expr: Box::new(e(1)),
+            count: 3
+        }
+        .has_window_operator());
+    }
+
+    #[test]
+    fn structural_validation() {
+        assert!(EventExpr::Sequence(vec![e(1)]).validate().is_err());
+        assert!(EventExpr::Sequence(vec![e(1), e(2)]).validate().is_ok());
+        assert!(EventExpr::History {
+            expr: Box::new(e(1)),
+            count: 0
+        }
+        .validate()
+        .is_err());
+        assert!(EventExpr::Primitive(EventTypeId::NULL).validate().is_err());
+    }
+
+    #[test]
+    fn cross_transaction_requires_interval() {
+        let expr = EventExpr::Conjunction(vec![e(1), e(2)]);
+        assert!(validate_composite(
+            &expr,
+            CompositionScope::CrossTransaction,
+            Lifespan::Transaction
+        )
+        .is_err());
+        assert!(validate_composite(
+            &expr,
+            CompositionScope::CrossTransaction,
+            Lifespan::Interval(Duration::from_secs(5))
+        )
+        .is_ok());
+        assert!(validate_composite(
+            &expr,
+            CompositionScope::SameTransaction,
+            Lifespan::Transaction
+        )
+        .is_ok());
+    }
+}

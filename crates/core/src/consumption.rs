@@ -1,0 +1,64 @@
+//! Event consumption policies (§3.4).
+//!
+//! "The problem arises from multiple instances of primitive events
+//! arriving at an event composer and the resulting ambiguity" — given
+//! `E3 = (E1 ; E2)` and arrivals `e1, e1', e2`, should the composer use
+//! `e1` or `e1'`? SNOOP \[CM91\] defines four contexts, all implemented
+//! here; REACH's minimum is recent + chronicle.
+//!
+//! * **recent** — "typical for sensor monitoring": the most recent
+//!   occurrence of each primitive participates; earlier ones are
+//!   superseded.
+//! * **chronicle** — "typically used in workflow applications":
+//!   primitives are consumed in strict arrival order; after a composite
+//!   fires, its constituents are consumed and composition restarts.
+//! * **continuous** — "useful in financial applications": every
+//!   initiator occurrence opens its own composition window; one
+//!   occurrence may complete many windows.
+//! * **cumulative** — all occurrences of each primitive up to completion
+//!   are folded into the composite's constituents.
+//!
+//! The policy is orthogonal to the life-span of the composition (§3.4
+//! final remark) — both are parameters of a composite definition.
+
+use std::fmt;
+
+/// The four SNOOP consumption contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConsumptionPolicy {
+    Recent,
+    Chronicle,
+    Continuous,
+    Cumulative,
+}
+
+impl ConsumptionPolicy {
+    pub const ALL: [ConsumptionPolicy; 4] = [
+        ConsumptionPolicy::Recent,
+        ConsumptionPolicy::Chronicle,
+        ConsumptionPolicy::Continuous,
+        ConsumptionPolicy::Cumulative,
+    ];
+}
+
+impl fmt::Display for ConsumptionPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConsumptionPolicy::Recent => "recent",
+            ConsumptionPolicy::Chronicle => "chronicle",
+            ConsumptionPolicy::Continuous => "continuous",
+            ConsumptionPolicy::Cumulative => "cumulative",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(ConsumptionPolicy::Recent.to_string(), "recent");
+        assert_eq!(ConsumptionPolicy::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,229 @@
+//! Coupling modes and the Table 1 validity matrix.
+//!
+//! REACH distinguishes six coupling modes (§3.2). The first four come
+//! from HiPAC; the last two were added in \[BBK93\] for open environments
+//! where rules cause non-recoverable side effects:
+//!
+//! * **immediate** — the rule runs as a subtransaction at the detection
+//!   point, inside the triggering transaction;
+//! * **deferred** — as a subtransaction after the triggering transaction
+//!   finishes its work but before it commits;
+//! * **detached** — in an independent top-level transaction;
+//! * **parallel causally dependent** — independent transaction that may
+//!   start at once but commit only if the trigger commits;
+//! * **sequential causally dependent** — independent transaction that
+//!   may *start* only after the trigger commits;
+//! * **exclusive causally dependent** — independent transaction that may
+//!   commit only if the trigger *aborts* (contingency actions).
+//!
+//! Not every combination with an event category is meaningful; Table 1
+//! of the paper pins down which are supported, and [`supported`] encodes
+//! that table cell-for-cell. Registration of a rule whose (event
+//! category, coupling) pair is a Table 1 "N" fails with
+//! [`ReachError::UnsupportedCoupling`].
+
+use reach_common::ReachError;
+use std::fmt;
+
+/// The six REACH coupling modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CouplingMode {
+    Immediate,
+    Deferred,
+    Detached,
+    ParallelCausallyDependent,
+    SequentialCausallyDependent,
+    ExclusiveCausallyDependent,
+}
+
+impl CouplingMode {
+    /// All modes, in the row order of Table 1.
+    pub const ALL: [CouplingMode; 6] = [
+        CouplingMode::Immediate,
+        CouplingMode::Deferred,
+        CouplingMode::Detached,
+        CouplingMode::ParallelCausallyDependent,
+        CouplingMode::SequentialCausallyDependent,
+        CouplingMode::ExclusiveCausallyDependent,
+    ];
+
+    /// Whether the rule executes in a transaction *detached* from the
+    /// trigger (any of the four detached variants).
+    pub fn is_detached(self) -> bool {
+        !matches!(self, CouplingMode::Immediate | CouplingMode::Deferred)
+    }
+
+    /// Whether this detached mode carries a commit/abort dependency.
+    pub fn is_causally_dependent(self) -> bool {
+        matches!(
+            self,
+            CouplingMode::ParallelCausallyDependent
+                | CouplingMode::SequentialCausallyDependent
+                | CouplingMode::ExclusiveCausallyDependent
+        )
+    }
+}
+
+impl fmt::Display for CouplingMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CouplingMode::Immediate => "immediate",
+            CouplingMode::Deferred => "deferred",
+            CouplingMode::Detached => "detached",
+            CouplingMode::ParallelCausallyDependent => "parallel causally dependent",
+            CouplingMode::SequentialCausallyDependent => "sequential causally dependent",
+            CouplingMode::ExclusiveCausallyDependent => "exclusive causally dependent",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The four event categories of Table 1 (columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventCategory {
+    /// Simple method events, including transaction-related events
+    /// (BOT, EOT, commit, abort) and state-change events — everything
+    /// that "can always be related to the transaction in which it was
+    /// raised".
+    SingleMethod,
+    /// Simple temporal events: occur independently of any transaction.
+    PurelyTemporal,
+    /// Composite events whose primitives all originate in one
+    /// transaction.
+    CompositeSingleTx,
+    /// Composite events whose primitives span several transactions.
+    CompositeMultiTx,
+}
+
+impl EventCategory {
+    /// All categories, in the column order of Table 1.
+    pub const ALL: [EventCategory; 4] = [
+        EventCategory::SingleMethod,
+        EventCategory::PurelyTemporal,
+        EventCategory::CompositeSingleTx,
+        EventCategory::CompositeMultiTx,
+    ];
+}
+
+impl fmt::Display for EventCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EventCategory::SingleMethod => "single method",
+            EventCategory::PurelyTemporal => "purely temporal",
+            EventCategory::CompositeSingleTx => "composite (1 TX)",
+            EventCategory::CompositeMultiTx => "composite (n TXs)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Table 1 of the paper, cell for cell.
+///
+/// |                | Single Method | Purely Temporal | Composite 1 TX | Composite n TXs |
+/// |----------------|---------------|-----------------|----------------|-----------------|
+/// | Immediate      | Y             | N               | (N)            | N               |
+/// | Deferred       | Y             | N               | Y              | N               |
+/// | Detached       | Y             | Y               | Y              | Y               |
+/// | Par. caus. dep.| Y             | N               | Y              | Y (all commit)  |
+/// | Seq. caus. dep.| Y             | N               | Y              | Y (all commit)  |
+/// | Exc. caus. dep.| Y             | N               | Y              | Y (all abort)   |
+///
+/// The "(N)" cell — immediate coupling on single-transaction composite
+/// events — is semantically correct but ruled out by REACH because it
+/// would stall normal processing on every primitive event until the
+/// compositors issue negative acknowledgements (§3.2, §6.4).
+pub fn supported(category: EventCategory, mode: CouplingMode) -> bool {
+    use CouplingMode as M;
+    use EventCategory as C;
+    match (category, mode) {
+        (C::SingleMethod, _) => true,
+        (C::PurelyTemporal, M::Detached) => true,
+        (C::PurelyTemporal, _) => false,
+        (C::CompositeSingleTx, M::Immediate) => false, // the "(N)" cell
+        (C::CompositeSingleTx, _) => true,
+        (C::CompositeMultiTx, M::Immediate) => false,
+        (C::CompositeMultiTx, M::Deferred) => false,
+        (C::CompositeMultiTx, _) => true,
+    }
+}
+
+/// Validate a pair, producing the Table 1 error for unsupported cells.
+pub fn validate(category: EventCategory, mode: CouplingMode) -> Result<(), ReachError> {
+    if supported(category, mode) {
+        Ok(())
+    } else {
+        Err(ReachError::UnsupportedCoupling {
+            event: category.to_string(),
+            mode: mode.to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_row_immediate() {
+        assert!(supported(EventCategory::SingleMethod, CouplingMode::Immediate));
+        assert!(!supported(EventCategory::PurelyTemporal, CouplingMode::Immediate));
+        assert!(!supported(EventCategory::CompositeSingleTx, CouplingMode::Immediate));
+        assert!(!supported(EventCategory::CompositeMultiTx, CouplingMode::Immediate));
+    }
+
+    #[test]
+    fn table1_row_deferred() {
+        assert!(supported(EventCategory::SingleMethod, CouplingMode::Deferred));
+        assert!(!supported(EventCategory::PurelyTemporal, CouplingMode::Deferred));
+        assert!(supported(EventCategory::CompositeSingleTx, CouplingMode::Deferred));
+        assert!(!supported(EventCategory::CompositeMultiTx, CouplingMode::Deferred));
+    }
+
+    #[test]
+    fn table1_row_detached_is_all_yes() {
+        for cat in EventCategory::ALL {
+            assert!(supported(cat, CouplingMode::Detached), "{cat} detached");
+        }
+    }
+
+    #[test]
+    fn table1_causal_rows() {
+        for mode in [
+            CouplingMode::ParallelCausallyDependent,
+            CouplingMode::SequentialCausallyDependent,
+            CouplingMode::ExclusiveCausallyDependent,
+        ] {
+            assert!(supported(EventCategory::SingleMethod, mode));
+            assert!(!supported(EventCategory::PurelyTemporal, mode));
+            assert!(supported(EventCategory::CompositeSingleTx, mode));
+            assert!(supported(EventCategory::CompositeMultiTx, mode));
+        }
+    }
+
+    #[test]
+    fn table1_yes_count_matches_paper() {
+        // Count the Y cells: row-wise 1+2+4+3+3+3 = 16.
+        let yes = EventCategory::ALL
+            .iter()
+            .flat_map(|c| CouplingMode::ALL.iter().map(move |m| (c, m)))
+            .filter(|(c, m)| supported(**c, **m))
+            .count();
+        assert_eq!(yes, 16);
+    }
+
+    #[test]
+    fn validate_reports_table1() {
+        let err = validate(EventCategory::CompositeMultiTx, CouplingMode::Deferred).unwrap_err();
+        assert!(err.to_string().contains("Table 1"));
+        assert!(validate(EventCategory::SingleMethod, CouplingMode::Immediate).is_ok());
+    }
+
+    #[test]
+    fn mode_classification() {
+        assert!(!CouplingMode::Immediate.is_detached());
+        assert!(!CouplingMode::Deferred.is_detached());
+        assert!(CouplingMode::Detached.is_detached());
+        assert!(!CouplingMode::Detached.is_causally_dependent());
+        assert!(CouplingMode::ExclusiveCausallyDependent.is_causally_dependent());
+    }
+}

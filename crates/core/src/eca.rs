@@ -1,0 +1,878 @@
+//! ECA-managers and the event router — the architecture of Figure 2.
+//!
+//! "To provide an efficient and highly selective rule firing mechanism,
+//! we use the ECA-managers. ECA-managers are dedicated to a given event
+//! type. Therefore, they know which set of rules is fired by an event.
+//! ... If a primitive event is part of a composite event, the primitive
+//! event is passed along to the corresponding event composer."
+//!
+//! An [`EcaManager`] holds, per event type: the directly-fired rules,
+//! the composite event types subscribed to it, a [`Compositor`] when the
+//! type is itself composite, and the local event [`LocalHistory`]. The
+//! [`Router`] owns the manager table and the detector index that maps
+//! low-level sentry observations to event types.
+//!
+//! Composition can run **synchronously** (deterministic, used by most
+//! tests) or **in parallel** — one worker thread per composite manager
+//! fed over a channel, which is the paper's "event composition process
+//! should be executed asynchronously with normal processing". The
+//! pre-commit *flush* barrier keeps deferred rules sound: before a
+//! transaction commits, all of its in-flight primitives must have been
+//! composed (§6.4's constraint is what makes this cheap: only
+//! non-immediate rules can hang off composites, so normal processing
+//! never waits — only commit does).
+
+use crate::compositor::{Completion, Compositor};
+use crate::event::{
+    CompositeSpec, EventData, EventOccurrence, EventSpec, FlowPoint, MethodPhase, PrimitiveEvent,
+};
+use crate::history::LocalHistory;
+use crate::rule::Rule;
+use crossbeam::channel::{unbounded, Sender};
+use parking_lot::{Mutex, RwLock};
+use reach_common::{
+    ClassId, EventTypeId, IdGen, MethodId, TimePoint, Timestamp, TxnId,
+};
+use reach_object::Schema;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Trace sink for the Figure 2 message-flow experiment: every hand-off
+/// between detector, managers, compositors and rules is recorded when
+/// enabled.
+#[derive(Default)]
+pub struct Trace {
+    enabled: AtomicBool,
+    lines: Mutex<Vec<String>>,
+}
+
+impl Trace {
+    pub fn enable(&self) {
+        self.enabled.store(true, Ordering::Release);
+    }
+
+    pub fn disable(&self) {
+        self.enabled.store(false, Ordering::Release);
+    }
+
+    pub fn log(&self, line: impl FnOnce() -> String) {
+        if self.enabled.load(Ordering::Acquire) {
+            self.lines.lock().push(line());
+        }
+    }
+
+    pub fn take(&self) -> Vec<String> {
+        std::mem::take(&mut self.lines.lock())
+    }
+}
+
+/// One ECA-manager.
+pub struct EcaManager {
+    pub event_type: EventTypeId,
+    pub name: String,
+    pub spec: EventSpec,
+    rules: RwLock<Vec<Arc<Rule>>>,
+    /// Composite event types that consume this type.
+    subscribers: RwLock<Vec<EventTypeId>>,
+    /// Present iff this manager serves a composite type.
+    compositor: Option<Compositor>,
+    /// Cached channel to this manager's worker thread (parallel mode);
+    /// read lock-free-ish on the hot delivery path instead of going
+    /// through the router's worker table.
+    worker_tx: RwLock<Option<Sender<WorkerMsg>>>,
+    pub history: LocalHistory,
+}
+
+impl EcaManager {
+    fn new(event_type: EventTypeId, name: String, spec: EventSpec) -> Self {
+        let compositor = match &spec {
+            EventSpec::Composite(c) => Some(Compositor::with_correlation(
+                c.expr.clone(),
+                c.scope,
+                c.lifespan,
+                c.consumption,
+                c.correlation,
+            )),
+            EventSpec::Primitive(_) => None,
+        };
+        EcaManager {
+            event_type,
+            name,
+            spec,
+            rules: RwLock::new(Vec::new()),
+            subscribers: RwLock::new(Vec::new()),
+            compositor,
+            worker_tx: RwLock::new(None),
+            history: LocalHistory::default(),
+        }
+    }
+
+    /// Attach a rule fired by this event type.
+    pub fn add_rule(&self, rule: Arc<Rule>) {
+        self.rules.write().push(rule);
+    }
+
+    /// Detach a rule; true if present.
+    pub fn remove_rule(&self, id: reach_common::RuleId) -> bool {
+        let mut rules = self.rules.write();
+        let before = rules.len();
+        rules.retain(|r| r.id != id);
+        rules.len() != before
+    }
+
+    /// Snapshot of enabled rules.
+    pub fn rules(&self) -> Vec<Arc<Rule>> {
+        self.rules
+            .read()
+            .iter()
+            .filter(|r| r.is_enabled())
+            .cloned()
+            .collect()
+    }
+
+    pub fn rule_count(&self) -> usize {
+        self.rules.read().len()
+    }
+
+    fn subscribe(&self, composite: EventTypeId) {
+        self.subscribers.write().push(composite);
+    }
+
+    pub fn subscribers(&self) -> Vec<EventTypeId> {
+        self.subscribers.read().clone()
+    }
+
+    /// Live semi-composed instances (0 for primitive managers).
+    pub fn live_instances(&self) -> usize {
+        self.compositor.as_ref().map_or(0, |c| c.live_instances())
+    }
+}
+
+/// Message protocol for composite-manager worker threads.
+enum WorkerMsg {
+    Feed(Arc<EventOccurrence>),
+    /// Close the window of a finished transaction. `fire` is false for
+    /// aborted transactions (their events are revoked).
+    CloseTxn(TxnId, bool),
+    /// Sweep interval lifespans.
+    Expire(TimePoint),
+    /// Barrier: reply when all prior messages are processed.
+    Flush(Sender<()>),
+    Shutdown,
+}
+
+/// How composite feeding is dispatched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompositionMode {
+    /// Inline in the detecting thread — deterministic.
+    Synchronous,
+    /// One worker thread per composite manager (§6.3's parallel small
+    /// compositors).
+    Parallel,
+}
+
+/// A passive delivery observer.
+pub type Observer = Arc<dyn Fn(&EventOccurrence) + Send + Sync>;
+
+/// Channel + join handle of one composite manager's worker thread.
+type WorkerHandle = (Sender<WorkerMsg>, std::thread::JoinHandle<()>);
+
+/// Consumer of completed composite occurrences and directly-fired rules.
+/// Implemented by the engine (`crate::engine`).
+pub trait FireHandler: Send + Sync {
+    /// Fire `rules` (already filtered to enabled) for `occ`.
+    fn fire(&self, rules: Vec<Arc<Rule>>, occ: Arc<EventOccurrence>);
+}
+
+/// The event router: detector index + manager table + delivery.
+pub struct Router {
+    schema: Arc<Schema>,
+    managers: RwLock<HashMap<EventTypeId, Arc<EcaManager>>>,
+    by_name: RwLock<HashMap<String, EventTypeId>>,
+    // Detector indexes (primitive specs -> event types). A key can have
+    // several registered event types (e.g. two rules, each with its own
+    // named event on the same class.attribute): every one fires.
+    method_index: RwLock<HashMap<(ClassId, MethodId, MethodPhase), Vec<EventTypeId>>>,
+    state_index: RwLock<HashMap<(ClassId, String), Vec<EventTypeId>>>,
+    lifecycle_index: RwLock<HashMap<(ClassId, bool), Vec<EventTypeId>>>,
+    persist_index: RwLock<HashMap<ClassId, Vec<EventTypeId>>>,
+    flow_index: RwLock<HashMap<FlowPoint, Vec<EventTypeId>>>,
+    signal_index: RwLock<HashMap<String, Vec<EventTypeId>>>,
+    ids: IdGen,
+    seq: AtomicU64,
+    mode: RwLock<CompositionMode>,
+    workers: Mutex<HashMap<EventTypeId, WorkerHandle>>,
+    handler: RwLock<Option<Arc<dyn FireHandler>>>,
+    /// Passive observers of every delivered occurrence (the temporal
+    /// manager watches for anchors of relative events here).
+    observers: RwLock<Vec<Observer>>,
+    pub trace: Arc<Trace>,
+}
+
+impl Router {
+    pub fn new(schema: Arc<Schema>) -> Arc<Self> {
+        Arc::new(Router {
+            schema,
+            managers: RwLock::new(HashMap::new()),
+            by_name: RwLock::new(HashMap::new()),
+            method_index: RwLock::new(HashMap::new()),
+            state_index: RwLock::new(HashMap::new()),
+            lifecycle_index: RwLock::new(HashMap::new()),
+            persist_index: RwLock::new(HashMap::new()),
+            flow_index: RwLock::new(HashMap::new()),
+            signal_index: RwLock::new(HashMap::new()),
+            ids: IdGen::new(),
+            seq: AtomicU64::new(1),
+            mode: RwLock::new(CompositionMode::Synchronous),
+            workers: Mutex::new(HashMap::new()),
+            handler: RwLock::new(None),
+            observers: RwLock::new(Vec::new()),
+            trace: Arc::new(Trace::default()),
+        })
+    }
+
+    /// Install the rule-firing handler (the engine).
+    pub fn set_handler(&self, h: Arc<dyn FireHandler>) {
+        *self.handler.write() = Some(h);
+    }
+
+    /// Add a passive delivery observer.
+    pub fn add_observer(&self, f: Observer) {
+        self.observers.write().push(f);
+    }
+
+    /// Next global event sequence number.
+    fn next_seq(&self) -> Timestamp {
+        Timestamp::new(self.seq.fetch_add(1, Ordering::Relaxed))
+    }
+
+    // ---- registration ----
+
+    /// Register an event type under `name`.
+    pub fn register(self: &Arc<Self>, name: &str, spec: EventSpec) -> EventTypeId {
+        let id: EventTypeId = self.ids.next();
+        match &spec {
+            EventSpec::Primitive(p) => match p {
+                PrimitiveEvent::Method {
+                    class,
+                    method,
+                    phase,
+                } => {
+                    self.method_index
+                        .write()
+                        .entry((*class, *method, *phase))
+                        .or_default()
+                        .push(id);
+                }
+                PrimitiveEvent::StateChange { class, attribute } => {
+                    self.state_index
+                        .write()
+                        .entry((*class, attribute.clone()))
+                        .or_default()
+                        .push(id);
+                }
+                PrimitiveEvent::Lifecycle { class, deletion } => {
+                    self.lifecycle_index
+                        .write()
+                        .entry((*class, *deletion))
+                        .or_default()
+                        .push(id);
+                }
+                PrimitiveEvent::Persist { class } => {
+                    self.persist_index.write().entry(*class).or_default().push(id);
+                }
+                PrimitiveEvent::Flow { point } => {
+                    self.flow_index.write().entry(*point).or_default().push(id);
+                }
+                PrimitiveEvent::UserSignal { name } => {
+                    self.signal_index
+                        .write()
+                        .entry(name.clone())
+                        .or_default()
+                        .push(id);
+                }
+                // Temporal specs are driven by the temporal manager,
+                // which raises them via `raise_temporal`.
+                PrimitiveEvent::TemporalAbsolute { .. }
+                | PrimitiveEvent::TemporalPeriodic { .. }
+                | PrimitiveEvent::TemporalRelative { .. } => {}
+            },
+            EventSpec::Composite(c) => {
+                // Subscribe this composite to each referenced type.
+                for dep in c.expr.referenced_types() {
+                    if let Some(mgr) = self.manager(dep) {
+                        mgr.subscribe(id);
+                    }
+                }
+            }
+        }
+        let mgr = Arc::new(EcaManager::new(id, name.to_string(), spec));
+        self.managers.write().insert(id, Arc::clone(&mgr));
+        self.by_name.write().insert(name.to_string(), id);
+        // In parallel mode, composite managers get their worker now.
+        if mgr.compositor.is_some() && *self.mode.read() == CompositionMode::Parallel {
+            self.spawn_worker(&mgr);
+        }
+        id
+    }
+
+    /// Look up a manager.
+    pub fn manager(&self, id: EventTypeId) -> Option<Arc<EcaManager>> {
+        self.managers.read().get(&id).cloned()
+    }
+
+    /// Look up an event type by registration name.
+    pub fn event_by_name(&self, name: &str) -> Option<EventTypeId> {
+        self.by_name.read().get(name).copied()
+    }
+
+    /// All managers (introspection / figure regeneration).
+    pub fn managers(&self) -> Vec<Arc<EcaManager>> {
+        let mut v: Vec<_> = self.managers.read().values().cloned().collect();
+        v.sort_by_key(|m| m.event_type);
+        v
+    }
+
+    // ---- composition mode ----
+
+    /// Switch composition dispatch. Call before raising events.
+    pub fn set_mode(self: &Arc<Self>, mode: CompositionMode) {
+        let old = *self.mode.read();
+        if old == mode {
+            return;
+        }
+        *self.mode.write() = mode;
+        match mode {
+            CompositionMode::Parallel => {
+                for mgr in self.managers() {
+                    if mgr.compositor.is_some() {
+                        self.spawn_worker(&mgr);
+                    }
+                }
+            }
+            CompositionMode::Synchronous => {
+                for mgr in self.managers() {
+                    mgr.worker_tx.write().take();
+                }
+                let mut workers = self.workers.lock();
+                for (_, (tx, handle)) in workers.drain() {
+                    let _ = tx.send(WorkerMsg::Shutdown);
+                    let _ = handle.join();
+                }
+            }
+        }
+    }
+
+    pub fn mode(&self) -> CompositionMode {
+        *self.mode.read()
+    }
+
+    fn spawn_worker(self: &Arc<Self>, mgr: &Arc<EcaManager>) {
+        let mut workers = self.workers.lock();
+        if workers.contains_key(&mgr.event_type) {
+            return;
+        }
+        let (tx, rx) = unbounded::<WorkerMsg>();
+        let router = Arc::clone(self);
+        let ty = mgr.event_type;
+        let outer_mgr = Arc::clone(mgr);
+        let mgr = Arc::clone(mgr);
+        let handle = std::thread::Builder::new()
+            .name(format!("eca-{}", mgr.name))
+            .spawn(move || {
+                while let Ok(msg) = rx.recv() {
+                    match msg {
+                        WorkerMsg::Feed(occ) => router.feed_compositor(&mgr, &occ),
+                        WorkerMsg::CloseTxn(txn, fire) => router.close_compositor(&mgr, txn, fire),
+                        WorkerMsg::Expire(now) => router.expire_compositor(&mgr, now),
+                        WorkerMsg::Flush(ack) => {
+                            let _ = ack.send(());
+                        }
+                        WorkerMsg::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn eca worker");
+        outer_mgr.worker_tx.write().replace(tx.clone());
+        workers.insert(ty, (tx, handle));
+    }
+
+    // ---- detection entry points ----
+
+    /// A monitored method invocation was observed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn raise_method(
+        self: &Arc<Self>,
+        txn: TxnId,
+        top: TxnId,
+        at: TimePoint,
+        receiver: reach_common::ObjectId,
+        class: ClassId,
+        method: MethodId,
+        phase: MethodPhase,
+        args: &[reach_object::Value],
+    ) {
+        let types = self.lookup_method(class, method, phase);
+        for ty in types {
+            let occ = Arc::new(EventOccurrence {
+                event_type: ty,
+                seq: self.next_seq(),
+                at,
+                txn: Some(txn),
+                top_txn: Some(top),
+                data: EventData {
+                    receiver: Some(receiver),
+                    args: args.to_vec(),
+                    ..Default::default()
+                },
+                constituents: Vec::new(),
+            });
+            self.trace.log(|| {
+                format!(
+                    "method-event detected (class {class}, {method}, {phase:?}) -> ECA-manager[{ty}]"
+                )
+            });
+            self.deliver(occ);
+        }
+    }
+
+    fn lookup_method(
+        &self,
+        class: ClassId,
+        method: MethodId,
+        phase: MethodPhase,
+    ) -> Vec<EventTypeId> {
+        let index = self.method_index.read();
+        let mut out = Vec::new();
+        if let Some(tys) = index.get(&(class, method, phase)) {
+            out.extend_from_slice(tys);
+        }
+        // Events declared on a base class catch subclass receivers.
+        if let Ok(lineage) = self.schema.lineage(class) {
+            for anc in lineage.into_iter().skip(1) {
+                if let Some(tys) = index.get(&(anc, method, phase)) {
+                    out.extend_from_slice(tys);
+                }
+            }
+        }
+        out
+    }
+
+    /// A state change was observed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn raise_state_change(
+        self: &Arc<Self>,
+        txn: TxnId,
+        top: TxnId,
+        at: TimePoint,
+        receiver: reach_common::ObjectId,
+        class: ClassId,
+        attribute: &str,
+        old: reach_object::Value,
+        new: reach_object::Value,
+    ) {
+        let types = {
+            let index = self.state_index.read();
+            let mut out = Vec::new();
+            if let Some(tys) = index.get(&(class, attribute.to_string())) {
+                out.extend_from_slice(tys);
+            }
+            if let Ok(lineage) = self.schema.lineage(class) {
+                for anc in lineage.into_iter().skip(1) {
+                    if let Some(tys) = index.get(&(anc, attribute.to_string())) {
+                        out.extend_from_slice(tys);
+                    }
+                }
+            }
+            out
+        };
+        for ty in types {
+            let occ = Arc::new(EventOccurrence {
+                event_type: ty,
+                seq: self.next_seq(),
+                at,
+                txn: Some(txn),
+                top_txn: Some(top),
+                data: EventData {
+                    receiver: Some(receiver),
+                    attribute: Some(attribute.to_string()),
+                    old: Some(old.clone()),
+                    new: Some(new.clone()),
+                    ..Default::default()
+                },
+                constituents: Vec::new(),
+            });
+            self.trace.log(|| {
+                format!("state-change detected ({class}.{attribute}) -> ECA-manager[{ty}]")
+            });
+            self.deliver(occ);
+        }
+    }
+
+    /// A constructor/destructor was observed.
+    pub fn raise_lifecycle(
+        self: &Arc<Self>,
+        txn: TxnId,
+        top: TxnId,
+        at: TimePoint,
+        receiver: reach_common::ObjectId,
+        class: ClassId,
+        deletion: bool,
+    ) {
+        let types = {
+            let index = self.lifecycle_index.read();
+            let mut out = Vec::new();
+            if let Some(tys) = index.get(&(class, deletion)) {
+                out.extend_from_slice(tys);
+            }
+            if let Ok(lineage) = self.schema.lineage(class) {
+                for anc in lineage.into_iter().skip(1) {
+                    if let Some(tys) = index.get(&(anc, deletion)) {
+                        out.extend_from_slice(tys);
+                    }
+                }
+            }
+            out
+        };
+        for ty in types {
+            let occ = Arc::new(EventOccurrence {
+                event_type: ty,
+                seq: self.next_seq(),
+                at,
+                txn: Some(txn),
+                top_txn: Some(top),
+                data: EventData::for_receiver(receiver),
+                constituents: Vec::new(),
+            });
+            self.deliver(occ);
+        }
+    }
+
+    /// An object was made persistent.
+    pub fn raise_persist(
+        self: &Arc<Self>,
+        txn: TxnId,
+        top: TxnId,
+        at: TimePoint,
+        receiver: reach_common::ObjectId,
+        class: ClassId,
+    ) {
+        let types = {
+            let index = self.persist_index.read();
+            let mut out = Vec::new();
+            if let Some(tys) = index.get(&class) {
+                out.extend_from_slice(tys);
+            }
+            if let Ok(lineage) = self.schema.lineage(class) {
+                for anc in lineage.into_iter().skip(1) {
+                    if let Some(tys) = index.get(&anc) {
+                        out.extend_from_slice(tys);
+                    }
+                }
+            }
+            out
+        };
+        for ty in types {
+            let occ = Arc::new(EventOccurrence {
+                event_type: ty,
+                seq: self.next_seq(),
+                at,
+                txn: Some(txn),
+                top_txn: Some(top),
+                data: EventData::for_receiver(receiver),
+                constituents: Vec::new(),
+            });
+            self.deliver(occ);
+        }
+    }
+
+    /// A transaction flow point was reached.
+    pub fn raise_flow(self: &Arc<Self>, txn: TxnId, top: TxnId, at: TimePoint, point: FlowPoint) {
+        let types = self
+            .flow_index
+            .read()
+            .get(&point)
+            .cloned()
+            .unwrap_or_default();
+        for ty in types {
+            let occ = Arc::new(EventOccurrence {
+                event_type: ty,
+                seq: self.next_seq(),
+                at,
+                txn: Some(txn),
+                top_txn: Some(top),
+                data: EventData::default(),
+                constituents: Vec::new(),
+            });
+            self.deliver(occ);
+        }
+    }
+
+    /// An explicit application signal.
+    pub fn raise_signal(
+        self: &Arc<Self>,
+        txn: Option<TxnId>,
+        top: Option<TxnId>,
+        at: TimePoint,
+        name: &str,
+        receiver: Option<reach_common::ObjectId>,
+        args: Vec<reach_object::Value>,
+    ) {
+        let types = self
+            .signal_index
+            .read()
+            .get(name)
+            .cloned()
+            .unwrap_or_default();
+        for ty in types {
+            let occ = Arc::new(EventOccurrence {
+                event_type: ty,
+                seq: self.next_seq(),
+                at,
+                txn,
+                top_txn: top,
+                data: EventData {
+                    signal: Some(name.to_string()),
+                    receiver,
+                    args: args.clone(),
+                    ..Default::default()
+                },
+                constituents: Vec::new(),
+            });
+            self.deliver(occ);
+        }
+    }
+
+    /// A temporal event fired (called by the temporal manager).
+    pub fn raise_temporal(self: &Arc<Self>, ty: EventTypeId, at: TimePoint) {
+        let occ = Arc::new(EventOccurrence {
+            event_type: ty,
+            seq: self.next_seq(),
+            at,
+            txn: None,
+            top_txn: None,
+            data: EventData::default(),
+            constituents: Vec::new(),
+        });
+        self.trace
+            .log(|| format!("temporal event at {at} -> ECA-manager[{ty}]"));
+        self.deliver(occ);
+    }
+
+    // ---- delivery (Figure 2) ----
+
+    /// Deliver an occurrence to its ECA-manager: history, rules,
+    /// propagation to composite managers.
+    pub fn deliver(self: &Arc<Self>, occ: Arc<EventOccurrence>) {
+        let Some(mgr) = self.manager(occ.event_type) else {
+            return;
+        };
+        self.trace
+            .log(|| format!("ECA-manager[{}] creates Event object (seq {})", mgr.name, occ.seq));
+        mgr.history.record(Arc::clone(&occ));
+        for obs in self.observers.read().iter() {
+            obs(&occ);
+        }
+        // 1. Fire directly-attached rules.
+        let rules = mgr.rules();
+        if !rules.is_empty() {
+            self.trace.log(|| {
+                format!(
+                    "ECA-manager[{}] fires {} rule(s), then signals go-ahead",
+                    mgr.name,
+                    rules.len()
+                )
+            });
+            if let Some(h) = self.handler.read().clone() {
+                h.fire(rules, Arc::clone(&occ));
+            }
+        }
+        // 2. Propagate to composite ECA-managers.
+        for sub in mgr.subscribers() {
+            let Some(sub_mgr) = self.manager(sub) else {
+                continue;
+            };
+            self.trace.log(|| {
+                format!(
+                    "ECA-manager[{}] propagates -> composite ECA-manager[{}]",
+                    mgr.name, sub_mgr.name
+                )
+            });
+            // Fast path: the manager's cached worker channel.
+            let sent = {
+                let tx = sub_mgr.worker_tx.read();
+                match &*tx {
+                    Some(tx) => tx.send(WorkerMsg::Feed(Arc::clone(&occ))).is_ok(),
+                    None => false,
+                }
+            };
+            if !sent {
+                self.feed_compositor(&sub_mgr, &occ);
+            }
+        }
+    }
+
+    fn feed_compositor(self: &Arc<Self>, mgr: &Arc<EcaManager>, occ: &Arc<EventOccurrence>) {
+        let Some(compositor) = &mgr.compositor else {
+            return;
+        };
+        for completion in compositor.feed(occ) {
+            self.emit_completion(mgr, completion);
+        }
+    }
+
+    fn close_compositor(self: &Arc<Self>, mgr: &Arc<EcaManager>, txn: TxnId, fire: bool) {
+        let Some(compositor) = &mgr.compositor else {
+            return;
+        };
+        for completion in compositor.close_txn(txn) {
+            if fire {
+                self.emit_completion(mgr, completion);
+            }
+        }
+    }
+
+    fn expire_compositor(self: &Arc<Self>, mgr: &Arc<EcaManager>, now: TimePoint) {
+        let Some(compositor) = &mgr.compositor else {
+            return;
+        };
+        for completion in compositor.expire(now) {
+            self.emit_completion(mgr, completion);
+        }
+    }
+
+    /// Turn a compositor completion into a composite occurrence and
+    /// deliver it (recursively: composites can feed other composites).
+    fn emit_completion(self: &Arc<Self>, mgr: &Arc<EcaManager>, completion: Completion) {
+        let scope = match &mgr.spec {
+            EventSpec::Composite(CompositeSpec { scope, .. }) => *scope,
+            EventSpec::Primitive(_) => return,
+        };
+        // A same-transaction composite inherits its (single) origin
+        // transaction; cross-transaction composites belong to none.
+        let (txn, top) = match scope {
+            crate::algebra::CompositionScope::SameTransaction => {
+                let top = completion
+                    .constituents
+                    .iter()
+                    .find_map(|c| c.top_txn);
+                (top, top)
+            }
+            crate::algebra::CompositionScope::CrossTransaction => (None, None),
+        };
+        let at = completion
+            .constituents
+            .iter()
+            .map(|c| c.at)
+            .max()
+            .unwrap_or(TimePoint::ZERO);
+        let occ = Arc::new(EventOccurrence {
+            event_type: mgr.event_type,
+            seq: self.next_seq(),
+            at,
+            txn,
+            top_txn: top,
+            data: EventData::default(),
+            constituents: completion.constituents,
+        });
+        self.trace.log(|| {
+            format!(
+                "composite ECA-manager[{}] completes ({} constituents{})",
+                mgr.name,
+                occ.constituents.len(),
+                if completion.at_window_close {
+                    ", at window close"
+                } else {
+                    ""
+                }
+            )
+        });
+        self.deliver(occ);
+    }
+
+    // ---- lifecycle hooks from the transaction manager ----
+
+    /// A top-level transaction ended. `fire_windows` is true on commit
+    /// (window operators may fire) and false on abort (the transaction's
+    /// events are revoked with it).
+    pub fn close_txn(self: &Arc<Self>, txn: TxnId, fire_windows: bool) {
+        match *self.mode.read() {
+            CompositionMode::Synchronous => {
+                for mgr in self.managers() {
+                    if mgr.compositor.is_some() {
+                        self.close_compositor(&mgr, txn, fire_windows);
+                    }
+                }
+            }
+            CompositionMode::Parallel => {
+                let workers = self.workers.lock();
+                for (tx, _) in workers.values() {
+                    let _ = tx.send(WorkerMsg::CloseTxn(txn, fire_windows));
+                }
+            }
+        }
+    }
+
+    /// Sweep validity intervals against `now`.
+    pub fn expire(self: &Arc<Self>, now: TimePoint) {
+        match *self.mode.read() {
+            CompositionMode::Synchronous => {
+                for mgr in self.managers() {
+                    if mgr.compositor.is_some() {
+                        self.expire_compositor(&mgr, now);
+                    }
+                }
+            }
+            CompositionMode::Parallel => {
+                let workers = self.workers.lock();
+                for (tx, _) in workers.values() {
+                    let _ = tx.send(WorkerMsg::Expire(now));
+                }
+            }
+        }
+    }
+
+    /// Barrier: wait until every composite worker has drained its queue.
+    /// No-op in synchronous mode.
+    pub fn flush(&self) {
+        let acks: Vec<_> = {
+            let workers = self.workers.lock();
+            workers
+                .values()
+                .filter_map(|(tx, _)| {
+                    let (ack_tx, ack_rx) = unbounded();
+                    tx.send(WorkerMsg::Flush(ack_tx)).ok().map(|_| ack_rx)
+                })
+                .collect()
+        };
+        for rx in acks {
+            let _ = rx.recv();
+        }
+    }
+
+    /// Total semi-composed instances across all compositors (§3.3 GC
+    /// observability).
+    pub fn total_live_instances(&self) -> usize {
+        self.managers().iter().map(|m| m.live_instances()).sum()
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        let mut workers = self.workers.lock();
+        for (_, (tx, handle)) in workers.drain() {
+            let _ = tx.send(WorkerMsg::Shutdown);
+            let _ = handle.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("managers", &self.managers.read().len())
+            .field("mode", &self.mode())
+            .finish()
+    }
+}

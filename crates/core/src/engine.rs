@@ -1,0 +1,780 @@
+//! The rule execution engine (§6.4).
+//!
+//! Responsibilities:
+//!
+//! * **ordering** — rules fired by one event run by priority; ties break
+//!   oldest-rule-first (default) or newest-rule-first; the deferred
+//!   drain can additionally put simple-event rules ahead of
+//!   composite-event rules;
+//! * **immediate** rules run as subtransactions at the detection point —
+//!   either serially (the paper's ring-sequence fallback for the missing
+//!   nested-transaction parallelism) or as parallel sibling
+//!   subtransactions ([`ExecutionStrategy`]); a failing immediate rule
+//!   aborts the triggering transaction (consistency semantics);
+//! * **deferred** rules are buffered per top-level transaction and
+//!   drained at pre-commit through the Transaction PM, in order;
+//! * the four **detached** variants run on worker threads in fresh
+//!   top-level transactions, with commit/abort dependencies registered
+//!   against *every* origin transaction of the triggering event
+//!   (Table 1's "all commit" / "all abort"), sequential start-after-
+//!   commit scheduling, and lock hand-over for the exclusive mode;
+//! * **§3.2 parameter rule** — references to transient objects never
+//!   cross into detached executions; such firings are rejected and
+//!   counted.
+
+use crate::coupling::CouplingMode;
+use crate::eca::FireHandler;
+use crate::event::EventOccurrence;
+use crate::rule::{Rule, RuleCtx};
+use open_oodb::Database;
+use parking_lot::{Condvar, Mutex, RwLock};
+use reach_common::{ObjectId, ReachError, Result, TxnId};
+use reach_txn::dependency::{CommitRule, Outcome};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A small reusable worker pool for parallel immediate actions. Thread
+/// spawn costs hundreds of microseconds — more than most rule actions —
+/// so parallel sibling subtransactions only ever win if the workers are
+/// standing by. Submission never blocks: when all workers are busy the
+/// job runs inline on the caller (graceful degradation to the serial
+/// ring-sequence, and immune to pool-exhaustion deadlocks from cascaded
+/// rule firings).
+struct ActionPool {
+    tx: crossbeam::channel::Sender<Box<dyn FnOnce() + Send>>,
+}
+
+impl ActionPool {
+    fn new(workers: usize) -> Self {
+        let (tx, rx) = crossbeam::channel::bounded::<Box<dyn FnOnce() + Send>>(workers * 2);
+        for i in 0..workers {
+            let rx = rx.clone();
+            std::thread::Builder::new()
+                .name(format!("reach-action-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                    }
+                })
+                .expect("spawn action worker");
+        }
+        ActionPool { tx }
+    }
+
+    /// Run all jobs (possibly concurrently), returning their AND-ed
+    /// results once every job finished.
+    fn run_all(&self, jobs: Vec<Box<dyn FnOnce() -> bool + Send>>) -> bool {
+        let n = jobs.len();
+        let (ack_tx, ack_rx) = crossbeam::channel::bounded::<bool>(n);
+        for job in jobs {
+            let ack = ack_tx.clone();
+            let wrapped: Box<dyn FnOnce() + Send> = Box::new(move || {
+                let _ = ack.send(job());
+            });
+            if let Err(e) = self.tx.try_send(wrapped) {
+                // Pool saturated: run inline.
+                match e {
+                    crossbeam::channel::TrySendError::Full(job)
+                    | crossbeam::channel::TrySendError::Disconnected(job) => job(),
+                }
+            }
+        }
+        drop(ack_tx);
+        let mut all_ok = true;
+        for _ in 0..n {
+            all_ok &= ack_rx.recv().unwrap_or(false);
+        }
+        all_ok
+    }
+}
+
+/// How a set of rules fired by one event executes (E5's comparison).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionStrategy {
+    /// Ordered ring-sequence, one subtransaction after another.
+    Serial,
+    /// Parallel sibling subtransactions on threads.
+    Parallel,
+}
+
+/// §6.4 tie-break policies for equal priorities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TieBreak {
+    /// Default: oldest rule first.
+    OldestFirst,
+    /// Optional: newest rule first.
+    NewestFirst,
+}
+
+/// Counters the tests and experiments read.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    pub immediate_runs: AtomicU64,
+    pub deferred_runs: AtomicU64,
+    pub detached_runs: AtomicU64,
+    pub actions_executed: AtomicU64,
+    pub conditions_false: AtomicU64,
+    pub skipped_transient: AtomicU64,
+    pub skipped_dependency: AtomicU64,
+    pub failures: AtomicU64,
+    pub triggering_aborts: AtomicU64,
+}
+
+/// Plain-value snapshot of [`EngineStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    pub immediate_runs: u64,
+    pub deferred_runs: u64,
+    pub detached_runs: u64,
+    pub actions_executed: u64,
+    pub conditions_false: u64,
+    pub skipped_transient: u64,
+    pub skipped_dependency: u64,
+    pub failures: u64,
+    pub triggering_aborts: u64,
+}
+
+type Pending = (Arc<Rule>, Arc<EventOccurrence>, bool);
+
+/// The engine. Installed as the router's [`FireHandler`].
+pub struct Engine {
+    db: Arc<Database>,
+    strategy: RwLock<ExecutionStrategy>,
+    tiebreak: RwLock<TieBreak>,
+    /// Deferred-drain policy: simple-event rules before composite-event
+    /// rules (§6.4's third policy).
+    simple_events_first: RwLock<bool>,
+    /// Ablation switch: evaluate immediate conditions inside their own
+    /// subtransaction (the naive design) instead of as queries in the
+    /// triggering transaction. Default false; the `ablation` bench
+    /// measures the difference.
+    conditions_in_subtxn: RwLock<bool>,
+    deferred: Mutex<HashMap<TxnId, Vec<Pending>>>,
+    hooked: Mutex<HashSet<TxnId>>,
+    /// Transactions spawned to run detached rules. Their flow-control
+    /// points do not raise events — otherwise a rule on the commit event
+    /// would re-trigger itself forever (the termination problem §6.4
+    /// cites \[AWH92\] for; suppressing rule-transaction flow events is
+    /// REACH's pragmatic guard).
+    rule_txns: Mutex<HashSet<TxnId>>,
+    /// Standing workers for parallel immediate actions (lazy).
+    pool: Mutex<Option<Arc<ActionPool>>>,
+    inflight: Mutex<usize>,
+    idle: Condvar,
+    pub stats: EngineStats,
+    dep_timeout: Duration,
+}
+
+impl Engine {
+    pub fn new(db: Arc<Database>) -> Arc<Self> {
+        Arc::new(Engine {
+            db,
+            strategy: RwLock::new(ExecutionStrategy::Serial),
+            tiebreak: RwLock::new(TieBreak::OldestFirst),
+            simple_events_first: RwLock::new(false),
+            conditions_in_subtxn: RwLock::new(false),
+            deferred: Mutex::new(HashMap::new()),
+            hooked: Mutex::new(HashSet::new()),
+            rule_txns: Mutex::new(HashSet::new()),
+            pool: Mutex::new(None),
+            inflight: Mutex::new(0),
+            idle: Condvar::new(),
+            stats: EngineStats::default(),
+            dep_timeout: Duration::from_secs(10),
+        })
+    }
+
+    pub fn set_strategy(&self, s: ExecutionStrategy) {
+        *self.strategy.write() = s;
+    }
+
+    pub fn strategy(&self) -> ExecutionStrategy {
+        *self.strategy.read()
+    }
+
+    pub fn set_tiebreak(&self, t: TieBreak) {
+        *self.tiebreak.write() = t;
+    }
+
+    pub fn set_simple_events_first(&self, on: bool) {
+        *self.simple_events_first.write() = on;
+    }
+
+    /// Ablation: run immediate conditions in their own subtransactions.
+    pub fn set_conditions_in_subtxn(&self, on: bool) {
+        *self.conditions_in_subtxn.write() = on;
+    }
+
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let s = &self.stats;
+        StatsSnapshot {
+            immediate_runs: s.immediate_runs.load(Ordering::Relaxed),
+            deferred_runs: s.deferred_runs.load(Ordering::Relaxed),
+            detached_runs: s.detached_runs.load(Ordering::Relaxed),
+            actions_executed: s.actions_executed.load(Ordering::Relaxed),
+            conditions_false: s.conditions_false.load(Ordering::Relaxed),
+            skipped_transient: s.skipped_transient.load(Ordering::Relaxed),
+            skipped_dependency: s.skipped_dependency.load(Ordering::Relaxed),
+            failures: s.failures.load(Ordering::Relaxed),
+            triggering_aborts: s.triggering_aborts.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Sort rules for firing: priority descending, then the tie-break.
+    fn order(&self, rules: &mut [Arc<Rule>]) {
+        let tiebreak = *self.tiebreak.read();
+        rules.sort_by(|a, b| {
+            b.priority.cmp(&a.priority).then_with(|| match tiebreak {
+                TieBreak::OldestFirst => a.created.cmp(&b.created),
+                TieBreak::NewestFirst => b.created.cmp(&a.created),
+            })
+        });
+    }
+
+    /// Run one rule in `txn`, updating stats. With a split C-A coupling
+    /// the condition is evaluated here and the action is *scheduled*
+    /// under the rule's action coupling instead of running inline.
+    fn run_rule(self: &Arc<Self>, rule: &Arc<Rule>, txn: TxnId, occ: &Arc<EventOccurrence>) -> Result<bool> {
+        let ctx = RuleCtx {
+            db: &self.db,
+            txn,
+            event: occ,
+        };
+        if let Some(ac) = rule.action_coupling {
+            return match rule.eval_condition(&ctx) {
+                Ok(true) => {
+                    match ac {
+                        CouplingMode::Deferred => {
+                            self.enqueue_deferred(Arc::clone(rule), Arc::clone(occ), true)
+                        }
+                        mode => self.spawn_detached_inner(
+                            Arc::clone(rule),
+                            Arc::clone(occ),
+                            mode,
+                            true,
+                        ),
+                    }
+                    Ok(true)
+                }
+                Ok(false) => {
+                    self.stats.conditions_false.fetch_add(1, Ordering::Relaxed);
+                    Ok(false)
+                }
+                Err(e) => {
+                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    Err(e)
+                }
+            };
+        }
+        match rule.execute(&ctx) {
+            Ok(true) => {
+                self.stats.actions_executed.fetch_add(1, Ordering::Relaxed);
+                Ok(true)
+            }
+            Ok(false) => {
+                self.stats.conditions_false.fetch_add(1, Ordering::Relaxed);
+                Ok(false)
+            }
+            Err(e) => {
+                self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Run only the action of a rule whose condition already held.
+    fn run_action_only(&self, rule: &Rule, txn: TxnId, occ: &EventOccurrence) -> Result<()> {
+        let ctx = RuleCtx {
+            db: &self.db,
+            txn,
+            event: occ,
+        };
+        match rule.run_action(&ctx) {
+            Ok(()) => {
+                self.stats.actions_executed.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    // ---- immediate ----
+
+    /// Evaluate an immediate rule's condition in the *triggering*
+    /// transaction (conditions are queries — HiPAC semantics — so they
+    /// need no subtransaction of their own; §6.4 asks to "reduce the
+    /// levels of indirection" on the firing path and skipping the
+    /// subtransaction for false conditions is the biggest lever).
+    /// Returns `Some(rule)` if the action must run.
+    fn immediate_condition(
+        self: &Arc<Self>,
+        rule: &Arc<Rule>,
+        parent: TxnId,
+        occ: &Arc<EventOccurrence>,
+    ) -> Result<bool> {
+        self.stats.immediate_runs.fetch_add(1, Ordering::Relaxed);
+        if *self.conditions_in_subtxn.read() {
+            // Ablation path: the naive design pays a subtransaction per
+            // condition evaluation.
+            let tm = self.db.txn_manager();
+            let child = tm.begin_nested(parent)?;
+            let ctx = RuleCtx {
+                db: &self.db,
+                txn: child,
+                event: occ,
+            };
+            let outcome = rule.eval_condition(&ctx);
+            let _ = tm.commit(child);
+            return match outcome {
+                Ok(true) => Ok(true),
+                Ok(false) => {
+                    self.stats.conditions_false.fetch_add(1, Ordering::Relaxed);
+                    Ok(false)
+                }
+                Err(e) => {
+                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    Err(e)
+                }
+            };
+        }
+        let ctx = RuleCtx {
+            db: &self.db,
+            txn: parent,
+            event: occ,
+        };
+        match rule.eval_condition(&ctx) {
+            Ok(true) => Ok(true),
+            Ok(false) => {
+                self.stats.conditions_false.fetch_add(1, Ordering::Relaxed);
+                Ok(false)
+            }
+            Err(e) => {
+                self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                Err(e)
+            }
+        }
+    }
+
+    /// Run one immediate action in a fresh subtransaction of `parent`.
+    fn immediate_action(
+        self: &Arc<Self>,
+        rule: &Arc<Rule>,
+        parent: TxnId,
+        occ: &Arc<EventOccurrence>,
+    ) -> Result<()> {
+        let tm = self.db.txn_manager();
+        let child = tm.begin_nested(parent)?;
+        match self.run_action_only(rule, child, occ) {
+            Ok(()) => tm.commit(child),
+            Err(e) => {
+                let _ = tm.abort(child);
+                Err(e)
+            }
+        }
+    }
+
+    fn fire_immediate(self: &Arc<Self>, rules: Vec<Arc<Rule>>, occ: &Arc<EventOccurrence>) {
+        let Some(parent) = occ.txn else {
+            self.stats.failures.fetch_add(rules.len() as u64, Ordering::Relaxed);
+            return;
+        };
+        // Phase 1: conditions, in order, in the triggering transaction.
+        let mut to_run = Vec::new();
+        for rule in rules {
+            match self.immediate_condition(&rule, parent, occ) {
+                Ok(true) => {
+                    if let Some(ac) = rule.action_coupling {
+                        // Split C-A coupling: schedule the action later.
+                        match ac {
+                            CouplingMode::Deferred => {
+                                self.enqueue_deferred(rule, Arc::clone(occ), true)
+                            }
+                            mode => self.spawn_detached_inner(rule, Arc::clone(occ), mode, true),
+                        }
+                    } else {
+                        to_run.push(rule);
+                    }
+                }
+                Ok(false) => {}
+                Err(_) => {
+                    self.abort_trigger(parent);
+                    return;
+                }
+            }
+        }
+        if to_run.is_empty() {
+            return;
+        }
+        // Phase 2: actions, as subtransactions — the ring-sequence
+        // serially or as parallel siblings.
+        match *self.strategy.read() {
+            ExecutionStrategy::Serial => {
+                for rule in to_run {
+                    if self.immediate_action(&rule, parent, occ).is_err() {
+                        self.abort_trigger(parent);
+                        return;
+                    }
+                }
+            }
+            ExecutionStrategy::Parallel => {
+                let pool = {
+                    let mut guard = self.pool.lock();
+                    guard
+                        .get_or_insert_with(|| {
+                            let n = std::thread::available_parallelism()
+                                .map(|n| n.get())
+                                .unwrap_or(2)
+                                .max(2);
+                            Arc::new(ActionPool::new(n))
+                        })
+                        .clone()
+                };
+                let jobs: Vec<Box<dyn FnOnce() -> bool + Send>> = to_run
+                    .into_iter()
+                    .map(|rule| {
+                        let engine = Arc::clone(self);
+                        let occ = Arc::clone(occ);
+                        Box::new(move || engine.immediate_action(&rule, parent, &occ).is_ok())
+                            as Box<dyn FnOnce() -> bool + Send>
+                    })
+                    .collect();
+                if !pool.run_all(jobs) {
+                    self.abort_trigger(parent);
+                }
+            }
+        }
+    }
+
+    fn abort_trigger(&self, txn: TxnId) {
+        let tm = self.db.txn_manager();
+        if let Ok(top) = tm.top_of(txn) {
+            if tm.is_active(top) && tm.abort(top).is_ok() {
+                self.stats.triggering_aborts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    // ---- deferred ----
+
+    fn schedule_deferred(self: &Arc<Self>, rule: Arc<Rule>, occ: Arc<EventOccurrence>) {
+        self.enqueue_deferred(rule, occ, false);
+    }
+
+    fn enqueue_deferred(self: &Arc<Self>, rule: Arc<Rule>, occ: Arc<EventOccurrence>, action_only: bool) {
+        let Some(top) = occ.top_txn else {
+            self.stats.failures.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        self.deferred.lock().entry(top).or_default().push((rule, occ, action_only));
+        let mut hooked = self.hooked.lock();
+        if hooked.insert(top) {
+            let engine = Arc::clone(self);
+            let res = self.db.txn_manager().defer(
+                top,
+                Box::new(move || engine.drain_deferred(top)),
+            );
+            if res.is_err() {
+                hooked.remove(&top);
+                self.deferred.lock().remove(&top);
+                self.stats.failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drain the deferred batch of `top` at pre-commit, ordered. Rules
+    /// scheduled *during* the drain form a later batch (the transaction
+    /// manager keeps calling back until the queue is dry).
+    fn drain_deferred(self: &Arc<Self>, top: TxnId) -> Result<()> {
+        self.hooked.lock().remove(&top);
+        let mut batch = self.deferred.lock().remove(&top).unwrap_or_default();
+        let tiebreak = *self.tiebreak.read();
+        let simple_first = *self.simple_events_first.read();
+        batch.sort_by(|(ra, oa, _), (rb, ob, _)| {
+            rb.priority
+                .cmp(&ra.priority)
+                .then_with(|| {
+                    if simple_first {
+                        // Simple (no constituents) before composite.
+                        oa.constituents
+                            .is_empty()
+                            .cmp(&ob.constituents.is_empty())
+                            .reverse()
+                    } else {
+                        std::cmp::Ordering::Equal
+                    }
+                })
+                .then_with(|| match tiebreak {
+                    TieBreak::OldestFirst => ra.created.cmp(&rb.created),
+                    TieBreak::NewestFirst => rb.created.cmp(&ra.created),
+                })
+        });
+        let tm = self.db.txn_manager();
+        for (rule, occ, action_only) in batch {
+            self.stats.deferred_runs.fetch_add(1, Ordering::Relaxed);
+            // Condition first (a query, evaluated in the committing
+            // transaction); subtransaction only for a firing action.
+            if !action_only {
+                let ctx = RuleCtx {
+                    db: &self.db,
+                    txn: top,
+                    event: &occ,
+                };
+                match rule.eval_condition(&ctx) {
+                    Ok(true) => {}
+                    Ok(false) => {
+                        self.stats.conditions_false.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    Err(e) => {
+                        self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                        return Err(e);
+                    }
+                }
+            }
+            let child = tm.begin_nested(top)?;
+            match self.run_action_only(&rule, child, &occ) {
+                Ok(()) => tm.commit(child)?,
+                Err(e) => {
+                    let _ = tm.abort(child);
+                    // Propagate: a failing deferred rule aborts the
+                    // triggering transaction (the manager handles it).
+                    return Err(e);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- detached ----
+
+    /// §3.2: "References to transient objects are not allowed since
+    /// these objects may disappear as soon as the originating
+    /// transaction completes."
+    fn transient_refs(&self, occ: &EventOccurrence) -> Option<ObjectId> {
+        let space = self.db.space();
+        fn walk(e: &EventOccurrence, f: &impl Fn(ObjectId) -> bool) -> Option<ObjectId> {
+            if let Some(oid) = e.data.receiver {
+                if !f(oid) {
+                    return Some(oid);
+                }
+            }
+            for c in &e.constituents {
+                if let Some(o) = walk(c, f) {
+                    return Some(o);
+                }
+            }
+            None
+        }
+        walk(occ, &|oid| space.is_persistent(oid))
+    }
+
+    fn spawn_detached(
+        self: &Arc<Self>,
+        rule: Arc<Rule>,
+        occ: Arc<EventOccurrence>,
+        mode: CouplingMode,
+    ) {
+        self.spawn_detached_inner(rule, occ, mode, false)
+    }
+
+    fn spawn_detached_inner(
+        self: &Arc<Self>,
+        rule: Arc<Rule>,
+        occ: Arc<EventOccurrence>,
+        mode: CouplingMode,
+        action_only: bool,
+    ) {
+        if let Some(oid) = self.transient_refs(&occ) {
+            self.stats.skipped_transient.fetch_add(1, Ordering::Relaxed);
+            let _ = ReachError::TransientReferenceEscape(oid); // documented refusal
+            return;
+        }
+        let origins = occ.origin_txns();
+        // Exclusive mode: arrange the resource (lock) hand-over *now*,
+        // while the trigger is still active — if the trigger aborts, its
+        // locks transfer to the contingency transaction before release.
+        let tm = self.db.txn_manager();
+        let rule_txn_for_exclusive = if mode == CouplingMode::ExclusiveCausallyDependent {
+            match tm.begin() {
+                Ok(txn) => {
+                    self.mark_rule_txn(txn);
+                    for o in &origins {
+                        tm.dependencies().add(txn, CommitRule::IfAborted(*o));
+                        if tm.is_active(*o) {
+                            let locks = Arc::clone(tm.locks());
+                            let from = *o;
+                            let _ = tm.on_abort(
+                                *o,
+                                Box::new(move || locks.transfer(from, txn)),
+                            );
+                        }
+                    }
+                    Some(txn)
+                }
+                Err(_) => {
+                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            }
+        } else {
+            None
+        };
+        *self.inflight.lock() += 1;
+        let engine = Arc::clone(self);
+        std::thread::spawn(move || {
+            engine.run_detached(rule, occ, mode, origins, rule_txn_for_exclusive, action_only);
+            let mut n = engine.inflight.lock();
+            *n -= 1;
+            if *n == 0 {
+                engine.idle.notify_all();
+            }
+        });
+    }
+
+    fn run_detached(
+        self: &Arc<Self>,
+        rule: Arc<Rule>,
+        occ: Arc<EventOccurrence>,
+        mode: CouplingMode,
+        origins: Vec<TxnId>,
+        pre_created: Option<TxnId>,
+        action_only: bool,
+    ) {
+        let tm = self.db.txn_manager();
+        let deps = tm.dependencies();
+        let txn = match mode {
+            CouplingMode::Detached => match tm.begin() {
+                Ok(t) => t,
+                Err(_) => {
+                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    return;
+                }
+            },
+            CouplingMode::ParallelCausallyDependent => {
+                let t = match tm.begin() {
+                    Ok(t) => t,
+                    Err(_) => {
+                        self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                for o in &origins {
+                    deps.add(t, CommitRule::IfCommitted(*o));
+                }
+                t
+            }
+            CouplingMode::SequentialCausallyDependent => {
+                // Start only after every origin committed.
+                for o in &origins {
+                    match deps.wait_for_outcome(*o, self.dep_timeout) {
+                        Ok(Outcome::Committed) => {}
+                        Ok(Outcome::Aborted) => {
+                            self.stats
+                                .skipped_dependency
+                                .fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                        Err(_) => {
+                            self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                }
+                match tm.begin() {
+                    Ok(t) => t,
+                    Err(_) => {
+                        self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                }
+            }
+            CouplingMode::ExclusiveCausallyDependent => pre_created.expect("pre-created txn"),
+            CouplingMode::Immediate | CouplingMode::Deferred => unreachable!(),
+        };
+        self.mark_rule_txn(txn);
+        self.stats.detached_runs.fetch_add(1, Ordering::Relaxed);
+        let outcome = if action_only {
+            self.run_action_only(&rule, txn, &occ).map(|_| true)
+        } else {
+            self.run_rule(&rule, txn, &occ)
+        };
+        match outcome {
+            Ok(_) => {
+                // Commit honours the registered dependencies; an
+                // exclusive rule whose trigger committed aborts here.
+                if tm.commit(txn).is_err() {
+                    self.stats
+                        .skipped_dependency
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                let _ = tm.abort(txn);
+            }
+        }
+        self.unmark_rule_txn(txn);
+    }
+
+    /// Whether `txn` is a rule-spawned (detached) transaction.
+    pub fn is_rule_txn(&self, txn: TxnId) -> bool {
+        self.rule_txns.lock().contains(&txn)
+    }
+
+    fn mark_rule_txn(&self, txn: TxnId) {
+        self.rule_txns.lock().insert(txn);
+    }
+
+    fn unmark_rule_txn(&self, txn: TxnId) {
+        self.rule_txns.lock().remove(&txn);
+    }
+
+    /// Block until every detached worker has finished.
+    pub fn wait_idle(&self) {
+        let mut n = self.inflight.lock();
+        while *n > 0 {
+            self.idle.wait(&mut n);
+        }
+    }
+
+    /// A top-level transaction ended: drop any buffered deferred work
+    /// (the manager cleared its hooks; an aborted transaction fires no
+    /// deferred rules).
+    pub fn on_txn_finished(&self, top: TxnId) {
+        self.deferred.lock().remove(&top);
+        self.hooked.lock().remove(&top);
+    }
+}
+
+impl Engine {
+    /// Dispatch a set of rules fired by one event: immediate rules run
+    /// as one batch (serial ring-sequence or parallel siblings), the
+    /// rest are scheduled by coupling mode.
+    pub fn fire_all(self: &Arc<Self>, mut rules: Vec<Arc<Rule>>, occ: Arc<EventOccurrence>) {
+        self.order(&mut rules);
+        let mut immediate = Vec::new();
+        for rule in rules {
+            match rule.coupling {
+                CouplingMode::Immediate => immediate.push(rule),
+                CouplingMode::Deferred => self.schedule_deferred(rule, Arc::clone(&occ)),
+                mode => self.spawn_detached(rule, Arc::clone(&occ), mode),
+            }
+        }
+        if !immediate.is_empty() {
+            self.fire_immediate(immediate, &occ);
+        }
+    }
+}
+
+/// Adapter installing an [`Engine`] as the router's fire handler.
+pub struct EngineHandler(pub Arc<Engine>);
+
+impl FireHandler for EngineHandler {
+    fn fire(&self, rules: Vec<Arc<Rule>>, occ: Arc<EventOccurrence>) {
+        self.0.fire_all(rules, occ);
+    }
+}

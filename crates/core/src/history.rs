@@ -1,0 +1,178 @@
+//! Event histories (§6.3).
+//!
+//! "ECA-managers create an event object and keep local histories of the
+//! created event occurrences. The maintenance of a highly distributed
+//! history eliminates the bottleneck that would result from centrally
+//! logging the occurrence of events. ... a global history is maintained
+//! by a background process after a transaction has committed or has been
+//! aborted."
+//!
+//! [`LocalHistory`] is the per-ECA-manager ring buffer;
+//! [`GlobalHistory`] is the post-EOT consolidated log the collector
+//! drains into. Experiment E12 measures the contention difference.
+
+use crate::event::EventOccurrence;
+use parking_lot::Mutex;
+use reach_common::TxnId;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Default ring capacity per manager.
+pub const DEFAULT_LOCAL_CAPACITY: usize = 4096;
+
+/// The per-manager event log.
+pub struct LocalHistory {
+    ring: Mutex<VecDeque<Arc<EventOccurrence>>>,
+    capacity: usize,
+}
+
+impl LocalHistory {
+    pub fn new(capacity: usize) -> Self {
+        LocalHistory {
+            ring: Mutex::new(VecDeque::with_capacity(capacity.min(1024))),
+            capacity,
+        }
+    }
+
+    /// Record an occurrence, evicting the oldest beyond capacity.
+    pub fn record(&self, occ: Arc<EventOccurrence>) {
+        let mut ring = self.ring.lock();
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(occ);
+    }
+
+    /// Occurrences belonging to `txn`'s top level, removed from the
+    /// local ring — the collector calls this after EOT.
+    pub fn drain_for_txn(&self, top: TxnId) -> Vec<Arc<EventOccurrence>> {
+        let mut ring = self.ring.lock();
+        let mut out = Vec::new();
+        ring.retain(|occ| {
+            if occ.top_txn == Some(top) {
+                out.push(Arc::clone(occ));
+                false
+            } else {
+                true
+            }
+        });
+        out
+    }
+
+    /// Snapshot of the current ring (oldest first).
+    pub fn snapshot(&self) -> Vec<Arc<EventOccurrence>> {
+        self.ring.lock().iter().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for LocalHistory {
+    fn default() -> Self {
+        Self::new(DEFAULT_LOCAL_CAPACITY)
+    }
+}
+
+/// The consolidated, post-EOT history.
+pub struct GlobalHistory {
+    log: Mutex<VecDeque<Arc<EventOccurrence>>>,
+    capacity: usize,
+}
+
+impl GlobalHistory {
+    pub fn new(capacity: usize) -> Self {
+        GlobalHistory {
+            log: Mutex::new(VecDeque::new()),
+            capacity,
+        }
+    }
+
+    /// Absorb drained occurrences, keeping global sequence order.
+    pub fn absorb(&self, mut occurrences: Vec<Arc<EventOccurrence>>) {
+        occurrences.sort_by_key(|o| o.seq);
+        let mut log = self.log.lock();
+        for occ in occurrences {
+            if log.len() == self.capacity {
+                log.pop_front();
+            }
+            log.push_back(occ);
+        }
+    }
+
+    /// Snapshot (oldest first).
+    pub fn snapshot(&self) -> Vec<Arc<EventOccurrence>> {
+        self.log.lock().iter().cloned().collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.log.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for GlobalHistory {
+    fn default() -> Self {
+        Self::new(1 << 20)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventData;
+    use reach_common::{EventTypeId, TimePoint, Timestamp};
+
+    fn occ(seq: u64, txn: u64) -> Arc<EventOccurrence> {
+        Arc::new(EventOccurrence {
+            event_type: EventTypeId::new(1),
+            seq: Timestamp::new(seq),
+            at: TimePoint::ZERO,
+            txn: Some(TxnId::new(txn)),
+            top_txn: Some(TxnId::new(txn)),
+            data: EventData::default(),
+            constituents: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn ring_caps_capacity() {
+        let h = LocalHistory::new(3);
+        for s in 1..=5 {
+            h.record(occ(s, 1));
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.len(), 3);
+        assert_eq!(snap[0].seq, Timestamp::new(3));
+    }
+
+    #[test]
+    fn drain_removes_only_that_transaction() {
+        let h = LocalHistory::new(100);
+        h.record(occ(1, 10));
+        h.record(occ(2, 20));
+        h.record(occ(3, 10));
+        let drained = h.drain_for_txn(TxnId::new(10));
+        assert_eq!(drained.len(), 2);
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.snapshot()[0].txn, Some(TxnId::new(20)));
+    }
+
+    #[test]
+    fn global_history_orders_by_sequence() {
+        let g = GlobalHistory::new(100);
+        g.absorb(vec![occ(5, 1), occ(2, 1)]);
+        g.absorb(vec![occ(9, 2), occ(7, 2)]);
+        let snap = g.snapshot();
+        let seqs: Vec<u64> = snap.iter().map(|o| o.seq.raw()).collect();
+        assert_eq!(seqs, vec![2, 5, 7, 9]);
+    }
+}

@@ -1,0 +1,719 @@
+//! [`ReachSystem`] — the assembled active OODBMS.
+//!
+//! This is the integration the paper argues for: the REACH detectors are
+//! registered directly on the Open OODB substrate's sentry hooks (the
+//! dispatcher for method events, the object space for state-change and
+//! lifecycle events, the transaction manager for flow-control events),
+//! the ECA-managers and compositors sit behind them, and the rule engine
+//! executes through the same transaction manager the application uses.
+//! Nothing here goes "on top of" a closed interface — which is exactly
+//! what §4 found impossible with O2 and ObjectStore.
+
+use crate::algebra::{validate_composite, CompositionScope, Correlation, EventExpr, Lifespan};
+use crate::consumption::ConsumptionPolicy;
+use crate::coupling::{self, CouplingMode, EventCategory};
+use crate::eca::{CompositionMode, EcaManager, Router};
+use crate::engine::{Engine, EngineHandler, ExecutionStrategy, StatsSnapshot, TieBreak};
+use crate::event::{
+    CompositeSpec, EventSpec, FlowPoint, MethodPhase, PrimitiveEvent,
+};
+use crate::history::GlobalHistory;
+use crate::rule::{Rule, RuleBuilder};
+use crate::temporal::TemporalManager;
+use open_oodb::Database;
+use parking_lot::RwLock;
+use reach_common::{
+    ClassId, EventTypeId, IdGen, ReachError, Result, RuleId, TimePoint, Timestamp, TxnId,
+};
+use reach_object::{MethodCall, MethodSentry, StateChange, StateSentry, Value};
+use reach_txn::{TxnEvent, TxnEventKind, TxnListener};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Construction-time options.
+#[derive(Debug, Clone)]
+pub struct ReachConfig {
+    /// Synchronous (deterministic) or parallel (threaded) composition.
+    pub composition: CompositionMode,
+    /// Serial ring-sequence or parallel sibling subtransactions for
+    /// immediate rule batches.
+    pub strategy: ExecutionStrategy,
+}
+
+impl Default for ReachConfig {
+    fn default() -> Self {
+        ReachConfig {
+            composition: CompositionMode::Synchronous,
+            strategy: ExecutionStrategy::Serial,
+        }
+    }
+}
+
+/// Management view of one registered rule.
+#[derive(Debug, Clone)]
+pub struct RuleInfo {
+    pub id: RuleId,
+    pub name: String,
+    pub priority: reach_common::Priority,
+    pub coupling: CouplingMode,
+    pub action_coupling: Option<CouplingMode>,
+    pub event_type: EventTypeId,
+    pub event_name: String,
+    pub enabled: bool,
+}
+
+/// The active OODBMS: Open OODB substrate + REACH active layer.
+pub struct ReachSystem {
+    db: Arc<Database>,
+    router: Arc<Router>,
+    engine: Arc<Engine>,
+    temporal: Arc<TemporalManager>,
+    global_history: Arc<GlobalHistory>,
+    rules: RwLock<HashMap<RuleId, Arc<Rule>>>,
+    rule_ids: IdGen,
+    rule_seq: AtomicU64,
+    ticker_stop: Arc<AtomicBool>,
+}
+
+impl ReachSystem {
+    /// Build a REACH system over a database.
+    pub fn new(db: Arc<Database>, config: ReachConfig) -> Arc<Self> {
+        let router = Router::new(Arc::clone(db.schema()));
+        router.set_mode(config.composition);
+        let engine = Engine::new(Arc::clone(&db));
+        engine.set_strategy(config.strategy);
+        router.set_handler(Arc::new(EngineHandler(Arc::clone(&engine))));
+        let temporal = TemporalManager::new(Arc::clone(&router));
+        {
+            let t = Arc::clone(&temporal);
+            router.add_observer(Arc::new(move |occ| t.observe(occ)));
+        }
+        let system = Arc::new(ReachSystem {
+            db: Arc::clone(&db),
+            router: Arc::clone(&router),
+            engine,
+            temporal,
+            global_history: Arc::new(GlobalHistory::default()),
+            rules: RwLock::new(HashMap::new()),
+            rule_ids: IdGen::new(),
+            rule_seq: AtomicU64::new(1),
+            ticker_stop: Arc::new(AtomicBool::new(false)),
+        });
+        // Wire the detectors onto the substrate's sentry hooks.
+        db.dispatcher()
+            .add_sentry(Arc::new(MethodBridge(Arc::clone(&system))));
+        db.space()
+            .add_state_sentry(Arc::new(StateBridge(Arc::clone(&system))));
+        db.space()
+            .add_lifecycle_sentry(Arc::new(LifecycleBridge(Arc::clone(&system))));
+        db.txn_manager()
+            .add_listener(Arc::new(FlowBridge(Arc::clone(&system))));
+        {
+            // The `persist` DB-internal event (§3.1).
+            let weak = Arc::downgrade(&system);
+            db.persistence_pm().add_persist_hook(Arc::new(move |txn, oid| {
+                let Some(sys) = weak.upgrade() else { return };
+                if txn.is_null() {
+                    return;
+                }
+                let Ok(top) = sys.db.txn_manager().top_of(txn) else {
+                    return;
+                };
+                let Ok(class) = sys.db.space().class_of(oid) else {
+                    return;
+                };
+                sys.router
+                    .raise_persist(txn, top, sys.db.clock().now(), oid, class);
+            }));
+        }
+        system
+    }
+
+    /// Convenience: in-memory database + default configuration.
+    pub fn in_memory() -> Result<Arc<Self>> {
+        Ok(Self::new(Database::in_memory()?, ReachConfig::default()))
+    }
+
+    // ---- component access ----
+
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    pub fn router(&self) -> &Arc<Router> {
+        &self.router
+    }
+
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    pub fn temporal(&self) -> &Arc<TemporalManager> {
+        &self.temporal
+    }
+
+    pub fn global_history(&self) -> &Arc<GlobalHistory> {
+        &self.global_history
+    }
+
+    pub fn stats(&self) -> StatsSnapshot {
+        self.engine.snapshot()
+    }
+
+    pub fn set_tiebreak(&self, t: TieBreak) {
+        self.engine.set_tiebreak(t);
+    }
+
+    pub fn set_simple_events_first(&self, on: bool) {
+        self.engine.set_simple_events_first(on);
+    }
+
+    // ---- event type definitions ----
+
+    /// `event after class::method(...)` — a method-invocation event.
+    /// The dispatcher starts monitoring the pair (the sentry's
+    /// "potentially useful" overhead becomes "useful").
+    pub fn define_method_event(
+        &self,
+        name: &str,
+        class: ClassId,
+        method_name: &str,
+        phase: MethodPhase,
+    ) -> Result<EventTypeId> {
+        let method = self.db.schema().resolve_method(class, method_name)?;
+        let ty = self.router.register(
+            name,
+            EventSpec::Primitive(PrimitiveEvent::Method {
+                class,
+                method,
+                phase,
+            }),
+        );
+        self.db.dispatcher().monitor(class, method);
+        Ok(ty)
+    }
+
+    /// A state-change event on `class.attribute`.
+    pub fn define_state_event(
+        &self,
+        name: &str,
+        class: ClassId,
+        attribute: &str,
+    ) -> Result<EventTypeId> {
+        self.db.schema().attr_slot(class, attribute)?;
+        Ok(self.router.register(
+            name,
+            EventSpec::Primitive(PrimitiveEvent::StateChange {
+                class,
+                attribute: attribute.to_string(),
+            }),
+        ))
+    }
+
+    /// A constructor (`deletion = false`) or destructor event.
+    pub fn define_lifecycle_event(
+        &self,
+        name: &str,
+        class: ClassId,
+        deletion: bool,
+    ) -> Result<EventTypeId> {
+        Ok(self.router.register(
+            name,
+            EventSpec::Primitive(PrimitiveEvent::Lifecycle { class, deletion }),
+        ))
+    }
+
+    /// The `persist` DB-internal event: fires when an instance of
+    /// `class` (or a subclass) is made persistent.
+    pub fn define_persist_event(&self, name: &str, class: ClassId) -> Result<EventTypeId> {
+        Ok(self
+            .router
+            .register(name, EventSpec::Primitive(PrimitiveEvent::Persist { class })))
+    }
+
+    /// A transaction flow-control event (BOT, EOT, commit, abort).
+    pub fn define_flow_event(&self, name: &str, point: FlowPoint) -> Result<EventTypeId> {
+        Ok(self
+            .router
+            .register(name, EventSpec::Primitive(PrimitiveEvent::Flow { point })))
+    }
+
+    /// An explicit application signal (modelled as a method event, §3.1).
+    pub fn define_signal(&self, name: &str) -> Result<EventTypeId> {
+        Ok(self.router.register(
+            name,
+            EventSpec::Primitive(PrimitiveEvent::UserSignal {
+                name: name.to_string(),
+            }),
+        ))
+    }
+
+    /// An absolute temporal event.
+    pub fn define_absolute_event(&self, name: &str, at: TimePoint) -> Result<EventTypeId> {
+        let spec = PrimitiveEvent::TemporalAbsolute { at };
+        let ty = self
+            .router
+            .register(name, EventSpec::Primitive(spec.clone()));
+        self.temporal.track(ty, &spec);
+        Ok(ty)
+    }
+
+    /// A periodic temporal event.
+    pub fn define_periodic_event(
+        &self,
+        name: &str,
+        first: TimePoint,
+        period: Duration,
+    ) -> Result<EventTypeId> {
+        let spec = PrimitiveEvent::TemporalPeriodic { first, period };
+        let ty = self
+            .router
+            .register(name, EventSpec::Primitive(spec.clone()));
+        self.temporal.track(ty, &spec);
+        Ok(ty)
+    }
+
+    /// A relative temporal event: `delay` after each `anchor` occurrence.
+    pub fn define_relative_event(
+        &self,
+        name: &str,
+        anchor: EventTypeId,
+        delay: Duration,
+    ) -> Result<EventTypeId> {
+        let spec = PrimitiveEvent::TemporalRelative { anchor, delay };
+        let ty = self
+            .router
+            .register(name, EventSpec::Primitive(spec.clone()));
+        self.temporal.track(ty, &spec);
+        Ok(ty)
+    }
+
+    /// A milestone event type: fires only when a watched transaction
+    /// misses its deadline (see [`ReachSystem::set_milestone`]).
+    /// Categorized as purely temporal, so contingency rules must use a
+    /// detached coupling (Table 1).
+    pub fn define_milestone_event(&self, name: &str) -> Result<EventTypeId> {
+        Ok(self.router.register(
+            name,
+            EventSpec::Primitive(PrimitiveEvent::TemporalAbsolute { at: TimePoint::MAX }),
+        ))
+    }
+
+    /// Watch `txn`: unless `reach_milestone` is called first, the
+    /// milestone event fires at `deadline`.
+    pub fn set_milestone(&self, txn: TxnId, event: EventTypeId, deadline: TimePoint) {
+        self.temporal.set_milestone(txn, event, deadline);
+    }
+
+    /// Report milestone progress.
+    pub fn reach_milestone(&self, txn: TxnId, event: EventTypeId) {
+        self.temporal.reach_milestone(txn, event);
+    }
+
+    /// A composite event. Validates the §3.3 life-span rules and rejects
+    /// temporal constituents in same-transaction composites (temporal
+    /// events have no transaction to share).
+    pub fn define_composite(
+        &self,
+        name: &str,
+        expr: EventExpr,
+        scope: CompositionScope,
+        lifespan: Lifespan,
+        consumption: ConsumptionPolicy,
+    ) -> Result<EventTypeId> {
+        self.define_composite_correlated(name, expr, scope, lifespan, consumption, Correlation::None)
+    }
+
+    /// A composite event whose constituents are correlated (e.g. all
+    /// concerning the same receiver object — SAMOS's "same object").
+    pub fn define_composite_correlated(
+        &self,
+        name: &str,
+        expr: EventExpr,
+        scope: CompositionScope,
+        lifespan: Lifespan,
+        consumption: ConsumptionPolicy,
+        correlation: Correlation,
+    ) -> Result<EventTypeId> {
+        validate_composite(&expr, scope, lifespan)?;
+        for dep in expr.referenced_types() {
+            let mgr = self
+                .router
+                .manager(dep)
+                .ok_or(ReachError::IllegalEventDefinition(format!(
+                    "composite {name:?} references unregistered event type {dep}"
+                )))?;
+            if scope == CompositionScope::SameTransaction
+                && mgr.spec.category() == EventCategory::PurelyTemporal
+            {
+                return Err(ReachError::IllegalEventDefinition(format!(
+                    "same-transaction composite {name:?} cannot contain temporal event {dep}"
+                )));
+            }
+        }
+        Ok(self.router.register(
+            name,
+            EventSpec::Composite(CompositeSpec {
+                expr,
+                scope,
+                lifespan,
+                consumption,
+                correlation,
+            }),
+        ))
+    }
+
+    /// Look up an event type by name.
+    pub fn event(&self, name: &str) -> Result<EventTypeId> {
+        self.router
+            .event_by_name(name)
+            .ok_or_else(|| ReachError::NameNotFound(name.to_string()))
+    }
+
+    /// The ECA-manager for an event type.
+    pub fn manager(&self, ty: EventTypeId) -> Result<Arc<EcaManager>> {
+        self.router
+            .manager(ty)
+            .ok_or_else(|| ReachError::NameNotFound(format!("event type {ty}")))
+    }
+
+    // ---- rules ----
+
+    /// Register a rule. Enforces Table 1 against the event's category.
+    pub fn define_rule(&self, builder: RuleBuilder) -> Result<RuleId> {
+        let id: RuleId = self.rule_ids.next();
+        let created = Timestamp::new(self.rule_seq.fetch_add(1, Ordering::Relaxed));
+        let rule = Arc::new(builder.build(id, created)?);
+        let mgr = self.manager(rule.event_type)?;
+        coupling::validate(mgr.spec.category(), rule.coupling)?;
+        if let Some(ac) = rule.action_coupling {
+            coupling::validate(mgr.spec.category(), ac)?;
+            // The action cannot run in an *earlier* phase than its
+            // condition: immediate < deferred < the detached family.
+            let rank = |m: CouplingMode| match m {
+                CouplingMode::Immediate => 0,
+                CouplingMode::Deferred => 1,
+                _ => 2,
+            };
+            if rank(ac) < rank(rule.coupling) {
+                return Err(ReachError::UnsupportedCoupling {
+                    event: format!("C-A pair ({} cond, {} action)", rule.coupling, ac),
+                    mode: ac.to_string(),
+                });
+            }
+        }
+        mgr.add_rule(Arc::clone(&rule));
+        self.rules.write().insert(id, rule);
+        Ok(id)
+    }
+
+    /// Unregister a rule.
+    pub fn drop_rule(&self, id: RuleId) -> Result<()> {
+        let rule = self
+            .rules
+            .write()
+            .remove(&id)
+            .ok_or(ReachError::RuleNotFound(id))?;
+        if let Ok(mgr) = self.manager(rule.event_type) {
+            mgr.remove_rule(id);
+        }
+        Ok(())
+    }
+
+    /// Enable/disable a rule in place.
+    pub fn set_rule_enabled(&self, id: RuleId, on: bool) -> Result<()> {
+        self.rules
+            .read()
+            .get(&id)
+            .map(|r| r.set_enabled(on))
+            .ok_or(ReachError::RuleNotFound(id))
+    }
+
+    /// A registered rule object.
+    pub fn rule(&self, id: RuleId) -> Result<Arc<Rule>> {
+        self.rules
+            .read()
+            .get(&id)
+            .cloned()
+            .ok_or(ReachError::RuleNotFound(id))
+    }
+
+    /// Number of registered rules.
+    pub fn rule_count(&self) -> usize {
+        self.rules.read().len()
+    }
+
+    /// Describe every registered rule (the management view the paper's
+    /// planned rule-definition GUI would render).
+    pub fn list_rules(&self) -> Vec<RuleInfo> {
+        let mut out: Vec<RuleInfo> = self
+            .rules
+            .read()
+            .values()
+            .map(|r| RuleInfo {
+                id: r.id,
+                name: r.name.clone(),
+                priority: r.priority,
+                coupling: r.coupling,
+                action_coupling: r.action_coupling,
+                event_type: r.event_type,
+                event_name: self
+                    .router
+                    .manager(r.event_type)
+                    .map(|m| m.name.clone())
+                    .unwrap_or_default(),
+                enabled: r.is_enabled(),
+            })
+            .collect();
+        out.sort_by_key(|r| r.id);
+        out
+    }
+
+    // ---- raising & time ----
+
+    /// Raise an explicit user signal, optionally within a transaction.
+    pub fn raise_signal(&self, txn: Option<TxnId>, name: &str, args: Vec<Value>) -> Result<()> {
+        self.raise_signal_for(txn, name, None, args)
+    }
+
+    /// Raise a user signal that concerns a specific object — the
+    /// occurrence carries the receiver, so correlated composites
+    /// (`Correlation::SameReceiver`) can partition signal streams per
+    /// object.
+    pub fn raise_signal_for(
+        &self,
+        txn: Option<TxnId>,
+        name: &str,
+        receiver: Option<reach_common::ObjectId>,
+        args: Vec<Value>,
+    ) -> Result<()> {
+        let top = match txn {
+            Some(t) => Some(self.db.txn_manager().top_of(t)?),
+            None => None,
+        };
+        self.router
+            .raise_signal(txn, top, self.db.clock().now(), name, receiver, args);
+        Ok(())
+    }
+
+    /// Advance the virtual clock, firing due temporal events, sweeping
+    /// validity intervals and milestone deadlines. Returns the number of
+    /// temporal occurrences raised.
+    pub fn advance_time(&self, d: Duration) -> usize {
+        let now = self.db.clock().advance(d);
+        let fired = self.temporal.tick(now);
+        self.router.expire(now);
+        fired
+    }
+
+    /// Start a background ticker (real-time mode): polls the clock every
+    /// `interval`. Call [`ReachSystem::stop_ticker`] to end it.
+    pub fn start_ticker(self: &Arc<Self>, interval: Duration) {
+        self.ticker_stop.store(false, Ordering::Release);
+        let system = Arc::clone(self);
+        let stop = Arc::clone(&self.ticker_stop);
+        std::thread::Builder::new()
+            .name("reach-ticker".into())
+            .spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    std::thread::sleep(interval);
+                    let now = system.db.clock().now();
+                    system.temporal.tick(now);
+                    system.router.expire(now);
+                }
+            })
+            .expect("spawn ticker");
+    }
+
+    pub fn stop_ticker(&self) {
+        self.ticker_stop.store(true, Ordering::Release);
+    }
+
+    /// Wait until composition queues are drained and all detached rule
+    /// transactions have finished.
+    pub fn wait_quiescent(&self) {
+        self.router.flush();
+        self.engine.wait_idle();
+        // Detached rules may themselves have raised events that fan out
+        // again; one more round settles short cascades.
+        self.router.flush();
+        self.engine.wait_idle();
+    }
+
+    /// Drain every local history of `top`'s occurrences into the global
+    /// history — the §6.3 post-EOT collection.
+    fn collect_histories(&self, top: TxnId) {
+        let mut drained = Vec::new();
+        for mgr in self.router.managers() {
+            drained.extend(mgr.history.drain_for_txn(top));
+        }
+        if !drained.is_empty() {
+            self.global_history.absorb(drained);
+        }
+    }
+}
+
+impl std::fmt::Debug for ReachSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReachSystem")
+            .field("rules", &self.rule_count())
+            .field("managers", &self.router.managers().len())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Detector bridges
+// ---------------------------------------------------------------------
+
+struct MethodBridge(Arc<ReachSystem>);
+
+impl MethodBridge {
+    fn raise(&self, call: &MethodCall, phase: MethodPhase) {
+        let sys = &self.0;
+        let (txn, top) = if call.txn.is_null() {
+            return; // events outside transactions are not observable
+        } else {
+            match sys.db.txn_manager().top_of(call.txn) {
+                Ok(top) => (call.txn, top),
+                Err(_) => return,
+            }
+        };
+        sys.router.raise_method(
+            txn,
+            top,
+            sys.db.clock().now(),
+            call.receiver,
+            call.class,
+            call.method,
+            phase,
+            &call.args,
+        );
+    }
+}
+
+impl MethodSentry for MethodBridge {
+    fn before(&self, call: &MethodCall) -> Result<()> {
+        self.raise(call, MethodPhase::Before);
+        // An immediate rule may have aborted the triggering transaction
+        // (consistency veto): refuse to run the method body then.
+        if !call.txn.is_null() && !self.0.db.txn_manager().is_active(call.txn) {
+            return Err(ReachError::TxnAborted(call.txn));
+        }
+        Ok(())
+    }
+
+    fn after(&self, call: &MethodCall, _result: &Result<Value>) {
+        self.raise(call, MethodPhase::After);
+    }
+}
+
+struct StateBridge(Arc<ReachSystem>);
+
+impl StateSentry for StateBridge {
+    fn on_change(&self, change: &StateChange) {
+        let sys = &self.0;
+        if change.txn.is_null() {
+            return;
+        }
+        let Ok(top) = sys.db.txn_manager().top_of(change.txn) else {
+            return;
+        };
+        sys.router.raise_state_change(
+            change.txn,
+            top,
+            sys.db.clock().now(),
+            change.oid,
+            change.class,
+            &change.attribute,
+            change.old.clone(),
+            change.new.clone(),
+        );
+    }
+}
+
+struct LifecycleBridge(Arc<ReachSystem>);
+
+impl reach_object::LifecycleSentry for LifecycleBridge {
+    fn on_create(&self, txn: TxnId, oid: reach_common::ObjectId, state: &reach_object::ObjectState) {
+        self.raise(txn, oid, state.class, false);
+    }
+
+    fn on_delete(&self, txn: TxnId, oid: reach_common::ObjectId, state: &reach_object::ObjectState) {
+        self.raise(txn, oid, state.class, true);
+    }
+}
+
+impl LifecycleBridge {
+    fn raise(&self, txn: TxnId, oid: reach_common::ObjectId, class: ClassId, deletion: bool) {
+        let sys = &self.0;
+        if txn.is_null() {
+            return;
+        }
+        let Ok(top) = sys.db.txn_manager().top_of(txn) else {
+            return;
+        };
+        sys.router
+            .raise_lifecycle(txn, top, sys.db.clock().now(), oid, class, deletion);
+    }
+}
+
+struct FlowBridge(Arc<ReachSystem>);
+
+impl TxnListener for FlowBridge {
+    fn on_txn_event(&self, event: &TxnEvent) {
+        let sys = &self.0;
+        // Rule-spawned transactions do not raise flow-control events
+        // (termination guard), but their composition state and histories
+        // are still cleaned up below.
+        let suppress_flow = sys.engine.is_rule_txn(event.top_level);
+        let point = match event.kind {
+            TxnEventKind::Begin => FlowPoint::Begin,
+            TxnEventKind::PreCommit => FlowPoint::PreCommit,
+            TxnEventKind::Committed => FlowPoint::Commit,
+            TxnEventKind::Aborted => FlowPoint::Abort,
+        };
+        let raise = |txn, top, at, point| {
+            if !suppress_flow {
+                sys.router.raise_flow(txn, top, at, point);
+            }
+        };
+        match event.kind {
+            TxnEventKind::Begin => {
+                raise(event.txn, event.top_level, event.at, point);
+            }
+            TxnEventKind::PreCommit => {
+                // Composition barrier (§6.4): all in-flight primitives of
+                // this transaction must be composed before deferred rules
+                // are chosen, and same-transaction windows close here so
+                // negation/closure composites can still fire deferred
+                // rules inside the committing transaction.
+                sys.router.flush();
+                sys.router.close_txn(event.top_level, true);
+                raise(event.txn, event.top_level, event.at, point);
+            }
+            TxnEventKind::Committed => {
+                raise(event.txn, event.top_level, event.at, point);
+                if event.parent.is_none() {
+                    sys.router.close_txn(event.top_level, false);
+                    sys.engine.on_txn_finished(event.top_level);
+                    sys.temporal.txn_finished(event.top_level);
+                    sys.collect_histories(event.top_level);
+                }
+            }
+            TxnEventKind::Aborted => {
+                raise(event.txn, event.top_level, event.at, point);
+                if event.parent.is_none() {
+                    // Abort revokes the transaction's events: windows are
+                    // discarded without firing.
+                    sys.router.close_txn(event.top_level, false);
+                    sys.engine.on_txn_finished(event.top_level);
+                    sys.temporal.txn_finished(event.top_level);
+                    sys.collect_histories(event.top_level);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,326 @@
+//! ECA rules.
+//!
+//! §6.1: a rule "is mapped onto one rule object and two C functions for
+//! condition evaluation and action execution ... archived in a shared
+//! library". Our equivalent of those shared-library functions are
+//! closures over [`RuleCtx`]; the rule-language compiler
+//! (`reach-rulelang`) produces exactly such closures from `cond`/`action`
+//! source text, and hand-written rules supply them directly.
+
+use crate::coupling::CouplingMode;
+use crate::event::EventOccurrence;
+use open_oodb::Database;
+use reach_common::{EventTypeId, Priority, Result, RuleId, Timestamp, TxnId};
+use reach_object::Value;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Everything a condition or action can see.
+pub struct RuleCtx<'a> {
+    /// The database (full OODB capability inside rules).
+    pub db: &'a Arc<Database>,
+    /// The transaction the condition/action executes in (a
+    /// subtransaction for immediate/deferred, a fresh top-level for the
+    /// detached modes).
+    pub txn: TxnId,
+    /// The triggering event occurrence.
+    pub event: &'a EventOccurrence,
+}
+
+impl RuleCtx<'_> {
+    /// The receiver of the triggering (first primitive) event.
+    pub fn receiver(&self) -> Option<reach_common::ObjectId> {
+        self.event.first_primitive().data.receiver
+    }
+
+    /// Positional argument of the triggering event, `Null` when absent.
+    pub fn arg(&self, idx: usize) -> Value {
+        self.event
+            .first_primitive()
+            .data
+            .args
+            .get(idx)
+            .cloned()
+            .unwrap_or(Value::Null)
+    }
+
+    /// New value of a state-change event.
+    pub fn new_value(&self) -> Value {
+        self.event
+            .first_primitive()
+            .data
+            .new
+            .clone()
+            .unwrap_or(Value::Null)
+    }
+
+    /// Old value of a state-change event.
+    pub fn old_value(&self) -> Value {
+        self.event
+            .first_primitive()
+            .data
+            .old
+            .clone()
+            .unwrap_or(Value::Null)
+    }
+}
+
+/// Compiled condition: `true` means the action fires.
+pub type Condition = Arc<dyn Fn(&RuleCtx<'_>) -> Result<bool> + Send + Sync>;
+/// Compiled action.
+pub type Action = Arc<dyn Fn(&RuleCtx<'_>) -> Result<()> + Send + Sync>;
+
+/// An ECA rule object.
+pub struct Rule {
+    pub id: RuleId,
+    pub name: String,
+    pub priority: Priority,
+    /// E-C coupling: where the condition runs relative to the
+    /// triggering transaction (§3.2). Validated against Table 1 at
+    /// registration.
+    pub coupling: CouplingMode,
+    /// C-A coupling: where the action runs relative to the condition
+    /// (HiPAC's second coupling, which REACH inherits — the rule
+    /// language's separate `cond <mode>` / `action <mode>` keywords).
+    /// `None` means the action runs with the condition. When set, it
+    /// must be *later* than the E-C coupling (an action cannot run
+    /// before its condition) and is itself validated against Table 1.
+    pub action_coupling: Option<CouplingMode>,
+    /// The event type that fires this rule.
+    pub event_type: EventTypeId,
+    pub condition: Condition,
+    pub action: Action,
+    /// Registration timestamp — §6.4's oldest/newest tie-break key.
+    pub created: Timestamp,
+    enabled: AtomicBool,
+}
+
+impl Rule {
+    /// Whether the rule currently fires.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Acquire)
+    }
+
+    /// Enable/disable without unregistering.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Release);
+    }
+
+    /// Evaluate the condition, then the action if it held. Returns
+    /// whether the action ran.
+    pub fn execute(&self, ctx: &RuleCtx<'_>) -> Result<bool> {
+        if (self.condition)(ctx)? {
+            (self.action)(ctx)?;
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    /// Evaluate only the condition (split C-A coupling).
+    pub fn eval_condition(&self, ctx: &RuleCtx<'_>) -> Result<bool> {
+        (self.condition)(ctx)
+    }
+
+    /// Run only the action (split C-A coupling).
+    pub fn run_action(&self, ctx: &RuleCtx<'_>) -> Result<()> {
+        (self.action)(ctx)
+    }
+}
+
+impl std::fmt::Debug for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rule")
+            .field("id", &self.id)
+            .field("name", &self.name)
+            .field("priority", &self.priority)
+            .field("coupling", &self.coupling)
+            .field("event_type", &self.event_type)
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// Builder for rules (the programmatic face of the rule language).
+pub struct RuleBuilder {
+    name: String,
+    priority: Priority,
+    coupling: CouplingMode,
+    action_coupling: Option<CouplingMode>,
+    event_type: Option<EventTypeId>,
+    condition: Option<Condition>,
+    action: Option<Action>,
+}
+
+impl RuleBuilder {
+    pub fn new(name: &str) -> Self {
+        RuleBuilder {
+            name: name.to_string(),
+            priority: Priority::DEFAULT,
+            coupling: CouplingMode::Immediate,
+            action_coupling: None,
+            event_type: None,
+            condition: None,
+            action: None,
+        }
+    }
+
+    /// `prio N;`
+    pub fn priority(mut self, p: i32) -> Self {
+        self.priority = Priority::new(p);
+        self
+    }
+
+    /// The E-C coupling mode (Table 1 validation happens at registration).
+    pub fn coupling(mut self, c: CouplingMode) -> Self {
+        self.coupling = c;
+        self
+    }
+
+    /// A C-A coupling differing from the E-C coupling: the condition
+    /// runs per `coupling`, and if it holds, the action is scheduled
+    /// under this (later) mode.
+    pub fn action_coupling(mut self, c: CouplingMode) -> Self {
+        self.action_coupling = Some(c);
+        self
+    }
+
+    /// `event ...;` — the registered event type that triggers the rule.
+    pub fn on(mut self, event_type: EventTypeId) -> Self {
+        self.event_type = Some(event_type);
+        self
+    }
+
+    /// `cond ...;`
+    pub fn when<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&RuleCtx<'_>) -> Result<bool> + Send + Sync + 'static,
+    {
+        self.condition = Some(Arc::new(f));
+        self
+    }
+
+    /// `action ...;`
+    pub fn then<F>(mut self, f: F) -> Self
+    where
+        F: Fn(&RuleCtx<'_>) -> Result<()> + Send + Sync + 'static,
+    {
+        self.action = Some(Arc::new(f));
+        self
+    }
+
+    /// Finish the description. `id`/`created` are assigned by the
+    /// system at registration ([`crate::reach::ReachSystem::define_rule`]).
+    pub fn build(self, id: RuleId, created: Timestamp) -> Result<Rule> {
+        let event_type = self.event_type.ok_or_else(|| {
+            reach_common::ReachError::IllegalEventDefinition(format!(
+                "rule {:?} has no event clause",
+                self.name
+            ))
+        })?;
+        Ok(Rule {
+            id,
+            name: self.name,
+            priority: self.priority,
+            coupling: self.coupling,
+            action_coupling: self.action_coupling.filter(|ac| *ac != self.coupling),
+            event_type,
+            condition: self
+                .condition
+                .unwrap_or_else(|| Arc::new(|_| Ok(true))),
+            action: self.action.unwrap_or_else(|| Arc::new(|_| Ok(()))),
+            created,
+            enabled: AtomicBool::new(true),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventData;
+    use reach_common::TimePoint;
+
+    fn occurrence() -> EventOccurrence {
+        EventOccurrence {
+            event_type: EventTypeId::new(1),
+            seq: Timestamp::new(1),
+            at: TimePoint::ZERO,
+            txn: Some(TxnId::new(1)),
+            top_txn: Some(TxnId::new(1)),
+            data: EventData {
+                receiver: Some(reach_common::ObjectId::new(9)),
+                args: vec![Value::Int(42)],
+                ..Default::default()
+            },
+            constituents: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn builder_produces_enabled_rule_with_defaults() {
+        let rule = RuleBuilder::new("r")
+            .on(EventTypeId::new(1))
+            .build(RuleId::new(1), Timestamp::new(1))
+            .unwrap();
+        assert!(rule.is_enabled());
+        assert_eq!(rule.priority, Priority::DEFAULT);
+        assert_eq!(rule.coupling, CouplingMode::Immediate);
+    }
+
+    #[test]
+    fn builder_without_event_fails() {
+        assert!(RuleBuilder::new("r")
+            .build(RuleId::new(1), Timestamp::new(1))
+            .is_err());
+    }
+
+    #[test]
+    fn execute_respects_condition() {
+        let db = Database::in_memory().unwrap();
+        let occ = occurrence();
+        let hits = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let h = Arc::clone(&hits);
+        let rule = RuleBuilder::new("r")
+            .on(EventTypeId::new(1))
+            .when(|ctx| Ok(ctx.arg(0).as_int()? > 40))
+            .then(move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            })
+            .build(RuleId::new(1), Timestamp::new(1))
+            .unwrap();
+        let ctx = RuleCtx {
+            db: &db,
+            txn: TxnId::new(1),
+            event: &occ,
+        };
+        assert!(rule.execute(&ctx).unwrap());
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        // Condition false → action does not run.
+        let mut cold = occurrence();
+        cold.data.args = vec![Value::Int(1)];
+        let ctx = RuleCtx {
+            db: &db,
+            txn: TxnId::new(1),
+            event: &cold,
+        };
+        assert!(!rule.execute(&ctx).unwrap());
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn ctx_accessors() {
+        let db = Database::in_memory().unwrap();
+        let occ = occurrence();
+        let ctx = RuleCtx {
+            db: &db,
+            txn: TxnId::new(1),
+            event: &occ,
+        };
+        assert_eq!(ctx.receiver(), Some(reach_common::ObjectId::new(9)));
+        assert_eq!(ctx.arg(0), Value::Int(42));
+        assert_eq!(ctx.arg(5), Value::Null);
+        assert_eq!(ctx.new_value(), Value::Null);
+    }
+}

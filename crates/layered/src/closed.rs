@@ -1,0 +1,199 @@
+//! The closed commercial OODBMS facade.
+//!
+//! Wraps a full [`Database`] but narrows it to the surface a licensed
+//! (source-less) commercial system exposed circa 1994: schema
+//! definition, object CRUD, method invocation, *flat* transactions, and
+//! named roots. Nothing else — in particular none of the sentry hooks,
+//! no nested transactions, no transaction listeners, no dependency
+//! graph. The type system enforces the closedness: this module never
+//! returns the inner `Database`.
+
+use open_oodb::Database;
+use reach_common::{ClassId, ObjectId, ReachError, Result, TxnId};
+use reach_object::{ClassBuilder, MethodBody, Value};
+use std::sync::Arc;
+
+/// A closed OODBMS: full database inside, narrow API outside.
+pub struct ClosedOodb {
+    db: Arc<Database>,
+}
+
+impl ClosedOodb {
+    /// Take ownership of a database, sealing it.
+    pub fn new(db: Arc<Database>) -> Self {
+        ClosedOodb { db }
+    }
+
+    /// An in-memory closed system.
+    pub fn in_memory() -> Result<Self> {
+        Ok(Self::new(Database::in_memory()?))
+    }
+
+    // -- schema (applications could define classes) --
+
+    pub fn define_class(&self, name: &str) -> ClassBuilder<'_> {
+        self.db.define_class(name)
+    }
+
+    pub fn class_by_name(&self, name: &str) -> Result<ClassId> {
+        self.db.schema().class_by_name(name)
+    }
+
+    /// Register a method body (applications shipped code).
+    pub fn register_method(&self, id: reach_common::MethodId, body: MethodBody) {
+        self.db.methods().register(id, body);
+    }
+
+    /// Resolve a method name (needed to build wrapper subclasses — the
+    /// commercial systems did expose class metadata).
+    pub fn resolve_method(&self, class: ClassId, name: &str) -> Result<reach_common::MethodId> {
+        self.db.schema().resolve_method(class, name)
+    }
+
+    /// Method names of a class.
+    pub fn method_names(&self, class: ClassId) -> Result<Vec<String>> {
+        self.db.schema().method_names(class)
+    }
+
+    /// Raw method body access — this stands for "the application's own
+    /// shared library", which the layer could of course call; the
+    /// *database's* internals remain hidden.
+    pub fn method_body(&self, id: reach_common::MethodId) -> Result<MethodBody> {
+        self.db.methods().body(id)
+    }
+
+    // -- flat transactions only --
+
+    pub fn begin(&self) -> Result<TxnId> {
+        self.db.begin()
+    }
+
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        self.db.commit(txn)
+    }
+
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        self.db.abort(txn)
+    }
+
+    /// §4: "one of the commercial systems we attempted to use only
+    /// provides flat transactions" — no subtransactions here.
+    pub fn begin_nested(&self, _parent: TxnId) -> Result<TxnId> {
+        Err(ReachError::NotSupported(
+            "closed system offers flat transactions only".into(),
+        ))
+    }
+
+    // -- objects --
+
+    pub fn create(&self, txn: TxnId, class: ClassId) -> Result<ObjectId> {
+        self.db.create(txn, class)
+    }
+
+    pub fn create_with(
+        &self,
+        txn: TxnId,
+        class: ClassId,
+        overrides: &[(&str, Value)],
+    ) -> Result<ObjectId> {
+        self.db.create_with(txn, class, overrides)
+    }
+
+    pub fn invoke(&self, txn: TxnId, oid: ObjectId, method: &str, args: &[Value]) -> Result<Value> {
+        self.db.invoke(txn, oid, method, args)
+    }
+
+    pub fn get_attr(&self, txn: TxnId, oid: ObjectId, attr: &str) -> Result<Value> {
+        self.db.get_attr(txn, oid, attr)
+    }
+
+    pub fn set_attr(&self, txn: TxnId, oid: ObjectId, attr: &str, value: Value) -> Result<()> {
+        self.db.set_attr(txn, oid, attr, value)
+    }
+
+    pub fn class_of(&self, oid: ObjectId) -> Result<ClassId> {
+        self.db.space().class_of(oid)
+    }
+
+    /// Attribute names (metadata was available).
+    pub fn attribute_names(&self, class: ClassId) -> Result<Vec<String>> {
+        Ok(self
+            .db
+            .schema()
+            .attributes(class)?
+            .into_iter()
+            .map(|a| a.name)
+            .collect())
+    }
+
+    // -- persistence / roots --
+
+    pub fn persist_named(&self, txn: TxnId, name: &str, oid: ObjectId) -> Result<()> {
+        self.db.persist_named(txn, name, oid)
+    }
+
+    pub fn fetch(&self, name: &str) -> Result<ObjectId> {
+        self.db.fetch(name)
+    }
+
+    // -- everything the paper needed and could not get --
+
+    /// No sentry registration: "implementing the detection of method
+    /// events in a closed OODBMS is difficult at best".
+    pub fn add_method_sentry(&self) -> Result<()> {
+        Err(ReachError::NotSupported(
+            "closed system: no dispatcher access".into(),
+        ))
+    }
+
+    /// No state-change hooks: "changes of state could not be detected as
+    /// events".
+    pub fn add_state_sentry(&self) -> Result<()> {
+        Err(ReachError::NotSupported(
+            "closed system: value changes happen below the API".into(),
+        ))
+    }
+
+    /// No transaction-manager information: "neither of the commercial
+    /// OODBMSs ... provided us with the necessary access to
+    /// transaction-manager information".
+    pub fn add_txn_listener(&self) -> Result<()> {
+        Err(ReachError::NotSupported(
+            "closed system: commit/abort signals are internal".into(),
+        ))
+    }
+
+    /// No commit/abort redefinition, no lock transfer.
+    pub fn transfer_locks(&self, _from: TxnId, _to: TxnId) -> Result<()> {
+        Err(ReachError::NotSupported(
+            "closed system: the lock manager is internal".into(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_object::ValueType;
+
+    #[test]
+    fn closed_surface_works_but_hooks_do_not() {
+        let closed = ClosedOodb::in_memory().unwrap();
+        let (b, m) = closed
+            .define_class("Doc")
+            .attr("n", ValueType::Int, Value::Int(0))
+            .virtual_method("touch");
+        let class = b.define().unwrap();
+        closed.register_method(m, Arc::new(|_| Ok(Value::Null)));
+        let t = closed.begin().unwrap();
+        let oid = closed.create(t, class).unwrap();
+        closed.invoke(t, oid, "touch", &[]).unwrap();
+        closed.commit(t).unwrap();
+        // The §4 walls:
+        assert!(closed.begin_nested(t).is_err());
+        assert!(closed.add_method_sentry().is_err());
+        assert!(closed.add_state_sentry().is_err());
+        assert!(closed.add_txn_listener().is_err());
+        assert!(closed.transfer_locks(t, t).is_err());
+    }
+}

@@ -1,0 +1,431 @@
+//! The layered active layer itself.
+//!
+//! Everything here is written under the constraints the closed facade
+//! imposes. Where the integrated REACH uses a dispatcher sentry, this
+//! layer builds *wrapper subclasses*; where REACH traps state changes,
+//! this layer *polls snapshots*; where REACH runs rules as nested
+//! subtransactions, this layer runs them inline in the triggering flat
+//! transaction.
+
+use crate::closed::ClosedOodb;
+use parking_lot::{Mutex, RwLock};
+use reach_common::{ClassId, IdGen, ObjectId, ReachError, Result, RuleId, TxnId};
+use reach_object::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A rule in the layered system. Conditions and actions receive the
+/// closed database, the (flat) transaction, the receiver and the
+/// arguments — there is no event object, because there is no event
+/// infrastructure underneath.
+pub struct LayeredRule {
+    pub id: RuleId,
+    pub name: String,
+    pub priority: i32,
+    pub condition: LayeredCondition,
+    pub action: LayeredAction,
+}
+
+/// Condition closure of a layered rule.
+pub type LayeredCondition =
+    Arc<dyn Fn(&ClosedOodb, TxnId, ObjectId, &[Value]) -> Result<bool> + Send + Sync>;
+/// Action closure of a layered rule.
+pub type LayeredAction =
+    Arc<dyn Fn(&ClosedOodb, TxnId, ObjectId, &[Value]) -> Result<()> + Send + Sync>;
+
+/// Rules registered per (class, method name).
+type RuleTable = HashMap<(ClassId, String), Vec<Arc<LayeredRule>>>;
+/// A queued deferred firing: rule + receiver + captured arguments.
+type DeferredEntry = (Arc<LayeredRule>, ObjectId, Vec<Value>);
+/// Attribute-name -> value snapshot of one watched object.
+type Snapshot = HashMap<String, Value>;
+
+/// A detected change from the state poller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolledChange {
+    pub oid: ObjectId,
+    pub attribute: String,
+    pub old: Value,
+    pub new: Value,
+}
+
+/// The layered active layer.
+pub struct LayeredLayer {
+    closed: Arc<ClosedOodb>,
+    /// (active class, method name) -> rules.
+    method_rules: RwLock<RuleTable>,
+    /// Original class -> wrapper subclass.
+    wrapped: RwLock<HashMap<ClassId, ClassId>>,
+    /// Deferred-by-convention queue, keyed by flat transaction.
+    deferred: Mutex<HashMap<TxnId, Vec<DeferredEntry>>>,
+    /// Snapshot store for the state poller.
+    watched: Mutex<HashMap<ObjectId, Snapshot>>,
+    rule_ids: IdGen,
+}
+
+impl LayeredLayer {
+    pub fn new(closed: Arc<ClosedOodb>) -> Arc<Self> {
+        Arc::new(LayeredLayer {
+            closed,
+            method_rules: RwLock::new(HashMap::new()),
+            wrapped: RwLock::new(HashMap::new()),
+            deferred: Mutex::new(HashMap::new()),
+            watched: Mutex::new(HashMap::new()),
+            rule_ids: IdGen::new(),
+        })
+    }
+
+    pub fn closed(&self) -> &Arc<ClosedOodb> {
+        &self.closed
+    }
+
+    /// Build the *parallel class hierarchy*: an `Active<Name>` subclass
+    /// whose methods announce the invocation to the layer and then run
+    /// the original bodies. Applications must instantiate the wrapper
+    /// class — instances of the original class stay invisible (the very
+    /// problem §4 describes).
+    pub fn wrap_class(self: &Arc<Self>, class: ClassId, class_name: &str) -> Result<ClassId> {
+        if let Some(active) = self.wrapped.read().get(&class) {
+            return Ok(*active);
+        }
+        let method_names = self.closed.method_names(class)?;
+        let mut builder = self
+            .closed
+            .define_class(&format!("Active{class_name}"))
+            .base(class);
+        let mut overrides = Vec::new();
+        for name in &method_names {
+            let (b, mid) = builder.virtual_method(name);
+            builder = b;
+            overrides.push((name.clone(), mid));
+        }
+        let active = builder.define()?;
+        for (name, mid) in overrides {
+            let base_mid = self.closed.resolve_method(class, &name)?;
+            let base_body = self.closed.method_body(base_mid)?;
+            let layer = Arc::downgrade(self);
+            let method_name = name.clone();
+            self.closed.register_method(
+                mid,
+                Arc::new(move |ctx| {
+                    // 1. The wrapper announces the event to the layer,
+                    //    which fires its immediate rules inline — in the
+                    //    same flat transaction, without isolation.
+                    if let Some(layer) = layer.upgrade() {
+                        layer.on_method(
+                            ctx.txn,
+                            ctx.self_oid,
+                            &method_name,
+                            ctx.args,
+                        )?;
+                    }
+                    // 2. Delegate to the original body.
+                    base_body(ctx)
+                }),
+            );
+        }
+        self.wrapped.write().insert(class, active);
+        Ok(active)
+    }
+
+    /// Register a rule on `(class, method)` invocations. Only wrapper
+    /// instances trigger it.
+    pub fn define_method_rule(
+        &self,
+        class: ClassId,
+        method: &str,
+        rule: LayeredRule,
+    ) -> RuleId {
+        let id = rule.id;
+        self.method_rules
+            .write()
+            .entry((class, method.to_string()))
+            .or_default()
+            .push(Arc::new(rule));
+        id
+    }
+
+    /// Convenience builder for rules.
+    pub fn rule<C, A>(&self, name: &str, priority: i32, condition: C, action: A) -> LayeredRule
+    where
+        C: Fn(&ClosedOodb, TxnId, ObjectId, &[Value]) -> Result<bool> + Send + Sync + 'static,
+        A: Fn(&ClosedOodb, TxnId, ObjectId, &[Value]) -> Result<()> + Send + Sync + 'static,
+    {
+        LayeredRule {
+            id: self.rule_ids.next(),
+            name: name.to_string(),
+            priority,
+            condition: Arc::new(condition),
+            action: Arc::new(action),
+        }
+    }
+
+    /// Event announcement from a wrapper method: run immediate rules
+    /// serially, inline. A failing rule poisons the whole flat
+    /// transaction (there is no subtransaction to contain it) — the
+    /// error propagates out of the application's method call.
+    fn on_method(&self, txn: TxnId, oid: ObjectId, method: &str, args: &[Value]) -> Result<()> {
+        let class = self.closed.class_of(oid)?;
+        let rules: Vec<Arc<LayeredRule>> = {
+            let map = self.method_rules.read();
+            // The wrapper class *is* the receiver class; rules are
+            // registered against it (or the base — check both, the
+            // layer must maintain this mapping by hand).
+            let mut found = map.get(&(class, method.to_string())).cloned().unwrap_or_default();
+            let wrapped = self.wrapped.read();
+            for (orig, active) in wrapped.iter() {
+                if *active == class {
+                    if let Some(more) = map.get(&(*orig, method.to_string())) {
+                        found.extend(more.iter().cloned());
+                    }
+                }
+            }
+            found
+        };
+        let mut sorted = rules;
+        sorted.sort_by_key(|r| std::cmp::Reverse(r.priority));
+        for rule in sorted {
+            if (rule.condition)(&self.closed, txn, oid, args)? {
+                (rule.action)(&self.closed, txn, oid, args)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Queue a rule for "deferred" execution. There is no pre-commit
+    /// hook; the application must call [`LayeredLayer::before_commit`]
+    /// itself, every time, before every commit.
+    pub fn defer(
+        &self,
+        txn: TxnId,
+        rule: Arc<LayeredRule>,
+        oid: ObjectId,
+        args: Vec<Value>,
+    ) {
+        self.deferred
+            .lock()
+            .entry(txn)
+            .or_default()
+            .push((rule, oid, args));
+    }
+
+    /// The by-convention pre-commit call. Forgetting it silently drops
+    /// the deferred rules — exactly the fragility the paper criticizes.
+    pub fn before_commit(&self, txn: TxnId) -> Result<()> {
+        let batch = self.deferred.lock().remove(&txn).unwrap_or_default();
+        for (rule, oid, args) in batch {
+            if (rule.condition)(&self.closed, txn, oid, &args)? {
+                (rule.action)(&self.closed, txn, oid, &args)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of deferred entries that were silently lost (committed
+    /// without `before_commit`).
+    pub fn lost_deferred(&self) -> usize {
+        self.deferred.lock().values().map(|v| v.len()).sum()
+    }
+
+    // ---- state-change polling ----
+
+    /// Watch an object for state changes (snapshot now).
+    pub fn watch(&self, txn: TxnId, oid: ObjectId) -> Result<()> {
+        let snapshot = self.snapshot(txn, oid)?;
+        self.watched.lock().insert(oid, snapshot);
+        Ok(())
+    }
+
+    fn snapshot(&self, txn: TxnId, oid: ObjectId) -> Result<Snapshot> {
+        let class = self.closed.class_of(oid)?;
+        let mut out = HashMap::new();
+        for attr in self.closed.attribute_names(class)? {
+            out.insert(attr.clone(), self.closed.get_attr(txn, oid, &attr)?);
+        }
+        Ok(out)
+    }
+
+    /// Poll all watched objects, returning detected changes and updating
+    /// snapshots. Cost is O(objects × attributes) *per poll*, and
+    /// changes are only seen as late as the polling interval — both
+    /// measured by experiment E7.
+    pub fn poll(&self, txn: TxnId) -> Result<Vec<PolledChange>> {
+        let oids: Vec<ObjectId> = self.watched.lock().keys().copied().collect();
+        let mut changes = Vec::new();
+        for oid in oids {
+            let fresh = match self.snapshot(txn, oid) {
+                Ok(s) => s,
+                Err(ReachError::ObjectNotFound(_)) => {
+                    self.watched.lock().remove(&oid);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
+            let mut watched = self.watched.lock();
+            if let Some(old) = watched.get(&oid) {
+                for (attr, new_value) in &fresh {
+                    if let Some(old_value) = old.get(attr) {
+                        if old_value != new_value {
+                            changes.push(PolledChange {
+                                oid,
+                                attribute: attr.clone(),
+                                old: old_value.clone(),
+                                new: new_value.clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            watched.insert(oid, fresh);
+        }
+        Ok(changes)
+    }
+
+    /// Detached execution: a fresh flat transaction on a thread — the
+    /// one coupling a layer *can* provide. Causal dependencies are not
+    /// possible (no commit/abort signals), so this returns a join handle
+    /// and nothing else.
+    pub fn run_detached<F>(&self, f: F) -> std::thread::JoinHandle<Result<()>>
+    where
+        F: FnOnce(&ClosedOodb, TxnId) -> Result<()> + Send + 'static,
+    {
+        let closed = Arc::clone(&self.closed);
+        std::thread::spawn(move || {
+            let txn = closed.begin()?;
+            match f(&closed, txn) {
+                Ok(()) => closed.commit(txn),
+                Err(e) => {
+                    let _ = closed.abort(txn);
+                    Err(e)
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_object::ValueType;
+
+    fn setup() -> (Arc<LayeredLayer>, ClassId, ClassId) {
+        let closed = Arc::new(ClosedOodb::in_memory().unwrap());
+        let (b, m) = closed
+            .define_class("Sensor")
+            .attr("value", ValueType::Int, Value::Int(0))
+            .virtual_method("report");
+        let sensor = b.define().unwrap();
+        closed.register_method(
+            m,
+            Arc::new(|ctx| {
+                ctx.set("value", ctx.arg(0))?;
+                Ok(Value::Null)
+            }),
+        );
+        let layer = LayeredLayer::new(closed);
+        let active = layer.wrap_class(sensor, "Sensor").unwrap();
+        (layer, sensor, active)
+    }
+
+    #[test]
+    fn wrapper_instances_trigger_rules_but_originals_do_not() {
+        let (layer, sensor, active) = setup();
+        let count = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let c = Arc::clone(&count);
+        let rule = layer.rule(
+            "observe",
+            0,
+            |_, _, _, _| Ok(true),
+            move |_, _, _, _| {
+                c.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                Ok(())
+            },
+        );
+        layer.define_method_rule(sensor, "report", rule);
+        let closed = layer.closed();
+        let t = closed.begin().unwrap();
+        // The application dutifully instantiates the wrapper class...
+        let good = closed.create(t, active).unwrap();
+        closed.invoke(t, good, "report", &[Value::Int(1)]).unwrap();
+        assert_eq!(count.load(std::sync::atomic::Ordering::SeqCst), 1);
+        // ... but an ordinary instance slips through undetected — the
+        // §4 failure mode.
+        let plain = closed.create(t, sensor).unwrap();
+        closed.invoke(t, plain, "report", &[Value::Int(2)]).unwrap();
+        assert_eq!(count.load(std::sync::atomic::Ordering::SeqCst), 1);
+        closed.commit(t).unwrap();
+    }
+
+    #[test]
+    fn polling_detects_changes_late() {
+        let (layer, _sensor, active) = setup();
+        let closed = layer.closed();
+        let t = closed.begin().unwrap();
+        let oid = closed.create(t, active).unwrap();
+        layer.watch(t, oid).unwrap();
+        // A direct state write is invisible until the next poll.
+        closed.set_attr(t, oid, "value", Value::Int(42)).unwrap();
+        let changes = layer.poll(t).unwrap();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].new, Value::Int(42));
+        // Second poll: nothing new.
+        assert!(layer.poll(t).unwrap().is_empty());
+        closed.commit(t).unwrap();
+    }
+
+    #[test]
+    fn forgotten_before_commit_loses_deferred_rules() {
+        let (layer, sensor, active) = setup();
+        let rule = Arc::new(layer.rule(
+            "deferred",
+            0,
+            |_, _, _, _| Ok(true),
+            |_, _, _, _| Ok(()),
+        ));
+        let closed = layer.closed();
+        let t = closed.begin().unwrap();
+        let oid = closed.create(t, active).unwrap();
+        let _ = sensor;
+        layer.defer(t, rule, oid, vec![]);
+        // The application forgets the convention call and just commits.
+        closed.commit(t).unwrap();
+        assert_eq!(layer.lost_deferred(), 1, "silently dropped");
+    }
+
+    #[test]
+    fn failing_rule_poisons_the_whole_flat_transaction() {
+        let (layer, sensor, active) = setup();
+        let rule = layer.rule(
+            "veto",
+            0,
+            |_, _, _, args| Ok(args[0].as_int()? < 0),
+            |_, _, _, _| Err(ReachError::RuleEvaluation("bad".into())),
+        );
+        layer.define_method_rule(sensor, "report", rule);
+        let closed = layer.closed();
+        let t = closed.begin().unwrap();
+        let oid = closed.create(t, active).unwrap();
+        // The error surfaces through the *application's* method call —
+        // there is no subtransaction to absorb it.
+        assert!(closed.invoke(t, oid, "report", &[Value::Int(-1)]).is_err());
+        closed.abort(t).unwrap();
+    }
+
+    #[test]
+    fn detached_execution_works_without_dependencies() {
+        let (layer, _, active) = setup();
+        let closed = layer.closed();
+        let t = closed.begin().unwrap();
+        let oid = closed.create(t, active).unwrap();
+        closed.persist_named(t, "s", oid).unwrap();
+        closed.commit(t).unwrap();
+        let h = layer.run_detached(move |closed, txn| {
+            let oid = closed.fetch("s")?;
+            closed.set_attr(txn, oid, "value", Value::Int(9))
+        });
+        h.join().unwrap().unwrap();
+        let t = closed.begin().unwrap();
+        assert_eq!(closed.get_attr(t, oid, "value").unwrap(), Value::Int(9));
+        closed.commit(t).unwrap();
+    }
+}

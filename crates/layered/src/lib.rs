@@ -1,0 +1,131 @@
+//! `reach-layered` — the architecture the paper tried first and
+//! abandoned (§4): active capabilities layered *on top of* a closed
+//! commercial OODBMS.
+//!
+//! The crate has two halves:
+//!
+//! * [`closed`] — a facade that makes our own OODB *closed*: it exposes
+//!   only what O2/ObjectStore exposed to the REACH group. No dispatcher
+//!   hooks, no state-change sentries, no transaction-manager internals,
+//!   no nested transactions, no commit/abort redefinition. (The
+//!   capabilities are physically present underneath — the facade simply
+//!   does not hand them out, which is precisely the situation §4
+//!   describes: "we had licenses but no source code".)
+//! * [`layer`] — the active layer built against that facade, using the
+//!   only techniques available to a layered integrator:
+//!   - **method events** via a *parallel class hierarchy* of wrapper
+//!     subclasses ("requires redefinition of all the classes for which
+//!     method invocations generate events ... a parallel class hierarchy
+//!     of active classes that must be maintained by the application
+//!     programmer");
+//!   - **state-change events** via *polling snapshots* (value changes
+//!     "could not be detected as events" — a poller is the best a layer
+//!     can do, and experiment E7 measures what that costs);
+//!   - **rule execution** restricted to serial immediate execution in
+//!     the *same flat transaction* ("without a nested transaction model
+//!     only serial execution of triggered rules is possible") and
+//!     detached execution *without* causal dependencies (no access to
+//!     commit/abort signals);
+//!   - **deferred rules** only by application convention: the app must
+//!     remember to call [`layer::LayeredLayer::before_commit`] — there
+//!     is no hook to attach to.
+//!
+//! [`capabilities`] tabulates, feature by feature, what the layered
+//! architecture can and cannot provide — the qualitative half of E7.
+
+pub mod closed;
+pub mod layer;
+
+pub use closed::ClosedOodb;
+pub use layer::{LayeredLayer, LayeredRule};
+
+/// One row of the layered-vs-integrated capability matrix (E7).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capability {
+    pub feature: &'static str,
+    pub layered: bool,
+    pub integrated: bool,
+    pub note: &'static str,
+}
+
+/// The capability matrix of §4, as data.
+pub fn capabilities() -> Vec<Capability> {
+    vec![
+        Capability {
+            feature: "method events (transparent)",
+            layered: false,
+            integrated: true,
+            note: "layer needs a parallel hierarchy of wrapper classes the application must instantiate",
+        },
+        Capability {
+            feature: "method events (wrapper subclass)",
+            layered: true,
+            integrated: true,
+            note: "works, but misses calls on original classes and system-provided classes",
+        },
+        Capability {
+            feature: "state-change events",
+            layered: false,
+            integrated: true,
+            note: "value changes happen below the layer; polling approximates them with latency and O(n) cost",
+        },
+        Capability {
+            feature: "nested transactions / parallel rules",
+            layered: false,
+            integrated: true,
+            note: "closed systems offered flat transactions; rules share the trigger's transaction without isolation",
+        },
+        Capability {
+            feature: "deferred coupling (automatic)",
+            layered: false,
+            integrated: true,
+            note: "no pre-commit hook; the application must call before_commit() by convention",
+        },
+        Capability {
+            feature: "detached coupling",
+            layered: true,
+            integrated: true,
+            note: "a new top-level transaction can be spawned",
+        },
+        Capability {
+            feature: "causally dependent detached modes",
+            layered: false,
+            integrated: true,
+            note: "no access to transaction ids, commit/abort signals, or lock transfer",
+        },
+        Capability {
+            feature: "rules on object deletion",
+            layered: false,
+            integrated: true,
+            note: "persistence by reachability has no explicit delete to trap (O2)",
+        },
+        Capability {
+            feature: "event composition across transactions",
+            layered: true,
+            integrated: true,
+            note: "composition is layer-level bookkeeping, but loses events the layer never saw",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_section4() {
+        let caps = capabilities();
+        assert!(caps.len() >= 8);
+        // Everything the paper lists as blocked must be blocked.
+        for feature in [
+            "state-change events",
+            "nested transactions / parallel rules",
+            "causally dependent detached modes",
+            "rules on object deletion",
+        ] {
+            let row = caps.iter().find(|c| c.feature == feature).unwrap();
+            assert!(!row.layered, "{feature} must be unavailable layered");
+            assert!(row.integrated, "{feature} must be available integrated");
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Fluent class definition.
+//!
+//! ```
+//! use reach_object::{ClassBuilder, Schema, Value, ValueType};
+//!
+//! let schema = Schema::new();
+//! let river = ClassBuilder::new(&schema, "River")
+//!     .attr("waterLevel", ValueType::Int, Value::Int(50))
+//!     .attr("waterTemp", ValueType::Float, Value::Float(18.0))
+//!     .define()
+//!     .unwrap();
+//! assert_eq!(schema.class_by_name("River").unwrap(), river);
+//! ```
+
+use crate::schema::{AttrDef, ClassDef, MethodDecl, Schema};
+use crate::value::{Value, ValueType};
+use reach_common::{ClassId, MethodId, Result};
+
+/// Builder for one class definition.
+pub struct ClassBuilder<'a> {
+    schema: &'a Schema,
+    name: String,
+    bases: Vec<ClassId>,
+    attrs: Vec<AttrDef>,
+    methods: Vec<MethodDecl>,
+}
+
+impl<'a> ClassBuilder<'a> {
+    pub fn new(schema: &'a Schema, name: &str) -> Self {
+        ClassBuilder {
+            schema,
+            name: name.to_string(),
+            bases: Vec::new(),
+            attrs: Vec::new(),
+            methods: Vec::new(),
+        }
+    }
+
+    /// Add a base class (call repeatedly for multiple inheritance).
+    pub fn base(mut self, base: ClassId) -> Self {
+        self.bases.push(base);
+        self
+    }
+
+    /// Declare an attribute with its type and default value.
+    pub fn attr(mut self, name: &str, ty: ValueType, default: Value) -> Self {
+        self.attrs.push(AttrDef {
+            name: name.to_string(),
+            ty,
+            default,
+        });
+        self
+    }
+
+    /// Declare a virtual method; returns the builder and the id the body
+    /// must be registered under.
+    pub fn virtual_method(mut self, name: &str) -> (Self, MethodId) {
+        let id = self.schema.next_method_id();
+        self.methods.push(MethodDecl {
+            id,
+            name: name.to_string(),
+            is_virtual: true,
+        });
+        (self, id)
+    }
+
+    /// Declare a non-virtual method.
+    pub fn method(mut self, name: &str) -> (Self, MethodId) {
+        let id = self.schema.next_method_id();
+        self.methods.push(MethodDecl {
+            id,
+            name: name.to_string(),
+            is_virtual: false,
+        });
+        (self, id)
+    }
+
+    /// Register the class with the schema.
+    pub fn define(self) -> Result<ClassId> {
+        let id = self.schema.next_class_id();
+        self.schema.define(ClassDef {
+            id,
+            name: self.name,
+            bases: self.bases,
+            own_attrs: self.attrs,
+            own_methods: self.methods,
+        })?;
+        Ok(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_declares_methods_with_fresh_ids() {
+        let s = Schema::new();
+        let (b, m1) = ClassBuilder::new(&s, "C").virtual_method("go");
+        let (b, m2) = b.method("stop");
+        let c = b.define().unwrap();
+        assert_ne!(m1, m2);
+        assert_eq!(s.resolve_method(c, "go").unwrap(), m1);
+        assert_eq!(s.resolve_method(c, "stop").unwrap(), m2);
+        assert_eq!(s.method_names(c).unwrap(), vec!["go", "stop"]);
+    }
+}

@@ -1,0 +1,462 @@
+//! The object space: resident object state, creation/deletion, and the
+//! *state-change sentry* hook.
+//!
+//! §4 reports that on the closed commercial systems "changes of state
+//! could not be detected as events" because value access bypasses any
+//! layer the integrator controls. In the integrated architecture the
+//! object space *is* ours, so every `set_attr` runs the registered
+//! [`StateSentry`] chain — this is the low-level mechanism behind
+//! REACH's planned state-change event class (§3.1).
+//!
+//! The space also exposes the two hook points the Persistence PM plugs
+//! into: a *fault handler* (called when a non-resident object is
+//! dereferenced — the moral equivalent of Open OODB's virtual-memory
+//! sentry for residency) and persistence marking (§3.2's rule that only
+//! references to *persistent* objects may cross into detached rules).
+
+use crate::extent::ExtentRegistry;
+use crate::schema::Schema;
+use crate::value::Value;
+use parking_lot::RwLock;
+use reach_common::{ClassId, IdGen, ObjectId, ReachError, Result, TxnId};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// The resident state of one object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectState {
+    pub class: ClassId,
+    pub attrs: Vec<Value>,
+}
+
+impl ObjectState {
+    /// Wire encoding (class id + attribute values), used by persistence.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.class.raw().to_le_bytes());
+        out.extend_from_slice(&(self.attrs.len() as u32).to_le_bytes());
+        for v in &self.attrs {
+            v.encode_into(&mut out);
+        }
+        out
+    }
+
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        if buf.len() < 12 {
+            return Err(ReachError::Io("truncated object state".into()));
+        }
+        let class = ClassId::new(u64::from_le_bytes(buf[0..8].try_into().unwrap()));
+        let n = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+        let mut pos = 12;
+        let mut attrs = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            attrs.push(Value::decode_from(buf, &mut pos)?);
+        }
+        Ok(ObjectState { class, attrs })
+    }
+}
+
+/// What a state sentry observes on every attribute write.
+#[derive(Debug, Clone)]
+pub struct StateChange {
+    pub txn: TxnId,
+    pub oid: ObjectId,
+    pub class: ClassId,
+    pub attribute: String,
+    pub old: Value,
+    pub new: Value,
+}
+
+/// Observer of attribute writes (the state-change event detector).
+pub trait StateSentry: Send + Sync {
+    fn on_change(&self, change: &StateChange);
+}
+
+/// Observer of object lifecycle: constructor/destructor events. The
+/// paper treats these as method events ("invocation of the destructor
+/// methods can be detected by the event detector"); indexing and change
+/// tracking subscribe here too.
+pub trait LifecycleSentry: Send + Sync {
+    /// A new object became resident. `txn` is `TxnId::NULL` for
+    /// system-internal installs (fault-in, undo restores).
+    fn on_create(&self, txn: TxnId, oid: ObjectId, state: &ObjectState);
+    /// An object was deleted (not merely evicted).
+    fn on_delete(&self, txn: TxnId, oid: ObjectId, state: &ObjectState);
+}
+
+/// Handler invoked when a dereferenced object is not resident; returns
+/// its state if it exists in stable storage (the persistence fault).
+pub type FaultHandler = Arc<dyn Fn(ObjectId) -> Result<Option<ObjectState>> + Send + Sync>;
+
+/// The in-memory home of all resident objects.
+pub struct ObjectSpace {
+    schema: Arc<Schema>,
+    extents: Arc<ExtentRegistry>,
+    objects: RwLock<HashMap<ObjectId, ObjectState>>,
+    persistent: RwLock<HashSet<ObjectId>>,
+    state_sentries: RwLock<Vec<Arc<dyn StateSentry>>>,
+    lifecycle_sentries: RwLock<Vec<Arc<dyn LifecycleSentry>>>,
+    fault: RwLock<Option<FaultHandler>>,
+    ids: IdGen,
+}
+
+impl ObjectSpace {
+    pub fn new(schema: Arc<Schema>) -> Self {
+        ObjectSpace {
+            schema,
+            extents: Arc::new(ExtentRegistry::new()),
+            objects: RwLock::new(HashMap::new()),
+            persistent: RwLock::new(HashSet::new()),
+            state_sentries: RwLock::new(Vec::new()),
+            lifecycle_sentries: RwLock::new(Vec::new()),
+            fault: RwLock::new(None),
+            ids: IdGen::new(),
+        }
+    }
+
+    pub fn schema(&self) -> &Arc<Schema> {
+        &self.schema
+    }
+
+    pub fn extents(&self) -> &Arc<ExtentRegistry> {
+        &self.extents
+    }
+
+    /// Install the persistence fault handler (Persistence PM).
+    pub fn set_fault_handler(&self, h: FaultHandler) {
+        *self.fault.write() = Some(h);
+    }
+
+    /// Register a state-change sentry.
+    pub fn add_state_sentry(&self, s: Arc<dyn StateSentry>) {
+        self.state_sentries.write().push(s);
+    }
+
+    /// Register a lifecycle (constructor/destructor) sentry.
+    pub fn add_lifecycle_sentry(&self, s: Arc<dyn LifecycleSentry>) {
+        self.lifecycle_sentries.write().push(s);
+    }
+
+    // ---- lifecycle ----
+
+    /// Create an object with the class defaults.
+    pub fn create(&self, txn: TxnId, class: ClassId) -> Result<ObjectId> {
+        let attrs = self.schema.defaults(class)?;
+        Ok(self.install(txn, class, attrs))
+    }
+
+    /// Create an object overriding named attributes.
+    pub fn create_with(
+        &self,
+        txn: TxnId,
+        class: ClassId,
+        overrides: &[(&str, Value)],
+    ) -> Result<ObjectId> {
+        let mut attrs = self.schema.defaults(class)?;
+        for (name, value) in overrides {
+            let slot = self.schema.attr_slot(class, name)?;
+            let ty = self.schema.attributes(class)?[slot].ty;
+            if !value.conforms_to(ty) {
+                return Err(ReachError::TypeMismatch {
+                    expected: format!("{ty:?}"),
+                    got: format!("{:?}", value.value_type()),
+                });
+            }
+            attrs[slot] = value.clone();
+        }
+        Ok(self.install(txn, class, attrs))
+    }
+
+    fn install(&self, txn: TxnId, class: ClassId, attrs: Vec<Value>) -> ObjectId {
+        let oid: ObjectId = self.ids.next();
+        let state = ObjectState { class, attrs };
+        self.objects.write().insert(oid, state.clone());
+        self.extents.register(class, oid);
+        self.fire_lifecycle(txn, oid, &state, true);
+        oid
+    }
+
+    /// Install a known object (persistence load / translation / undo
+    /// restore). The caller owns id uniqueness. Lifecycle sentries fire
+    /// with `TxnId::NULL` so change tracking ignores the install while
+    /// indexes stay consistent.
+    pub fn install_existing(&self, oid: ObjectId, state: ObjectState) {
+        self.ids_advance_past(oid);
+        self.extents.register(state.class, oid);
+        self.objects.write().insert(oid, state.clone());
+        self.fire_lifecycle(TxnId::NULL, oid, &state, true);
+    }
+
+    fn fire_lifecycle(&self, txn: TxnId, oid: ObjectId, state: &ObjectState, create: bool) {
+        let sentries = self.lifecycle_sentries.read().clone();
+        for s in &sentries {
+            if create {
+                s.on_create(txn, oid, state);
+            } else {
+                s.on_delete(txn, oid, state);
+            }
+        }
+    }
+
+    fn ids_advance_past(&self, oid: ObjectId) {
+        // Never reissue an id that already names an installed object.
+        while self.ids.peek() <= oid.raw() {
+            self.ids.next_raw();
+        }
+    }
+
+    /// Delete an object. Returns its last state (destructor arguments).
+    pub fn delete(&self, txn: TxnId, oid: ObjectId) -> Result<ObjectState> {
+        let state = self
+            .objects
+            .write()
+            .remove(&oid)
+            .ok_or(ReachError::ObjectNotFound(oid))?;
+        self.extents.unregister(state.class, oid);
+        self.persistent.write().remove(&oid);
+        self.fire_lifecycle(txn, oid, &state, false);
+        Ok(state)
+    }
+
+    /// Evict a resident object without deleting it (persistence owns the
+    /// truth; next dereference faults it back in).
+    pub fn evict(&self, oid: ObjectId) -> Result<ObjectState> {
+        let state = self
+            .objects
+            .write()
+            .remove(&oid)
+            .ok_or(ReachError::ObjectNotFound(oid))?;
+        self.extents.unregister(state.class, oid);
+        Ok(state)
+    }
+
+    /// Whether the object is currently resident (no fault attempted).
+    pub fn is_resident(&self, oid: ObjectId) -> bool {
+        self.objects.read().contains_key(&oid)
+    }
+
+    /// Mark an object persistent (Persistence PM bookkeeping).
+    pub fn mark_persistent(&self, oid: ObjectId) {
+        self.persistent.write().insert(oid);
+    }
+
+    /// §3.2: only persistent objects may be passed by reference into
+    /// detached rule executions.
+    pub fn is_persistent(&self, oid: ObjectId) -> bool {
+        self.persistent.read().contains(&oid)
+    }
+
+    /// Ensure the object is resident, running the fault handler if not.
+    fn ensure_resident(&self, oid: ObjectId) -> Result<()> {
+        if self.objects.read().contains_key(&oid) {
+            return Ok(());
+        }
+        let handler = self.fault.read().clone();
+        if let Some(h) = handler {
+            if let Some(state) = h(oid)? {
+                self.install_existing(oid, state);
+                return Ok(());
+            }
+        }
+        Err(ReachError::ObjectNotFound(oid))
+    }
+
+    // ---- attribute access ----
+
+    /// The object's class.
+    pub fn class_of(&self, oid: ObjectId) -> Result<ClassId> {
+        self.ensure_resident(oid)?;
+        Ok(self.objects.read()[&oid].class)
+    }
+
+    /// Read an attribute by name.
+    pub fn get_attr(&self, oid: ObjectId, name: &str) -> Result<Value> {
+        self.ensure_resident(oid)?;
+        let objects = self.objects.read();
+        let state = objects.get(&oid).ok_or(ReachError::ObjectNotFound(oid))?;
+        let slot = self.schema.attr_slot(state.class, name)?;
+        Ok(state.attrs[slot].clone())
+    }
+
+    /// Write an attribute by name, running the state-sentry chain.
+    pub fn set_attr(&self, txn: TxnId, oid: ObjectId, name: &str, value: Value) -> Result<()> {
+        self.ensure_resident(oid)?;
+        let (class, old) = {
+            let mut objects = self.objects.write();
+            let state = objects.get_mut(&oid).ok_or(ReachError::ObjectNotFound(oid))?;
+            let slot = self.schema.attr_slot(state.class, name)?;
+            let ty = self.schema.attributes(state.class)?[slot].ty;
+            if !value.conforms_to(ty) {
+                return Err(ReachError::TypeMismatch {
+                    expected: format!("{ty:?}"),
+                    got: format!("{:?}", value.value_type()),
+                });
+            }
+            let old = std::mem::replace(&mut state.attrs[slot], value.clone());
+            (state.class, old)
+        };
+        let sentries = self.state_sentries.read().clone();
+        if !sentries.is_empty() {
+            let change = StateChange {
+                txn,
+                oid,
+                class,
+                attribute: name.to_string(),
+                old,
+                new: value,
+            };
+            for s in &sentries {
+                s.on_change(&change);
+            }
+        }
+        Ok(())
+    }
+
+    /// Clone the full state (persistence write-out).
+    pub fn snapshot(&self, oid: ObjectId) -> Result<ObjectState> {
+        self.ensure_resident(oid)?;
+        self.objects
+            .read()
+            .get(&oid)
+            .cloned()
+            .ok_or(ReachError::ObjectNotFound(oid))
+    }
+
+    /// Overwrite the full state (undo of a rolled-back transaction).
+    pub fn restore(&self, oid: ObjectId, state: ObjectState) {
+        self.install_existing(oid, state);
+    }
+
+    /// Number of resident objects.
+    pub fn resident_count(&self) -> usize {
+        self.objects.read().len()
+    }
+}
+
+impl std::fmt::Debug for ObjectSpace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObjectSpace")
+            .field("resident", &self.resident_count())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ClassBuilder;
+    use crate::value::ValueType;
+    use parking_lot::Mutex;
+
+    fn setup() -> (Arc<Schema>, ObjectSpace, ClassId) {
+        let schema = Arc::new(Schema::new());
+        let class = ClassBuilder::new(&schema, "Point")
+            .attr("x", ValueType::Int, Value::Int(0))
+            .attr("y", ValueType::Int, Value::Int(0))
+            .define()
+            .unwrap();
+        let space = ObjectSpace::new(Arc::clone(&schema));
+        (schema, space, class)
+    }
+
+    #[test]
+    fn create_uses_defaults_and_registers_extent() {
+        let (_, space, class) = setup();
+        let oid = space.create(TxnId::NULL, class).unwrap();
+        assert_eq!(space.get_attr(oid, "x").unwrap(), Value::Int(0));
+        assert_eq!(space.extents().extent(class), vec![oid]);
+        assert!(space.is_resident(oid));
+    }
+
+    #[test]
+    fn create_with_overrides_typechecks() {
+        let (_, space, class) = setup();
+        let oid = space
+            .create_with(TxnId::NULL, class, &[("x", Value::Int(7))])
+            .unwrap();
+        assert_eq!(space.get_attr(oid, "x").unwrap(), Value::Int(7));
+        assert!(space
+            .create_with(TxnId::NULL, class, &[("x", Value::Str("no".into()))])
+            .is_err());
+    }
+
+    #[test]
+    fn set_attr_runs_state_sentries() {
+        let (_, space, class) = setup();
+        let oid = space.create(TxnId::NULL, class).unwrap();
+        let seen: Arc<Mutex<Vec<StateChange>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Recorder(Arc<Mutex<Vec<StateChange>>>);
+        impl StateSentry for Recorder {
+            fn on_change(&self, c: &StateChange) {
+                self.0.lock().push(c.clone());
+            }
+        }
+        space.add_state_sentry(Arc::new(Recorder(Arc::clone(&seen))));
+        space
+            .set_attr(TxnId::new(3), oid, "y", Value::Int(12))
+            .unwrap();
+        let changes = seen.lock();
+        assert_eq!(changes.len(), 1);
+        assert_eq!(changes[0].attribute, "y");
+        assert_eq!(changes[0].old, Value::Int(0));
+        assert_eq!(changes[0].new, Value::Int(12));
+        assert_eq!(changes[0].txn, TxnId::new(3));
+    }
+
+    #[test]
+    fn delete_unregisters_and_errors_afterwards() {
+        let (_, space, class) = setup();
+        let oid = space.create(TxnId::NULL, class).unwrap();
+        let state = space.delete(TxnId::NULL, oid).unwrap();
+        assert_eq!(state.class, class);
+        assert!(space.get_attr(oid, "x").is_err());
+        assert!(space.extents().extent(class).is_empty());
+    }
+
+    #[test]
+    fn fault_handler_revives_evicted_objects() {
+        let (_, space, class) = setup();
+        let oid = space.create(TxnId::NULL, class).unwrap();
+        space.set_attr(TxnId::NULL, oid, "x", Value::Int(5)).unwrap();
+        let stored = Arc::new(Mutex::new(HashMap::<ObjectId, ObjectState>::new()));
+        // "Persist", then evict.
+        stored.lock().insert(oid, space.snapshot(oid).unwrap());
+        space.evict(oid).unwrap();
+        assert!(!space.is_resident(oid));
+        let backing = Arc::clone(&stored);
+        space.set_fault_handler(Arc::new(move |o| Ok(backing.lock().get(&o).cloned())));
+        // Dereference faults it back in transparently.
+        assert_eq!(space.get_attr(oid, "x").unwrap(), Value::Int(5));
+        assert!(space.is_resident(oid));
+    }
+
+    #[test]
+    fn missing_object_without_handler_errors() {
+        let (_, space, _) = setup();
+        assert!(matches!(
+            space.get_attr(ObjectId::new(404), "x"),
+            Err(ReachError::ObjectNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn persistence_marking() {
+        let (_, space, class) = setup();
+        let oid = space.create(TxnId::NULL, class).unwrap();
+        assert!(!space.is_persistent(oid));
+        space.mark_persistent(oid);
+        assert!(space.is_persistent(oid));
+        space.delete(TxnId::NULL, oid).unwrap();
+        assert!(!space.is_persistent(oid));
+    }
+
+    #[test]
+    fn object_state_encoding_round_trips() {
+        let st = ObjectState {
+            class: ClassId::new(9),
+            attrs: vec![Value::Int(1), Value::Str("s".into()), Value::Null],
+        };
+        assert_eq!(ObjectState::decode(&st.encode()).unwrap(), st);
+        assert!(ObjectState::decode(&st.encode()[..5]).is_err());
+    }
+}

@@ -1,0 +1,399 @@
+//! Runtime values and their wire encoding.
+//!
+//! REACH objects hold dynamically-typed attribute values. The variants
+//! mirror what the paper's C++ model can express in rule parameters:
+//! primitives, strings, object references, raw bytes and lists.
+
+use reach_common::{ObjectId, ReachError, Result};
+use std::fmt;
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// Reference to another object (persistent or transient).
+    Ref(ObjectId),
+    Bytes(Vec<u8>),
+    List(Vec<Value>),
+}
+
+/// The static type of a value (used in attribute declarations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    Null,
+    Bool,
+    Int,
+    Float,
+    Str,
+    Ref,
+    Bytes,
+    List,
+    /// Accepts any runtime value.
+    Any,
+}
+
+impl Value {
+    /// The runtime type tag.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Null => ValueType::Null,
+            Value::Bool(_) => ValueType::Bool,
+            Value::Int(_) => ValueType::Int,
+            Value::Float(_) => ValueType::Float,
+            Value::Str(_) => ValueType::Str,
+            Value::Ref(_) => ValueType::Ref,
+            Value::Bytes(_) => ValueType::Bytes,
+            Value::List(_) => ValueType::List,
+        }
+    }
+
+    /// Whether this value conforms to a declared type.
+    pub fn conforms_to(&self, ty: ValueType) -> bool {
+        ty == ValueType::Any || self.value_type() == ty || matches!(self, Value::Null)
+    }
+
+    fn mismatch(&self, want: &str) -> ReachError {
+        ReachError::TypeMismatch {
+            expected: want.to_string(),
+            got: format!("{:?}", self.value_type()),
+        }
+    }
+
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            v => Err(v.mismatch("Bool")),
+        }
+    }
+
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            v => Err(v.mismatch("Int")),
+        }
+    }
+
+    /// Numeric coercion: ints widen to floats.
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            v => Err(v.mismatch("Float")),
+        }
+    }
+
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            v => Err(v.mismatch("Str")),
+        }
+    }
+
+    pub fn as_ref_id(&self) -> Result<ObjectId> {
+        match self {
+            Value::Ref(o) => Ok(*o),
+            v => Err(v.mismatch("Ref")),
+        }
+    }
+
+    pub fn as_list(&self) -> Result<&[Value]> {
+        match self {
+            Value::List(l) => Ok(l),
+            v => Err(v.mismatch("List")),
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Total order used by the query engine's comparison operators.
+    /// Cross-type comparisons order by type tag; numerics compare by
+    /// value across Int/Float.
+    pub fn compare(&self, other: &Value) -> std::cmp::Ordering {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Float(a), Value::Float(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Value::Int(a), Value::Float(b)) => {
+                (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal)
+            }
+            (Value::Float(a), Value::Int(b)) => {
+                a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal)
+            }
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::Ref(a), Value::Ref(b)) => a.cmp(b),
+            (Value::Bytes(a), Value::Bytes(b)) => a.cmp(b),
+            (Value::List(a), Value::List(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let o = x.compare(y);
+                    if o != Ordering::Equal {
+                        return o;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => type_rank(a).cmp(&type_rank(b)),
+        }
+    }
+
+    // ---- wire encoding (used by the Persistence PM) ----
+
+    /// Append the encoded value to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            Value::Null => out.push(0),
+            Value::Bool(b) => {
+                out.push(1);
+                out.push(*b as u8);
+            }
+            Value::Int(i) => {
+                out.push(2);
+                out.extend_from_slice(&i.to_le_bytes());
+            }
+            Value::Float(f) => {
+                out.push(3);
+                out.extend_from_slice(&f.to_le_bytes());
+            }
+            Value::Str(s) => {
+                out.push(4);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            Value::Ref(o) => {
+                out.push(5);
+                out.extend_from_slice(&o.raw().to_le_bytes());
+            }
+            Value::Bytes(b) => {
+                out.push(6);
+                out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                out.extend_from_slice(b);
+            }
+            Value::List(l) => {
+                out.push(7);
+                out.extend_from_slice(&(l.len() as u32).to_le_bytes());
+                for v in l {
+                    v.encode_into(out);
+                }
+            }
+        }
+    }
+
+    /// Decode one value from `buf` starting at `*pos`, advancing `*pos`.
+    pub fn decode_from(buf: &[u8], pos: &mut usize) -> Result<Value> {
+        let corrupt = || ReachError::Io("corrupt value encoding".into());
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8]> {
+            if *pos + n > buf.len() {
+                return Err(corrupt());
+            }
+            let s = &buf[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        let tag = take(pos, 1)?[0];
+        Ok(match tag {
+            0 => Value::Null,
+            1 => Value::Bool(take(pos, 1)?[0] != 0),
+            2 => Value::Int(i64::from_le_bytes(take(pos, 8)?.try_into().unwrap())),
+            3 => Value::Float(f64::from_le_bytes(take(pos, 8)?.try_into().unwrap())),
+            4 => {
+                let n = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
+                Value::Str(String::from_utf8(take(pos, n)?.to_vec()).map_err(|_| corrupt())?)
+            }
+            5 => Value::Ref(ObjectId::new(u64::from_le_bytes(
+                take(pos, 8)?.try_into().unwrap(),
+            ))),
+            6 => {
+                let n = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
+                Value::Bytes(take(pos, n)?.to_vec())
+            }
+            7 => {
+                let n = u32::from_le_bytes(take(pos, 4)?.try_into().unwrap()) as usize;
+                let mut l = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    l.push(Value::decode_from(buf, pos)?);
+                }
+                Value::List(l)
+            }
+            _ => return Err(corrupt()),
+        })
+    }
+
+    /// Encode to a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) => 2,
+        Value::Float(_) => 3,
+        Value::Str(_) => 4,
+        Value::Ref(_) => 5,
+        Value::Bytes(_) => 6,
+        Value::List(_) => 7,
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::Ref(o) => write!(f, "{o}"),
+            Value::Bytes(b) => write!(f, "bytes[{}]", b.len()),
+            Value::List(l) => {
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i as i64)
+    }
+}
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Float(f)
+    }
+}
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+impl From<ObjectId> for Value {
+    fn from(o: ObjectId) -> Self {
+        Value::Ref(o)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Value> {
+        vec![
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-42),
+            Value::Float(2.5),
+            Value::Str("héllo".into()),
+            Value::Ref(ObjectId::new(99)),
+            Value::Bytes(vec![0, 1, 2, 255]),
+            Value::List(vec![Value::Int(1), Value::Str("two".into()), Value::Null]),
+        ]
+    }
+
+    #[test]
+    fn every_value_round_trips() {
+        for v in samples() {
+            let enc = v.encode();
+            let mut pos = 0;
+            let dec = Value::decode_from(&enc, &mut pos).unwrap();
+            assert_eq!(dec, v);
+            assert_eq!(pos, enc.len(), "decoder must consume exactly the encoding");
+        }
+    }
+
+    #[test]
+    fn concatenated_values_decode_in_sequence() {
+        let mut buf = Vec::new();
+        for v in samples() {
+            v.encode_into(&mut buf);
+        }
+        let mut pos = 0;
+        for v in samples() {
+            assert_eq!(Value::decode_from(&buf, &mut pos).unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_encoding_is_an_error() {
+        let enc = Value::Str("hello world".into()).encode();
+        let mut pos = 0;
+        assert!(Value::decode_from(&enc[..enc.len() - 2], &mut pos).is_err());
+    }
+
+    #[test]
+    fn accessors_enforce_types() {
+        assert_eq!(Value::Int(7).as_int().unwrap(), 7);
+        assert!(Value::Int(7).as_str().is_err());
+        assert!(Value::Str("x".into()).as_int().is_err());
+        assert_eq!(Value::Int(3).as_float().unwrap(), 3.0);
+        assert_eq!(Value::Ref(ObjectId::new(4)).as_ref_id().unwrap().raw(), 4);
+    }
+
+    #[test]
+    fn null_conforms_to_everything() {
+        assert!(Value::Null.conforms_to(ValueType::Int));
+        assert!(Value::Null.conforms_to(ValueType::Str));
+        assert!(Value::Int(1).conforms_to(ValueType::Any));
+        assert!(!Value::Int(1).conforms_to(ValueType::Str));
+    }
+
+    #[test]
+    fn numeric_comparison_crosses_int_float() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.5)), Less);
+        assert_eq!(Value::Float(3.0).compare(&Value::Int(3)), Equal);
+        assert_eq!(Value::Str("b".into()).compare(&Value::Str("a".into())), Greater);
+    }
+
+    #[test]
+    fn list_comparison_is_lexicographic() {
+        use std::cmp::Ordering::*;
+        let a = Value::List(vec![Value::Int(1), Value::Int(2)]);
+        let b = Value::List(vec![Value::Int(1), Value::Int(3)]);
+        let c = Value::List(vec![Value::Int(1)]);
+        assert_eq!(a.compare(&b), Less);
+        assert_eq!(c.compare(&a), Less);
+        assert_eq!(a.compare(&a), Equal);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Bool(false)]).to_string(),
+            "[1, false]"
+        );
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests of the schema's inheritance machinery over
+//! random DAGs.
+
+use proptest::prelude::*;
+use reach_common::ClassId;
+use reach_object::{ClassBuilder, Schema, Value, ValueType};
+
+/// A random inheritance DAG description: class i may inherit from any
+/// subset of classes 0..i (guaranteeing acyclicity), and declares one
+/// unique attribute.
+fn dag_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    proptest::collection::vec(proptest::collection::vec(any::<prop::sample::Index>(), 0..3), 1..12)
+        .prop_map(|raw| {
+            raw.into_iter()
+                .enumerate()
+                .map(|(i, parents)| {
+                    let mut ps: Vec<usize> = parents
+                        .into_iter()
+                        .filter(|_| i > 0)
+                        .map(|idx| idx.index(i))
+                        .collect();
+                    ps.sort();
+                    ps.dedup();
+                    ps
+                })
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn lineage_and_layout_invariants(dag in dag_strategy()) {
+        let schema = Schema::new();
+        let mut ids: Vec<ClassId> = Vec::new();
+        for (i, parents) in dag.iter().enumerate() {
+            let mut b = ClassBuilder::new(&schema, &format!("C{i}"))
+                .attr(&format!("a{i}"), ValueType::Int, Value::Int(i as i64));
+            for p in parents {
+                b = b.base(ids[*p]);
+            }
+            ids.push(b.define().unwrap());
+        }
+        for (i, parents) in dag.iter().enumerate() {
+            let lineage = schema.lineage(ids[i]).unwrap();
+            // 1. Lineage starts with self and has no duplicates.
+            prop_assert_eq!(lineage[0], ids[i]);
+            let mut sorted = lineage.clone();
+            sorted.sort();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), lineage.len(), "no duplicate ancestors");
+            // 2. Every (transitive) parent is in the lineage.
+            for p in parents {
+                prop_assert!(schema.is_subclass(ids[i], ids[*p]));
+                for anc in schema.lineage(ids[*p]).unwrap() {
+                    prop_assert!(
+                        lineage.contains(&anc),
+                        "ancestors of parents are ancestors"
+                    );
+                }
+            }
+            // 3. Attribute layout: own attribute present exactly once,
+            //    and the layout has one slot per lineage member.
+            let attrs = schema.attributes(ids[i]).unwrap();
+            prop_assert_eq!(attrs.len(), lineage.len());
+            let own = attrs.iter().filter(|a| a.name == format!("a{i}")).count();
+            prop_assert_eq!(own, 1);
+            // 4. Defaults agree with slots.
+            let defaults = schema.defaults(ids[i]).unwrap();
+            let slot = schema.attr_slot(ids[i], &format!("a{i}")).unwrap();
+            prop_assert_eq!(&defaults[slot], &Value::Int(i as i64));
+            // 5. Subclass relation is antisymmetric for distinct classes.
+            for j in 0..i {
+                prop_assert!(
+                    !(schema.is_subclass(ids[i], ids[j]) && schema.is_subclass(ids[j], ids[i]))
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Address-space managers (§5).
+//!
+//! "ASMs may be passive or active. A passive ASM is simply a data
+//! repository (e.g., a file system). An active ASM allows computation
+//! [...] In an Open OODB system configuration, at least one ASM must be
+//! active." The active ASM here is the resident object space; the
+//! passive one wraps the storage manager.
+
+use crate::meta::SupportModule;
+use reach_common::Result;
+use reach_object::ObjectSpace;
+use reach_storage::StorageManager;
+use std::sync::Arc;
+
+/// An address space in the configuration.
+pub trait AddressSpace: Send + Sync {
+    fn name(&self) -> &'static str;
+    /// Active spaces can execute methods; passive ones only store bytes.
+    fn is_active(&self) -> bool;
+    /// Rough population count (for introspection).
+    fn population(&self) -> Result<usize>;
+}
+
+/// The active, computing address space: resident objects.
+pub struct ActiveMemorySpace {
+    space: Arc<ObjectSpace>,
+}
+
+impl ActiveMemorySpace {
+    pub fn new(space: Arc<ObjectSpace>) -> Self {
+        ActiveMemorySpace { space }
+    }
+}
+
+impl AddressSpace for ActiveMemorySpace {
+    fn name(&self) -> &'static str {
+        "active-memory"
+    }
+    fn is_active(&self) -> bool {
+        true
+    }
+    fn population(&self) -> Result<usize> {
+        Ok(self.space.resident_count())
+    }
+}
+
+impl SupportModule for ActiveMemorySpace {
+    fn name(&self) -> &'static str {
+        "asm:active-memory"
+    }
+}
+
+/// The passive repository: the EXODUS-substitute storage manager.
+pub struct PassiveStoreSpace {
+    sm: Arc<StorageManager>,
+    segment_name: String,
+}
+
+impl PassiveStoreSpace {
+    pub fn new(sm: Arc<StorageManager>, segment_name: &str) -> Self {
+        PassiveStoreSpace {
+            sm,
+            segment_name: segment_name.to_string(),
+        }
+    }
+}
+
+impl AddressSpace for PassiveStoreSpace {
+    fn name(&self) -> &'static str {
+        "passive-store"
+    }
+    fn is_active(&self) -> bool {
+        false
+    }
+    fn population(&self) -> Result<usize> {
+        let seg = self.sm.segment(&self.segment_name)?;
+        Ok(self.sm.scan(seg)?.len())
+    }
+}
+
+impl SupportModule for PassiveStoreSpace {
+    fn name(&self) -> &'static str {
+        "asm:passive-store"
+    }
+}
+
+/// Validate an ASM configuration: at least one active space (§5).
+pub fn validate_configuration(spaces: &[&dyn AddressSpace]) -> Result<()> {
+    if spaces.iter().any(|s| s.is_active()) {
+        Ok(())
+    } else {
+        Err(reach_common::ReachError::NotSupported(
+            "configuration has no active address space".into(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_object::Schema;
+
+    #[test]
+    fn active_space_reports_population() {
+        let schema = Arc::new(Schema::new());
+        let space = Arc::new(ObjectSpace::new(Arc::clone(&schema)));
+        let asm = ActiveMemorySpace::new(Arc::clone(&space));
+        assert!(asm.is_active());
+        assert_eq!(asm.population().unwrap(), 0);
+    }
+
+    #[test]
+    fn configuration_needs_an_active_space() {
+        let schema = Arc::new(Schema::new());
+        let space = Arc::new(ObjectSpace::new(schema));
+        let active = ActiveMemorySpace::new(space);
+        let sm = Arc::new(StorageManager::new_in_memory(8).unwrap());
+        sm.create_segment("objects").unwrap();
+        let passive = PassiveStoreSpace::new(sm, "objects");
+        assert!(validate_configuration(&[&active, &passive]).is_ok());
+        assert!(validate_configuration(&[&passive]).is_err());
+    }
+}

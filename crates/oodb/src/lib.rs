@@ -1,0 +1,44 @@
+//! `open-oodb` — a Rust rendering of Texas Instruments' Open OODB
+//! meta-architecture (§5 of the paper, \[WBT92\]).
+//!
+//! Open OODB's computational model "transparently extends the behavior
+//! of operations in application programming languages": any operation
+//! can be an *event*, a *sentry* tracks events, and *policy managers*
+//! plugged onto the meta-architecture "software bus" implement the
+//! extended behaviour. The paper chose this platform because the model
+//! is "philosophically close to the active database paradigm" — REACH's
+//! detectors are just more sentries and its rule manager just another
+//! policy manager.
+//!
+//! Crate layout:
+//!
+//! * [`meta`] — the software bus: policy-manager and support-module
+//!   registries plus the architecture manifest (Figure 1);
+//! * [`sentry`] — the four candidate sentry mechanisms §6.2 surveys
+//!   (in-line wrapper, root-class trap, surrogate object, announce),
+//!   behind one interface so they can be compared;
+//! * [`pm`] — the policy managers: Persistence, Transaction, Change,
+//!   Indexing, Query;
+//! * [`dictionary`] — the data dictionary (named object roots — the
+//!   `OpenOODB->fetch("Block A")` of the paper's rule example);
+//! * [`asm`] — active/passive address-space managers and
+//! * [`translation`] — the object ⇄ byte-string translation used when
+//!   objects move between address spaces;
+//! * [`database`] — the assembled DBMS facade that REACH extends.
+
+pub mod asm;
+pub mod database;
+pub mod dictionary;
+pub mod meta;
+pub mod pm;
+pub mod sentry;
+pub mod translation;
+
+pub use database::{Database, DatabaseConfig};
+pub use dictionary::DataDictionary;
+pub use meta::{MetaArchitecture, PolicyManager, SupportModule};
+pub use pm::change::ChangePm;
+pub use pm::indexing::IndexingPm;
+pub use pm::persistence::PersistencePm;
+pub use pm::query::{Expr, Query, QueryPm};
+pub use pm::transaction::TransactionPm;

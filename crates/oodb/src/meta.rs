@@ -1,0 +1,156 @@
+//! The meta-architecture "software bus".
+//!
+//! Figure 1 of the paper shows database components — policy managers —
+//! plugged into a meta-architecture module, with support modules
+//! (address spaces, communication, translation, data dictionary)
+//! underneath. This module is that bus: a registry keyed by *dimension*
+//! ("persistence", "transactions", "indexing", ...) into which PMs are
+//! plugged, exchanged, or added — including, later, REACH's Rule PM,
+//! which is exactly how the paper extends the system.
+
+use parking_lot::RwLock;
+use reach_common::{ReachError, Result};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A pluggable database component (Persistence PM, Transaction PM, ...).
+pub trait PolicyManager: Send + Sync {
+    /// The orthogonal dimension of database functionality this PM
+    /// implements (e.g. `"persistence"`).
+    fn dimension(&self) -> &'static str;
+    /// Human-readable implementation name (e.g. `"wal-persistence"`).
+    fn name(&self) -> &'static str;
+    /// One-line description for the architecture manifest.
+    fn describe(&self) -> String {
+        format!("{} policy manager ({})", self.dimension(), self.name())
+    }
+}
+
+/// A support module beneath the bus (ASMs, translation, dictionary...).
+pub trait SupportModule: Send + Sync {
+    fn name(&self) -> &'static str;
+    fn describe(&self) -> String {
+        format!("support module {}", self.name())
+    }
+}
+
+/// The bus itself.
+pub struct MetaArchitecture {
+    pms: RwLock<BTreeMap<&'static str, Arc<dyn PolicyManager>>>,
+    support: RwLock<Vec<Arc<dyn SupportModule>>>,
+}
+
+impl MetaArchitecture {
+    pub fn new() -> Self {
+        MetaArchitecture {
+            pms: RwLock::new(BTreeMap::new()),
+            support: RwLock::new(Vec::new()),
+        }
+    }
+
+    /// Plug a policy manager into its dimension, replacing any previous
+    /// occupant (the architecture's "possibility of exchanging or adding
+    /// new policy managers"). Returns the displaced PM, if any.
+    pub fn plug(&self, pm: Arc<dyn PolicyManager>) -> Option<Arc<dyn PolicyManager>> {
+        self.pms.write().insert(pm.dimension(), pm)
+    }
+
+    /// The PM serving a dimension.
+    pub fn manager(&self, dimension: &str) -> Result<Arc<dyn PolicyManager>> {
+        self.pms
+            .read()
+            .get(dimension)
+            .cloned()
+            .ok_or_else(|| ReachError::PolicyManagerMissing(dimension.to_string()))
+    }
+
+    /// Register a support module.
+    pub fn add_support(&self, module: Arc<dyn SupportModule>) {
+        self.support.write().push(module);
+    }
+
+    /// All plugged dimensions, sorted.
+    pub fn dimensions(&self) -> Vec<&'static str> {
+        self.pms.read().keys().copied().collect()
+    }
+
+    /// The architecture manifest — the textual form of Figure 1. The
+    /// `figure1` experiment binary prints exactly this.
+    pub fn manifest(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        out.push("Application Programming Interface".to_string());
+        out.push("Meta Architecture Support (Sentries)".to_string());
+        for (dim, pm) in self.pms.read().iter() {
+            out.push(format!("  [PM] {:<12} -> {}", dim, pm.name()));
+        }
+        for sm in self.support.read().iter() {
+            out.push(format!("  [support] {}", sm.name()));
+        }
+        out
+    }
+}
+
+impl Default for MetaArchitecture {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for MetaArchitecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetaArchitecture")
+            .field("dimensions", &self.dimensions())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct FakePm(&'static str, &'static str);
+    impl PolicyManager for FakePm {
+        fn dimension(&self) -> &'static str {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            self.1
+        }
+    }
+
+    struct FakeSupport;
+    impl SupportModule for FakeSupport {
+        fn name(&self) -> &'static str {
+            "exodus-asm"
+        }
+    }
+
+    #[test]
+    fn plugging_and_lookup() {
+        let bus = MetaArchitecture::new();
+        assert!(bus.manager("persistence").is_err());
+        bus.plug(Arc::new(FakePm("persistence", "wal")));
+        assert_eq!(bus.manager("persistence").unwrap().name(), "wal");
+        assert_eq!(bus.dimensions(), vec!["persistence"]);
+    }
+
+    #[test]
+    fn replugging_replaces_and_returns_old() {
+        let bus = MetaArchitecture::new();
+        bus.plug(Arc::new(FakePm("indexing", "hash")));
+        let old = bus.plug(Arc::new(FakePm("indexing", "btree"))).unwrap();
+        assert_eq!(old.name(), "hash");
+        assert_eq!(bus.manager("indexing").unwrap().name(), "btree");
+    }
+
+    #[test]
+    fn manifest_lists_pms_and_support() {
+        let bus = MetaArchitecture::new();
+        bus.plug(Arc::new(FakePm("transactions", "nested-2pl")));
+        bus.add_support(Arc::new(FakeSupport));
+        let m = bus.manifest().join("\n");
+        assert!(m.contains("transactions"));
+        assert!(m.contains("nested-2pl"));
+        assert!(m.contains("exodus-asm"));
+    }
+}

@@ -1,0 +1,215 @@
+//! The Change PM: transactional change tracking for the object space.
+//!
+//! Storage is only touched at commit (the Persistence PM's write-back),
+//! so *in-memory* object state is what must be rolled back when a
+//! transaction or subtransaction aborts. The Change PM keeps, per
+//! top-level transaction, an ordered log of `attribute write / create /
+//! delete` entries and implements the [`ResourceManager`] savepoint
+//! protocol over it — giving REACH the nested-transaction rollback the
+//! commercial systems of §4 could not provide.
+//!
+//! Undo is performed through the public mutation API with
+//! `TxnId::NULL`, so other sentries (notably indexing) observe the
+//! compensating operations and stay consistent for free.
+
+use crate::meta::PolicyManager;
+use parking_lot::Mutex;
+use reach_common::{ObjectId, Result, TxnId};
+use reach_object::{LifecycleSentry, ObjectSpace, ObjectState, StateChange, StateSentry, Value};
+use reach_txn::manager::ResourceManager;
+use reach_txn::TransactionManager;
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+#[derive(Debug, Clone)]
+enum Change {
+    Attr {
+        oid: ObjectId,
+        attribute: String,
+        old: Value,
+    },
+    Create {
+        oid: ObjectId,
+    },
+    Delete {
+        oid: ObjectId,
+        state: ObjectState,
+    },
+}
+
+/// Per-transaction in-memory undo log.
+pub struct ChangePm {
+    tm: Weak<TransactionManager>,
+    space: Arc<ObjectSpace>,
+    log: Mutex<HashMap<TxnId, Vec<Change>>>,
+}
+
+impl ChangePm {
+    pub fn new(tm: Weak<TransactionManager>, space: Arc<ObjectSpace>) -> Arc<Self> {
+        let pm = Arc::new(ChangePm {
+            tm,
+            space: Arc::clone(&space),
+            log: Mutex::new(HashMap::new()),
+        });
+        space.add_state_sentry(Arc::clone(&pm) as Arc<dyn StateSentry>);
+        space.add_lifecycle_sentry(Arc::clone(&pm) as Arc<dyn LifecycleSentry>);
+        pm
+    }
+
+    /// Resolve the owning *top-level* transaction of an event, if the
+    /// transaction is live and managed. System writes (`TxnId::NULL`) and
+    /// unknown transactions are not tracked.
+    fn top_of(&self, txn: TxnId) -> Option<TxnId> {
+        if txn.is_null() {
+            return None;
+        }
+        let tm = self.tm.upgrade()?;
+        tm.top_of(txn).ok()
+    }
+
+    fn record(&self, txn: TxnId, change: Change) {
+        if let Some(top) = self.top_of(txn) {
+            self.log.lock().entry(top).or_default().push(change);
+        }
+    }
+
+    fn undo(&self, change: Change) {
+        // Compensations run under TxnId::NULL: not re-tracked, but other
+        // sentries (indexing) still observe them.
+        match change {
+            Change::Attr {
+                oid,
+                attribute,
+                old,
+            } => {
+                let _ = self.space.set_attr(TxnId::NULL, oid, &attribute, old);
+            }
+            Change::Create { oid } => {
+                let _ = self.space.delete(TxnId::NULL, oid);
+            }
+            Change::Delete { oid, state } => {
+                self.space.install_existing(oid, state);
+            }
+        }
+    }
+
+    /// Objects touched (written or created) by `top`, in first-touch
+    /// order, deduplicated. The Persistence PM uses this to find dirty
+    /// persistent objects at commit.
+    pub fn touched(&self, top: TxnId) -> Vec<ObjectId> {
+        let log = self.log.lock();
+        let mut seen = std::collections::HashSet::new();
+        let mut out = Vec::new();
+        if let Some(changes) = log.get(&top) {
+            for c in changes {
+                let oid = match c {
+                    Change::Attr { oid, .. } | Change::Create { oid } => *oid,
+                    Change::Delete { .. } => continue,
+                };
+                if seen.insert(oid) {
+                    out.push(oid);
+                }
+            }
+        }
+        out
+    }
+
+    /// Objects deleted by `top`.
+    pub fn deleted(&self, top: TxnId) -> Vec<ObjectId> {
+        let log = self.log.lock();
+        log.get(&top)
+            .map(|changes| {
+                changes
+                    .iter()
+                    .filter_map(|c| match c {
+                        Change::Delete { oid, .. } => Some(*oid),
+                        _ => None,
+                    })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Number of pending change entries for `top` (introspection).
+    pub fn pending(&self, top: TxnId) -> usize {
+        self.log.lock().get(&top).map_or(0, |v| v.len())
+    }
+}
+
+impl StateSentry for ChangePm {
+    fn on_change(&self, change: &StateChange) {
+        self.record(
+            change.txn,
+            Change::Attr {
+                oid: change.oid,
+                attribute: change.attribute.clone(),
+                old: change.old.clone(),
+            },
+        );
+    }
+}
+
+impl LifecycleSentry for ChangePm {
+    fn on_create(&self, txn: TxnId, oid: ObjectId, _state: &ObjectState) {
+        self.record(txn, Change::Create { oid });
+    }
+
+    fn on_delete(&self, txn: TxnId, oid: ObjectId, state: &ObjectState) {
+        self.record(
+            txn,
+            Change::Delete {
+                oid,
+                state: state.clone(),
+            },
+        );
+    }
+}
+
+impl ResourceManager for ChangePm {
+    fn begin_top(&self, txn: TxnId) -> Result<()> {
+        self.log.lock().insert(txn, Vec::new());
+        Ok(())
+    }
+
+    fn savepoint(&self, top: TxnId) -> Result<u64> {
+        Ok(self.log.lock().get(&top).map_or(0, |v| v.len()) as u64)
+    }
+
+    fn rollback_to(&self, top: TxnId, savepoint: u64) -> Result<()> {
+        let tail: Vec<Change> = {
+            let mut log = self.log.lock();
+            match log.get_mut(&top) {
+                Some(changes) if changes.len() > savepoint as usize => {
+                    changes.split_off(savepoint as usize)
+                }
+                _ => Vec::new(),
+            }
+        };
+        for change in tail.into_iter().rev() {
+            self.undo(change);
+        }
+        Ok(())
+    }
+
+    fn commit_top(&self, txn: TxnId) -> Result<()> {
+        self.log.lock().remove(&txn);
+        Ok(())
+    }
+
+    fn abort_top(&self, txn: TxnId) -> Result<()> {
+        let changes = self.log.lock().remove(&txn).unwrap_or_default();
+        for change in changes.into_iter().rev() {
+            self.undo(change);
+        }
+        Ok(())
+    }
+}
+
+impl PolicyManager for ChangePm {
+    fn dimension(&self) -> &'static str {
+        "change"
+    }
+    fn name(&self) -> &'static str {
+        "undo-log-change"
+    }
+}

@@ -1,0 +1,225 @@
+//! The Indexing PM: attribute indexes maintained by sentries.
+//!
+//! The paper's future-work section singles out "index maintenance PMs
+//! with the active database paradigm" — indexes kept consistent by
+//! reacting to events rather than by code woven into every write path.
+//! This PM does exactly that: it subscribes to the state-change and
+//! lifecycle sentries and updates its B-trees from the event stream.
+//! Because undo (Change PM) also goes through the public mutation API,
+//! aborted transactions leave indexes consistent with no special code.
+
+use crate::meta::PolicyManager;
+use parking_lot::RwLock;
+use reach_common::{ClassId, ObjectId, ReachError, Result, TxnId};
+use reach_object::{
+    LifecycleSentry, ObjectSpace, ObjectState, Schema, StateChange, StateSentry, Value,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// `Value` wrapper ordered by [`Value::compare`] so it can key a B-tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexKey(pub Value);
+
+impl Eq for IndexKey {}
+
+impl PartialOrd for IndexKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for IndexKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.compare(&other.0)
+    }
+}
+
+type Tree = BTreeMap<IndexKey, BTreeSet<ObjectId>>;
+
+struct Index {
+    class: ClassId,
+    attribute: String,
+    tree: Tree,
+}
+
+/// The indexing policy manager.
+pub struct IndexingPm {
+    schema: Arc<Schema>,
+    indexes: RwLock<Vec<Index>>,
+}
+
+impl IndexingPm {
+    /// Create the PM and subscribe it to the space's sentries.
+    pub fn new(space: &ObjectSpace) -> Arc<Self> {
+        let pm = Arc::new(IndexingPm {
+            schema: Arc::clone(space.schema()),
+            indexes: RwLock::new(Vec::new()),
+        });
+        space.add_state_sentry(Arc::clone(&pm) as Arc<dyn StateSentry>);
+        space.add_lifecycle_sentry(Arc::clone(&pm) as Arc<dyn LifecycleSentry>);
+        pm
+    }
+
+    /// Build an index on `class.attribute` over the current (deep)
+    /// extent; future changes are absorbed from the event stream.
+    pub fn create_index(&self, space: &ObjectSpace, class: ClassId, attribute: &str) -> Result<()> {
+        // Validate the attribute exists.
+        self.schema.attr_slot(class, attribute)?;
+        let mut tree: Tree = BTreeMap::new();
+        for oid in space.extents().extent_deep(&self.schema, class) {
+            let v = space.get_attr(oid, attribute)?;
+            tree.entry(IndexKey(v)).or_default().insert(oid);
+        }
+        let mut indexes = self.indexes.write();
+        if indexes
+            .iter()
+            .any(|i| i.class == class && i.attribute == attribute)
+        {
+            return Err(ReachError::SchemaError(format!(
+                "index on {class}.{attribute} already exists"
+            )));
+        }
+        indexes.push(Index {
+            class,
+            attribute: attribute.to_string(),
+            tree,
+        });
+        Ok(())
+    }
+
+    /// Drop an index; true if one existed.
+    pub fn drop_index(&self, class: ClassId, attribute: &str) -> bool {
+        let mut indexes = self.indexes.write();
+        let before = indexes.len();
+        indexes.retain(|i| !(i.class == class && i.attribute == attribute));
+        indexes.len() != before
+    }
+
+    /// Whether a usable index exists for `class.attribute` (an index on
+    /// the class itself or any ancestor covers the lookup).
+    pub fn has_index(&self, class: ClassId, attribute: &str) -> bool {
+        let indexes = self.indexes.read();
+        indexes
+            .iter()
+            .any(|i| i.attribute == attribute && self.schema.is_subclass(class, i.class))
+    }
+
+    /// Exact-match lookup.
+    pub fn lookup_eq(&self, class: ClassId, attribute: &str, value: &Value) -> Option<Vec<ObjectId>> {
+        let indexes = self.indexes.read();
+        let idx = indexes
+            .iter()
+            .find(|i| i.attribute == attribute && self.schema.is_subclass(class, i.class))?;
+        Some(
+            idx.tree
+                .get(&IndexKey(value.clone()))
+                .map(|s| s.iter().copied().collect())
+                .unwrap_or_default(),
+        )
+    }
+
+    /// Range lookup with inclusive/exclusive bounds.
+    pub fn lookup_range(
+        &self,
+        class: ClassId,
+        attribute: &str,
+        low: Bound<Value>,
+        high: Bound<Value>,
+    ) -> Option<Vec<ObjectId>> {
+        let indexes = self.indexes.read();
+        let idx = indexes
+            .iter()
+            .find(|i| i.attribute == attribute && self.schema.is_subclass(class, i.class))?;
+        let lo = map_bound(low);
+        let hi = map_bound(high);
+        let mut out = Vec::new();
+        for (_, oids) in idx.tree.range((lo, hi)) {
+            out.extend(oids.iter().copied());
+        }
+        Some(out)
+    }
+
+    /// Number of indexes (introspection).
+    pub fn index_count(&self) -> usize {
+        self.indexes.read().len()
+    }
+
+    fn apply_to_matching<F: FnMut(&mut Index)>(&self, class: ClassId, attribute: &str, mut f: F) {
+        let mut indexes = self.indexes.write();
+        for idx in indexes.iter_mut() {
+            if idx.attribute == attribute && self.schema.is_subclass(class, idx.class) {
+                f(idx);
+            }
+        }
+    }
+
+    fn index_object(&self, oid: ObjectId, state: &ObjectState, insert: bool) {
+        let Ok(attrs) = self.schema.attributes(state.class) else {
+            return;
+        };
+        let mut indexes = self.indexes.write();
+        for idx in indexes.iter_mut() {
+            if !self.schema.is_subclass(state.class, idx.class) {
+                continue;
+            }
+            if let Some(slot) = attrs.iter().position(|a| a.name == idx.attribute) {
+                let key = IndexKey(state.attrs[slot].clone());
+                if insert {
+                    idx.tree.entry(key).or_default().insert(oid);
+                } else if let Some(set) = idx.tree.get_mut(&key) {
+                    set.remove(&oid);
+                    if set.is_empty() {
+                        idx.tree.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl StateSentry for IndexingPm {
+    fn on_change(&self, change: &StateChange) {
+        self.apply_to_matching(change.class, &change.attribute, |idx| {
+            let old_key = IndexKey(change.old.clone());
+            if let Some(set) = idx.tree.get_mut(&old_key) {
+                set.remove(&change.oid);
+                if set.is_empty() {
+                    idx.tree.remove(&old_key);
+                }
+            }
+            idx.tree
+                .entry(IndexKey(change.new.clone()))
+                .or_default()
+                .insert(change.oid);
+        });
+    }
+}
+
+impl LifecycleSentry for IndexingPm {
+    fn on_create(&self, _txn: TxnId, oid: ObjectId, state: &ObjectState) {
+        self.index_object(oid, state, true);
+    }
+
+    fn on_delete(&self, _txn: TxnId, oid: ObjectId, state: &ObjectState) {
+        self.index_object(oid, state, false);
+    }
+}
+
+impl PolicyManager for IndexingPm {
+    fn dimension(&self) -> &'static str {
+        "indexing"
+    }
+    fn name(&self) -> &'static str {
+        "sentry-maintained-btree"
+    }
+}
+
+fn map_bound(b: Bound<Value>) -> Bound<IndexKey> {
+    match b {
+        Bound::Included(v) => Bound::Included(IndexKey(v)),
+        Bound::Excluded(v) => Bound::Excluded(IndexKey(v)),
+        Bound::Unbounded => Bound::Unbounded,
+    }
+}

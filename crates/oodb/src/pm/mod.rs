@@ -1,0 +1,8 @@
+//! The policy managers plugged onto the meta-architecture bus
+//! (Figure 1): Persistence, Transaction, Change, Indexing, Query.
+
+pub mod change;
+pub mod indexing;
+pub mod persistence;
+pub mod query;
+pub mod transaction;

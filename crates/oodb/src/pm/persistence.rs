@@ -1,0 +1,300 @@
+//! The Persistence PM: explicit persistence with fault-in, write-back at
+//! commit, and persistent named roots.
+//!
+//! Open OODB extends object dereference to support persistence: a
+//! non-resident object is faulted in transparently when touched. Here
+//! the [`ObjectSpace`]'s fault handler plays the sentry role, and this
+//! PM implements the policy:
+//!
+//! * [`PersistencePm::persist`] marks an object persistent within a
+//!   transaction; at top-level commit its state is externalized and
+//!   written through the storage manager (logged, recoverable);
+//! * dirty persistent objects (reported by the Change PM) are written
+//!   back at commit;
+//! * deletions of persistent objects remove the stored record — giving
+//!   REACH the *explicit delete* whose absence under O2's
+//!   persistence-by-reachability made deletion rules nearly impossible
+//!   (§4);
+//! * data-dictionary name bindings are stored in their own segment so
+//!   roots survive restarts.
+
+use crate::dictionary::DataDictionary;
+use crate::meta::PolicyManager;
+use crate::pm::change::ChangePm;
+use crate::translation::{externalize, internalize};
+use parking_lot::{Mutex, RwLock};
+use reach_common::{ObjectId, ReachError, Result, TxnId};
+use reach_object::ObjectSpace;
+use reach_storage::{RecordId, SegmentId, StorageManager};
+use reach_txn::ResourceManager;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+const OBJECT_SEGMENT: &str = "sys.objects";
+const ROOTS_SEGMENT: &str = "sys.roots";
+
+/// The persistence policy manager.
+pub struct PersistencePm {
+    sm: Arc<StorageManager>,
+    space: Arc<ObjectSpace>,
+    change: Arc<ChangePm>,
+    dictionary: Arc<DataDictionary>,
+    objects_seg: SegmentId,
+    roots_seg: SegmentId,
+    /// Where each persistent object lives on disk.
+    locations: Mutex<HashMap<ObjectId, RecordId>>,
+    /// Objects whose `persist()` happened in a still-running transaction.
+    pending: Mutex<HashMap<TxnId, Vec<ObjectId>>>,
+    /// Location of the single roots record, once written.
+    roots_record: Mutex<Option<RecordId>>,
+    /// Observers of `persist()` calls — the paper's `persist`
+    /// DB-internal event (§3.1) is detected here.
+    persist_hooks: RwLock<Vec<PersistHook>>,
+}
+
+/// Observer of `persist()` calls.
+pub type PersistHook = Arc<dyn Fn(TxnId, ObjectId) + Send + Sync>;
+
+impl PersistencePm {
+    /// Create the PM, its segments, and install the fault handler;
+    /// existing stored objects and roots are loaded automatically.
+    pub fn new(
+        sm: Arc<StorageManager>,
+        space: Arc<ObjectSpace>,
+        change: Arc<ChangePm>,
+        dictionary: Arc<DataDictionary>,
+    ) -> Result<Arc<Self>> {
+        let objects_seg = sm.create_segment(OBJECT_SEGMENT)?;
+        let roots_seg = sm.create_segment(ROOTS_SEGMENT)?;
+        let pm = Arc::new(PersistencePm {
+            sm,
+            space: Arc::clone(&space),
+            change,
+            dictionary,
+            objects_seg,
+            roots_seg,
+            locations: Mutex::new(HashMap::new()),
+            pending: Mutex::new(HashMap::new()),
+            roots_record: Mutex::new(None),
+            persist_hooks: RwLock::new(Vec::new()),
+        });
+        let weak = Arc::downgrade(&pm);
+        space.set_fault_handler(Arc::new(move |oid| match weak.upgrade() {
+            Some(pm) => pm.fault(oid),
+            None => Ok(None),
+        }));
+        pm
+            .load_existing()
+            .map(|_| pm)
+    }
+
+    /// Rebuild the location index and name roots from storage.
+    fn load_existing(&self) -> Result<()> {
+        let mut locations = self.locations.lock();
+        for (rid, bytes) in self.sm.scan(self.objects_seg)? {
+            let (oid, _) = internalize(&bytes)?;
+            locations.insert(oid, rid);
+            self.space.mark_persistent_known(oid);
+        }
+        drop(locations);
+        // Roots: a single record of `name_len name oid` triples.
+        if let Some((rid, bytes)) = self.sm.scan(self.roots_seg)?.into_iter().next() {
+            *self.roots_record.lock() = Some(rid);
+            self.dictionary.load(decode_roots(&bytes)?);
+        }
+        Ok(())
+    }
+
+    /// Fault handler: load a persistent object's state from storage.
+    fn fault(&self, oid: ObjectId) -> Result<Option<reach_object::ObjectState>> {
+        let rid = match self.locations.lock().get(&oid) {
+            Some(r) => *r,
+            None => return Ok(None),
+        };
+        let bytes = self.sm.get(self.objects_seg, rid)?;
+        let (stored_oid, state) = internalize(&bytes)?;
+        debug_assert_eq!(stored_oid, oid);
+        Ok(Some(state))
+    }
+
+    /// Make `oid` persistent. The object is marked immediately (so
+    /// §3.2's transient-reference check passes) and written back when
+    /// `txn`'s top level commits.
+    pub fn persist(&self, txn: TxnId, oid: ObjectId) -> Result<()> {
+        if !self.space.is_resident(oid) {
+            return Err(ReachError::ObjectNotFound(oid));
+        }
+        self.space.mark_persistent(oid);
+        self.pending.lock().entry(txn).or_default().push(oid);
+        let hooks = self.persist_hooks.read().clone();
+        for h in hooks.iter() {
+            h(txn, oid);
+        }
+        Ok(())
+    }
+
+    /// Observe `persist()` calls (the REACH detector for the paper's
+    /// `persist` DB-internal event registers here).
+    pub fn add_persist_hook(&self, h: PersistHook) {
+        self.persist_hooks.write().push(h);
+    }
+
+    /// Whether the object is known to live in stable storage.
+    pub fn is_stored(&self, oid: ObjectId) -> bool {
+        self.locations.lock().contains_key(&oid)
+    }
+
+    /// Number of stored objects.
+    pub fn stored_count(&self) -> usize {
+        self.locations.lock().len()
+    }
+
+    /// All persistent object ids (for full scans after restart).
+    pub fn stored_ids(&self) -> Vec<ObjectId> {
+        let mut v: Vec<ObjectId> = self.locations.lock().keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    fn write_back(&self, txn: TxnId, oid: ObjectId) -> Result<()> {
+        let state = self.space.snapshot(oid)?;
+        let bytes = externalize(oid, &state);
+        let mut locations = self.locations.lock();
+        match locations.get(&oid) {
+            Some(rid) => self.sm.update(txn, self.objects_seg, *rid, &bytes)?,
+            None => {
+                let rid = self.sm.insert(txn, self.objects_seg, &bytes)?;
+                locations.insert(oid, rid);
+            }
+        }
+        Ok(())
+    }
+
+    fn save_roots(&self, txn: TxnId) -> Result<()> {
+        let bytes = encode_roots(&self.dictionary.bindings());
+        let mut rec = self.roots_record.lock();
+        match *rec {
+            Some(rid) => self.sm.update(txn, self.roots_seg, rid, &bytes)?,
+            None => *rec = Some(self.sm.insert(txn, self.roots_seg, &bytes)?),
+        }
+        Ok(())
+    }
+}
+
+impl ResourceManager for PersistencePm {
+    fn begin_top(&self, txn: TxnId) -> Result<()> {
+        self.sm.begin(txn)
+    }
+
+    fn savepoint(&self, _top: TxnId) -> Result<u64> {
+        // Storage is only written during commit, so mid-transaction
+        // rollback has nothing to undo here.
+        Ok(0)
+    }
+
+    fn rollback_to(&self, _top: TxnId, _savepoint: u64) -> Result<()> {
+        Ok(())
+    }
+
+    fn commit_top(&self, txn: TxnId) -> Result<()> {
+        // 1. Newly persisted objects.
+        let pending = self.pending.lock().remove(&txn).unwrap_or_default();
+        let mut written = std::collections::HashSet::new();
+        for oid in pending {
+            if self.space.is_resident(oid) && written.insert(oid) {
+                self.write_back(txn, oid)?;
+            }
+        }
+        // 2. Dirty persistent objects (touched this transaction).
+        for oid in self.change.touched(txn) {
+            if !written.contains(&oid) && self.space.is_persistent(oid) && self.is_stored(oid) {
+                self.write_back(txn, oid)?;
+                written.insert(oid);
+            }
+        }
+        // 3. Deleted persistent objects lose their stored record.
+        for oid in self.change.deleted(txn) {
+            let rid = self.locations.lock().remove(&oid);
+            if let Some(rid) = rid {
+                self.sm.delete(txn, self.objects_seg, rid)?;
+            }
+        }
+        // 4. Persist the name roots (cheap; always current).
+        self.save_roots(txn)?;
+        // 5. Durability point.
+        self.sm.commit(txn)
+    }
+
+    fn abort_top(&self, txn: TxnId) -> Result<()> {
+        self.pending.lock().remove(&txn);
+        self.sm.abort(txn)
+    }
+}
+
+impl PolicyManager for PersistencePm {
+    fn dimension(&self) -> &'static str {
+        "persistence"
+    }
+    fn name(&self) -> &'static str {
+        "wal-write-back"
+    }
+}
+
+fn encode_roots(bindings: &[(String, ObjectId)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(bindings.len() as u32).to_le_bytes());
+    for (name, oid) in bindings {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&oid.raw().to_le_bytes());
+    }
+    out
+}
+
+fn decode_roots(buf: &[u8]) -> Result<Vec<(String, ObjectId)>> {
+    let corrupt = || ReachError::Io("corrupt roots record".into());
+    let mut pos = 0usize;
+    let mut take = |n: usize| -> Result<&[u8]> {
+        if pos + n > buf.len() {
+            return Err(corrupt());
+        }
+        let s = &buf[pos..pos + n];
+        pos += n;
+        Ok(s)
+    };
+    let n = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+        let name = String::from_utf8(take(len)?.to_vec()).map_err(|_| corrupt())?;
+        let oid = ObjectId::new(u64::from_le_bytes(take(8)?.try_into().unwrap()));
+        out.push((name, oid));
+    }
+    Ok(out)
+}
+
+/// Extension trait hook: marking a faulted/known object persistent
+/// without a transaction (restart path).
+trait SpaceExt {
+    fn mark_persistent_known(&self, oid: ObjectId);
+}
+
+impl SpaceExt for ObjectSpace {
+    fn mark_persistent_known(&self, oid: ObjectId) {
+        self.mark_persistent(oid);
+    }
+}
+
+/// Convenience used by tests and the Database facade: persist an object
+/// and bind it to a root name in one step.
+pub fn persist_named(
+    pm: &PersistencePm,
+    dictionary: &DataDictionary,
+    txn: TxnId,
+    name: &str,
+    oid: ObjectId,
+) -> Result<()> {
+    pm.persist(txn, oid)?;
+    dictionary.bind(name, oid);
+    Ok(())
+}

@@ -1,0 +1,63 @@
+//! The Transaction PM: the bus-visible face of the transaction manager.
+//!
+//! Open OODB's Transaction PM extends operation behaviour with
+//! transaction semantics. Ours wraps [`TransactionManager`] (flat +
+//! closed nested transactions) and is where the rule engine's deferred
+//! queue plugs in: §6.4's "control now resides with the transaction
+//! policy manager who knows that at commit-time the deferred rules can
+//! be executed" is exactly the [`TransactionManager::defer`] hook this
+//! PM exposes.
+
+use crate::meta::PolicyManager;
+use reach_common::{Result, TxnId};
+use reach_txn::{TransactionManager, TxnState};
+use std::sync::Arc;
+
+/// Thin policy-manager facade over the transaction manager.
+pub struct TransactionPm {
+    tm: Arc<TransactionManager>,
+}
+
+impl TransactionPm {
+    pub fn new(tm: Arc<TransactionManager>) -> Self {
+        TransactionPm { tm }
+    }
+
+    pub fn manager(&self) -> &Arc<TransactionManager> {
+        &self.tm
+    }
+
+    /// Begin a top-level transaction.
+    pub fn begin(&self) -> Result<TxnId> {
+        self.tm.begin()
+    }
+
+    /// Begin a subtransaction.
+    pub fn begin_nested(&self, parent: TxnId) -> Result<TxnId> {
+        self.tm.begin_nested(parent)
+    }
+
+    /// Commit (top-level commit runs deferred work and write-back).
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        self.tm.commit(txn)
+    }
+
+    /// Abort.
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        self.tm.abort(txn)
+    }
+
+    /// Current state.
+    pub fn state(&self, txn: TxnId) -> Result<TxnState> {
+        self.tm.state(txn)
+    }
+}
+
+impl PolicyManager for TransactionPm {
+    fn dimension(&self) -> &'static str {
+        "transactions"
+    }
+    fn name(&self) -> &'static str {
+        "nested-2pl"
+    }
+}

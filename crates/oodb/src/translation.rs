@@ -1,0 +1,69 @@
+//! Translation: moving objects between address spaces (§5).
+//!
+//! When an object crosses from the active (in-memory) address space to a
+//! passive one (the storage manager) it is translated to a
+//! self-describing byte string: `oid | class | attribute values`. The
+//! inverse direction rebuilds the resident [`ObjectState`].
+
+use reach_common::{ObjectId, ReachError, Result};
+use reach_object::ObjectState;
+
+/// Format version tag, bumped on layout changes.
+const VERSION: u8 = 1;
+
+/// Serialize `(oid, state)` for a passive address space.
+pub fn externalize(oid: ObjectId, state: &ObjectState) -> Vec<u8> {
+    let body = state.encode();
+    let mut out = Vec::with_capacity(body.len() + 9);
+    out.push(VERSION);
+    out.extend_from_slice(&oid.raw().to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Rebuild `(oid, state)` from a passive representation.
+pub fn internalize(buf: &[u8]) -> Result<(ObjectId, ObjectState)> {
+    if buf.len() < 9 {
+        return Err(ReachError::Io("truncated external object".into()));
+    }
+    if buf[0] != VERSION {
+        return Err(ReachError::Io(format!(
+            "unsupported object format version {}",
+            buf[0]
+        )));
+    }
+    let oid = ObjectId::new(u64::from_le_bytes(buf[1..9].try_into().unwrap()));
+    let state = ObjectState::decode(&buf[9..])?;
+    Ok((oid, state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reach_common::ClassId;
+    use reach_object::Value;
+
+    #[test]
+    fn round_trip() {
+        let state = ObjectState {
+            class: ClassId::new(3),
+            attrs: vec![Value::Int(1), Value::Str("x".into())],
+        };
+        let ext = externalize(ObjectId::new(42), &state);
+        let (oid, back) = internalize(&ext).unwrap();
+        assert_eq!(oid, ObjectId::new(42));
+        assert_eq!(back, state);
+    }
+
+    #[test]
+    fn rejects_bad_version_and_truncation() {
+        let state = ObjectState {
+            class: ClassId::new(1),
+            attrs: vec![],
+        };
+        let mut ext = externalize(ObjectId::new(1), &state);
+        ext[0] = 9;
+        assert!(internalize(&ext).is_err());
+        assert!(internalize(&[1, 2, 3]).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Focused tests of the policy managers through the assembled database:
+//! Change PM savepoints, Transaction PM facade, query planning details,
+//! dictionary persistence, index maintenance under mixed workloads.
+
+use open_oodb::pm::query::{parse_query, Plan};
+use open_oodb::{Database, TransactionPm};
+use reach_object::{Value, ValueType};
+use reach_txn::TxnState;
+use std::sync::Arc;
+
+fn db_with_points() -> (Arc<Database>, reach_common::ClassId) {
+    let db = Database::in_memory().unwrap();
+    let class = db
+        .define_class("Point")
+        .attr("x", ValueType::Int, Value::Int(0))
+        .attr("y", ValueType::Int, Value::Int(0))
+        .define()
+        .unwrap();
+    (db, class)
+}
+
+#[test]
+fn change_pm_savepoints_nest_arbitrarily_deep() {
+    let (db, class) = db_with_points();
+    let t0 = db.begin().unwrap();
+    let p = db.create(t0, class).unwrap();
+    db.set_attr(t0, p, "x", Value::Int(1)).unwrap();
+    let t1 = db.begin_nested(t0).unwrap();
+    db.set_attr(t1, p, "x", Value::Int(2)).unwrap();
+    let t2 = db.begin_nested(t1).unwrap();
+    db.set_attr(t2, p, "x", Value::Int(3)).unwrap();
+    let t3 = db.begin_nested(t2).unwrap();
+    db.set_attr(t3, p, "x", Value::Int(4)).unwrap();
+    // Abort the innermost two levels one by one.
+    db.abort(t3).unwrap();
+    assert_eq!(db.get_attr(t2, p, "x").unwrap(), Value::Int(3));
+    db.abort(t2).unwrap();
+    assert_eq!(db.get_attr(t1, p, "x").unwrap(), Value::Int(2));
+    // Commit the middle, then abort the root: everything unwinds.
+    db.commit(t1).unwrap();
+    db.abort(t0).unwrap();
+    let t = db.begin().unwrap();
+    assert!(db.get_attr(t, p, "x").is_err(), "object creation undone");
+    db.commit(t).unwrap();
+}
+
+#[test]
+fn change_pm_pending_counter_reflects_txn_work() {
+    let (db, class) = db_with_points();
+    let t = db.begin().unwrap();
+    assert_eq!(db.change_pm().pending(t), 0);
+    let p = db.create(t, class).unwrap();
+    assert_eq!(db.change_pm().pending(t), 1); // the create
+    db.set_attr(t, p, "x", Value::Int(5)).unwrap();
+    db.set_attr(t, p, "y", Value::Int(6)).unwrap();
+    assert_eq!(db.change_pm().pending(t), 3);
+    db.commit(t).unwrap();
+    assert_eq!(db.change_pm().pending(t), 0, "cleared at commit");
+}
+
+#[test]
+fn transaction_pm_facade() {
+    let (db, _class) = db_with_points();
+    let pm = TransactionPm::new(Arc::clone(db.txn_manager()));
+    let t = pm.begin().unwrap();
+    assert_eq!(pm.state(t).unwrap(), TxnState::Active);
+    let child = pm.begin_nested(t).unwrap();
+    pm.commit(child).unwrap();
+    pm.commit(t).unwrap();
+    assert_eq!(pm.state(t).unwrap(), TxnState::Committed);
+    let a = pm.begin().unwrap();
+    pm.abort(a).unwrap();
+    assert_eq!(pm.state(a).unwrap(), TxnState::Aborted);
+}
+
+#[test]
+fn query_planner_uses_residual_predicates() {
+    let (db, class) = db_with_points();
+    let t = db.begin().unwrap();
+    for i in 0..50 {
+        db.create_with(t, class, &[("x", Value::Int(i)), ("y", Value::Int(i % 7))])
+            .unwrap();
+    }
+    db.commit(t).unwrap();
+    db.create_index(class, "x").unwrap();
+    let t = db.begin().unwrap();
+    // x is indexed, y is the residual filter.
+    let (hits, plan) = db
+        .query_with_plan(t, "select p from Point p where p.x < 20 and p.y == 3")
+        .unwrap();
+    assert!(matches!(plan, Plan::IndexRange { ref attribute } if attribute == "x"));
+    // Expected: x in 0..20 with x % 7 == 3 -> {3, 10, 17}.
+    assert_eq!(hits.len(), 3);
+    db.commit(t).unwrap();
+}
+
+#[test]
+fn query_planner_handles_flipped_and_equality_predicates() {
+    let (db, class) = db_with_points();
+    let t = db.begin().unwrap();
+    for i in 0..30 {
+        db.create_with(t, class, &[("x", Value::Int(i % 10))]).unwrap();
+    }
+    db.commit(t).unwrap();
+    db.create_index(class, "x").unwrap();
+    let t = db.begin().unwrap();
+    let (hits, plan) = db
+        .query_with_plan(t, "select p from Point p where 4 == p.x")
+        .unwrap();
+    assert!(matches!(plan, Plan::IndexEq { .. }));
+    assert_eq!(hits.len(), 3);
+    // >= with flipped operands becomes <=.
+    let (hits, plan) = db
+        .query_with_plan(t, "select p from Point p where 2 >= p.x")
+        .unwrap();
+    assert!(matches!(plan, Plan::IndexRange { .. }));
+    assert_eq!(hits.len(), 9); // x in {0,1,2}, three each
+    db.commit(t).unwrap();
+}
+
+#[test]
+fn query_parse_errors_are_reported() {
+    assert!(parse_query("select from where").is_err());
+    assert!(parse_query("select p from Point p where ((p.x > 1)").is_err());
+    let (db, _class) = db_with_points();
+    let t = db.begin().unwrap();
+    assert!(db.query(t, "select g from Ghost g").is_err());
+    db.commit(t).unwrap();
+}
+
+#[test]
+fn index_maintenance_under_mixed_workload() {
+    let (db, class) = db_with_points();
+    db.create_index(class, "x").unwrap();
+    let t = db.begin().unwrap();
+    let a = db.create_with(t, class, &[("x", Value::Int(1))]).unwrap();
+    let b = db.create_with(t, class, &[("x", Value::Int(2))]).unwrap();
+    let c = db.create_with(t, class, &[("x", Value::Int(3))]).unwrap();
+    db.commit(t).unwrap();
+    let t = db.begin().unwrap();
+    db.set_attr(t, a, "x", Value::Int(10)).unwrap(); // move within index
+    db.delete_object(t, b).unwrap(); // remove
+    db.commit(t).unwrap();
+    let t = db.begin().unwrap();
+    let (hits, plan) = db
+        .query_with_plan(t, "select p from Point p where p.x >= 3")
+        .unwrap();
+    assert!(matches!(plan, Plan::IndexRange { .. }));
+    assert_eq!(hits, vec![c, a], "index order: x=3 then x=10");
+    db.commit(t).unwrap();
+}
+
+#[test]
+fn drop_index_falls_back_to_scan() {
+    let (db, class) = db_with_points();
+    db.create_index(class, "x").unwrap();
+    assert!(db.indexing_pm().drop_index(class, "x"));
+    assert!(!db.indexing_pm().drop_index(class, "x"));
+    let t = db.begin().unwrap();
+    db.create_with(t, class, &[("x", Value::Int(5))]).unwrap();
+    let (hits, plan) = db
+        .query_with_plan(t, "select p from Point p where p.x == 5")
+        .unwrap();
+    assert_eq!(plan, Plan::ExtentScan);
+    assert_eq!(hits.len(), 1);
+    db.commit(t).unwrap();
+}
+
+#[test]
+fn duplicate_index_is_rejected_and_unknown_attr_fails() {
+    let (db, class) = db_with_points();
+    db.create_index(class, "x").unwrap();
+    assert!(db.create_index(class, "x").is_err());
+    assert!(db.create_index(class, "ghost").is_err());
+}
+
+#[test]
+fn subclass_instances_answer_base_class_queries_via_base_index() {
+    let db = Database::in_memory().unwrap();
+    let base = db
+        .define_class("Shape")
+        .attr("area", ValueType::Int, Value::Int(0))
+        .define()
+        .unwrap();
+    let circle = db.define_class("Circle").base(base).define().unwrap();
+    db.create_index(base, "area").unwrap();
+    let t = db.begin().unwrap();
+    let c = db.create_with(t, circle, &[("area", Value::Int(10))]).unwrap();
+    let s = db.create_with(t, base, &[("area", Value::Int(20))]).unwrap();
+    db.commit(t).unwrap();
+    let t = db.begin().unwrap();
+    let (hits, plan) = db
+        .query_with_plan(t, "select s from Shape s where s.area >= 10")
+        .unwrap();
+    assert!(matches!(plan, Plan::IndexRange { .. }));
+    assert_eq!(hits, vec![c, s]);
+    // Subclass extent query sees only circles.
+    let hits = db.query(t, "select c from Circle c").unwrap();
+    assert_eq!(hits, vec![c]);
+    db.commit(t).unwrap();
+}

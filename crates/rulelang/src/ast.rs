@@ -1,0 +1,144 @@
+//! Abstract syntax of rule definitions.
+
+use open_oodb::Expr;
+
+/// Coupling-mode keyword of a `cond`/`action` clause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    Immediate,
+    Deferred,
+    Detached,
+    ParallelCausallyDependent,
+    SequentialCausallyDependent,
+    ExclusiveCausallyDependent,
+}
+
+impl Mode {
+    /// Parse the keyword (both the paper's abbreviations and full names).
+    pub fn from_keyword(word: &str) -> Option<Mode> {
+        Some(match word {
+            "imm" | "immediate" => Mode::Immediate,
+            "def" | "deferred" => Mode::Deferred,
+            "detached" => Mode::Detached,
+            "par_cd" | "parallel" => Mode::ParallelCausallyDependent,
+            "seq_cd" | "sequential" => Mode::SequentialCausallyDependent,
+            "exc_cd" | "exclusive" => Mode::ExclusiveCausallyDependent,
+            _ => return None,
+        })
+    }
+
+    pub fn to_coupling(self) -> reach_core::CouplingMode {
+        use reach_core::CouplingMode as C;
+        match self {
+            Mode::Immediate => C::Immediate,
+            Mode::Deferred => C::Deferred,
+            Mode::Detached => C::Detached,
+            Mode::ParallelCausallyDependent => C::ParallelCausallyDependent,
+            Mode::SequentialCausallyDependent => C::SequentialCausallyDependent,
+            Mode::ExclusiveCausallyDependent => C::ExclusiveCausallyDependent,
+        }
+    }
+}
+
+/// What a declared variable binds to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeclKind {
+    /// `River *river` — an object variable of the given class.
+    Object { class_name: String },
+    /// `Reactor *reactor named "BlockA"` — a persistent root fetched
+    /// from the data dictionary at evaluation time.
+    NamedObject { class_name: String, root: String },
+    /// `int x` — a value variable bound from event parameters.
+    Value { type_name: String },
+}
+
+/// One `decl` entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Decl {
+    pub var: String,
+    pub kind: DeclKind,
+}
+
+/// The `event` clause. The paper's §6.1 grammar shows only method
+/// events (`event after river->updateWaterLevel(x);`); the remaining
+/// forms cover the rest of REACH's primitive event set:
+///
+/// * `event changed river.waterLevel;` — a state-change event; the
+///   condition/action additionally see `old` and `new` bindings;
+/// * `event deleted river;` — the destructor event of the variable's
+///   class;
+/// * `event composite "name";` — a composite event registered under
+///   `name` with `ReachSystem::define_composite`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventClause {
+    Method {
+        /// `after` (true) or `before`.
+        after: bool,
+        /// The receiver variable (must be a declared object variable).
+        receiver_var: String,
+        method: String,
+        /// Parameter variable names, bound by position to the args.
+        params: Vec<String>,
+    },
+    StateChange {
+        receiver_var: String,
+        attribute: String,
+    },
+    Deleted {
+        receiver_var: String,
+    },
+    Composite {
+        name: String,
+    },
+}
+
+impl EventClause {
+    /// The receiver variable, if this event form has one.
+    pub fn receiver_var(&self) -> Option<&str> {
+        match self {
+            EventClause::Method { receiver_var, .. }
+            | EventClause::StateChange { receiver_var, .. }
+            | EventClause::Deleted { receiver_var } => Some(receiver_var),
+            EventClause::Composite { .. } => None,
+        }
+    }
+
+    /// Parameter variable names (method events only).
+    pub fn params(&self) -> &[String] {
+        match self {
+            EventClause::Method { params, .. } => params,
+            _ => &[],
+        }
+    }
+}
+
+/// The `action` clause body.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ActionClause {
+    /// One or more call/assignment expressions, evaluated in order.
+    Exprs(Vec<Expr>),
+    /// `abort` — abort the rule's transaction (and, for immediate
+    /// coupling, the triggering transaction).
+    Abort,
+}
+
+/// A full parsed rule definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleDef {
+    pub name: String,
+    pub priority: i32,
+    pub decls: Vec<Decl>,
+    pub event: EventClause,
+    pub cond_mode: Mode,
+    /// `None` means `cond` was omitted (always true).
+    pub condition: Option<Expr>,
+    pub action_mode: Mode,
+    pub action: ActionClause,
+}
+
+impl RuleDef {
+    /// Find a declaration by variable name.
+    pub fn decl(&self, var: &str) -> Option<&Decl> {
+        self.decls.iter().find(|d| d.var == var)
+    }
+}

@@ -1,0 +1,173 @@
+//! Compiling parsed rule definitions into live REACH rules.
+//!
+//! The paper maps a rule onto "one rule object and two C functions"
+//! extracted from a shared library "using the naming convention that the
+//! rule's name is appended by 'Cond' and 'Action'". Here the compiler
+//! produces the two closures directly and registers:
+//!
+//! 1. a method event type named `<rule>:event` (monitoring starts);
+//! 2. the rule object, with the condition/action closures evaluating
+//!    the parsed expressions against a binding environment built from
+//!    the event occurrence and the data dictionary.
+
+use crate::ast::{ActionClause, Decl, DeclKind, EventClause, RuleDef};
+use open_oodb::pm::query::{EvalCtx, Expr};
+use reach_core::event::MethodPhase;
+use reach_core::{ReachSystem, RuleBuilder, RuleCtx};
+use reach_common::{ReachError, Result, RuleId};
+use reach_object::Value;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Build the variable bindings for one evaluation.
+fn bindings(def: &RuleDef, ctx: &RuleCtx<'_>) -> Result<HashMap<String, Value>> {
+    let mut env = HashMap::with_capacity(def.decls.len() + 2);
+    let prim = ctx.event.first_primitive();
+    // State-change events additionally bind `old` and `new`.
+    if matches!(def.event, EventClause::StateChange { .. }) {
+        env.insert("old".to_string(), ctx.old_value());
+        env.insert("new".to_string(), ctx.new_value());
+    }
+    for decl in &def.decls {
+        let value = match &decl.kind {
+            DeclKind::NamedObject { root, .. } => Value::Ref(ctx.db.fetch(root)?),
+            DeclKind::Object { .. } => {
+                if Some(decl.var.as_str()) == def.event.receiver_var() {
+                    match prim.data.receiver {
+                        Some(oid) => Value::Ref(oid),
+                        None => {
+                            return Err(ReachError::RuleEvaluation(format!(
+                                "event has no receiver to bind {:?}",
+                                decl.var
+                            )))
+                        }
+                    }
+                } else {
+                    return Err(ReachError::RuleEvaluation(format!(
+                        "object variable {:?} is neither the event receiver nor named",
+                        decl.var
+                    )));
+                }
+            }
+            DeclKind::Value { .. } => {
+                let pos = def
+                    .event
+                    .params()
+                    .iter()
+                    .position(|p| p == &decl.var)
+                    .ok_or_else(|| {
+                        ReachError::RuleEvaluation(format!(
+                            "value variable {:?} is not an event parameter",
+                            decl.var
+                        ))
+                    })?;
+                prim.data.args.get(pos).cloned().unwrap_or(Value::Null)
+            }
+        };
+        env.insert(decl.var.clone(), value);
+    }
+    Ok(env)
+}
+
+fn eval_in(def: &RuleDef, ctx: &RuleCtx<'_>, expr: &Expr) -> Result<Value> {
+    let env = bindings(def, ctx)?;
+    let ectx = EvalCtx {
+        space: ctx.db.space(),
+        dispatcher: ctx.db.dispatcher(),
+        txn: ctx.txn,
+        bindings: &env,
+    };
+    expr.eval(&ectx)
+}
+
+/// Compile a parsed rule against a live system: registers the event
+/// type and the rule, returning the rule id.
+pub fn compile(sys: &ReachSystem, def: &RuleDef) -> Result<RuleId> {
+    // Resolve the receiver class (absent for composite references).
+    let receiver_class = |var: &str| -> Result<reach_common::ClassId> {
+        let decl = def
+            .decl(var)
+            .expect("validated by the parser");
+        let class_name = match &decl.kind {
+            DeclKind::Object { class_name } | DeclKind::NamedObject { class_name, .. } => {
+                class_name
+            }
+            DeclKind::Value { .. } => unreachable!("validated by the parser"),
+        };
+        sys.db().schema().class_by_name(class_name)
+    };
+    let event = match &def.event {
+        EventClause::Method {
+            after,
+            receiver_var,
+            method,
+            ..
+        } => {
+            let class = receiver_class(receiver_var)?;
+            let phase = if *after {
+                MethodPhase::After
+            } else {
+                MethodPhase::Before
+            };
+            sys.define_method_event(&format!("{}:event", def.name), class, method, phase)?
+        }
+        EventClause::StateChange {
+            receiver_var,
+            attribute,
+        } => {
+            let class = receiver_class(receiver_var)?;
+            sys.define_state_event(&format!("{}:event", def.name), class, attribute)?
+        }
+        EventClause::Deleted { receiver_var } => {
+            let class = receiver_class(receiver_var)?;
+            sys.define_lifecycle_event(&format!("{}:event", def.name), class, true)?
+        }
+        EventClause::Composite { name } => sys.event(name)?,
+    };
+
+    // §6.1: cond and action carry their own coupling keywords (HiPAC's
+    // E-C and C-A couplings). When they differ the engine evaluates the
+    // condition under the cond mode and schedules the action under the
+    // action mode; validity is checked at registration.
+    let mut builder = RuleBuilder::new(&def.name)
+        .on(event)
+        .priority(def.priority)
+        .coupling(def.cond_mode.to_coupling());
+    if def.action_mode != def.cond_mode {
+        builder = builder.action_coupling(def.action_mode.to_coupling());
+    }
+
+    if let Some(cond_expr) = def.condition.clone() {
+        let def_c: Arc<RuleDef> = Arc::new(def.clone());
+        builder = builder.when(move |ctx| eval_in(&def_c, ctx, &cond_expr)?.as_bool());
+    }
+    let action = def.action.clone();
+    let def_a: Arc<RuleDef> = Arc::new(def.clone());
+    builder = builder.then(move |ctx| match &action {
+        ActionClause::Abort => Err(ReachError::RuleEvaluation(format!(
+            "rule {:?} requested abort",
+            def_a.name
+        ))),
+        ActionClause::Exprs(exprs) => {
+            for e in exprs {
+                eval_in(&def_a, ctx, e)?;
+            }
+            Ok(())
+        }
+    });
+    sys.define_rule(builder)
+}
+
+/// Parse + compile in one step.
+pub fn load_rule(sys: &ReachSystem, src: &str) -> Result<RuleId> {
+    let def = crate::parser::parse_rule(src)?;
+    compile(sys, &def)
+}
+
+/// Re-export for convenience.
+pub use load_rule as load;
+
+#[allow(unused)]
+fn _assert_send_sync(d: Decl) -> Decl {
+    d
+}

@@ -1,0 +1,40 @@
+//! `reach-rulelang` — the REACH rule definition language.
+//!
+//! §6.1 of the paper shows the concrete syntax on its power-plant
+//! example, reproduced verbatim in this crate's tests:
+//!
+//! ```text
+//! rule WaterLevel {
+//!     prio 5;
+//!     decl River *river, int x, Reactor *reactor named "BlockA";
+//!     event after river->updateWaterLevel(x);
+//!     cond imm x < 37 and river->getWaterTemp() > 24.5
+//!              and reactor->getHeatOutput() > 1000000;
+//!     action imm reactor->reducePlannedPower(0.05);
+//! };
+//! ```
+//!
+//! The paper maps each rule onto "one rule object and two C functions
+//! for condition evaluation and action execution ... archived in a
+//! shared library". [`compile()`](compile::compile) performs the same mapping: the `cond`
+//! and `action` clauses become closures over the shared expression
+//! evaluator (the Query PM's), bound to the rule object registered with
+//! the [`ReachSystem`](reach_core::ReachSystem).
+//!
+//! Binding rules for `decl` variables:
+//!
+//! * the **receiver variable** of the `event` clause binds to the
+//!   event's receiver object;
+//! * **parameter variables** listed in the event's argument position
+//!   bind to the method arguments by position;
+//! * variables declared `named "X"` are fetched from the data
+//!   dictionary at condition/action evaluation time — exactly the
+//!   paper's `OpenOODB->fetch("Block A")`.
+
+pub mod ast;
+pub mod compile;
+pub mod parser;
+
+pub use ast::{ActionClause, Decl, DeclKind, EventClause, Mode, RuleDef};
+pub use compile::compile;
+pub use parser::parse_rule;

@@ -1,0 +1,519 @@
+//! Parser for the rule definition language.
+//!
+//! The structure grammar is small (clauses separated by `;` inside
+//! `rule Name { ... };`); condition and action bodies are handed to the
+//! shared expression parser of the Query PM.
+
+use crate::ast::{ActionClause, Decl, DeclKind, EventClause, Mode, RuleDef};
+
+use open_oodb::pm::query::parse_expr;
+use reach_common::{ReachError, Result};
+
+fn err(line: u32, message: impl Into<String>) -> ReachError {
+    ReachError::Parse {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Strip `//` line and `/* */` block comments.
+fn strip_comments(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'/') {
+            while i < bytes.len() && bytes[i] != b'\n' {
+                i += 1;
+            }
+        } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+            i += 2;
+            while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                i += 1;
+            }
+            i = (i + 2).min(bytes.len());
+        } else if bytes[i] == b'"' || bytes[i] == b'\'' {
+            let quote = bytes[i];
+            out.push(bytes[i] as char);
+            i += 1;
+            while i < bytes.len() && bytes[i] != quote {
+                out.push(bytes[i] as char);
+                i += 1;
+            }
+            if i < bytes.len() {
+                out.push(bytes[i] as char);
+                i += 1;
+            }
+        } else {
+            out.push(bytes[i] as char);
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Split on `;` at zero parenthesis depth, trimming empties.
+fn split_clauses(body: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    let mut in_str: Option<char> = None;
+    for c in body.chars() {
+        match in_str {
+            Some(q) => {
+                cur.push(c);
+                if c == q {
+                    in_str = None;
+                }
+            }
+            None => match c {
+                '"' | '\'' => {
+                    in_str = Some(c);
+                    cur.push(c);
+                }
+                '(' => {
+                    depth += 1;
+                    cur.push(c);
+                }
+                ')' => {
+                    depth -= 1;
+                    cur.push(c);
+                }
+                ';' if depth == 0 => {
+                    let t = cur.trim().to_string();
+                    if !t.is_empty() {
+                        out.push(t);
+                    }
+                    cur.clear();
+                }
+                _ => cur.push(c),
+            },
+        }
+    }
+    let t = cur.trim().to_string();
+    if !t.is_empty() {
+        out.push(t);
+    }
+    out
+}
+
+/// Split on `,` at zero parenthesis depth.
+fn split_commas(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    let mut in_str: Option<char> = None;
+    for c in s.chars() {
+        match in_str {
+            Some(q) => {
+                cur.push(c);
+                if c == q {
+                    in_str = None;
+                }
+            }
+            None => match c {
+                '"' | '\'' => {
+                    in_str = Some(c);
+                    cur.push(c);
+                }
+                '(' => {
+                    depth += 1;
+                    cur.push(c);
+                }
+                ')' => {
+                    depth -= 1;
+                    cur.push(c);
+                }
+                ',' if depth == 0 => {
+                    out.push(cur.trim().to_string());
+                    cur.clear();
+                }
+                _ => cur.push(c),
+            },
+        }
+    }
+    let t = cur.trim().to_string();
+    if !t.is_empty() {
+        out.push(t);
+    }
+    out
+}
+
+fn parse_decl(entry: &str) -> Result<Decl> {
+    // Forms:  `Type *var`  |  `Type *var named "root"`  |  `type var`
+    let words: Vec<&str> = entry.split_whitespace().collect();
+    if words.len() < 2 {
+        return Err(err(0, format!("bad decl entry {entry:?}")));
+    }
+    // Normalize `Type *var` vs `Type* var` vs `Type * var`.
+    let joined = words.join(" ");
+    if let Some(star_pos) = joined.find('*') {
+        let class_name = joined[..star_pos].trim().to_string();
+        let rest = joined[star_pos + 1..].trim();
+        let mut rest_words = rest.split_whitespace();
+        let var = rest_words
+            .next()
+            .ok_or_else(|| err(0, format!("missing variable name in {entry:?}")))?
+            .to_string();
+        if class_name.is_empty() || var.is_empty() {
+            return Err(err(0, format!("bad object decl {entry:?}")));
+        }
+        match rest_words.next() {
+            None => Ok(Decl {
+                var,
+                kind: DeclKind::Object { class_name },
+            }),
+            Some("named") => {
+                let root_raw: String = rest_words.collect::<Vec<_>>().join(" ");
+                let root = root_raw.trim().trim_matches(['"', '\'']).to_string();
+                if root.is_empty() {
+                    return Err(err(0, format!("empty root name in {entry:?}")));
+                }
+                Ok(Decl {
+                    var,
+                    kind: DeclKind::NamedObject { class_name, root },
+                })
+            }
+            Some(other) => Err(err(0, format!("unexpected {other:?} in decl {entry:?}"))),
+        }
+    } else {
+        if words.len() != 2 {
+            return Err(err(0, format!("bad value decl {entry:?}")));
+        }
+        Ok(Decl {
+            var: words[1].to_string(),
+            kind: DeclKind::Value {
+                type_name: words[0].to_string(),
+            },
+        })
+    }
+}
+
+fn parse_event(rest: &str) -> Result<EventClause> {
+    let rest = rest.trim();
+    // Non-method forms first.
+    if let Some(r) = rest.strip_prefix("changed ") {
+        let r = r.trim();
+        let dot = r
+            .find(['.', '-'])
+            .ok_or_else(|| err(0, format!("changed clause needs var.attr: {r:?}")))?;
+        let receiver_var = r[..dot].trim().to_string();
+        let attribute = r[dot..].trim_start_matches(['.', '-', '>']).trim().to_string();
+        if receiver_var.is_empty() || attribute.is_empty() {
+            return Err(err(0, format!("bad changed clause: {r:?}")));
+        }
+        return Ok(EventClause::StateChange {
+            receiver_var,
+            attribute,
+        });
+    }
+    if let Some(r) = rest.strip_prefix("deleted ") {
+        let receiver_var = r.trim().to_string();
+        if receiver_var.is_empty() {
+            return Err(err(0, "deleted clause needs a variable"));
+        }
+        return Ok(EventClause::Deleted { receiver_var });
+    }
+    if let Some(r) = rest.strip_prefix("composite ") {
+        let name = r.trim().trim_matches(['"', '\'']).to_string();
+        if name.is_empty() {
+            return Err(err(0, "composite clause needs a name"));
+        }
+        return Ok(EventClause::Composite { name });
+    }
+    // `after river->updateWaterLevel(x)` | `before obj->m()`
+    let (after, rest) = if let Some(r) = rest.strip_prefix("after ") {
+        (true, r.trim())
+    } else if let Some(r) = rest.strip_prefix("before ") {
+        (false, r.trim())
+    } else {
+        (true, rest) // default phase is `after`
+    };
+    let arrow = rest
+        .find("->")
+        .or_else(|| rest.find('.'))
+        .ok_or_else(|| err(0, format!("event clause needs var->method(...): {rest:?}")))?;
+    let sep_len = if rest[arrow..].starts_with("->") { 2 } else { 1 };
+    let receiver_var = rest[..arrow].trim().to_string();
+    let call = rest[arrow + sep_len..].trim();
+    let open = call
+        .find('(')
+        .ok_or_else(|| err(0, format!("event method needs parentheses: {call:?}")))?;
+    let close = call
+        .rfind(')')
+        .ok_or_else(|| err(0, format!("unterminated parameter list: {call:?}")))?;
+    let method = call[..open].trim().to_string();
+    let params: Vec<String> = split_commas(&call[open + 1..close])
+        .into_iter()
+        .filter(|p| !p.is_empty())
+        .collect();
+    if receiver_var.is_empty() || method.is_empty() {
+        return Err(err(0, format!("bad event clause: {rest:?}")));
+    }
+    Ok(EventClause::Method {
+        after,
+        receiver_var,
+        method,
+        params,
+    })
+}
+
+fn parse_moded(rest: &str) -> Result<(Mode, &str)> {
+    let rest = rest.trim();
+    let (word, tail) = rest
+        .split_once(char::is_whitespace)
+        .unwrap_or((rest, ""));
+    let mode = Mode::from_keyword(word)
+        .ok_or_else(|| err(0, format!("unknown coupling keyword {word:?}")))?;
+    Ok((mode, tail.trim()))
+}
+
+/// Parse a full rule definition.
+pub fn parse_rule(src: &str) -> Result<RuleDef> {
+    let src = strip_comments(src);
+    let src = src.trim();
+    let rest = src
+        .strip_prefix("rule")
+        .ok_or_else(|| err(1, "rule definition must start with 'rule'"))?
+        .trim_start();
+    let open = rest
+        .find('{')
+        .ok_or_else(|| err(1, "missing '{' after rule name"))?;
+    let name = rest[..open].trim().to_string();
+    if name.is_empty() || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        return Err(err(1, format!("bad rule name {name:?}")));
+    }
+    let close = rest
+        .rfind('}')
+        .ok_or_else(|| err(1, "missing closing '}'"))?;
+    let body = &rest[open + 1..close];
+
+    let mut priority = 0i32;
+    let mut decls = Vec::new();
+    let mut event = None;
+    let mut cond_mode = Mode::Immediate;
+    let mut condition = None;
+    let mut action_mode = None;
+    let mut action = None;
+
+    for clause in split_clauses(body) {
+        let (kw, rest) = clause
+            .split_once(char::is_whitespace)
+            .unwrap_or((clause.as_str(), ""));
+        match kw {
+            "prio" => {
+                priority = rest
+                    .trim()
+                    .parse()
+                    .map_err(|_| err(0, format!("bad priority {rest:?}")))?;
+            }
+            "decl" => {
+                for entry in split_commas(rest) {
+                    decls.push(parse_decl(&entry)?);
+                }
+            }
+            "event" => {
+                event = Some(parse_event(rest)?);
+            }
+            "cond" => {
+                let (mode, expr_src) = parse_moded(rest)?;
+                cond_mode = mode;
+                if !expr_src.is_empty() {
+                    condition = Some(parse_expr(expr_src)?);
+                }
+            }
+            "action" => {
+                let (mode, body_src) = parse_moded(rest)?;
+                action_mode = Some(mode);
+                action = Some(if body_src.trim() == "abort" {
+                    ActionClause::Abort
+                } else {
+                    let exprs = split_commas(body_src)
+                        .iter()
+                        .map(|e| parse_expr(e))
+                        .collect::<Result<Vec<_>>>()?;
+                    if exprs.is_empty() {
+                        return Err(err(0, "empty action body"));
+                    }
+                    ActionClause::Exprs(exprs)
+                });
+            }
+            other => return Err(err(0, format!("unknown clause keyword {other:?}"))),
+        }
+    }
+
+    let event = event.ok_or_else(|| err(0, "rule has no event clause"))?;
+    let action = action.ok_or_else(|| err(0, "rule has no action clause"))?;
+    let action_mode = action_mode.unwrap_or(cond_mode);
+
+    // Validate declarations against the event clause.
+    let def = RuleDef {
+        name,
+        priority,
+        decls,
+        event,
+        cond_mode,
+        condition,
+        action_mode,
+        action,
+    };
+    if let Some(receiver) = def.event.receiver_var() {
+        match def.decl(receiver) {
+            Some(Decl {
+                kind: DeclKind::Object { .. } | DeclKind::NamedObject { .. },
+                ..
+            }) => {}
+            _ => {
+                return Err(err(
+                    0,
+                    format!("event receiver {receiver:?} must be a declared object variable"),
+                ))
+            }
+        }
+    }
+    for p in def.event.params() {
+        if def.decl(p).is_none() {
+            return Err(err(0, format!("event parameter {p:?} is not declared")));
+        }
+    }
+    Ok(def)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's §6.1 example, verbatim modulo whitespace.
+    pub const WATER_LEVEL: &str = r#"
+        rule WaterLevel {
+            prio 5;
+            decl River *river, int x, Reactor *reactor named "BlockA";
+            event after river->updateWaterLevel(x);
+            cond imm x < 37 and river->getWaterTemp() > 24.5
+                     and reactor->getHeatOutput() > 1000000;
+            action imm reactor->reducePlannedPower(0.05);
+        };
+    "#;
+
+    #[test]
+    fn parses_the_papers_rule() {
+        let def = parse_rule(WATER_LEVEL).unwrap();
+        assert_eq!(def.name, "WaterLevel");
+        assert_eq!(def.priority, 5);
+        assert_eq!(def.decls.len(), 3);
+        assert_eq!(
+            def.decl("river").unwrap().kind,
+            DeclKind::Object {
+                class_name: "River".into()
+            }
+        );
+        assert_eq!(
+            def.decl("x").unwrap().kind,
+            DeclKind::Value {
+                type_name: "int".into()
+            }
+        );
+        assert_eq!(
+            def.decl("reactor").unwrap().kind,
+            DeclKind::NamedObject {
+                class_name: "Reactor".into(),
+                root: "BlockA".into()
+            }
+        );
+        match &def.event {
+            EventClause::Method {
+                after,
+                receiver_var,
+                method,
+                params,
+            } => {
+                assert!(after);
+                assert_eq!(receiver_var, "river");
+                assert_eq!(method, "updateWaterLevel");
+                assert_eq!(params, &vec!["x".to_string()]);
+            }
+            other => panic!("expected method event, got {other:?}"),
+        }
+        assert_eq!(def.cond_mode, Mode::Immediate);
+        assert!(def.condition.is_some());
+        assert_eq!(def.action_mode, Mode::Immediate);
+        assert!(matches!(def.action, ActionClause::Exprs(ref v) if v.len() == 1));
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let src = r#"
+            rule R { // line comment
+                decl T *t; /* block
+                              comment */
+                event after t->go();
+                action imm t->stop();
+            };
+        "#;
+        let def = parse_rule(src).unwrap();
+        assert_eq!(def.name, "R");
+        assert!(def.condition.is_none(), "omitted cond means always-true");
+    }
+
+    #[test]
+    fn before_phase_and_deferred_modes() {
+        let src = r#"
+            rule R {
+                decl T *t;
+                event before t->go();
+                cond def t->ready() == true;
+                action def t->stop();
+            };
+        "#;
+        let def = parse_rule(src).unwrap();
+        assert!(matches!(def.event, EventClause::Method { after: false, .. }));
+        assert_eq!(def.cond_mode, Mode::Deferred);
+        assert_eq!(def.action_mode, Mode::Deferred);
+    }
+
+    #[test]
+    fn abort_action() {
+        let src = r#"
+            rule Guard {
+                decl Account *a, float amount;
+                event after a->withdraw(amount);
+                cond imm amount > 10000.0;
+                action imm abort;
+            };
+        "#;
+        let def = parse_rule(src).unwrap();
+        assert_eq!(def.action, ActionClause::Abort);
+    }
+
+    #[test]
+    fn multiple_action_expressions() {
+        let src = r#"
+            rule R {
+                decl T *t;
+                event after t->go();
+                action detached t->log(1), t->log(2);
+            };
+        "#;
+        let def = parse_rule(src).unwrap();
+        assert!(matches!(def.action, ActionClause::Exprs(ref v) if v.len() == 2));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_rule("bogus").is_err());
+        // Receiver variable not declared.
+        assert!(parse_rule("rule R { event after t->go(); action imm t->x(); };").is_err());
+        // Event parameter not declared.
+        assert!(parse_rule(
+            "rule R { decl T *t; event after t->go(x); action imm t->x(); };"
+        )
+        .is_err());
+        // No action clause.
+        assert!(parse_rule("rule R { decl T *t; event after t->go(); };").is_err());
+        // Unknown coupling keyword.
+        assert!(parse_rule(
+            "rule R { decl T *t; event after t->go(); action someday t->x(); };"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,158 @@
+//! The extended event clauses of the rule language: state-change,
+//! deletion, and composite references.
+
+use open_oodb::Database;
+use reach_core::{
+    CompositionScope, ConsumptionPolicy, EventExpr, Lifespan, ReachConfig, ReachSystem,
+};
+use reach_core::event::MethodPhase;
+use reach_object::{Value, ValueType};
+use reach_rulelang::compile::load_rule;
+use std::sync::Arc;
+
+fn tank_world() -> (Arc<ReachSystem>, reach_common::ObjectId) {
+    let db = Database::in_memory().unwrap();
+    let (b, fill) = db
+        .define_class("Tank")
+        .attr("level", ValueType::Int, Value::Int(0))
+        .attr("overflows", ValueType::Int, Value::Int(0))
+        .attr("drained", ValueType::Int, Value::Int(0))
+        .virtual_method("fill");
+    let (b, note_overflow) = b.virtual_method("noteOverflow");
+    let (b, note_drain) = b.virtual_method("noteDrain");
+    let tank = b.define().unwrap();
+    db.methods().register_fn(fill, |ctx| {
+        let n = ctx.get("level")?.as_int()? + ctx.arg(0).as_int()?;
+        ctx.set("level", Value::Int(n))?;
+        Ok(Value::Int(n))
+    });
+    db.methods().register_fn(note_overflow, |ctx| {
+        let n = ctx.get("overflows")?.as_int()? + 1;
+        ctx.set("overflows", Value::Int(n))?;
+        Ok(Value::Null)
+    });
+    db.methods().register_fn(note_drain, |ctx| {
+        let n = ctx.get("drained")?.as_int()? + 1;
+        ctx.set("drained", Value::Int(n))?;
+        Ok(Value::Null)
+    });
+    let sys = ReachSystem::new(Arc::clone(&db), ReachConfig::default());
+    let t = db.begin().unwrap();
+    let tank_obj = db.create(t, tank).unwrap();
+    db.persist_named(t, "main-tank", tank_obj).unwrap();
+    db.commit(t).unwrap();
+    (sys, tank_obj)
+}
+
+#[test]
+fn changed_clause_binds_old_and_new() {
+    let (sys, tank) = tank_world();
+    load_rule(
+        &sys,
+        r#"
+        rule OverflowWatch {
+            decl Tank *t;
+            event changed t.level;
+            cond imm new > 100 and old <= 100;
+            action imm t->noteOverflow();
+        };
+    "#,
+    )
+    .unwrap();
+    let db = sys.db();
+    let t = db.begin().unwrap();
+    db.invoke(t, tank, "fill", &[Value::Int(60)]).unwrap(); // 0 -> 60
+    db.invoke(t, tank, "fill", &[Value::Int(60)]).unwrap(); // 60 -> 120: crosses
+    db.invoke(t, tank, "fill", &[Value::Int(10)]).unwrap(); // 120 -> 130: already over
+    assert_eq!(db.get_attr(t, tank, "overflows").unwrap(), Value::Int(1));
+    db.commit(t).unwrap();
+}
+
+#[test]
+fn deleted_clause_fires_on_destructor() {
+    let (sys, _tank) = tank_world();
+    // A second, transient tank is the victim; the rule logs the deletion
+    // against the persistent main tank fetched by name.
+    load_rule(
+        &sys,
+        r#"
+        rule Obituary {
+            decl Tank *t, Tank *log named "main-tank";
+            event deleted t;
+            action imm log->noteDrain();
+        };
+    "#,
+    )
+    .unwrap();
+    let db = sys.db();
+    let t = db.begin().unwrap();
+    let victim = db
+        .create(t, db.schema().class_by_name("Tank").unwrap())
+        .unwrap();
+    db.delete_object(t, victim).unwrap();
+    let main_tank = db.fetch("main-tank").unwrap();
+    assert_eq!(db.get_attr(t, main_tank, "drained").unwrap(), Value::Int(1));
+    db.commit(t).unwrap();
+}
+
+#[test]
+fn composite_clause_references_a_registered_composite() {
+    let (sys, tank) = tank_world();
+    // Pre-register the composite programmatically, reference it by name.
+    let fill_ev = sys
+        .define_method_event(
+            "fill-ev",
+            sys.db().schema().class_by_name("Tank").unwrap(),
+            "fill",
+            MethodPhase::After,
+        )
+        .unwrap();
+    sys.define_composite(
+        "three-fills",
+        EventExpr::History {
+            expr: Box::new(EventExpr::Primitive(fill_ev)),
+            count: 3,
+        },
+        CompositionScope::SameTransaction,
+        Lifespan::Transaction,
+        ConsumptionPolicy::Chronicle,
+    )
+    .unwrap();
+    load_rule(
+        &sys,
+        r#"
+        rule BurstFill {
+            decl Tank *log named "main-tank";
+            event composite "three-fills";
+            cond def true;
+            action def log->noteOverflow();
+        };
+    "#,
+    )
+    .unwrap();
+    let db = sys.db();
+    let t = db.begin().unwrap();
+    for _ in 0..3 {
+        db.invoke(t, tank, "fill", &[Value::Int(1)]).unwrap();
+    }
+    db.commit(t).unwrap();
+    let t = db.begin().unwrap();
+    assert_eq!(db.get_attr(t, tank, "overflows").unwrap(), Value::Int(1));
+    db.commit(t).unwrap();
+}
+
+#[test]
+fn composite_clause_with_unknown_name_fails() {
+    let (sys, _) = tank_world();
+    assert!(load_rule(
+        &sys,
+        r#"
+        rule Ghost {
+            decl Tank *log named "main-tank";
+            event composite "no-such-composite";
+            action detached log->noteDrain();
+        };
+    "#,
+    )
+    .is_err());
+}

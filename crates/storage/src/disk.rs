@@ -1,0 +1,238 @@
+//! Stable page storage.
+//!
+//! Open OODB calls this a *passive address-space manager*: a dumb
+//! repository of pages. Two implementations share the [`StableStorage`]
+//! trait — a real file ([`FileDisk`]) and an in-memory device
+//! ([`MemDisk`]) used by tests and by benchmarks that must not measure
+//! the host filesystem.
+
+use crate::page::{Page, PAGE_SIZE};
+use parking_lot::Mutex;
+use reach_common::{PageId, ReachError, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A device that can durably store fixed-size pages.
+pub trait StableStorage: Send + Sync {
+    /// Allocate a fresh page id (the page is all-zero until written).
+    fn allocate(&self) -> Result<PageId>;
+    /// Read a page image.
+    fn read(&self, id: PageId) -> Result<Page>;
+    /// Write a page image.
+    fn write(&self, page: &Page) -> Result<()>;
+    /// Force all writes to stable storage.
+    fn sync(&self) -> Result<()>;
+    /// Number of pages ever allocated.
+    fn page_count(&self) -> u64;
+}
+
+/// In-memory page device. Pages live in a `Vec<Option<Box<image>>>`.
+pub struct MemDisk {
+    pages: Mutex<Vec<Option<Box<[u8; PAGE_SIZE]>>>>,
+    next: AtomicU64,
+}
+
+impl MemDisk {
+    pub fn new() -> Self {
+        MemDisk {
+            pages: Mutex::new(Vec::new()),
+            // Page ids start at 1; index = id - 1.
+            next: AtomicU64::new(1),
+        }
+    }
+}
+
+impl Default for MemDisk {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StableStorage for MemDisk {
+    fn allocate(&self) -> Result<PageId> {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        let mut pages = self.pages.lock();
+        pages.push(None);
+        debug_assert_eq!(pages.len() as u64, id);
+        Ok(PageId::new(id))
+    }
+
+    fn read(&self, id: PageId) -> Result<Page> {
+        let pages = self.pages.lock();
+        let idx = (id.raw() as usize).checked_sub(1).ok_or(ReachError::PageNotFound(id))?;
+        match pages.get(idx) {
+            Some(Some(img)) => Page::from_bytes(img.as_slice()),
+            // Allocated but never written: a fresh formatted page.
+            Some(None) => Ok(Page::new(id)),
+            None => Err(ReachError::PageNotFound(id)),
+        }
+    }
+
+    fn write(&self, page: &Page) -> Result<()> {
+        let id = page.id();
+        let mut pages = self.pages.lock();
+        let idx = (id.raw() as usize).checked_sub(1).ok_or(ReachError::PageNotFound(id))?;
+        let slot = pages.get_mut(idx).ok_or(ReachError::PageNotFound(id))?;
+        let mut img = Box::new([0u8; PAGE_SIZE]);
+        img.copy_from_slice(page.as_bytes());
+        *slot = Some(img);
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        Ok(())
+    }
+
+    fn page_count(&self) -> u64 {
+        self.next.load(Ordering::Relaxed) - 1
+    }
+}
+
+/// File-backed page device: page `n` lives at byte offset `(n-1) * 8192`.
+pub struct FileDisk {
+    file: Mutex<File>,
+    next: AtomicU64,
+}
+
+impl FileDisk {
+    /// Open (or create) the database file at `path`.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let len = file.metadata()?.len();
+        let existing_pages = len / PAGE_SIZE as u64;
+        Ok(FileDisk {
+            file: Mutex::new(file),
+            next: AtomicU64::new(existing_pages + 1),
+        })
+    }
+
+    fn offset(id: PageId) -> u64 {
+        (id.raw() - 1) * PAGE_SIZE as u64
+    }
+}
+
+impl StableStorage for FileDisk {
+    fn allocate(&self) -> Result<PageId> {
+        let id = PageId::new(self.next.fetch_add(1, Ordering::Relaxed));
+        // Extend the file so reads of a never-written page succeed.
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(Self::offset(id)))?;
+        f.write_all(Page::new(id).as_bytes())?;
+        Ok(id)
+    }
+
+    fn read(&self, id: PageId) -> Result<Page> {
+        if id.is_null() || id.raw() >= self.next.load(Ordering::Relaxed) {
+            return Err(ReachError::PageNotFound(id));
+        }
+        let mut buf = vec![0u8; PAGE_SIZE];
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(Self::offset(id)))?;
+        f.read_exact(&mut buf)?;
+        Page::from_bytes(&buf)
+    }
+
+    fn write(&self, page: &Page) -> Result<()> {
+        let id = page.id();
+        if id.is_null() || id.raw() >= self.next.load(Ordering::Relaxed) {
+            return Err(ReachError::PageNotFound(id));
+        }
+        let mut f = self.file.lock();
+        f.seek(SeekFrom::Start(Self::offset(id)))?;
+        f.write_all(page.as_bytes())?;
+        Ok(())
+    }
+
+    fn sync(&self) -> Result<()> {
+        self.file.lock().sync_data()?;
+        Ok(())
+    }
+
+    fn page_count(&self) -> u64 {
+        self.next.load(Ordering::Relaxed) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise(disk: &dyn StableStorage) {
+        let id = disk.allocate().unwrap();
+        let mut p = disk.read(id).unwrap();
+        let slot = p.insert(b"payload").unwrap();
+        disk.write(&p).unwrap();
+        let q = disk.read(id).unwrap();
+        assert_eq!(q.get(slot).unwrap(), b"payload");
+        disk.sync().unwrap();
+    }
+
+    #[test]
+    fn memdisk_round_trip() {
+        let d = MemDisk::new();
+        exercise(&d);
+        assert_eq!(d.page_count(), 1);
+    }
+
+    #[test]
+    fn memdisk_unwritten_page_reads_fresh() {
+        let d = MemDisk::new();
+        let id = d.allocate().unwrap();
+        let p = d.read(id).unwrap();
+        assert_eq!(p.id(), id);
+        assert_eq!(p.live_count(), 0);
+    }
+
+    #[test]
+    fn memdisk_unknown_page_errors() {
+        let d = MemDisk::new();
+        assert!(d.read(PageId::new(9)).is_err());
+        assert!(d.read(PageId::NULL).is_err());
+    }
+
+    #[test]
+    fn filedisk_round_trip_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("reach-disk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.db");
+        let _ = std::fs::remove_file(&path);
+        let slot;
+        let id;
+        {
+            let d = FileDisk::open(&path).unwrap();
+            exercise(&d);
+            id = d.allocate().unwrap();
+            let mut p = d.read(id).unwrap();
+            slot = p.insert(b"durable").unwrap();
+            d.write(&p).unwrap();
+            d.sync().unwrap();
+        }
+        // Reopen: allocation cursor resumes past the existing pages and
+        // the data is still there.
+        let d = FileDisk::open(&path).unwrap();
+        assert_eq!(d.page_count(), 2);
+        let p = d.read(id).unwrap();
+        assert_eq!(p.get(slot).unwrap(), b"durable");
+        let fresh = d.allocate().unwrap();
+        assert_eq!(fresh.raw(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn filedisk_unknown_page_errors() {
+        let dir = std::env::temp_dir().join(format!("reach-disk2-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("empty.db");
+        let _ = std::fs::remove_file(&path);
+        let d = FileDisk::open(&path).unwrap();
+        assert!(d.read(PageId::new(1)).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -1,0 +1,239 @@
+//! Heap files: unordered collections of variable-length records.
+//!
+//! A heap file is a list of pages; records are addressed by a stable
+//! [`RecordId`] (page + slot). The heap layer is deliberately *unlogged* —
+//! the [`StorageManager`](crate::sm::StorageManager) wraps every mutation
+//! in the corresponding WAL record, and recovery replays those records
+//! directly against pages.
+
+use crate::buffer::BufferPool;
+use parking_lot::Mutex;
+use reach_common::{PageId, Result};
+use std::sync::Arc;
+
+/// Durable address of a record: page + slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RecordId {
+    pub page: PageId,
+    pub slot: u16,
+}
+
+impl RecordId {
+    pub fn new(page: PageId, slot: u16) -> Self {
+        RecordId { page, slot }
+    }
+}
+
+impl std::fmt::Display for RecordId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}#{}", self.page, self.slot)
+    }
+}
+
+/// An unordered record collection over the buffer pool.
+pub struct HeapFile {
+    pool: Arc<BufferPool>,
+    pages: Mutex<Vec<PageId>>,
+}
+
+impl HeapFile {
+    /// An empty heap file.
+    pub fn new(pool: Arc<BufferPool>) -> Self {
+        HeapFile {
+            pool,
+            pages: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Rebuild a heap file over a known page list (catalog load).
+    pub fn with_pages(pool: Arc<BufferPool>, pages: Vec<PageId>) -> Self {
+        HeapFile {
+            pool,
+            pages: Mutex::new(pages),
+        }
+    }
+
+    /// The pages belonging to this file, in allocation order.
+    pub fn pages(&self) -> Vec<PageId> {
+        self.pages.lock().clone()
+    }
+
+    /// Insert a record. Tries the most recently used pages first, then
+    /// grows the file by one page. Returns `(rid, grew)` where `grew`
+    /// tells the caller (the storage manager) that the page list — and
+    /// hence the catalog — changed.
+    pub fn insert(&self, payload: &[u8]) -> Result<(RecordId, bool)> {
+        // Probe the last few pages; old pages regain space via deletes
+        // but scanning all of them on every insert would be O(n²).
+        const PROBE: usize = 4;
+        let candidates: Vec<PageId> = {
+            let pages = self.pages.lock();
+            pages.iter().rev().take(PROBE).copied().collect()
+        };
+        for pid in candidates {
+            let inserted = self.pool.with_page_mut(pid, |pg| {
+                if pg.fits(payload.len()) {
+                    pg.insert(payload).map(Some)
+                } else {
+                    Ok(None)
+                }
+            })??;
+            if let Some(slot) = inserted {
+                return Ok((RecordId::new(pid, slot), false));
+            }
+        }
+        // No fit: grow the file.
+        let pid = self.pool.allocate()?;
+        let slot = self
+            .pool
+            .with_page_mut(pid, |pg| pg.insert(payload))??;
+        self.pages.lock().push(pid);
+        Ok((RecordId::new(pid, slot), true))
+    }
+
+    /// Read a record.
+    pub fn get(&self, rid: RecordId) -> Result<Vec<u8>> {
+        self.pool
+            .with_page(rid.page, |pg| pg.get(rid.slot).map(|b| b.to_vec()))?
+    }
+
+    /// Update a record in place. Fails with `RecordTooLarge` if the new
+    /// payload cannot fit on the record's page; callers that allow record
+    /// movement should delete + re-insert instead.
+    pub fn update(&self, rid: RecordId, payload: &[u8]) -> Result<()> {
+        self.pool
+            .with_page_mut(rid.page, |pg| pg.update(rid.slot, payload))?
+    }
+
+    /// Delete a record.
+    pub fn delete(&self, rid: RecordId) -> Result<()> {
+        self.pool
+            .with_page_mut(rid.page, |pg| pg.delete(rid.slot))?
+    }
+
+    /// Visit every live record. The callback may not mutate the file.
+    pub fn for_each(&self, mut f: impl FnMut(RecordId, &[u8])) -> Result<()> {
+        let pages = self.pages();
+        for pid in pages {
+            self.pool.with_page(pid, |pg| {
+                for slot in pg.live_slots() {
+                    f(RecordId::new(pid, slot), pg.get(slot).expect("live slot"));
+                }
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Materialized scan (convenience over [`HeapFile::for_each`]).
+    pub fn scan(&self) -> Result<Vec<(RecordId, Vec<u8>)>> {
+        let mut out = Vec::new();
+        self.for_each(|rid, data| out.push((rid, data.to_vec())))?;
+        Ok(out)
+    }
+
+    /// Number of live records (full scan).
+    pub fn len(&self) -> Result<usize> {
+        let mut n = 0;
+        self.for_each(|_, _| n += 1)?;
+        Ok(n)
+    }
+
+    /// Whether the file holds no live records.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+}
+
+impl std::fmt::Debug for HeapFile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HeapFile")
+            .field("pages", &self.pages.lock().len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+
+    fn heap() -> HeapFile {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 16));
+        HeapFile::new(pool)
+    }
+
+    #[test]
+    fn insert_get_round_trip() {
+        let h = heap();
+        let (rid, grew) = h.insert(b"first").unwrap();
+        assert!(grew, "first insert allocates the first page");
+        assert_eq!(h.get(rid).unwrap(), b"first");
+    }
+
+    #[test]
+    fn file_grows_over_multiple_pages() {
+        let h = heap();
+        let rec = vec![7u8; 2000];
+        let mut rids = Vec::new();
+        for _ in 0..20 {
+            rids.push(h.insert(&rec).unwrap().0);
+        }
+        assert!(h.pages().len() >= 5, "20 × 2 KiB needs ≥ 5 pages");
+        for rid in rids {
+            assert_eq!(h.get(rid).unwrap(), rec);
+        }
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let h = heap();
+        let (rid, _) = h.insert(b"original").unwrap();
+        h.update(rid, b"patched").unwrap();
+        assert_eq!(h.get(rid).unwrap(), b"patched");
+        h.delete(rid).unwrap();
+        assert!(h.get(rid).is_err());
+    }
+
+    #[test]
+    fn scan_sees_only_live_records() {
+        let h = heap();
+        let (a, _) = h.insert(b"a").unwrap();
+        let (_b, _) = h.insert(b"b").unwrap();
+        let (c, _) = h.insert(b"c").unwrap();
+        h.delete(a).unwrap();
+        let scan = h.scan().unwrap();
+        let values: Vec<_> = scan.iter().map(|(_, v)| v.clone()).collect();
+        assert_eq!(values, vec![b"b".to_vec(), b"c".to_vec()]);
+        assert_eq!(h.len().unwrap(), 2);
+        assert!(scan.iter().any(|(rid, _)| *rid == c));
+    }
+
+    #[test]
+    fn probing_reuses_space_freed_on_last_pages() {
+        let h = heap();
+        let rec = vec![1u8; 3000];
+        let mut rids = Vec::new();
+        for _ in 0..8 {
+            rids.push(h.insert(&rec).unwrap().0);
+        }
+        let pages_before = h.pages().len();
+        // Free two records on the tail pages, re-insert two: no growth.
+        h.delete(rids[6]).unwrap();
+        h.delete(rids[7]).unwrap();
+        let (_, grew1) = h.insert(&rec).unwrap();
+        let (_, grew2) = h.insert(&rec).unwrap();
+        assert!(!grew1 && !grew2);
+        assert_eq!(h.pages().len(), pages_before);
+    }
+
+    #[test]
+    fn with_pages_reattaches_existing_data() {
+        let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 16));
+        let h = HeapFile::new(Arc::clone(&pool));
+        let (rid, _) = h.insert(b"survivor").unwrap();
+        let pages = h.pages();
+        drop(h);
+        let h2 = HeapFile::with_pages(pool, pages);
+        assert_eq!(h2.get(rid).unwrap(), b"survivor");
+    }
+}

@@ -1,0 +1,34 @@
+//! `reach-storage` — the storage manager underneath the REACH OODBMS.
+//!
+//! The paper builds on the EXODUS storage manager \[CDR86\]; this crate is
+//! its stand-in (see DESIGN.md §2 for the substitution argument). It
+//! provides exactly what the layers above need:
+//!
+//! * **slotted pages** ([`page`]) — variable-length records with stable
+//!   slot numbers inside an 8 KiB page;
+//! * **stable storage** ([`disk`]) — a file-backed and an in-memory page
+//!   device behind one trait;
+//! * **a buffer pool** ([`buffer`]) — fixed set of frames, pin/unpin,
+//!   clock eviction, dirty-page write-back;
+//! * **a write-ahead log** ([`wal`]) — physiological before/after-image
+//!   records, flushed on commit;
+//! * **recovery** ([`recovery`]) — ARIES-style analysis / redo / undo;
+//! * **heap files** ([`heap`]) — record collections with stable
+//!   [`heap::RecordId`]s and scans;
+//! * **the storage manager facade** ([`sm`]) — named segments, object
+//!   allocation, and the transactional hooks the Transaction PM drives.
+
+pub mod buffer;
+pub mod disk;
+pub mod heap;
+pub mod page;
+pub mod recovery;
+pub mod sm;
+pub mod wal;
+
+pub use buffer::BufferPool;
+pub use disk::{FileDisk, MemDisk, StableStorage};
+pub use heap::{HeapFile, RecordId};
+pub use page::{Page, PAGE_SIZE};
+pub use sm::{SegmentId, StorageManager};
+pub use wal::{Lsn, WalRecord, WriteAheadLog};

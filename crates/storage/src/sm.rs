@@ -1,0 +1,543 @@
+//! The storage manager facade — the EXODUS stand-in.
+//!
+//! Everything above this layer (the Persistence PM, extents, indexes)
+//! talks to [`StorageManager`]: named *segments* (heap files) holding
+//! records, with every mutation logged to the WAL under the mutating
+//! transaction's id. Commit forces the log; abort rolls the transaction
+//! back from its before-images, writing compensation records.
+//!
+//! The segment catalog itself lives on page 1 of the device (created on
+//! first use) and is logged under the reserved [`SYSTEM_TXN`], which
+//! recovery always treats as committed.
+//!
+//! **Known limit**: the catalog is one record on one page, so the sum
+//! of all segments' page lists must fit in ~8 KiB — roughly 1 000 heap
+//! pages (≈8 MB of data) total. Exceeding it fails loudly with
+//! `RecordTooLarge` at the catalog write. Fine for the reproduction's
+//! scale; a production system would chain catalog pages.
+
+use crate::buffer::BufferPool;
+use crate::disk::{FileDisk, MemDisk, StableStorage};
+use crate::heap::{HeapFile, RecordId};
+use crate::wal::{WalRecord, WriteAheadLog};
+use parking_lot::Mutex;
+use reach_common::{PageId, ReachError, Result, TxnId};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+/// The transaction id used for system-internal (catalog) writes.
+pub const SYSTEM_TXN: TxnId = TxnId(u64::MAX);
+
+/// Identity of a segment within one storage manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SegmentId(pub u64);
+
+struct Segment {
+    id: SegmentId,
+    name: String,
+    heap: Arc<HeapFile>,
+}
+
+struct Catalog {
+    by_name: HashMap<String, usize>,
+    segments: Vec<Segment>,
+    next_seg: u64,
+}
+
+/// Facade over pool + WAL + segment catalog.
+pub struct StorageManager {
+    pool: Arc<BufferPool>,
+    wal: Arc<WriteAheadLog>,
+    catalog: Mutex<Catalog>,
+    /// Page holding the serialized catalog (page 1, slot 0).
+    catalog_page: PageId,
+}
+
+impl StorageManager {
+    /// A storage manager over in-memory disk and log (tests, benchmarks).
+    pub fn new_in_memory(pool_frames: usize) -> Result<Self> {
+        let disk: Arc<dyn StableStorage> = Arc::new(MemDisk::new());
+        Self::bootstrap(disk, Arc::new(WriteAheadLog::in_memory()), pool_frames)
+    }
+
+    /// Open (or create) a database directory containing `data.db` and
+    /// `wal.log`, running recovery if the files already exist.
+    pub fn open(dir: &Path, pool_frames: usize) -> Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let disk: Arc<dyn StableStorage> = Arc::new(FileDisk::open(&dir.join("data.db"))?);
+        let wal = Arc::new(WriteAheadLog::open(&dir.join("wal.log"))?);
+        let existing = disk.page_count() > 0;
+        let sm = Self::bootstrap(disk, wal, pool_frames)?;
+        if existing {
+            // Recovery must replay the log *before* the catalog page is
+            // trusted: commit forces only the WAL, so after a crash the
+            // on-disk catalog may predate every committed segment.
+            crate::recovery::recover(&sm)?;
+            sm.reload_catalog()?;
+        }
+        Ok(sm)
+    }
+
+    fn bootstrap(
+        disk: Arc<dyn StableStorage>,
+        wal: Arc<WriteAheadLog>,
+        pool_frames: usize,
+    ) -> Result<Self> {
+        let fresh = disk.page_count() == 0;
+        let pool = Arc::new(BufferPool::new(disk, pool_frames));
+        let catalog_page = if fresh {
+            let pid = pool.allocate()?;
+            debug_assert_eq!(pid.raw(), 1);
+            pool.with_page_mut(pid, |pg| pg.put_at(0, &encode_catalog(&[], 1)))??;
+            pid
+        } else {
+            PageId::new(1)
+        };
+        let sm = StorageManager {
+            pool,
+            wal,
+            catalog: Mutex::new(Catalog {
+                by_name: HashMap::new(),
+                segments: Vec::new(),
+                next_seg: 1,
+            }),
+            catalog_page,
+        };
+        // For pre-existing databases the catalog is loaded by the caller
+        // after recovery ran (see `open`); reading it here would see
+        // pre-crash bytes.
+        Ok(sm)
+    }
+
+    /// The buffer pool (indexes and recovery need direct page access).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// The write-ahead log.
+    pub fn wal(&self) -> &Arc<WriteAheadLog> {
+        &self.wal
+    }
+
+    // ---- catalog ----
+
+    fn reload_catalog(&self) -> Result<()> {
+        // A database that crashed before its first catalog write has a
+        // formatted-but-empty page 1: that is a valid empty catalog.
+        let raw = self
+            .pool
+            .with_page(self.catalog_page, |pg| pg.get(0).map(|b| b.to_vec()).ok())?;
+        let (entries, next_seg) = match raw {
+            Some(bytes) => decode_catalog(&bytes)?,
+            None => (Vec::new(), 1),
+        };
+        let mut cat = self.catalog.lock();
+        cat.segments.clear();
+        cat.by_name.clear();
+        cat.next_seg = next_seg;
+        for (name, id, pages) in entries {
+            let heap = Arc::new(HeapFile::with_pages(Arc::clone(&self.pool), pages));
+            let idx = cat.segments.len();
+            cat.by_name.insert(name.clone(), idx);
+            cat.segments.push(Segment {
+                id: SegmentId(id),
+                name,
+                heap,
+            });
+        }
+        Ok(())
+    }
+
+    /// Persist the catalog (logged under [`SYSTEM_TXN`]).
+    fn save_catalog(&self, cat: &Catalog) -> Result<()> {
+        let entries: Vec<(String, u64, Vec<PageId>)> = cat
+            .segments
+            .iter()
+            .map(|s| (s.name.clone(), s.id.0, s.heap.pages()))
+            .collect();
+        let after = encode_catalog(&entries, cat.next_seg);
+        let before = self
+            .pool
+            .with_page(self.catalog_page, |pg| pg.get(0).map(|b| b.to_vec()))??;
+        self.wal.append(&WalRecord::Update {
+            txn: SYSTEM_TXN,
+            page: self.catalog_page,
+            slot: 0,
+            before,
+            after: after.clone(),
+        })?;
+        self.pool
+            .with_page_mut(self.catalog_page, |pg| pg.put_at(0, &after))??;
+        Ok(())
+    }
+
+    /// Create a segment; returns the existing one if the name is taken.
+    pub fn create_segment(&self, name: &str) -> Result<SegmentId> {
+        let mut cat = self.catalog.lock();
+        if let Some(&idx) = cat.by_name.get(name) {
+            return Ok(cat.segments[idx].id);
+        }
+        let id = SegmentId(cat.next_seg);
+        cat.next_seg += 1;
+        let heap = Arc::new(HeapFile::new(Arc::clone(&self.pool)));
+        let idx = cat.segments.len();
+        cat.by_name.insert(name.to_string(), idx);
+        cat.segments.push(Segment {
+            id,
+            name: name.to_string(),
+            heap,
+        });
+        self.save_catalog(&cat)?;
+        Ok(id)
+    }
+
+    /// Look up a segment by name.
+    pub fn segment(&self, name: &str) -> Result<SegmentId> {
+        let cat = self.catalog.lock();
+        cat.by_name
+            .get(name)
+            .map(|&idx| cat.segments[idx].id)
+            .ok_or_else(|| ReachError::NameNotFound(name.to_string()))
+    }
+
+    /// All segment names (for introspection / Figure 1 dumps).
+    pub fn segment_names(&self) -> Vec<String> {
+        self.catalog
+            .lock()
+            .segments
+            .iter()
+            .map(|s| s.name.clone())
+            .collect()
+    }
+
+    fn heap(&self, seg: SegmentId) -> Result<Arc<HeapFile>> {
+        let cat = self.catalog.lock();
+        cat.segments
+            .iter()
+            .find(|s| s.id == seg)
+            .map(|s| Arc::clone(&s.heap))
+            .ok_or_else(|| ReachError::NameNotFound(format!("segment {}", seg.0)))
+    }
+
+    // ---- transactional record operations ----
+
+    /// Log the start of a transaction.
+    pub fn begin(&self, txn: TxnId) -> Result<()> {
+        self.wal.append(&WalRecord::Begin { txn })?;
+        Ok(())
+    }
+
+    /// Commit: append the commit record and force the log (durability
+    /// point). Dirty pages may trickle out later or at checkpoint.
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        self.wal.append(&WalRecord::Commit { txn })?;
+        self.wal.force()
+    }
+
+    /// Abort: undo this transaction's logged operations in reverse order,
+    /// writing CLRs, then append the abort record.
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        let mut mine: Vec<(u64, WalRecord)> = self
+            .wal
+            .scan()?
+            .into_iter()
+            .filter(|(_, r)| r.txn() == Some(txn))
+            .collect();
+        // Count CLRs already written (crash-restart aborts): skip the
+        // operations they already undid.
+        let undone: usize = mine
+            .iter()
+            .filter(|(_, r)| matches!(r, WalRecord::Clr { .. }))
+            .count();
+        let ops: Vec<(u64, WalRecord)> = mine
+            .drain(..)
+            .filter(|(_, r)| {
+                matches!(
+                    r,
+                    WalRecord::Insert { .. } | WalRecord::Update { .. } | WalRecord::Delete { .. }
+                )
+            })
+            .collect();
+        let to_undo = ops.len().saturating_sub(undone);
+        for (lsn, rec) in ops.into_iter().take(to_undo).rev() {
+            self.undo_one(txn, lsn, &rec)?;
+        }
+        self.wal.append(&WalRecord::Abort { txn })?;
+        self.wal.force()
+    }
+
+    /// Apply the inverse of one logged operation and write its CLR.
+    pub(crate) fn undo_one(&self, txn: TxnId, lsn: u64, rec: &WalRecord) -> Result<()> {
+        match rec {
+            WalRecord::Insert { page, slot, .. } => {
+                self.wal.append(&WalRecord::Clr {
+                    txn,
+                    page: *page,
+                    slot: *slot,
+                    restore: None,
+                    undo_next: lsn,
+                })?;
+                self.pool.with_page_mut(*page, |pg| {
+                    // Tolerate an already-dead slot (idempotent undo).
+                    let _ = pg.delete(*slot);
+                })?;
+            }
+            WalRecord::Update {
+                page, slot, before, ..
+            } => {
+                self.wal.append(&WalRecord::Clr {
+                    txn,
+                    page: *page,
+                    slot: *slot,
+                    restore: Some(before.clone()),
+                    undo_next: lsn,
+                })?;
+                self.pool
+                    .with_page_mut(*page, |pg| pg.put_at(*slot, before))??;
+            }
+            WalRecord::Delete {
+                page, slot, before, ..
+            } => {
+                self.wal.append(&WalRecord::Clr {
+                    txn,
+                    page: *page,
+                    slot: *slot,
+                    restore: Some(before.clone()),
+                    undo_next: lsn,
+                })?;
+                self.pool
+                    .with_page_mut(*page, |pg| pg.put_at(*slot, before))??;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Insert a record into `seg` under transaction `txn`.
+    pub fn insert(&self, txn: TxnId, seg: SegmentId, payload: &[u8]) -> Result<RecordId> {
+        let heap = self.heap(seg)?;
+        let (rid, grew) = heap.insert(payload)?;
+        self.wal.append(&WalRecord::Insert {
+            txn,
+            page: rid.page,
+            slot: rid.slot,
+            payload: payload.to_vec(),
+        })?;
+        if grew {
+            let cat = self.catalog.lock();
+            self.save_catalog(&cat)?;
+        }
+        Ok(rid)
+    }
+
+    /// Read a record (no logging).
+    pub fn get(&self, seg: SegmentId, rid: RecordId) -> Result<Vec<u8>> {
+        self.heap(seg)?.get(rid)
+    }
+
+    /// Update a record in place under `txn`.
+    pub fn update(&self, txn: TxnId, seg: SegmentId, rid: RecordId, payload: &[u8]) -> Result<()> {
+        let heap = self.heap(seg)?;
+        let before = heap.get(rid)?;
+        heap.update(rid, payload)?;
+        self.wal.append(&WalRecord::Update {
+            txn,
+            page: rid.page,
+            slot: rid.slot,
+            before,
+            after: payload.to_vec(),
+        })?;
+        Ok(())
+    }
+
+    /// Delete a record under `txn`.
+    pub fn delete(&self, txn: TxnId, seg: SegmentId, rid: RecordId) -> Result<()> {
+        let heap = self.heap(seg)?;
+        let before = heap.get(rid)?;
+        heap.delete(rid)?;
+        self.wal.append(&WalRecord::Delete {
+            txn,
+            page: rid.page,
+            slot: rid.slot,
+            before,
+        })?;
+        Ok(())
+    }
+
+    /// Scan all live records of a segment.
+    pub fn scan(&self, seg: SegmentId) -> Result<Vec<(RecordId, Vec<u8>)>> {
+        self.heap(seg)?.scan()
+    }
+
+    /// Fuzzy checkpoint: force the log, flush every dirty page, then log
+    /// the checkpoint marker with the given set of active transactions.
+    pub fn checkpoint(&self, active: Vec<TxnId>) -> Result<()> {
+        self.wal.force()?;
+        self.pool.flush_all()?;
+        self.wal.append(&WalRecord::Checkpoint { active })?;
+        self.wal.force()
+    }
+}
+
+impl std::fmt::Debug for StorageManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StorageManager")
+            .field("segments", &self.segment_names())
+            .field("pages", &self.pool.disk().page_count())
+            .finish()
+    }
+}
+
+// ---- catalog (de)serialization ----
+
+fn encode_catalog(entries: &[(String, u64, Vec<PageId>)], next_seg: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&next_seg.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for (name, id, pages) in entries {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&id.to_le_bytes());
+        out.extend_from_slice(&(pages.len() as u32).to_le_bytes());
+        for p in pages {
+            out.extend_from_slice(&p.raw().to_le_bytes());
+        }
+    }
+    out
+}
+
+type CatalogEntries = Vec<(String, u64, Vec<PageId>)>;
+
+fn decode_catalog(buf: &[u8]) -> Result<(CatalogEntries, u64)> {
+    let corrupt = || ReachError::WalCorrupt("catalog page corrupt".into());
+    let mut pos = 0usize;
+    let mut take = |n: usize| -> Result<&[u8]> {
+        if pos + n > buf.len() {
+            return Err(corrupt());
+        }
+        let s = &buf[pos..pos + n];
+        pos += n;
+        Ok(s)
+    };
+    let next_seg = u64::from_le_bytes(take(8)?.try_into().unwrap());
+    let n = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name_len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+        let name = String::from_utf8(take(name_len)?.to_vec()).map_err(|_| corrupt())?;
+        let id = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let pages_len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+        let mut pages = Vec::with_capacity(pages_len);
+        for _ in 0..pages_len {
+            pages.push(PageId::new(u64::from_le_bytes(take(8)?.try_into().unwrap())));
+        }
+        entries.push((name, id, pages));
+    }
+    Ok((entries, next_seg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sm() -> StorageManager {
+        StorageManager::new_in_memory(64).unwrap()
+    }
+
+    #[test]
+    fn segments_are_named_and_idempotent() {
+        let s = sm();
+        let a = s.create_segment("people").unwrap();
+        let b = s.create_segment("people").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s.segment("people").unwrap(), a);
+        assert!(s.segment("nope").is_err());
+    }
+
+    #[test]
+    fn committed_insert_is_readable() {
+        let s = sm();
+        let seg = s.create_segment("t").unwrap();
+        let txn = TxnId::new(1);
+        s.begin(txn).unwrap();
+        let rid = s.insert(txn, seg, b"row").unwrap();
+        s.commit(txn).unwrap();
+        assert_eq!(s.get(seg, rid).unwrap(), b"row");
+    }
+
+    #[test]
+    fn abort_rolls_back_insert_update_delete() {
+        let s = sm();
+        let seg = s.create_segment("t").unwrap();
+        // Committed baseline row.
+        let t0 = TxnId::new(1);
+        s.begin(t0).unwrap();
+        let keep = s.insert(t0, seg, b"keep-v1").unwrap();
+        let dead = s.insert(t0, seg, b"to-die").unwrap();
+        s.commit(t0).unwrap();
+        // A transaction that does all three kinds of damage, then aborts.
+        let t1 = TxnId::new(2);
+        s.begin(t1).unwrap();
+        let fresh = s.insert(t1, seg, b"phantom").unwrap();
+        s.update(t1, seg, keep, b"keep-v2").unwrap();
+        s.delete(t1, seg, dead).unwrap();
+        s.abort(t1).unwrap();
+        // Everything is as before t1.
+        assert!(s.get(seg, fresh).is_err(), "inserted row must vanish");
+        assert_eq!(s.get(seg, keep).unwrap(), b"keep-v1");
+        assert_eq!(s.get(seg, dead).unwrap(), b"to-die");
+    }
+
+    #[test]
+    fn scan_reflects_transactional_state() {
+        let s = sm();
+        let seg = s.create_segment("t").unwrap();
+        let txn = TxnId::new(1);
+        s.begin(txn).unwrap();
+        for i in 0..10 {
+            s.insert(txn, seg, format!("row{i}").as_bytes()).unwrap();
+        }
+        s.commit(txn).unwrap();
+        assert_eq!(s.scan(seg).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn catalog_round_trips() {
+        let entries = vec![
+            ("alpha".to_string(), 1, vec![PageId::new(2), PageId::new(3)]),
+            ("beta".to_string(), 2, vec![]),
+        ];
+        let enc = encode_catalog(&entries, 7);
+        let (dec, next) = decode_catalog(&enc).unwrap();
+        assert_eq!(dec, entries);
+        assert_eq!(next, 7);
+    }
+
+    #[test]
+    fn catalog_decode_rejects_truncation() {
+        let entries = vec![("alpha".to_string(), 1, vec![PageId::new(2)])];
+        let enc = encode_catalog(&entries, 3);
+        assert!(decode_catalog(&enc[..enc.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn persistent_database_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("reach-sm-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let rid;
+        {
+            let s = StorageManager::open(&dir, 32).unwrap();
+            let seg = s.create_segment("docs").unwrap();
+            let txn = TxnId::new(1);
+            s.begin(txn).unwrap();
+            rid = s.insert(txn, seg, b"durable doc").unwrap();
+            s.commit(txn).unwrap();
+            s.checkpoint(vec![]).unwrap();
+        }
+        let s = StorageManager::open(&dir, 32).unwrap();
+        let seg = s.segment("docs").unwrap();
+        assert_eq!(s.get(seg, rid).unwrap(), b"durable doc");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

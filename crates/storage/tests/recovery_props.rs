@@ -1,0 +1,107 @@
+//! Property-based crash-recovery testing: arbitrary transactional
+//! scripts, a crash at an arbitrary point, then recovery — committed
+//! effects must all survive, uncommitted effects must all vanish.
+
+use proptest::prelude::*;
+use reach_common::TxnId;
+use reach_storage::recovery::recover;
+use reach_storage::{RecordId, StorageManager};
+use std::collections::HashMap;
+
+/// One scripted transaction: a list of operations, then commit or not.
+#[derive(Debug, Clone)]
+struct Script {
+    ops: Vec<Op>,
+    commits: bool,
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(Vec<u8>),
+    /// Update the n-th record this script inserted (if any).
+    Update(usize, Vec<u8>),
+    /// Delete the n-th record of the *previous committed* state.
+    DeleteCommitted(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        proptest::collection::vec(any::<u8>(), 1..80).prop_map(Op::Insert),
+        ((0usize..4), proptest::collection::vec(any::<u8>(), 1..80))
+            .prop_map(|(i, d)| Op::Update(i, d)),
+        (0usize..4).prop_map(Op::DeleteCommitted),
+    ]
+}
+
+fn script_strategy() -> impl Strategy<Value = Script> {
+    (proptest::collection::vec(op_strategy(), 1..6), any::<bool>())
+        .prop_map(|(ops, commits)| Script { ops, commits })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn committed_state_survives_any_crash_point(
+        scripts in proptest::collection::vec(script_strategy(), 1..6)
+    ) {
+        let sm = StorageManager::new_in_memory(64).unwrap();
+        let seg = sm.create_segment("t").unwrap();
+        // The model of committed state.
+        let mut committed: HashMap<RecordId, Vec<u8>> = HashMap::new();
+        let mut txn_raw = 0u64;
+        for script in &scripts {
+            txn_raw += 1;
+            let txn = TxnId::new(txn_raw);
+            sm.begin(txn).unwrap();
+            let mut my_inserts: Vec<RecordId> = Vec::new();
+            let mut staged = committed.clone();
+            for op in &script.ops {
+                match op {
+                    Op::Insert(data) => {
+                        let rid = sm.insert(txn, seg, data).unwrap();
+                        my_inserts.push(rid);
+                        staged.insert(rid, data.clone());
+                    }
+                    Op::Update(i, data) => {
+                        if !my_inserts.is_empty() {
+                            let rid = my_inserts[i % my_inserts.len()];
+                            if sm.update(txn, seg, rid, data).is_ok() {
+                                staged.insert(rid, data.clone());
+                            }
+                        }
+                    }
+                    Op::DeleteCommitted(i) => {
+                        let mut keys: Vec<RecordId> =
+                            staged.keys().copied().collect();
+                        keys.sort();
+                        if !keys.is_empty() {
+                            let rid = keys[i % keys.len()];
+                            if sm.delete(txn, seg, rid).is_ok() {
+                                staged.remove(&rid);
+                            }
+                        }
+                    }
+                }
+            }
+            if script.commits {
+                sm.commit(txn).unwrap();
+                committed = staged;
+            }
+            // Not committing = the crash will hit this txn as a loser.
+        }
+        // CRASH + recovery.
+        let report = recover(&sm).unwrap();
+        // Losers = scripts that did not commit (and did ops).
+        let expected_losers = scripts.iter().filter(|s| !s.commits).count();
+        prop_assert!(report.losers.len() <= expected_losers);
+        // The surviving store matches the committed model exactly.
+        let survived: HashMap<RecordId, Vec<u8>> =
+            sm.scan(seg).unwrap().into_iter().collect();
+        prop_assert_eq!(&survived, &committed);
+        // Recovery is idempotent.
+        recover(&sm).unwrap();
+        let survived2: HashMap<RecordId, Vec<u8>> =
+            sm.scan(seg).unwrap().into_iter().collect();
+        prop_assert_eq!(&survived2, &committed);
+    }
+}

@@ -1,0 +1,265 @@
+//! Commit/abort dependencies between transactions — the machinery behind
+//! the three *causally dependent* detached coupling modes (§3.2):
+//!
+//! * **parallel causally dependent** — the rule transaction "may begin in
+//!   parallel but may not commit unless the triggering transaction
+//!   commits": a [`CommitRule::IfCommitted`] dependency;
+//! * **sequential causally dependent** — "may initiate only after the
+//!   triggering transaction has committed": scheduling is handled by the
+//!   rule engine, and the same `IfCommitted` dependency guards against
+//!   races;
+//! * **exclusive causally dependent** — "may commit only if the
+//!   triggering transaction aborts": a [`CommitRule::IfAborted`]
+//!   dependency.
+//!
+//! For composite events whose constituents span *several* transactions,
+//! Table 1 requires the dependency on **all** of them ("all commit" /
+//! "all abort"), so a dependent transaction carries a set of conditions.
+
+use parking_lot::{Condvar, Mutex};
+use reach_common::{ReachError, Result, TxnId};
+use std::collections::HashMap;
+use std::time::Duration;
+
+/// Final fate of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    Committed,
+    Aborted,
+}
+
+/// One dependency condition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitRule {
+    /// The dependent may commit only if `on` committed.
+    IfCommitted(TxnId),
+    /// The dependent may commit only if `on` aborted.
+    IfAborted(TxnId),
+}
+
+impl CommitRule {
+    fn subject(&self) -> TxnId {
+        match self {
+            CommitRule::IfCommitted(t) | CommitRule::IfAborted(t) => *t,
+        }
+    }
+
+    fn satisfied_by(&self, outcome: Outcome) -> bool {
+        match self {
+            CommitRule::IfCommitted(_) => outcome == Outcome::Committed,
+            CommitRule::IfAborted(_) => outcome == Outcome::Aborted,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    /// Known final outcomes.
+    outcomes: HashMap<TxnId, Outcome>,
+    /// Dependencies per dependent transaction.
+    deps: HashMap<TxnId, Vec<CommitRule>>,
+}
+
+/// The dependency graph. Shared between the transaction manager (which
+/// records outcomes) and the rule engine (which registers dependencies).
+pub struct DependencyGraph {
+    inner: Mutex<Inner>,
+    changed: Condvar,
+}
+
+/// What a dependent transaction is allowed to do right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Permission {
+    /// All conditions resolved in favour: commit may proceed.
+    Commit,
+    /// Some condition resolved against: the dependent must abort.
+    MustAbort,
+    /// Some condition's subject is still running.
+    Wait,
+}
+
+impl DependencyGraph {
+    pub fn new() -> Self {
+        DependencyGraph {
+            inner: Mutex::new(Inner::default()),
+            changed: Condvar::new(),
+        }
+    }
+
+    /// Register a dependency for `dependent`.
+    pub fn add(&self, dependent: TxnId, rule: CommitRule) {
+        let mut inner = self.inner.lock();
+        inner.deps.entry(dependent).or_default().push(rule);
+    }
+
+    /// Record a transaction's final outcome and wake waiters.
+    pub fn record(&self, txn: TxnId, outcome: Outcome) {
+        let mut inner = self.inner.lock();
+        inner.outcomes.insert(txn, outcome);
+        drop(inner);
+        self.changed.notify_all();
+    }
+
+    /// Non-blocking check of `dependent`'s permission to commit.
+    pub fn check(&self, dependent: TxnId) -> Permission {
+        let inner = self.inner.lock();
+        Self::check_locked(&inner, dependent)
+    }
+
+    fn check_locked(inner: &Inner, dependent: TxnId) -> Permission {
+        let Some(rules) = inner.deps.get(&dependent) else {
+            return Permission::Commit;
+        };
+        let mut all_resolved = true;
+        for rule in rules {
+            match inner.outcomes.get(&rule.subject()) {
+                Some(outcome) => {
+                    if !rule.satisfied_by(*outcome) {
+                        return Permission::MustAbort;
+                    }
+                }
+                None => all_resolved = false,
+            }
+        }
+        if all_resolved {
+            Permission::Commit
+        } else {
+            Permission::Wait
+        }
+    }
+
+    /// Block until `dependent` may commit or must abort. Errors with
+    /// `DependencyViolation` on timeout (a subject never finished).
+    pub fn wait(&self, dependent: TxnId, timeout: Duration) -> Result<Permission> {
+        let mut inner = self.inner.lock();
+        loop {
+            match Self::check_locked(&inner, dependent) {
+                Permission::Wait => {}
+                p => return Ok(p),
+            }
+            if self.changed.wait_for(&mut inner, timeout).timed_out() {
+                return Err(ReachError::DependencyViolation(format!(
+                    "{dependent} timed out waiting for its causal dependencies"
+                )));
+            }
+        }
+    }
+
+    /// Wait until `txn`'s outcome is known (used by sequential causally
+    /// dependent scheduling: start only after the trigger finishes).
+    pub fn wait_for_outcome(&self, txn: TxnId, timeout: Duration) -> Result<Outcome> {
+        let mut inner = self.inner.lock();
+        loop {
+            if let Some(o) = inner.outcomes.get(&txn) {
+                return Ok(*o);
+            }
+            if self.changed.wait_for(&mut inner, timeout).timed_out() {
+                return Err(ReachError::DependencyViolation(format!(
+                    "timed out waiting for outcome of {txn}"
+                )));
+            }
+        }
+    }
+
+    /// The recorded outcome, if final.
+    pub fn outcome(&self, txn: TxnId) -> Option<Outcome> {
+        self.inner.lock().outcomes.get(&txn).copied()
+    }
+
+    /// Drop bookkeeping for a finished dependent.
+    pub fn forget_dependent(&self, dependent: TxnId) {
+        self.inner.lock().deps.remove(&dependent);
+    }
+}
+
+impl Default for DependencyGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn t(n: u64) -> TxnId {
+        TxnId::new(n)
+    }
+
+    #[test]
+    fn no_dependencies_means_commit() {
+        let g = DependencyGraph::new();
+        assert_eq!(g.check(t(1)), Permission::Commit);
+    }
+
+    #[test]
+    fn if_committed_waits_then_allows() {
+        let g = DependencyGraph::new();
+        g.add(t(2), CommitRule::IfCommitted(t(1)));
+        assert_eq!(g.check(t(2)), Permission::Wait);
+        g.record(t(1), Outcome::Committed);
+        assert_eq!(g.check(t(2)), Permission::Commit);
+    }
+
+    #[test]
+    fn if_committed_forbids_on_abort() {
+        let g = DependencyGraph::new();
+        g.add(t(2), CommitRule::IfCommitted(t(1)));
+        g.record(t(1), Outcome::Aborted);
+        assert_eq!(g.check(t(2)), Permission::MustAbort);
+    }
+
+    #[test]
+    fn exclusive_mode_commits_only_on_abort() {
+        let g = DependencyGraph::new();
+        g.add(t(2), CommitRule::IfAborted(t(1)));
+        g.record(t(1), Outcome::Committed);
+        assert_eq!(g.check(t(2)), Permission::MustAbort);
+        // And the other way round:
+        g.add(t(3), CommitRule::IfAborted(t(4)));
+        g.record(t(4), Outcome::Aborted);
+        assert_eq!(g.check(t(3)), Permission::Commit);
+    }
+
+    #[test]
+    fn multi_transaction_composite_requires_all() {
+        // Table 1's "Y (all commit)" cell: dependency on every origin.
+        let g = DependencyGraph::new();
+        g.add(t(9), CommitRule::IfCommitted(t(1)));
+        g.add(t(9), CommitRule::IfCommitted(t(2)));
+        g.record(t(1), Outcome::Committed);
+        assert_eq!(g.check(t(9)), Permission::Wait);
+        g.record(t(2), Outcome::Aborted);
+        assert_eq!(g.check(t(9)), Permission::MustAbort);
+    }
+
+    #[test]
+    fn wait_blocks_until_resolution() {
+        let g = Arc::new(DependencyGraph::new());
+        g.add(t(2), CommitRule::IfCommitted(t(1)));
+        let g2 = Arc::clone(&g);
+        let h = std::thread::spawn(move || g2.wait(t(2), Duration::from_secs(5)).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        g.record(t(1), Outcome::Committed);
+        assert_eq!(h.join().unwrap(), Permission::Commit);
+    }
+
+    #[test]
+    fn wait_times_out() {
+        let g = DependencyGraph::new();
+        g.add(t(2), CommitRule::IfCommitted(t(1)));
+        assert!(g.wait(t(2), Duration::from_millis(30)).is_err());
+    }
+
+    #[test]
+    fn wait_for_outcome_sees_later_record() {
+        let g = Arc::new(DependencyGraph::new());
+        let g2 = Arc::clone(&g);
+        let h =
+            std::thread::spawn(move || g2.wait_for_outcome(t(7), Duration::from_secs(5)).unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        g.record(t(7), Outcome::Aborted);
+        assert_eq!(h.join().unwrap(), Outcome::Aborted);
+    }
+}

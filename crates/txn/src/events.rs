@@ -1,0 +1,40 @@
+//! Flow-control events (§3.1: "transaction-related events, such as BOT,
+//! EOT, Commit, Abort").
+//!
+//! The REACH active layer subscribes a [`TxnListener`] to learn about
+//! transaction boundaries: event lifespans end at EOT (§3.3), deferred
+//! rules run at `PreCommit`, and the causally-dependent detached modes
+//! hang off `Committed`/`Aborted`.
+
+use reach_common::{TimePoint, TxnId};
+
+/// The kinds of flow-control events the manager emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxnEventKind {
+    /// Begin of transaction.
+    Begin,
+    /// The application requested commit; deferred work runs now. The
+    /// transaction may still abort (e.g. a deferred rule fails).
+    PreCommit,
+    /// Commit completed (durable).
+    Committed,
+    /// Abort completed (all effects undone).
+    Aborted,
+}
+
+/// One flow-control event occurrence.
+#[derive(Debug, Clone)]
+pub struct TxnEvent {
+    pub kind: TxnEventKind,
+    pub txn: TxnId,
+    /// `None` for top-level transactions.
+    pub parent: Option<TxnId>,
+    /// The enclosing top-level transaction (== `txn` when top-level).
+    pub top_level: TxnId,
+    pub at: TimePoint,
+}
+
+/// Subscriber to flow-control events.
+pub trait TxnListener: Send + Sync {
+    fn on_txn_event(&self, event: &TxnEvent);
+}

@@ -1,0 +1,34 @@
+//! `reach-txn` — the transaction manager REACH needed and the closed
+//! commercial systems would not give it (§4).
+//!
+//! The paper's execution model (§3.2) requires, beyond flat ACID
+//! transactions:
+//!
+//! * **closed nested transactions** — immediate- and deferred-coupled
+//!   rules run as (sibling) subtransactions of the triggering
+//!   transaction, so parallel rule execution needs children whose
+//!   effects and locks are inherited by the parent on commit
+//!   ([`manager`]);
+//! * **spawning new top-level transactions** — the detached coupling
+//!   modes fork independent transactions ([`manager`]);
+//! * **commit/abort dependencies** — parallel causally dependent rules
+//!   may commit only if the trigger commits; sequential ones may only
+//!   *start* after it commits; exclusive ones may commit only if it
+//!   aborts ([`dependency`]);
+//! * **access to transaction-manager information** — ids, states,
+//!   commit and abort signals as subscribable flow-control events
+//!   ([`events`]), and resource (lock) transfer between transactions
+//!   ([`locks`]) for the exclusive mode;
+//! * **strict two-phase locking** with deadlock detection ([`locks`],
+//!   [`deadlock`]).
+
+pub mod deadlock;
+pub mod dependency;
+pub mod events;
+pub mod locks;
+pub mod manager;
+
+pub use dependency::{CommitRule, DependencyGraph, Outcome};
+pub use events::{TxnEvent, TxnEventKind, TxnListener};
+pub use locks::{LockManager, LockMode};
+pub use manager::{ResourceManager, TransactionManager, TxnState};

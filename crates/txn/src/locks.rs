@@ -1,0 +1,335 @@
+//! Strict two-phase locking over objects, with nested-transaction lock
+//! inheritance and the lock *transfer* needed by the exclusive causally
+//! dependent coupling mode (§4: "transfer resources from one transaction
+//! to the other once it is determined that the spawning transaction is
+//! to be aborted").
+//!
+//! Lock compatibility is the classic S/X matrix. A child subtransaction
+//! may acquire locks its *ancestors* hold (Moss-style nested locking);
+//! when a child commits, its locks are inherited by the parent
+//! ([`LockManager::transfer`]), and when it aborts they are released.
+
+use crate::deadlock::WaitsFor;
+use parking_lot::{Condvar, Mutex};
+use reach_common::{ObjectId, ReachError, Result, TxnId};
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+/// Lock modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockMode {
+    Shared,
+    Exclusive,
+}
+
+impl LockMode {
+    fn compatible(self, other: LockMode) -> bool {
+        matches!((self, other), (LockMode::Shared, LockMode::Shared))
+    }
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    /// Current holders and their strongest mode.
+    holders: HashMap<TxnId, LockMode>,
+}
+
+struct Inner {
+    locks: HashMap<ObjectId, LockState>,
+    waits: WaitsFor,
+    /// Reverse index: locks held per transaction (for release_all).
+    held: HashMap<TxnId, HashSet<ObjectId>>,
+}
+
+/// The lock manager.
+pub struct LockManager {
+    inner: Mutex<Inner>,
+    changed: Condvar,
+    timeout: Duration,
+}
+
+impl LockManager {
+    pub fn new() -> Self {
+        Self::with_timeout(Duration::from_secs(5))
+    }
+
+    /// A manager whose blocked requests give up after `timeout`.
+    pub fn with_timeout(timeout: Duration) -> Self {
+        LockManager {
+            inner: Mutex::new(Inner {
+                locks: HashMap::new(),
+                waits: WaitsFor::new(),
+                held: HashMap::new(),
+            }),
+            changed: Condvar::new(),
+            timeout,
+        }
+    }
+
+    /// Acquire `mode` on `oid` for `txn`. `ancestors` are transactions
+    /// whose locks do not conflict with this request (the requester's
+    /// nested-transaction ancestry). Blocks until granted; returns
+    /// `Deadlock` if granting would close a waits-for cycle, or
+    /// `LockTimeout` after the configured patience.
+    pub fn acquire(
+        &self,
+        txn: TxnId,
+        oid: ObjectId,
+        mode: LockMode,
+        ancestors: &[TxnId],
+    ) -> Result<()> {
+        let mut inner = self.inner.lock();
+        loop {
+            let conflicts = Self::conflicts(&inner, txn, oid, mode, ancestors);
+            if conflicts.is_empty() {
+                let state = inner.locks.entry(oid).or_default();
+                let entry = state.holders.entry(txn).or_insert(mode);
+                if mode == LockMode::Exclusive {
+                    *entry = LockMode::Exclusive;
+                }
+                inner.held.entry(txn).or_default().insert(oid);
+                inner.waits.clear(txn);
+                return Ok(());
+            }
+            // Must wait: record edges and check for a deadlock.
+            inner.waits.add(txn, conflicts.iter().copied());
+            if inner.waits.has_cycle_through(txn) {
+                inner.waits.clear(txn);
+                return Err(ReachError::Deadlock(txn));
+            }
+            let timed_out = self
+                .changed
+                .wait_for(&mut inner, self.timeout)
+                .timed_out();
+            if timed_out {
+                inner.waits.clear(txn);
+                return Err(ReachError::LockTimeout(txn));
+            }
+        }
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_acquire(
+        &self,
+        txn: TxnId,
+        oid: ObjectId,
+        mode: LockMode,
+        ancestors: &[TxnId],
+    ) -> Result<bool> {
+        let mut inner = self.inner.lock();
+        if Self::conflicts(&inner, txn, oid, mode, ancestors).is_empty() {
+            let state = inner.locks.entry(oid).or_default();
+            let entry = state.holders.entry(txn).or_insert(mode);
+            if mode == LockMode::Exclusive {
+                *entry = LockMode::Exclusive;
+            }
+            inner.held.entry(txn).or_default().insert(oid);
+            Ok(true)
+        } else {
+            Ok(false)
+        }
+    }
+
+    fn conflicts(
+        inner: &Inner,
+        txn: TxnId,
+        oid: ObjectId,
+        mode: LockMode,
+        ancestors: &[TxnId],
+    ) -> Vec<TxnId> {
+        let Some(state) = inner.locks.get(&oid) else {
+            return Vec::new();
+        };
+        state
+            .holders
+            .iter()
+            .filter(|(holder, held_mode)| {
+                **holder != txn
+                    && !ancestors.contains(holder)
+                    && !mode.compatible(**held_mode)
+            })
+            .map(|(holder, _)| *holder)
+            .collect()
+    }
+
+    /// Release every lock held by `txn` (end of transaction).
+    pub fn release_all(&self, txn: TxnId) {
+        let mut inner = self.inner.lock();
+        if let Some(oids) = inner.held.remove(&txn) {
+            for oid in oids {
+                if let Some(state) = inner.locks.get_mut(&oid) {
+                    state.holders.remove(&txn);
+                    if state.holders.is_empty() {
+                        inner.locks.remove(&oid);
+                    }
+                }
+            }
+        }
+        inner.waits.remove(txn);
+        drop(inner);
+        self.changed.notify_all();
+    }
+
+    /// Transfer every lock held by `from` to `to`, upgrading `to`'s
+    /// existing holds where `from` held stronger. Used when a committed
+    /// subtransaction's locks are inherited by its parent, and by the
+    /// exclusive causally dependent mode's resource hand-over.
+    pub fn transfer(&self, from: TxnId, to: TxnId) {
+        let mut inner = self.inner.lock();
+        if let Some(oids) = inner.held.remove(&from) {
+            for oid in &oids {
+                if let Some(state) = inner.locks.get_mut(oid) {
+                    if let Some(mode) = state.holders.remove(&from) {
+                        let entry = state.holders.entry(to).or_insert(mode);
+                        if mode == LockMode::Exclusive {
+                            *entry = LockMode::Exclusive;
+                        }
+                    }
+                }
+            }
+            inner.held.entry(to).or_default().extend(oids);
+        }
+        inner.waits.remove(from);
+        drop(inner);
+        self.changed.notify_all();
+    }
+
+    /// The mode `txn` holds on `oid`, if any.
+    pub fn held_mode(&self, txn: TxnId, oid: ObjectId) -> Option<LockMode> {
+        self.inner
+            .lock()
+            .locks
+            .get(&oid)
+            .and_then(|s| s.holders.get(&txn).copied())
+    }
+
+    /// Number of objects currently locked (introspection).
+    pub fn locked_objects(&self) -> usize {
+        self.inner.lock().locks.len()
+    }
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn t(n: u64) -> TxnId {
+        TxnId::new(n)
+    }
+    fn o(n: u64) -> ObjectId {
+        ObjectId::new(n)
+    }
+
+    #[test]
+    fn shared_locks_coexist_exclusive_does_not() {
+        let lm = LockManager::with_timeout(Duration::from_millis(50));
+        lm.acquire(t(1), o(1), LockMode::Shared, &[]).unwrap();
+        lm.acquire(t(2), o(1), LockMode::Shared, &[]).unwrap();
+        assert!(matches!(
+            lm.acquire(t(3), o(1), LockMode::Exclusive, &[]),
+            Err(ReachError::LockTimeout(_))
+        ));
+    }
+
+    #[test]
+    fn release_unblocks_waiters() {
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(t(1), o(1), LockMode::Exclusive, &[]).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = std::thread::spawn(move || lm2.acquire(t(2), o(1), LockMode::Exclusive, &[]));
+        std::thread::sleep(Duration::from_millis(20));
+        lm.release_all(t(1));
+        h.join().unwrap().unwrap();
+        assert_eq!(lm.held_mode(t(2), o(1)), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn reentrant_acquire_and_upgrade() {
+        let lm = LockManager::new();
+        lm.acquire(t(1), o(1), LockMode::Shared, &[]).unwrap();
+        lm.acquire(t(1), o(1), LockMode::Shared, &[]).unwrap();
+        // Sole holder may upgrade.
+        lm.acquire(t(1), o(1), LockMode::Exclusive, &[]).unwrap();
+        assert_eq!(lm.held_mode(t(1), o(1)), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let lm = Arc::new(LockManager::with_timeout(Duration::from_secs(10)));
+        lm.acquire(t(1), o(1), LockMode::Exclusive, &[]).unwrap();
+        lm.acquire(t(2), o(2), LockMode::Exclusive, &[]).unwrap();
+        // t1 blocks on o2 in a helper thread...
+        let lm2 = Arc::clone(&lm);
+        let h = std::thread::spawn(move || lm2.acquire(t(1), o(2), LockMode::Exclusive, &[]));
+        std::thread::sleep(Duration::from_millis(30));
+        // ... and t2 requesting o1 closes the cycle: t2 is the victim.
+        let err = lm.acquire(t(2), o(1), LockMode::Exclusive, &[]).unwrap_err();
+        assert_eq!(err, ReachError::Deadlock(t(2)));
+        // Let t1 through by releasing t2.
+        lm.release_all(t(2));
+        h.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn ancestors_do_not_conflict() {
+        let lm = LockManager::new();
+        lm.acquire(t(1), o(1), LockMode::Exclusive, &[]).unwrap();
+        // Child t10 of t1 may lock what its ancestor holds.
+        lm.acquire(t(10), o(1), LockMode::Exclusive, &[t(1)]).unwrap();
+        assert_eq!(lm.held_mode(t(10), o(1)), Some(LockMode::Exclusive));
+    }
+
+    #[test]
+    fn transfer_moves_and_upgrades() {
+        let lm = LockManager::with_timeout(Duration::from_millis(50));
+        lm.acquire(t(10), o(1), LockMode::Exclusive, &[]).unwrap();
+        lm.acquire(t(10), o(2), LockMode::Shared, &[]).unwrap();
+        lm.acquire(t(1), o(2), LockMode::Shared, &[]).unwrap();
+        lm.transfer(t(10), t(1));
+        assert_eq!(lm.held_mode(t(1), o(1)), Some(LockMode::Exclusive));
+        assert_eq!(lm.held_mode(t(1), o(2)), Some(LockMode::Shared));
+        assert_eq!(lm.held_mode(t(10), o(1)), None);
+        // A third party still cannot take o(1).
+        assert!(lm
+            .acquire(t(3), o(1), LockMode::Shared, &[])
+            .is_err());
+    }
+
+    #[test]
+    fn try_acquire_never_blocks() {
+        let lm = LockManager::new();
+        lm.acquire(t(1), o(1), LockMode::Exclusive, &[]).unwrap();
+        assert!(!lm.try_acquire(t(2), o(1), LockMode::Shared, &[]).unwrap());
+        assert!(lm.try_acquire(t(2), o(2), LockMode::Shared, &[]).unwrap());
+    }
+
+    #[test]
+    fn concurrent_increments_under_exclusive_locks() {
+        let lm = Arc::new(LockManager::new());
+        let counter = Arc::new(Mutex::new(0i64));
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let lm = Arc::clone(&lm);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                let me = t(100 + i);
+                for _ in 0..50 {
+                    lm.acquire(me, o(7), LockMode::Exclusive, &[]).unwrap();
+                    *counter.lock() += 1;
+                    lm.release_all(me);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*counter.lock(), 400);
+    }
+}

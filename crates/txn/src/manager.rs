@@ -1,0 +1,752 @@
+//! The transaction manager: flat + closed nested transactions, hooks,
+//! and the commit protocol that the coupling modes of §3.2 build on.
+//!
+//! Structure mirrors what the paper found missing in closed systems:
+//!
+//! * subtransactions ([`TransactionManager::begin_nested`]) whose locks
+//!   and effects are inherited by the parent on commit and undone on
+//!   abort (via per-resource savepoints);
+//! * *pre-commit hooks* — the execution point of deferred-coupled rules
+//!   ("after the triggering transaction completes its execution but
+//!   before it commits"); a hook may enqueue further hooks (cascading
+//!   rules) and may abort the transaction by returning an error;
+//! * observable commit/abort signals ([`crate::events::TxnListener`])
+//!   and a [`DependencyGraph`] consulted before a dependent transaction
+//!   is allowed to commit;
+//! * lock transfer for the exclusive causally dependent mode.
+
+use crate::dependency::{DependencyGraph, Outcome, Permission};
+use crate::events::{TxnEvent, TxnEventKind, TxnListener};
+use crate::locks::{LockManager, LockMode};
+use parking_lot::{Mutex, RwLock};
+use reach_common::{IdGen, ObjectId, ReachError, Result, TxnId, VirtualClock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Lifecycle state of a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnState {
+    Active,
+    Committing,
+    Committed,
+    Aborted,
+}
+
+/// Participant that must make a transaction's effects atomic (the
+/// Persistence/Change PMs implement this against the storage manager and
+/// object space). Savepoints make *sub*transaction rollback possible.
+pub trait ResourceManager: Send + Sync {
+    /// A new top-level transaction started.
+    fn begin_top(&self, txn: TxnId) -> Result<()>;
+    /// A subtransaction started inside `top`; return a savepoint token.
+    fn savepoint(&self, top: TxnId) -> Result<u64>;
+    /// Undo `top`'s effects performed after the savepoint.
+    fn rollback_to(&self, top: TxnId, savepoint: u64) -> Result<()>;
+    /// Make `txn`'s effects durable (called once, at top-level commit).
+    fn commit_top(&self, txn: TxnId) -> Result<()>;
+    /// Undo all of `txn`'s effects (top-level abort).
+    fn abort_top(&self, txn: TxnId) -> Result<()>;
+}
+
+type Hook = Box<dyn FnOnce() -> Result<()> + Send>;
+type Action = Box<dyn FnOnce() + Send>;
+
+struct TxnRecord {
+    parent: Option<TxnId>,
+    top: TxnId,
+    state: TxnState,
+    children: Vec<TxnId>,
+    active_children: usize,
+    /// Per-resource-manager savepoint tokens (empty for top-level).
+    savepoints: Vec<u64>,
+    /// Deferred work run at top-level pre-commit (FIFO).
+    pre_commit: Vec<Hook>,
+    /// Compensations run on abort (reverse order).
+    on_abort: Vec<Action>,
+    /// Work run after successful top-level commit (FIFO).
+    on_commit: Vec<Action>,
+}
+
+/// The transaction manager.
+pub struct TransactionManager {
+    clock: Arc<VirtualClock>,
+    locks: Arc<LockManager>,
+    deps: Arc<DependencyGraph>,
+    txns: Mutex<HashMap<TxnId, TxnRecord>>,
+    listeners: RwLock<Vec<Arc<dyn TxnListener>>>,
+    resources: RwLock<Vec<Arc<dyn ResourceManager>>>,
+    ids: IdGen,
+    /// Patience for causal-dependency waits at commit.
+    dep_timeout: Duration,
+}
+
+impl TransactionManager {
+    pub fn new(clock: Arc<VirtualClock>) -> Self {
+        TransactionManager {
+            clock,
+            locks: Arc::new(LockManager::new()),
+            deps: Arc::new(DependencyGraph::new()),
+            txns: Mutex::new(HashMap::new()),
+            listeners: RwLock::new(Vec::new()),
+            resources: RwLock::new(Vec::new()),
+            ids: IdGen::new(),
+            dep_timeout: Duration::from_secs(10),
+        }
+    }
+
+    pub fn clock(&self) -> &Arc<VirtualClock> {
+        &self.clock
+    }
+
+    pub fn locks(&self) -> &Arc<LockManager> {
+        &self.locks
+    }
+
+    pub fn dependencies(&self) -> &Arc<DependencyGraph> {
+        &self.deps
+    }
+
+    /// Subscribe to flow-control events.
+    pub fn add_listener(&self, l: Arc<dyn TxnListener>) {
+        self.listeners.write().push(l);
+    }
+
+    /// Register a resource manager (storage, object-space change log).
+    pub fn add_resource_manager(&self, rm: Arc<dyn ResourceManager>) {
+        self.resources.write().push(rm);
+    }
+
+    fn emit(&self, kind: TxnEventKind, txn: TxnId, parent: Option<TxnId>, top: TxnId) {
+        let listeners = self.listeners.read().clone();
+        if listeners.is_empty() {
+            return;
+        }
+        let event = TxnEvent {
+            kind,
+            txn,
+            parent,
+            top_level: top,
+            at: self.clock.now(),
+        };
+        for l in &listeners {
+            l.on_txn_event(&event);
+        }
+    }
+
+    // ---- lifecycle ----
+
+    /// Begin a top-level transaction.
+    pub fn begin(&self) -> Result<TxnId> {
+        let id: TxnId = self.ids.next();
+        for rm in self.resources.read().iter() {
+            rm.begin_top(id)?;
+        }
+        self.txns.lock().insert(
+            id,
+            TxnRecord {
+                parent: None,
+                top: id,
+                state: TxnState::Active,
+                children: Vec::new(),
+                active_children: 0,
+                savepoints: Vec::new(),
+                pre_commit: Vec::new(),
+                on_abort: Vec::new(),
+                on_commit: Vec::new(),
+            },
+        );
+        self.emit(TxnEventKind::Begin, id, None, id);
+        Ok(id)
+    }
+
+    /// Begin a closed nested subtransaction of `parent`.
+    pub fn begin_nested(&self, parent: TxnId) -> Result<TxnId> {
+        let top = {
+            let mut txns = self.txns.lock();
+            let rec = txns.get_mut(&parent).ok_or(ReachError::TxnNotFound(parent))?;
+            if rec.state != TxnState::Active && rec.state != TxnState::Committing {
+                return Err(ReachError::TxnNotActive(parent));
+            }
+            rec.active_children += 1;
+            rec.top
+        };
+        let savepoints: Vec<u64> = {
+            let rms = self.resources.read().clone();
+            let mut sps = Vec::with_capacity(rms.len());
+            for rm in rms.iter() {
+                sps.push(rm.savepoint(top)?);
+            }
+            sps
+        };
+        let id: TxnId = self.ids.next();
+        {
+            let mut txns = self.txns.lock();
+            txns.get_mut(&parent).unwrap().children.push(id);
+            txns.insert(
+                id,
+                TxnRecord {
+                    parent: Some(parent),
+                    top,
+                    state: TxnState::Active,
+                    children: Vec::new(),
+                    active_children: 0,
+                    savepoints,
+                    pre_commit: Vec::new(),
+                    on_abort: Vec::new(),
+                    on_commit: Vec::new(),
+                },
+            );
+        }
+        self.emit(TxnEventKind::Begin, id, Some(parent), top);
+        Ok(id)
+    }
+
+    /// The current state of a transaction.
+    pub fn state(&self, txn: TxnId) -> Result<TxnState> {
+        self.txns
+            .lock()
+            .get(&txn)
+            .map(|r| r.state)
+            .ok_or(ReachError::TxnNotFound(txn))
+    }
+
+    /// Whether the transaction is active (or committing).
+    pub fn is_active(&self, txn: TxnId) -> bool {
+        matches!(
+            self.state(txn),
+            Ok(TxnState::Active) | Ok(TxnState::Committing)
+        )
+    }
+
+    /// The enclosing top-level transaction.
+    pub fn top_of(&self, txn: TxnId) -> Result<TxnId> {
+        self.txns
+            .lock()
+            .get(&txn)
+            .map(|r| r.top)
+            .ok_or(ReachError::TxnNotFound(txn))
+    }
+
+    /// The ancestor chain (parent first, top-level last).
+    pub fn ancestors(&self, txn: TxnId) -> Vec<TxnId> {
+        let txns = self.txns.lock();
+        let mut out = Vec::new();
+        let mut cur = txns.get(&txn).and_then(|r| r.parent);
+        while let Some(p) = cur {
+            out.push(p);
+            cur = txns.get(&p).and_then(|r| r.parent);
+        }
+        out
+    }
+
+    // ---- hooks ----
+
+    /// Queue work for the *top-level* pre-commit point (deferred rules).
+    pub fn defer(&self, txn: TxnId, hook: Hook) -> Result<()> {
+        let mut txns = self.txns.lock();
+        let top = txns.get(&txn).ok_or(ReachError::TxnNotFound(txn))?.top;
+        let rec = txns.get_mut(&top).ok_or(ReachError::TxnNotFound(top))?;
+        if rec.state != TxnState::Active && rec.state != TxnState::Committing {
+            return Err(ReachError::TxnNotActive(top));
+        }
+        rec.pre_commit.push(hook);
+        Ok(())
+    }
+
+    /// Register a compensation to run if `txn` aborts.
+    pub fn on_abort(&self, txn: TxnId, action: Action) -> Result<()> {
+        let mut txns = self.txns.lock();
+        let rec = txns.get_mut(&txn).ok_or(ReachError::TxnNotFound(txn))?;
+        rec.on_abort.push(action);
+        Ok(())
+    }
+
+    /// Register work to run after the top-level transaction commits.
+    pub fn on_commit(&self, txn: TxnId, action: Action) -> Result<()> {
+        let mut txns = self.txns.lock();
+        let rec = txns.get_mut(&txn).ok_or(ReachError::TxnNotFound(txn))?;
+        rec.on_commit.push(action);
+        Ok(())
+    }
+
+    // ---- locking ----
+
+    /// Acquire a lock honouring nested-transaction ancestry.
+    pub fn lock(&self, txn: TxnId, oid: ObjectId, mode: LockMode) -> Result<()> {
+        let ancestors = self.ancestors(txn);
+        self.locks.acquire(txn, oid, mode, &ancestors)
+    }
+
+    // ---- commit / abort ----
+
+    /// Commit a transaction. For subtransactions this transfers locks and
+    /// obligations to the parent; for top-level transactions it runs the
+    /// deferred queue, honours causal dependencies, makes effects durable
+    /// and fires `Committed`.
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
+        let (parent, top) = {
+            let txns = self.txns.lock();
+            let rec = txns.get(&txn).ok_or(ReachError::TxnNotFound(txn))?;
+            if rec.state != TxnState::Active {
+                return Err(ReachError::TxnNotActive(txn));
+            }
+            if rec.active_children > 0 {
+                return Err(ReachError::NestedViolation(format!(
+                    "{txn} has {} active subtransactions",
+                    rec.active_children
+                )));
+            }
+            (rec.parent, rec.top)
+        };
+        match parent {
+            Some(p) => self.commit_child(txn, p, top),
+            None => self.commit_top(txn),
+        }
+    }
+
+    fn commit_child(&self, txn: TxnId, parent: TxnId, top: TxnId) -> Result<()> {
+        {
+            let mut txns = self.txns.lock();
+            // Move obligations to the parent: if the parent later aborts,
+            // this child's effects are rolled back with it (closed nested
+            // semantics); its deferred/post-commit work runs with the top.
+            let rec = txns.get_mut(&txn).unwrap();
+            rec.state = TxnState::Committed;
+            let on_abort = std::mem::take(&mut rec.on_abort);
+            let on_commit = std::mem::take(&mut rec.on_commit);
+            let pre_commit = std::mem::take(&mut rec.pre_commit);
+            let prec = txns.get_mut(&parent).unwrap();
+            prec.on_abort.extend(on_abort);
+            prec.on_commit.extend(on_commit);
+            prec.pre_commit.extend(pre_commit);
+            prec.active_children -= 1;
+        }
+        self.locks.transfer(txn, parent);
+        self.emit(TxnEventKind::Committed, txn, Some(parent), top);
+        Ok(())
+    }
+
+    fn commit_top(&self, txn: TxnId) -> Result<()> {
+        {
+            let mut txns = self.txns.lock();
+            txns.get_mut(&txn).unwrap().state = TxnState::Committing;
+        }
+        self.emit(TxnEventKind::PreCommit, txn, None, txn);
+        // Drain the deferred queue; hooks may enqueue more (rule cascades)
+        // and a failing hook aborts the transaction.
+        loop {
+            let hook = {
+                let mut txns = self.txns.lock();
+                let rec = txns.get_mut(&txn).unwrap();
+                if rec.pre_commit.is_empty() {
+                    None
+                } else {
+                    Some(rec.pre_commit.remove(0))
+                }
+            };
+            let Some(hook) = hook else { break };
+            if let Err(e) = hook() {
+                self.abort(txn)?;
+                return Err(e);
+            }
+        }
+        // Causal dependencies (this transaction may itself be a detached
+        // rule execution): wait for permission.
+        match self.deps.wait(txn, self.dep_timeout) {
+            Ok(Permission::Commit) => {}
+            Ok(Permission::MustAbort) => {
+                self.abort(txn)?;
+                return Err(ReachError::DependencyViolation(format!(
+                    "{txn} aborted: causal dependency resolved against it"
+                )));
+            }
+            Ok(Permission::Wait) => unreachable!("wait() never returns Wait"),
+            Err(e) => {
+                self.abort(txn)?;
+                return Err(e);
+            }
+        }
+        let rms = self.resources.read().clone();
+        for (i, rm) in rms.iter().enumerate() {
+            if let Err(e) = rm.commit_top(txn) {
+                // A resource manager refused durability (e.g. storage
+                // failure): abort. RMs before `i` already made the
+                // transaction durable on their side; they are asked to
+                // abort too, which for the WAL-backed manager rolls the
+                // logged effects back with compensation records.
+                let _ = i;
+                self.abort(txn)?;
+                return Err(e);
+            }
+        }
+        let on_commit = {
+            let mut txns = self.txns.lock();
+            let rec = txns.get_mut(&txn).unwrap();
+            rec.state = TxnState::Committed;
+            rec.on_abort.clear();
+            std::mem::take(&mut rec.on_commit)
+        };
+        self.locks.release_all(txn);
+        self.deps.record(txn, Outcome::Committed);
+        self.deps.forget_dependent(txn);
+        self.emit(TxnEventKind::Committed, txn, None, txn);
+        for action in on_commit {
+            action();
+        }
+        Ok(())
+    }
+
+    /// Abort a transaction (and, recursively, its active subtransactions).
+    pub fn abort(&self, txn: TxnId) -> Result<()> {
+        let (parent, top, state) = {
+            let txns = self.txns.lock();
+            let rec = txns.get(&txn).ok_or(ReachError::TxnNotFound(txn))?;
+            (rec.parent, rec.top, rec.state)
+        };
+        if state == TxnState::Committed || state == TxnState::Aborted {
+            return Err(ReachError::TxnNotActive(txn));
+        }
+        // Abort active children first, deepest effects undone first.
+        let children: Vec<TxnId> = {
+            let txns = self.txns.lock();
+            txns.get(&txn).unwrap().children.clone()
+        };
+        for c in children.into_iter().rev() {
+            if self.is_active(c) {
+                self.abort(c)?;
+            }
+        }
+        let (on_abort, savepoints) = {
+            let mut txns = self.txns.lock();
+            let rec = txns.get_mut(&txn).unwrap();
+            rec.state = TxnState::Aborted;
+            rec.pre_commit.clear();
+            rec.on_commit.clear();
+            (
+                std::mem::take(&mut rec.on_abort),
+                std::mem::take(&mut rec.savepoints),
+            )
+        };
+        for action in on_abort.into_iter().rev() {
+            action();
+        }
+        let rms = self.resources.read().clone();
+        match parent {
+            Some(p) => {
+                // Subtransaction: roll the shared top-level back to the
+                // savepoints taken at this child's begin.
+                for (rm, sp) in rms.iter().zip(savepoints.iter()) {
+                    rm.rollback_to(top, *sp)?;
+                }
+                self.locks.release_all(txn);
+                let mut txns = self.txns.lock();
+                if let Some(prec) = txns.get_mut(&p) {
+                    prec.active_children = prec.active_children.saturating_sub(1);
+                }
+            }
+            None => {
+                for rm in rms.iter() {
+                    rm.abort_top(txn)?;
+                }
+                self.locks.release_all(txn);
+                self.deps.record(txn, Outcome::Aborted);
+                self.deps.forget_dependent(txn);
+            }
+        }
+        self.emit(TxnEventKind::Aborted, txn, parent, top);
+        Ok(())
+    }
+
+    /// Number of transactions the manager has ever seen (introspection).
+    pub fn known_count(&self) -> usize {
+        self.txns.lock().len()
+    }
+
+    /// Ids of all currently active top-level transactions.
+    pub fn active_top_level(&self) -> Vec<TxnId> {
+        let txns = self.txns.lock();
+        let mut out: Vec<TxnId> = txns
+            .iter()
+            .filter(|(_, r)| {
+                r.parent.is_none()
+                    && matches!(r.state, TxnState::Active | TxnState::Committing)
+            })
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+impl std::fmt::Debug for TransactionManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TransactionManager")
+            .field("known", &self.known_count())
+            .field("active", &self.active_top_level())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PMutex;
+
+    fn manager() -> TransactionManager {
+        TransactionManager::new(Arc::new(VirtualClock::new_virtual()))
+    }
+
+    #[test]
+    fn top_level_lifecycle() {
+        let tm = manager();
+        let t = tm.begin().unwrap();
+        assert_eq!(tm.state(t).unwrap(), TxnState::Active);
+        tm.commit(t).unwrap();
+        assert_eq!(tm.state(t).unwrap(), TxnState::Committed);
+        assert!(tm.commit(t).is_err(), "double commit is rejected");
+    }
+
+    #[test]
+    fn abort_runs_compensations_in_reverse() {
+        let tm = manager();
+        let order = Arc::new(PMutex::new(Vec::new()));
+        let t = tm.begin().unwrap();
+        for i in 0..3 {
+            let order = Arc::clone(&order);
+            tm.on_abort(t, Box::new(move || order.lock().push(i))).unwrap();
+        }
+        tm.abort(t).unwrap();
+        assert_eq!(*order.lock(), vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn commit_runs_deferred_hooks_and_cascades() {
+        let tm = Arc::new(manager());
+        let log = Arc::new(PMutex::new(Vec::new()));
+        let t = tm.begin().unwrap();
+        let log1 = Arc::clone(&log);
+        let tm2 = Arc::clone(&tm);
+        let log2 = Arc::clone(&log);
+        tm.defer(
+            t,
+            Box::new(move || {
+                log1.lock().push("first");
+                // Cascade: a deferred hook enqueues another.
+                tm2.defer(
+                    t,
+                    Box::new(move || {
+                        log2.lock().push("cascaded");
+                        Ok(())
+                    }),
+                )?;
+                Ok(())
+            }),
+        )
+        .unwrap();
+        tm.commit(t).unwrap();
+        assert_eq!(*log.lock(), vec!["first", "cascaded"]);
+    }
+
+    #[test]
+    fn failing_deferred_hook_aborts_the_transaction() {
+        let tm = manager();
+        let t = tm.begin().unwrap();
+        tm.defer(
+            t,
+            Box::new(|| Err(ReachError::RuleEvaluation("constraint violated".into()))),
+        )
+        .unwrap();
+        assert!(tm.commit(t).is_err());
+        assert_eq!(tm.state(t).unwrap(), TxnState::Aborted);
+    }
+
+    #[test]
+    fn nested_commit_transfers_locks_to_parent() {
+        let tm = manager();
+        let parent = tm.begin().unwrap();
+        let child = tm.begin_nested(parent).unwrap();
+        tm.lock(child, ObjectId::new(1), LockMode::Exclusive).unwrap();
+        tm.commit(child).unwrap();
+        assert_eq!(
+            tm.locks().held_mode(parent, ObjectId::new(1)),
+            Some(LockMode::Exclusive)
+        );
+        tm.commit(parent).unwrap();
+        assert_eq!(tm.locks().held_mode(parent, ObjectId::new(1)), None);
+    }
+
+    #[test]
+    fn child_can_lock_what_parent_holds() {
+        let tm = manager();
+        let parent = tm.begin().unwrap();
+        tm.lock(parent, ObjectId::new(1), LockMode::Exclusive).unwrap();
+        let child = tm.begin_nested(parent).unwrap();
+        tm.lock(child, ObjectId::new(1), LockMode::Exclusive).unwrap();
+        tm.commit(child).unwrap();
+        tm.commit(parent).unwrap();
+    }
+
+    #[test]
+    fn parent_commit_with_active_child_is_a_violation() {
+        let tm = manager();
+        let parent = tm.begin().unwrap();
+        let _child = tm.begin_nested(parent).unwrap();
+        assert!(matches!(
+            tm.commit(parent),
+            Err(ReachError::NestedViolation(_))
+        ));
+    }
+
+    #[test]
+    fn aborting_parent_aborts_active_children() {
+        let tm = manager();
+        let parent = tm.begin().unwrap();
+        let child = tm.begin_nested(parent).unwrap();
+        let grandchild = tm.begin_nested(child).unwrap();
+        tm.abort(parent).unwrap();
+        assert_eq!(tm.state(child).unwrap(), TxnState::Aborted);
+        assert_eq!(tm.state(grandchild).unwrap(), TxnState::Aborted);
+    }
+
+    #[test]
+    fn committed_child_obligations_move_to_parent() {
+        let tm = manager();
+        let hit = Arc::new(PMutex::new(false));
+        let parent = tm.begin().unwrap();
+        let child = tm.begin_nested(parent).unwrap();
+        let hit2 = Arc::clone(&hit);
+        tm.on_abort(child, Box::new(move || *hit2.lock() = true)).unwrap();
+        tm.commit(child).unwrap();
+        // Child committed, but the parent's abort must still undo it.
+        tm.abort(parent).unwrap();
+        assert!(*hit.lock(), "child compensation must run on parent abort");
+    }
+
+    #[test]
+    fn dependency_must_abort_propagates() {
+        let tm = manager();
+        let trigger = tm.begin().unwrap();
+        let dependent = tm.begin().unwrap();
+        tm.dependencies()
+            .add(dependent, crate::dependency::CommitRule::IfAborted(trigger));
+        tm.commit(trigger).unwrap();
+        // Exclusive mode: trigger committed, so the dependent must abort.
+        assert!(tm.commit(dependent).is_err());
+        assert_eq!(tm.state(dependent).unwrap(), TxnState::Aborted);
+    }
+
+    #[test]
+    fn dependency_commit_allows() {
+        let tm = manager();
+        let trigger = tm.begin().unwrap();
+        let dependent = tm.begin().unwrap();
+        tm.dependencies()
+            .add(dependent, crate::dependency::CommitRule::IfCommitted(trigger));
+        tm.commit(trigger).unwrap();
+        tm.commit(dependent).unwrap();
+        assert_eq!(tm.state(dependent).unwrap(), TxnState::Committed);
+    }
+
+    #[test]
+    fn listeners_see_the_full_event_sequence() {
+        let tm = manager();
+        #[derive(Default)]
+        struct Rec(PMutex<Vec<(TxnEventKind, TxnId)>>);
+        impl TxnListener for Rec {
+            fn on_txn_event(&self, e: &TxnEvent) {
+                self.0.lock().push((e.kind, e.txn));
+            }
+        }
+        let rec = Arc::new(Rec::default());
+        tm.add_listener(Arc::clone(&rec) as Arc<dyn TxnListener>);
+        let t = tm.begin().unwrap();
+        tm.commit(t).unwrap();
+        let a = tm.begin().unwrap();
+        tm.abort(a).unwrap();
+        let events = rec.0.lock();
+        assert_eq!(
+            *events,
+            vec![
+                (TxnEventKind::Begin, t),
+                (TxnEventKind::PreCommit, t),
+                (TxnEventKind::Committed, t),
+                (TxnEventKind::Begin, a),
+                (TxnEventKind::Aborted, a),
+            ]
+        );
+    }
+
+    #[test]
+    fn on_commit_actions_run_after_commit_only() {
+        let tm = manager();
+        let hits = Arc::new(PMutex::new(0));
+        let t = tm.begin().unwrap();
+        let h = Arc::clone(&hits);
+        tm.on_commit(t, Box::new(move || *h.lock() += 1)).unwrap();
+        let a = tm.begin().unwrap();
+        let h = Arc::clone(&hits);
+        tm.on_commit(a, Box::new(move || *h.lock() += 1)).unwrap();
+        tm.abort(a).unwrap();
+        assert_eq!(*hits.lock(), 0);
+        tm.commit(t).unwrap();
+        assert_eq!(*hits.lock(), 1);
+    }
+
+    #[test]
+    fn resource_manager_sees_savepoint_rollback() {
+        #[derive(Default)]
+        struct Rm {
+            log: PMutex<Vec<String>>,
+        }
+        impl ResourceManager for Rm {
+            fn begin_top(&self, t: TxnId) -> Result<()> {
+                self.log.lock().push(format!("begin {t}"));
+                Ok(())
+            }
+            fn savepoint(&self, _t: TxnId) -> Result<u64> {
+                self.log.lock().push("savepoint".into());
+                Ok(42)
+            }
+            fn rollback_to(&self, _t: TxnId, sp: u64) -> Result<()> {
+                self.log.lock().push(format!("rollback {sp}"));
+                Ok(())
+            }
+            fn commit_top(&self, t: TxnId) -> Result<()> {
+                self.log.lock().push(format!("commit {t}"));
+                Ok(())
+            }
+            fn abort_top(&self, t: TxnId) -> Result<()> {
+                self.log.lock().push(format!("abort {t}"));
+                Ok(())
+            }
+        }
+        let tm = manager();
+        let rm = Arc::new(Rm::default());
+        tm.add_resource_manager(Arc::clone(&rm) as Arc<dyn ResourceManager>);
+        let t = tm.begin().unwrap();
+        let c = tm.begin_nested(t).unwrap();
+        tm.abort(c).unwrap();
+        tm.commit(t).unwrap();
+        assert_eq!(
+            *rm.log.lock(),
+            vec![
+                format!("begin {t}"),
+                "savepoint".to_string(),
+                "rollback 42".to_string(),
+                format!("commit {t}"),
+            ]
+        );
+    }
+
+    #[test]
+    fn active_top_level_lists_only_running_tops() {
+        let tm = manager();
+        let a = tm.begin().unwrap();
+        let b = tm.begin().unwrap();
+        let _child = tm.begin_nested(a).unwrap();
+        assert_eq!(tm.active_top_level(), vec![a, b]);
+        tm.commit(b).unwrap();
+        assert_eq!(tm.active_top_level(), vec![a]);
+    }
+}

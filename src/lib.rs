@@ -1,0 +1,84 @@
+//! # REACH — an integrated active OODBMS
+//!
+//! A from-scratch Rust reproduction of *"Building an Integrated Active
+//! OODBMS: Requirements, Architecture, and Design Decisions"* (Buchmann,
+//! Zimmermann, Blakeley, Wells — ICDE 1995).
+//!
+//! This facade crate re-exports the whole stack:
+//!
+//! * [`storage`] — EXODUS-style storage manager (pages, buffer pool,
+//!   WAL, recovery);
+//! * [`object`] — the reflective object model with the sentry-bearing
+//!   dispatcher;
+//! * [`txn`] — flat + closed-nested transactions, 2PL, commit/abort
+//!   dependency graph;
+//! * [`oodb`] — the Open OODB meta-architecture (policy managers, data
+//!   dictionary, OQL queries) assembled as [`Database`];
+//! * [`active`] — the REACH active layer: events, composition, coupling
+//!   modes, ECA-managers, rule engine — assembled as [`ReachSystem`];
+//! * [`rulelang`] — the §6.1 rule definition language;
+//! * [`layered`] — the layered-architecture baseline of §4.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use reach::{Database, ReachSystem, ReachConfig, RuleBuilder, CouplingMode};
+//! use reach::object::{Value, ValueType};
+//! use reach::active::event::MethodPhase;
+//! use std::sync::Arc;
+//! use std::sync::atomic::{AtomicUsize, Ordering};
+//!
+//! // 1. A database with one class.
+//! let db = Database::in_memory().unwrap();
+//! let (b, deposit) = db.define_class("Account")
+//!     .attr("balance", ValueType::Int, Value::Int(0))
+//!     .virtual_method("deposit");
+//! let account = b.define().unwrap();
+//! db.methods().register_fn(deposit, |ctx| {
+//!     let n = ctx.get("balance")?.as_int()? + ctx.arg(0).as_int()?;
+//!     ctx.set("balance", Value::Int(n))?;
+//!     Ok(Value::Int(n))
+//! });
+//!
+//! // 2. The active layer on top.
+//! let sys = ReachSystem::new(Arc::clone(&db), ReachConfig::default());
+//! let ev = sys.define_method_event("on-deposit", account, "deposit",
+//!                                  MethodPhase::After).unwrap();
+//! let fired = Arc::new(AtomicUsize::new(0));
+//! let f = Arc::clone(&fired);
+//! sys.define_rule(
+//!     RuleBuilder::new("large-deposit")
+//!         .on(ev)
+//!         .coupling(CouplingMode::Immediate)
+//!         .when(|ctx| Ok(ctx.arg(0).as_int()? > 1_000))
+//!         .then(move |_| { f.fetch_add(1, Ordering::SeqCst); Ok(()) }),
+//! ).unwrap();
+//!
+//! // 3. Use the database; the rule fires on its own.
+//! let t = db.begin().unwrap();
+//! let acct = db.create(t, account).unwrap();
+//! db.invoke(t, acct, "deposit", &[Value::Int(50_000)]).unwrap();
+//! db.commit(t).unwrap();
+//! assert_eq!(fired.load(Ordering::SeqCst), 1);
+//! ```
+
+pub use open_oodb as oodb;
+pub use reach_common as common;
+pub use reach_core as active;
+pub use reach_layered as layered;
+pub use reach_object as object;
+pub use reach_rulelang as rulelang;
+pub use reach_storage as storage;
+pub use reach_txn as txn;
+
+pub use open_oodb::{Database, DatabaseConfig};
+pub use reach_common::{
+    ClassId, EventTypeId, ObjectId, Priority, ReachError, Result, RuleId, TimePoint, TxnId,
+    VirtualClock,
+};
+pub use reach_core::{
+    CompositionScope, ConsumptionPolicy, CouplingMode, EventExpr, ExecutionStrategy, Lifespan,
+    ReachConfig, ReachSystem, RuleBuilder, RuleCtx,
+};
+pub use reach_object::{Value, ValueType};
+pub use reach_rulelang::compile::load_rule;

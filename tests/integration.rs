@@ -1,0 +1,343 @@
+//! Workspace-level integration tests: exercise the full stack through
+//! the `reach` facade, spanning storage, transactions, the object model,
+//! the query engine, the active layer and the rule language together.
+
+use reach::active::eca::CompositionMode;
+use reach::active::event::MethodPhase;
+use reach::{
+    load_rule, CompositionScope, ConsumptionPolicy, CouplingMode, Database, DatabaseConfig,
+    EventExpr, ExecutionStrategy, Lifespan, ReachConfig, ReachSystem, RuleBuilder, Value,
+    ValueType,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Inventory world: warehouse items whose stock is adjusted by method
+/// calls; a reorder rule watches the level.
+fn inventory() -> (Arc<ReachSystem>, reach::ClassId) {
+    let db = Database::in_memory().unwrap();
+    let (b, take) = db
+        .define_class("Item")
+        .attr("stock", ValueType::Int, Value::Int(100))
+        .attr("reordered", ValueType::Bool, Value::Bool(false))
+        .virtual_method("take");
+    let (b, restock) = b.virtual_method("restock");
+    let item = b.define().unwrap();
+    db.methods().register_fn(take, |ctx| {
+        let n = ctx.get("stock")?.as_int()? - ctx.arg(0).as_int()?;
+        ctx.set("stock", Value::Int(n))?;
+        Ok(Value::Int(n))
+    });
+    db.methods().register_fn(restock, |ctx| {
+        let n = ctx.get("stock")?.as_int()? + ctx.arg(0).as_int()?;
+        ctx.set("stock", Value::Int(n))?;
+        ctx.set("reordered", Value::Bool(false))?;
+        Ok(Value::Int(n))
+    });
+    let sys = ReachSystem::new(db, ReachConfig::default());
+    (sys, item)
+}
+
+#[test]
+fn reorder_rule_spans_the_whole_stack() {
+    let (sys, item) = inventory();
+    let db = sys.db();
+    let low_stock = sys
+        .define_state_event("stock-changed", item, "stock")
+        .unwrap();
+    // Immediate rule: mark for reorder when stock dips below 20.
+    sys.define_rule(
+        RuleBuilder::new("reorder")
+            .on(low_stock)
+            .coupling(CouplingMode::Immediate)
+            .when(|ctx| Ok(ctx.new_value().as_int()? < 20))
+            .then(|ctx| {
+                let oid = ctx.receiver().unwrap();
+                ctx.db
+                    .set_attr(ctx.txn, oid, "reordered", Value::Bool(true))
+            }),
+    )
+    .unwrap();
+    let t = db.begin().unwrap();
+    let widget = db.create(t, item).unwrap();
+    db.persist_named(t, "widget", widget).unwrap();
+    db.invoke(t, widget, "take", &[Value::Int(50)]).unwrap();
+    assert_eq!(db.get_attr(t, widget, "reordered").unwrap(), Value::Bool(false));
+    db.invoke(t, widget, "take", &[Value::Int(40)]).unwrap(); // stock = 10
+    assert_eq!(db.get_attr(t, widget, "reordered").unwrap(), Value::Bool(true));
+    db.commit(t).unwrap();
+    // The query engine sees the rule's effect.
+    let t = db.begin().unwrap();
+    let hits = db
+        .query(t, "select i from Item i where i.reordered == true")
+        .unwrap();
+    assert_eq!(hits, vec![widget]);
+    db.commit(t).unwrap();
+}
+
+#[test]
+fn persistence_survives_restart_with_rules_redeclared() {
+    let dir = std::env::temp_dir().join(format!("reach-int-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let declare = |db: &Arc<Database>| {
+        let (b, bump) = db
+            .define_class("Counter")
+            .attr("n", ValueType::Int, Value::Int(0))
+            .virtual_method("bump");
+        let class = b.define().unwrap();
+        db.methods().register_fn(bump, |ctx| {
+            let n = ctx.get("n")?.as_int()? + 1;
+            ctx.set("n", Value::Int(n))?;
+            Ok(Value::Int(n))
+        });
+        class
+    };
+    {
+        let db = Database::open(&dir, DatabaseConfig::default()).unwrap();
+        let class = declare(&db);
+        let sys = ReachSystem::new(Arc::clone(&db), ReachConfig::default());
+        let ev = sys
+            .define_method_event("on-bump", class, "bump", MethodPhase::After)
+            .unwrap();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&fired);
+        sys.define_rule(
+            RuleBuilder::new("observe")
+                .on(ev)
+                .coupling(CouplingMode::Immediate)
+                .then(move |_| {
+                    f.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                }),
+        )
+        .unwrap();
+        let t = db.begin().unwrap();
+        let c = db.create(t, class).unwrap();
+        db.persist_named(t, "counter", c).unwrap();
+        db.invoke(t, c, "bump", &[]).unwrap();
+        db.commit(t).unwrap();
+        db.checkpoint().unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1);
+    }
+    // Restart: schema and rules are code, state is storage.
+    {
+        let db = Database::open(&dir, DatabaseConfig::default()).unwrap();
+        let class = declare(&db);
+        let sys = ReachSystem::new(Arc::clone(&db), ReachConfig::default());
+        let ev = sys
+            .define_method_event("on-bump", class, "bump", MethodPhase::After)
+            .unwrap();
+        let fired = Arc::new(AtomicUsize::new(0));
+        let f = Arc::clone(&fired);
+        sys.define_rule(
+            RuleBuilder::new("observe")
+                .on(ev)
+                .coupling(CouplingMode::Immediate)
+                .then(move |_| {
+                    f.fetch_add(1, Ordering::SeqCst);
+                    Ok(())
+                }),
+        )
+        .unwrap();
+        let t = db.begin().unwrap();
+        let c = db.fetch("counter").unwrap();
+        assert_eq!(db.get_attr(t, c, "n").unwrap(), Value::Int(1));
+        db.invoke(t, c, "bump", &[]).unwrap();
+        assert_eq!(db.get_attr(t, c, "n").unwrap(), Value::Int(2));
+        db.commit(t).unwrap();
+        assert_eq!(fired.load(Ordering::SeqCst), 1, "rule fires after restart");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn rule_language_with_query_visible_effects() {
+    let db = Database::in_memory().unwrap();
+    let (b, log_m) = db
+        .define_class("Machine")
+        .attr("temp", ValueType::Float, Value::Float(20.0))
+        .attr("alerts", ValueType::Int, Value::Int(0))
+        .virtual_method("raiseAlert");
+    let (b, set_temp) = b.virtual_method("setTemp");
+    let machine = b.define().unwrap();
+    db.methods().register_fn(log_m, |ctx| {
+        let n = ctx.get("alerts")?.as_int()? + 1;
+        ctx.set("alerts", Value::Int(n))?;
+        Ok(Value::Null)
+    });
+    db.methods().register_fn(set_temp, |ctx| {
+        ctx.set("temp", ctx.arg(0))?;
+        Ok(Value::Null)
+    });
+    let sys = ReachSystem::new(Arc::clone(&db), ReachConfig::default());
+    load_rule(
+        &sys,
+        r#"
+        rule Overheat {
+            prio 1;
+            decl Machine *m, float t;
+            event after m->setTemp(t);
+            cond imm t > 90.0;
+            action imm m->raiseAlert();
+        };
+    "#,
+    )
+    .unwrap();
+    let t = db.begin().unwrap();
+    let m1 = db.create(t, machine).unwrap();
+    let m2 = db.create(t, machine).unwrap();
+    db.persist(t, m1).unwrap();
+    db.persist(t, m2).unwrap();
+    db.invoke(t, m1, "setTemp", &[Value::Float(95.0)]).unwrap();
+    db.invoke(t, m2, "setTemp", &[Value::Float(50.0)]).unwrap();
+    db.invoke(t, m1, "setTemp", &[Value::Float(99.0)]).unwrap();
+    db.commit(t).unwrap();
+    let t = db.begin().unwrap();
+    let hot = db
+        .query(t, "select m from Machine m where m.alerts >= 2")
+        .unwrap();
+    assert_eq!(hot, vec![m1]);
+    db.commit(t).unwrap();
+}
+
+#[test]
+fn layered_baseline_misses_what_integrated_catches() {
+    use reach::layered::{ClosedOodb, LayeredLayer};
+    // Integrated side.
+    let (sys, item) = inventory();
+    let db = sys.db();
+    let ev = sys.define_state_event("s", item, "stock").unwrap();
+    let integrated_hits = Arc::new(AtomicUsize::new(0));
+    let h = Arc::clone(&integrated_hits);
+    sys.define_rule(
+        RuleBuilder::new("watch")
+            .on(ev)
+            .coupling(CouplingMode::Immediate)
+            .then(move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }),
+    )
+    .unwrap();
+    let t = db.begin().unwrap();
+    let oid = db.create(t, item).unwrap();
+    db.set_attr(t, oid, "stock", Value::Int(5)).unwrap();
+    db.commit(t).unwrap();
+    assert_eq!(integrated_hits.load(Ordering::SeqCst), 1);
+
+    // Layered side: same state write is invisible until a poll.
+    let closed = Arc::new(ClosedOodb::in_memory().unwrap());
+    let (b, _m) = closed
+        .define_class("Item")
+        .attr("stock", ValueType::Int, Value::Int(100))
+        .virtual_method("noop");
+    let item_l = b.define().unwrap();
+    let layer = LayeredLayer::new(Arc::clone(&closed));
+    let t = closed.begin().unwrap();
+    let oid = closed.create(t, item_l).unwrap();
+    layer.watch(t, oid).unwrap();
+    closed.set_attr(t, oid, "stock", Value::Int(5)).unwrap();
+    // Nothing detected until poll; the integrated system saw it at once.
+    let changes = layer.poll(t).unwrap();
+    assert_eq!(changes.len(), 1);
+    closed.commit(t).unwrap();
+}
+
+#[test]
+fn parallel_everything_stress() {
+    // Parallel composition + parallel immediate strategy + detached
+    // rules, hammered from several application threads.
+    let db = Database::in_memory().unwrap();
+    let (b, ping) = db
+        .define_class("Node")
+        .attr("hits", ValueType::Int, Value::Int(0))
+        .virtual_method("ping");
+    let node = b.define().unwrap();
+    db.methods().register_fn(ping, |ctx| {
+        let n = ctx.get("hits")?.as_int()? + 1;
+        ctx.set("hits", Value::Int(n))?;
+        Ok(Value::Int(n))
+    });
+    let sys = ReachSystem::new(
+        Arc::clone(&db),
+        ReachConfig {
+            composition: CompositionMode::Parallel,
+            strategy: ExecutionStrategy::Parallel,
+        },
+    );
+    let ev = sys
+        .define_method_event("on-ping", node, "ping", MethodPhase::After)
+        .unwrap();
+    let _pair = sys
+        .define_composite(
+            "ping-pair",
+            EventExpr::History {
+                expr: Box::new(EventExpr::Primitive(ev)),
+                count: 2,
+            },
+            CompositionScope::CrossTransaction,
+            Lifespan::Interval(Duration::from_secs(3600)),
+            ConsumptionPolicy::Chronicle,
+        )
+        .unwrap();
+    let immediate = Arc::new(AtomicUsize::new(0));
+    let i2 = Arc::clone(&immediate);
+    sys.define_rule(
+        RuleBuilder::new("imm")
+            .on(ev)
+            .coupling(CouplingMode::Immediate)
+            .then(move |_| {
+                i2.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }),
+    )
+    .unwrap();
+    // Each thread pings its own node in its own transactions.
+    let mut handles = Vec::new();
+    for _ in 0..4 {
+        let db = Arc::clone(&db);
+        handles.push(std::thread::spawn(move || {
+            let t = db.begin().unwrap();
+            let oid = db.create(t, node).unwrap();
+            db.persist(t, oid).unwrap();
+            db.commit(t).unwrap();
+            for _ in 0..25 {
+                let t = db.begin().unwrap();
+                db.invoke(t, oid, "ping", &[]).unwrap();
+                db.commit(t).unwrap();
+            }
+            oid
+        }));
+    }
+    let oids: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    sys.wait_quiescent();
+    assert_eq!(immediate.load(Ordering::SeqCst), 100);
+    let t = db.begin().unwrap();
+    for oid in oids {
+        assert_eq!(db.get_attr(t, oid, "hits").unwrap(), Value::Int(25));
+    }
+    db.commit(t).unwrap();
+}
+
+#[test]
+fn figure1_manifest_regenerates() {
+    let db = Database::in_memory().unwrap();
+    let manifest = db.manifest();
+    let joined = manifest.join("\n");
+    // Figure 1's boxes.
+    for needle in [
+        "Application Programming Interface",
+        "Meta Architecture Support (Sentries)",
+        "persistence",
+        "transactions",
+        "indexing",
+        "query",
+        "change",
+        "data-dictionary",
+        "asm:active-memory",
+        "asm:passive-store",
+    ] {
+        assert!(joined.contains(needle), "manifest missing {needle}:\n{joined}");
+    }
+}
