@@ -34,7 +34,7 @@ pub fn sensor_stream(
     (0..len)
         .map(|_| {
             let sensor = rng.gen_range(0..sensors);
-            let anomalous = rng.gen_range(0..100) < anomaly_pct;
+            let anomalous = rng.gen_range(0u32..100) < anomaly_pct;
             let value = if anomalous {
                 rng.gen_range(1_000..2_000)
             } else {

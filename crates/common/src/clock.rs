@@ -27,8 +27,6 @@ use std::time::{Duration, Instant};
     Ord,
     Hash,
     Default,
-    serde::Serialize,
-    serde::Deserialize,
 )]
 pub struct TimePoint(pub u64);
 

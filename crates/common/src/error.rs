@@ -152,6 +152,23 @@ impl fmt::Display for ReachError {
     }
 }
 
+impl ReachError {
+    /// Whether the failure is *transient*: retrying the same operation
+    /// in a fresh transaction can legitimately succeed. Deadlock victims
+    /// and lock timeouts are scheduling accidents, and an exhausted
+    /// buffer pool drains as pins are released. Everything else —
+    /// corrupt logs, missing objects, schema violations, real I/O
+    /// errors — is deterministic and must not be retried blindly.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            ReachError::Deadlock(_)
+                | ReachError::LockTimeout(_)
+                | ReachError::BufferPoolExhausted
+        )
+    }
+}
+
 impl std::error::Error for ReachError {}
 
 impl From<std::io::Error> for ReachError {
@@ -180,6 +197,16 @@ mod tests {
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
         let e: ReachError = io.into();
         assert!(matches!(e, ReachError::Io(_)));
+    }
+
+    #[test]
+    fn transient_taxonomy() {
+        assert!(ReachError::Deadlock(TxnId::new(1)).is_transient());
+        assert!(ReachError::LockTimeout(TxnId::new(1)).is_transient());
+        assert!(ReachError::BufferPoolExhausted.is_transient());
+        assert!(!ReachError::Io("disk on fire".into()).is_transient());
+        assert!(!ReachError::WalCorrupt("torn".into()).is_transient());
+        assert!(!ReachError::ObjectNotFound(ObjectId::new(1)).is_transient());
     }
 
     #[test]

@@ -1,0 +1,336 @@
+//! Deterministic fault injection for the storage / recovery pipeline.
+//!
+//! A [`FaultPlan`] names *where* ([`FaultPoint`]) and *when* (the nth
+//! time that point is reached) a fault fires, and *what* happens
+//! ([`FaultMode`]). A shared [`FaultInjector`] is threaded into the
+//! stable-storage device and the write-ahead log; each I/O primitive
+//! calls [`FaultInjector::check`] before doing real work and acts on the
+//! returned [`WriteOutcome`].
+//!
+//! The three modes model the three ways real storage dies:
+//!
+//! * **Fail** — the single operation returns an I/O error and persists
+//!   nothing (a transient EIO).
+//! * **Torn** — a power loss mid-write: a byte-precise *prefix* of the
+//!   payload reaches the device, the rest is lost, the caller sees an
+//!   error, and the device is dead from then on (torn implies crash).
+//! * **Crash** — a clean power loss at an operation boundary: the
+//!   triggering operation persists nothing and the device permanently
+//!   rejects everything afterwards.
+//!
+//! Everything is deterministic: plans are explicit trigger lists (or
+//! derived from a seed via SplitMix64), and occurrence counters make a
+//! rerun of the same workload hit the same fault at the same byte.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A named site in the storage stack where faults can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultPoint {
+    /// `StableStorage::read` of a page image.
+    PageRead,
+    /// `StableStorage::write` of a page image.
+    PageWrite,
+    /// `WriteAheadLog::append` of one log frame.
+    WalAppend,
+    /// `WriteAheadLog::force` (the commit durability point).
+    WalForce,
+    /// `StableStorage::sync`.
+    Sync,
+}
+
+impl FaultPoint {
+    /// All points, in counter-index order.
+    pub const ALL: [FaultPoint; 5] = [
+        FaultPoint::PageRead,
+        FaultPoint::PageWrite,
+        FaultPoint::WalAppend,
+        FaultPoint::WalForce,
+        FaultPoint::Sync,
+    ];
+
+    /// Stable name used in error messages and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultPoint::PageRead => "page_read",
+            FaultPoint::PageWrite => "page_write",
+            FaultPoint::WalAppend => "wal_append",
+            FaultPoint::WalForce => "wal_force",
+            FaultPoint::Sync => "sync",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            FaultPoint::PageRead => 0,
+            FaultPoint::PageWrite => 1,
+            FaultPoint::WalAppend => 2,
+            FaultPoint::WalForce => 3,
+            FaultPoint::Sync => 4,
+        }
+    }
+
+    /// Whether the point mutates the device. After a crash, mutating
+    /// points always fail; reads keep working so a post-mortem (or a
+    /// recovery run over the surviving bytes) can still look at state.
+    fn is_mutation(self) -> bool {
+        !matches!(self, FaultPoint::PageRead)
+    }
+}
+
+/// What happens when a trigger fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The operation fails with an I/O error; nothing is persisted.
+    Fail,
+    /// The first `keep` bytes of the payload are persisted, the rest is
+    /// lost, the operation fails, and the device is dead afterwards.
+    Torn { keep: usize },
+    /// The operation persists nothing and the device is dead afterwards.
+    Crash,
+}
+
+/// One scheduled fault: fire `mode` the `nth` time `point` is reached
+/// (1-based — `nth == 1` is the very first occurrence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Trigger {
+    pub point: FaultPoint,
+    pub nth: u64,
+    pub mode: FaultMode,
+}
+
+/// A deterministic schedule of faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    triggers: Vec<Trigger>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedule a transient failure at the nth occurrence of `point`.
+    pub fn fail_at(mut self, point: FaultPoint, nth: u64) -> Self {
+        self.triggers.push(Trigger {
+            point,
+            nth,
+            mode: FaultMode::Fail,
+        });
+        self
+    }
+
+    /// Schedule a torn write keeping exactly `keep` payload bytes.
+    pub fn torn_at(mut self, point: FaultPoint, nth: u64, keep: usize) -> Self {
+        self.triggers.push(Trigger {
+            point,
+            nth,
+            mode: FaultMode::Torn { keep },
+        });
+        self
+    }
+
+    /// Schedule a clean crash at the nth occurrence of `point`.
+    pub fn crash_at(mut self, point: FaultPoint, nth: u64) -> Self {
+        self.triggers.push(Trigger {
+            point,
+            nth,
+            mode: FaultMode::Crash,
+        });
+        self
+    }
+
+    /// A pseudo-random plan of `faults` transient failures spread over
+    /// the first `horizon` occurrences of each point. Deterministic for
+    /// a given seed. Only `Fail` triggers are generated — torn/crash
+    /// faults end a run, so sweeps schedule those explicitly.
+    pub fn seeded(seed: u64, faults: usize, horizon: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan::new();
+        for _ in 0..faults {
+            let point = FaultPoint::ALL[(rng.next() % 5) as usize];
+            let nth = 1 + rng.next() % horizon.max(1);
+            plan = plan.fail_at(point, nth);
+        }
+        plan
+    }
+
+    /// The scheduled triggers.
+    pub fn triggers(&self) -> &[Trigger] {
+        &self.triggers
+    }
+}
+
+/// What an injection site must do, as decided by [`FaultInjector::check`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteOutcome {
+    /// No fault: perform the operation normally.
+    Proceed,
+    /// Persist nothing and return an I/O error.
+    Fail,
+    /// Persist exactly `keep` bytes of the payload, then return an I/O
+    /// error. The device is dead afterwards.
+    Torn { keep: usize },
+}
+
+/// Shared, thread-safe fault-injection state. One injector is threaded
+/// through every layer of one "device" (disk + WAL); cloning the `Arc`
+/// shares the occurrence counters and the crashed flag.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    counts: [AtomicU64; 5],
+    injected: AtomicU64,
+    crashed: AtomicBool,
+}
+
+impl FaultInjector {
+    pub fn new(plan: FaultPlan) -> Arc<Self> {
+        Arc::new(FaultInjector {
+            plan,
+            counts: Default::default(),
+            injected: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+        })
+    }
+
+    /// An injector that never fires (useful as a default).
+    pub fn disabled() -> Arc<Self> {
+        Self::new(FaultPlan::new())
+    }
+
+    /// Record one arrival at `point` and decide what the caller must do.
+    pub fn check(&self, point: FaultPoint) -> WriteOutcome {
+        let n = self.counts[point.index()].fetch_add(1, Ordering::Relaxed) + 1;
+        if self.crashed.load(Ordering::Acquire) && point.is_mutation() {
+            return WriteOutcome::Fail;
+        }
+        for t in &self.plan.triggers {
+            if t.point == point && t.nth == n {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                return match t.mode {
+                    FaultMode::Fail => WriteOutcome::Fail,
+                    FaultMode::Torn { keep } => {
+                        self.crashed.store(true, Ordering::Release);
+                        WriteOutcome::Torn { keep }
+                    }
+                    FaultMode::Crash => {
+                        self.crashed.store(true, Ordering::Release);
+                        WriteOutcome::Fail
+                    }
+                };
+            }
+        }
+        WriteOutcome::Proceed
+    }
+
+    /// How many times `point` has been reached so far.
+    pub fn hits(&self, point: FaultPoint) -> u64 {
+        self.counts[point.index()].load(Ordering::Relaxed)
+    }
+
+    /// How many faults have actually fired.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Whether a torn/crash fault has killed the device.
+    pub fn is_crashed(&self) -> bool {
+        self.crashed.load(Ordering::Acquire)
+    }
+}
+
+/// SplitMix64 — the same tiny deterministic generator the vendored
+/// `rand` shim uses, inlined here so `reach-common` stays dependency-free.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_always_proceeds() {
+        let inj = FaultInjector::disabled();
+        for _ in 0..100 {
+            assert_eq!(inj.check(FaultPoint::WalAppend), WriteOutcome::Proceed);
+        }
+        assert_eq!(inj.injected(), 0);
+        assert!(!inj.is_crashed());
+    }
+
+    #[test]
+    fn fail_fires_exactly_once_at_nth() {
+        let inj = FaultInjector::new(FaultPlan::new().fail_at(FaultPoint::PageWrite, 3));
+        assert_eq!(inj.check(FaultPoint::PageWrite), WriteOutcome::Proceed);
+        assert_eq!(inj.check(FaultPoint::PageWrite), WriteOutcome::Proceed);
+        assert_eq!(inj.check(FaultPoint::PageWrite), WriteOutcome::Fail);
+        assert_eq!(inj.check(FaultPoint::PageWrite), WriteOutcome::Proceed);
+        assert_eq!(inj.injected(), 1);
+        assert!(!inj.is_crashed(), "Fail is transient, not a crash");
+    }
+
+    #[test]
+    fn points_count_independently() {
+        let inj = FaultInjector::new(FaultPlan::new().fail_at(FaultPoint::Sync, 1));
+        assert_eq!(inj.check(FaultPoint::WalAppend), WriteOutcome::Proceed);
+        assert_eq!(inj.check(FaultPoint::Sync), WriteOutcome::Fail);
+        assert_eq!(inj.hits(FaultPoint::WalAppend), 1);
+        assert_eq!(inj.hits(FaultPoint::Sync), 1);
+        assert_eq!(inj.hits(FaultPoint::PageRead), 0);
+    }
+
+    #[test]
+    fn crash_kills_all_subsequent_mutations_but_not_reads() {
+        let inj = FaultInjector::new(FaultPlan::new().crash_at(FaultPoint::WalAppend, 2));
+        assert_eq!(inj.check(FaultPoint::WalAppend), WriteOutcome::Proceed);
+        assert_eq!(inj.check(FaultPoint::WalAppend), WriteOutcome::Fail);
+        assert!(inj.is_crashed());
+        assert_eq!(inj.check(FaultPoint::WalAppend), WriteOutcome::Fail);
+        assert_eq!(inj.check(FaultPoint::PageWrite), WriteOutcome::Fail);
+        assert_eq!(inj.check(FaultPoint::WalForce), WriteOutcome::Fail);
+        assert_eq!(inj.check(FaultPoint::Sync), WriteOutcome::Fail);
+        assert_eq!(inj.check(FaultPoint::PageRead), WriteOutcome::Proceed);
+    }
+
+    #[test]
+    fn torn_reports_keep_and_implies_crash() {
+        let inj = FaultInjector::new(FaultPlan::new().torn_at(FaultPoint::WalAppend, 1, 5));
+        assert_eq!(
+            inj.check(FaultPoint::WalAppend),
+            WriteOutcome::Torn { keep: 5 }
+        );
+        assert!(inj.is_crashed());
+        assert_eq!(inj.check(FaultPoint::WalAppend), WriteOutcome::Fail);
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let a = FaultPlan::seeded(42, 10, 1000);
+        let b = FaultPlan::seeded(42, 10, 1000);
+        let c = FaultPlan::seeded(43, 10, 1000);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.triggers().len(), 10);
+        assert!(a.triggers().iter().all(|t| t.nth >= 1 && t.nth <= 1000));
+        assert!(a
+            .triggers()
+            .iter()
+            .all(|t| matches!(t.mode, FaultMode::Fail)));
+    }
+}

@@ -11,8 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 macro_rules! define_id {
     ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
         $(#[$doc])*
-        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash,
-                 serde::Serialize, serde::Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
         pub struct $name(pub u64);
 
         impl $name {
@@ -102,8 +101,6 @@ define_id!(
     Ord,
     Hash,
     Default,
-    serde::Serialize,
-    serde::Deserialize,
 )]
 pub struct Timestamp(pub u64);
 

@@ -7,11 +7,13 @@
 
 pub mod clock;
 pub mod error;
+pub mod fault;
 pub mod ids;
 pub mod priority;
 
 pub use clock::{Clock, TimePoint, VirtualClock};
 pub use error::{ReachError, Result};
+pub use fault::{FaultInjector, FaultMode, FaultPlan, FaultPoint, WriteOutcome};
 pub use ids::{
     ClassId, EventTypeId, IdGen, MethodId, ObjectId, PageId, RuleId, Timestamp, TxnId,
 };

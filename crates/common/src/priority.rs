@@ -17,8 +17,6 @@ use std::fmt;
     Ord,
     Hash,
     Default,
-    serde::Serialize,
-    serde::Deserialize,
 )]
 pub struct Priority(pub i32);
 

@@ -28,7 +28,7 @@ use crate::event::EventOccurrence;
 use crate::rule::{Rule, RuleCtx};
 use open_oodb::Database;
 use parking_lot::{Condvar, Mutex, RwLock};
-use reach_common::{ObjectId, ReachError, Result, TxnId};
+use reach_common::{ObjectId, ReachError, Result, RuleId, TxnId};
 use reach_txn::dependency::{CommitRule, Outcome};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -120,6 +120,10 @@ pub struct EngineStats {
     pub skipped_dependency: AtomicU64,
     pub failures: AtomicU64,
     pub triggering_aborts: AtomicU64,
+    /// Detached firings re-run after a transient error (per extra attempt).
+    pub retries: AtomicU64,
+    /// Detached firings abandoned after exhausting transient-error retries.
+    pub gave_up: AtomicU64,
 }
 
 /// Plain-value snapshot of [`EngineStats`].
@@ -134,6 +138,48 @@ pub struct StatsSnapshot {
     pub skipped_dependency: u64,
     pub failures: u64,
     pub triggering_aborts: u64,
+    pub retries: u64,
+    pub gave_up: u64,
+}
+
+/// Bounded exponential-backoff policy for detached firings that hit a
+/// *transient* error ([`ReachError::is_transient`]): deadlock victims,
+/// lock timeouts, buffer-pool pressure. Attempt `k` (1-based) sleeps
+/// `base_backoff * 2^(k-1)` before re-running, capped at `max_backoff`.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (so 1 disables retrying).
+    pub max_attempts: u32,
+    pub base_backoff: Duration,
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+impl RetryPolicy {
+    fn backoff(&self, attempt: u32) -> Duration {
+        let shift = attempt.saturating_sub(1).min(16);
+        (self.base_backoff * 2u32.pow(shift)).min(self.max_backoff)
+    }
+}
+
+/// A detached rule firing the engine could not complete. Firings are
+/// never silently dropped: whatever the engine gives up on lands here,
+/// with the final error and the number of attempts made.
+#[derive(Debug, Clone)]
+pub struct DeadLetter {
+    pub rule: RuleId,
+    pub rule_name: String,
+    pub error: ReachError,
+    pub attempts: u32,
 }
 
 type Pending = (Arc<Rule>, Arc<EventOccurrence>, bool);
@@ -165,6 +211,8 @@ pub struct Engine {
     idle: Condvar,
     pub stats: EngineStats,
     dep_timeout: Duration,
+    retry: RwLock<RetryPolicy>,
+    dead_letters: Mutex<Vec<DeadLetter>>,
 }
 
 impl Engine {
@@ -183,7 +231,43 @@ impl Engine {
             idle: Condvar::new(),
             stats: EngineStats::default(),
             dep_timeout: Duration::from_secs(10),
+            retry: RwLock::new(RetryPolicy::default()),
+            dead_letters: Mutex::new(Vec::new()),
         })
+    }
+
+    pub fn set_retry_policy(&self, p: RetryPolicy) {
+        *self.retry.write() = p;
+    }
+
+    pub fn retry_policy(&self) -> RetryPolicy {
+        *self.retry.read()
+    }
+
+    /// Firings the engine gave up on — the permanent-failure record.
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        self.dead_letters.lock().clone()
+    }
+
+    /// Drain the dead-letter record (e.g. after an operator handled it).
+    pub fn take_dead_letters(&self) -> Vec<DeadLetter> {
+        std::mem::take(&mut *self.dead_letters.lock())
+    }
+
+    /// Record a firing the engine is abandoning for good. Transient
+    /// errors that exhausted their retry budget additionally bump
+    /// `gave_up`; nothing is ever dropped without a trace.
+    fn give_up(&self, rule: &Rule, error: ReachError, attempts: u32) {
+        self.stats.failures.fetch_add(1, Ordering::Relaxed);
+        if error.is_transient() {
+            self.stats.gave_up.fetch_add(1, Ordering::Relaxed);
+        }
+        self.dead_letters.lock().push(DeadLetter {
+            rule: rule.id,
+            rule_name: rule.name.clone(),
+            error,
+            attempts,
+        });
     }
 
     pub fn set_strategy(&self, s: ExecutionStrategy) {
@@ -219,6 +303,8 @@ impl Engine {
             skipped_dependency: s.skipped_dependency.load(Ordering::Relaxed),
             failures: s.failures.load(Ordering::Relaxed),
             triggering_aborts: s.triggering_aborts.load(Ordering::Relaxed),
+            retries: s.retries.load(Ordering::Relaxed),
+            gave_up: s.gave_up.load(Ordering::Relaxed),
         }
     }
 
@@ -236,7 +322,16 @@ impl Engine {
     /// Run one rule in `txn`, updating stats. With a split C-A coupling
     /// the condition is evaluated here and the action is *scheduled*
     /// under the rule's action coupling instead of running inline.
-    fn run_rule(self: &Arc<Self>, rule: &Arc<Rule>, txn: TxnId, occ: &Arc<EventOccurrence>) -> Result<bool> {
+    /// `count_failures` is false on the detached retry path, where an
+    /// error may be retried and only the *final* give-up counts as a
+    /// failure; immediate and deferred executions fail at most once.
+    fn run_rule(
+        self: &Arc<Self>,
+        rule: &Arc<Rule>,
+        txn: TxnId,
+        occ: &Arc<EventOccurrence>,
+        count_failures: bool,
+    ) -> Result<bool> {
         let ctx = RuleCtx {
             db: &self.db,
             txn,
@@ -263,7 +358,9 @@ impl Engine {
                     Ok(false)
                 }
                 Err(e) => {
-                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    if count_failures {
+                        self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    }
                     Err(e)
                 }
             };
@@ -278,14 +375,23 @@ impl Engine {
                 Ok(false)
             }
             Err(e) => {
-                self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                if count_failures {
+                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                }
                 Err(e)
             }
         }
     }
 
     /// Run only the action of a rule whose condition already held.
-    fn run_action_only(&self, rule: &Rule, txn: TxnId, occ: &EventOccurrence) -> Result<()> {
+    /// `count_failures` as in [`Engine::run_rule`].
+    fn run_action_only(
+        &self,
+        rule: &Rule,
+        txn: TxnId,
+        occ: &EventOccurrence,
+        count_failures: bool,
+    ) -> Result<()> {
         let ctx = RuleCtx {
             db: &self.db,
             txn,
@@ -297,7 +403,9 @@ impl Engine {
                 Ok(())
             }
             Err(e) => {
-                self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                if count_failures {
+                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                }
                 Err(e)
             }
         }
@@ -369,7 +477,7 @@ impl Engine {
     ) -> Result<()> {
         let tm = self.db.txn_manager();
         let child = tm.begin_nested(parent)?;
-        match self.run_action_only(rule, child, occ) {
+        match self.run_action_only(rule, child, occ, true) {
             Ok(()) => tm.commit(child),
             Err(e) => {
                 let _ = tm.abort(child);
@@ -537,7 +645,7 @@ impl Engine {
                 }
             }
             let child = tm.begin_nested(top)?;
-            match self.run_action_only(&rule, child, &occ) {
+            match self.run_action_only(&rule, child, &occ, true) {
                 Ok(()) => tm.commit(child)?,
                 Err(e) => {
                     let _ = tm.abort(child);
@@ -616,8 +724,8 @@ impl Engine {
                     }
                     Some(txn)
                 }
-                Err(_) => {
-                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                Err(e) => {
+                    self.give_up(&rule, e, 1);
                     return;
                 }
             }
@@ -647,77 +755,106 @@ impl Engine {
     ) {
         let tm = self.db.txn_manager();
         let deps = tm.dependencies();
-        let txn = match mode {
-            CouplingMode::Detached => match tm.begin() {
-                Ok(t) => t,
-                Err(_) => {
-                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
-                    return;
+        // Sequential mode gates on the origins exactly once — an
+        // already-satisfied gate needs no re-check on retry.
+        if mode == CouplingMode::SequentialCausallyDependent {
+            for o in &origins {
+                match deps.wait_for_outcome(*o, self.dep_timeout) {
+                    Ok(Outcome::Committed) => {}
+                    Ok(Outcome::Aborted) => {
+                        self.stats
+                            .skipped_dependency
+                            .fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    Err(e) => {
+                        self.give_up(&rule, e, 1);
+                        return;
+                    }
                 }
-            },
-            CouplingMode::ParallelCausallyDependent => {
+            }
+        }
+        let policy = self.retry_policy();
+        let mut attempt: u32 = 0;
+        loop {
+            attempt += 1;
+            // First exclusive attempt runs in the pre-created contingency
+            // transaction (its IfAborted dependencies and the lock
+            // hand-over were wired by the spawner); every other attempt
+            // gets a fresh transaction with the mode's dependencies
+            // re-registered.
+            let txn = if attempt == 1 && mode == CouplingMode::ExclusiveCausallyDependent {
+                pre_created.expect("pre-created txn")
+            } else {
                 let t = match tm.begin() {
                     Ok(t) => t,
-                    Err(_) => {
-                        self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    Err(e) => {
+                        self.give_up(&rule, e, attempt);
                         return;
                     }
                 };
-                for o in &origins {
-                    deps.add(t, CommitRule::IfCommitted(*o));
+                match mode {
+                    CouplingMode::ParallelCausallyDependent => {
+                        for o in &origins {
+                            deps.add(t, CommitRule::IfCommitted(*o));
+                        }
+                    }
+                    CouplingMode::ExclusiveCausallyDependent => {
+                        // A retry can no longer inherit the trigger's
+                        // locks (the abort already happened), but the
+                        // commit condition must survive the retry.
+                        for o in &origins {
+                            deps.add(t, CommitRule::IfAborted(*o));
+                        }
+                    }
+                    _ => {}
                 }
                 t
+            };
+            self.mark_rule_txn(txn);
+            if attempt == 1 {
+                self.stats.detached_runs.fetch_add(1, Ordering::Relaxed);
             }
-            CouplingMode::SequentialCausallyDependent => {
-                // Start only after every origin committed.
-                for o in &origins {
-                    match deps.wait_for_outcome(*o, self.dep_timeout) {
-                        Ok(Outcome::Committed) => {}
-                        Ok(Outcome::Aborted) => {
+            let outcome = if action_only {
+                self.run_action_only(&rule, txn, &occ, false).map(|_| true)
+            } else {
+                self.run_rule(&rule, txn, &occ, false)
+            };
+            // On success, commit honours the registered dependencies; an
+            // exclusive rule whose trigger committed aborts here — a
+            // final refusal, not an error to retry.
+            let err = match outcome {
+                Ok(_) => match tm.commit(txn) {
+                    Ok(()) => {
+                        self.unmark_rule_txn(txn);
+                        return;
+                    }
+                    Err(e) => {
+                        self.unmark_rule_txn(txn);
+                        if e.is_transient() && attempt < policy.max_attempts {
+                            e
+                        } else {
                             self.stats
                                 .skipped_dependency
                                 .fetch_add(1, Ordering::Relaxed);
                             return;
                         }
-                        Err(_) => {
-                            self.stats.failures.fetch_add(1, Ordering::Relaxed);
-                            return;
-                        }
                     }
+                },
+                Err(e) => {
+                    let _ = tm.abort(txn);
+                    self.unmark_rule_txn(txn);
+                    e
                 }
-                match tm.begin() {
-                    Ok(t) => t,
-                    Err(_) => {
-                        self.stats.failures.fetch_add(1, Ordering::Relaxed);
-                        return;
-                    }
-                }
-            }
-            CouplingMode::ExclusiveCausallyDependent => pre_created.expect("pre-created txn"),
-            CouplingMode::Immediate | CouplingMode::Deferred => unreachable!(),
-        };
-        self.mark_rule_txn(txn);
-        self.stats.detached_runs.fetch_add(1, Ordering::Relaxed);
-        let outcome = if action_only {
-            self.run_action_only(&rule, txn, &occ).map(|_| true)
-        } else {
-            self.run_rule(&rule, txn, &occ)
-        };
-        match outcome {
-            Ok(_) => {
-                // Commit honours the registered dependencies; an
-                // exclusive rule whose trigger committed aborts here.
-                if tm.commit(txn).is_err() {
-                    self.stats
-                        .skipped_dependency
-                        .fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            Err(_) => {
-                let _ = tm.abort(txn);
+            };
+            if err.is_transient() && attempt < policy.max_attempts {
+                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(policy.backoff(attempt));
+            } else {
+                self.give_up(&rule, err, attempt);
+                return;
             }
         }
-        self.unmark_rule_txn(txn);
     }
 
     /// Whether `txn` is a rule-spawned (detached) transaction.

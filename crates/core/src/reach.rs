@@ -13,7 +13,9 @@ use crate::algebra::{validate_composite, CompositionScope, Correlation, EventExp
 use crate::consumption::ConsumptionPolicy;
 use crate::coupling::{self, CouplingMode, EventCategory};
 use crate::eca::{CompositionMode, EcaManager, Router};
-use crate::engine::{Engine, EngineHandler, ExecutionStrategy, StatsSnapshot, TieBreak};
+use crate::engine::{
+    DeadLetter, Engine, EngineHandler, ExecutionStrategy, RetryPolicy, StatsSnapshot, TieBreak,
+};
 use crate::event::{
     CompositeSpec, EventSpec, FlowPoint, MethodPhase, PrimitiveEvent,
 };
@@ -168,6 +170,16 @@ impl ReachSystem {
 
     pub fn set_simple_events_first(&self, on: bool) {
         self.engine.set_simple_events_first(on);
+    }
+
+    /// Tune the transient-error retry of detached rule firings.
+    pub fn set_retry_policy(&self, p: RetryPolicy) {
+        self.engine.set_retry_policy(p);
+    }
+
+    /// Detached firings the engine permanently gave up on.
+    pub fn dead_letters(&self) -> Vec<DeadLetter> {
+        self.engine.dead_letters()
     }
 
     // ---- event type definitions ----

@@ -8,11 +8,13 @@
 
 use crate::page::{Page, PAGE_SIZE};
 use parking_lot::Mutex;
+use reach_common::fault::{FaultInjector, FaultPoint, WriteOutcome};
 use reach_common::{PageId, ReachError, Result};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A device that can durably store fixed-size pages.
 pub trait StableStorage: Send + Sync {
@@ -160,6 +162,88 @@ impl StableStorage for FileDisk {
     }
 }
 
+/// A fault-injecting wrapper around any [`StableStorage`] device.
+///
+/// Every operation consults the shared [`FaultInjector`] before touching
+/// the inner device, so a test (or the torture harness) can make the
+/// "disk" fail a specific read, tear a specific page write, or die
+/// entirely at a chosen operation — deterministically.
+pub struct FaultDisk {
+    inner: Arc<dyn StableStorage>,
+    injector: Arc<FaultInjector>,
+}
+
+impl FaultDisk {
+    pub fn new(inner: Arc<dyn StableStorage>, injector: Arc<FaultInjector>) -> Self {
+        FaultDisk { inner, injector }
+    }
+
+    /// The shared injector (for reading hit counters after a run).
+    pub fn injector(&self) -> &Arc<FaultInjector> {
+        &self.injector
+    }
+
+    /// The wrapped device (the torture harness reopens over it after a
+    /// simulated crash, bypassing the dead fault layer).
+    pub fn into_inner(self) -> Arc<dyn StableStorage> {
+        self.inner
+    }
+
+    fn injected(point: FaultPoint) -> ReachError {
+        ReachError::Io(format!("injected fault at {}", point.name()))
+    }
+}
+
+impl StableStorage for FaultDisk {
+    fn allocate(&self) -> Result<PageId> {
+        // Allocation extends the device, so a dead device rejects it;
+        // it is not an independently schedulable fault point.
+        if self.injector.is_crashed() {
+            return Err(ReachError::Io("injected fault: device crashed".into()));
+        }
+        self.inner.allocate()
+    }
+
+    fn read(&self, id: PageId) -> Result<Page> {
+        match self.injector.check(FaultPoint::PageRead) {
+            WriteOutcome::Proceed => self.inner.read(id),
+            _ => Err(Self::injected(FaultPoint::PageRead)),
+        }
+    }
+
+    fn write(&self, page: &Page) -> Result<()> {
+        match self.injector.check(FaultPoint::PageWrite) {
+            WriteOutcome::Proceed => self.inner.write(page),
+            WriteOutcome::Fail => Err(Self::injected(FaultPoint::PageWrite)),
+            WriteOutcome::Torn { keep } => {
+                // Power loss mid-write: the first `keep` bytes of the new
+                // image land on the device, the rest keeps the old bytes.
+                // The header's page-id field is preserved so the torn
+                // image still sits at the right address.
+                let old = self.inner.read(page.id())?;
+                let keep = keep.min(PAGE_SIZE);
+                let mut img = [0u8; PAGE_SIZE];
+                img[..keep].copy_from_slice(&page.as_bytes()[..keep]);
+                img[keep..].copy_from_slice(&old.as_bytes()[keep..]);
+                img[0..8].copy_from_slice(&page.id().raw().to_le_bytes());
+                self.inner.write(&Page::from_bytes(&img)?)?;
+                Err(Self::injected(FaultPoint::PageWrite))
+            }
+        }
+    }
+
+    fn sync(&self) -> Result<()> {
+        match self.injector.check(FaultPoint::Sync) {
+            WriteOutcome::Proceed => self.inner.sync(),
+            _ => Err(Self::injected(FaultPoint::Sync)),
+        }
+    }
+
+    fn page_count(&self) -> u64 {
+        self.inner.page_count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -223,6 +307,55 @@ mod tests {
         let fresh = d.allocate().unwrap();
         assert_eq!(fresh.raw(), 3);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn faultdisk_passes_through_without_faults() {
+        let d = FaultDisk::new(Arc::new(MemDisk::new()), FaultInjector::disabled());
+        exercise(&d);
+        assert_eq!(d.page_count(), 1);
+        assert_eq!(d.injector().injected(), 0);
+    }
+
+    #[test]
+    fn faultdisk_fails_the_scheduled_read() {
+        use reach_common::FaultPlan;
+        let d = FaultDisk::new(
+            Arc::new(MemDisk::new()),
+            FaultInjector::new(FaultPlan::new().fail_at(FaultPoint::PageRead, 2)),
+        );
+        let id = d.allocate().unwrap();
+        assert!(d.read(id).is_ok());
+        assert!(matches!(d.read(id), Err(ReachError::Io(_))));
+        assert!(d.read(id).is_ok(), "Fail is transient");
+    }
+
+    #[test]
+    fn faultdisk_torn_write_persists_a_prefix() {
+        use reach_common::FaultPlan;
+        let mem: Arc<MemDisk> = Arc::new(MemDisk::new());
+        let d = FaultDisk::new(
+            Arc::clone(&mem) as Arc<dyn StableStorage>,
+            FaultInjector::new(FaultPlan::new().torn_at(FaultPoint::PageWrite, 2, 100)),
+        );
+        let id = d.allocate().unwrap();
+        let mut p = d.read(id).unwrap();
+        p.insert(b"first").unwrap();
+        d.write(&p).unwrap(); // occurrence 1: clean
+        let mut q = d.read(id).unwrap();
+        q.insert(b"second").unwrap();
+        assert!(d.write(&q).is_err()); // occurrence 2: torn
+        // The device now holds a frankenstein image: first 100 bytes of
+        // the new write, old bytes after. It is NOT the clean old image.
+        let on_disk = mem.read(id).unwrap();
+        assert_ne!(on_disk.as_bytes(), p.as_bytes());
+        assert_ne!(on_disk.as_bytes(), q.as_bytes());
+        assert_eq!(&on_disk.as_bytes()[..100], &q.as_bytes()[..100]);
+        assert_eq!(&on_disk.as_bytes()[100..], &p.as_bytes()[100..]);
+        // Torn implies crash: all later mutations are rejected.
+        assert!(d.write(&p).is_err());
+        assert!(d.allocate().is_err());
+        assert!(d.sync().is_err());
     }
 
     #[test]

@@ -24,11 +24,13 @@ pub mod heap;
 pub mod page;
 pub mod recovery;
 pub mod sm;
+pub mod torture;
 pub mod wal;
 
 pub use buffer::BufferPool;
-pub use disk::{FileDisk, MemDisk, StableStorage};
+pub use disk::{FaultDisk, FileDisk, MemDisk, StableStorage};
 pub use heap::{HeapFile, RecordId};
 pub use page::{Page, PAGE_SIZE};
+pub use recovery::{recover, RecoveryReport};
 pub use sm::{SegmentId, StorageManager};
-pub use wal::{Lsn, WalRecord, WriteAheadLog};
+pub use wal::{Lsn, ScanReport, WalRecord, WriteAheadLog};

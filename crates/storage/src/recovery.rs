@@ -24,13 +24,18 @@ pub struct RecoveryReport {
     pub redone: usize,
     pub losers: Vec<TxnId>,
     pub undone: usize,
+    /// Torn trailing bytes the WAL salvage scan discarded (a non-zero
+    /// value means the crash tore a frame mid-append).
+    pub salvaged_bytes: u64,
 }
 
 /// Run crash recovery against `sm`'s WAL and pages.
 pub fn recover(sm: &StorageManager) -> Result<RecoveryReport> {
-    let log = sm.wal().scan()?;
+    let scan = sm.wal().scan_report()?;
+    let log = scan.records;
     let mut report = RecoveryReport {
         records_scanned: log.len(),
+        salvaged_bytes: scan.salvaged_bytes,
         ..Default::default()
     };
 

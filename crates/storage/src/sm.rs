@@ -67,16 +67,33 @@ impl StorageManager {
         std::fs::create_dir_all(dir)?;
         let disk: Arc<dyn StableStorage> = Arc::new(FileDisk::open(&dir.join("data.db"))?);
         let wal = Arc::new(WriteAheadLog::open(&dir.join("wal.log"))?);
+        Ok(Self::open_with(disk, wal, pool_frames)?.0)
+    }
+
+    /// Open a storage manager over explicit device and log parts,
+    /// running recovery if the device already holds pages. This is the
+    /// reopen path of the crash-torture harness: the surviving `MemDisk`
+    /// (shared `Arc`) plus a WAL rebuilt from the surviving byte image
+    /// stand in for the machine coming back up. It is also how a caller
+    /// wires a fault-injecting device or log into a live system.
+    pub fn open_with(
+        disk: Arc<dyn StableStorage>,
+        wal: Arc<WriteAheadLog>,
+        pool_frames: usize,
+    ) -> Result<(Self, crate::recovery::RecoveryReport)> {
         let existing = disk.page_count() > 0;
         let sm = Self::bootstrap(disk, wal, pool_frames)?;
-        if existing {
+        let report = if existing {
             // Recovery must replay the log *before* the catalog page is
             // trusted: commit forces only the WAL, so after a crash the
             // on-disk catalog may predate every committed segment.
-            crate::recovery::recover(&sm)?;
+            let report = crate::recovery::recover(&sm)?;
             sm.reload_catalog()?;
-        }
-        Ok(sm)
+            report
+        } else {
+            crate::recovery::RecoveryReport::default()
+        };
+        Ok((sm, report))
     }
 
     fn bootstrap(
@@ -157,9 +174,13 @@ impl StorageManager {
             .map(|s| (s.name.clone(), s.id.0, s.heap.pages()))
             .collect();
         let after = encode_catalog(&entries, cat.next_seg);
+        // A database that crashed before its first catalog update comes
+        // back with a formatted-but-empty page 1 (the bootstrap write
+        // was never flushed); treat that as the empty catalog.
         let before = self
             .pool
-            .with_page(self.catalog_page, |pg| pg.get(0).map(|b| b.to_vec()))??;
+            .with_page(self.catalog_page, |pg| pg.get(0).map(|b| b.to_vec()).ok())?
+            .unwrap_or_else(|| encode_catalog(&[], 1));
         self.wal.append(&WalRecord::Update {
             txn: SYSTEM_TXN,
             page: self.catalog_page,

@@ -1,0 +1,309 @@
+//! The crash-point torture harness.
+//!
+//! A deterministic, seeded workload of inserts/updates/deletes grouped
+//! into transactions (some of which abort, with occasional checkpoints)
+//! is run twice per crash point:
+//!
+//! 1. an **oracle run** with no faults records the exact WAL frame
+//!    sequence the workload produces;
+//! 2. for every frame index `N`, a **crash run** over a fresh device
+//!    schedules a clean crash at the Nth `wal_append`, reruns the same
+//!    workload (identical up to the crash — determinism is the whole
+//!    point), then "reboots": the surviving WAL bytes and the surviving
+//!    device are reopened, recovery runs, and the visible state must
+//!    equal the effects of exactly the transactions whose `Commit`
+//!    record survived — nothing of any loser, nothing missing.
+//!
+//! The expected state for a crash at `N` is computed from the oracle's
+//! frame prefix alone ([`committed_state`]), so the harness never trusts
+//! the code under test to define correctness.
+
+use crate::disk::{MemDisk, StableStorage};
+use crate::heap::RecordId;
+use crate::recovery::{recover, RecoveryReport};
+use crate::sm::{StorageManager, SYSTEM_TXN};
+use crate::wal::{Lsn, WalRecord, WriteAheadLog};
+use reach_common::fault::{FaultInjector, FaultPlan, FaultPoint};
+use reach_common::{Result, TxnId};
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+/// Tuning knobs for the deterministic workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    pub seed: u64,
+    /// Minimum number of record operations (insert/update/delete).
+    pub ops: usize,
+    pub pool_frames: usize,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            seed: 0xC0FFEE,
+            ops: 200,
+            pool_frames: 16,
+        }
+    }
+}
+
+/// Record state keyed by stable address: `(page, slot) -> payload`.
+pub type State = BTreeMap<(u64, u16), Vec<u8>>;
+
+/// SplitMix64, so the harness needs no RNG dependency.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (n > 0).
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    /// True with probability `num/den`.
+    fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next() % den < num
+    }
+}
+
+/// Run the seeded workload against `sm`. Returns `Err` as soon as any
+/// operation hits an (injected) I/O failure — the simulated machine has
+/// lost power, so the driver stops exactly there, mimicking a real
+/// client that never gets to issue another call.
+pub fn run_workload(sm: &StorageManager, spec: &WorkloadSpec) -> Result<()> {
+    let mut rng = Rng(spec.seed);
+    let seg = sm.create_segment("torture")?;
+    let mut live: Vec<RecordId> = Vec::new();
+    let mut next_txn = 1u64;
+    let mut done = 0usize;
+    while done < spec.ops {
+        let txn = TxnId::new(next_txn);
+        next_txn += 1;
+        sm.begin(txn)?;
+        let n_ops = 2 + rng.below(4); // 2..=5 ops per transaction
+        let mut inserted: Vec<RecordId> = Vec::new();
+        let mut deleted: Vec<RecordId> = Vec::new();
+        for i in 0..n_ops {
+            let roll = rng.below(10);
+            if live.is_empty() || roll < 5 {
+                let payload = format!("t{}-op{}-{:08x}", txn.raw(), i, rng.next() as u32);
+                let rid = sm.insert(txn, seg, payload.as_bytes())?;
+                live.push(rid);
+                inserted.push(rid);
+            } else if roll < 8 {
+                let rid = live[rng.below(live.len())];
+                let payload = format!("t{}-up{}-{:08x}", txn.raw(), i, rng.next() as u32);
+                sm.update(txn, seg, rid, payload.as_bytes())?;
+            } else {
+                let rid = live.swap_remove(rng.below(live.len()));
+                sm.delete(txn, seg, rid)?;
+                deleted.push(rid);
+            }
+        }
+        done += n_ops;
+        if rng.chance(1, 6) {
+            sm.abort(txn)?;
+            // Roll the driver's bookkeeping back with the transaction:
+            // this txn's inserts are gone (even ones it deleted again),
+            // records it deleted from older transactions are back.
+            live.retain(|r| !inserted.contains(r));
+            live.extend(deleted.into_iter().filter(|r| !inserted.contains(r)));
+        } else {
+            sm.commit(txn)?;
+        }
+        if rng.chance(1, 12) {
+            sm.checkpoint(vec![])?;
+        }
+    }
+    Ok(())
+}
+
+/// Run the workload fault-free over fresh in-memory parts and return the
+/// full WAL frame sequence it produces — the oracle for every crash run.
+pub fn oracle_frames(spec: &WorkloadSpec) -> Result<Vec<(Lsn, WalRecord)>> {
+    let disk: Arc<dyn StableStorage> = Arc::new(MemDisk::new());
+    let wal = Arc::new(WriteAheadLog::in_memory());
+    let (sm, _) = StorageManager::open_with(disk, Arc::clone(&wal), spec.pool_frames)?;
+    run_workload(&sm, spec)?;
+    wal.scan()
+}
+
+/// The record state exactly the committed transactions in `prefix`
+/// produced: winners are transactions whose `Commit` frame is inside the
+/// prefix; their Insert/Update/Delete records are applied in log order.
+/// Losers and system (catalog) records contribute nothing.
+pub fn committed_state(prefix: &[(Lsn, WalRecord)]) -> State {
+    let winners: HashSet<TxnId> = prefix
+        .iter()
+        .filter_map(|(_, r)| match r {
+            WalRecord::Commit { txn } => Some(*txn),
+            _ => None,
+        })
+        .collect();
+    let mut state = State::new();
+    for (_, rec) in prefix {
+        let Some(txn) = rec.txn() else { continue };
+        if txn == SYSTEM_TXN || !winners.contains(&txn) {
+            continue;
+        }
+        match rec {
+            WalRecord::Insert {
+                page, slot, payload, ..
+            } => {
+                state.insert((page.raw(), *slot), payload.clone());
+            }
+            WalRecord::Update {
+                page, slot, after, ..
+            } => {
+                state.insert((page.raw(), *slot), after.clone());
+            }
+            WalRecord::Delete { page, slot, .. } => {
+                state.remove(&(page.raw(), *slot));
+            }
+            _ => {}
+        }
+    }
+    state
+}
+
+/// The record state actually visible through `sm` after recovery.
+pub fn visible_state(sm: &StorageManager) -> Result<State> {
+    let Ok(seg) = sm.segment("torture") else {
+        // The crash predates the (committed) catalog entry: an empty
+        // database is the only correct answer.
+        return Ok(State::new());
+    };
+    Ok(sm
+        .scan(seg)?
+        .into_iter()
+        .map(|(rid, bytes)| ((rid.page.raw(), rid.slot), bytes))
+        .collect())
+}
+
+/// Outcome of one crash-point run, for reporting.
+#[derive(Debug, Clone)]
+pub struct CrashPointResult {
+    pub crash_at_frame: usize,
+    pub report: RecoveryReport,
+}
+
+/// Simulate a clean crash at WAL frame `n` (1-based): run the workload
+/// until the injected crash stops it, reboot over the surviving bytes,
+/// recover, and verify the visible state against the oracle prefix.
+/// Panics (with the crash point in the message) on any divergence.
+pub fn torture_at(
+    spec: &WorkloadSpec,
+    oracle: &[(Lsn, WalRecord)],
+    n: usize,
+) -> CrashPointResult {
+    assert!(n >= 1 && n <= oracle.len());
+    let disk = Arc::new(MemDisk::new());
+    let wal = Arc::new(WriteAheadLog::in_memory());
+    wal.set_injector(FaultInjector::new(
+        FaultPlan::new().crash_at(FaultPoint::WalAppend, n as u64),
+    ));
+    let (sm, _) = StorageManager::open_with(
+        Arc::clone(&disk) as Arc<dyn StableStorage>,
+        Arc::clone(&wal),
+        spec.pool_frames,
+    )
+    .expect("fresh open cannot fault before the first append");
+    let run = run_workload(&sm, spec);
+    assert!(
+        run.is_err(),
+        "crash at frame {n} of {} must stop the workload",
+        oracle.len()
+    );
+    drop(sm); // the buffer pool dies with the machine — no flush
+
+    // ---- reboot ----
+    let image = wal.image().expect("in-memory image");
+    let revived = Arc::new(WriteAheadLog::in_memory_from(image));
+    let (sm2, report) = StorageManager::open_with(
+        Arc::clone(&disk) as Arc<dyn StableStorage>,
+        revived,
+        spec.pool_frames,
+    )
+    .unwrap_or_else(|e| panic!("recovery after crash at frame {n} failed: {e}"));
+
+    let expected = committed_state(&oracle[..n - 1]);
+    let got = visible_state(&sm2).unwrap();
+    assert_eq!(
+        got, expected,
+        "state divergence after crash at frame {n}: committed data lost or loser effects leaked"
+    );
+
+    // Recovery must be idempotent: running it again changes nothing.
+    let second = recover(&sm2).unwrap();
+    assert!(
+        second.losers.is_empty() && second.undone == 0,
+        "second recovery after crash at frame {n} was not a no-op: {second:?}"
+    );
+    assert_eq!(visible_state(&sm2).unwrap(), expected);
+
+    CrashPointResult {
+        crash_at_frame: n,
+        report,
+    }
+}
+
+/// Like [`torture_at`], but the *recovery* run itself is crashed at its
+/// `m`-th WAL append (recovery appends CLRs and Aborts while undoing
+/// losers), and the machine reboots a second time. The final state must
+/// still converge to the oracle prefix. If recovery appends fewer than
+/// `m` records no fault fires — that degenerate case is still verified.
+pub fn torture_crash_during_recovery(
+    spec: &WorkloadSpec,
+    oracle: &[(Lsn, WalRecord)],
+    n: usize,
+    m: u64,
+) {
+    let disk = Arc::new(MemDisk::new());
+    let wal = Arc::new(WriteAheadLog::in_memory());
+    wal.set_injector(FaultInjector::new(
+        FaultPlan::new().crash_at(FaultPoint::WalAppend, n as u64),
+    ));
+    let (sm, _) = StorageManager::open_with(
+        Arc::clone(&disk) as Arc<dyn StableStorage>,
+        Arc::clone(&wal),
+        spec.pool_frames,
+    )
+    .unwrap();
+    assert!(run_workload(&sm, spec).is_err());
+    drop(sm);
+
+    // First reboot: recovery runs against a log that dies at append m.
+    let revived = Arc::new(WriteAheadLog::in_memory_from(wal.image().unwrap()));
+    revived.set_injector(FaultInjector::new(
+        FaultPlan::new().crash_at(FaultPoint::WalAppend, m),
+    ));
+    let first_attempt = StorageManager::open_with(
+        Arc::clone(&disk) as Arc<dyn StableStorage>,
+        Arc::clone(&revived),
+        spec.pool_frames,
+    );
+    drop(first_attempt); // crashed mid-recovery (or finished, if < m appends)
+
+    // Second reboot: no faults. Whatever the first attempt left behind
+    // (partial CLRs included), recovery must converge.
+    let final_wal = Arc::new(WriteAheadLog::in_memory_from(revived.image().unwrap()));
+    let (sm3, _) = StorageManager::open_with(
+        Arc::clone(&disk) as Arc<dyn StableStorage>,
+        final_wal,
+        spec.pool_frames,
+    )
+    .unwrap_or_else(|e| panic!("re-recovery (crash at frame {n}, recovery append {m}) failed: {e}"));
+    let expected = committed_state(&oracle[..n - 1]);
+    assert_eq!(
+        visible_state(&sm3).unwrap(),
+        expected,
+        "crash-during-recovery (frame {n}, recovery append {m}) did not converge"
+    );
+}

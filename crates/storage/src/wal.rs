@@ -9,10 +9,12 @@
 //! tail (crash mid-append) is detected and cleanly ignored by replay.
 
 use parking_lot::Mutex;
+use reach_common::fault::{FaultInjector, FaultPoint, WriteOutcome};
 use reach_common::{PageId, ReachError, Result, TxnId};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 /// Log sequence number: byte offset of the record's frame on the log.
 /// LSN 0 is reserved as "nil" (pages start with `lsn = 0`), so the first
@@ -277,19 +279,42 @@ enum Sink {
     File { file: File, len: u64 },
 }
 
+/// What a salvage scan found on the log.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanReport {
+    /// Every complete, checksum-valid frame, in log order.
+    pub records: Vec<(Lsn, WalRecord)>,
+    /// Trailing bytes discarded because they did not form a complete,
+    /// checksum-valid frame — the torn tail of a mid-append crash.
+    pub salvaged_bytes: u64,
+}
+
 /// An append-only, crash-consistent log of [`WalRecord`]s.
 pub struct WriteAheadLog {
     sink: Mutex<Sink>,
     /// Bytes appended but not yet forced (memory sink counts as forced).
     unforced: Mutex<u64>,
+    /// Optional fault injector consulted on every append/force.
+    injector: Mutex<Option<Arc<FaultInjector>>>,
 }
 
 impl WriteAheadLog {
     /// A log held entirely in memory (tests, benchmarks).
     pub fn in_memory() -> Self {
+        Self::in_memory_from(vec![0u8; FIRST_LSN as usize])
+    }
+
+    /// An in-memory log rebuilt from a raw byte image — the torture
+    /// harness's "reboot": the image captured at crash time becomes the
+    /// surviving log of the restarted system.
+    pub fn in_memory_from(mut image: Vec<u8>) -> Self {
+        if image.len() < FIRST_LSN as usize {
+            image.resize(FIRST_LSN as usize, 0);
+        }
         WriteAheadLog {
-            sink: Mutex::new(Sink::Mem(vec![0u8; FIRST_LSN as usize])),
+            sink: Mutex::new(Sink::Mem(image)),
             unforced: Mutex::new(0),
+            injector: Mutex::new(None),
         }
     }
 
@@ -310,7 +335,31 @@ impl WriteAheadLog {
         Ok(WriteAheadLog {
             sink: Mutex::new(Sink::File { file, len }),
             unforced: Mutex::new(0),
+            injector: Mutex::new(None),
         })
+    }
+
+    /// Attach a fault injector: every `append` checks `WalAppend` and
+    /// every `force` checks `WalForce` before touching the sink.
+    pub fn set_injector(&self, injector: Arc<FaultInjector>) {
+        *self.injector.lock() = Some(injector);
+    }
+
+    fn injector(&self) -> Option<Arc<FaultInjector>> {
+        self.injector.lock().clone()
+    }
+
+    /// The raw byte image of the whole log (frames plus any torn tail).
+    pub fn image(&self) -> Result<Vec<u8>> {
+        match &mut *self.sink.lock() {
+            Sink::Mem(buf) => Ok(buf.clone()),
+            Sink::File { file, len } => {
+                let mut buf = vec![0u8; *len as usize];
+                file.seek(SeekFrom::Start(0))?;
+                file.read_exact(&mut buf)?;
+                Ok(buf)
+            }
+        }
     }
 
     /// Append a record, returning its LSN. The record is buffered; call
@@ -321,29 +370,58 @@ impl WriteAheadLog {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&fnv1a(&payload).to_le_bytes());
         frame.extend_from_slice(&payload);
+        // Fault window: a torn append persists a byte-precise prefix of
+        // the frame (the crash tore the write); a failed one persists
+        // nothing at all.
+        if let Some(inj) = self.injector() {
+            match inj.check(FaultPoint::WalAppend) {
+                WriteOutcome::Proceed => {}
+                WriteOutcome::Fail => {
+                    return Err(ReachError::Io("injected fault at wal_append".into()))
+                }
+                WriteOutcome::Torn { keep } => {
+                    let keep = keep.min(frame.len().saturating_sub(1));
+                    self.append_raw(&frame[..keep])?;
+                    return Err(ReachError::Io(format!(
+                        "injected torn wal_append: {keep} of {} bytes persisted",
+                        frame.len()
+                    )));
+                }
+            }
+        }
+        let lsn = self.append_raw(&frame)?;
+        *self.unforced.lock() += frame.len() as u64;
+        Ok(lsn)
+    }
+
+    /// Append raw bytes to the sink, returning the offset they start at.
+    fn append_raw(&self, bytes: &[u8]) -> Result<Lsn> {
         let mut sink = self.sink.lock();
-        let lsn = match &mut *sink {
+        match &mut *sink {
             Sink::Mem(buf) => {
                 let lsn = buf.len() as u64;
-                buf.extend_from_slice(&frame);
-                lsn
+                buf.extend_from_slice(bytes);
+                Ok(lsn)
             }
             Sink::File { file, len } => {
                 let lsn = *len;
                 file.seek(SeekFrom::Start(*len))?;
-                file.write_all(&frame)?;
-                *len += frame.len() as u64;
-                lsn
+                file.write_all(bytes)?;
+                *len += bytes.len() as u64;
+                Ok(lsn)
             }
-        };
-        *self.unforced.lock() += frame.len() as u64;
-        Ok(lsn)
+        }
     }
 
     /// Force all appended records to stable storage (WAL rule: called
     /// before a commit is acknowledged and before a dirty page is
     /// written whose changes it describes).
     pub fn force(&self) -> Result<()> {
+        if let Some(inj) = self.injector() {
+            if inj.check(FaultPoint::WalForce) != WriteOutcome::Proceed {
+                return Err(ReachError::Io("injected fault at wal_force".into()));
+            }
+        }
         let sink = self.sink.lock();
         if let Sink::File { file, .. } = &*sink {
             file.sync_data()?;
@@ -362,19 +440,19 @@ impl WriteAheadLog {
 
     /// Scan the log from the beginning, yielding `(lsn, record)` pairs.
     /// A torn or corrupt tail ends the scan silently (crash semantics);
-    /// corruption *before* the tail is reported as an error by the
-    /// checksum of the following frame failing.
+    /// use [`WriteAheadLog::scan_report`] when the caller needs to know
+    /// how many bytes the salvage discarded.
     pub fn scan(&self) -> Result<Vec<(Lsn, WalRecord)>> {
-        let image: Vec<u8> = match &mut *self.sink.lock() {
-            Sink::Mem(buf) => buf.clone(),
-            Sink::File { file, len } => {
-                let mut buf = vec![0u8; *len as usize];
-                file.seek(SeekFrom::Start(0))?;
-                file.read_exact(&mut buf)?;
-                buf
-            }
-        };
-        let mut out = Vec::new();
+        Ok(self.scan_report()?.records)
+    }
+
+    /// Salvage scan: every complete, checksum-valid frame from the
+    /// beginning, plus a count of torn trailing bytes discarded. The
+    /// scan stops at the first incomplete or checksum-failing frame —
+    /// after that point no frame boundary can be trusted.
+    pub fn scan_report(&self) -> Result<ScanReport> {
+        let image = self.image()?;
+        let mut records = Vec::new();
         let mut pos = FIRST_LSN as usize;
         while pos + 8 <= image.len() {
             let len = u32::from_le_bytes(image[pos..pos + 4].try_into().unwrap()) as usize;
@@ -386,10 +464,13 @@ impl WriteAheadLog {
             if fnv1a(payload) != sum {
                 break; // torn/corrupt tail
             }
-            out.push((pos as u64, WalRecord::decode(payload)?));
+            records.push((pos as u64, WalRecord::decode(payload)?));
             pos += 8 + len;
         }
-        Ok(out)
+        Ok(ScanReport {
+            records,
+            salvaged_bytes: (image.len() - pos) as u64,
+        })
     }
 
     /// Bytes appended since the last force (0 means fully durable).
@@ -511,6 +592,85 @@ mod tests {
         let scanned = log.scan().unwrap();
         assert_eq!(scanned.len(), 1);
         assert!(matches!(scanned[0].1, WalRecord::Begin { .. }));
+    }
+
+    #[test]
+    fn scan_report_counts_discarded_torn_bytes() {
+        let log = WriteAheadLog::in_memory();
+        log.append(&WalRecord::Begin { txn: TxnId::new(1) }).unwrap();
+        let before = log.tail();
+        log.append(&WalRecord::Commit { txn: TxnId::new(1) }).unwrap();
+        let frame_len = log.tail() - before;
+        // Hand-truncate the last frame: keep 3 bytes of it.
+        {
+            let mut sink = log.sink.lock();
+            if let Sink::Mem(buf) = &mut *sink {
+                buf.truncate((before + 3) as usize);
+            }
+        }
+        let rep = log.scan_report().unwrap();
+        assert_eq!(rep.records.len(), 1);
+        assert_eq!(rep.salvaged_bytes, 3);
+        assert!(rep.salvaged_bytes < frame_len);
+        // A clean log reports zero salvage.
+        let clean = WriteAheadLog::in_memory();
+        clean.append(&WalRecord::Begin { txn: TxnId::new(1) }).unwrap();
+        assert_eq!(clean.scan_report().unwrap().salvaged_bytes, 0);
+    }
+
+    #[test]
+    fn image_round_trips_through_in_memory_from() {
+        let log = WriteAheadLog::in_memory();
+        for rec in sample_records() {
+            log.append(&rec).unwrap();
+        }
+        let revived = WriteAheadLog::in_memory_from(log.image().unwrap());
+        assert_eq!(revived.scan().unwrap(), log.scan().unwrap());
+        assert_eq!(revived.tail(), log.tail());
+        // And the revived log accepts new appends at the right offset.
+        let lsn = revived
+            .append(&WalRecord::Begin { txn: TxnId::new(99) })
+            .unwrap();
+        assert_eq!(lsn, log.tail());
+    }
+
+    #[test]
+    fn injected_torn_append_persists_exact_prefix() {
+        use reach_common::{FaultInjector, FaultPlan, FaultPoint};
+        let log = WriteAheadLog::in_memory();
+        log.set_injector(FaultInjector::new(
+            FaultPlan::new().torn_at(FaultPoint::WalAppend, 2, 5),
+        ));
+        log.append(&WalRecord::Begin { txn: TxnId::new(1) }).unwrap();
+        let tail_before = log.tail();
+        let err = log
+            .append(&WalRecord::Commit { txn: TxnId::new(1) })
+            .unwrap_err();
+        assert!(matches!(err, ReachError::Io(_)));
+        // Exactly 5 bytes of the torn frame reached the log.
+        assert_eq!(log.tail(), tail_before + 5);
+        // Salvage sees one good record and 5 discarded bytes.
+        let rep = log.scan_report().unwrap();
+        assert_eq!(rep.records.len(), 1);
+        assert_eq!(rep.salvaged_bytes, 5);
+        // Torn implies crash: later appends and forces are rejected.
+        assert!(log.append(&WalRecord::Begin { txn: TxnId::new(2) }).is_err());
+        assert!(log.force().is_err());
+    }
+
+    #[test]
+    fn injected_append_failure_persists_nothing() {
+        use reach_common::{FaultInjector, FaultPlan, FaultPoint};
+        let log = WriteAheadLog::in_memory();
+        log.set_injector(FaultInjector::new(
+            FaultPlan::new().fail_at(FaultPoint::WalAppend, 1),
+        ));
+        let tail = log.tail();
+        assert!(log.append(&WalRecord::Begin { txn: TxnId::new(1) }).is_err());
+        assert_eq!(log.tail(), tail, "failed append must not persist bytes");
+        // Transient: the next append goes through.
+        log.append(&WalRecord::Begin { txn: TxnId::new(1) }).unwrap();
+        assert_eq!(log.scan().unwrap().len(), 1);
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Crash-point torture suite.
+//!
+//! Sweeps a clean crash over EVERY WAL frame of a ≥200-operation mixed
+//! workload (insert/update/delete, aborting transactions, checkpoints)
+//! and asserts, for each crash point, that after reboot + recovery:
+//!
+//! * every transaction whose `Commit` record survived is fully there,
+//! * nothing of any loser transaction is visible,
+//! * a second recovery is a no-op,
+//! * a crash *during* recovery still converges on the next reboot.
+//!
+//! Everything is deterministic given the workload seed, so a failure
+//! message like "crash at frame 137" reproduces exactly.
+
+use reach_common::fault::{FaultInjector, FaultPlan, FaultPoint};
+use reach_common::TxnId;
+use reach_storage::torture::{
+    committed_state, oracle_frames, run_workload, torture_at, torture_crash_during_recovery,
+    visible_state, WorkloadSpec,
+};
+use reach_storage::{FaultDisk, MemDisk, StableStorage, StorageManager, WriteAheadLog};
+use std::sync::Arc;
+
+fn spec() -> WorkloadSpec {
+    WorkloadSpec::default()
+}
+
+#[test]
+fn crash_sweep_covers_every_wal_frame() {
+    let spec = spec();
+    let oracle = oracle_frames(&spec).unwrap();
+    assert!(
+        oracle.len() >= 200,
+        "workload too small to be a torture test: only {} frames",
+        oracle.len()
+    );
+    for n in 1..=oracle.len() {
+        torture_at(&spec, &oracle, n);
+    }
+}
+
+#[test]
+fn crash_during_recovery_converges() {
+    let spec = spec();
+    let oracle = oracle_frames(&spec).unwrap();
+    // Crashing recovery needs crash points that leave losers behind; the
+    // sweep above covers plain crashes, so here sample the frame space
+    // and crash the recovery run at its first, second and third append.
+    for n in (10..=oracle.len()).step_by(29) {
+        for m in 1..=3u64 {
+            torture_crash_during_recovery(&spec, &oracle, n, m);
+        }
+    }
+}
+
+#[test]
+fn torn_wal_tail_is_salvaged_on_recovery() {
+    // Run a couple of transactions, then hand-truncate the log image
+    // mid-frame — the classic torn tail — and reboot over it.
+    let disk = Arc::new(MemDisk::new());
+    let wal = Arc::new(WriteAheadLog::in_memory());
+    let (sm, _) = StorageManager::open_with(
+        Arc::clone(&disk) as Arc<dyn StableStorage>,
+        Arc::clone(&wal),
+        16,
+    )
+    .unwrap();
+    let seg = sm.create_segment("torture").unwrap();
+    let t1 = TxnId::new(1);
+    sm.begin(t1).unwrap();
+    let keep = sm.insert(t1, seg, b"survives").unwrap();
+    sm.commit(t1).unwrap();
+    let full_frames = wal.scan().unwrap();
+    let t2 = TxnId::new(2);
+    sm.begin(t2).unwrap();
+    let after_begin = wal.tail();
+    sm.insert(t2, seg, b"in the torn frame").unwrap();
+    drop(sm);
+
+    // Truncate 7 bytes into t2's Insert frame: its Begin survives whole,
+    // the Insert is torn.
+    let mut image = wal.image().unwrap();
+    assert!(image.len() as u64 > after_begin + 7);
+    image.truncate(after_begin as usize + 7);
+
+    let revived = Arc::new(WriteAheadLog::in_memory_from(image));
+    // Salvage keeps every complete frame and reports the torn bytes.
+    let scan = revived.scan_report().unwrap();
+    assert_eq!(scan.records.len(), full_frames.len() + 1); // + t2's Begin
+    assert_eq!(scan.salvaged_bytes, 7);
+
+    let (sm2, report) = StorageManager::open_with(
+        Arc::clone(&disk) as Arc<dyn StableStorage>,
+        revived,
+        16,
+    )
+    .unwrap();
+    assert_eq!(report.salvaged_bytes, 7);
+    assert_eq!(report.losers, vec![t2], "t2's surviving Begin makes it a loser");
+    assert_eq!(sm2.get(seg, keep).unwrap(), b"survives");
+    assert_eq!(sm2.scan(seg).unwrap().len(), 1);
+}
+
+#[test]
+fn transient_page_write_failure_is_recoverable() {
+    // A FaultDisk that fails one page write mid-run: the operation that
+    // hits it errors out, but the WAL still describes every committed
+    // change, so a reboot over the same device converges to the oracle.
+    let spec = spec();
+    let oracle = oracle_frames(&spec).unwrap();
+    let mem = Arc::new(MemDisk::new());
+    let injector = FaultInjector::new(FaultPlan::new().fail_at(FaultPoint::PageWrite, 3));
+    let disk: Arc<dyn StableStorage> = Arc::new(FaultDisk::new(
+        Arc::clone(&mem) as Arc<dyn StableStorage>,
+        injector,
+    ));
+    let wal = Arc::new(WriteAheadLog::in_memory());
+    let (sm, _) = StorageManager::open_with(disk, Arc::clone(&wal), spec.pool_frames).unwrap();
+    // The workload stops at the first injected failure (page writes
+    // happen on eviction/checkpoint, so when it fires is workload-
+    // dependent but deterministic).
+    let _ = run_workload(&sm, &spec);
+    drop(sm);
+
+    let survived = wal.scan().unwrap();
+    let revived = Arc::new(WriteAheadLog::in_memory_from(wal.image().unwrap()));
+    let (sm2, _) = StorageManager::open_with(
+        Arc::clone(&mem) as Arc<dyn StableStorage>,
+        revived,
+        spec.pool_frames,
+    )
+    .unwrap();
+    assert_eq!(
+        visible_state(&sm2).unwrap(),
+        committed_state(&survived),
+        "a failed page write must never cost committed data"
+    );
+    // Sanity: the workload got far enough for the test to mean something.
+    assert!(!committed_state(&oracle).is_empty());
+}

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 gate: release build, full test suite, and a crash-point
+# torture smoke run (every WAL frame of a 200-op workload).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build =="
+cargo build --release
+
+echo "== tier-1: tests =="
+cargo test -q
+
+echo "== tier-1: crash-point torture smoke (200 ops, every WAL frame) =="
+cargo run --release -p reach-bench --bin exp_torture -- 12648430 200
+
+echo "== tier-1: OK =="

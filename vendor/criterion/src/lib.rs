@@ -1,0 +1,285 @@
+//! Offline shim for `criterion`.
+//!
+//! A minimal benchmark harness with criterion's API shape: it runs each
+//! benchmark for a handful of samples, reports the median per-iteration
+//! wall time to stdout, and performs no statistical analysis, plotting,
+//! or baseline storage. Good enough to keep `cargo bench` runnable and
+//! the numbers comparable within one machine and build.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How many inputs `iter_batched*` prepares per timed batch.
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumBatches(u64),
+    NumIterations(u64),
+}
+
+impl BatchSize {
+    fn iterations(self) -> u64 {
+        match self {
+            BatchSize::SmallInput => 256,
+            BatchSize::LargeInput => 16,
+            BatchSize::PerIteration => 1,
+            BatchSize::NumBatches(_) => 16,
+            BatchSize::NumIterations(n) => n.clamp(1, 10_000),
+        }
+    }
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the closure given to `iter`-style calls.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up.
+        black_box(f());
+        // Pick an iteration count that makes one sample ≥ ~1 ms.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let iters = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            times.push(start.elapsed() / iters as u32);
+        }
+        times.sort();
+        self.last = Some(times[times.len() / 2]);
+    }
+
+    /// Time `routine` over inputs built (untimed) by `setup`, consuming
+    /// each input.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = size.iterations();
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            times.push(start.elapsed() / iters as u32);
+        }
+        times.sort();
+        self.last = Some(times[times.len() / 2]);
+    }
+
+    /// Like `iter_batched`, but the routine borrows the input mutably.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size)
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let Some(t) = b.last else {
+        println!("bench {name:<50} (no measurement)");
+        return;
+    };
+    let per = match throughput {
+        Some(Throughput::Elements(n)) if n > 0 => {
+            let per_elem = t.as_nanos() as f64 / n as f64;
+            format!("  ({per_elem:.1} ns/elem)")
+        }
+        Some(Throughput::Bytes(n)) if n > 0 => {
+            let mbps = n as f64 / t.as_secs_f64() / 1e6;
+            format!("  ({mbps:.1} MB/s)")
+        }
+        _ => String::new(),
+    };
+    println!("bench {name:<50} {:>12.3?}/iter{per}", t);
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(3);
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            last: None,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            last: None,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &b, self.throughput);
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            samples: 10,
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: 10,
+            last: None,
+        };
+        f(&mut b);
+        report(&name.to_string(), &b, None);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: 10,
+            last: None,
+        };
+        f(&mut b, input);
+        report(&id.to_string(), &b, None);
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            samples: 3,
+            last: None,
+        };
+        b.iter(|| black_box(2u64).pow(10));
+        assert!(b.last.is_some());
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3).throughput(Throughput::Elements(100));
+        g.bench_with_input(BenchmarkId::new("f", 1), &1u32, |b, &x| {
+            b.iter(|| black_box(x) + 1)
+        });
+        g.finish();
+    }
+}
