@@ -111,6 +111,7 @@ fn main() {
                     space: Arc::clone(&world.space),
                     dispatcher: Arc::clone(&world.dispatcher),
                     sink: Arc::clone(&world.sink),
+                    metrics: Arc::clone(&world.metrics),
                 });
                 s.monitor(class, method);
                 (Box::new(s) as Box<dyn SentryMechanism>, oid)
@@ -123,6 +124,7 @@ fn main() {
                     space: Arc::clone(&world.space),
                     dispatcher: Arc::clone(&world.dispatcher),
                     sink: Arc::clone(&world.sink),
+                    metrics: Arc::clone(&world.metrics),
                 });
                 s.trap_class(class);
                 (Box::new(s) as Box<dyn SentryMechanism>, oid)
@@ -135,6 +137,7 @@ fn main() {
                     space: Arc::clone(&world.space),
                     dispatcher: Arc::clone(&world.dispatcher),
                     sink: Arc::clone(&world.sink),
+                    metrics: Arc::clone(&world.metrics),
                 });
                 let handle = reach_common::ObjectId::new(u64::MAX - 1);
                 s.wrap(handle, oid);
@@ -148,6 +151,7 @@ fn main() {
                     space: Arc::clone(&world.space),
                     dispatcher: Arc::clone(&world.dispatcher),
                     sink: Arc::clone(&world.sink),
+                    metrics: Arc::clone(&world.metrics),
                 });
                 (Box::new(s) as Box<dyn SentryMechanism>, oid)
             }),
@@ -168,6 +172,7 @@ fn main() {
             space,
             dispatcher,
             sink: Arc::clone(&sink) as Arc<dyn EventSink>,
+            metrics: reach_common::MetricsRegistry::new_shared(),
         };
         // Idle cost (mechanism present, this target not wired yet) uses a
         // second object that is never monitored/wrapped.

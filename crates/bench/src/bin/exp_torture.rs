@@ -42,12 +42,16 @@ fn main() {
     let mut total_undone = 0usize;
     let mut total_losers = 0usize;
     let mut max_losers = 0usize;
+    let mut total_salvaged = 0u64;
     for n in 1..=oracle.len() {
         let result = torture_at(&spec, &oracle, n);
         total_redone += result.report.redone;
         total_undone += result.report.undone;
         total_losers += result.report.losers.len();
         max_losers = max_losers.max(result.report.losers.len());
+        // Sourced from the rebooted machine's metrics registry, not a
+        // parallel counter in the report.
+        total_salvaged += result.salvaged_bytes;
     }
     let elapsed = start.elapsed();
 
@@ -56,6 +60,7 @@ fn main() {
     println!("operations undone       {:>10}", total_undone);
     println!("loser txns rolled back  {:>10}", total_losers);
     println!("max losers at one crash {:>10}", max_losers);
+    println!("torn-tail bytes salvaged{:>10}", total_salvaged);
     println!(
         "wall time               {:>10.2?}  ({:.1} ms/crash point)",
         elapsed,

@@ -31,25 +31,30 @@ use std::time::{Duration, Instant};
 pub struct TimePoint(pub u64);
 
 impl TimePoint {
+    /// The clock origin, `t = 0`.
     pub const ZERO: TimePoint = TimePoint(0);
     /// A point later than every reachable instant (used for "no deadline").
     pub const MAX: TimePoint = TimePoint(u64::MAX);
 
+    /// A point `us` microseconds after the origin.
     #[inline]
     pub const fn from_micros(us: u64) -> Self {
         TimePoint(us)
     }
 
+    /// A point `ms` milliseconds after the origin.
     #[inline]
     pub const fn from_millis(ms: u64) -> Self {
         TimePoint(ms * 1_000)
     }
 
+    /// A point `s` seconds after the origin.
     #[inline]
     pub const fn from_secs(s: u64) -> Self {
         TimePoint(s * 1_000_000)
     }
 
+    /// Microseconds since the origin.
     #[inline]
     pub const fn as_micros(self) -> u64 {
         self.0
@@ -155,6 +160,7 @@ impl fmt::Debug for VirtualClock {
 
 /// Trait alias-like abstraction so components can take any time source.
 pub trait Clock: Send + Sync {
+    /// The current time.
     fn now(&self) -> TimePoint;
 }
 

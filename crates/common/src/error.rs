@@ -21,7 +21,12 @@ pub enum ReachError {
     /// A slot lookup failed (page, slot).
     SlotNotFound(PageId, u16),
     /// The record is too large to ever fit on a page.
-    RecordTooLarge { size: usize, max: usize },
+    RecordTooLarge {
+        /// Requested record size in bytes.
+        size: usize,
+        /// Largest record a page can hold.
+        max: usize,
+    },
     /// The buffer pool has no evictable frame (everything pinned).
     BufferPoolExhausted,
     /// WAL replay found a corrupt or truncated record.
@@ -35,13 +40,28 @@ pub enum ReachError {
     /// Unknown method on a class.
     MethodNotFound(MethodId),
     /// Method name could not be resolved on the class or its bases.
-    MethodNameNotFound { class: String, method: String },
+    MethodNameNotFound {
+        /// Class the lookup started from.
+        class: String,
+        /// Unresolved method name.
+        method: String,
+    },
     /// Unknown attribute on a class.
-    AttributeNotFound { class: String, attribute: String },
+    AttributeNotFound {
+        /// Class the lookup started from.
+        class: String,
+        /// Unresolved attribute name.
+        attribute: String,
+    },
     /// Unknown object.
     ObjectNotFound(ObjectId),
     /// A value had the wrong runtime type for the declared attribute.
-    TypeMismatch { expected: String, got: String },
+    TypeMismatch {
+        /// The declared type.
+        expected: String,
+        /// The runtime type actually supplied.
+        got: String,
+    },
     /// Schema definition error (duplicate class, inheritance cycle, ...).
     SchemaError(String),
     /// A method implementation signalled failure.
@@ -71,7 +91,12 @@ pub enum ReachError {
     RuleNotFound(RuleId),
     /// The (event category, coupling mode) combination is not supported —
     /// exactly the "N" cells of Table 1 in the paper.
-    UnsupportedCoupling { event: String, mode: String },
+    UnsupportedCoupling {
+        /// Event category (e.g. "composite(n-tx)").
+        event: String,
+        /// Rejected coupling mode.
+        mode: String,
+    },
     /// A composite event definition is illegal (e.g. no validity interval
     /// for a multi-transaction composition, §3.3).
     IllegalEventDefinition(String),
@@ -81,7 +106,12 @@ pub enum ReachError {
     /// Condition or action evaluation failed.
     RuleEvaluation(String),
     /// The rule language parser rejected the source.
-    Parse { line: u32, message: String },
+    Parse {
+        /// 1-based source line of the error.
+        line: u32,
+        /// What the parser expected or found.
+        message: String,
+    },
 
     // ---- meta architecture ----
     /// No policy manager registered for the requested dimension.

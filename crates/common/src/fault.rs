@@ -86,7 +86,10 @@ pub enum FaultMode {
     Fail,
     /// The first `keep` bytes of the payload are persisted, the rest is
     /// lost, the operation fails, and the device is dead afterwards.
-    Torn { keep: usize },
+    Torn {
+        /// Number of payload bytes that survive.
+        keep: usize,
+    },
     /// The operation persists nothing and the device is dead afterwards.
     Crash,
 }
@@ -95,8 +98,11 @@ pub enum FaultMode {
 /// (1-based — `nth == 1` is the very first occurrence).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Trigger {
+    /// The injection site this trigger watches.
     pub point: FaultPoint,
+    /// Which occurrence of the site fires the fault (1-based).
     pub nth: u64,
+    /// What happens when it fires.
     pub mode: FaultMode,
 }
 
@@ -172,7 +178,10 @@ pub enum WriteOutcome {
     Fail,
     /// Persist exactly `keep` bytes of the payload, then return an I/O
     /// error. The device is dead afterwards.
-    Torn { keep: usize },
+    Torn {
+        /// Number of payload bytes that survive.
+        keep: usize,
+    },
 }
 
 /// Shared, thread-safe fault-injection state. One injector is threaded
@@ -187,6 +196,7 @@ pub struct FaultInjector {
 }
 
 impl FaultInjector {
+    /// A shared injector executing `plan`.
     pub fn new(plan: FaultPlan) -> Arc<Self> {
         Arc::new(FaultInjector {
             plan,

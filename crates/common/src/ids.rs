@@ -105,13 +105,16 @@ define_id!(
 pub struct Timestamp(pub u64);
 
 impl Timestamp {
+    /// The earliest timestamp.
     pub const ZERO: Timestamp = Timestamp(0);
 
+    /// Wrap a raw counter value.
     #[inline]
     pub const fn new(raw: u64) -> Self {
         Timestamp(raw)
     }
 
+    /// The raw counter value.
     #[inline]
     pub const fn raw(self) -> u64 {
         self.0
@@ -132,6 +135,7 @@ pub struct IdGen {
 }
 
 impl IdGen {
+    /// A fresh generator starting at 1.
     pub fn new() -> Self {
         IdGen {
             next: AtomicU64::new(1),

@@ -3,12 +3,18 @@
 //! This crate deliberately has no knowledge of storage, objects,
 //! transactions or rules; it only provides the vocabulary the other
 //! crates speak: strongly-typed identifiers, the unified error type,
-//! the virtual clock used for temporal events, and rule priorities.
+//! the virtual clock used for temporal events, rule priorities, the
+//! deterministic fault injector, and the observability registry
+//! ([`obs::MetricsRegistry`]) every layer records into.
+
+#![warn(missing_docs)]
 
 pub mod clock;
 pub mod error;
 pub mod fault;
 pub mod ids;
+pub mod metrics;
+pub mod obs;
 pub mod priority;
 
 pub use clock::{Clock, TimePoint, VirtualClock};
@@ -17,4 +23,6 @@ pub use fault::{FaultInjector, FaultMode, FaultPlan, FaultPoint, WriteOutcome};
 pub use ids::{
     ClassId, EventTypeId, IdGen, MethodId, ObjectId, PageId, RuleId, Timestamp, TxnId,
 };
+pub use metrics::{Counter, Histogram, HistogramSnapshot};
+pub use obs::{MetricsRegistry, MetricsSnapshot, Span, Stage, StageSnapshot, Trace};
 pub use priority::Priority;

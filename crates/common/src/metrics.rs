@@ -1,0 +1,318 @@
+//! Lock-free metric primitives: counters and fixed-bucket latency
+//! histograms.
+//!
+//! Everything here is allocation-free on the hot path and built only on
+//! `std::sync::atomic` — no external dependencies, per the repo rule
+//! that observability must never change what it observes. Counters are
+//! single relaxed `fetch_add`s; histograms bucket a nanosecond duration
+//! into one of [`BUCKETS`] power-of-two bins with a `leading_zeros`
+//! computation and three relaxed atomics. Snapshots are plain data and
+//! mergeable, so per-thread or per-component histograms can be summed
+//! at report time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets. Bucket `i` holds durations `d` with
+/// `2^(i-1) <= d < 2^i` nanoseconds (bucket 0 holds `d == 0`); the last
+/// bucket absorbs everything `>= 2^(BUCKETS-2)` ns (~2.3 minutes), far
+/// beyond any latency this system produces.
+pub const BUCKETS: usize = 48;
+
+/// A monotonically increasing event counter.
+///
+/// `inc`/`add` are relaxed atomic adds: safe from any thread, never a
+/// synchronization point. Use for "how many times did X happen".
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrite the value. Only used when the counter mirrors a value
+    /// computed elsewhere (e.g. recovery report fields written once at
+    /// reboot); hot paths use [`Counter::inc`]/[`Counter::add`].
+    #[inline]
+    pub fn set(&self, n: u64) {
+        self.0.store(n, Ordering::Relaxed);
+    }
+
+    /// Raise the value to `n` if it is currently lower (relaxed
+    /// `fetch_max`) — for high-water marks like peak live instances.
+    #[inline]
+    pub fn record_max(&self, n: u64) {
+        self.0.fetch_max(n, Ordering::Relaxed);
+    }
+}
+
+/// Map a nanosecond duration to its bucket index.
+///
+/// Bucket 0 is `0 ns`; bucket `i>0` covers `[2^(i-1), 2^i)` ns; the top
+/// bucket is a catch-all. Computed as `64 - leading_zeros(ns)` clamped,
+/// i.e. the position of the highest set bit plus one.
+#[inline]
+pub fn bucket_index(ns: u64) -> usize {
+    let idx = (64 - ns.leading_zeros()) as usize;
+    idx.min(BUCKETS - 1)
+}
+
+/// Inclusive upper bound (ns) of bucket `i`, for report rendering.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A fixed-bucket latency histogram with power-of-two nanosecond
+/// buckets.
+///
+/// Recording is three relaxed atomic RMWs plus one relaxed `fetch_max`;
+/// there is no locking and no allocation. Read it by taking a
+/// [`HistogramSnapshot`].
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub const fn new() -> Self {
+        // `AtomicU64` is not `Copy`; build the array with a const item.
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            buckets: [ZERO; BUCKETS],
+        }
+    }
+
+    /// Record one observation of `ns` nanoseconds.
+    #[inline]
+    pub fn record(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copy the current state into plain mergeable data.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Plain-data copy of a [`Histogram`], safe to merge, compare and
+/// serialize by hand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed durations (ns).
+    pub sum_ns: u64,
+    /// Largest observed duration (ns).
+    pub max_ns: u64,
+    /// Per-bucket observation counts (see [`bucket_index`]).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Fold `other` into `self` (bucketwise sum; max of maxes).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count += other.count;
+        self.sum_ns += other.sum_ns;
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
+    }
+
+    /// Arithmetic mean in nanoseconds (0 when empty).
+    pub fn mean_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum_ns / self.count
+        }
+    }
+
+    /// Approximate quantile (`0.0..=1.0`) as the upper bound of the
+    /// bucket containing the q-th observation. Bucketed histograms can
+    /// only answer to bucket resolution — good enough to tell 2 µs from
+    /// 2 ms, which is what the experiments need.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max_ns);
+            }
+        }
+        self.max_ns
+    }
+}
+
+/// Render a nanosecond figure with a human unit (ns/µs/ms/s).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2}s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_power_of_two_partition() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        // Every value lands in exactly the bucket whose range contains it.
+        for i in 1..BUCKETS - 1 {
+            let lo = 1u64 << (i - 1);
+            let hi = (1u64 << i) - 1;
+            assert_eq!(bucket_index(lo), i, "lower edge of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "upper edge of bucket {i}");
+        }
+        // The top bucket absorbs the extreme.
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_snapshots() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(100);
+        h.record(1_000_000);
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.sum_ns, 1_000_101);
+        assert_eq!(s.max_ns, 1_000_000);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 1);
+        assert_eq!(s.buckets[bucket_index(100)], 1);
+        assert_eq!(s.buckets[bucket_index(1_000_000)], 1);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_buckets_and_maxes_max() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [10, 20, 30] {
+            a.record(v);
+        }
+        for v in [15, 5_000] {
+            b.record(v);
+        }
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.count, 5);
+        assert_eq!(m.sum_ns, 10 + 20 + 30 + 15 + 5_000);
+        assert_eq!(m.max_ns, 5_000);
+        assert_eq!(m.buckets.iter().sum::<u64>(), 5);
+        // Merging an empty snapshot is the identity.
+        let before = m.clone();
+        m.merge(&HistogramSnapshot::default());
+        assert_eq!(m, before);
+    }
+
+    #[test]
+    fn quantiles_are_bucket_resolution() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.record(100); // bucket [64,128)
+        }
+        h.record(1_000_000); // one slow outlier
+        let s = h.snapshot();
+        assert!(s.quantile(0.5) < 128, "median in the fast bucket");
+        assert_eq!(s.quantile(1.0), 1_000_000, "p100 capped at max");
+        assert_eq!(s.mean_ns(), (99 * 100 + 1_000_000) / 100);
+        assert_eq!(HistogramSnapshot::default().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.set(2);
+        assert_eq!(c.get(), 2);
+    }
+}

@@ -21,15 +21,20 @@ use std::fmt;
 pub struct Priority(pub i32);
 
 impl Priority {
+    /// The neutral priority every rule gets unless it says otherwise.
     pub const DEFAULT: Priority = Priority(0);
+    /// The lowest expressible priority.
     pub const MIN: Priority = Priority(i32::MIN);
+    /// The highest expressible priority.
     pub const MAX: Priority = Priority(i32::MAX);
 
+    /// A priority at `level` (higher fires first).
     #[inline]
     pub const fn new(level: i32) -> Self {
         Priority(level)
     }
 
+    /// The numeric level.
     #[inline]
     pub const fn level(self) -> i32 {
         self.0

@@ -19,7 +19,7 @@ use crate::algebra::{CompositionScope, Correlation, EventExpr, Lifespan};
 use crate::consumption::ConsumptionPolicy;
 use crate::event::EventOccurrence;
 use parking_lot::Mutex;
-use reach_common::{TimePoint, TxnId};
+use reach_common::{MetricsRegistry, TimePoint, TxnId};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -412,6 +412,9 @@ pub struct Compositor {
     correlation: Correlation,
     has_window_ops: bool,
     instances: Mutex<HashMap<ScopeKey, Vec<Automaton>>>,
+    /// Shared observability registry; instance accounting (§3.3 GC
+    /// visibility) is recorded here when observability is enabled.
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Compositor {
@@ -442,7 +445,14 @@ impl Compositor {
             correlation,
             has_window_ops,
             instances: Mutex::new(HashMap::new()),
+            metrics: MetricsRegistry::new_shared(),
         }
+    }
+
+    /// Attach the stack-wide registry (replacing the private default).
+    /// Called by the ECA-manager while it still owns the compositor.
+    pub fn set_metrics(&mut self, metrics: Arc<MetricsRegistry>) {
+        self.metrics = metrics;
     }
 
     pub fn scope(&self) -> CompositionScope {
@@ -476,6 +486,7 @@ impl Compositor {
             // same-transaction composite.
             return Vec::new();
         };
+        let obs = self.metrics.on();
         let mut instances = self.instances.lock();
         let pool = instances.entry(key).or_default();
         let mut fired = Vec::new();
@@ -483,6 +494,9 @@ impl Compositor {
             ConsumptionPolicy::Recent | ConsumptionPolicy::Cumulative => {
                 if pool.is_empty() {
                     pool.push(Automaton::new(&self.expr, self.policy));
+                    if obs {
+                        self.metrics.events.instances_created.inc();
+                    }
                 }
                 let inst = &mut pool[0];
                 if inst.feed(occ) == Feed::Complete {
@@ -524,8 +538,15 @@ impl Compositor {
                     match inst.feed(occ) {
                         Feed::Progress => {
                             pool.push(inst);
+                            if obs {
+                                self.metrics.events.instances_created.inc();
+                            }
                             if pool.len() > MAX_POOL {
                                 pool.remove(0); // discard oldest (§3.3 pressure GC)
+                                if obs {
+                                    self.metrics.events.instances_discarded.inc();
+                                    self.metrics.events.instances_pressure_gcd.inc();
+                                }
                             }
                         }
                         Feed::Complete => fired.push(Completion {
@@ -551,7 +572,12 @@ impl Compositor {
                 }
                 let mut fresh = Automaton::new(&self.expr, self.policy);
                 match fresh.feed(occ) {
-                    Feed::Progress => survivors.push(fresh),
+                    Feed::Progress => {
+                        survivors.push(fresh);
+                        if obs {
+                            self.metrics.events.instances_created.inc();
+                        }
+                    }
                     Feed::Complete => fired.push(Completion {
                         constituents: fresh.constituents(),
                         at_window_close: false,
@@ -561,12 +587,20 @@ impl Compositor {
                 if survivors.len() > MAX_POOL {
                     let excess = survivors.len() - MAX_POOL;
                     survivors.drain(..excess); // discard oldest windows
+                    if obs {
+                        self.metrics.events.instances_discarded.add(excess as u64);
+                        self.metrics.events.instances_pressure_gcd.add(excess as u64);
+                    }
                 }
                 *pool = survivors;
             }
         }
         if pool.is_empty() {
             instances.remove(&key);
+        }
+        if obs {
+            let live: usize = instances.values().map(|p| p.len()).sum();
+            self.metrics.events.instances_peak.record_max(live as u64);
         }
         fired
     }
@@ -593,6 +627,10 @@ impl Compositor {
                 .filter_map(|k| instances.remove(&k))
                 .collect()
         };
+        if self.metrics.on() {
+            let n: usize = pools.iter().map(|p| p.len()).sum();
+            self.metrics.events.instances_discarded.add(n as u64);
+        }
         let mut fired = Vec::new();
         if self.has_window_ops {
             for pool in pools {
@@ -616,6 +654,7 @@ impl Compositor {
             return Vec::new();
         };
         let mut fired = Vec::new();
+        let mut expired = 0u64;
         let mut instances = self.instances.lock();
         for pool in instances.values_mut() {
             pool.retain(|inst| {
@@ -631,10 +670,14 @@ impl Compositor {
                         at_window_close: true,
                     });
                 }
+                expired += 1;
                 false // expired: remove
             });
         }
         instances.retain(|_, pool| !pool.is_empty());
+        if expired > 0 && self.metrics.on() {
+            self.metrics.events.instances_discarded.add(expired);
+        }
         fired
     }
 

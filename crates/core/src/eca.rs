@@ -31,41 +31,16 @@ use crate::rule::Rule;
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Mutex, RwLock};
 use reach_common::{
-    ClassId, EventTypeId, IdGen, MethodId, TimePoint, Timestamp, TxnId,
+    ClassId, EventTypeId, IdGen, MethodId, MetricsRegistry, Stage, TimePoint, Timestamp, TxnId,
 };
 use reach_object::Schema;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Trace sink for the Figure 2 message-flow experiment: every hand-off
-/// between detector, managers, compositors and rules is recorded when
-/// enabled.
-#[derive(Default)]
-pub struct Trace {
-    enabled: AtomicBool,
-    lines: Mutex<Vec<String>>,
-}
-
-impl Trace {
-    pub fn enable(&self) {
-        self.enabled.store(true, Ordering::Release);
-    }
-
-    pub fn disable(&self) {
-        self.enabled.store(false, Ordering::Release);
-    }
-
-    pub fn log(&self, line: impl FnOnce() -> String) {
-        if self.enabled.load(Ordering::Acquire) {
-            self.lines.lock().push(line());
-        }
-    }
-
-    pub fn take(&self) -> Vec<String> {
-        std::mem::take(&mut self.lines.lock())
-    }
-}
+// The message-flow trace sink now lives in `reach_common::obs` next to
+// the metrics registry; re-exported so `crate::eca::Trace` keeps working.
+pub use reach_common::Trace;
 
 /// One ECA-manager.
 pub struct EcaManager {
@@ -85,15 +60,24 @@ pub struct EcaManager {
 }
 
 impl EcaManager {
-    fn new(event_type: EventTypeId, name: String, spec: EventSpec) -> Self {
+    fn new(
+        event_type: EventTypeId,
+        name: String,
+        spec: EventSpec,
+        metrics: &Arc<MetricsRegistry>,
+    ) -> Self {
         let compositor = match &spec {
-            EventSpec::Composite(c) => Some(Compositor::with_correlation(
-                c.expr.clone(),
-                c.scope,
-                c.lifespan,
-                c.consumption,
-                c.correlation,
-            )),
+            EventSpec::Composite(c) => {
+                let mut comp = Compositor::with_correlation(
+                    c.expr.clone(),
+                    c.scope,
+                    c.lifespan,
+                    c.consumption,
+                    c.correlation,
+                );
+                comp.set_metrics(Arc::clone(metrics));
+                Some(comp)
+            }
             EventSpec::Primitive(_) => None,
         };
         EcaManager {
@@ -208,10 +192,17 @@ pub struct Router {
     /// manager watches for anchors of relative events here).
     observers: RwLock<Vec<Observer>>,
     pub trace: Arc<Trace>,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl Router {
     pub fn new(schema: Arc<Schema>) -> Arc<Self> {
+        Self::with_metrics(schema, MetricsRegistry::new_shared())
+    }
+
+    /// A router recording into the stack-wide `metrics` registry (the
+    /// plain [`Router::new`] gets a private, disabled one).
+    pub fn with_metrics(schema: Arc<Schema>, metrics: Arc<MetricsRegistry>) -> Arc<Self> {
         Arc::new(Router {
             schema,
             managers: RwLock::new(HashMap::new()),
@@ -229,7 +220,13 @@ impl Router {
             handler: RwLock::new(None),
             observers: RwLock::new(Vec::new()),
             trace: Arc::new(Trace::default()),
+            metrics,
         })
+    }
+
+    /// The observability registry this router records into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Install the rule-firing handler (the engine).
@@ -307,7 +304,7 @@ impl Router {
                 }
             }
         }
-        let mgr = Arc::new(EcaManager::new(id, name.to_string(), spec));
+        let mgr = Arc::new(EcaManager::new(id, name.to_string(), spec, &self.metrics));
         self.managers.write().insert(id, Arc::clone(&mgr));
         self.by_name.write().insert(name.to_string(), id);
         // In parallel mode, composite managers get their worker now.
@@ -668,6 +665,10 @@ impl Router {
         let Some(mgr) = self.manager(occ.event_type) else {
             return;
         };
+        let t0 = self.metrics.span_start();
+        if t0.is_some() {
+            self.metrics.events.detected.inc();
+        }
         self.trace
             .log(|| format!("ECA-manager[{}] creates Event object (seq {})", mgr.name, occ.seq));
         mgr.history.record(Arc::clone(&occ));
@@ -711,13 +712,23 @@ impl Router {
                 self.feed_compositor(&sub_mgr, &occ);
             }
         }
+        if let Some(t0) = t0 {
+            self.metrics
+                .record_span(Stage::EcaManager, t0.elapsed().as_nanos() as u64);
+        }
     }
 
     fn feed_compositor(self: &Arc<Self>, mgr: &Arc<EcaManager>, occ: &Arc<EventOccurrence>) {
         let Some(compositor) = &mgr.compositor else {
             return;
         };
-        for completion in compositor.feed(occ) {
+        let t0 = self.metrics.span_start();
+        let completions = compositor.feed(occ);
+        if let Some(t0) = t0 {
+            self.metrics
+                .record_span(Stage::Compositor, t0.elapsed().as_nanos() as u64);
+        }
+        for completion in completions {
             self.emit_completion(mgr, completion);
         }
     }
@@ -776,6 +787,9 @@ impl Router {
             data: EventData::default(),
             constituents: completion.constituents,
         });
+        if self.metrics.on() {
+            self.metrics.events.composites_completed.inc();
+        }
         self.trace.log(|| {
             format!(
                 "composite ECA-manager[{}] completes ({} constituents{})",

@@ -28,10 +28,9 @@ use crate::event::EventOccurrence;
 use crate::rule::{Rule, RuleCtx};
 use open_oodb::Database;
 use parking_lot::{Condvar, Mutex, RwLock};
-use reach_common::{ObjectId, ReachError, Result, RuleId, TxnId};
+use reach_common::{MetricsRegistry, ObjectId, ReachError, Result, RuleId, Stage, TxnId};
 use reach_txn::dependency::{CommitRule, Outcome};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -108,25 +107,10 @@ pub enum TieBreak {
     NewestFirst,
 }
 
-/// Counters the tests and experiments read.
-#[derive(Debug, Default)]
-pub struct EngineStats {
-    pub immediate_runs: AtomicU64,
-    pub deferred_runs: AtomicU64,
-    pub detached_runs: AtomicU64,
-    pub actions_executed: AtomicU64,
-    pub conditions_false: AtomicU64,
-    pub skipped_transient: AtomicU64,
-    pub skipped_dependency: AtomicU64,
-    pub failures: AtomicU64,
-    pub triggering_aborts: AtomicU64,
-    /// Detached firings re-run after a transient error (per extra attempt).
-    pub retries: AtomicU64,
-    /// Detached firings abandoned after exhausting transient-error retries.
-    pub gave_up: AtomicU64,
-}
-
-/// Plain-value snapshot of [`EngineStats`].
+/// Plain-value snapshot of the engine's rule-accounting counters. The
+/// counters themselves live in the stack-wide metrics registry
+/// (`MetricsRegistry::engine`) so `exp_torture`, `exp_observe` and
+/// `Reach::metrics_snapshot()` all read one source of truth.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     pub immediate_runs: u64,
@@ -209,7 +193,9 @@ pub struct Engine {
     pool: Mutex<Option<Arc<ActionPool>>>,
     inflight: Mutex<usize>,
     idle: Condvar,
-    pub stats: EngineStats,
+    /// Stack-wide registry; rule accounting lands in `metrics.engine`
+    /// (ungated — these counters pre-date the observability switch).
+    metrics: Arc<MetricsRegistry>,
     dep_timeout: Duration,
     retry: RwLock<RetryPolicy>,
     dead_letters: Mutex<Vec<DeadLetter>>,
@@ -217,6 +203,7 @@ pub struct Engine {
 
 impl Engine {
     pub fn new(db: Arc<Database>) -> Arc<Self> {
+        let metrics = Arc::clone(db.metrics());
         Arc::new(Engine {
             db,
             strategy: RwLock::new(ExecutionStrategy::Serial),
@@ -229,7 +216,7 @@ impl Engine {
             pool: Mutex::new(None),
             inflight: Mutex::new(0),
             idle: Condvar::new(),
-            stats: EngineStats::default(),
+            metrics,
             dep_timeout: Duration::from_secs(10),
             retry: RwLock::new(RetryPolicy::default()),
             dead_letters: Mutex::new(Vec::new()),
@@ -258,9 +245,9 @@ impl Engine {
     /// errors that exhausted their retry budget additionally bump
     /// `gave_up`; nothing is ever dropped without a trace.
     fn give_up(&self, rule: &Rule, error: ReachError, attempts: u32) {
-        self.stats.failures.fetch_add(1, Ordering::Relaxed);
+        self.metrics.engine.failures.inc();
         if error.is_transient() {
-            self.stats.gave_up.fetch_add(1, Ordering::Relaxed);
+            self.metrics.engine.gave_up.inc();
         }
         self.dead_letters.lock().push(DeadLetter {
             rule: rule.id,
@@ -292,19 +279,19 @@ impl Engine {
     }
 
     pub fn snapshot(&self) -> StatsSnapshot {
-        let s = &self.stats;
+        let e = &self.metrics.engine;
         StatsSnapshot {
-            immediate_runs: s.immediate_runs.load(Ordering::Relaxed),
-            deferred_runs: s.deferred_runs.load(Ordering::Relaxed),
-            detached_runs: s.detached_runs.load(Ordering::Relaxed),
-            actions_executed: s.actions_executed.load(Ordering::Relaxed),
-            conditions_false: s.conditions_false.load(Ordering::Relaxed),
-            skipped_transient: s.skipped_transient.load(Ordering::Relaxed),
-            skipped_dependency: s.skipped_dependency.load(Ordering::Relaxed),
-            failures: s.failures.load(Ordering::Relaxed),
-            triggering_aborts: s.triggering_aborts.load(Ordering::Relaxed),
-            retries: s.retries.load(Ordering::Relaxed),
-            gave_up: s.gave_up.load(Ordering::Relaxed),
+            immediate_runs: e.immediate_runs.get(),
+            deferred_runs: e.deferred_runs.get(),
+            detached_runs: e.detached_runs.get(),
+            actions_executed: e.actions_executed.get(),
+            conditions_false: e.conditions_false.get(),
+            skipped_transient: e.skipped_transient.get(),
+            skipped_dependency: e.skipped_dependency.get(),
+            failures: e.failures.get(),
+            triggering_aborts: e.triggering_aborts.get(),
+            retries: e.retries.get(),
+            gave_up: e.gave_up.get(),
         }
     }
 
@@ -354,12 +341,12 @@ impl Engine {
                     Ok(true)
                 }
                 Ok(false) => {
-                    self.stats.conditions_false.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.engine.conditions_false.inc();
                     Ok(false)
                 }
                 Err(e) => {
                     if count_failures {
-                        self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.engine.failures.inc();
                     }
                     Err(e)
                 }
@@ -367,16 +354,16 @@ impl Engine {
         }
         match rule.execute(&ctx) {
             Ok(true) => {
-                self.stats.actions_executed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.engine.actions_executed.inc();
                 Ok(true)
             }
             Ok(false) => {
-                self.stats.conditions_false.fetch_add(1, Ordering::Relaxed);
+                self.metrics.engine.conditions_false.inc();
                 Ok(false)
             }
             Err(e) => {
                 if count_failures {
-                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.engine.failures.inc();
                 }
                 Err(e)
             }
@@ -399,12 +386,12 @@ impl Engine {
         };
         match rule.run_action(&ctx) {
             Ok(()) => {
-                self.stats.actions_executed.fetch_add(1, Ordering::Relaxed);
+                self.metrics.engine.actions_executed.inc();
                 Ok(())
             }
             Err(e) => {
                 if count_failures {
-                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.engine.failures.inc();
                 }
                 Err(e)
             }
@@ -425,7 +412,7 @@ impl Engine {
         parent: TxnId,
         occ: &Arc<EventOccurrence>,
     ) -> Result<bool> {
-        self.stats.immediate_runs.fetch_add(1, Ordering::Relaxed);
+        self.metrics.engine.immediate_runs.inc();
         if *self.conditions_in_subtxn.read() {
             // Ablation path: the naive design pays a subtransaction per
             // condition evaluation.
@@ -441,11 +428,11 @@ impl Engine {
             return match outcome {
                 Ok(true) => Ok(true),
                 Ok(false) => {
-                    self.stats.conditions_false.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.engine.conditions_false.inc();
                     Ok(false)
                 }
                 Err(e) => {
-                    self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.engine.failures.inc();
                     Err(e)
                 }
             };
@@ -458,11 +445,11 @@ impl Engine {
         match rule.eval_condition(&ctx) {
             Ok(true) => Ok(true),
             Ok(false) => {
-                self.stats.conditions_false.fetch_add(1, Ordering::Relaxed);
+                self.metrics.engine.conditions_false.inc();
                 Ok(false)
             }
             Err(e) => {
-                self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                self.metrics.engine.failures.inc();
                 Err(e)
             }
         }
@@ -475,20 +462,26 @@ impl Engine {
         parent: TxnId,
         occ: &Arc<EventOccurrence>,
     ) -> Result<()> {
+        let t0 = self.metrics.span_start();
         let tm = self.db.txn_manager();
         let child = tm.begin_nested(parent)?;
-        match self.run_action_only(rule, child, occ, true) {
+        let out = match self.run_action_only(rule, child, occ, true) {
             Ok(()) => tm.commit(child),
             Err(e) => {
                 let _ = tm.abort(child);
                 Err(e)
             }
+        };
+        if let Some(t0) = t0 {
+            self.metrics
+                .record_span(Stage::Subtransaction, t0.elapsed().as_nanos() as u64);
         }
+        out
     }
 
     fn fire_immediate(self: &Arc<Self>, rules: Vec<Arc<Rule>>, occ: &Arc<EventOccurrence>) {
         let Some(parent) = occ.txn else {
-            self.stats.failures.fetch_add(rules.len() as u64, Ordering::Relaxed);
+            self.metrics.engine.failures.add(rules.len() as u64);
             return;
         };
         // Phase 1: conditions, in order, in the triggering transaction.
@@ -562,7 +555,7 @@ impl Engine {
         let tm = self.db.txn_manager();
         if let Ok(top) = tm.top_of(txn) {
             if tm.is_active(top) && tm.abort(top).is_ok() {
-                self.stats.triggering_aborts.fetch_add(1, Ordering::Relaxed);
+                self.metrics.engine.triggering_aborts.inc();
             }
         }
     }
@@ -575,7 +568,7 @@ impl Engine {
 
     fn enqueue_deferred(self: &Arc<Self>, rule: Arc<Rule>, occ: Arc<EventOccurrence>, action_only: bool) {
         let Some(top) = occ.top_txn else {
-            self.stats.failures.fetch_add(1, Ordering::Relaxed);
+            self.metrics.engine.failures.inc();
             return;
         };
         self.deferred.lock().entry(top).or_default().push((rule, occ, action_only));
@@ -589,7 +582,7 @@ impl Engine {
             if res.is_err() {
                 hooked.remove(&top);
                 self.deferred.lock().remove(&top);
-                self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                self.metrics.engine.failures.inc();
             }
         }
     }
@@ -623,7 +616,7 @@ impl Engine {
         });
         let tm = self.db.txn_manager();
         for (rule, occ, action_only) in batch {
-            self.stats.deferred_runs.fetch_add(1, Ordering::Relaxed);
+            self.metrics.engine.deferred_runs.inc();
             // Condition first (a query, evaluated in the committing
             // transaction); subtransaction only for a firing action.
             if !action_only {
@@ -635,25 +628,31 @@ impl Engine {
                 match rule.eval_condition(&ctx) {
                     Ok(true) => {}
                     Ok(false) => {
-                        self.stats.conditions_false.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.engine.conditions_false.inc();
                         continue;
                     }
                     Err(e) => {
-                        self.stats.failures.fetch_add(1, Ordering::Relaxed);
+                        self.metrics.engine.failures.inc();
                         return Err(e);
                     }
                 }
             }
+            let t0 = self.metrics.span_start();
             let child = tm.begin_nested(top)?;
-            match self.run_action_only(&rule, child, &occ, true) {
-                Ok(()) => tm.commit(child)?,
+            let out = match self.run_action_only(&rule, child, &occ, true) {
+                Ok(()) => tm.commit(child),
                 Err(e) => {
                     let _ = tm.abort(child);
                     // Propagate: a failing deferred rule aborts the
                     // triggering transaction (the manager handles it).
-                    return Err(e);
+                    Err(e)
                 }
+            };
+            if let Some(t0) = t0 {
+                self.metrics
+                    .record_span(Stage::Subtransaction, t0.elapsed().as_nanos() as u64);
             }
+            out?;
         }
         Ok(())
     }
@@ -698,7 +697,7 @@ impl Engine {
         action_only: bool,
     ) {
         if let Some(oid) = self.transient_refs(&occ) {
-            self.stats.skipped_transient.fetch_add(1, Ordering::Relaxed);
+            self.metrics.engine.skipped_transient.inc();
             let _ = ReachError::TransientReferenceEscape(oid); // documented refusal
             return;
         }
@@ -762,9 +761,7 @@ impl Engine {
                 match deps.wait_for_outcome(*o, self.dep_timeout) {
                     Ok(Outcome::Committed) => {}
                     Ok(Outcome::Aborted) => {
-                        self.stats
-                            .skipped_dependency
-                            .fetch_add(1, Ordering::Relaxed);
+                        self.metrics.engine.skipped_dependency.inc();
                         return;
                     }
                     Err(e) => {
@@ -813,7 +810,7 @@ impl Engine {
             };
             self.mark_rule_txn(txn);
             if attempt == 1 {
-                self.stats.detached_runs.fetch_add(1, Ordering::Relaxed);
+                self.metrics.engine.detached_runs.inc();
             }
             let outcome = if action_only {
                 self.run_action_only(&rule, txn, &occ, false).map(|_| true)
@@ -834,9 +831,7 @@ impl Engine {
                         if e.is_transient() && attempt < policy.max_attempts {
                             e
                         } else {
-                            self.stats
-                                .skipped_dependency
-                                .fetch_add(1, Ordering::Relaxed);
+                            self.metrics.engine.skipped_dependency.inc();
                             return;
                         }
                     }
@@ -848,7 +843,7 @@ impl Engine {
                 }
             };
             if err.is_transient() && attempt < policy.max_attempts {
-                self.stats.retries.fetch_add(1, Ordering::Relaxed);
+                self.metrics.engine.retries.inc();
                 std::thread::sleep(policy.backoff(attempt));
             } else {
                 self.give_up(&rule, err, attempt);
@@ -892,6 +887,7 @@ impl Engine {
     /// as one batch (serial ring-sequence or parallel siblings), the
     /// rest are scheduled by coupling mode.
     pub fn fire_all(self: &Arc<Self>, mut rules: Vec<Arc<Rule>>, occ: Arc<EventOccurrence>) {
+        let t0 = self.metrics.span_start();
         self.order(&mut rules);
         let mut immediate = Vec::new();
         for rule in rules {
@@ -903,6 +899,10 @@ impl Engine {
         }
         if !immediate.is_empty() {
             self.fire_immediate(immediate, &occ);
+        }
+        if let Some(t0) = t0 {
+            self.metrics
+                .record_span(Stage::Engine, t0.elapsed().as_nanos() as u64);
         }
     }
 }

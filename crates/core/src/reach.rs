@@ -25,7 +25,8 @@ use crate::temporal::TemporalManager;
 use open_oodb::Database;
 use parking_lot::RwLock;
 use reach_common::{
-    ClassId, EventTypeId, IdGen, ReachError, Result, RuleId, TimePoint, Timestamp, TxnId,
+    ClassId, EventTypeId, IdGen, MetricsRegistry, MetricsSnapshot, ReachError, Result, RuleId,
+    Stage, TimePoint, Timestamp, TxnId,
 };
 use reach_object::{MethodCall, MethodSentry, StateChange, StateSentry, Value};
 use reach_txn::{TxnEvent, TxnEventKind, TxnListener};
@@ -82,7 +83,8 @@ pub struct ReachSystem {
 impl ReachSystem {
     /// Build a REACH system over a database.
     pub fn new(db: Arc<Database>, config: ReachConfig) -> Arc<Self> {
-        let router = Router::new(Arc::clone(db.schema()));
+        let router =
+            Router::with_metrics(Arc::clone(db.schema()), Arc::clone(db.metrics()));
         router.set_mode(config.composition);
         let engine = Engine::new(Arc::clone(&db));
         engine.set_strategy(config.strategy);
@@ -162,6 +164,25 @@ impl ReachSystem {
 
     pub fn stats(&self) -> StatsSnapshot {
         self.engine.snapshot()
+    }
+
+    /// The stack-wide observability registry (owned by the storage
+    /// layer, shared by every component of this system).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.db.metrics()
+    }
+
+    /// Turn on firing-path spans, latency histograms and the gated
+    /// counter families. Until this is called the instrumentation costs
+    /// one relaxed atomic load per record site.
+    pub fn enable_metrics(&self) {
+        self.db.metrics().enable();
+    }
+
+    /// Plain-data copy of every counter, histogram and recent-span ring
+    /// — render it with [`MetricsSnapshot::render`].
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.db.metrics().snapshot()
     }
 
     pub fn set_tiebreak(&self, t: TieBreak) {
@@ -593,6 +614,10 @@ impl MethodBridge {
                 Err(_) => return,
             }
         };
+        // This bridge *is* the integrated in-line wrapper sentry: the
+        // dispatcher only calls it for monitored methods, so every
+        // traversal is useful work.
+        let t0 = sys.db.metrics().span_start();
         sys.router.raise_method(
             txn,
             top,
@@ -603,6 +628,12 @@ impl MethodBridge {
             phase,
             &call.args,
         );
+        if let Some(t0) = t0 {
+            let m = sys.db.metrics();
+            m.sentry.inline_invocations.inc();
+            m.sentry.inline_detections.inc();
+            m.record_span(Stage::Sentry, t0.elapsed().as_nanos() as u64);
+        }
     }
 }
 
@@ -633,6 +664,7 @@ impl StateSentry for StateBridge {
         let Ok(top) = sys.db.txn_manager().top_of(change.txn) else {
             return;
         };
+        let t0 = sys.db.metrics().span_start();
         sys.router.raise_state_change(
             change.txn,
             top,
@@ -643,6 +675,12 @@ impl StateSentry for StateBridge {
             change.old.clone(),
             change.new.clone(),
         );
+        if let Some(t0) = t0 {
+            let m = sys.db.metrics();
+            m.sentry.inline_invocations.inc();
+            m.sentry.inline_detections.inc();
+            m.record_span(Stage::Sentry, t0.elapsed().as_nanos() as u64);
+        }
     }
 }
 

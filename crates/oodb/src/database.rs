@@ -19,7 +19,7 @@ use crate::pm::persistence::PersistencePm;
 use crate::pm::query::{Plan, QueryPm};
 use crate::pm::transaction::TransactionPm;
 use reach_common::{
-    ClassId, ObjectId, ReachError, Result, TxnId, VirtualClock,
+    ClassId, MetricsRegistry, ObjectId, ReachError, Result, TxnId, VirtualClock,
 };
 use reach_object::{
     ClassBuilder, Dispatcher, MethodRegistry, ObjectSpace, Schema, Value,
@@ -103,7 +103,12 @@ impl Database {
         } else {
             VirtualClock::new_virtual()
         });
-        let tm = Arc::new(TransactionManager::new(Arc::clone(&clock)));
+        // One registry for the whole stack: born in the storage manager,
+        // shared by the transaction manager and everything above.
+        let tm = Arc::new(TransactionManager::with_metrics(
+            Arc::clone(&clock),
+            Arc::clone(sm.metrics()),
+        ));
         let dictionary = Arc::new(DataDictionary::new(Arc::clone(&schema)));
         // Sentry-driven PMs first so they observe everything that follows.
         let indexing = IndexingPm::new(&space);
@@ -178,6 +183,10 @@ impl Database {
     }
     pub fn storage(&self) -> &Arc<StorageManager> {
         &self.sm
+    }
+    /// The stack-wide observability registry (owned by the storage layer).
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.sm.metrics()
     }
     pub fn meta(&self) -> &MetaArchitecture {
         &self.meta

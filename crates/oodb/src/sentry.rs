@@ -17,7 +17,7 @@
 //! Each mechanism reports observed calls to an [`EventSink`].
 
 use parking_lot::RwLock;
-use reach_common::{ClassId, MethodId, ObjectId, Result, TxnId};
+use reach_common::{ClassId, MethodId, MetricsRegistry, ObjectId, Result, TxnId};
 use reach_object::{Dispatcher, ObjectSpace, Value};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -52,6 +52,9 @@ pub struct SentryWorld {
     pub space: Arc<ObjectSpace>,
     pub dispatcher: Arc<Dispatcher>,
     pub sink: Arc<dyn EventSink>,
+    /// Observability registry; each mechanism reports its invocation and
+    /// detection counts here (gated — free when observability is off).
+    pub metrics: Arc<MetricsRegistry>,
 }
 
 // ---------------------------------------------------------------------
@@ -68,17 +71,21 @@ pub struct InlineWrapperSentry {
 impl InlineWrapperSentry {
     /// Wires a dispatcher-level sentry to the sink.
     pub fn new(world: SentryWorld) -> Self {
-        struct Bridge(Arc<dyn EventSink>);
+        struct Bridge(Arc<dyn EventSink>, Arc<MetricsRegistry>);
         impl reach_object::MethodSentry for Bridge {
             fn before(&self, call: &reach_object::MethodCall) -> Result<()> {
+                if self.1.on() {
+                    self.1.sentry.inline_detections.inc();
+                }
                 self.0.on_detected(call.txn, call.receiver, &call.method_name);
                 Ok(())
             }
             fn after(&self, _c: &reach_object::MethodCall, _r: &Result<Value>) {}
         }
-        world
-            .dispatcher
-            .add_sentry(Arc::new(Bridge(Arc::clone(&world.sink))));
+        world.dispatcher.add_sentry(Arc::new(Bridge(
+            Arc::clone(&world.sink),
+            Arc::clone(&world.metrics),
+        )));
         InlineWrapperSentry { world }
     }
 
@@ -93,6 +100,9 @@ impl SentryMechanism for InlineWrapperSentry {
         "inline-wrapper"
     }
     fn invoke(&self, txn: TxnId, oid: ObjectId, method: &str, args: &[Value]) -> Result<Value> {
+        if self.world.metrics.on() {
+            self.world.metrics.sentry.inline_invocations.inc();
+        }
         self.world
             .dispatcher
             .invoke(&self.world.space, txn, oid, method, args)
@@ -146,6 +156,12 @@ impl SentryMechanism for RootClassTrapSentry {
             let set = self.trapped.read();
             lineage.iter().any(|c| set.contains(c))
         };
+        if self.world.metrics.on() {
+            self.world.metrics.sentry.trap_invocations.inc();
+            if trapped {
+                self.world.metrics.sentry.trap_detections.inc();
+            }
+        }
         if trapped {
             self.world.sink.on_detected(txn, oid, method);
         }
@@ -200,6 +216,12 @@ impl SentryMechanism for SurrogateSentry {
             let map = self.forward.read();
             map.get(&oid).copied()
         };
+        if self.world.metrics.on() {
+            self.world.metrics.sentry.surrogate_invocations.inc();
+            if target.is_some() {
+                self.world.metrics.sentry.surrogate_detections.inc();
+            }
+        }
         let real = match target {
             Some(real) => {
                 self.world.sink.on_detected(txn, real, method);
@@ -238,6 +260,9 @@ impl AnnounceSentry {
 
     /// The explicit announcement the application must remember to make.
     pub fn announce(&self, txn: TxnId, oid: ObjectId, method: &str) {
+        if self.world.metrics.on() {
+            self.world.metrics.sentry.announce_detections.inc();
+        }
         self.world.sink.on_detected(txn, oid, method);
     }
 }
@@ -287,6 +312,7 @@ mod tests {
                 space,
                 dispatcher,
                 sink: Arc::clone(&sink) as Arc<dyn EventSink>,
+                metrics: MetricsRegistry::new_shared(),
             },
             sink,
             class,
@@ -331,6 +357,23 @@ mod tests {
         // Direct call on the real object: silent — the semantic hole.
         s.invoke(TxnId::NULL, oid, "touch", &[]).unwrap();
         assert_eq!(*sink.0.lock(), 1);
+    }
+
+    #[test]
+    fn mechanisms_report_useful_and_useless_work() {
+        let (w, _sink, class, _m, oid) = world();
+        let metrics = Arc::clone(&w.metrics);
+        metrics.enable();
+        let s = RootClassTrapSentry::new(w);
+        s.invoke(TxnId::NULL, oid, "touch", &[]).unwrap(); // useless walk
+        s.trap_class(class);
+        s.invoke(TxnId::NULL, oid, "touch", &[]).unwrap(); // useful
+        assert_eq!(metrics.sentry.trap_invocations.get(), 2);
+        assert_eq!(metrics.sentry.trap_detections.get(), 1);
+        let snap = metrics.snapshot();
+        // Mechanism order in the snapshot: inline, trap, surrogate, announce.
+        assert_eq!(snap.sentry_useful[1], 1);
+        assert_eq!(snap.sentry_useless[1], 1);
     }
 
     #[test]

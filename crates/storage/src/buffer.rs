@@ -10,9 +10,9 @@
 use crate::disk::StableStorage;
 use crate::page::Page;
 use parking_lot::{Mutex, RwLock};
-use reach_common::{PageId, ReachError, Result};
+use reach_common::{MetricsRegistry, PageId, ReachError, Result};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 struct Frame {
@@ -30,12 +30,17 @@ struct Directory {
     hand: usize,
 }
 
-/// Statistics the benchmark harness reads.
+/// Statistics the benchmark harness reads (a plain copy of the
+/// pool's counters in the shared [`MetricsRegistry`]).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct PoolStats {
+    /// Fetches served from a resident frame.
     pub hits: u64,
+    /// Fetches that had to read from the device.
     pub misses: u64,
+    /// Frames whose occupant was evicted by the clock hand.
     pub evictions: u64,
+    /// Dirty pages written back (eviction or flush).
     pub writebacks: u64,
 }
 
@@ -44,15 +49,24 @@ pub struct BufferPool {
     disk: Arc<dyn StableStorage>,
     frames: Vec<Arc<Frame>>,
     dir: Mutex<Directory>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
-    writebacks: AtomicU64,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl BufferPool {
-    /// A pool of `capacity` frames over `disk`.
+    /// A pool of `capacity` frames over `disk` with a private registry.
     pub fn new(disk: Arc<dyn StableStorage>, capacity: usize) -> Self {
+        Self::with_metrics(disk, capacity, MetricsRegistry::new_shared())
+    }
+
+    /// A pool recording hit/miss/eviction counters into a shared
+    /// registry. The pool counters are ungated: they are plain relaxed
+    /// adds and are read by tests and benches without enabling
+    /// observability.
+    pub fn with_metrics(
+        disk: Arc<dyn StableStorage>,
+        capacity: usize,
+        metrics: Arc<MetricsRegistry>,
+    ) -> Self {
         assert!(capacity > 0, "buffer pool needs at least one frame");
         let frames = (0..capacity)
             .map(|_| {
@@ -72,11 +86,13 @@ impl BufferPool {
                 resident: vec![None; capacity],
                 hand: 0,
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            writebacks: AtomicU64::new(0),
+            metrics,
         }
+    }
+
+    /// The registry this pool records into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     /// Allocate a fresh page on the device.
@@ -122,10 +138,10 @@ impl BufferPool {
             let frame = Arc::clone(&self.frames[idx]);
             frame.pins.fetch_add(1, Ordering::AcqRel);
             frame.referenced.store(true, Ordering::Release);
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.pool.hits.inc();
             return Ok(frame);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.metrics.pool.misses.inc();
         // Miss: choose a victim frame with the clock algorithm.
         let idx = self.find_victim(&mut dir)?;
         // Evict the old occupant (write back while still under the
@@ -134,10 +150,10 @@ impl BufferPool {
             let frame = &self.frames[idx];
             if frame.dirty.swap(false, Ordering::AcqRel) {
                 self.disk.write(&frame.page.read())?;
-                self.writebacks.fetch_add(1, Ordering::Relaxed);
+                self.metrics.pool.writebacks.inc();
             }
             dir.table.remove(&old);
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.metrics.pool.evictions.inc();
         }
         let page = self.disk.read(id)?;
         let frame = Arc::clone(&self.frames[idx]);
@@ -188,7 +204,7 @@ impl BufferPool {
             let frame = &self.frames[idx];
             if frame.dirty.swap(false, Ordering::AcqRel) {
                 self.disk.write(&frame.page.read())?;
-                self.writebacks.fetch_add(1, Ordering::Relaxed);
+                self.metrics.pool.writebacks.inc();
             }
         }
         drop(dir);
@@ -198,10 +214,10 @@ impl BufferPool {
     /// Current hit/miss/eviction counters.
     pub fn stats(&self) -> PoolStats {
         PoolStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            writebacks: self.writebacks.load(Ordering::Relaxed),
+            hits: self.metrics.pool.hits.get(),
+            misses: self.metrics.pool.misses.get(),
+            evictions: self.metrics.pool.evictions.get(),
+            writebacks: self.metrics.pool.writebacks.get(),
         }
     }
 

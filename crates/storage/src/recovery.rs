@@ -20,9 +20,13 @@ use std::collections::{HashMap, HashSet};
 /// Outcome summary, useful for tests and operational logging.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct RecoveryReport {
+    /// Log records the salvage scan yielded.
     pub records_scanned: usize,
+    /// Page operations reapplied by the redo pass.
     pub redone: usize,
+    /// Transactions found unfinished and rolled back.
     pub losers: Vec<TxnId>,
+    /// Operations undone (CLRs written) by the undo pass.
     pub undone: usize,
     /// Torn trailing bytes the WAL salvage scan discarded (a non-zero
     /// value means the crash tore a frame mid-append).
@@ -140,6 +144,15 @@ pub fn recover(sm: &StorageManager) -> Result<RecoveryReport> {
     }
     sm.wal().force()?;
     sm.pool().flush_all()?;
+    // Publish the figures into the shared registry so exp_torture and
+    // exp_observe report recovery from this single source (ungated: a
+    // reboot is rare and the write happens once).
+    let m = sm.metrics();
+    m.recovery.records_scanned.set(report.records_scanned as u64);
+    m.recovery.redone.set(report.redone as u64);
+    m.recovery.losers.set(report.losers.len() as u64);
+    m.recovery.undone.set(report.undone as u64);
+    m.recovery.salvaged_bytes.set(report.salvaged_bytes);
     Ok(report)
 }
 

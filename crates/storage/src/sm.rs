@@ -21,7 +21,7 @@ use crate::disk::{FileDisk, MemDisk, StableStorage};
 use crate::heap::{HeapFile, RecordId};
 use crate::wal::{WalRecord, WriteAheadLog};
 use parking_lot::Mutex;
-use reach_common::{PageId, ReachError, Result, TxnId};
+use reach_common::{MetricsRegistry, PageId, ReachError, Result, TxnId};
 use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
@@ -102,7 +102,12 @@ impl StorageManager {
         pool_frames: usize,
     ) -> Result<Self> {
         let fresh = disk.page_count() == 0;
-        let pool = Arc::new(BufferPool::new(disk, pool_frames));
+        // The registry is born here, at the lowest layer, and threaded
+        // *up*: the database and the active layer above clone this same
+        // `Arc`, so the whole stack reports into one place.
+        let metrics = MetricsRegistry::new_shared();
+        wal.set_metrics(Arc::clone(&metrics));
+        let pool = Arc::new(BufferPool::with_metrics(disk, pool_frames, metrics));
         let catalog_page = if fresh {
             let pid = pool.allocate()?;
             debug_assert_eq!(pid.raw(), 1);
@@ -135,6 +140,11 @@ impl StorageManager {
     /// The write-ahead log.
     pub fn wal(&self) -> &Arc<WriteAheadLog> {
         &self.wal
+    }
+
+    /// The shared observability registry for this storage stack.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        self.pool.metrics()
     }
 
     // ---- catalog ----

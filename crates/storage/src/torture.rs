@@ -192,6 +192,10 @@ pub fn visible_state(sm: &StorageManager) -> Result<State> {
 pub struct CrashPointResult {
     pub crash_at_frame: usize,
     pub report: RecoveryReport,
+    /// Torn-tail bytes discarded, read back from the rebooted storage
+    /// manager's metrics registry (the single source `exp_torture` and
+    /// `exp_observe` report from) rather than from the report struct.
+    pub salvaged_bytes: u64,
 }
 
 /// Simulate a clean crash at WAL frame `n` (1-based): run the workload
@@ -233,6 +237,10 @@ pub fn torture_at(
     )
     .unwrap_or_else(|e| panic!("recovery after crash at frame {n} failed: {e}"));
 
+    // Capture the registry's per-reboot recovery figures now — the
+    // idempotence re-run below publishes its own (empty) pass over them.
+    let salvaged_bytes = sm2.metrics().recovery.salvaged_bytes.get();
+
     let expected = committed_state(&oracle[..n - 1]);
     let got = visible_state(&sm2).unwrap();
     assert_eq!(
@@ -251,6 +259,7 @@ pub fn torture_at(
     CrashPointResult {
         crash_at_frame: n,
         report,
+        salvaged_bytes,
     }
 }
 

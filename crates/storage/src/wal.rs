@@ -10,7 +10,8 @@
 
 use parking_lot::Mutex;
 use reach_common::fault::{FaultInjector, FaultPoint, WriteOutcome};
-use reach_common::{PageId, ReachError, Result, TxnId};
+use reach_common::obs::Stage;
+use reach_common::{MetricsRegistry, PageId, ReachError, Result, TxnId};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
@@ -296,6 +297,9 @@ pub struct WriteAheadLog {
     unforced: Mutex<u64>,
     /// Optional fault injector consulted on every append/force.
     injector: Mutex<Option<Arc<FaultInjector>>>,
+    /// Optional shared registry; appends and forces record into it
+    /// when observability is enabled.
+    metrics: Mutex<Option<Arc<MetricsRegistry>>>,
 }
 
 impl WriteAheadLog {
@@ -315,6 +319,7 @@ impl WriteAheadLog {
             sink: Mutex::new(Sink::Mem(image)),
             unforced: Mutex::new(0),
             injector: Mutex::new(None),
+            metrics: Mutex::new(None),
         }
     }
 
@@ -336,6 +341,7 @@ impl WriteAheadLog {
             sink: Mutex::new(Sink::File { file, len }),
             unforced: Mutex::new(0),
             injector: Mutex::new(None),
+            metrics: Mutex::new(None),
         })
     }
 
@@ -347,6 +353,17 @@ impl WriteAheadLog {
 
     fn injector(&self) -> Option<Arc<FaultInjector>> {
         self.injector.lock().clone()
+    }
+
+    /// Attach the shared metrics registry (same pattern as the fault
+    /// injector): appends count records/bytes and forces record a
+    /// [`Stage::WalForce`] span, all gated on the registry switch.
+    pub fn set_metrics(&self, metrics: Arc<MetricsRegistry>) {
+        *self.metrics.lock() = Some(metrics);
+    }
+
+    fn metrics(&self) -> Option<Arc<MetricsRegistry>> {
+        self.metrics.lock().clone()
     }
 
     /// The raw byte image of the whole log (frames plus any torn tail).
@@ -391,6 +408,12 @@ impl WriteAheadLog {
         }
         let lsn = self.append_raw(&frame)?;
         *self.unforced.lock() += frame.len() as u64;
+        if let Some(m) = self.metrics() {
+            if m.on() {
+                m.wal.appends.inc();
+                m.wal.append_bytes.add(frame.len() as u64);
+            }
+        }
         Ok(lsn)
     }
 
@@ -422,11 +445,21 @@ impl WriteAheadLog {
                 return Err(ReachError::Io("injected fault at wal_force".into()));
             }
         }
+        let m = self.metrics().filter(|m| m.on());
+        let t0 = m.as_deref().and_then(MetricsRegistry::span_start);
         let sink = self.sink.lock();
         if let Sink::File { file, .. } = &*sink {
             file.sync_data()?;
         }
         *self.unforced.lock() = 0;
+        if let Some(m) = m {
+            m.wal.forces.inc();
+            if let Some(t0) = t0 {
+                let ns = t0.elapsed().as_nanos() as u64;
+                m.wal.force_latency.record(ns);
+                m.record_span(Stage::WalForce, ns);
+            }
+        }
         Ok(())
     }
 

@@ -11,8 +11,9 @@
 
 use crate::deadlock::WaitsFor;
 use parking_lot::{Condvar, Mutex};
-use reach_common::{ObjectId, ReachError, Result, TxnId};
+use reach_common::{MetricsRegistry, ObjectId, ReachError, Result, TxnId};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Lock modes.
@@ -46,6 +47,7 @@ pub struct LockManager {
     inner: Mutex<Inner>,
     changed: Condvar,
     timeout: Duration,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl LockManager {
@@ -55,6 +57,12 @@ impl LockManager {
 
     /// A manager whose blocked requests give up after `timeout`.
     pub fn with_timeout(timeout: Duration) -> Self {
+        Self::with_metrics(timeout, MetricsRegistry::new_shared())
+    }
+
+    /// A manager recording lock waits and deadlocks into a shared
+    /// registry (gated on its enable switch).
+    pub fn with_metrics(timeout: Duration, metrics: Arc<MetricsRegistry>) -> Self {
         LockManager {
             inner: Mutex::new(Inner {
                 locks: HashMap::new(),
@@ -63,6 +71,7 @@ impl LockManager {
             }),
             changed: Condvar::new(),
             timeout,
+            metrics,
         }
     }
 
@@ -79,6 +88,15 @@ impl LockManager {
         ancestors: &[TxnId],
     ) -> Result<()> {
         let mut inner = self.inner.lock();
+        let mut wait_started: Option<std::time::Instant> = None;
+        let finish_wait = |started: Option<std::time::Instant>| {
+            if let Some(t0) = started {
+                self.metrics
+                    .txn
+                    .lock_wait_latency
+                    .record(t0.elapsed().as_nanos() as u64);
+            }
+        };
         loop {
             let conflicts = Self::conflicts(&inner, txn, oid, mode, ancestors);
             if conflicts.is_empty() {
@@ -89,12 +107,21 @@ impl LockManager {
                 }
                 inner.held.entry(txn).or_default().insert(oid);
                 inner.waits.clear(txn);
+                finish_wait(wait_started);
                 return Ok(());
             }
             // Must wait: record edges and check for a deadlock.
+            if wait_started.is_none() && self.metrics.on() {
+                self.metrics.txn.lock_waits.inc();
+                wait_started = Some(std::time::Instant::now());
+            }
             inner.waits.add(txn, conflicts.iter().copied());
             if inner.waits.has_cycle_through(txn) {
                 inner.waits.clear(txn);
+                if self.metrics.on() {
+                    self.metrics.txn.deadlocks.inc();
+                }
+                finish_wait(wait_started);
                 return Err(ReachError::Deadlock(txn));
             }
             let timed_out = self
@@ -103,6 +130,7 @@ impl LockManager {
                 .timed_out();
             if timed_out {
                 inner.waits.clear(txn);
+                finish_wait(wait_started);
                 return Err(ReachError::LockTimeout(txn));
             }
         }

@@ -19,7 +19,7 @@ use crate::dependency::{DependencyGraph, Outcome, Permission};
 use crate::events::{TxnEvent, TxnEventKind, TxnListener};
 use crate::locks::{LockManager, LockMode};
 use parking_lot::{Mutex, RwLock};
-use reach_common::{IdGen, ObjectId, ReachError, Result, TxnId, VirtualClock};
+use reach_common::{IdGen, MetricsRegistry, ObjectId, ReachError, Result, TxnId, VirtualClock};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
@@ -79,20 +79,36 @@ pub struct TransactionManager {
     ids: IdGen,
     /// Patience for causal-dependency waits at commit.
     dep_timeout: Duration,
+    metrics: Arc<MetricsRegistry>,
 }
 
 impl TransactionManager {
     pub fn new(clock: Arc<VirtualClock>) -> Self {
+        Self::with_metrics(clock, MetricsRegistry::new_shared())
+    }
+
+    /// A manager recording begin/commit/abort counts, commit latency,
+    /// lock waits and deadlocks into a shared registry.
+    pub fn with_metrics(clock: Arc<VirtualClock>, metrics: Arc<MetricsRegistry>) -> Self {
         TransactionManager {
             clock,
-            locks: Arc::new(LockManager::new()),
+            locks: Arc::new(LockManager::with_metrics(
+                Duration::from_secs(5),
+                Arc::clone(&metrics),
+            )),
             deps: Arc::new(DependencyGraph::new()),
             txns: Mutex::new(HashMap::new()),
             listeners: RwLock::new(Vec::new()),
             resources: RwLock::new(Vec::new()),
             ids: IdGen::new(),
             dep_timeout: Duration::from_secs(10),
+            metrics,
         }
+    }
+
+    /// The registry this manager records into.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
     }
 
     pub fn clock(&self) -> &Arc<VirtualClock> {
@@ -156,6 +172,9 @@ impl TransactionManager {
                 on_commit: Vec::new(),
             },
         );
+        if self.metrics.on() {
+            self.metrics.txn.begins.inc();
+        }
         self.emit(TxnEventKind::Begin, id, None, id);
         Ok(id)
     }
@@ -197,6 +216,9 @@ impl TransactionManager {
                     on_commit: Vec::new(),
                 },
             );
+        }
+        if self.metrics.on() {
+            self.metrics.txn.begins.inc();
         }
         self.emit(TxnEventKind::Begin, id, Some(parent), top);
         Ok(id)
@@ -323,11 +345,15 @@ impl TransactionManager {
             prec.active_children -= 1;
         }
         self.locks.transfer(txn, parent);
+        if self.metrics.on() {
+            self.metrics.txn.commits.inc();
+        }
         self.emit(TxnEventKind::Committed, txn, Some(parent), top);
         Ok(())
     }
 
     fn commit_top(&self, txn: TxnId) -> Result<()> {
+        let commit_t0 = self.metrics.span_start();
         {
             let mut txns = self.txns.lock();
             txns.get_mut(&txn).unwrap().state = TxnState::Committing;
@@ -390,6 +416,13 @@ impl TransactionManager {
         self.locks.release_all(txn);
         self.deps.record(txn, Outcome::Committed);
         self.deps.forget_dependent(txn);
+        if let Some(t0) = commit_t0 {
+            self.metrics.txn.commits.inc();
+            self.metrics
+                .txn
+                .commit_latency
+                .record(t0.elapsed().as_nanos() as u64);
+        }
         self.emit(TxnEventKind::Committed, txn, None, txn);
         for action in on_commit {
             action();
@@ -453,6 +486,9 @@ impl TransactionManager {
                 self.deps.record(txn, Outcome::Aborted);
                 self.deps.forget_dependent(txn);
             }
+        }
+        if self.metrics.on() {
+            self.metrics.txn.aborts.inc();
         }
         self.emit(TxnEventKind::Aborted, txn, parent, top);
         Ok(())
