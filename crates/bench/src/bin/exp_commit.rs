@@ -1,0 +1,165 @@
+//! Experiment E16 — group-commit scaling.
+//!
+//! Sweeps committer threads over a file-backed storage manager twice:
+//! once with the WAL's group-commit sequencer on (committers share one
+//! `sync_data` per batch) and once with it off (the pre-group baseline,
+//! a private sync per commit). Each committer runs short write
+//! transactions back to back; the interesting numbers are
+//! committed-txn/s and forces/commit — the inverse batching factor,
+//! read from the same `MetricsRegistry` the rest of the stack reports
+//! into. With one thread the two modes are equivalent (every commit
+//! leads its own force); with many threads the baseline flatlines on
+//! fsync while group commit amortizes it.
+//!
+//! ```sh
+//! cargo run --release -p reach-bench --bin exp_commit [--smoke]
+//! ```
+
+use reach_common::TxnId;
+use reach_storage::StorageManager;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct CaseResult {
+    threads: usize,
+    group: bool,
+    commits: u64,
+    elapsed_s: f64,
+    forces: u64,
+}
+
+impl CaseResult {
+    fn commits_per_s(&self) -> f64 {
+        self.commits as f64 / self.elapsed_s
+    }
+    fn forces_per_commit(&self) -> f64 {
+        self.forces as f64 / self.commits as f64
+    }
+}
+
+/// One measured case: `threads` committers, `commits_each` short write
+/// transactions per committer, group commit on or off.
+fn run_case(dir: &std::path::Path, threads: usize, commits_each: u64, group: bool) -> CaseResult {
+    let case_dir = dir.join(format!("t{threads}-{}", if group { "group" } else { "base" }));
+    std::fs::create_dir_all(&case_dir).expect("case dir");
+    let sm = Arc::new(StorageManager::open(&case_dir, 256).expect("open"));
+    sm.metrics().enable();
+    sm.wal().set_group_commit(group);
+    sm.create_segment("commits").expect("segment");
+    let forces_before = sm.metrics().wal.forces.get();
+
+    let t0 = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let sm = Arc::clone(&sm);
+        handles.push(std::thread::spawn(move || {
+            let seg = sm.segment("commits").expect("segment");
+            for i in 0..commits_each {
+                // Distinct id spaces per thread; id 0 is reserved.
+                let txn = TxnId::new(((t as u64) << 32) | (i + 1));
+                sm.begin(txn).expect("begin");
+                let payload = format!("committer {t} txn {i} {:>40}", i);
+                sm.insert(txn, seg, payload.as_bytes()).expect("insert");
+                sm.commit(txn).expect("commit");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("committer thread");
+    }
+    let elapsed_s = t0.elapsed().as_secs_f64();
+    let forces = sm.metrics().wal.forces.get() - forces_before;
+    let commits = threads as u64 * commits_each;
+
+    // Sanity: every committed insert is readable.
+    let seg = sm.segment("commits").expect("segment");
+    let visible = sm.scan(seg).expect("scan").len() as u64;
+    assert_eq!(visible, commits, "committed inserts missing after the run");
+
+    CaseResult {
+        threads,
+        group,
+        commits,
+        elapsed_s,
+        forces,
+    }
+}
+
+fn print_row(r: &CaseResult) {
+    println!(
+        "{:>8} {:>6} {:>9} {:>12.0} {:>8} {:>14.3} {:>10.1}",
+        r.threads,
+        if r.group { "group" } else { "base" },
+        r.commits,
+        r.commits_per_s(),
+        r.forces,
+        r.forces_per_commit(),
+        1.0 / r.forces_per_commit(),
+    );
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let dir = std::env::temp_dir().join(format!("reach-e16-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    println!("E16: group-commit scaling (file-backed WAL, 1 insert/txn)");
+    println!(
+        "{:>8} {:>6} {:>9} {:>12} {:>8} {:>14} {:>10}",
+        "threads", "mode", "commits", "commits/s", "forces", "forces/commit", "batching"
+    );
+
+    if smoke {
+        // CI gate: correctness + the batching invariant, small enough
+        // to finish in seconds. 4 threads must show real batching.
+        let mut failed = false;
+        for &(threads, group) in &[(1usize, true), (4, true), (4, false)] {
+            let r = run_case(&dir, threads, 24, group);
+            print_row(&r);
+            if r.forces == 0 {
+                eprintln!("smoke violation: no force recorded at all");
+                failed = true;
+            }
+            if r.group && r.threads > 1 && r.forces_per_commit() > 1.0 {
+                eprintln!(
+                    "smoke violation: group mode at {} threads syncs more than once per commit",
+                    r.threads
+                );
+                failed = true;
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+        if failed {
+            std::process::exit(1);
+        }
+        println!("smoke ok: group commit batches and loses nothing");
+        return;
+    }
+
+    let commits_each = 200;
+    let mut group_at_8 = None;
+    let mut base_at_8 = None;
+    for &threads in &[1usize, 2, 4, 8, 16] {
+        for group in [false, true] {
+            let r = run_case(&dir, threads, commits_each, group);
+            print_row(&r);
+            if threads == 8 {
+                if group {
+                    group_at_8 = Some((r.commits_per_s(), r.forces_per_commit()));
+                } else {
+                    base_at_8 = Some(r.commits_per_s());
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    if let (Some((g_tps, g_fpc)), Some(b_tps)) = (group_at_8, base_at_8) {
+        println!(
+            "at 8 threads: {g_fpc:.3} forces/commit (batching {:.1}x), \
+             {:.2}x the baseline's committed-txn/s",
+            1.0 / g_fpc,
+            g_tps / b_tps
+        );
+    }
+}

@@ -169,6 +169,15 @@ pub struct WalMetrics {
     pub forces: Counter,
     /// Latency of syncing forces.
     pub force_latency: Histogram,
+    /// Group-commit fast path: force requests already covered by the
+    /// forced LSN on entry (read-only commits, back-to-back forces) —
+    /// no wait, no sync.
+    pub force_skips: Counter,
+    /// Group-commit followers: force requests satisfied by *another*
+    /// committer's leader sync while they waited on the sequencer.
+    /// `txn_commits / wal_forces` is the batching factor; this counter
+    /// shows how many commits rode along without paying a sync.
+    pub force_piggybacks: Counter,
 }
 
 /// Buffer-pool counters (recorded by `reach-storage`; ungated — these
@@ -417,6 +426,8 @@ impl MetricsRegistry {
             wal_append_bytes: self.wal.append_bytes.get(),
             wal_forces: self.wal.forces.get(),
             wal_force_latency: self.wal.force_latency.snapshot(),
+            wal_force_skips: self.wal.force_skips.get(),
+            wal_force_piggybacks: self.wal.force_piggybacks.get(),
             pool_hits: self.pool.hits.get(),
             pool_misses: self.pool.misses.get(),
             pool_evictions: self.pool.evictions.get(),
@@ -502,6 +513,8 @@ pub struct MetricsSnapshot {
     pub wal_append_bytes: u64,
     pub wal_forces: u64,
     pub wal_force_latency: HistogramSnapshot,
+    pub wal_force_skips: u64,
+    pub wal_force_piggybacks: u64,
     pub pool_hits: u64,
     pub pool_misses: u64,
     pub pool_evictions: u64,
@@ -616,11 +629,13 @@ impl MetricsSnapshot {
         let _ = writeln!(out, "-- storage --");
         let _ = writeln!(
             out,
-            "wal appends {} ({} bytes)  forces {} (mean {})  pool hits {} / misses {}  evictions {}  writebacks {}",
+            "wal appends {} ({} bytes)  forces {} (mean {}, skipped {}, piggybacked {})  pool hits {} / misses {}  evictions {}  writebacks {}",
             self.wal_appends,
             self.wal_append_bytes,
             self.wal_forces,
             fmt_ns(self.wal_force_latency.mean_ns()),
+            self.wal_force_skips,
+            self.wal_force_piggybacks,
             self.pool_hits,
             self.pool_misses,
             self.pool_evictions,

@@ -94,14 +94,25 @@ impl GlobalHistory {
     }
 
     /// Absorb drained occurrences, keeping global sequence order.
+    ///
+    /// Merge-inserts by `seq`: collectors for different transactions
+    /// drain and absorb concurrently, so a batch may carry occurrences
+    /// older than ones already absorbed — sorting within the batch
+    /// alone would interleave the log out of order, violating the §6.3
+    /// global-sequence invariant. The log tail is nearly sorted, so
+    /// the backward scan is short in practice.
     pub fn absorb(&self, mut occurrences: Vec<Arc<EventOccurrence>>) {
         occurrences.sort_by_key(|o| o.seq);
         let mut log = self.log.lock();
         for occ in occurrences {
-            if log.len() == self.capacity {
+            let mut idx = log.len();
+            while idx > 0 && log[idx - 1].seq > occ.seq {
+                idx -= 1;
+            }
+            log.insert(idx, occ);
+            if log.len() > self.capacity {
                 log.pop_front();
             }
-            log.push_back(occ);
         }
     }
 
@@ -174,5 +185,24 @@ mod tests {
         let snap = g.snapshot();
         let seqs: Vec<u64> = snap.iter().map(|o| o.seq.raw()).collect();
         assert_eq!(seqs, vec![2, 5, 7, 9]);
+    }
+
+    /// Regression: a later batch carrying *older* occurrences (two
+    /// collectors draining concurrently, the slower one absorbing
+    /// first) used to be appended after sorting only within itself,
+    /// interleaving the global log out of `seq` order.
+    #[test]
+    fn interleaved_absorbs_stay_globally_ordered() {
+        let g = GlobalHistory::new(100);
+        g.absorb(vec![occ(5, 1), occ(2, 1)]);
+        g.absorb(vec![occ(4, 2), occ(1, 2), occ(9, 2)]);
+        let seqs: Vec<u64> = g.snapshot().iter().map(|o| o.seq.raw()).collect();
+        assert_eq!(seqs, vec![1, 2, 4, 5, 9]);
+        // Capacity still evicts from the *old* end after a merge.
+        let small = GlobalHistory::new(3);
+        small.absorb(vec![occ(10, 1), occ(30, 1)]);
+        small.absorb(vec![occ(20, 2), occ(40, 2)]);
+        let seqs: Vec<u64> = small.snapshot().iter().map(|o| o.seq.raw()).collect();
+        assert_eq!(seqs, vec![20, 30, 40]);
     }
 }

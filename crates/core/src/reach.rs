@@ -43,6 +43,13 @@ pub struct ReachConfig {
     /// Serial ring-sequence or parallel sibling subtransactions for
     /// immediate rule batches.
     pub strategy: ExecutionStrategy,
+    /// Group-commit sequencing on the WAL: concurrent committers share
+    /// one log sync. Off restores a private sync per commit (the E16
+    /// baseline).
+    pub group_commit: bool,
+    /// Leader batching window for group commit; `None` keeps the WAL's
+    /// default (~100µs on file-backed logs).
+    pub group_window: Option<Duration>,
 }
 
 impl Default for ReachConfig {
@@ -50,6 +57,8 @@ impl Default for ReachConfig {
         ReachConfig {
             composition: CompositionMode::Synchronous,
             strategy: ExecutionStrategy::Serial,
+            group_commit: true,
+            group_window: None,
         }
     }
 }
@@ -86,6 +95,10 @@ impl ReachSystem {
         let router =
             Router::with_metrics(Arc::clone(db.schema()), Arc::clone(db.metrics()));
         router.set_mode(config.composition);
+        db.storage().wal().set_group_commit(config.group_commit);
+        if let Some(window) = config.group_window {
+            db.storage().wal().set_group_window(window);
+        }
         let engine = Engine::new(Arc::clone(&db));
         engine.set_strategy(config.strategy);
         router.set_handler(Arc::new(EngineHandler(Arc::clone(&engine))));

@@ -840,6 +840,7 @@ fn parallel_composition_mode_reaches_the_same_result() {
     let w = world_with(ReachConfig {
         composition: CompositionMode::Parallel,
         strategy: ExecutionStrategy::Serial,
+        ..ReachConfig::default()
     });
     let sys = &w.sys;
     let ev = sys
@@ -885,6 +886,7 @@ fn parallel_immediate_strategy_executes_all_sibling_rules() {
     let w = world_with(ReachConfig {
         composition: CompositionMode::Synchronous,
         strategy: ExecutionStrategy::Parallel,
+        ..ReachConfig::default()
     });
     let sys = &w.sys;
     let ev = sys

@@ -45,8 +45,11 @@ pub struct PersistencePm {
     locations: Mutex<HashMap<ObjectId, RecordId>>,
     /// Objects whose `persist()` happened in a still-running transaction.
     pending: Mutex<HashMap<TxnId, Vec<ObjectId>>>,
-    /// Location of the single roots record, once written.
-    roots_record: Mutex<Option<RecordId>>,
+    /// Location of the single roots record, once written, plus the
+    /// bytes last stored there — unchanged roots are skipped at commit
+    /// so read-only transactions log nothing and hit the WAL's
+    /// no-force fast path.
+    roots_record: Mutex<(Option<RecordId>, Option<Vec<u8>>)>,
     /// Observers of `persist()` calls — the paper's `persist`
     /// DB-internal event (§3.1) is detected here.
     persist_hooks: RwLock<Vec<PersistHook>>,
@@ -75,7 +78,7 @@ impl PersistencePm {
             roots_seg,
             locations: Mutex::new(HashMap::new()),
             pending: Mutex::new(HashMap::new()),
-            roots_record: Mutex::new(None),
+            roots_record: Mutex::new((None, None)),
             persist_hooks: RwLock::new(Vec::new()),
         });
         let weak = Arc::downgrade(&pm);
@@ -99,8 +102,8 @@ impl PersistencePm {
         drop(locations);
         // Roots: a single record of `name_len name oid` triples.
         if let Some((rid, bytes)) = self.sm.scan(self.roots_seg)?.into_iter().next() {
-            *self.roots_record.lock() = Some(rid);
             self.dictionary.load(decode_roots(&bytes)?);
+            *self.roots_record.lock() = (Some(rid), Some(bytes));
         }
         Ok(())
     }
@@ -173,10 +176,17 @@ impl PersistencePm {
     fn save_roots(&self, txn: TxnId) -> Result<()> {
         let bytes = encode_roots(&self.dictionary.bindings());
         let mut rec = self.roots_record.lock();
-        match *rec {
-            Some(rid) => self.sm.update(txn, self.roots_seg, rid, &bytes)?,
-            None => *rec = Some(self.sm.insert(txn, self.roots_seg, &bytes)?),
+        // Unchanged roots need no logged update: a transaction that
+        // touched nothing then commits without a single WAL write, so
+        // the storage manager's read-only fast path skips the sync.
+        if rec.1.as_deref() == Some(bytes.as_slice()) {
+            return Ok(());
         }
+        match rec.0 {
+            Some(rid) => self.sm.update(txn, self.roots_seg, rid, &bytes)?,
+            None => rec.0 = Some(self.sm.insert(txn, self.roots_seg, &bytes)?),
+        }
+        rec.1 = Some(bytes);
         Ok(())
     }
 }
@@ -227,6 +237,9 @@ impl ResourceManager for PersistencePm {
 
     fn abort_top(&self, txn: TxnId) -> Result<()> {
         self.pending.lock().remove(&txn);
+        // An abort may have rolled back a roots update this PM already
+        // cached; drop the cache so the next commit rewrites them.
+        self.roots_record.lock().1 = None;
         self.sm.abort(txn)
     }
 }

@@ -22,6 +22,13 @@ struct Frame {
     referenced: AtomicBool,
 }
 
+/// Called before any dirty page is written back to the device — the
+/// WAL rule's enforcement point. The storage manager installs a
+/// closure that forces the log, so a page image never reaches disk
+/// ahead of the log records describing its changes. Must not call
+/// back into the pool (it runs under the directory lock).
+pub type FlushBarrier = Arc<dyn Fn() -> Result<()> + Send + Sync>;
+
 struct Directory {
     /// page id -> frame index
     table: HashMap<PageId, usize>,
@@ -50,6 +57,7 @@ pub struct BufferPool {
     frames: Vec<Arc<Frame>>,
     dir: Mutex<Directory>,
     metrics: Arc<MetricsRegistry>,
+    barrier: Mutex<Option<FlushBarrier>>,
 }
 
 impl BufferPool {
@@ -87,12 +95,28 @@ impl BufferPool {
                 hand: 0,
             }),
             metrics,
+            barrier: Mutex::new(None),
         }
     }
 
     /// The registry this pool records into.
     pub fn metrics(&self) -> &Arc<MetricsRegistry> {
         &self.metrics
+    }
+
+    /// Install the write-back barrier (see [`FlushBarrier`]). The
+    /// group-commit fast path makes the common already-forced case a
+    /// single lock acquisition, so calling it per write-back is cheap.
+    pub fn set_flush_barrier(&self, barrier: FlushBarrier) {
+        *self.barrier.lock() = Some(barrier);
+    }
+
+    fn flush_barrier(&self) -> Result<()> {
+        let barrier = self.barrier.lock().clone();
+        match barrier {
+            Some(b) => b(),
+            None => Ok(()),
+        }
     }
 
     /// Allocate a fresh page on the device.
@@ -149,6 +173,9 @@ impl BufferPool {
         if let Some(old) = dir.resident[idx] {
             let frame = &self.frames[idx];
             if frame.dirty.swap(false, Ordering::AcqRel) {
+                // WAL rule: the log records describing this page's
+                // changes must be durable before its image is.
+                self.flush_barrier()?;
                 self.disk.write(&frame.page.read())?;
                 self.metrics.pool.writebacks.inc();
             }
@@ -196,6 +223,9 @@ impl BufferPool {
 
     /// Write every dirty resident page back to the device and sync it.
     pub fn flush_all(&self) -> Result<()> {
+        // One barrier call covers the whole sweep: the log is forced
+        // up to its current tail, which bounds every dirty page here.
+        self.flush_barrier()?;
         let dir = self.dir.lock();
         for (idx, occupant) in dir.resident.iter().enumerate() {
             if occupant.is_none() {
@@ -302,6 +332,36 @@ mod tests {
         let before = p.stats().hits;
         p.with_page(b, |_| ()).unwrap();
         assert_eq!(p.stats().hits, before + 1, "B should have survived via second chance");
+    }
+
+    #[test]
+    fn flush_barrier_runs_before_dirty_writebacks() {
+        use std::sync::atomic::AtomicU64;
+        let p = pool(2);
+        let calls = Arc::new(AtomicU64::new(0));
+        {
+            let calls = Arc::clone(&calls);
+            p.set_flush_barrier(Arc::new(move || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }));
+        }
+        // Dirty both frames, then fault a third page: the eviction's
+        // write-back must have been preceded by a barrier call.
+        let ids: Vec<_> = (0..3).map(|_| p.allocate().unwrap()).collect();
+        for id in &ids[..2] {
+            p.with_page_mut(*id, |pg| {
+                pg.insert(b"dirty").unwrap();
+            })
+            .unwrap();
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 0);
+        p.with_page(ids[2], |_| ()).unwrap();
+        assert_eq!(p.stats().writebacks, 1);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        // flush_all calls it once for the whole sweep.
+        p.flush_all().unwrap();
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
     }
 
     #[test]

@@ -52,6 +52,9 @@ pub struct StorageManager {
     catalog: Mutex<Catalog>,
     /// Page holding the serialized catalog (page 1, slot 0).
     catalog_page: PageId,
+    /// Logged mutations per live transaction — feeds the read-only
+    /// commit fast path (a txn with zero writes has nothing to force).
+    write_ops: Mutex<HashMap<TxnId, u64>>,
 }
 
 impl StorageManager {
@@ -108,6 +111,15 @@ impl StorageManager {
         let metrics = MetricsRegistry::new_shared();
         wal.set_metrics(Arc::clone(&metrics));
         let pool = Arc::new(BufferPool::with_metrics(disk, pool_frames, metrics));
+        // WAL rule: any dirty page write-back (eviction, flush) forces
+        // the log first. The group-commit fast path makes this free
+        // whenever the log is already durable. The force never touches
+        // pool locks, so calling it from under the directory lock is
+        // deadlock-free.
+        {
+            let wal = Arc::clone(&wal);
+            pool.set_flush_barrier(Arc::new(move || wal.force()));
+        }
         let catalog_page = if fresh {
             let pid = pool.allocate()?;
             debug_assert_eq!(pid.raw(), 1);
@@ -125,6 +137,7 @@ impl StorageManager {
                 next_seg: 1,
             }),
             catalog_page,
+            write_ops: Mutex::new(HashMap::new()),
         };
         // For pre-existing databases the catalog is loaded by the caller
         // after recovery ran (see `open`); reading it here would see
@@ -259,11 +272,20 @@ impl StorageManager {
         Ok(())
     }
 
-    /// Commit: append the commit record and force the log (durability
-    /// point). Dirty pages may trickle out later or at checkpoint.
+    /// Commit: append the commit record and force the log up to it —
+    /// the durability point, routed through the group-commit sequencer
+    /// so concurrent committers share one sync. Read-only transactions
+    /// skip the force entirely: losing their unforced commit record in
+    /// a crash leaves a Begin-only loser that recovery discards as a
+    /// no-op. Dirty pages may trickle out later or at checkpoint.
     pub fn commit(&self, txn: TxnId) -> Result<()> {
-        self.wal.append(&WalRecord::Commit { txn })?;
-        self.wal.force()
+        let wrote = self.write_ops.lock().remove(&txn).unwrap_or(0) > 0;
+        let (_, end) = self.wal.append_bounded(&WalRecord::Commit { txn })?;
+        if wrote {
+            self.wal.force_up_to(end)
+        } else {
+            Ok(())
+        }
     }
 
     /// Abort: undo this transaction's logged operations in reverse order,
@@ -290,12 +312,20 @@ impl StorageManager {
                 )
             })
             .collect();
+        // `ops` is scan-derived so crash-restart aborts (where the
+        // write_ops map is empty) still force correctly.
+        let wrote = !ops.is_empty();
+        self.write_ops.lock().remove(&txn);
         let to_undo = ops.len().saturating_sub(undone);
         for (lsn, rec) in ops.into_iter().take(to_undo).rev() {
             self.undo_one(txn, lsn, &rec)?;
         }
-        self.wal.append(&WalRecord::Abort { txn })?;
-        self.wal.force()
+        let (_, end) = self.wal.append_bounded(&WalRecord::Abort { txn })?;
+        if wrote {
+            self.wal.force_up_to(end)
+        } else {
+            Ok(())
+        }
     }
 
     /// Apply the inverse of one logged operation and write its CLR.
@@ -355,6 +385,7 @@ impl StorageManager {
             slot: rid.slot,
             payload: payload.to_vec(),
         })?;
+        *self.write_ops.lock().entry(txn).or_default() += 1;
         if grew {
             let cat = self.catalog.lock();
             self.save_catalog(&cat)?;
@@ -379,6 +410,7 @@ impl StorageManager {
             before,
             after: payload.to_vec(),
         })?;
+        *self.write_ops.lock().entry(txn).or_default() += 1;
         Ok(())
     }
 
@@ -393,6 +425,7 @@ impl StorageManager {
             slot: rid.slot,
             before,
         })?;
+        *self.write_ops.lock().entry(txn).or_default() += 1;
         Ok(())
     }
 
@@ -531,6 +564,35 @@ mod tests {
         }
         s.commit(txn).unwrap();
         assert_eq!(s.scan(seg).unwrap().len(), 10);
+    }
+
+    #[test]
+    fn read_only_commit_skips_the_force() {
+        let s = sm();
+        let seg = s.create_segment("t").unwrap();
+        let w = TxnId::new(1);
+        s.begin(w).unwrap();
+        let rid = s.insert(w, seg, b"row").unwrap();
+        s.commit(w).unwrap();
+        s.metrics().enable();
+        let forces_before = s.metrics().wal.forces.get();
+        // Reads only: no bytes worth a sync.
+        let r = TxnId::new(2);
+        s.begin(r).unwrap();
+        assert_eq!(s.get(seg, rid).unwrap(), b"row");
+        s.commit(r).unwrap();
+        assert_eq!(s.metrics().wal.forces.get(), forces_before);
+        // A writer still pays (exactly one, via the sequencer).
+        let w2 = TxnId::new(3);
+        s.begin(w2).unwrap();
+        s.update(w2, seg, rid, b"row2").unwrap();
+        s.commit(w2).unwrap();
+        assert_eq!(s.metrics().wal.forces.get(), forces_before + 1);
+        // An aborted read-only txn is equally free.
+        let r2 = TxnId::new(4);
+        s.begin(r2).unwrap();
+        s.abort(r2).unwrap();
+        assert_eq!(s.metrics().wal.forces.get(), forces_before + 1);
     }
 
     #[test]

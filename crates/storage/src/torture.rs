@@ -78,6 +78,25 @@ impl Rng {
 /// lost power, so the driver stops exactly there, mimicking a real
 /// client that never gets to issue another call.
 pub fn run_workload(sm: &StorageManager, spec: &WorkloadSpec) -> Result<()> {
+    run_workload_inner(sm, spec, &mut Vec::new())
+}
+
+/// Like [`run_workload`], additionally returning the transactions whose
+/// `commit` call returned `Ok` — the *acknowledged* set. These are the
+/// commits a client was told succeeded, so a crash may never lose them;
+/// conversely a commit the client never saw acknowledged must not
+/// resurface after recovery (the force-crash sweep checks both).
+pub fn run_workload_acked(sm: &StorageManager, spec: &WorkloadSpec) -> (Result<()>, Vec<TxnId>) {
+    let mut acked = Vec::new();
+    let run = run_workload_inner(sm, spec, &mut acked);
+    (run, acked)
+}
+
+fn run_workload_inner(
+    sm: &StorageManager,
+    spec: &WorkloadSpec,
+    acked: &mut Vec<TxnId>,
+) -> Result<()> {
     let mut rng = Rng(spec.seed);
     let seg = sm.create_segment("torture")?;
     let mut live: Vec<RecordId> = Vec::new();
@@ -117,6 +136,7 @@ pub fn run_workload(sm: &StorageManager, spec: &WorkloadSpec) -> Result<()> {
             live.extend(deleted.into_iter().filter(|r| !inserted.contains(r)));
         } else {
             sm.commit(txn)?;
+            acked.push(txn);
         }
         if rng.chance(1, 12) {
             sm.checkpoint(vec![])?;
@@ -315,4 +335,98 @@ pub fn torture_crash_during_recovery(
         expected,
         "crash-during-recovery (frame {n}, recovery append {m}) did not converge"
     );
+}
+
+/// Number of real log syncs the fault-free workload performs — the size
+/// of the force-crash sweep's crash-point space. Counted by the same
+/// implementation the crash runs go through ([`FaultPoint::WalForce`]
+/// fires once per actual sync; fast-path skips don't reach it), so
+/// crash point `k` in `1..=count` lines up exactly.
+pub fn oracle_force_count(spec: &WorkloadSpec) -> Result<u64> {
+    let disk: Arc<dyn StableStorage> = Arc::new(MemDisk::new());
+    let wal = Arc::new(WriteAheadLog::in_memory());
+    let (sm, _) = StorageManager::open_with(disk, wal, spec.pool_frames)?;
+    sm.metrics().enable();
+    run_workload(&sm, spec)?;
+    Ok(sm.metrics().wal.forces.get())
+}
+
+/// Crash the machine at its `k`-th log sync (1-based) — *inside* the
+/// group-commit sequencer, after the leader was elected but before the
+/// device sync happened — then reboot over only the **forced prefix**
+/// of the log ([`WriteAheadLog::durable_image`]): a force-crash loses
+/// the whole buffered tail, which is exactly the window group commit
+/// widens. After recovery:
+///
+/// * every *acknowledged* commit (its `commit` call returned `Ok`) is
+///   fully visible — the group force covering it completed first;
+/// * no unacknowledged commit surfaces — its record was still in the
+///   lost tail;
+/// * recovery is idempotent.
+pub fn torture_force_crash(spec: &WorkloadSpec, k: u64) {
+    let disk = Arc::new(MemDisk::new());
+    let wal = Arc::new(WriteAheadLog::in_memory());
+    wal.set_injector(FaultInjector::new(
+        FaultPlan::new().crash_at(FaultPoint::WalForce, k),
+    ));
+    let (sm, _) = StorageManager::open_with(
+        Arc::clone(&disk) as Arc<dyn StableStorage>,
+        Arc::clone(&wal),
+        spec.pool_frames,
+    )
+    .expect("fresh open cannot fault before the first force");
+    let (run, acked) = run_workload_acked(&sm, spec);
+    assert!(run.is_err(), "crash at force {k} must stop the workload");
+    drop(sm); // pool dies with the machine
+
+    // ---- reboot over the forced prefix only ----
+    let image = wal.durable_image().expect("in-memory image");
+    let durable_records = WriteAheadLog::in_memory_from(image.clone())
+        .scan()
+        .expect("durable prefix scans cleanly");
+
+    // The acked set and the durable winners must be the same set: a
+    // commit is acknowledged exactly when the sync covering its record
+    // returned, so the crashed force's own commit (if any) is in
+    // neither, and every earlier one is in both.
+    let winners: HashSet<TxnId> = durable_records
+        .iter()
+        .filter_map(|(_, r)| match r {
+            WalRecord::Commit { txn } => Some(*txn),
+            _ => None,
+        })
+        .collect();
+    let acked_set: HashSet<TxnId> = acked.iter().copied().collect();
+    let lost: Vec<_> = acked_set.difference(&winners).collect();
+    assert!(
+        lost.is_empty(),
+        "crash at force {k}: acked commits lost from the durable log: {lost:?}"
+    );
+    let phantom: Vec<_> = winners.difference(&acked_set).collect();
+    assert!(
+        phantom.is_empty(),
+        "crash at force {k}: unacked commits durable: {phantom:?}"
+    );
+
+    let revived = Arc::new(WriteAheadLog::in_memory_from(image));
+    let (sm2, _) = StorageManager::open_with(
+        Arc::clone(&disk) as Arc<dyn StableStorage>,
+        revived,
+        spec.pool_frames,
+    )
+    .unwrap_or_else(|e| panic!("recovery after crash at force {k} failed: {e}"));
+    let expected = committed_state(&durable_records);
+    assert_eq!(
+        visible_state(&sm2).unwrap(),
+        expected,
+        "state divergence after crash at force {k}"
+    );
+
+    // Idempotence, as in the frame sweep.
+    let second = recover(&sm2).unwrap();
+    assert!(
+        second.losers.is_empty() && second.undone == 0,
+        "second recovery after crash at force {k} was not a no-op: {second:?}"
+    );
+    assert_eq!(visible_state(&sm2).unwrap(), expected);
 }

@@ -15,8 +15,8 @@
 use reach_common::fault::{FaultInjector, FaultPlan, FaultPoint};
 use reach_common::TxnId;
 use reach_storage::torture::{
-    committed_state, oracle_frames, run_workload, torture_at, torture_crash_during_recovery,
-    visible_state, WorkloadSpec,
+    committed_state, oracle_force_count, oracle_frames, run_workload, torture_at,
+    torture_crash_during_recovery, torture_force_crash, visible_state, WorkloadSpec,
 };
 use reach_storage::{FaultDisk, MemDisk, StableStorage, StorageManager, WriteAheadLog};
 use std::sync::Arc;
@@ -36,6 +36,25 @@ fn crash_sweep_covers_every_wal_frame() {
     );
     for n in 1..=oracle.len() {
         torture_at(&spec, &oracle, n);
+    }
+}
+
+#[test]
+fn force_crash_sweep_never_loses_an_acked_commit() {
+    // Crash at EVERY log sync the workload performs — before the device
+    // sync inside the group-commit sequencer — and reboot over only the
+    // forced log prefix (a force-crash loses the buffered tail). The
+    // acked-commit set must equal the durable winner set at every point:
+    // group commit may batch, widen, and skip syncs, but never move the
+    // durability point past the acknowledgement.
+    let spec = spec();
+    let total = oracle_force_count(&spec).unwrap();
+    assert!(
+        total >= 40,
+        "workload too small to exercise the sequencer: only {total} forces"
+    );
+    for k in 1..=total {
+        torture_force_crash(&spec, k);
     }
 }
 

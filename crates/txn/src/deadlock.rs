@@ -30,6 +30,16 @@ impl WaitsFor {
         }
     }
 
+    /// Replace `waiter`'s outgoing edges with exactly `holders` — the
+    /// *current* conflict set. `add` alone accumulates edges across
+    /// retry passes, leaving phantom edges to holders that already
+    /// released; a later wait by such an ex-holder would then close a
+    /// cycle that does not exist.
+    pub fn set(&mut self, waiter: TxnId, holders: impl IntoIterator<Item = TxnId>) {
+        self.edges.remove(&waiter);
+        self.add(waiter, holders);
+    }
+
     /// Remove all edges out of `waiter` (its request was granted or
     /// cancelled).
     pub fn clear(&mut self, waiter: TxnId) {
@@ -129,6 +139,20 @@ mod tests {
         g.remove(t(1));
         assert!(!g.has_cycle_through(t(2)));
         assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn set_replaces_previous_edges() {
+        let mut g = WaitsFor::new();
+        g.add(t(1), [t(2), t(3)]);
+        g.set(t(1), [t(3)]);
+        // The stale edge to t(2) is gone: t(2) waiting on t(1) is a
+        // chain, not a cycle.
+        g.add(t(2), [t(1)]);
+        assert!(!g.has_cycle_through(t(2)));
+        // The kept edge still participates in real cycles.
+        g.add(t(3), [t(1)]);
+        assert!(g.has_cycle_through(t(3)));
     }
 
     #[test]

@@ -89,6 +89,10 @@ impl LockManager {
     ) -> Result<()> {
         let mut inner = self.inner.lock();
         let mut wait_started: Option<std::time::Instant> = None;
+        // Patience is an absolute deadline, armed at the first blocked
+        // pass: re-arming the full timeout on every wakeup would let a
+        // waiter starved by a hot release/re-acquire loop wait forever.
+        let mut deadline: Option<std::time::Instant> = None;
         let finish_wait = |started: Option<std::time::Instant>| {
             if let Some(t0) = started {
                 self.metrics
@@ -115,7 +119,14 @@ impl LockManager {
                 self.metrics.txn.lock_waits.inc();
                 wait_started = Some(std::time::Instant::now());
             }
-            inner.waits.add(txn, conflicts.iter().copied());
+            // `set`, not `add`: each pass replaces the previous pass's
+            // edges with exactly the current conflict set. Accumulating
+            // instead leaves phantom edges to ex-holders, and only the
+            // release paths' inbound scrubbing (`WaitsFor::remove`)
+            // keeps those from closing false cycles — a single release
+            // path that forgets the scrub turns them into spurious
+            // deadlock aborts.
+            inner.waits.set(txn, conflicts.iter().copied());
             if inner.waits.has_cycle_through(txn) {
                 inner.waits.clear(txn);
                 if self.metrics.on() {
@@ -124,10 +135,8 @@ impl LockManager {
                 finish_wait(wait_started);
                 return Err(ReachError::Deadlock(txn));
             }
-            let timed_out = self
-                .changed
-                .wait_for(&mut inner, self.timeout)
-                .timed_out();
+            let dl = *deadline.get_or_insert_with(|| std::time::Instant::now() + self.timeout);
+            let timed_out = self.changed.wait_until(&mut inner, dl).timed_out();
             if timed_out {
                 inner.waits.clear(txn);
                 finish_wait(wait_started);
@@ -303,6 +312,85 @@ mod tests {
         // Let t1 through by releasing t2.
         lm.release_all(t(2));
         h.join().unwrap().unwrap();
+    }
+
+    /// Guard against phantom deadlocks from stale waits-for edges.
+    /// T2 blocks on o1 while BOTH t1 and t3 hold it in shared mode, so
+    /// its first pass records edges t2→{t1, t3}. Then t1 releases and a
+    /// reincarnated t1 blocks on an object t2 holds. If a stale t2→t1
+    /// edge survived t1's release, t1's new wait would "close" a cycle
+    /// t1→t2→t1 that never existed and abort t1 with a phantom
+    /// deadlock. Two independent mechanisms must both keep that from
+    /// happening — `acquire` re-recording edges with `WaitsFor::set`
+    /// (see `set_replaces_previous_edges` for the graph-level
+    /// regression) and the release paths scrubbing inbound edges — and
+    /// this test pins the end-to-end result: the chain t1→t2→t3 times
+    /// out, it never deadlocks.
+    #[test]
+    fn released_holder_leaves_no_phantom_deadlock() {
+        let lm = Arc::new(LockManager::with_timeout(Duration::from_millis(400)));
+        lm.acquire(t(1), o(1), LockMode::Shared, &[]).unwrap();
+        lm.acquire(t(3), o(1), LockMode::Shared, &[]).unwrap();
+        lm.acquire(t(2), o(2), LockMode::Exclusive, &[]).unwrap();
+        // t2 blocks on o1, recording edges to both holders.
+        let lm2 = Arc::clone(&lm);
+        let h = std::thread::spawn(move || lm2.acquire(t(2), o(1), LockMode::Exclusive, &[]));
+        std::thread::sleep(Duration::from_millis(50));
+        // t1 releases; t2 wakes, re-records its (now smaller) conflict
+        // set {t3}, and keeps waiting.
+        lm.release_all(t(1));
+        std::thread::sleep(Duration::from_millis(50));
+        // A new incarnation of t1 requests o2, held by t2. There is no
+        // cycle: t1→t2→t3 is a chain, so this must time out, not abort
+        // as a phantom Deadlock(t1).
+        let err = lm.acquire(t(1), o(2), LockMode::Exclusive, &[]).unwrap_err();
+        assert_eq!(
+            err,
+            ReachError::LockTimeout(t(1)),
+            "stale waits-for edge produced a phantom deadlock"
+        );
+        // Unwind: t3 releases, t2 gets o1.
+        lm.release_all(t(3));
+        assert!(!matches!(h.join().unwrap(), Err(ReachError::Deadlock(_))));
+    }
+
+    /// Regression for lock-wait patience re-arming on every wakeup:
+    /// under a hot release/re-acquire loop every `notify_all` used to
+    /// restart the full timeout, so a starved waiter never timed out.
+    /// With an absolute deadline it gives up on schedule no matter how
+    /// often it is woken.
+    #[test]
+    fn starved_waiter_times_out_under_churn() {
+        let lm = Arc::new(LockManager::with_timeout(Duration::from_millis(150)));
+        // A permanent shared holder keeps the exclusive request blocked.
+        lm.acquire(t(10), o(1), LockMode::Shared, &[]).unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let mut churners = Vec::new();
+        for i in 0..2u64 {
+            let lm = Arc::clone(&lm);
+            let stop = Arc::clone(&stop);
+            churners.push(std::thread::spawn(move || {
+                let me = t(20 + i);
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    lm.acquire(me, o(1), LockMode::Shared, &[]).unwrap();
+                    std::thread::sleep(Duration::from_millis(2));
+                    lm.release_all(me); // notify_all: wakes the waiter
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            }));
+        }
+        let t0 = std::time::Instant::now();
+        let err = lm.acquire(t(1), o(1), LockMode::Exclusive, &[]).unwrap_err();
+        let waited = t0.elapsed();
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in churners {
+            h.join().unwrap();
+        }
+        assert_eq!(err, ReachError::LockTimeout(t(1)));
+        assert!(
+            waited < Duration::from_secs(2),
+            "patience re-armed under churn: waited {waited:?} for a 150ms timeout"
+        );
     }
 
     #[test]

@@ -413,6 +413,11 @@ impl TransactionManager {
             rec.on_abort.clear();
             std::mem::take(&mut rec.on_commit)
         };
+        // Strict 2PL: locks are released only now, after every resource
+        // manager reported durable — with group commit, after the group
+        // force covering this transaction's commit record returned.
+        // Releasing before that would let a reader see effects that a
+        // crash could still roll back.
         self.locks.release_all(txn);
         self.deps.record(txn, Outcome::Committed);
         self.deps.forget_dependent(txn);
@@ -773,6 +778,55 @@ mod tests {
                 format!("commit {t}"),
             ]
         );
+    }
+
+    /// Locks must still be held while resource managers make the
+    /// transaction durable (with group commit: while the group force is
+    /// in flight) — releasing earlier would expose effects a crash
+    /// could roll back. The probe RM checks from inside `commit_top`.
+    #[test]
+    fn locks_are_held_until_durability_returns() {
+        struct ProbeRm {
+            locks: PMutex<Option<Arc<LockManager>>>,
+            oid: ObjectId,
+            held_during_commit: PMutex<Option<bool>>,
+        }
+        impl ResourceManager for ProbeRm {
+            fn begin_top(&self, _t: TxnId) -> Result<()> {
+                Ok(())
+            }
+            fn savepoint(&self, _t: TxnId) -> Result<u64> {
+                Ok(0)
+            }
+            fn rollback_to(&self, _t: TxnId, _sp: u64) -> Result<()> {
+                Ok(())
+            }
+            fn commit_top(&self, t: TxnId) -> Result<()> {
+                let lm = self.locks.lock().clone().unwrap();
+                *self.held_during_commit.lock() = Some(lm.held_mode(t, self.oid).is_some());
+                Ok(())
+            }
+            fn abort_top(&self, _t: TxnId) -> Result<()> {
+                Ok(())
+            }
+        }
+        let tm = manager();
+        let rm = Arc::new(ProbeRm {
+            locks: PMutex::new(Some(Arc::clone(tm.locks()))),
+            oid: ObjectId::new(9),
+            held_during_commit: PMutex::new(None),
+        });
+        tm.add_resource_manager(Arc::clone(&rm) as Arc<dyn ResourceManager>);
+        let t = tm.begin().unwrap();
+        tm.lock(t, ObjectId::new(9), LockMode::Exclusive).unwrap();
+        tm.commit(t).unwrap();
+        assert_eq!(
+            *rm.held_during_commit.lock(),
+            Some(true),
+            "lock released before the resource manager finished durability"
+        );
+        // And released afterwards.
+        assert_eq!(tm.locks().held_mode(t, ObjectId::new(9)), None);
     }
 
     #[test]

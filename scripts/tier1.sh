@@ -13,4 +13,7 @@ cargo test -q
 echo "== tier-1: crash-point torture smoke (200 ops, every WAL frame) =="
 cargo run --release -p reach-bench --bin exp_torture -- 12648430 200
 
+echo "== tier-1: group-commit smoke (batching + visibility invariants) =="
+cargo run --release -p reach-bench --bin exp_commit -- --smoke
+
 echo "== tier-1: OK =="

@@ -264,6 +264,7 @@ fn parallel_everything_stress() {
         ReachConfig {
             composition: CompositionMode::Parallel,
             strategy: ExecutionStrategy::Parallel,
+            ..ReachConfig::default()
         },
     );
     let ev = sys
