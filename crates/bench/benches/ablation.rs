@@ -38,7 +38,10 @@ fn false_rule_world(rules: usize, subtxn_conditions: bool) -> reach_bench::Senso
 fn bench_condition_first(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_condition_first");
     g.sample_size(20);
-    for (label, subtxn) in [("conditions_as_queries", false), ("conditions_in_subtxn", true)] {
+    for (label, subtxn) in [
+        ("conditions_as_queries", false),
+        ("conditions_in_subtxn", true),
+    ] {
         let w = false_rule_world(10, subtxn);
         let db = std::sync::Arc::clone(&w.db);
         let t = db.begin().unwrap();

@@ -4,13 +4,13 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use reach_bench::sensor_world;
+use reach_common::{EventTypeId, TimePoint, Timestamp, TxnId};
 use reach_core::algebra::{CompositionScope, EventExpr, Lifespan};
 use reach_core::compositor::Compositor;
 use reach_core::consumption::ConsumptionPolicy;
 use reach_core::eca::CompositionMode;
 use reach_core::event::{EventData, EventOccurrence, MethodPhase};
 use reach_core::{CouplingMode, ReachConfig, RuleBuilder};
-use reach_common::{EventTypeId, TimePoint, Timestamp, TxnId};
 use reach_object::Value;
 use std::sync::Arc;
 use std::time::Duration;

@@ -2,9 +2,9 @@
 //! one centrally locked log, under thread contention (§6.3).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reach_common::{EventTypeId, TimePoint, Timestamp, TxnId};
 use reach_core::event::{EventData, EventOccurrence};
 use reach_core::history::{GlobalHistory, LocalHistory};
-use reach_common::{EventTypeId, TimePoint, Timestamp, TxnId};
 use std::sync::Arc;
 
 const PER_THREAD: u64 = 5_000;

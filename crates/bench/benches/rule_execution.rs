@@ -74,12 +74,7 @@ fn bench_couplings(c: &mut Criterion) {
             .define_method_event("ev", w.class, "report", MethodPhase::After)
             .unwrap();
         w.sys
-            .define_rule(
-                RuleBuilder::new("r")
-                    .on(ev)
-                    .coupling(mode)
-                    .then(|_| Ok(())),
-            )
+            .define_rule(RuleBuilder::new("r").on(ev).coupling(mode).then(|_| Ok(())))
             .unwrap();
         let db = std::sync::Arc::clone(&w.db);
         let sys = std::sync::Arc::clone(&w.sys);

@@ -6,7 +6,9 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use open_oodb::Database;
 use reach_common::{PageId, TxnId};
 use reach_object::{Value, ValueType};
-use reach_storage::{BufferPool, HeapFile, MemDisk, Page, StorageManager, WalRecord, WriteAheadLog};
+use reach_storage::{
+    BufferPool, HeapFile, MemDisk, Page, StorageManager, WalRecord, WriteAheadLog,
+};
 use std::sync::Arc;
 
 fn bench_page(c: &mut Criterion) {
@@ -48,9 +50,7 @@ fn bench_heap(c: &mut Criterion) {
     let pool = Arc::new(BufferPool::new(Arc::new(MemDisk::new()), 256));
     let heap = HeapFile::new(Arc::clone(&pool));
     let payload = vec![3u8; 128];
-    g.bench_function("insert_128b", |b| {
-        b.iter(|| heap.insert(&payload).unwrap())
-    });
+    g.bench_function("insert_128b", |b| b.iter(|| heap.insert(&payload).unwrap()));
     let (rid, _) = heap.insert(&payload).unwrap();
     g.bench_function("get_128b", |b| b.iter(|| heap.get(rid).unwrap()));
     g.finish();
@@ -60,7 +60,8 @@ fn bench_buffer_pool(c: &mut Criterion) {
     let mut g = c.benchmark_group("buffer_pool");
     let pool = BufferPool::new(Arc::new(MemDisk::new()), 64);
     let id = pool.allocate().unwrap();
-    pool.with_page_mut(id, |pg| pg.insert(b"x").unwrap()).unwrap();
+    pool.with_page_mut(id, |pg| pg.insert(b"x").unwrap())
+        .unwrap();
     g.bench_function("hit_read", |b| {
         b.iter(|| pool.with_page(id, |pg| pg.live_count()).unwrap())
     });

@@ -40,7 +40,10 @@ impl CaseResult {
 /// One measured case: `threads` committers, `commits_each` short write
 /// transactions per committer, group commit on or off.
 fn run_case(dir: &std::path::Path, threads: usize, commits_each: u64, group: bool) -> CaseResult {
-    let case_dir = dir.join(format!("t{threads}-{}", if group { "group" } else { "base" }));
+    let case_dir = dir.join(format!(
+        "t{threads}-{}",
+        if group { "group" } else { "base" }
+    ));
     std::fs::create_dir_all(&case_dir).expect("case dir");
     let sm = Arc::new(StorageManager::open(&case_dir, 256).expect("open"));
     sm.metrics().enable();

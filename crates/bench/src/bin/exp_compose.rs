@@ -72,7 +72,8 @@ fn throughput(mode: CompositionMode, compositors: usize, events: usize) -> (f64,
     let start = Instant::now();
     let t = db.begin().unwrap();
     for i in 0..events {
-        db.invoke(t, oid, "report", &[Value::Int(i as i64)]).unwrap();
+        db.invoke(t, oid, "report", &[Value::Int(i as i64)])
+            .unwrap();
     }
     // Application-perceived time: the app thread is done here (in
     // parallel mode composition continues on the workers). Commit is
@@ -140,7 +141,10 @@ fn gc_experiment() {
     w2.sys
         .define_composite(
             "windowed",
-            EventExpr::Sequence(vec![EventExpr::Primitive(ev2), EventExpr::Primitive(other2)]),
+            EventExpr::Sequence(vec![
+                EventExpr::Primitive(ev2),
+                EventExpr::Primitive(other2),
+            ]),
             CompositionScope::CrossTransaction,
             Lifespan::Interval(Duration::from_secs(10)),
             ConsumptionPolicy::Continuous,
@@ -148,7 +152,9 @@ fn gc_experiment() {
         .unwrap();
     for i in 0..500 {
         let t = w2.db.begin().unwrap();
-        w2.db.invoke(t, w2.sensors[0], "report", &[Value::Int(i)]).unwrap();
+        w2.db
+            .invoke(t, w2.sensors[0], "report", &[Value::Int(i)])
+            .unwrap();
         w2.db.commit(t).unwrap();
     }
     let live = w2.sys.router().total_live_instances();
@@ -180,7 +186,12 @@ fn main() {
         );
         println!(
             "{:>4} | {:>15.0} {:>15.0} {:>8.2}x | {:>15.0} {:>15.0}",
-            k, sync_app, par_app, par_app / sync_app, sync_total, par_total
+            k,
+            sync_app,
+            par_app,
+            par_app / sync_app,
+            sync_total,
+            par_total
         );
     }
     gc_experiment();

@@ -9,11 +9,11 @@
 //! cargo run --release -p reach-bench --bin exp_consumption
 //! ```
 
+use reach_common::{EventTypeId, TimePoint, Timestamp, TxnId};
 use reach_core::algebra::{CompositionScope, EventExpr, Lifespan};
 use reach_core::compositor::Compositor;
 use reach_core::consumption::ConsumptionPolicy;
 use reach_core::event::{EventData, EventOccurrence};
-use reach_common::{EventTypeId, TimePoint, Timestamp, TxnId};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -41,12 +41,24 @@ fn label(seq: u64) -> &'static str {
 fn main() {
     println!("E8: event consumption policies (§3.4)");
     println!("composing E3 = (E1 ; E2); arrivals: e1, e1', e2\n");
-    println!("{:<12} {:<28} paper's context", "policy", "firings (constituents)");
+    println!(
+        "{:<12} {:<28} paper's context",
+        "policy", "firings (constituents)"
+    );
     println!("{}", "-".repeat(78));
     let notes = [
-        (ConsumptionPolicy::Recent, "sensor monitoring: most recent e1 wins"),
-        (ConsumptionPolicy::Chronicle, "workflow: chronological consumption"),
-        (ConsumptionPolicy::Continuous, "finance: each e1 opens a window"),
+        (
+            ConsumptionPolicy::Recent,
+            "sensor monitoring: most recent e1 wins",
+        ),
+        (
+            ConsumptionPolicy::Chronicle,
+            "workflow: chronological consumption",
+        ),
+        (
+            ConsumptionPolicy::Continuous,
+            "finance: each e1 opens a window",
+        ),
         (ConsumptionPolicy::Cumulative, "all occurrences folded in"),
     ];
     for (policy, note) in notes {
@@ -81,7 +93,10 @@ fn main() {
     // ---- throughput: well-matched stream (e1 e2 e1 e2 ...) ----
     const N: u64 = 200_000;
     println!("\nthroughput (matched 1:1 stream of {N} events):");
-    println!("{:<12} {:>14} {:>12} {:>16}", "policy", "events/s", "firings", "live instances");
+    println!(
+        "{:<12} {:>14} {:>12} {:>16}",
+        "policy", "events/s", "firings", "live instances"
+    );
     println!("{}", "-".repeat(58));
     for policy in ConsumptionPolicy::ALL {
         let comp = Compositor::new(
@@ -111,7 +126,10 @@ fn main() {
     // ---- degradation: initiator-heavy stream (3×e1 per e2) ----
     const M: u64 = 40_000;
     println!("\ndegradation (initiator-heavy 3:1 stream of {M} events):");
-    println!("{:<12} {:>14} {:>12} {:>16}", "policy", "events/s", "firings", "live instances");
+    println!(
+        "{:<12} {:>14} {:>12} {:>16}",
+        "policy", "events/s", "firings", "live instances"
+    );
     println!("{}", "-".repeat(58));
     for policy in ConsumptionPolicy::ALL {
         let comp = Compositor::new(

@@ -10,9 +10,9 @@
 //! cargo run --release -p reach-bench --bin exp_history
 //! ```
 
+use reach_common::{EventTypeId, TimePoint, Timestamp, TxnId};
 use reach_core::event::{EventData, EventOccurrence};
 use reach_core::history::{GlobalHistory, LocalHistory};
-use reach_common::{EventTypeId, TimePoint, Timestamp, TxnId};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -88,10 +88,11 @@ fn main() {
         "threads", "distributed (ev/s)", "centralized (ev/s)", "ratio"
     );
     println!("{}", "-".repeat(62));
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let best = |f: &dyn Fn(usize) -> f64, t: usize| -> f64 {
-        (0..5).map(|_| f(t)).fold(0.0f64, f64::max)
-    };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let best =
+        |f: &dyn Fn(usize) -> f64, t: usize| -> f64 { (0..5).map(|_| f(t)).fold(0.0f64, f64::max) };
     for &threads in &[1usize, 2, 4, 8] {
         let d = best(&run_distributed, threads);
         let c = best(&run_centralized, threads);

@@ -105,10 +105,7 @@ fn state_change_comparison() {
         // Integrated: a state event + rule; detection is part of the write.
         let integrated_ns = {
             let w = sensor_world(watched, ReachConfig::default()).unwrap();
-            let ev = w
-                .sys
-                .define_state_event("sc", w.class, "value")
-                .unwrap();
+            let ev = w.sys.define_state_event("sc", w.class, "value").unwrap();
             w.sys
                 .define_rule(
                     RuleBuilder::new("r")
@@ -176,9 +173,18 @@ fn main() {
     let i_ns = integrated_method_event();
     let l_ns = layered_method_event();
     println!("method-event detection + immediate rule ({ITERS} calls):");
-    println!("  integrated (dispatcher sentry):      {:>12}", fmt_ns(i_ns));
-    println!("  layered (wrapper subclass):          {:>12}", fmt_ns(l_ns));
-    println!("  layered / integrated:                {:>11.2}x", l_ns / i_ns);
+    println!(
+        "  integrated (dispatcher sentry):      {:>12}",
+        fmt_ns(i_ns)
+    );
+    println!(
+        "  layered (wrapper subclass):          {:>12}",
+        fmt_ns(l_ns)
+    );
+    println!(
+        "  layered / integrated:                {:>11.2}x",
+        l_ns / i_ns
+    );
     state_change_comparison();
     println!("\ncapability matrix (§4):");
     println!("{:<44} {:>8} {:>11}", "feature", "layered", "integrated");

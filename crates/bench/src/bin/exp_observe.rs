@@ -108,8 +108,7 @@ fn run_workload(events: usize, enable_metrics: bool) -> (reach_bench::SensorWorl
     for batch in stream.chunks(100) {
         let t = w.db.begin().unwrap();
         for r in batch {
-            w.db
-                .invoke(t, w.sensors[r.sensor], "report", &[Value::Int(r.value)])
+            w.db.invoke(t, w.sensors[r.sensor], "report", &[Value::Int(r.value)])
                 .unwrap();
         }
         w.db.commit(t).unwrap();

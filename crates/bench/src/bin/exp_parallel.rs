@@ -58,7 +58,9 @@ fn main() {
         "rules", "cost µs", "serial", "parallel", "speedup"
     );
     println!("{}", "-".repeat(58));
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     for &rules in &[1usize, 2, 4, 8, 16] {
         for &cost in &[0u64, 50, 200, 1000] {
             let serial = run_case(rules, cost, ExecutionStrategy::Serial);

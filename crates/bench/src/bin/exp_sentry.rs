@@ -56,7 +56,11 @@ fn main() {
             db.invoke(t, oid, "noop", &[]).unwrap();
         });
         db.commit(t).unwrap();
-        println!("{:<44} {:>12}", "unmonitored (no sentries registered)", fmt_ns(ns));
+        println!(
+            "{:<44} {:>12}",
+            "unmonitored (no sentries registered)",
+            fmt_ns(ns)
+        );
     }
     // (b) Potentially useful: another method is monitored; this one not.
     {
@@ -99,10 +103,19 @@ fn main() {
 
     // ---- mechanism comparison (§6.2's survey) ----
     println!("\nmechanism comparison (method call through each sentry):");
-    println!("{:<22} {:>10} {:>10} {:>12} {:>12}", "mechanism", "idle", "active",
-             "traps state", "transparent");
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>12}",
+        "mechanism", "idle", "active", "traps state", "transparent"
+    );
     println!("{}", "-".repeat(70));
-    type Setup = Box<dyn Fn(&SentryWorld, reach_common::ClassId, reach_common::MethodId, reach_common::ObjectId) -> (Box<dyn SentryMechanism>, reach_common::ObjectId)>;
+    type Setup = Box<
+        dyn Fn(
+            &SentryWorld,
+            reach_common::ClassId,
+            reach_common::MethodId,
+            reach_common::ObjectId,
+        ) -> (Box<dyn SentryMechanism>, reach_common::ObjectId),
+    >;
     let mechanisms: Vec<(&str, Setup)> = vec![
         (
             "inline-wrapper",
@@ -177,7 +190,10 @@ fn main() {
         // Idle cost (mechanism present, this target not wired yet) uses a
         // second object that is never monitored/wrapped.
         let (mech, target) = setup(&world, class, mid, oid);
-        let idle_obj = world.space.create(reach_common::TxnId::NULL, class).unwrap();
+        let idle_obj = world
+            .space
+            .create(reach_common::TxnId::NULL, class)
+            .unwrap();
         let idle_ns = time_per_op(ITERS, || {
             mech.invoke(reach_common::TxnId::NULL, idle_obj, "touch", &[])
                 .unwrap();
@@ -191,7 +207,11 @@ fn main() {
             name,
             fmt_ns(idle_ns),
             fmt_ns(active_ns),
-            if mech.traps_state_access() { "yes" } else { "NO" },
+            if mech.traps_state_access() {
+                "yes"
+            } else {
+                "NO"
+            },
             if mech.transparent() { "yes" } else { "NO" },
         );
     }

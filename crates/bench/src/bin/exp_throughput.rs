@@ -10,8 +10,8 @@
 //! cargo run --release -p reach-bench --bin exp_throughput
 //! ```
 
-use reach_bench::workload::sensor_stream;
 use reach_bench::sensor_world;
+use reach_bench::workload::sensor_stream;
 use reach_core::event::MethodPhase;
 use reach_core::{
     CompositionScope, ConsumptionPolicy, Correlation, CouplingMode, EventExpr, Lifespan,

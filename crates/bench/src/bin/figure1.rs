@@ -16,10 +16,7 @@ fn main() {
         println!("{line}");
     }
     println!("{}", "=".repeat(56));
-    println!(
-        "dimensions plugged: {:?}",
-        db.meta().dimensions()
-    );
+    println!("dimensions plugged: {:?}", db.meta().dimensions());
     println!(
         "\nExtender modules (the REACH active layer) plug in exactly like\n\
          the PMs above: `ReachSystem::new(db, ..)` registers its event\n\

@@ -54,8 +54,10 @@ fn main() {
     sys.router().trace.enable();
     let db = sys.db();
     let t = db.begin().unwrap();
-    db.invoke(t, w.sensors[0], "report", &[Value::Int(1)]).unwrap();
-    db.invoke(t, w.sensors[0], "report", &[Value::Int(2)]).unwrap();
+    db.invoke(t, w.sensors[0], "report", &[Value::Int(1)])
+        .unwrap();
+    db.invoke(t, w.sensors[0], "report", &[Value::Int(2)])
+        .unwrap();
     db.commit(t).unwrap();
 
     println!("Figure 2: ECA-oriented architecture — message flow trace");

@@ -15,7 +15,7 @@ use reach_bench::sensor_world;
 use reach_common::TimePoint;
 use reach_core::event::MethodPhase;
 use reach_core::{
-    coupling, CompositionScope, ConsumptionPolicy, CouplingMode, EventExpr, EventCategory,
+    coupling, CompositionScope, ConsumptionPolicy, CouplingMode, EventCategory, EventExpr,
     Lifespan, ReachConfig, RuleBuilder,
 };
 use std::time::Duration;
@@ -96,15 +96,21 @@ fn main() {
             // Annotate exactly like the paper's table.
             let cell = match (category, mode, runtime) {
                 (EventCategory::CompositeSingleTx, CouplingMode::Immediate, false) => "(N)",
-                (EventCategory::CompositeMultiTx, CouplingMode::ParallelCausallyDependent, true)
+                (
+                    EventCategory::CompositeMultiTx,
+                    CouplingMode::ParallelCausallyDependent,
+                    true,
+                )
                 | (
                     EventCategory::CompositeMultiTx,
                     CouplingMode::SequentialCausallyDependent,
                     true,
                 ) => "Y (all commit)",
-                (EventCategory::CompositeMultiTx, CouplingMode::ExclusiveCausallyDependent, true) => {
-                    "Y (all abort)"
-                }
+                (
+                    EventCategory::CompositeMultiTx,
+                    CouplingMode::ExclusiveCausallyDependent,
+                    true,
+                ) => "Y (all abort)",
                 (_, _, true) => "Y",
                 (_, _, false) => "N",
             };

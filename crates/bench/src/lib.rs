@@ -64,7 +64,9 @@ pub fn busy_work(micros: u64) {
     let mut x = 0u64;
     while start.elapsed() < target {
         for _ in 0..64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
         }
         std::hint::black_box(x);
     }
@@ -98,7 +100,8 @@ mod tests {
     fn world_builds_and_reports() {
         let w = sensor_world(4, ReachConfig::default()).unwrap();
         let t = w.db.begin().unwrap();
-        w.db.invoke(t, w.sensors[0], "report", &[Value::Int(9)]).unwrap();
+        w.db.invoke(t, w.sensors[0], "report", &[Value::Int(9)])
+            .unwrap();
         assert_eq!(
             w.db.get_attr(t, w.sensors[0], "value").unwrap(),
             Value::Int(9)

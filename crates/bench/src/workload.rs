@@ -23,12 +23,7 @@ pub struct Reading {
 
 /// A reproducible stream of sensor readings where roughly
 /// `anomaly_pct` percent exceed the anomaly threshold.
-pub fn sensor_stream(
-    seed: u64,
-    sensors: usize,
-    len: usize,
-    anomaly_pct: u32,
-) -> Vec<Reading> {
+pub fn sensor_stream(seed: u64, sensors: usize, len: usize, anomaly_pct: u32) -> Vec<Reading> {
     assert!(sensors > 0);
     let mut rng = StdRng::seed_from_u64(seed);
     (0..len)
@@ -88,11 +83,15 @@ mod tests {
         let b = sensor_stream(42, 4, 10_000, 10);
         assert_eq!(a, b, "same seed, same stream");
         let anomalies = a.iter().filter(|r| r.anomalous).count();
-        assert!((800..1200).contains(&anomalies), "≈10% anomalies, got {anomalies}");
+        assert!(
+            (800..1200).contains(&anomalies),
+            "≈10% anomalies, got {anomalies}"
+        );
         assert!(a.iter().all(|r| r.sensor < 4));
-        assert!(a
-            .iter()
-            .all(|r| r.anomalous == (r.value >= 1_000)), "threshold consistent");
+        assert!(
+            a.iter().all(|r| r.anomalous == (r.value >= 1_000)),
+            "threshold consistent"
+        );
     }
 
     #[test]
@@ -108,7 +107,7 @@ mod tests {
     fn workflow_steps_respect_per_case_order() {
         let steps = workflow_steps(3, 5, 4);
         assert_eq!(steps.len(), 20);
-        let mut seen = vec![0usize; 5];
+        let mut seen = [0usize; 5];
         for (case, step) in steps {
             assert_eq!(step, seen[case], "steps of one case are in order");
             seen[case] += 1;

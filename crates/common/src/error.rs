@@ -192,9 +192,7 @@ impl ReachError {
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            ReachError::Deadlock(_)
-                | ReachError::LockTimeout(_)
-                | ReachError::BufferPoolExhausted
+            ReachError::Deadlock(_) | ReachError::LockTimeout(_) | ReachError::BufferPoolExhausted
         )
     }
 }

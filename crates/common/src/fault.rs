@@ -36,17 +36,20 @@ pub enum FaultPoint {
     WalAppend,
     /// `WriteAheadLog::force` (the commit durability point).
     WalForce,
+    /// `WriteAheadLog::truncate_prefix` (checkpoint log truncation).
+    WalTruncate,
     /// `StableStorage::sync`.
     Sync,
 }
 
 impl FaultPoint {
     /// All points, in counter-index order.
-    pub const ALL: [FaultPoint; 5] = [
+    pub const ALL: [FaultPoint; 6] = [
         FaultPoint::PageRead,
         FaultPoint::PageWrite,
         FaultPoint::WalAppend,
         FaultPoint::WalForce,
+        FaultPoint::WalTruncate,
         FaultPoint::Sync,
     ];
 
@@ -57,6 +60,7 @@ impl FaultPoint {
             FaultPoint::PageWrite => "page_write",
             FaultPoint::WalAppend => "wal_append",
             FaultPoint::WalForce => "wal_force",
+            FaultPoint::WalTruncate => "wal_truncate",
             FaultPoint::Sync => "sync",
         }
     }
@@ -67,7 +71,8 @@ impl FaultPoint {
             FaultPoint::PageWrite => 1,
             FaultPoint::WalAppend => 2,
             FaultPoint::WalForce => 3,
-            FaultPoint::Sync => 4,
+            FaultPoint::WalTruncate => 4,
+            FaultPoint::Sync => 5,
         }
     }
 
@@ -156,7 +161,7 @@ impl FaultPlan {
         let mut rng = SplitMix64::new(seed);
         let mut plan = FaultPlan::new();
         for _ in 0..faults {
-            let point = FaultPoint::ALL[(rng.next() % 5) as usize];
+            let point = FaultPoint::ALL[(rng.next() % FaultPoint::ALL.len() as u64) as usize];
             let nth = 1 + rng.next() % horizon.max(1);
             plan = plan.fail_at(point, nth);
         }
@@ -190,7 +195,7 @@ pub enum WriteOutcome {
 #[derive(Debug)]
 pub struct FaultInjector {
     plan: FaultPlan,
-    counts: [AtomicU64; 5],
+    counts: [AtomicU64; 6],
     injected: AtomicU64,
     crashed: AtomicBool,
 }

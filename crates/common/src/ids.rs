@@ -91,17 +91,7 @@ define_id!(
 
 /// Monotonic logical timestamp used to order event occurrences and to
 /// implement the oldest-/newest-rule-first tie-break policies of §6.4.
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Timestamp(pub u64);
 
 impl Timestamp {

@@ -188,11 +188,7 @@ impl HistogramSnapshot {
 
     /// Arithmetic mean in nanoseconds (0 when empty).
     pub fn mean_ns(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum_ns / self.count
-        }
+        self.sum_ns.checked_div(self.count).unwrap_or(0)
     }
 
     /// Approximate quantile (`0.0..=1.0`) as the upper bound of the

@@ -299,6 +299,22 @@ pub struct RecoveryMetrics {
     pub undone: Counter,
     /// Trailing torn-tail bytes discarded by the scan.
     pub salvaged_bytes: Counter,
+    /// Bytes of surviving log the analysis pass had to read. Bounded by
+    /// checkpoint truncation; grows linearly without it (E17).
+    pub scan_bytes: Counter,
+}
+
+/// Checkpoint/truncation counters (recorded by `reach-storage`'s
+/// checkpointer; ungated — cheap, always wanted, and read by the
+/// torture harness without enabling the registry).
+#[derive(Default)]
+pub struct CheckpointMetrics {
+    /// Complete Begin/End checkpoint pairs written.
+    pub taken: Counter,
+    /// Truncations that actually dropped a log prefix.
+    pub truncations: Counter,
+    /// Total log bytes dropped by truncation.
+    pub truncated_bytes: Counter,
 }
 
 /// The shared observability registry.
@@ -325,6 +341,8 @@ pub struct MetricsRegistry {
     pub events: EventMetrics,
     /// Recovery figures (written once per reboot).
     pub recovery: RecoveryMetrics,
+    /// Checkpoint/truncation counters (ungated).
+    pub ckpt: CheckpointMetrics,
 }
 
 impl Default for MetricsRegistry {
@@ -353,6 +371,7 @@ impl MetricsRegistry {
             engine: EngineMetrics::default(),
             events: EventMetrics::default(),
             recovery: RecoveryMetrics::default(),
+            ckpt: CheckpointMetrics::default(),
         }
     }
 
@@ -479,6 +498,10 @@ impl MetricsRegistry {
             recovery_losers: self.recovery.losers.get(),
             recovery_undone: self.recovery.undone.get(),
             recovery_salvaged_bytes: self.recovery.salvaged_bytes.get(),
+            recovery_scan_bytes: self.recovery.scan_bytes.get(),
+            ckpt_taken: self.ckpt.taken.get(),
+            ckpt_truncations: self.ckpt.truncations.get(),
+            ckpt_truncated_bytes: self.ckpt.truncated_bytes.get(),
         }
     }
 
@@ -549,6 +572,10 @@ pub struct MetricsSnapshot {
     pub recovery_losers: u64,
     pub recovery_undone: u64,
     pub recovery_salvaged_bytes: u64,
+    pub recovery_scan_bytes: u64,
+    pub ckpt_taken: u64,
+    pub ckpt_truncations: u64,
+    pub ckpt_truncated_bytes: u64,
 }
 
 impl MetricsSnapshot {
@@ -643,12 +670,18 @@ impl MetricsSnapshot {
         );
         let _ = writeln!(
             out,
-            "recovery: scanned {}  redone {}  losers {}  undone {}  salvaged bytes {}",
+            "recovery: scanned {} ({} bytes)  redone {}  losers {}  undone {}  salvaged bytes {}",
             self.recovery_records_scanned,
+            self.recovery_scan_bytes,
             self.recovery_redone,
             self.recovery_losers,
             self.recovery_undone,
             self.recovery_salvaged_bytes,
+        );
+        let _ = writeln!(
+            out,
+            "checkpoints: taken {}  truncations {}  truncated bytes {}",
+            self.ckpt_taken, self.ckpt_truncations, self.ckpt_truncated_bytes,
         );
         out
     }

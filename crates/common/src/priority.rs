@@ -7,17 +7,7 @@
 use std::fmt;
 
 /// A rule priority. Default is 0 (lowest).
-#[derive(
-    Debug,
-    Clone,
-    Copy,
-    PartialEq,
-    Eq,
-    PartialOrd,
-    Ord,
-    Hash,
-    Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Priority(pub i32);
 
 impl Priority {

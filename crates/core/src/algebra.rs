@@ -171,8 +171,7 @@ pub fn validate_composite(
     match (scope, lifespan) {
         (CompositionScope::CrossTransaction, Lifespan::Transaction) => {
             Err(ReachError::IllegalEventDefinition(
-                "composite events spanning transactions require a validity interval (§3.3)"
-                    .into(),
+                "composite events spanning transactions require a validity interval (§3.3)".into(),
             ))
         }
         _ => Ok(()),
@@ -196,7 +195,11 @@ mod tests {
         ]);
         assert_eq!(
             expr.referenced_types(),
-            vec![EventTypeId::new(1), EventTypeId::new(2), EventTypeId::new(3)]
+            vec![
+                EventTypeId::new(1),
+                EventTypeId::new(2),
+                EventTypeId::new(3)
+            ]
         );
     }
 
@@ -204,8 +207,10 @@ mod tests {
     fn window_operator_detection() {
         assert!(!e(1).has_window_operator());
         assert!(EventExpr::Negation(Box::new(e(1))).has_window_operator());
-        assert!(EventExpr::Sequence(vec![e(1), EventExpr::Closure(Box::new(e(2)))])
-            .has_window_operator());
+        assert!(
+            EventExpr::Sequence(vec![e(1), EventExpr::Closure(Box::new(e(2)))])
+                .has_window_operator()
+        );
         assert!(!EventExpr::History {
             expr: Box::new(e(1)),
             count: 3

@@ -294,7 +294,9 @@ impl Node {
             Node::Prim { matched, .. } => !matched.is_empty(),
             Node::Seq { parts, pos } => {
                 // Remaining parts must all be satisfiable-by-absence.
-                parts[..*pos].iter().all(|p| p.complete() || p.complete_at_close())
+                parts[..*pos]
+                    .iter()
+                    .all(|p| p.complete() || p.complete_at_close())
                     && parts[*pos..].iter().all(|p| p.complete_at_close())
             }
             Node::Conj { parts } => parts.iter().all(|p| p.complete() || p.complete_at_close()),
@@ -589,7 +591,10 @@ impl Compositor {
                     survivors.drain(..excess); // discard oldest windows
                     if obs {
                         self.metrics.events.instances_discarded.add(excess as u64);
-                        self.metrics.events.instances_pressure_gcd.add(excess as u64);
+                        self.metrics
+                            .events
+                            .instances_pressure_gcd
+                            .add(excess as u64);
                     }
                 }
                 *pool = survivors;
@@ -804,7 +809,10 @@ mod tests {
         // chronicle: uses the chronologically first e1 (seq 1).
         assert_eq!(run(ConsumptionPolicy::Chronicle), vec![vec![1, 3]]);
         // continuous: both open windows complete on e2.
-        assert_eq!(run(ConsumptionPolicy::Continuous), vec![vec![1, 3], vec![2, 3]]);
+        assert_eq!(
+            run(ConsumptionPolicy::Continuous),
+            vec![vec![1, 3], vec![2, 3]]
+        );
         // cumulative: all occurrences folded in.
         assert_eq!(run(ConsumptionPolicy::Cumulative), vec![vec![1, 2, 3]]);
     }

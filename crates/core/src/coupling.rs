@@ -165,18 +165,42 @@ mod tests {
 
     #[test]
     fn table1_row_immediate() {
-        assert!(supported(EventCategory::SingleMethod, CouplingMode::Immediate));
-        assert!(!supported(EventCategory::PurelyTemporal, CouplingMode::Immediate));
-        assert!(!supported(EventCategory::CompositeSingleTx, CouplingMode::Immediate));
-        assert!(!supported(EventCategory::CompositeMultiTx, CouplingMode::Immediate));
+        assert!(supported(
+            EventCategory::SingleMethod,
+            CouplingMode::Immediate
+        ));
+        assert!(!supported(
+            EventCategory::PurelyTemporal,
+            CouplingMode::Immediate
+        ));
+        assert!(!supported(
+            EventCategory::CompositeSingleTx,
+            CouplingMode::Immediate
+        ));
+        assert!(!supported(
+            EventCategory::CompositeMultiTx,
+            CouplingMode::Immediate
+        ));
     }
 
     #[test]
     fn table1_row_deferred() {
-        assert!(supported(EventCategory::SingleMethod, CouplingMode::Deferred));
-        assert!(!supported(EventCategory::PurelyTemporal, CouplingMode::Deferred));
-        assert!(supported(EventCategory::CompositeSingleTx, CouplingMode::Deferred));
-        assert!(!supported(EventCategory::CompositeMultiTx, CouplingMode::Deferred));
+        assert!(supported(
+            EventCategory::SingleMethod,
+            CouplingMode::Deferred
+        ));
+        assert!(!supported(
+            EventCategory::PurelyTemporal,
+            CouplingMode::Deferred
+        ));
+        assert!(supported(
+            EventCategory::CompositeSingleTx,
+            CouplingMode::Deferred
+        ));
+        assert!(!supported(
+            EventCategory::CompositeMultiTx,
+            CouplingMode::Deferred
+        ));
     }
 
     #[test]

@@ -277,7 +277,11 @@ impl Router {
                         .push(id);
                 }
                 PrimitiveEvent::Persist { class } => {
-                    self.persist_index.write().entry(*class).or_default().push(id);
+                    self.persist_index
+                        .write()
+                        .entry(*class)
+                        .or_default()
+                        .push(id);
                 }
                 PrimitiveEvent::Flow { point } => {
                     self.flow_index.write().entry(*point).or_default().push(id);
@@ -669,8 +673,12 @@ impl Router {
         if t0.is_some() {
             self.metrics.events.detected.inc();
         }
-        self.trace
-            .log(|| format!("ECA-manager[{}] creates Event object (seq {})", mgr.name, occ.seq));
+        self.trace.log(|| {
+            format!(
+                "ECA-manager[{}] creates Event object (seq {})",
+                mgr.name, occ.seq
+            )
+        });
         mgr.history.record(Arc::clone(&occ));
         for obs in self.observers.read().iter() {
             obs(&occ);
@@ -764,10 +772,7 @@ impl Router {
         // transaction; cross-transaction composites belong to none.
         let (txn, top) = match scope {
             crate::algebra::CompositionScope::SameTransaction => {
-                let top = completion
-                    .constituents
-                    .iter()
-                    .find_map(|c| c.top_txn);
+                let top = completion.constituents.iter().find_map(|c| c.top_txn);
                 (top, top)
             }
             crate::algebra::CompositionScope::CrossTransaction => (None, None),

@@ -331,12 +331,9 @@ impl Engine {
                         CouplingMode::Deferred => {
                             self.enqueue_deferred(Arc::clone(rule), Arc::clone(occ), true)
                         }
-                        mode => self.spawn_detached_inner(
-                            Arc::clone(rule),
-                            Arc::clone(occ),
-                            mode,
-                            true,
-                        ),
+                        mode => {
+                            self.spawn_detached_inner(Arc::clone(rule), Arc::clone(occ), mode, true)
+                        }
                     }
                     Ok(true)
                 }
@@ -566,19 +563,28 @@ impl Engine {
         self.enqueue_deferred(rule, occ, false);
     }
 
-    fn enqueue_deferred(self: &Arc<Self>, rule: Arc<Rule>, occ: Arc<EventOccurrence>, action_only: bool) {
+    fn enqueue_deferred(
+        self: &Arc<Self>,
+        rule: Arc<Rule>,
+        occ: Arc<EventOccurrence>,
+        action_only: bool,
+    ) {
         let Some(top) = occ.top_txn else {
             self.metrics.engine.failures.inc();
             return;
         };
-        self.deferred.lock().entry(top).or_default().push((rule, occ, action_only));
+        self.deferred
+            .lock()
+            .entry(top)
+            .or_default()
+            .push((rule, occ, action_only));
         let mut hooked = self.hooked.lock();
         if hooked.insert(top) {
             let engine = Arc::clone(self);
-            let res = self.db.txn_manager().defer(
-                top,
-                Box::new(move || engine.drain_deferred(top)),
-            );
+            let res = self
+                .db
+                .txn_manager()
+                .defer(top, Box::new(move || engine.drain_deferred(top)));
             if res.is_err() {
                 hooked.remove(&top);
                 self.deferred.lock().remove(&top);
@@ -715,10 +721,7 @@ impl Engine {
                         if tm.is_active(*o) {
                             let locks = Arc::clone(tm.locks());
                             let from = *o;
-                            let _ = tm.on_abort(
-                                *o,
-                                Box::new(move || locks.transfer(from, txn)),
-                            );
+                            let _ = tm.on_abort(*o, Box::new(move || locks.transfer(from, txn)));
                         }
                     }
                     Some(txn)
@@ -734,7 +737,14 @@ impl Engine {
         *self.inflight.lock() += 1;
         let engine = Arc::clone(self);
         std::thread::spawn(move || {
-            engine.run_detached(rule, occ, mode, origins, rule_txn_for_exclusive, action_only);
+            engine.run_detached(
+                rule,
+                occ,
+                mode,
+                origins,
+                rule_txn_for_exclusive,
+                action_only,
+            );
             let mut n = engine.inflight.lock();
             *n -= 1;
             if *n == 0 {

@@ -58,7 +58,10 @@ pub enum PrimitiveEvent {
     /// Every `period`, starting at `first`.
     TemporalPeriodic { first: TimePoint, period: Duration },
     /// `delay` after each occurrence of another event type.
-    TemporalRelative { anchor: EventTypeId, delay: Duration },
+    TemporalRelative {
+        anchor: EventTypeId,
+        delay: Duration,
+    },
     /// An explicit application signal, by name.
     UserSignal { name: String },
 }

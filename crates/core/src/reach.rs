@@ -16,9 +16,7 @@ use crate::eca::{CompositionMode, EcaManager, Router};
 use crate::engine::{
     DeadLetter, Engine, EngineHandler, ExecutionStrategy, RetryPolicy, StatsSnapshot, TieBreak,
 };
-use crate::event::{
-    CompositeSpec, EventSpec, FlowPoint, MethodPhase, PrimitiveEvent,
-};
+use crate::event::{CompositeSpec, EventSpec, FlowPoint, MethodPhase, PrimitiveEvent};
 use crate::history::GlobalHistory;
 use crate::rule::{Rule, RuleBuilder};
 use crate::temporal::TemporalManager;
@@ -50,6 +48,10 @@ pub struct ReachConfig {
     /// Leader batching window for group commit; `None` keeps the WAL's
     /// default (~100µs on file-backed logs).
     pub group_window: Option<Duration>,
+    /// Automatic fuzzy checkpoint every this many bytes of WAL growth
+    /// (checked after each commit/abort); `None` leaves checkpoints to
+    /// explicit [`ReachSystem::checkpoint`] calls.
+    pub checkpoint_bytes: Option<u64>,
 }
 
 impl Default for ReachConfig {
@@ -59,6 +61,7 @@ impl Default for ReachConfig {
             strategy: ExecutionStrategy::Serial,
             group_commit: true,
             group_window: None,
+            checkpoint_bytes: None,
         }
     }
 }
@@ -92,13 +95,14 @@ pub struct ReachSystem {
 impl ReachSystem {
     /// Build a REACH system over a database.
     pub fn new(db: Arc<Database>, config: ReachConfig) -> Arc<Self> {
-        let router =
-            Router::with_metrics(Arc::clone(db.schema()), Arc::clone(db.metrics()));
+        let router = Router::with_metrics(Arc::clone(db.schema()), Arc::clone(db.metrics()));
         router.set_mode(config.composition);
         db.storage().wal().set_group_commit(config.group_commit);
         if let Some(window) = config.group_window {
             db.storage().wal().set_group_window(window);
         }
+        db.storage()
+            .set_checkpoint_threshold(config.checkpoint_bytes);
         let engine = Engine::new(Arc::clone(&db));
         engine.set_strategy(config.strategy);
         router.set_handler(Arc::new(EngineHandler(Arc::clone(&engine))));
@@ -130,20 +134,21 @@ impl ReachSystem {
         {
             // The `persist` DB-internal event (§3.1).
             let weak = Arc::downgrade(&system);
-            db.persistence_pm().add_persist_hook(Arc::new(move |txn, oid| {
-                let Some(sys) = weak.upgrade() else { return };
-                if txn.is_null() {
-                    return;
-                }
-                let Ok(top) = sys.db.txn_manager().top_of(txn) else {
-                    return;
-                };
-                let Ok(class) = sys.db.space().class_of(oid) else {
-                    return;
-                };
-                sys.router
-                    .raise_persist(txn, top, sys.db.clock().now(), oid, class);
-            }));
+            db.persistence_pm()
+                .add_persist_hook(Arc::new(move |txn, oid| {
+                    let Some(sys) = weak.upgrade() else { return };
+                    if txn.is_null() {
+                        return;
+                    }
+                    let Ok(top) = sys.db.txn_manager().top_of(txn) else {
+                        return;
+                    };
+                    let Ok(class) = sys.db.space().class_of(oid) else {
+                        return;
+                    };
+                    sys.router
+                        .raise_persist(txn, top, sys.db.clock().now(), oid, class);
+                }));
         }
         system
     }
@@ -196,6 +201,13 @@ impl ReachSystem {
     /// — render it with [`MetricsSnapshot::render`].
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.db.metrics().snapshot()
+    }
+
+    /// Take an explicit fuzzy checkpoint (flush, log the dirty-page and
+    /// active-writer tables, truncate the obsolete log prefix) and
+    /// return what it did.
+    pub fn checkpoint(&self) -> Result<open_oodb::CheckpointStats> {
+        self.db.checkpoint()
     }
 
     pub fn set_tiebreak(&self, t: TieBreak) {
@@ -274,9 +286,10 @@ impl ReachSystem {
     /// The `persist` DB-internal event: fires when an instance of
     /// `class` (or a subclass) is made persistent.
     pub fn define_persist_event(&self, name: &str, class: ClassId) -> Result<EventTypeId> {
-        Ok(self
-            .router
-            .register(name, EventSpec::Primitive(PrimitiveEvent::Persist { class })))
+        Ok(self.router.register(
+            name,
+            EventSpec::Primitive(PrimitiveEvent::Persist { class }),
+        ))
     }
 
     /// A transaction flow-control event (BOT, EOT, commit, abort).
@@ -369,7 +382,14 @@ impl ReachSystem {
         lifespan: Lifespan,
         consumption: ConsumptionPolicy,
     ) -> Result<EventTypeId> {
-        self.define_composite_correlated(name, expr, scope, lifespan, consumption, Correlation::None)
+        self.define_composite_correlated(
+            name,
+            expr,
+            scope,
+            lifespan,
+            consumption,
+            Correlation::None,
+        )
     }
 
     /// A composite event whose constituents are correlated (e.g. all
@@ -700,11 +720,21 @@ impl StateSentry for StateBridge {
 struct LifecycleBridge(Arc<ReachSystem>);
 
 impl reach_object::LifecycleSentry for LifecycleBridge {
-    fn on_create(&self, txn: TxnId, oid: reach_common::ObjectId, state: &reach_object::ObjectState) {
+    fn on_create(
+        &self,
+        txn: TxnId,
+        oid: reach_common::ObjectId,
+        state: &reach_object::ObjectState,
+    ) {
         self.raise(txn, oid, state.class, false);
     }
 
-    fn on_delete(&self, txn: TxnId, oid: reach_common::ObjectId, state: &reach_object::ObjectState) {
+    fn on_delete(
+        &self,
+        txn: TxnId,
+        oid: reach_common::ObjectId,
+        state: &reach_object::ObjectState,
+    ) {
         self.raise(txn, oid, state.class, true);
     }
 }

@@ -225,9 +225,7 @@ impl RuleBuilder {
             coupling: self.coupling,
             action_coupling: self.action_coupling.filter(|ac| *ac != self.coupling),
             event_type,
-            condition: self
-                .condition
-                .unwrap_or_else(|| Arc::new(|_| Ok(true))),
+            condition: self.condition.unwrap_or_else(|| Arc::new(|_| Ok(true))),
             action: self.action.unwrap_or_else(|| Arc::new(|_| Ok(()))),
             created,
             enabled: AtomicBool::new(true),

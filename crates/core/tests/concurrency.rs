@@ -4,9 +4,9 @@
 
 use crossbeam::channel::bounded;
 use open_oodb::Database;
+use reach_common::{ClassId, ObjectId, TxnId};
 use reach_core::event::MethodPhase;
 use reach_core::{CouplingMode, ReachConfig, ReachSystem, RuleBuilder};
-use reach_common::{ClassId, ObjectId, TxnId};
 use reach_object::{Value, ValueType};
 use reach_txn::LockMode;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -100,7 +100,11 @@ fn two_pl_blocks_conflicting_application_transactions() {
     std::thread::sleep(Duration::from_millis(50));
     db.invoke(t1, oid, "poke", &[Value::Int(42)]).unwrap();
     db.commit(t1).unwrap();
-    assert_eq!(h.join().unwrap(), Value::Int(42), "strict 2PL: reader saw committed state");
+    assert_eq!(
+        h.join().unwrap(),
+        Value::Int(42),
+        "strict 2PL: reader saw committed state"
+    );
 }
 
 #[test]
@@ -133,7 +137,10 @@ fn deadlock_between_application_transactions_surfaces() {
     let r1 = db.invoke(t1, b, "poke", &[Value::Int(4)]);
     let r2 = h.join().unwrap();
     let deadlocked = r1.is_err() || r2.is_err();
-    assert!(deadlocked, "one transaction must be chosen as deadlock victim");
+    assert!(
+        deadlocked,
+        "one transaction must be chosen as deadlock victim"
+    );
     if r1.is_ok() {
         db.commit(t1).unwrap();
     } else {

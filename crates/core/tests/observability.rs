@@ -147,7 +147,11 @@ fn e13_workload_touches_every_firing_path_stage() {
 
     // The sentry span ring is bounded even though far more than
     // SPAN_RING_CAPACITY invocations went through it.
-    let sentry = snap.stages.iter().find(|s| s.stage == Stage::Sentry).unwrap();
+    let sentry = snap
+        .stages
+        .iter()
+        .find(|s| s.stage == Stage::Sentry)
+        .unwrap();
     assert!(sentry.count as usize > reach_common::obs::SPAN_RING_CAPACITY);
     assert!(sentry.recent.len() <= reach_common::obs::SPAN_RING_CAPACITY);
 
@@ -179,7 +183,10 @@ fn e13_workload_touches_every_firing_path_stage() {
         "transactions",
         "storage",
     ] {
-        assert!(report.contains(needle), "report missing {needle:?}:\n{report}");
+        assert!(
+            report.contains(needle),
+            "report missing {needle:?}:\n{report}"
+        );
     }
 }
 
@@ -211,7 +218,12 @@ fn disabled_registry_records_nothing() {
     assert!(!snap.enabled);
     // Gated paths stay silent: no spans, no txn/WAL/sentry counts.
     for st in snap.stages.iter() {
-        assert_eq!(st.count, 0, "stage {} recorded while disabled", st.stage.name());
+        assert_eq!(
+            st.count,
+            0,
+            "stage {} recorded while disabled",
+            st.stage.name()
+        );
     }
     assert_eq!(snap.txn_commits, 0);
     assert_eq!(snap.wal_forces, 0);

@@ -1,14 +1,14 @@
 //! Tests of the §6.4 ordering policies, event-algebra operators
 //! end-to-end, and edge cases of the active layer.
 
+use open_oodb::Database;
+use reach_common::ClassId;
 use reach_common::TxnId;
 use reach_core::event::MethodPhase;
 use reach_core::{
     CompositionScope, ConsumptionPolicy, CouplingMode, EventExpr, Lifespan, ReachConfig,
     ReachSystem, RuleBuilder, TieBreak,
 };
-use open_oodb::Database;
-use reach_common::ClassId;
 use reach_object::{Value, ValueType};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -88,8 +88,12 @@ fn tiebreak_oldest_first_is_default() {
         .define_method_event("e", w.class, "hit", MethodPhase::After)
         .unwrap();
     // Equal priorities: registration (timestamp) order decides.
-    let order = order_recorder(&w, ev, &[("first", 5), ("second", 5), ("third", 5)],
-                               CouplingMode::Immediate);
+    let order = order_recorder(
+        &w,
+        ev,
+        &[("first", 5), ("second", 5), ("third", 5)],
+        CouplingMode::Immediate,
+    );
     let oid = w.obj();
     w.hit(oid, 1);
     assert_eq!(*order.lock(), vec!["first", "second", "third"]);
@@ -103,8 +107,12 @@ fn tiebreak_newest_first_is_optional() {
         .sys
         .define_method_event("e", w.class, "hit", MethodPhase::After)
         .unwrap();
-    let order = order_recorder(&w, ev, &[("first", 5), ("second", 5), ("third", 5)],
-                               CouplingMode::Immediate);
+    let order = order_recorder(
+        &w,
+        ev,
+        &[("first", 5), ("second", 5), ("third", 5)],
+        CouplingMode::Immediate,
+    );
     let oid = w.obj();
     w.hit(oid, 1);
     assert_eq!(*order.lock(), vec!["third", "second", "first"]);
@@ -267,7 +275,11 @@ fn composite_of_composites() {
         w.hit(oid, i);
     }
     w.sys.wait_quiescent();
-    assert_eq!(count.load(Ordering::SeqCst), 1, "4 hits = 2 pairs = 1 outer");
+    assert_eq!(
+        count.load(Ordering::SeqCst),
+        1,
+        "4 hits = 2 pairs = 1 outer"
+    );
 }
 
 #[test]
@@ -450,7 +462,9 @@ fn rule_action_can_query_the_database() {
                 .on(ev)
                 .coupling(CouplingMode::Immediate)
                 .then(move |ctx| {
-                    let hits = ctx.db.query(ctx.txn, "select p from Probe p where p.v > 0")?;
+                    let hits = ctx
+                        .db
+                        .query(ctx.txn, "select p from Probe p where p.v > 0")?;
                     f.store(hits.len(), Ordering::SeqCst);
                     Ok(())
                 }),
@@ -485,7 +499,10 @@ fn same_tx_composite_with_temporal_constituent_is_rejected() {
         .unwrap();
     let err = w.sys.define_composite(
         "bad",
-        EventExpr::Sequence(vec![EventExpr::Primitive(e1), EventExpr::Primitive(temporal)]),
+        EventExpr::Sequence(vec![
+            EventExpr::Primitive(e1),
+            EventExpr::Primitive(temporal),
+        ]),
         CompositionScope::SameTransaction,
         Lifespan::Transaction,
         ConsumptionPolicy::Chronicle,
@@ -574,7 +591,8 @@ fn milestones_are_cleaned_up_at_txn_end() {
     let ms = w.sys.define_milestone_event("deadline").unwrap();
     let db = w.sys.db();
     let t = db.begin().unwrap();
-    w.sys.set_milestone(t, ms, reach_common::TimePoint::from_secs(100));
+    w.sys
+        .set_milestone(t, ms, reach_common::TimePoint::from_secs(100));
     assert_eq!(w.sys.temporal().milestone_count(), 1);
     db.commit(t).unwrap();
     assert_eq!(w.sys.temporal().milestone_count(), 0);
@@ -667,7 +685,11 @@ fn same_receiver_correlation_partitions_instances() {
         w.hit(oid, 1);
     }
     w.sys.wait_quiescent();
-    assert_eq!(*fired.lock(), vec![a], "only object a completed the pattern");
+    assert_eq!(
+        *fired.lock(),
+        vec![a],
+        "only object a completed the pattern"
+    );
     // One more hit on b completes b's own instance.
     w.hit(b, 2);
     w.sys.wait_quiescent();

@@ -15,7 +15,11 @@ fn ticker_fires_periodic_events_from_the_wall_clock() {
     assert!(!db.clock().is_virtual());
     let sys = ReachSystem::new(db, ReachConfig::default());
     let ev = sys
-        .define_periodic_event("heartbeat", TimePoint::from_millis(20), Duration::from_millis(20))
+        .define_periodic_event(
+            "heartbeat",
+            TimePoint::from_millis(20),
+            Duration::from_millis(20),
+        )
         .unwrap();
     let beats = Arc::new(AtomicUsize::new(0));
     let b = Arc::clone(&beats);
@@ -84,6 +88,10 @@ fn milestone_on_the_wall_clock() {
     std::thread::sleep(Duration::from_millis(200));
     sys.stop_ticker();
     sys.wait_quiescent();
-    assert_eq!(fired.load(Ordering::SeqCst), 1, "missed deadline fired once");
+    assert_eq!(
+        fired.load(Ordering::SeqCst),
+        1,
+        "missed deadline fired once"
+    );
     db.commit(t).unwrap();
 }

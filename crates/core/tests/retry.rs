@@ -5,9 +5,9 @@
 
 use crossbeam::channel::bounded;
 use open_oodb::Database;
+use reach_common::{ClassId, ObjectId, ReachError};
 use reach_core::event::MethodPhase;
 use reach_core::{CouplingMode, ReachConfig, ReachSystem, RetryPolicy, RuleBuilder};
-use reach_common::{ClassId, ObjectId, ReachError};
 use reach_object::{Value, ValueType};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -205,7 +205,11 @@ fn permanent_failure_is_dead_lettered_without_retry() {
     sys.wait_quiescent();
 
     let stats = sys.stats();
-    assert_eq!(attempts.load(Ordering::SeqCst), 1, "no retry of a permanent error");
+    assert_eq!(
+        attempts.load(Ordering::SeqCst),
+        1,
+        "no retry of a permanent error"
+    );
     assert_eq!(stats.retries, 0);
     assert_eq!(stats.gave_up, 0, "gave_up counts only exhausted transients");
     assert_eq!(stats.failures, 1);
@@ -213,8 +217,5 @@ fn permanent_failure_is_dead_lettered_without_retry() {
     assert_eq!(dead.len(), 1);
     assert_eq!(dead[0].rule_name, "broken-action");
     assert_eq!(dead[0].attempts, 1);
-    assert_eq!(
-        dead[0].error,
-        ReachError::MethodFailed("boom".into())
-    );
+    assert_eq!(dead[0].error, ReachError::MethodFailed("boom".into()));
 }

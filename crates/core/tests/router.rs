@@ -8,7 +8,11 @@ use reach_object::{Value, ValueType};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-fn animals() -> (Arc<ReachSystem>, reach_common::ClassId, reach_common::ClassId) {
+fn animals() -> (
+    Arc<ReachSystem>,
+    reach_common::ClassId,
+    reach_common::ClassId,
+) {
     let db = Database::in_memory().unwrap();
     let (b, speak) = db
         .define_class("Animal")

@@ -2,6 +2,8 @@
 //! composition → rule firing across coupling modes, consumption
 //! policies, lifespans and the transaction model.
 
+use open_oodb::Database;
+use reach_common::ClassId;
 use reach_common::{TimePoint, TxnId};
 use reach_core::eca::CompositionMode;
 use reach_core::event::{FlowPoint, MethodPhase};
@@ -9,8 +11,6 @@ use reach_core::{
     CompositionScope, ConsumptionPolicy, CouplingMode, EventExpr, ExecutionStrategy, Lifespan,
     ReachConfig, ReachSystem, RuleBuilder,
 };
-use open_oodb::Database;
-use reach_common::ClassId;
 use reach_object::{Value, ValueType};
 use std::sync::atomic::{AtomicI64, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -429,9 +429,8 @@ fn table1_rejections_at_registration() {
             ConsumptionPolicy::Chronicle,
         )
         .unwrap();
-    let try_rule = |ev, mode| {
-        sys.define_rule(RuleBuilder::new("r").on(ev).coupling(mode).then(|_| Ok(())))
-    };
+    let try_rule =
+        |ev, mode| sys.define_rule(RuleBuilder::new("r").on(ev).coupling(mode).then(|_| Ok(())));
     // Temporal: only detached allowed.
     assert!(try_rule(temporal, CouplingMode::Immediate).is_err());
     assert!(try_rule(temporal, CouplingMode::Deferred).is_err());
@@ -596,7 +595,9 @@ fn lifecycle_destructor_event_fires() {
 fn flow_events_observe_transaction_lifecycle() {
     let w = world();
     let sys = &w.sys;
-    let ev = sys.define_flow_event("on-commit", FlowPoint::Commit).unwrap();
+    let ev = sys
+        .define_flow_event("on-commit", FlowPoint::Commit)
+        .unwrap();
     let count = Arc::new(AtomicUsize::new(0));
     let c = Arc::clone(&count);
     sys.define_rule(
@@ -623,7 +624,11 @@ fn temporal_events_fire_on_virtual_time() {
     let at = TimePoint::from_secs(10);
     let ev = sys.define_absolute_event("at-ten", at).unwrap();
     let periodic = sys
-        .define_periodic_event("every-five", TimePoint::from_secs(5), Duration::from_secs(5))
+        .define_periodic_event(
+            "every-five",
+            TimePoint::from_secs(5),
+            Duration::from_secs(5),
+        )
         .unwrap();
     let abs_count = Arc::new(AtomicUsize::new(0));
     let per_count = Arc::new(AtomicUsize::new(0));
@@ -791,7 +796,11 @@ fn rule_cascades_are_detected_like_any_other_event() {
     let t = db.begin().unwrap();
     db.invoke(t, oid, "report", &[Value::Int(500)]).unwrap();
     db.commit(t).unwrap();
-    assert_eq!(cascaded.load(Ordering::SeqCst), 1, "rule-raised event detected");
+    assert_eq!(
+        cascaded.load(Ordering::SeqCst),
+        1,
+        "rule-raised event detected"
+    );
 }
 
 #[test]
@@ -972,5 +981,8 @@ fn figure2_trace_records_the_message_flow() {
     assert!(trace.contains("method-event detected"), "{trace}");
     assert!(trace.contains("creates Event object"), "{trace}");
     assert!(trace.contains("fires 1 rule"), "{trace}");
-    assert!(trace.contains("propagates -> composite ECA-manager"), "{trace}");
+    assert!(
+        trace.contains("propagates -> composite ECA-manager"),
+        "{trace}"
+    );
 }

@@ -112,12 +112,7 @@ impl LayeredLayer {
                     //    which fires its immediate rules inline — in the
                     //    same flat transaction, without isolation.
                     if let Some(layer) = layer.upgrade() {
-                        layer.on_method(
-                            ctx.txn,
-                            ctx.self_oid,
-                            &method_name,
-                            ctx.args,
-                        )?;
+                        layer.on_method(ctx.txn, ctx.self_oid, &method_name, ctx.args)?;
                     }
                     // 2. Delegate to the original body.
                     base_body(ctx)
@@ -130,12 +125,7 @@ impl LayeredLayer {
 
     /// Register a rule on `(class, method)` invocations. Only wrapper
     /// instances trigger it.
-    pub fn define_method_rule(
-        &self,
-        class: ClassId,
-        method: &str,
-        rule: LayeredRule,
-    ) -> RuleId {
+    pub fn define_method_rule(&self, class: ClassId, method: &str, rule: LayeredRule) -> RuleId {
         let id = rule.id;
         self.method_rules
             .write()
@@ -171,7 +161,10 @@ impl LayeredLayer {
             // The wrapper class *is* the receiver class; rules are
             // registered against it (or the base — check both, the
             // layer must maintain this mapping by hand).
-            let mut found = map.get(&(class, method.to_string())).cloned().unwrap_or_default();
+            let mut found = map
+                .get(&(class, method.to_string()))
+                .cloned()
+                .unwrap_or_default();
             let wrapped = self.wrapped.read();
             for (orig, active) in wrapped.iter() {
                 if *active == class {
@@ -195,13 +188,7 @@ impl LayeredLayer {
     /// Queue a rule for "deferred" execution. There is no pre-commit
     /// hook; the application must call [`LayeredLayer::before_commit`]
     /// itself, every time, before every commit.
-    pub fn defer(
-        &self,
-        txn: TxnId,
-        rule: Arc<LayeredRule>,
-        oid: ObjectId,
-        args: Vec<Value>,
-    ) {
+    pub fn defer(&self, txn: TxnId, rule: Arc<LayeredRule>, oid: ObjectId, args: Vec<Value>) {
         self.deferred
             .lock()
             .entry(txn)
@@ -376,12 +363,7 @@ mod tests {
     #[test]
     fn forgotten_before_commit_loses_deferred_rules() {
         let (layer, sensor, active) = setup();
-        let rule = Arc::new(layer.rule(
-            "deferred",
-            0,
-            |_, _, _, _| Ok(true),
-            |_, _, _, _| Ok(()),
-        ));
+        let rule = Arc::new(layer.rule("deferred", 0, |_, _, _, _| Ok(true), |_, _, _, _| Ok(())));
         let closed = layer.closed();
         let t = closed.begin().unwrap();
         let oid = closed.create(t, active).unwrap();

@@ -131,9 +131,7 @@ impl Dispatcher {
         let body = self.methods.body(method)?;
 
         // Fast path: nothing monitored anywhere — no sentry bookkeeping.
-        if self.monitor_count.load(Ordering::Acquire) == 0
-            || !self.monitor_hit(class, method)
-        {
+        if self.monitor_count.load(Ordering::Acquire) == 0 || !self.monitor_hit(class, method) {
             let ctx = MethodCtx {
                 space,
                 dispatcher: self,
@@ -284,7 +282,10 @@ mod tests {
         let (schema, methods, space, disp) = world();
         let (b, ping) = ClassBuilder::new(&schema, "Base").virtual_method("ping");
         let base = b.define().unwrap();
-        let derived = ClassBuilder::new(&schema, "Derived").base(base).define().unwrap();
+        let derived = ClassBuilder::new(&schema, "Derived")
+            .base(base)
+            .define()
+            .unwrap();
         methods.register_fn(ping, |_| Ok(Value::Int(1)));
         let d = space.create(TxnId::NULL, derived).unwrap();
         assert_eq!(
@@ -331,7 +332,10 @@ mod tests {
         let (schema, methods, space, disp) = world();
         let (b, m) = ClassBuilder::new(&schema, "Base").virtual_method("go");
         let base = b.define().unwrap();
-        let derived = ClassBuilder::new(&schema, "Derived").base(base).define().unwrap();
+        let derived = ClassBuilder::new(&schema, "Derived")
+            .base(base)
+            .define()
+            .unwrap();
         methods.register_fn(m, |_| Ok(Value::Null));
         let rec = Arc::new(Recorder {
             calls: Mutex::new(Vec::new()),
@@ -386,7 +390,8 @@ mod tests {
             .create_with(TxnId::NULL, class, &[("peer", Value::Ref(b_obj))])
             .unwrap();
         assert_eq!(
-            disp.invoke(&space, TxnId::NULL, a_obj, "outer", &[]).unwrap(),
+            disp.invoke(&space, TxnId::NULL, a_obj, "outer", &[])
+                .unwrap(),
             Value::Int(20)
         );
     }
@@ -396,8 +401,6 @@ mod tests {
         let (schema, _methods, space, disp) = world();
         let class = ClassBuilder::new(&schema, "Empty").define().unwrap();
         let oid = space.create(TxnId::NULL, class).unwrap();
-        assert!(disp
-            .invoke(&space, TxnId::NULL, oid, "ghost", &[])
-            .is_err());
+        assert!(disp.invoke(&space, TxnId::NULL, oid, "ghost", &[]).is_err());
     }
 }

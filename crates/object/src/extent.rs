@@ -87,7 +87,10 @@ mod tests {
     fn deep_extent_includes_subclasses() {
         let s = Schema::new();
         let base = ClassBuilder::new(&s, "Base").define().unwrap();
-        let derived = ClassBuilder::new(&s, "Derived").base(base).define().unwrap();
+        let derived = ClassBuilder::new(&s, "Derived")
+            .base(base)
+            .define()
+            .unwrap();
         let other = ClassBuilder::new(&s, "Other").define().unwrap();
         let r = ExtentRegistry::new();
         r.register(base, ObjectId::new(1));

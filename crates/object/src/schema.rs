@@ -242,7 +242,8 @@ impl Schema {
 
     /// Whether `sub` is `sup` or inherits from it (transitively).
     pub fn is_subclass(&self, sub: ClassId, sup: ClassId) -> bool {
-        self.with(sub, |rc| rc.lineage.contains(&sup)).unwrap_or(false)
+        self.with(sub, |rc| rc.lineage.contains(&sup))
+            .unwrap_or(false)
     }
 
     /// The full lineage (self first, then ancestors).
@@ -272,7 +273,9 @@ impl Schema {
 
     /// Default values for a fresh instance of the class.
     pub fn defaults(&self, id: ClassId) -> Result<Vec<Value>> {
-        self.with(id, |rc| rc.attrs.iter().map(|a| a.default.clone()).collect())
+        self.with(id, |rc| {
+            rc.attrs.iter().map(|a| a.default.clone()).collect()
+        })
     }
 
     /// Resolve a method name on a class (virtual dispatch through the

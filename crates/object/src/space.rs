@@ -283,7 +283,9 @@ impl ObjectSpace {
         self.ensure_resident(oid)?;
         let (class, old) = {
             let mut objects = self.objects.write();
-            let state = objects.get_mut(&oid).ok_or(ReachError::ObjectNotFound(oid))?;
+            let state = objects
+                .get_mut(&oid)
+                .ok_or(ReachError::ObjectNotFound(oid))?;
             let slot = self.schema.attr_slot(state.class, name)?;
             let ty = self.schema.attributes(state.class)?[slot].ty;
             if !value.conforms_to(ty) {
@@ -417,7 +419,9 @@ mod tests {
     fn fault_handler_revives_evicted_objects() {
         let (_, space, class) = setup();
         let oid = space.create(TxnId::NULL, class).unwrap();
-        space.set_attr(TxnId::NULL, oid, "x", Value::Int(5)).unwrap();
+        space
+            .set_attr(TxnId::NULL, oid, "x", Value::Int(5))
+            .unwrap();
         let stored = Arc::new(Mutex::new(HashMap::<ObjectId, ObjectState>::new()));
         // "Persist", then evict.
         stored.lock().insert(oid, space.snapshot(oid).unwrap());

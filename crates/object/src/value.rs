@@ -374,7 +374,10 @@ mod tests {
         use std::cmp::Ordering::*;
         assert_eq!(Value::Int(2).compare(&Value::Float(2.5)), Less);
         assert_eq!(Value::Float(3.0).compare(&Value::Int(3)), Equal);
-        assert_eq!(Value::Str("b".into()).compare(&Value::Str("a".into())), Greater);
+        assert_eq!(
+            Value::Str("b".into()).compare(&Value::Str("a".into())),
+            Greater
+        );
     }
 
     #[test]

@@ -9,22 +9,25 @@ use reach_object::{ClassBuilder, Schema, Value, ValueType};
 /// subset of classes 0..i (guaranteeing acyclicity), and declares one
 /// unique attribute.
 fn dag_strategy() -> impl Strategy<Value = Vec<Vec<usize>>> {
-    proptest::collection::vec(proptest::collection::vec(any::<prop::sample::Index>(), 0..3), 1..12)
-        .prop_map(|raw| {
-            raw.into_iter()
-                .enumerate()
-                .map(|(i, parents)| {
-                    let mut ps: Vec<usize> = parents
-                        .into_iter()
-                        .filter(|_| i > 0)
-                        .map(|idx| idx.index(i))
-                        .collect();
-                    ps.sort();
-                    ps.dedup();
-                    ps
-                })
-                .collect()
-        })
+    proptest::collection::vec(
+        proptest::collection::vec(any::<prop::sample::Index>(), 0..3),
+        1..12,
+    )
+    .prop_map(|raw| {
+        raw.into_iter()
+            .enumerate()
+            .map(|(i, parents)| {
+                let mut ps: Vec<usize> = parents
+                    .into_iter()
+                    .filter(|_| i > 0)
+                    .map(|idx| idx.index(i))
+                    .collect();
+                ps.sort();
+                ps.dedup();
+                ps
+            })
+            .collect()
+    })
 }
 
 proptest! {

@@ -18,12 +18,8 @@ use crate::pm::indexing::IndexingPm;
 use crate::pm::persistence::PersistencePm;
 use crate::pm::query::{Plan, QueryPm};
 use crate::pm::transaction::TransactionPm;
-use reach_common::{
-    ClassId, MetricsRegistry, ObjectId, ReachError, Result, TxnId, VirtualClock,
-};
-use reach_object::{
-    ClassBuilder, Dispatcher, MethodRegistry, ObjectSpace, Schema, Value,
-};
+use reach_common::{ClassId, MetricsRegistry, ObjectId, ReachError, Result, TxnId, VirtualClock};
+use reach_object::{ClassBuilder, Dispatcher, MethodRegistry, ObjectSpace, Schema, Value};
 use reach_storage::StorageManager;
 use reach_txn::{LockMode, ResourceManager, TransactionManager};
 use std::path::Path;
@@ -269,13 +265,7 @@ impl Database {
     }
 
     /// Invoke a (possibly sentried) method under an exclusive lock.
-    pub fn invoke(
-        &self,
-        txn: TxnId,
-        oid: ObjectId,
-        method: &str,
-        args: &[Value],
-    ) -> Result<Value> {
+    pub fn invoke(&self, txn: TxnId, oid: ObjectId, method: &str, args: &[Value]) -> Result<Value> {
         self.check_active(txn)?;
         self.tm.lock(txn, oid, LockMode::Exclusive)?;
         self.dispatcher.invoke(&self.space, txn, oid, method, args)
@@ -335,9 +325,13 @@ impl Database {
         self.indexing.create_index(&self.space, class, attribute)
     }
 
-    /// Checkpoint the storage manager.
-    pub fn checkpoint(&self) -> Result<()> {
-        self.sm.checkpoint(self.tm.active_top_level())
+    /// Take a fuzzy checkpoint: flush, log the dirty-page and
+    /// active-writer tables, and truncate the obsolete log prefix. The
+    /// storage manager tracks its own writer table, so nothing is
+    /// passed down; [`TransactionManager::active_snapshot`] gives the
+    /// transaction-layer view of the same moment.
+    pub fn checkpoint(&self) -> Result<reach_storage::CheckpointStats> {
+        self.sm.checkpoint()
     }
 
     /// The Figure-1 architecture manifest.
@@ -450,7 +444,8 @@ mod tests {
             .unwrap();
         let txn = db.begin().unwrap();
         for i in 0..100 {
-            db.create_with(txn, class, &[("level", Value::Int(i))]).unwrap();
+            db.create_with(txn, class, &[("level", Value::Int(i))])
+                .unwrap();
         }
         db.commit(txn).unwrap();
         db.create_index(class, "level").unwrap();
@@ -479,11 +474,15 @@ mod tests {
             .unwrap();
         db.create_index(class, "size").unwrap();
         let t0 = db.begin().unwrap();
-        let kept = db.create_with(t0, class, &[("size", Value::Int(5))]).unwrap();
+        let kept = db
+            .create_with(t0, class, &[("size", Value::Int(5))])
+            .unwrap();
         db.commit(t0).unwrap();
         let t1 = db.begin().unwrap();
         db.set_attr(t1, kept, "size", Value::Int(50)).unwrap();
-        let _phantom = db.create_with(t1, class, &[("size", Value::Int(5))]).unwrap();
+        let _phantom = db
+            .create_with(t1, class, &[("size", Value::Int(5))])
+            .unwrap();
         db.abort(t1).unwrap();
         // After abort the index must answer as before t1.
         let t2 = db.begin().unwrap();

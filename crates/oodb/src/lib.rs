@@ -42,3 +42,4 @@ pub use pm::indexing::IndexingPm;
 pub use pm::persistence::PersistencePm;
 pub use pm::query::{Expr, Query, QueryPm};
 pub use pm::transaction::TransactionPm;
+pub use reach_storage::CheckpointStats;

@@ -107,7 +107,12 @@ impl IndexingPm {
     }
 
     /// Exact-match lookup.
-    pub fn lookup_eq(&self, class: ClassId, attribute: &str, value: &Value) -> Option<Vec<ObjectId>> {
+    pub fn lookup_eq(
+        &self,
+        class: ClassId,
+        attribute: &str,
+        value: &Value,
+    ) -> Option<Vec<ObjectId>> {
         let indexes = self.indexes.read();
         let idx = indexes
             .iter()

@@ -86,9 +86,7 @@ impl PersistencePm {
             Some(pm) => pm.fault(oid),
             None => Ok(None),
         }));
-        pm
-            .load_existing()
-            .map(|_| pm)
+        pm.load_existing().map(|_| pm)
     }
 
     /// Rebuild the location index and name roots from storage.

@@ -91,7 +91,8 @@ impl Expr {
                 for a in args {
                     argv.push(a.eval(ctx)?);
                 }
-                ctx.dispatcher.invoke(ctx.space, ctx.txn, oid, method, &argv)
+                ctx.dispatcher
+                    .invoke(ctx.space, ctx.txn, oid, method, &argv)
             }
             Expr::Not(e) => Ok(Value::Bool(!e.eval(ctx)?.as_bool()?)),
             Expr::Neg(e) => match e.eval(ctx)? {
@@ -257,19 +258,22 @@ fn tokenize(src: &str) -> Result<Vec<Tok>> {
                 while i < b.len() && (b[i] as char).is_ascii_digit() {
                     i += 1;
                 }
-                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit())
-                {
+                if i < b.len() && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
                     i += 1;
                     while i < b.len() && (b[i] as char).is_ascii_digit() {
                         i += 1;
                     }
-                    out.push(Tok::Float(src[start..i].parse().map_err(|_| {
-                        parse_err("bad float literal")
-                    })?));
+                    out.push(Tok::Float(
+                        src[start..i]
+                            .parse()
+                            .map_err(|_| parse_err("bad float literal"))?,
+                    ));
                 } else {
-                    out.push(Tok::Int(src[start..i].parse().map_err(|_| {
-                        parse_err("bad integer literal")
-                    })?));
+                    out.push(Tok::Int(
+                        src[start..i]
+                            .parse()
+                            .map_err(|_| parse_err("bad integer literal"))?,
+                    ));
                 }
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -321,7 +325,10 @@ impl Parser {
         if self.eat_sym(s) {
             Ok(())
         } else {
-            Err(parse_err(&format!("expected {s:?}, found {:?}", self.peek())))
+            Err(parse_err(&format!(
+                "expected {s:?}, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -697,9 +704,9 @@ impl QueryPm {
                     .filter(|(j, _)| *j != i)
                     .map(|(_, c)| c.clone())
                     .collect();
-                let residual = rest.into_iter().reduce(|a, b| {
-                    Expr::Bin(BinOp::And, Box::new(a), Box::new(b))
-                });
+                let residual = rest
+                    .into_iter()
+                    .reduce(|a, b| Expr::Bin(BinOp::And, Box::new(a), Box::new(b)));
                 return Some((candidates, plan, residual));
             }
         }
@@ -780,7 +787,10 @@ mod tests {
 
     #[test]
     fn arrow_and_dot_are_interchangeable() {
-        assert_eq!(parse_expr("r->level").unwrap(), parse_expr("r.level").unwrap());
+        assert_eq!(
+            parse_expr("r->level").unwrap(),
+            parse_expr("r.level").unwrap()
+        );
     }
 
     #[test]

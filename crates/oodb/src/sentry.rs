@@ -31,13 +31,7 @@ pub trait EventSink: Send + Sync {
 pub trait SentryMechanism: Send + Sync {
     fn name(&self) -> &'static str;
     /// Invoke a method through this mechanism.
-    fn invoke(
-        &self,
-        txn: TxnId,
-        oid: ObjectId,
-        method: &str,
-        args: &[Value],
-    ) -> Result<Value>;
+    fn invoke(&self, txn: TxnId, oid: ObjectId, method: &str, args: &[Value]) -> Result<Value>;
     /// Whether direct state access is also trapped (§4: surrogates and
     /// root-class traps miss it, which "would cause the behavioral
     /// extensions to be omitted").
@@ -77,7 +71,8 @@ impl InlineWrapperSentry {
                 if self.1.on() {
                     self.1.sentry.inline_detections.inc();
                 }
-                self.0.on_detected(call.txn, call.receiver, &call.method_name);
+                self.0
+                    .on_detected(call.txn, call.receiver, &call.method_name);
                 Ok(())
             }
             fn after(&self, _c: &reach_object::MethodCall, _r: &Result<Value>) {}

@@ -99,7 +99,8 @@ fn query_planner_handles_flipped_and_equality_predicates() {
     let (db, class) = db_with_points();
     let t = db.begin().unwrap();
     for i in 0..30 {
-        db.create_with(t, class, &[("x", Value::Int(i % 10))]).unwrap();
+        db.create_with(t, class, &[("x", Value::Int(i % 10))])
+            .unwrap();
     }
     db.commit(t).unwrap();
     db.create_index(class, "x").unwrap();
@@ -185,8 +186,12 @@ fn subclass_instances_answer_base_class_queries_via_base_index() {
     let circle = db.define_class("Circle").base(base).define().unwrap();
     db.create_index(base, "area").unwrap();
     let t = db.begin().unwrap();
-    let c = db.create_with(t, circle, &[("area", Value::Int(10))]).unwrap();
-    let s = db.create_with(t, base, &[("area", Value::Int(20))]).unwrap();
+    let c = db
+        .create_with(t, circle, &[("area", Value::Int(10))])
+        .unwrap();
+    let s = db
+        .create_with(t, base, &[("area", Value::Int(20))])
+        .unwrap();
     db.commit(t).unwrap();
     let t = db.begin().unwrap();
     let (hits, plan) = db

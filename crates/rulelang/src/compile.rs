@@ -12,9 +12,9 @@
 
 use crate::ast::{ActionClause, Decl, DeclKind, EventClause, RuleDef};
 use open_oodb::pm::query::{EvalCtx, Expr};
+use reach_common::{ReachError, Result, RuleId};
 use reach_core::event::MethodPhase;
 use reach_core::{ReachSystem, RuleBuilder, RuleCtx};
-use reach_common::{ReachError, Result, RuleId};
 use reach_object::Value;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -85,9 +85,7 @@ fn eval_in(def: &RuleDef, ctx: &RuleCtx<'_>, expr: &Expr) -> Result<Value> {
 pub fn compile(sys: &ReachSystem, def: &RuleDef) -> Result<RuleId> {
     // Resolve the receiver class (absent for composite references).
     let receiver_class = |var: &str| -> Result<reach_common::ClassId> {
-        let decl = def
-            .decl(var)
-            .expect("validated by the parser");
+        let decl = def.decl(var).expect("validated by the parser");
         let class_name = match &decl.kind {
             DeclKind::Object { class_name } | DeclKind::NamedObject { class_name, .. } => {
                 class_name

@@ -198,7 +198,10 @@ fn parse_event(rest: &str) -> Result<EventClause> {
             .find(['.', '-'])
             .ok_or_else(|| err(0, format!("changed clause needs var.attr: {r:?}")))?;
         let receiver_var = r[..dot].trim().to_string();
-        let attribute = r[dot..].trim_start_matches(['.', '-', '>']).trim().to_string();
+        let attribute = r[dot..]
+            .trim_start_matches(['.', '-', '>'])
+            .trim()
+            .to_string();
         if receiver_var.is_empty() || attribute.is_empty() {
             return Err(err(0, format!("bad changed clause: {r:?}")));
         }
@@ -233,7 +236,11 @@ fn parse_event(rest: &str) -> Result<EventClause> {
         .find("->")
         .or_else(|| rest.find('.'))
         .ok_or_else(|| err(0, format!("event clause needs var->method(...): {rest:?}")))?;
-    let sep_len = if rest[arrow..].starts_with("->") { 2 } else { 1 };
+    let sep_len = if rest[arrow..].starts_with("->") {
+        2
+    } else {
+        1
+    };
     let receiver_var = rest[..arrow].trim().to_string();
     let call = rest[arrow + sep_len..].trim();
     let open = call
@@ -260,9 +267,7 @@ fn parse_event(rest: &str) -> Result<EventClause> {
 
 fn parse_moded(rest: &str) -> Result<(Mode, &str)> {
     let rest = rest.trim();
-    let (word, tail) = rest
-        .split_once(char::is_whitespace)
-        .unwrap_or((rest, ""));
+    let (word, tail) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
     let mode = Mode::from_keyword(word)
         .ok_or_else(|| err(0, format!("unknown coupling keyword {word:?}")))?;
     Ok((mode, tail.trim()))
@@ -466,7 +471,10 @@ mod tests {
             };
         "#;
         let def = parse_rule(src).unwrap();
-        assert!(matches!(def.event, EventClause::Method { after: false, .. }));
+        assert!(matches!(
+            def.event,
+            EventClause::Method { after: false, .. }
+        ));
         assert_eq!(def.cond_mode, Mode::Deferred);
         assert_eq!(def.action_mode, Mode::Deferred);
     }
@@ -504,16 +512,15 @@ mod tests {
         // Receiver variable not declared.
         assert!(parse_rule("rule R { event after t->go(); action imm t->x(); };").is_err());
         // Event parameter not declared.
-        assert!(parse_rule(
-            "rule R { decl T *t; event after t->go(x); action imm t->x(); };"
-        )
-        .is_err());
+        assert!(
+            parse_rule("rule R { decl T *t; event after t->go(x); action imm t->x(); };").is_err()
+        );
         // No action clause.
         assert!(parse_rule("rule R { decl T *t; event after t->go(); };").is_err());
         // Unknown coupling keyword.
-        assert!(parse_rule(
-            "rule R { decl T *t; event after t->go(); action someday t->x(); };"
-        )
-        .is_err());
+        assert!(
+            parse_rule("rule R { decl T *t; event after t->go(); action someday t->x(); };")
+                .is_err()
+        );
     }
 }

@@ -9,7 +9,11 @@ use std::sync::Arc;
 
 /// Build the paper's power-plant world: River and Reactor classes with
 /// the methods the rule references.
-fn power_plant() -> (Arc<ReachSystem>, reach_common::ObjectId, reach_common::ObjectId) {
+fn power_plant() -> (
+    Arc<ReachSystem>,
+    reach_common::ObjectId,
+    reach_common::ObjectId,
+) {
     let db = Database::in_memory().unwrap();
     // class River { waterLevel, waterTemp; updateWaterLevel(x); getWaterTemp(); }
     let (b, update) = db
@@ -73,7 +77,8 @@ fn the_papers_rule_fires_end_to_end() {
 
     // Case 1: level above the mark — no action.
     let t = db.begin().unwrap();
-    db.invoke(t, river, "updateWaterLevel", &[Value::Int(80)]).unwrap();
+    db.invoke(t, river, "updateWaterLevel", &[Value::Int(80)])
+        .unwrap();
     assert_eq!(
         db.get_attr(t, reactor, "plannedPower").unwrap(),
         Value::Float(1000.0)
@@ -82,7 +87,8 @@ fn the_papers_rule_fires_end_to_end() {
 
     // Case 2: level low, but water still cool — condition false.
     let t = db.begin().unwrap();
-    db.invoke(t, river, "updateWaterLevel", &[Value::Int(30)]).unwrap();
+    db.invoke(t, river, "updateWaterLevel", &[Value::Int(30)])
+        .unwrap();
     assert_eq!(
         db.get_attr(t, reactor, "plannedPower").unwrap(),
         Value::Float(1000.0)
@@ -91,8 +97,10 @@ fn the_papers_rule_fires_end_to_end() {
 
     // Case 3: all three conditions hold — planned power drops 5%.
     let t = db.begin().unwrap();
-    db.set_attr(t, river, "waterTemp", Value::Float(26.0)).unwrap();
-    db.invoke(t, river, "updateWaterLevel", &[Value::Int(30)]).unwrap();
+    db.set_attr(t, river, "waterTemp", Value::Float(26.0))
+        .unwrap();
+    db.invoke(t, river, "updateWaterLevel", &[Value::Int(30)])
+        .unwrap();
     assert_eq!(
         db.get_attr(t, reactor, "plannedPower").unwrap(),
         Value::Float(950.0)
@@ -119,7 +127,8 @@ fn abort_action_rolls_back_the_trigger() {
     .unwrap();
     let db = sys.db();
     let t = db.begin().unwrap();
-    db.invoke(t, river, "updateWaterLevel", &[Value::Int(0)]).unwrap();
+    db.invoke(t, river, "updateWaterLevel", &[Value::Int(0)])
+        .unwrap();
     assert!(!db.txn_manager().is_active(t), "trigger aborted by rule");
     let t2 = db.begin().unwrap();
     assert_eq!(
@@ -147,7 +156,8 @@ fn deferred_rule_language_mode() {
     .unwrap();
     let db = sys.db();
     let t = db.begin().unwrap();
-    db.invoke(t, river, "updateWaterLevel", &[Value::Int(5)]).unwrap();
+    db.invoke(t, river, "updateWaterLevel", &[Value::Int(5)])
+        .unwrap();
     // Not yet: deferred until commit.
     assert_eq!(
         db.get_attr(t, reactor, "plannedPower").unwrap(),
@@ -182,7 +192,8 @@ fn split_cond_action_coupling() {
     .unwrap();
     let db = sys.db();
     let t = db.begin().unwrap();
-    db.invoke(t, river, "updateWaterLevel", &[Value::Int(5)]).unwrap();
+    db.invoke(t, river, "updateWaterLevel", &[Value::Int(5)])
+        .unwrap();
     // Condition held immediately, but the action is deferred.
     assert_eq!(
         db.get_attr(t, reactor, "plannedPower").unwrap(),
@@ -191,7 +202,8 @@ fn split_cond_action_coupling() {
     // Raise the level again before commit: an immediate-action rule
     // would not have fired for this second event (x = 50 fails), and
     // the deferred action from the first event still runs at commit.
-    db.invoke(t, river, "updateWaterLevel", &[Value::Int(50)]).unwrap();
+    db.invoke(t, river, "updateWaterLevel", &[Value::Int(50)])
+        .unwrap();
     db.commit(t).unwrap();
     let t2 = db.begin().unwrap();
     assert_eq!(

@@ -2,10 +2,10 @@
 //! deletion, and composite references.
 
 use open_oodb::Database;
+use reach_core::event::MethodPhase;
 use reach_core::{
     CompositionScope, ConsumptionPolicy, EventExpr, Lifespan, ReachConfig, ReachSystem,
 };
-use reach_core::event::MethodPhase;
 use reach_object::{Value, ValueType};
 use reach_rulelang::compile::load_rule;
 use std::sync::Arc;

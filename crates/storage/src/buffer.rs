@@ -12,14 +12,23 @@ use crate::page::Page;
 use parking_lot::{Mutex, RwLock};
 use reach_common::{MetricsRegistry, PageId, ReachError, Result};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// `rec_lsn` value of a clean frame ("no unflushed change").
+const NO_REC_LSN: u64 = u64::MAX;
 
 struct Frame {
     page: RwLock<Page>,
     pins: AtomicU32,
     dirty: AtomicBool,
     referenced: AtomicBool,
+    /// Recovery LSN: a conservative lower bound on the LSN of the first
+    /// log record whose effect on this page is not yet on disk.
+    /// [`NO_REC_LSN`] while clean. Maintained with `fetch_min`, written
+    /// *before* the dirty bit so a dirty-page-table capture that sees
+    /// `dirty` also sees a valid bound.
+    rec_lsn: AtomicU64,
 }
 
 /// Called before any dirty page is written back to the device — the
@@ -28,6 +37,12 @@ struct Frame {
 /// ahead of the log records describing its changes. Must not call
 /// back into the pool (it runs under the directory lock).
 pub type FlushBarrier = Arc<dyn Fn() -> Result<()> + Send + Sync>;
+
+/// Supplies the current WAL tail LSN when a clean frame turns dirty.
+/// The tail is captured *before* the mutation's log record is appended,
+/// so it is a conservative (≤ actual first-record) recovery LSN. Must
+/// not call back into the pool.
+pub type LsnSource = Arc<dyn Fn() -> u64 + Send + Sync>;
 
 struct Directory {
     /// page id -> frame index
@@ -58,6 +73,7 @@ pub struct BufferPool {
     dir: Mutex<Directory>,
     metrics: Arc<MetricsRegistry>,
     barrier: Mutex<Option<FlushBarrier>>,
+    lsn_source: Mutex<Option<LsnSource>>,
 }
 
 impl BufferPool {
@@ -83,6 +99,7 @@ impl BufferPool {
                     pins: AtomicU32::new(0),
                     dirty: AtomicBool::new(false),
                     referenced: AtomicBool::new(false),
+                    rec_lsn: AtomicU64::new(NO_REC_LSN),
                 })
             })
             .collect();
@@ -96,6 +113,7 @@ impl BufferPool {
             }),
             metrics,
             barrier: Mutex::new(None),
+            lsn_source: Mutex::new(None),
         }
     }
 
@@ -109,6 +127,21 @@ impl BufferPool {
     /// single lock acquisition, so calling it per write-back is cheap.
     pub fn set_flush_barrier(&self, barrier: FlushBarrier) {
         *self.barrier.lock() = Some(barrier);
+    }
+
+    /// Install the recovery-LSN source (see [`LsnSource`]). Without one
+    /// the pool records `0` — "oldest possible" — which keeps every
+    /// downstream bound conservative.
+    pub fn set_lsn_source(&self, source: LsnSource) {
+        *self.lsn_source.lock() = Some(source);
+    }
+
+    fn current_lsn(&self) -> u64 {
+        let source = self.lsn_source.lock().clone();
+        match source {
+            Some(s) => s(),
+            None => 0,
+        }
     }
 
     fn flush_barrier(&self) -> Result<()> {
@@ -144,11 +177,18 @@ impl BufferPool {
     /// dirty unconditionally (callers only take `_mut` when mutating).
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
         let frame = self.pin(id)?;
+        // rec_lsn before the dirty bit: a dirty-page-table capture that
+        // observes `dirty` must also observe a bound ≤ the first log
+        // record of this mutation (which is appended after `f` runs).
+        // fetch_min keeps the oldest bound if the frame is already dirty.
+        frame
+            .rec_lsn
+            .fetch_min(self.current_lsn(), Ordering::AcqRel);
+        frame.dirty.store(true, Ordering::Release);
         let out = {
             let mut guard = frame.page.write();
             f(&mut guard)
         };
-        frame.dirty.store(true, Ordering::Release);
         self.unpin(&frame);
         Ok(out)
     }
@@ -174,9 +214,18 @@ impl BufferPool {
             let frame = &self.frames[idx];
             if frame.dirty.swap(false, Ordering::AcqRel) {
                 // WAL rule: the log records describing this page's
-                // changes must be durable before its image is.
-                self.flush_barrier()?;
-                self.disk.write(&frame.page.read())?;
+                // changes must be durable before its image is. On
+                // failure the dirty bit (and rec_lsn) must come back:
+                // a clean-flagged page that never reached disk would
+                // let a later checkpoint truncate its redo records.
+                let wrote = self
+                    .flush_barrier()
+                    .and_then(|_| self.disk.write(&frame.page.read()));
+                if let Err(e) = wrote {
+                    frame.dirty.store(true, Ordering::Release);
+                    return Err(e);
+                }
+                frame.rec_lsn.store(NO_REC_LSN, Ordering::Release);
                 self.metrics.pool.writebacks.inc();
             }
             dir.table.remove(&old);
@@ -187,6 +236,7 @@ impl BufferPool {
         *frame.page.write() = page;
         frame.pins.store(1, Ordering::Release);
         frame.dirty.store(false, Ordering::Release);
+        frame.rec_lsn.store(NO_REC_LSN, Ordering::Release);
         frame.referenced.store(true, Ordering::Release);
         dir.resident[idx] = Some(id);
         dir.table.insert(id, idx);
@@ -233,12 +283,40 @@ impl BufferPool {
             }
             let frame = &self.frames[idx];
             if frame.dirty.swap(false, Ordering::AcqRel) {
-                self.disk.write(&frame.page.read())?;
+                // As in eviction: a failed write must not leave the
+                // page clean-flagged (truncation safety).
+                if let Err(e) = self.disk.write(&frame.page.read()) {
+                    frame.dirty.store(true, Ordering::Release);
+                    return Err(e);
+                }
+                frame.rec_lsn.store(NO_REC_LSN, Ordering::Release);
                 self.metrics.pool.writebacks.inc();
             }
         }
         drop(dir);
         self.disk.sync()
+    }
+
+    /// The dirty-page table: every resident dirty page with its
+    /// recovery LSN, as carried by a fuzzy checkpoint's
+    /// `EndCheckpoint` record. A frame caught mid-clean (dirty bit
+    /// still set, rec_lsn already reset) is skipped — its image is on
+    /// disk.
+    pub fn dirty_page_table(&self) -> Vec<(PageId, u64)> {
+        let dir = self.dir.lock();
+        let mut out = Vec::new();
+        for (idx, occupant) in dir.resident.iter().enumerate() {
+            let Some(id) = occupant else { continue };
+            let frame = &self.frames[idx];
+            if !frame.dirty.load(Ordering::Acquire) {
+                continue;
+            }
+            let rec_lsn = frame.rec_lsn.load(Ordering::Acquire);
+            if rec_lsn != NO_REC_LSN {
+                out.push((*id, rec_lsn));
+            }
+        }
+        out
     }
 
     /// Current hit/miss/eviction counters.
@@ -270,8 +348,12 @@ mod tests {
     fn read_your_writes_through_the_pool() {
         let p = pool(4);
         let id = p.allocate().unwrap();
-        let slot = p.with_page_mut(id, |pg| pg.insert(b"cached").unwrap()).unwrap();
-        let data = p.with_page(id, |pg| pg.get(slot).unwrap().to_vec()).unwrap();
+        let slot = p
+            .with_page_mut(id, |pg| pg.insert(b"cached").unwrap())
+            .unwrap();
+        let data = p
+            .with_page(id, |pg| pg.get(slot).unwrap().to_vec())
+            .unwrap();
         assert_eq!(data, b"cached");
         assert_eq!(p.stats().misses, 1);
         assert_eq!(p.stats().hits, 1);
@@ -304,7 +386,9 @@ mod tests {
         let disk = Arc::new(MemDisk::new());
         let p = BufferPool::new(Arc::clone(&disk) as Arc<dyn StableStorage>, 4);
         let id = p.allocate().unwrap();
-        let slot = p.with_page_mut(id, |pg| pg.insert(b"durable").unwrap()).unwrap();
+        let slot = p
+            .with_page_mut(id, |pg| pg.insert(b"durable").unwrap())
+            .unwrap();
         p.flush_all().unwrap();
         // Read directly from the device, bypassing the pool.
         let raw = disk.read(id).unwrap();
@@ -331,7 +415,11 @@ mod tests {
         p.with_page(e, |_| ()).unwrap();
         let before = p.stats().hits;
         p.with_page(b, |_| ()).unwrap();
-        assert_eq!(p.stats().hits, before + 1, "B should have survived via second chance");
+        assert_eq!(
+            p.stats().hits,
+            before + 1,
+            "B should have survived via second chance"
+        );
     }
 
     #[test]
@@ -365,6 +453,33 @@ mod tests {
     }
 
     #[test]
+    fn dirty_page_table_tracks_first_dirtying_lsn() {
+        let p = pool(4);
+        let lsn = Arc::new(AtomicU64::new(100));
+        {
+            let lsn = Arc::clone(&lsn);
+            p.set_lsn_source(Arc::new(move || lsn.load(Ordering::SeqCst)));
+        }
+        assert!(p.dirty_page_table().is_empty());
+        let a = p.allocate().unwrap();
+        let b = p.allocate().unwrap();
+        p.with_page_mut(a, |pg| pg.insert(b"x").unwrap()).unwrap();
+        lsn.store(200, Ordering::SeqCst);
+        p.with_page_mut(b, |pg| pg.insert(b"y").unwrap()).unwrap();
+        // Re-dirtying A keeps its *first* rec LSN (fetch_min).
+        p.with_page_mut(a, |pg| pg.insert(b"z").unwrap()).unwrap();
+        let mut dpt = p.dirty_page_table();
+        dpt.sort();
+        assert_eq!(dpt, vec![(a, 100), (b, 200)]);
+        // Flushing cleans the table; a later dirty re-enters at the new LSN.
+        p.flush_all().unwrap();
+        assert!(p.dirty_page_table().is_empty());
+        lsn.store(300, Ordering::SeqCst);
+        p.with_page_mut(a, |pg| pg.insert(b"w").unwrap()).unwrap();
+        assert_eq!(p.dirty_page_table(), vec![(a, 300)]);
+    }
+
+    #[test]
     fn null_page_is_rejected() {
         let p = pool(1);
         assert!(p.with_page(PageId::NULL, |_| ()).is_err());
@@ -387,9 +502,7 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for round in 0..50 {
                     let id = ids[(t * 7 + round) % ids.len()];
-                    let v = p
-                        .with_page(id, |pg| pg.get(0).unwrap().to_vec())
-                        .unwrap();
+                    let v = p.with_page(id, |pg| pg.get(0).unwrap().to_vec()).unwrap();
                     assert_eq!(v, id.raw().to_le_bytes());
                 }
             }));

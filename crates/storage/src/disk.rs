@@ -63,7 +63,9 @@ impl StableStorage for MemDisk {
 
     fn read(&self, id: PageId) -> Result<Page> {
         let pages = self.pages.lock();
-        let idx = (id.raw() as usize).checked_sub(1).ok_or(ReachError::PageNotFound(id))?;
+        let idx = (id.raw() as usize)
+            .checked_sub(1)
+            .ok_or(ReachError::PageNotFound(id))?;
         match pages.get(idx) {
             Some(Some(img)) => Page::from_bytes(img.as_slice()),
             // Allocated but never written: a fresh formatted page.
@@ -75,7 +77,9 @@ impl StableStorage for MemDisk {
     fn write(&self, page: &Page) -> Result<()> {
         let id = page.id();
         let mut pages = self.pages.lock();
-        let idx = (id.raw() as usize).checked_sub(1).ok_or(ReachError::PageNotFound(id))?;
+        let idx = (id.raw() as usize)
+            .checked_sub(1)
+            .ok_or(ReachError::PageNotFound(id))?;
         let slot = pages.get_mut(idx).ok_or(ReachError::PageNotFound(id))?;
         let mut img = Box::new([0u8; PAGE_SIZE]);
         img.copy_from_slice(page.as_bytes());
@@ -345,8 +349,8 @@ mod tests {
         let mut q = d.read(id).unwrap();
         q.insert(b"second").unwrap();
         assert!(d.write(&q).is_err()); // occurrence 2: torn
-        // The device now holds a frankenstein image: first 100 bytes of
-        // the new write, old bytes after. It is NOT the clean old image.
+                                       // The device now holds a frankenstein image: first 100 bytes of
+                                       // the new write, old bytes after. It is NOT the clean old image.
         let on_disk = mem.read(id).unwrap();
         assert_ne!(on_disk.as_bytes(), p.as_bytes());
         assert_ne!(on_disk.as_bytes(), q.as_bytes());

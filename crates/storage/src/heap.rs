@@ -84,9 +84,7 @@ impl HeapFile {
         }
         // No fit: grow the file.
         let pid = self.pool.allocate()?;
-        let slot = self
-            .pool
-            .with_page_mut(pid, |pg| pg.insert(payload))??;
+        let slot = self.pool.with_page_mut(pid, |pg| pg.insert(payload))??;
         self.pages.lock().push(pid);
         Ok((RecordId::new(pid, slot), true))
     }

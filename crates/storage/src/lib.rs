@@ -12,13 +12,18 @@
 //!   clock eviction, dirty-page write-back;
 //! * **a write-ahead log** ([`wal`]) — physiological before/after-image
 //!   records, flushed on commit;
-//! * **recovery** ([`recovery`]) — ARIES-style analysis / redo / undo;
+//! * **fuzzy checkpoints** ([`checkpoint`]) — Begin/End checkpoint pairs
+//!   carrying the dirty-page and active-writer tables, with log
+//!   truncation below the safe cut;
+//! * **recovery** ([`recovery`]) — ARIES-style analysis / redo / undo,
+//!   bounded by the last complete checkpoint;
 //! * **heap files** ([`heap`]) — record collections with stable
 //!   [`heap::RecordId`]s and scans;
 //! * **the storage manager facade** ([`sm`]) — named segments, object
 //!   allocation, and the transactional hooks the Transaction PM drives.
 
 pub mod buffer;
+pub mod checkpoint;
 pub mod disk;
 pub mod heap;
 pub mod page;
@@ -28,6 +33,7 @@ pub mod torture;
 pub mod wal;
 
 pub use buffer::BufferPool;
+pub use checkpoint::CheckpointStats;
 pub use disk::{FaultDisk, FileDisk, MemDisk, StableStorage};
 pub use heap::{HeapFile, RecordId};
 pub use page::{Page, PAGE_SIZE};

@@ -303,8 +303,7 @@ impl Page {
         let mut records: Vec<(u16, Vec<u8>)> = (0..self.slot_count())
             .filter_map(|s| {
                 let (off, len) = self.slot_entry(s);
-                (off != DEAD)
-                    .then(|| (s, self.data[off as usize..(off + len) as usize].to_vec()))
+                (off != DEAD).then(|| (s, self.data[off as usize..(off + len) as usize].to_vec()))
             })
             .collect();
         let mut cursor = HEADER_SIZE;

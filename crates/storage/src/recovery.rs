@@ -1,13 +1,17 @@
 //! Crash recovery: ARIES-style analysis / redo / undo.
 //!
-//! * **Analysis** finds the last fuzzy checkpoint (a point where every
-//!   dirty page had been flushed) and computes the winner set — every
+//! * **Analysis** finds the last *complete* `BeginCheckpoint` /
+//!   `EndCheckpoint` pair and computes the winner set — every
 //!   transaction with a `Commit` record, plus the reserved catalog
-//!   transaction [`SYSTEM_TXN`].
-//! * **Redo** repeats history from the checkpoint forward: every logged
-//!   operation (including losers' and CLRs) is reapplied. The
-//!   physiological `put_at`/`delete` primitives are idempotent, so redo
-//!   needs no page-LSN comparison.
+//!   transaction [`SYSTEM_TXN`]. The end record's active-writer table
+//!   joins the loser candidates; its dirty-page table bounds redo.
+//! * **Redo** repeats history from `min(checkpoint begin LSN, min dirty
+//!   rec_lsn)` forward — not from the start of the log. Records below
+//!   that point have their effects on disk (that is the checkpoint's
+//!   truncation invariant, which holds whether or not the prefix was
+//!   actually truncated). Every replayed operation (including losers'
+//!   and CLRs) is reapplied; the physiological `put_at`/`delete`
+//!   primitives are idempotent, so redo needs no page-LSN comparison.
 //! * **Undo** rolls back every loser in reverse log order, writing CLRs,
 //!   and finishes each with an `Abort` record — restart after a crash
 //!   *during* recovery is therefore also safe.
@@ -31,6 +35,13 @@ pub struct RecoveryReport {
     /// Torn trailing bytes the WAL salvage scan discarded (a non-zero
     /// value means the crash tore a frame mid-append).
     pub salvaged_bytes: u64,
+    /// Bytes of surviving log the analysis pass had to read. With
+    /// checkpoint-driven truncation this stays bounded instead of
+    /// growing with database uptime.
+    pub scanned_bytes: u64,
+    /// LSN the redo pass started at (0 = no usable checkpoint, replay
+    /// the whole surviving log).
+    pub redo_start: Lsn,
 }
 
 /// Run crash recovery against `sm`'s WAL and pages.
@@ -40,14 +51,26 @@ pub fn recover(sm: &StorageManager) -> Result<RecoveryReport> {
     let mut report = RecoveryReport {
         records_scanned: log.len(),
         salvaged_bytes: scan.salvaged_bytes,
+        scanned_bytes: sm.wal().tail().saturating_sub(sm.wal().base_lsn()),
         ..Default::default()
     };
 
     // ---- analysis ----
-    let mut checkpoint_at: Option<usize> = None;
-    for (idx, (_, rec)) in log.iter().enumerate() {
-        if matches!(rec, WalRecord::Checkpoint { .. }) {
-            checkpoint_at = Some(idx);
+    // Last complete checkpoint pair. `pending` pairs each End with the
+    // most recent unconsumed Begin; an End whose Begin fell below an
+    // even later checkpoint's truncation cut is simply skipped.
+    type CheckpointTables = (Lsn, Vec<(reach_common::PageId, Lsn)>, Vec<(TxnId, Lsn)>);
+    let mut pending_begin: Option<Lsn> = None;
+    let mut checkpoint: Option<CheckpointTables> = None;
+    for (lsn, rec) in &log {
+        match rec {
+            WalRecord::BeginCheckpoint => pending_begin = Some(*lsn),
+            WalRecord::EndCheckpoint { dirty, active } => {
+                if let Some(begin) = pending_begin.take() {
+                    checkpoint = Some((begin, dirty.clone(), active.clone()));
+                }
+            }
+            _ => {}
         }
     }
     let mut winners: HashSet<TxnId> = HashSet::new();
@@ -72,24 +95,47 @@ pub fn recover(sm: &StorageManager) -> Result<RecoveryReport> {
             }
         }
     }
+    // The checkpoint's active-writer table joins the loser candidates.
+    // With truncation bounded by every writer's first-write LSN their
+    // records survive and are in `seen` already; this keeps analysis
+    // correct even for a log truncated by some future, bolder policy.
+    if let Some((_, _, active)) = &checkpoint {
+        for (txn, _) in active {
+            seen.insert(*txn);
+        }
+    }
     let mut losers: Vec<TxnId> = seen.difference(&finished).copied().collect();
     losers.sort();
     report.losers = losers.clone();
 
     // ---- redo: repeat history from the checkpoint forward ----
-    let redo_from = checkpoint_at.map(|i| i + 1).unwrap_or(0);
-    for (_, rec) in &log[redo_from..] {
+    // Start at min(begin LSN, min dirty-page rec_lsn): pages still dirty
+    // at the checkpoint may carry effects of records before its Begin.
+    let redo_start = checkpoint
+        .as_ref()
+        .map(|(begin, dirty, _)| dirty.iter().fold(*begin, |s, (_, r)| s.min(*r)))
+        .unwrap_or(0);
+    report.redo_start = redo_start;
+    for (lsn, rec) in &log {
+        if *lsn < redo_start {
+            continue;
+        }
         match rec {
             WalRecord::Insert {
-                page, slot, payload, ..
+                page,
+                slot,
+                payload,
+                ..
             } => {
-                sm.pool().with_page_mut(*page, |pg| pg.put_at(*slot, payload))??;
+                sm.pool()
+                    .with_page_mut(*page, |pg| pg.put_at(*slot, payload))??;
                 report.redone += 1;
             }
             WalRecord::Update {
                 page, slot, after, ..
             } => {
-                sm.pool().with_page_mut(*page, |pg| pg.put_at(*slot, after))??;
+                sm.pool()
+                    .with_page_mut(*page, |pg| pg.put_at(*slot, after))??;
                 report.redone += 1;
             }
             WalRecord::Delete { page, slot, .. } => {
@@ -105,9 +151,9 @@ pub fn recover(sm: &StorageManager) -> Result<RecoveryReport> {
                 ..
             } => {
                 match restore {
-                    Some(img) => {
-                        sm.pool().with_page_mut(*page, |pg| pg.put_at(*slot, img))??
-                    }
+                    Some(img) => sm
+                        .pool()
+                        .with_page_mut(*page, |pg| pg.put_at(*slot, img))??,
                     None => sm.pool().with_page_mut(*page, |pg| {
                         let _ = pg.delete(*slot);
                     })?,
@@ -148,7 +194,10 @@ pub fn recover(sm: &StorageManager) -> Result<RecoveryReport> {
     // exp_observe report recovery from this single source (ungated: a
     // reboot is rare and the write happens once).
     let m = sm.metrics();
-    m.recovery.records_scanned.set(report.records_scanned as u64);
+    m.recovery
+        .records_scanned
+        .set(report.records_scanned as u64);
+    m.recovery.scan_bytes.set(report.scanned_bytes);
     m.recovery.redone.set(report.redone as u64);
     m.recovery.losers.set(report.losers.len() as u64);
     m.recovery.undone.set(report.undone as u64);
@@ -217,7 +266,7 @@ mod tests {
             sm.insert(t1, seg, format!("pre{i}").as_bytes()).unwrap();
         }
         sm.commit(t1).unwrap();
-        sm.checkpoint(vec![]).unwrap();
+        sm.checkpoint().unwrap();
         let t2 = TxnId::new(2);
         sm.begin(t2).unwrap();
         sm.insert(t2, seg, b"post").unwrap();

@@ -17,6 +17,7 @@
 //! scale; a production system would chain catalog pages.
 
 use crate::buffer::BufferPool;
+use crate::checkpoint::{ActiveTxns, CheckpointStats, Checkpointer};
 use crate::disk::{FileDisk, MemDisk, StableStorage};
 use crate::heap::{HeapFile, RecordId};
 use crate::wal::{WalRecord, WriteAheadLog};
@@ -52,9 +53,12 @@ pub struct StorageManager {
     catalog: Mutex<Catalog>,
     /// Page holding the serialized catalog (page 1, slot 0).
     catalog_page: PageId,
-    /// Logged mutations per live transaction — feeds the read-only
-    /// commit fast path (a txn with zero writes has nothing to force).
-    write_ops: Mutex<HashMap<TxnId, u64>>,
+    /// Live transactions with write counts and first-write LSNs — feeds
+    /// the read-only commit fast path (a txn with zero writes has
+    /// nothing to force) and the checkpoint's active-writer table.
+    active: Arc<ActiveTxns>,
+    /// Fuzzy checkpoint / log-truncation driver.
+    ckpt: Checkpointer,
 }
 
 impl StorageManager {
@@ -120,6 +124,13 @@ impl StorageManager {
             let wal = Arc::clone(&wal);
             pool.set_flush_barrier(Arc::new(move || wal.force()));
         }
+        // Recovery-LSN source: a page dirtied now can only be described
+        // by records at or past the current tail, so the tail is a safe
+        // conservative rec_lsn for the dirty-page table.
+        {
+            let wal = Arc::clone(&wal);
+            pool.set_lsn_source(Arc::new(move || wal.tail()));
+        }
         let catalog_page = if fresh {
             let pid = pool.allocate()?;
             debug_assert_eq!(pid.raw(), 1);
@@ -128,6 +139,8 @@ impl StorageManager {
         } else {
             PageId::new(1)
         };
+        let active = Arc::new(ActiveTxns::default());
+        let ckpt = Checkpointer::new(Arc::clone(&wal), Arc::clone(&pool), Arc::clone(&active));
         let sm = StorageManager {
             pool,
             wal,
@@ -137,7 +150,8 @@ impl StorageManager {
                 next_seg: 1,
             }),
             catalog_page,
-            write_ops: Mutex::new(HashMap::new()),
+            active,
+            ckpt,
         };
         // For pre-existing databases the catalog is loaded by the caller
         // after recovery ran (see `open`); reading it here would see
@@ -268,6 +282,7 @@ impl StorageManager {
 
     /// Log the start of a transaction.
     pub fn begin(&self, txn: TxnId) -> Result<()> {
+        self.active.begin(txn);
         self.wal.append(&WalRecord::Begin { txn })?;
         Ok(())
     }
@@ -279,13 +294,17 @@ impl StorageManager {
     /// a crash leaves a Begin-only loser that recovery discards as a
     /// no-op. Dirty pages may trickle out later or at checkpoint.
     pub fn commit(&self, txn: TxnId) -> Result<()> {
-        let wrote = self.write_ops.lock().remove(&txn).unwrap_or(0) > 0;
-        let (_, end) = self.wal.append_bounded(&WalRecord::Commit { txn })?;
+        let (wrote, end) = self
+            .active
+            .finish_logged(txn, &self.wal, &WalRecord::Commit { txn })?;
         if wrote {
-            self.wal.force_up_to(end)
-        } else {
-            Ok(())
+            self.wal.force_up_to(end)?;
         }
+        // Best-effort auto-checkpoint: the commit is already durable and
+        // acked, so a checkpoint failure here must not turn it into an
+        // error (the torture oracle counts acks as winners, exactly).
+        let _ = self.ckpt.maybe_checkpoint();
+        Ok(())
     }
 
     /// Abort: undo this transaction's logged operations in reverse order,
@@ -313,19 +332,22 @@ impl StorageManager {
             })
             .collect();
         // `ops` is scan-derived so crash-restart aborts (where the
-        // write_ops map is empty) still force correctly.
+        // active table is empty) still force correctly.
         let wrote = !ops.is_empty();
-        self.write_ops.lock().remove(&txn);
         let to_undo = ops.len().saturating_sub(undone);
         for (lsn, rec) in ops.into_iter().take(to_undo).rev() {
             self.undo_one(txn, lsn, &rec)?;
         }
-        let (_, end) = self.wal.append_bounded(&WalRecord::Abort { txn })?;
+        let (_, end) = self
+            .active
+            .finish_logged(txn, &self.wal, &WalRecord::Abort { txn })?;
         if wrote {
-            self.wal.force_up_to(end)
-        } else {
-            Ok(())
+            self.wal.force_up_to(end)?;
         }
+        // Same best-effort trigger as commit; see there for why errors
+        // are swallowed.
+        let _ = self.ckpt.maybe_checkpoint();
+        Ok(())
     }
 
     /// Apply the inverse of one logged operation and write its CLR.
@@ -379,13 +401,15 @@ impl StorageManager {
     pub fn insert(&self, txn: TxnId, seg: SegmentId, payload: &[u8]) -> Result<RecordId> {
         let heap = self.heap(seg)?;
         let (rid, grew) = heap.insert(payload)?;
+        // Registered before the append so the checkpoint cut can never
+        // pass this record while the transaction is live.
+        self.active.note_write(txn, &self.wal);
         self.wal.append(&WalRecord::Insert {
             txn,
             page: rid.page,
             slot: rid.slot,
             payload: payload.to_vec(),
         })?;
-        *self.write_ops.lock().entry(txn).or_default() += 1;
         if grew {
             let cat = self.catalog.lock();
             self.save_catalog(&cat)?;
@@ -403,6 +427,7 @@ impl StorageManager {
         let heap = self.heap(seg)?;
         let before = heap.get(rid)?;
         heap.update(rid, payload)?;
+        self.active.note_write(txn, &self.wal);
         self.wal.append(&WalRecord::Update {
             txn,
             page: rid.page,
@@ -410,7 +435,6 @@ impl StorageManager {
             before,
             after: payload.to_vec(),
         })?;
-        *self.write_ops.lock().entry(txn).or_default() += 1;
         Ok(())
     }
 
@@ -419,13 +443,13 @@ impl StorageManager {
         let heap = self.heap(seg)?;
         let before = heap.get(rid)?;
         heap.delete(rid)?;
+        self.active.note_write(txn, &self.wal);
         self.wal.append(&WalRecord::Delete {
             txn,
             page: rid.page,
             slot: rid.slot,
             before,
         })?;
-        *self.write_ops.lock().entry(txn).or_default() += 1;
         Ok(())
     }
 
@@ -434,13 +458,18 @@ impl StorageManager {
         self.heap(seg)?.scan()
     }
 
-    /// Fuzzy checkpoint: force the log, flush every dirty page, then log
-    /// the checkpoint marker with the given set of active transactions.
-    pub fn checkpoint(&self, active: Vec<TxnId>) -> Result<()> {
-        self.wal.force()?;
-        self.pool.flush_all()?;
-        self.wal.append(&WalRecord::Checkpoint { active })?;
-        self.wal.force()
+    /// Take a fuzzy checkpoint now: `BeginCheckpoint`, pool flush,
+    /// dirty-page + active-writer capture, `EndCheckpoint`, force, then
+    /// truncate the log below the safe cut. See [`crate::checkpoint`]
+    /// for the protocol and the truncation-safety argument.
+    pub fn checkpoint(&self) -> Result<CheckpointStats> {
+        self.ckpt.checkpoint()
+    }
+
+    /// Arm (or disarm with `None`) automatic checkpoints every `bytes`
+    /// of log growth, checked after each commit/abort.
+    pub fn set_checkpoint_threshold(&self, bytes: Option<u64>) {
+        self.ckpt.set_threshold(bytes);
     }
 }
 
@@ -494,7 +523,9 @@ fn decode_catalog(buf: &[u8]) -> Result<(CatalogEntries, u64)> {
         let pages_len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
         let mut pages = Vec::with_capacity(pages_len);
         for _ in 0..pages_len {
-            pages.push(PageId::new(u64::from_le_bytes(take(8)?.try_into().unwrap())));
+            pages.push(PageId::new(u64::from_le_bytes(
+                take(8)?.try_into().unwrap(),
+            )));
         }
         entries.push((name, id, pages));
     }
@@ -626,7 +657,7 @@ mod tests {
             s.begin(txn).unwrap();
             rid = s.insert(txn, seg, b"durable doc").unwrap();
             s.commit(txn).unwrap();
-            s.checkpoint(vec![]).unwrap();
+            s.checkpoint().unwrap();
         }
         let s = StorageManager::open(&dir, 32).unwrap();
         let seg = s.segment("docs").unwrap();

@@ -35,6 +35,13 @@ pub struct WorkloadSpec {
     /// Minimum number of record operations (insert/update/delete).
     pub ops: usize,
     pub pool_frames: usize,
+    /// Sprinkle explicit checkpoints through the workload (the crash
+    /// sweeps keep this on so checkpoint and truncation frames are
+    /// themselves crash points). E17 turns it off to compare pure
+    /// threshold-driven checkpointing against none at all — the rng
+    /// stream is consumed identically either way, so the operation
+    /// sequence does not depend on this flag.
+    pub manual_checkpoints: bool,
 }
 
 impl Default for WorkloadSpec {
@@ -43,6 +50,7 @@ impl Default for WorkloadSpec {
             seed: 0xC0FFEE,
             ops: 200,
             pool_frames: 16,
+            manual_checkpoints: true,
         }
     }
 }
@@ -138,8 +146,12 @@ fn run_workload_inner(
             sm.commit(txn)?;
             acked.push(txn);
         }
-        if rng.chance(1, 12) {
-            sm.checkpoint(vec![])?;
+        // 1-in-4 so every seed actually exercises checkpoint +
+        // truncation frames as crash points (1-in-12 never fired for
+        // the default seed's draw sequence). The draw is consumed even
+        // with checkpoints off, keeping the op stream flag-independent.
+        if rng.chance(1, 4) && spec.manual_checkpoints {
+            sm.checkpoint()?;
         }
     }
     Ok(())
@@ -147,12 +159,17 @@ fn run_workload_inner(
 
 /// Run the workload fault-free over fresh in-memory parts and return the
 /// full WAL frame sequence it produces — the oracle for every crash run.
+///
+/// Checkpoints truncate the log as they go, exactly as in the crash
+/// runs; the oracle log runs in archive mode so the truncated prefix is
+/// kept aside and the *complete* frame history is returned.
 pub fn oracle_frames(spec: &WorkloadSpec) -> Result<Vec<(Lsn, WalRecord)>> {
     let disk: Arc<dyn StableStorage> = Arc::new(MemDisk::new());
     let wal = Arc::new(WriteAheadLog::in_memory());
+    wal.set_archive(true);
     let (sm, _) = StorageManager::open_with(disk, Arc::clone(&wal), spec.pool_frames)?;
     run_workload(&sm, spec)?;
-    wal.scan()
+    wal.scan_all()
 }
 
 /// The record state exactly the committed transactions in `prefix`
@@ -175,7 +192,10 @@ pub fn committed_state(prefix: &[(Lsn, WalRecord)]) -> State {
         }
         match rec {
             WalRecord::Insert {
-                page, slot, payload, ..
+                page,
+                slot,
+                payload,
+                ..
             } => {
                 state.insert((page.raw(), *slot), payload.clone());
             }
@@ -222,11 +242,7 @@ pub struct CrashPointResult {
 /// until the injected crash stops it, reboot over the surviving bytes,
 /// recover, and verify the visible state against the oracle prefix.
 /// Panics (with the crash point in the message) on any divergence.
-pub fn torture_at(
-    spec: &WorkloadSpec,
-    oracle: &[(Lsn, WalRecord)],
-    n: usize,
-) -> CrashPointResult {
+pub fn torture_at(spec: &WorkloadSpec, oracle: &[(Lsn, WalRecord)], n: usize) -> CrashPointResult {
     assert!(n >= 1 && n <= oracle.len());
     let disk = Arc::new(MemDisk::new());
     let wal = Arc::new(WriteAheadLog::in_memory());
@@ -328,7 +344,9 @@ pub fn torture_crash_during_recovery(
         final_wal,
         spec.pool_frames,
     )
-    .unwrap_or_else(|e| panic!("re-recovery (crash at frame {n}, recovery append {m}) failed: {e}"));
+    .unwrap_or_else(|e| {
+        panic!("re-recovery (crash at frame {n}, recovery append {m}) failed: {e}")
+    });
     let expected = committed_state(&oracle[..n - 1]);
     assert_eq!(
         visible_state(&sm3).unwrap(),
@@ -363,7 +381,12 @@ pub fn oracle_force_count(spec: &WorkloadSpec) -> Result<u64> {
 /// * no unacknowledged commit surfaces — its record was still in the
 ///   lost tail;
 /// * recovery is idempotent.
-pub fn torture_force_crash(spec: &WorkloadSpec, k: u64) {
+///
+/// Checkpoints may have truncated the log before the crash, so the full
+/// frame history is the oracle's truncated prefix (identical by
+/// determinism, and forced — the cut never passes the forced LSN)
+/// stitched to the surviving durable records.
+pub fn torture_force_crash(spec: &WorkloadSpec, oracle: &[(Lsn, WalRecord)], k: u64) {
     let disk = Arc::new(MemDisk::new());
     let wal = Arc::new(WriteAheadLog::in_memory());
     wal.set_injector(FaultInjector::new(
@@ -381,15 +404,23 @@ pub fn torture_force_crash(spec: &WorkloadSpec, k: u64) {
 
     // ---- reboot over the forced prefix only ----
     let image = wal.durable_image().expect("in-memory image");
-    let durable_records = WriteAheadLog::in_memory_from(image.clone())
-        .scan()
-        .expect("durable prefix scans cleanly");
+    let durable_wal = WriteAheadLog::in_memory_from(image.clone());
+    let base = durable_wal.base_lsn();
+    let durable_records = durable_wal.scan().expect("durable prefix scans cleanly");
+    let full_history: Vec<(Lsn, WalRecord)> = oracle
+        .iter()
+        .filter(|(lsn, _)| *lsn < base)
+        .cloned()
+        .chain(durable_records.iter().cloned())
+        .collect();
 
     // The acked set and the durable winners must be the same set: a
     // commit is acknowledged exactly when the sync covering its record
     // returned, so the crashed force's own commit (if any) is in
-    // neither, and every earlier one is in both.
-    let winners: HashSet<TxnId> = durable_records
+    // neither, and every earlier one is in both. Winners come from the
+    // full history — a commit whose record fell below a truncation cut
+    // was forced (and acked) before that cut was taken.
+    let winners: HashSet<TxnId> = full_history
         .iter()
         .filter_map(|(_, r)| match r {
             WalRecord::Commit { txn } => Some(*txn),
@@ -415,7 +446,7 @@ pub fn torture_force_crash(spec: &WorkloadSpec, k: u64) {
         spec.pool_frames,
     )
     .unwrap_or_else(|e| panic!("recovery after crash at force {k} failed: {e}"));
-    let expected = committed_state(&durable_records);
+    let expected = committed_state(&full_history);
     assert_eq!(
         visible_state(&sm2).unwrap(),
         expected,
@@ -427,6 +458,78 @@ pub fn torture_force_crash(spec: &WorkloadSpec, k: u64) {
     assert!(
         second.losers.is_empty() && second.undone == 0,
         "second recovery after crash at force {k} was not a no-op: {second:?}"
+    );
+    assert_eq!(visible_state(&sm2).unwrap(), expected);
+}
+
+/// Number of log-truncation attempts the fault-free workload performs —
+/// one per completed checkpoint, counted by the ungated
+/// `ckpt.taken` metric, so crash point `k` in `1..=count` of the
+/// truncate-crash sweep lines up exactly with the `k`-th checkpoint.
+pub fn oracle_truncate_count(spec: &WorkloadSpec) -> Result<u64> {
+    let disk: Arc<dyn StableStorage> = Arc::new(MemDisk::new());
+    let wal = Arc::new(WriteAheadLog::in_memory());
+    let (sm, _) = StorageManager::open_with(disk, wal, spec.pool_frames)?;
+    run_workload(&sm, spec)?;
+    Ok(sm.metrics().ckpt.taken.get())
+}
+
+/// Crash the machine at its `k`-th log truncation (1-based) — after the
+/// checkpoint's `EndCheckpoint` was appended and forced, before any log
+/// byte is dropped. This is the riskiest instant of the checkpoint
+/// protocol: the new checkpoint is already the one analysis will pick,
+/// and the prefix it promises not to need is still present. After
+/// reboot the visible state must equal the full-history committed
+/// prefix, and recovery must be idempotent.
+pub fn torture_truncate_crash(spec: &WorkloadSpec, oracle: &[(Lsn, WalRecord)], k: u64) {
+    let disk = Arc::new(MemDisk::new());
+    let wal = Arc::new(WriteAheadLog::in_memory());
+    wal.set_injector(FaultInjector::new(
+        FaultPlan::new().crash_at(FaultPoint::WalTruncate, k),
+    ));
+    let (sm, _) = StorageManager::open_with(
+        Arc::clone(&disk) as Arc<dyn StableStorage>,
+        Arc::clone(&wal),
+        spec.pool_frames,
+    )
+    .expect("fresh open cannot fault before the first truncation");
+    let run = run_workload(&sm, spec);
+    assert!(
+        run.is_err(),
+        "crash at truncation {k} must stop the workload"
+    );
+    drop(sm); // pool dies with the machine
+
+    // ---- reboot over the surviving bytes ----
+    let image = wal.image().expect("in-memory image");
+    let revived = Arc::new(WriteAheadLog::in_memory_from(image));
+    let tail = revived.tail();
+    // The crash run is the oracle run up to the crash moment, and the
+    // k-th truncation dropped nothing, so the full history is simply
+    // every oracle frame below the surviving tail (frames below the
+    // revived base were dropped by *earlier*, completed truncations).
+    let full_history: Vec<(Lsn, WalRecord)> = oracle
+        .iter()
+        .filter(|(lsn, _)| *lsn < tail)
+        .cloned()
+        .collect();
+    let (sm2, _) = StorageManager::open_with(
+        Arc::clone(&disk) as Arc<dyn StableStorage>,
+        revived,
+        spec.pool_frames,
+    )
+    .unwrap_or_else(|e| panic!("recovery after crash at truncation {k} failed: {e}"));
+    let expected = committed_state(&full_history);
+    assert_eq!(
+        visible_state(&sm2).unwrap(),
+        expected,
+        "state divergence after crash at truncation {k}"
+    );
+
+    let second = recover(&sm2).unwrap();
+    assert!(
+        second.losers.is_empty() && second.undone == 0,
+        "second recovery after crash at truncation {k} was not a no-op: {second:?}"
     );
     assert_eq!(visible_state(&sm2).unwrap(), expected);
 }

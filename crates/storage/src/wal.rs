@@ -18,6 +18,17 @@
 //! until the forced LSN passes their record. Requests already behind
 //! the forced LSN (read-only commits, back-to-back forces) return
 //! without syncing at all.
+//!
+//! **Truncation.** The checkpointer bounds the log by calling
+//! [`WriteAheadLog::truncate_prefix`] with a cut LSN below which no
+//! record is needed for redo or undo. LSNs are *logical* and never
+//! reused: the first 8 bytes of the log store the base LSN (the LSN of
+//! the first surviving frame), so a record's physical offset is
+//! `lsn - base + 8`. A fresh log has `base == FIRST_LSN` and the header
+//! byte-for-byte compatible with the pre-truncation format (whose
+//! reserved zero header decodes as `FIRST_LSN`). File-backed logs
+//! truncate crash-atomically: the retained tail is written to a temp
+//! file, synced, and renamed over the log.
 
 use parking_lot::{Condvar, Mutex};
 use reach_common::fault::{FaultInjector, FaultPoint, WriteOutcome};
@@ -25,7 +36,7 @@ use reach_common::obs::Stage;
 use reach_common::{MetricsRegistry, PageId, ReachError, Result, TxnId};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -80,8 +91,20 @@ pub enum WalRecord {
         restore: Option<Vec<u8>>,
         undo_next: Lsn,
     },
-    /// Fuzzy checkpoint: transactions active at checkpoint time.
-    Checkpoint { active: Vec<TxnId> },
+    /// Start of a fuzzy checkpoint. Appended before the checkpointer
+    /// gathers its tables; its LSN anchors the truncation cut so the
+    /// Begin/End pair itself always survives truncation.
+    BeginCheckpoint,
+    /// End of a fuzzy checkpoint: the dirty-page table (page → recovery
+    /// LSN: earliest record that may not be reflected on disk) and the
+    /// active *writer* table (txn → first-write LSN) captured since the
+    /// matching [`WalRecord::BeginCheckpoint`].
+    EndCheckpoint {
+        /// Dirty pages still in the buffer pool with their rec LSNs.
+        dirty: Vec<(PageId, Lsn)>,
+        /// Active writing transactions with their first-write LSNs.
+        active: Vec<(TxnId, Lsn)>,
+    },
 }
 
 impl WalRecord {
@@ -95,7 +118,7 @@ impl WalRecord {
             | WalRecord::Update { txn, .. }
             | WalRecord::Delete { txn, .. }
             | WalRecord::Clr { txn, .. } => Some(*txn),
-            WalRecord::Checkpoint { .. } => None,
+            WalRecord::BeginCheckpoint | WalRecord::EndCheckpoint { .. } => None,
         }
     }
 
@@ -176,11 +199,20 @@ impl WalRecord {
                     None => out.push(0),
                 }
             }
-            WalRecord::Checkpoint { active } => {
+            WalRecord::BeginCheckpoint => {
                 out.push(8);
+            }
+            WalRecord::EndCheckpoint { dirty, active } => {
+                out.push(9);
+                out.extend_from_slice(&(dirty.len() as u32).to_le_bytes());
+                for (p, rec_lsn) in dirty {
+                    out.extend_from_slice(&p.raw().to_le_bytes());
+                    out.extend_from_slice(&rec_lsn.to_le_bytes());
+                }
                 out.extend_from_slice(&(active.len() as u32).to_le_bytes());
-                for t in active {
+                for (t, first_lsn) in active {
                     out.extend_from_slice(&t.raw().to_le_bytes());
+                    out.extend_from_slice(&first_lsn.to_le_bytes());
                 }
             }
         }
@@ -233,13 +265,19 @@ impl WalRecord {
                     undo_next,
                 }
             }
-            8 => {
-                let n = c.u32()? as usize;
-                let mut active = Vec::with_capacity(n);
-                for _ in 0..n {
-                    active.push(TxnId::new(c.u64()?));
+            8 => WalRecord::BeginCheckpoint,
+            9 => {
+                let nd = c.u32()? as usize;
+                let mut dirty = Vec::with_capacity(nd);
+                for _ in 0..nd {
+                    dirty.push((PageId::new(c.u64()?), c.u64()?));
                 }
-                WalRecord::Checkpoint { active }
+                let na = c.u32()? as usize;
+                let mut active = Vec::with_capacity(na);
+                for _ in 0..na {
+                    active.push((TxnId::new(c.u64()?), c.u64()?));
+                }
+                WalRecord::EndCheckpoint { dirty, active }
             }
             k => return Err(ReachError::WalCorrupt(format!("unknown record kind {k}"))),
         };
@@ -290,7 +328,7 @@ fn fnv1a(data: &[u8]) -> u32 {
 
 enum Sink {
     Mem(Vec<u8>),
-    File { file: File, len: u64 },
+    File { file: File, len: u64, path: PathBuf },
 }
 
 /// The sink plus every counter that must move atomically with it.
@@ -301,6 +339,40 @@ struct SinkState {
     sink: Sink,
     /// Bytes appended but not yet forced.
     unforced: u64,
+    /// LSN of the first surviving frame (== the value persisted in the
+    /// 8-byte log header). Physical offset of `lsn` is
+    /// `lsn - base + FIRST_LSN`.
+    base: Lsn,
+    /// When set (oracle runs), bytes dropped by truncation are retained
+    /// here so [`WriteAheadLog::scan_all`] can reconstruct the full
+    /// append history.
+    archive: Option<Vec<u8>>,
+}
+
+impl SinkState {
+    /// Physical length of the sink in bytes (header included).
+    fn phys_len(&self) -> u64 {
+        match &self.sink {
+            Sink::Mem(buf) => buf.len() as u64,
+            Sink::File { len, .. } => *len,
+        }
+    }
+
+    /// Logical tail LSN (== next LSN to be assigned).
+    fn tail(&self) -> Lsn {
+        self.base + (self.phys_len() - FIRST_LSN)
+    }
+}
+
+/// Decode a log header into its base LSN. The pre-truncation format
+/// reserved these bytes as zero, which decodes as [`FIRST_LSN`].
+fn parse_base(header: &[u8]) -> Lsn {
+    let raw = u64::from_le_bytes(header[..8].try_into().unwrap());
+    if raw == 0 {
+        FIRST_LSN
+    } else {
+        raw
+    }
 }
 
 /// Commit-sequencer state, guarded by its own mutex (never held across
@@ -352,7 +424,7 @@ pub struct WriteAheadLog {
 impl WriteAheadLog {
     /// A log held entirely in memory (tests, benchmarks).
     pub fn in_memory() -> Self {
-        Self::in_memory_from(vec![0u8; FIRST_LSN as usize])
+        Self::in_memory_from(FIRST_LSN.to_le_bytes().to_vec())
     }
 
     /// An in-memory log rebuilt from a raw byte image — the torture
@@ -363,11 +435,14 @@ impl WriteAheadLog {
         if image.len() < FIRST_LSN as usize {
             image.resize(FIRST_LSN as usize, 0);
         }
-        let forced = image.len() as u64;
+        let base = parse_base(&image);
+        let forced = base + (image.len() as u64 - FIRST_LSN);
         WriteAheadLog {
             sink: Mutex::new(SinkState {
                 sink: Sink::Mem(image),
                 unforced: 0,
+                base,
+                archive: None,
             }),
             group: Mutex::new(GroupState {
                 forced_lsn: forced,
@@ -392,16 +467,27 @@ impl WriteAheadLog {
         let mut len = file.metadata()?.len();
         if len < FIRST_LSN {
             file.seek(SeekFrom::Start(0))?;
-            file.write_all(&[0u8; FIRST_LSN as usize])?;
+            file.write_all(&FIRST_LSN.to_le_bytes())?;
             len = FIRST_LSN;
         }
+        let mut header = [0u8; FIRST_LSN as usize];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut header)?;
+        let base = parse_base(&header);
+        let forced = base + (len - FIRST_LSN);
         Ok(WriteAheadLog {
             sink: Mutex::new(SinkState {
-                sink: Sink::File { file, len },
+                sink: Sink::File {
+                    file,
+                    len,
+                    path: path.to_path_buf(),
+                },
                 unforced: 0,
+                base,
+                archive: None,
             }),
             group: Mutex::new(GroupState {
-                forced_lsn: len,
+                forced_lsn: forced,
                 forcing: false,
             }),
             group_cv: Condvar::new(),
@@ -455,7 +541,7 @@ impl WriteAheadLog {
     pub fn image(&self) -> Result<Vec<u8>> {
         match &mut self.sink.lock().sink {
             Sink::Mem(buf) => Ok(buf.clone()),
-            Sink::File { file, len } => {
+            Sink::File { file, len, .. } => {
                 let mut buf = vec![0u8; *len as usize];
                 file.seek(SeekFrom::Start(0))?;
                 file.read_exact(&mut buf)?;
@@ -470,8 +556,12 @@ impl WriteAheadLog {
     /// own torn tails); this accessor models losing them, which is
     /// what the force-crash torture needs.
     pub fn durable_image(&self) -> Result<Vec<u8>> {
+        // Read forced first: it only grows, and the prefix it covered
+        // can never be truncated (the cut is always below it).
+        let forced = self.forced_lsn();
         let mut image = self.image()?;
-        let durable = self.forced_lsn() as usize;
+        let base = parse_base(&image);
+        let durable = (forced.max(base) - base + FIRST_LSN) as usize;
         if image.len() > durable {
             image.truncate(durable);
         }
@@ -508,7 +598,7 @@ impl WriteAheadLog {
                 }
                 WriteOutcome::Torn { keep } => {
                     let keep = keep.min(frame.len().saturating_sub(1));
-                    Self::write_raw(&mut self.sink.lock().sink, &frame[..keep])?;
+                    Self::write_raw(&mut self.sink.lock(), &frame[..keep])?;
                     return Err(ReachError::Io(format!(
                         "injected torn wal_append: {keep} of {} bytes persisted",
                         frame.len()
@@ -518,7 +608,7 @@ impl WriteAheadLog {
         }
         let (lsn, end) = {
             let mut st = self.sink.lock();
-            let lsn = Self::write_raw(&mut st.sink, &frame)?;
+            let lsn = Self::write_raw(&mut st, &frame)?;
             // Under the sink lock: a force that synced these bytes holds
             // the same lock, so it either sees the counter already
             // bumped (and resets it) or runs entirely before us.
@@ -534,22 +624,20 @@ impl WriteAheadLog {
         Ok((lsn, end))
     }
 
-    /// Append raw bytes to the sink, returning the offset they start at.
-    fn write_raw(sink: &mut Sink, bytes: &[u8]) -> Result<Lsn> {
-        match sink {
+    /// Append raw bytes to the sink, returning the LSN they start at.
+    fn write_raw(st: &mut SinkState, bytes: &[u8]) -> Result<Lsn> {
+        let lsn = st.tail();
+        match &mut st.sink {
             Sink::Mem(buf) => {
-                let lsn = buf.len() as u64;
                 buf.extend_from_slice(bytes);
-                Ok(lsn)
             }
-            Sink::File { file, len } => {
-                let lsn = *len;
+            Sink::File { file, len, .. } => {
                 file.seek(SeekFrom::Start(*len))?;
                 file.write_all(bytes)?;
                 *len += bytes.len() as u64;
-                Ok(lsn)
             }
         }
+        Ok(lsn)
     }
 
     /// Force all records appended so far to stable storage (WAL rule:
@@ -639,13 +727,10 @@ impl WriteAheadLog {
             }
         }
         let mut st = self.sink.lock();
-        let tail = match &mut st.sink {
-            Sink::Mem(buf) => buf.len() as u64,
-            Sink::File { file, len } => {
-                file.sync_data()?;
-                *len
-            }
-        };
+        if let Sink::File { file, .. } = &mut st.sink {
+            file.sync_data()?;
+        }
+        let tail = st.tail();
         st.unforced = 0;
         drop(st);
         if let Some(m) = m {
@@ -659,12 +744,15 @@ impl WriteAheadLog {
         Ok(tail)
     }
 
-    /// Total log length in bytes (== next LSN).
+    /// The next LSN to be assigned (base LSN plus surviving log bytes).
     pub fn tail(&self) -> Lsn {
-        match &self.sink.lock().sink {
-            Sink::Mem(buf) => buf.len() as u64,
-            Sink::File { len, .. } => *len,
-        }
+        self.sink.lock().tail()
+    }
+
+    /// LSN of the first surviving frame. Everything below it has been
+    /// truncated away by a checkpoint. `FIRST_LSN` on a fresh log.
+    pub fn base_lsn(&self) -> Lsn {
+        self.sink.lock().base
     }
 
     /// Log tail covered by the last successful force — every byte below
@@ -686,7 +774,12 @@ impl WriteAheadLog {
     /// scan stops at the first incomplete or checksum-failing frame —
     /// after that point no frame boundary can be trusted.
     pub fn scan_report(&self) -> Result<ScanReport> {
-        let image = self.image()?;
+        Self::scan_image(&self.image()?)
+    }
+
+    /// Salvage-scan a raw log image (header + frames).
+    fn scan_image(image: &[u8]) -> Result<ScanReport> {
+        let base = parse_base(image);
         let mut records = Vec::new();
         let mut pos = FIRST_LSN as usize;
         while pos + 8 <= image.len() {
@@ -699,13 +792,119 @@ impl WriteAheadLog {
             if fnv1a(payload) != sum {
                 break; // torn/corrupt tail
             }
-            records.push((pos as u64, WalRecord::decode(payload)?));
+            let lsn = base + (pos as u64 - FIRST_LSN);
+            records.push((lsn, WalRecord::decode(payload)?));
             pos += 8 + len;
         }
         Ok(ScanReport {
             records,
             salvaged_bytes: (image.len() - pos) as u64,
         })
+    }
+
+    /// Retain truncated prefixes in an in-memory archive so
+    /// [`WriteAheadLog::scan_all`] can reconstruct the full append
+    /// history. Used by the torture oracle, which must know every frame
+    /// ever appended even after checkpoints truncate the live log.
+    /// Enable before the first truncation.
+    pub fn set_archive(&self, enabled: bool) {
+        let mut st = self.sink.lock();
+        st.archive = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Scan the archived prefix plus the live log: every frame ever
+    /// appended, in order, regardless of truncation. Requires
+    /// [`WriteAheadLog::set_archive`] from birth; without it this is
+    /// just [`WriteAheadLog::scan`].
+    pub fn scan_all(&self) -> Result<Vec<(Lsn, WalRecord)>> {
+        let mut st = self.sink.lock();
+        let archive = st.archive.clone().unwrap_or_default();
+        let first_base = st.base - archive.len() as u64;
+        let live = match &mut st.sink {
+            Sink::Mem(buf) => buf.clone(),
+            Sink::File { file, len, .. } => {
+                let mut buf = vec![0u8; *len as usize];
+                file.seek(SeekFrom::Start(0))?;
+                file.read_exact(&mut buf)?;
+                buf
+            }
+        };
+        drop(st);
+        let mut full = Vec::with_capacity(FIRST_LSN as usize + archive.len() + live.len());
+        full.extend_from_slice(&first_base.to_le_bytes());
+        full.extend_from_slice(&archive);
+        full.extend_from_slice(&live[FIRST_LSN as usize..]);
+        Ok(Self::scan_image(&full)?.records)
+    }
+
+    /// Drop every frame below `cut` from the log, advancing the base
+    /// LSN. Called by the checkpointer once a checkpoint guarantees no
+    /// record below `cut` is needed for redo (its page effect is on
+    /// stable storage) or undo (no active writer started before it).
+    ///
+    /// `cut` must be a frame boundary at or below the forced LSN. File
+    /// sinks truncate crash-atomically (write temp + sync + rename);
+    /// a crash anywhere inside leaves either the old or the new log,
+    /// both of which recover correctly. Returns the bytes dropped.
+    pub fn truncate_prefix(&self, cut: Lsn) -> Result<u64> {
+        if let Some(inj) = self.injector() {
+            if inj.check(FaultPoint::WalTruncate) != WriteOutcome::Proceed {
+                return Err(ReachError::Io("injected fault at wal_truncate".into()));
+            }
+        }
+        // Forced only grows, so reading it before taking the sink lock
+        // can only under-approximate the durable prefix — safe.
+        let forced = self.forced_lsn();
+        let mut st = self.sink.lock();
+        if cut <= st.base {
+            return Ok(0);
+        }
+        if cut > forced {
+            return Err(ReachError::WalCorrupt(format!(
+                "truncate_prefix({cut}) above forced LSN {forced}"
+            )));
+        }
+        let drop_bytes = cut - st.base;
+        let new_base = cut;
+        match &mut st.sink {
+            Sink::Mem(buf) => {
+                let dropped: Vec<u8> = buf
+                    .drain(FIRST_LSN as usize..(FIRST_LSN + drop_bytes) as usize)
+                    .collect();
+                buf[..FIRST_LSN as usize].copy_from_slice(&new_base.to_le_bytes());
+                if let Some(arch) = &mut st.archive {
+                    arch.extend_from_slice(&dropped);
+                }
+            }
+            Sink::File { file, len, path } => {
+                let keep = (*len - FIRST_LSN - drop_bytes) as usize;
+                let mut dropped = vec![0u8; drop_bytes as usize];
+                file.seek(SeekFrom::Start(FIRST_LSN))?;
+                file.read_exact(&mut dropped)?;
+                let mut rest = vec![0u8; keep];
+                file.read_exact(&mut rest)?;
+                let tmp = path.with_extension("truncating");
+                let mut out = File::create(&tmp)?;
+                out.write_all(&new_base.to_le_bytes())?;
+                out.write_all(&rest)?;
+                out.sync_data()?;
+                std::fs::rename(&tmp, &*path)?;
+                *file = OpenOptions::new().read(true).write(true).open(&*path)?;
+                *len = FIRST_LSN + keep as u64;
+                if let Some(arch) = &mut st.archive {
+                    arch.extend_from_slice(&dropped);
+                }
+            }
+        }
+        st.base = new_base;
+        drop(st);
+        if let Some(m) = self.metrics() {
+            // Ungated, like the pool counters: the torture harness and
+            // E17 read these without enabling observability.
+            m.ckpt.truncations.inc();
+            m.ckpt.truncated_bytes.add(drop_bytes);
+        }
+        Ok(drop_bytes)
     }
 
     /// Bytes appended since the last force (0 means fully durable).
@@ -754,8 +953,10 @@ mod tests {
                 restore: None,
                 undo_next: 0,
             },
-            WalRecord::Checkpoint {
-                active: vec![TxnId::new(1), TxnId::new(9)],
+            WalRecord::BeginCheckpoint,
+            WalRecord::EndCheckpoint {
+                dirty: vec![(PageId::new(4), 16), (PageId::new(7), 48)],
+                active: vec![(TxnId::new(1), 24), (TxnId::new(9), 56)],
             },
             WalRecord::Commit { txn: TxnId::new(1) },
             WalRecord::Abort { txn: TxnId::new(2) },
@@ -806,7 +1007,9 @@ mod tests {
             sample_records()
         );
         // New appends land after the old tail.
-        let lsn = log.append(&WalRecord::Begin { txn: TxnId::new(5) }).unwrap();
+        let lsn = log
+            .append(&WalRecord::Begin { txn: TxnId::new(5) })
+            .unwrap();
         assert!(lsn > FIRST_LSN);
         std::fs::remove_file(&path).unwrap();
     }
@@ -814,8 +1017,10 @@ mod tests {
     #[test]
     fn torn_tail_is_ignored() {
         let log = WriteAheadLog::in_memory();
-        log.append(&WalRecord::Begin { txn: TxnId::new(1) }).unwrap();
-        log.append(&WalRecord::Commit { txn: TxnId::new(1) }).unwrap();
+        log.append(&WalRecord::Begin { txn: TxnId::new(1) })
+            .unwrap();
+        log.append(&WalRecord::Commit { txn: TxnId::new(1) })
+            .unwrap();
         // Simulate a crash that tore the last frame: corrupt its checksum.
         {
             let mut st = log.sink.lock();
@@ -832,9 +1037,11 @@ mod tests {
     #[test]
     fn scan_report_counts_discarded_torn_bytes() {
         let log = WriteAheadLog::in_memory();
-        log.append(&WalRecord::Begin { txn: TxnId::new(1) }).unwrap();
+        log.append(&WalRecord::Begin { txn: TxnId::new(1) })
+            .unwrap();
         let before = log.tail();
-        log.append(&WalRecord::Commit { txn: TxnId::new(1) }).unwrap();
+        log.append(&WalRecord::Commit { txn: TxnId::new(1) })
+            .unwrap();
         let frame_len = log.tail() - before;
         // Hand-truncate the last frame: keep 3 bytes of it.
         {
@@ -849,7 +1056,9 @@ mod tests {
         assert!(rep.salvaged_bytes < frame_len);
         // A clean log reports zero salvage.
         let clean = WriteAheadLog::in_memory();
-        clean.append(&WalRecord::Begin { txn: TxnId::new(1) }).unwrap();
+        clean
+            .append(&WalRecord::Begin { txn: TxnId::new(1) })
+            .unwrap();
         assert_eq!(clean.scan_report().unwrap().salvaged_bytes, 0);
     }
 
@@ -864,7 +1073,9 @@ mod tests {
         assert_eq!(revived.tail(), log.tail());
         // And the revived log accepts new appends at the right offset.
         let lsn = revived
-            .append(&WalRecord::Begin { txn: TxnId::new(99) })
+            .append(&WalRecord::Begin {
+                txn: TxnId::new(99),
+            })
             .unwrap();
         assert_eq!(lsn, log.tail());
     }
@@ -873,10 +1084,13 @@ mod tests {
     fn injected_torn_append_persists_exact_prefix() {
         use reach_common::{FaultInjector, FaultPlan, FaultPoint};
         let log = WriteAheadLog::in_memory();
-        log.set_injector(FaultInjector::new(
-            FaultPlan::new().torn_at(FaultPoint::WalAppend, 2, 5),
-        ));
-        log.append(&WalRecord::Begin { txn: TxnId::new(1) }).unwrap();
+        log.set_injector(FaultInjector::new(FaultPlan::new().torn_at(
+            FaultPoint::WalAppend,
+            2,
+            5,
+        )));
+        log.append(&WalRecord::Begin { txn: TxnId::new(1) })
+            .unwrap();
         let tail_before = log.tail();
         let err = log
             .append(&WalRecord::Commit { txn: TxnId::new(1) })
@@ -889,7 +1103,9 @@ mod tests {
         assert_eq!(rep.records.len(), 1);
         assert_eq!(rep.salvaged_bytes, 5);
         // Torn implies crash: later appends and forces are rejected.
-        assert!(log.append(&WalRecord::Begin { txn: TxnId::new(2) }).is_err());
+        assert!(log
+            .append(&WalRecord::Begin { txn: TxnId::new(2) })
+            .is_err());
         assert!(log.force().is_err());
     }
 
@@ -901,10 +1117,13 @@ mod tests {
             FaultPlan::new().fail_at(FaultPoint::WalAppend, 1),
         ));
         let tail = log.tail();
-        assert!(log.append(&WalRecord::Begin { txn: TxnId::new(1) }).is_err());
+        assert!(log
+            .append(&WalRecord::Begin { txn: TxnId::new(1) })
+            .is_err());
         assert_eq!(log.tail(), tail, "failed append must not persist bytes");
         // Transient: the next append goes through.
-        log.append(&WalRecord::Begin { txn: TxnId::new(1) }).unwrap();
+        log.append(&WalRecord::Begin { txn: TxnId::new(1) })
+            .unwrap();
         assert_eq!(log.scan().unwrap().len(), 1);
     }
 
@@ -912,7 +1131,8 @@ mod tests {
     fn unforced_bytes_tracks_appends() {
         let log = WriteAheadLog::in_memory();
         assert_eq!(log.unforced_bytes(), 0);
-        log.append(&WalRecord::Begin { txn: TxnId::new(1) }).unwrap();
+        log.append(&WalRecord::Begin { txn: TxnId::new(1) })
+            .unwrap();
         assert!(log.unforced_bytes() > 0);
         log.force().unwrap();
         assert_eq!(log.unforced_bytes(), 0);
@@ -985,7 +1205,8 @@ mod tests {
         let (_, end_a) = log
             .append_bounded(&WalRecord::Begin { txn: TxnId::new(1) })
             .unwrap();
-        log.append(&WalRecord::Commit { txn: TxnId::new(1) }).unwrap();
+        log.append(&WalRecord::Commit { txn: TxnId::new(1) })
+            .unwrap();
         log.force().unwrap();
         assert_eq!(m.wal.forces.get(), 1);
         // Already covered by the force above: fast path, no second sync.
@@ -1004,17 +1225,25 @@ mod tests {
     #[test]
     fn durable_image_drops_unforced_tail() {
         let log = WriteAheadLog::in_memory();
-        log.append(&WalRecord::Begin { txn: TxnId::new(1) }).unwrap();
-        log.append(&WalRecord::Commit { txn: TxnId::new(1) }).unwrap();
+        log.append(&WalRecord::Begin { txn: TxnId::new(1) })
+            .unwrap();
+        log.append(&WalRecord::Commit { txn: TxnId::new(1) })
+            .unwrap();
         log.force().unwrap();
-        log.append(&WalRecord::Begin { txn: TxnId::new(2) }).unwrap();
+        log.append(&WalRecord::Begin { txn: TxnId::new(2) })
+            .unwrap();
         // The full image keeps the unforced Begin; the durable image,
         // which is what a real crash leaves behind, does not.
         assert_eq!(log.image().unwrap().len() as u64, log.tail());
         let durable = log.durable_image().unwrap();
         assert_eq!(durable.len() as u64, log.forced_lsn());
         let revived = WriteAheadLog::in_memory_from(durable);
-        let recs: Vec<_> = revived.scan().unwrap().into_iter().map(|(_, r)| r).collect();
+        let recs: Vec<_> = revived
+            .scan()
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
         assert_eq!(
             recs,
             vec![
@@ -1032,12 +1261,132 @@ mod tests {
         let m = MetricsRegistry::new_shared();
         m.enable();
         log.set_metrics(Arc::clone(&m));
-        log.append(&WalRecord::Begin { txn: TxnId::new(1) }).unwrap();
+        log.append(&WalRecord::Begin { txn: TxnId::new(1) })
+            .unwrap();
         log.force().unwrap();
         log.force().unwrap();
         log.force().unwrap();
         assert_eq!(m.wal.forces.get(), 3, "baseline mode never skips");
         assert_eq!(log.forced_lsn(), log.tail());
+    }
+
+    #[test]
+    fn truncate_prefix_drops_frames_and_preserves_lsns() {
+        let log = WriteAheadLog::in_memory();
+        let mut starts = Vec::new();
+        for rec in sample_records() {
+            starts.push(log.append(&rec).unwrap());
+        }
+        log.force().unwrap();
+        let cut = starts[3];
+        let dropped = log.truncate_prefix(cut).unwrap();
+        assert_eq!(dropped, cut - FIRST_LSN);
+        assert_eq!(log.base_lsn(), cut);
+        let recs = log.scan().unwrap();
+        assert_eq!(recs.len(), sample_records().len() - 3);
+        assert_eq!(recs[0].0, cut, "surviving frames keep their LSNs");
+        assert_eq!(recs[0].1, sample_records()[3]);
+        // Appends continue in the same logical LSN space.
+        let tail_before = log.tail();
+        let lsn = log
+            .append(&WalRecord::Begin {
+                txn: TxnId::new(77),
+            })
+            .unwrap();
+        assert_eq!(lsn, tail_before);
+        log.force().unwrap();
+        // The image carries the base and round-trips through a reboot.
+        let revived = WriteAheadLog::in_memory_from(log.image().unwrap());
+        assert_eq!(revived.base_lsn(), cut);
+        assert_eq!(revived.scan().unwrap(), log.scan().unwrap());
+        assert_eq!(revived.tail(), log.tail());
+        // Cuts at or below the base are no-ops.
+        assert_eq!(log.truncate_prefix(cut).unwrap(), 0);
+        assert_eq!(log.truncate_prefix(FIRST_LSN).unwrap(), 0);
+    }
+
+    #[test]
+    fn truncate_above_forced_lsn_is_rejected() {
+        let log = WriteAheadLog::in_memory();
+        log.append(&WalRecord::Begin { txn: TxnId::new(1) })
+            .unwrap();
+        // Nothing forced yet: the unforced tail must not be cuttable.
+        assert!(log.truncate_prefix(log.tail()).is_err());
+        log.force().unwrap();
+        assert!(log.truncate_prefix(log.tail()).is_ok());
+    }
+
+    #[test]
+    fn file_log_truncation_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("reach-wal-trunc-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trunc.log");
+        let _ = std::fs::remove_file(&path);
+        let cut;
+        {
+            let log = WriteAheadLog::open(&path).unwrap();
+            let mut starts = Vec::new();
+            for rec in sample_records() {
+                starts.push(log.append(&rec).unwrap());
+            }
+            log.force().unwrap();
+            cut = starts[4];
+            log.truncate_prefix(cut).unwrap();
+            assert_eq!(log.base_lsn(), cut);
+        }
+        let log = WriteAheadLog::open(&path).unwrap();
+        assert_eq!(log.base_lsn(), cut);
+        let recs = log.scan().unwrap();
+        assert_eq!(recs.len(), sample_records().len() - 4);
+        assert_eq!(recs[0].0, cut);
+        assert_eq!(recs[0].1, sample_records()[4]);
+        let lsn = log
+            .append(&WalRecord::Begin { txn: TxnId::new(5) })
+            .unwrap();
+        assert_eq!(lsn, log.scan().unwrap().last().unwrap().0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn archived_scan_all_reconstructs_full_history() {
+        let log = WriteAheadLog::in_memory();
+        log.set_archive(true);
+        let mut starts = Vec::new();
+        for rec in sample_records() {
+            starts.push(log.append(&rec).unwrap());
+        }
+        let before = log.scan().unwrap();
+        log.force().unwrap();
+        log.truncate_prefix(starts[5]).unwrap();
+        assert!(log.scan().unwrap().len() < before.len());
+        assert_eq!(log.scan_all().unwrap(), before, "archive keeps the past");
+    }
+
+    #[test]
+    fn injected_truncate_fault_leaves_the_log_intact() {
+        use reach_common::{FaultInjector, FaultPlan, FaultPoint};
+        let log = WriteAheadLog::in_memory();
+        let mut starts = Vec::new();
+        for rec in sample_records() {
+            starts.push(log.append(&rec).unwrap());
+        }
+        log.force().unwrap();
+        log.set_injector(FaultInjector::new(
+            FaultPlan::new().crash_at(FaultPoint::WalTruncate, 1),
+        ));
+        let before = log.scan().unwrap();
+        assert!(log.truncate_prefix(starts[3]).is_err());
+        assert_eq!(
+            log.base_lsn(),
+            FIRST_LSN,
+            "crashed truncation drops nothing"
+        );
+        assert_eq!(log.scan().unwrap(), before);
+        // Crash semantics: the device is dead for mutations afterwards.
+        assert!(log
+            .append(&WalRecord::Begin { txn: TxnId::new(9) })
+            .is_err());
+        assert!(log.truncate_prefix(starts[3]).is_err());
     }
 
     /// Concurrent committers through the sequencer: everyone's record

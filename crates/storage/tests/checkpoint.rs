@@ -1,0 +1,112 @@
+//! Checkpoint / truncation behavior at the storage-manager surface.
+
+use reach_common::TxnId;
+use reach_storage::StorageManager;
+
+/// A read-only transaction straddling a checkpoint neither blocks the
+/// checkpointer nor pins log truncation: it has no first-write LSN, so
+/// it never enters the active-writer table and the cut is free to land
+/// at the checkpoint's own Begin record.
+#[test]
+fn read_only_txn_does_not_pin_truncation() {
+    let sm = StorageManager::new_in_memory(64).unwrap();
+    let seg = sm.create_segment("t").unwrap();
+    let w = TxnId::new(1);
+    sm.begin(w).unwrap();
+    for i in 0..32 {
+        sm.insert(w, seg, format!("row{i}").as_bytes()).unwrap();
+    }
+    let rid = sm.insert(w, seg, b"probe").unwrap();
+    sm.commit(w).unwrap();
+
+    // Reader begins before the checkpoint and is still open across it.
+    let r = TxnId::new(2);
+    sm.begin(r).unwrap();
+    assert_eq!(sm.get(seg, rid).unwrap(), b"probe");
+
+    let stats = sm.checkpoint().unwrap();
+    assert_eq!(
+        stats.active_writers, 0,
+        "an open reader must not appear in the active-writer table"
+    );
+    assert_eq!(
+        stats.cutoff, stats.begin_lsn,
+        "with no writers and a clean pool the cut reaches the checkpoint itself"
+    );
+    assert!(
+        stats.truncated_bytes > 0,
+        "the whole pre-checkpoint log prefix should have been dropped"
+    );
+
+    // The reader is still fully usable after the truncation it survived.
+    assert_eq!(sm.get(seg, rid).unwrap(), b"probe");
+    sm.commit(r).unwrap();
+    assert_eq!(sm.scan(seg).unwrap().len(), 33);
+}
+
+/// Contrast case: an open *writer* pins the cut at its first-write LSN,
+/// and releases it once finished.
+#[test]
+fn open_writer_pins_truncation_until_it_finishes() {
+    let sm = StorageManager::new_in_memory(64).unwrap();
+    let seg = sm.create_segment("t").unwrap();
+    let w = TxnId::new(1);
+    sm.begin(w).unwrap();
+    sm.insert(w, seg, b"pinning write").unwrap();
+    // Plenty of committed traffic after the pin, so there are bytes the
+    // cut would otherwise reclaim.
+    let w2 = TxnId::new(2);
+    sm.begin(w2).unwrap();
+    for i in 0..32 {
+        sm.insert(w2, seg, format!("bulk{i}").as_bytes()).unwrap();
+    }
+    sm.commit(w2).unwrap();
+
+    let pinned = sm.checkpoint().unwrap();
+    assert_eq!(pinned.active_writers, 1);
+    assert!(
+        pinned.cutoff < pinned.begin_lsn,
+        "an open writer must hold the cut below the checkpoint"
+    );
+
+    sm.commit(w).unwrap();
+    let released = sm.checkpoint().unwrap();
+    assert_eq!(released.active_writers, 0);
+    assert!(
+        released.cutoff > pinned.cutoff,
+        "finishing the writer must advance the cut"
+    );
+    assert_eq!(sm.scan(seg).unwrap().len(), 33);
+}
+
+/// The byte-threshold trigger takes checkpoints on its own as the log
+/// grows, and stays quiet when disarmed.
+#[test]
+fn byte_threshold_arms_automatic_checkpoints() {
+    let sm = StorageManager::new_in_memory(64).unwrap();
+    let seg = sm.create_segment("t").unwrap();
+    let taken_before = sm.metrics().ckpt.taken.get();
+    sm.set_checkpoint_threshold(Some(2048));
+    for t in 1..=20u64 {
+        let txn = TxnId::new(t);
+        sm.begin(txn).unwrap();
+        sm.insert(txn, seg, &[0xAB; 200]).unwrap();
+        sm.commit(txn).unwrap();
+    }
+    let taken = sm.metrics().ckpt.taken.get() - taken_before;
+    assert!(
+        taken >= 2,
+        "20 commits of ~200-byte records past a 2 KiB threshold took only {taken} checkpoints"
+    );
+    // Disarm: no further automatic checkpoints.
+    sm.set_checkpoint_threshold(None);
+    let frozen = sm.metrics().ckpt.taken.get();
+    for t in 21..=30u64 {
+        let txn = TxnId::new(t);
+        sm.begin(txn).unwrap();
+        sm.insert(txn, seg, &[0xCD; 200]).unwrap();
+        sm.commit(txn).unwrap();
+    }
+    assert_eq!(sm.metrics().ckpt.taken.get(), frozen);
+    assert_eq!(sm.scan(seg).unwrap().len(), 30);
+}

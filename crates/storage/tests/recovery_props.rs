@@ -34,7 +34,10 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 }
 
 fn script_strategy() -> impl Strategy<Value = Script> {
-    (proptest::collection::vec(op_strategy(), 1..6), any::<bool>())
+    (
+        proptest::collection::vec(op_strategy(), 1..6),
+        any::<bool>(),
+    )
         .prop_map(|(ops, commits)| Script { ops, commits })
 }
 

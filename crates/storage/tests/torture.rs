@@ -15,8 +15,9 @@
 use reach_common::fault::{FaultInjector, FaultPlan, FaultPoint};
 use reach_common::TxnId;
 use reach_storage::torture::{
-    committed_state, oracle_force_count, oracle_frames, run_workload, torture_at,
-    torture_crash_during_recovery, torture_force_crash, visible_state, WorkloadSpec,
+    committed_state, oracle_force_count, oracle_frames, oracle_truncate_count, run_workload,
+    torture_at, torture_crash_during_recovery, torture_force_crash, torture_truncate_crash,
+    visible_state, WorkloadSpec,
 };
 use reach_storage::{FaultDisk, MemDisk, StableStorage, StorageManager, WriteAheadLog};
 use std::sync::Arc;
@@ -48,13 +49,31 @@ fn force_crash_sweep_never_loses_an_acked_commit() {
     // group commit may batch, widen, and skip syncs, but never move the
     // durability point past the acknowledgement.
     let spec = spec();
+    let oracle = oracle_frames(&spec).unwrap();
     let total = oracle_force_count(&spec).unwrap();
     assert!(
         total >= 40,
         "workload too small to exercise the sequencer: only {total} forces"
     );
     for k in 1..=total {
-        torture_force_crash(&spec, k);
+        torture_force_crash(&spec, &oracle, k);
+    }
+}
+
+#[test]
+fn truncate_crash_sweep_loses_nothing() {
+    // Crash at EVERY log truncation — after the checkpoint's End record
+    // is forced, before the prefix it obsoletes is dropped — and verify
+    // the full-history committed state survives each one.
+    let spec = spec();
+    let oracle = oracle_frames(&spec).unwrap();
+    let total = oracle_truncate_count(&spec).unwrap();
+    assert!(
+        total >= 3,
+        "workload too small to exercise truncation: only {total} checkpoints"
+    );
+    for k in 1..=total {
+        torture_truncate_crash(&spec, &oracle, k);
     }
 }
 
@@ -108,14 +127,15 @@ fn torn_wal_tail_is_salvaged_on_recovery() {
     assert_eq!(scan.records.len(), full_frames.len() + 1); // + t2's Begin
     assert_eq!(scan.salvaged_bytes, 7);
 
-    let (sm2, report) = StorageManager::open_with(
-        Arc::clone(&disk) as Arc<dyn StableStorage>,
-        revived,
-        16,
-    )
-    .unwrap();
+    let (sm2, report) =
+        StorageManager::open_with(Arc::clone(&disk) as Arc<dyn StableStorage>, revived, 16)
+            .unwrap();
     assert_eq!(report.salvaged_bytes, 7);
-    assert_eq!(report.losers, vec![t2], "t2's surviving Begin makes it a loser");
+    assert_eq!(
+        report.losers,
+        vec![t2],
+        "t2's surviving Begin makes it a loser"
+    );
     assert_eq!(sm2.get(seg, keep).unwrap(), b"survives");
     assert_eq!(sm2.scan(seg).unwrap().len(), 1);
 }
@@ -134,6 +154,9 @@ fn transient_page_write_failure_is_recoverable() {
         injector,
     ));
     let wal = Arc::new(WriteAheadLog::in_memory());
+    // Archive mode: checkpoints truncate the live log, but the oracle
+    // comparison below needs the complete frame history.
+    wal.set_archive(true);
     let (sm, _) = StorageManager::open_with(disk, Arc::clone(&wal), spec.pool_frames).unwrap();
     // The workload stops at the first injected failure (page writes
     // happen on eviction/checkpoint, so when it fires is workload-
@@ -141,7 +164,7 @@ fn transient_page_write_failure_is_recoverable() {
     let _ = run_workload(&sm, &spec);
     drop(sm);
 
-    let survived = wal.scan().unwrap();
+    let survived = wal.scan_all().unwrap();
     let revived = Arc::new(WriteAheadLog::in_memory_from(wal.image().unwrap()));
     let (sm2, _) = StorageManager::open_with(
         Arc::clone(&mem) as Arc<dyn StableStorage>,

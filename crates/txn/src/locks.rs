@@ -181,9 +181,7 @@ impl LockManager {
             .holders
             .iter()
             .filter(|(holder, held_mode)| {
-                **holder != txn
-                    && !ancestors.contains(holder)
-                    && !mode.compatible(**held_mode)
+                **holder != txn && !ancestors.contains(holder) && !mode.compatible(**held_mode)
             })
             .map(|(holder, _)| *holder)
             .collect()
@@ -307,7 +305,9 @@ mod tests {
         let h = std::thread::spawn(move || lm2.acquire(t(1), o(2), LockMode::Exclusive, &[]));
         std::thread::sleep(Duration::from_millis(30));
         // ... and t2 requesting o1 closes the cycle: t2 is the victim.
-        let err = lm.acquire(t(2), o(1), LockMode::Exclusive, &[]).unwrap_err();
+        let err = lm
+            .acquire(t(2), o(1), LockMode::Exclusive, &[])
+            .unwrap_err();
         assert_eq!(err, ReachError::Deadlock(t(2)));
         // Let t1 through by releasing t2.
         lm.release_all(t(2));
@@ -343,7 +343,9 @@ mod tests {
         // A new incarnation of t1 requests o2, held by t2. There is no
         // cycle: t1→t2→t3 is a chain, so this must time out, not abort
         // as a phantom Deadlock(t1).
-        let err = lm.acquire(t(1), o(2), LockMode::Exclusive, &[]).unwrap_err();
+        let err = lm
+            .acquire(t(1), o(2), LockMode::Exclusive, &[])
+            .unwrap_err();
         assert_eq!(
             err,
             ReachError::LockTimeout(t(1)),
@@ -380,7 +382,9 @@ mod tests {
             }));
         }
         let t0 = std::time::Instant::now();
-        let err = lm.acquire(t(1), o(1), LockMode::Exclusive, &[]).unwrap_err();
+        let err = lm
+            .acquire(t(1), o(1), LockMode::Exclusive, &[])
+            .unwrap_err();
         let waited = t0.elapsed();
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         for h in churners {
@@ -398,7 +402,8 @@ mod tests {
         let lm = LockManager::new();
         lm.acquire(t(1), o(1), LockMode::Exclusive, &[]).unwrap();
         // Child t10 of t1 may lock what its ancestor holds.
-        lm.acquire(t(10), o(1), LockMode::Exclusive, &[t(1)]).unwrap();
+        lm.acquire(t(10), o(1), LockMode::Exclusive, &[t(1)])
+            .unwrap();
         assert_eq!(lm.held_mode(t(10), o(1)), Some(LockMode::Exclusive));
     }
 
@@ -413,9 +418,7 @@ mod tests {
         assert_eq!(lm.held_mode(t(1), o(2)), Some(LockMode::Shared));
         assert_eq!(lm.held_mode(t(10), o(1)), None);
         // A third party still cannot take o(1).
-        assert!(lm
-            .acquire(t(3), o(1), LockMode::Shared, &[])
-            .is_err());
+        assert!(lm.acquire(t(3), o(1), LockMode::Shared, &[]).is_err());
     }
 
     #[test]

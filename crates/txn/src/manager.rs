@@ -183,7 +183,9 @@ impl TransactionManager {
     pub fn begin_nested(&self, parent: TxnId) -> Result<TxnId> {
         let top = {
             let mut txns = self.txns.lock();
-            let rec = txns.get_mut(&parent).ok_or(ReachError::TxnNotFound(parent))?;
+            let rec = txns
+                .get_mut(&parent)
+                .ok_or(ReachError::TxnNotFound(parent))?;
             if rec.state != TxnState::Active && rec.state != TxnState::Committing {
                 return Err(ReachError::TxnNotActive(parent));
             }
@@ -504,14 +506,28 @@ impl TransactionManager {
         self.txns.lock().len()
     }
 
+    /// Every transaction the manager still tracks as live (top-level
+    /// and nested), with its lifecycle state — the transaction-layer
+    /// view a checkpoint or an operator dump pairs with the storage
+    /// layer's active-writer table.
+    pub fn active_snapshot(&self) -> Vec<(TxnId, TxnState)> {
+        let txns = self.txns.lock();
+        let mut out: Vec<(TxnId, TxnState)> = txns
+            .iter()
+            .filter(|(_, r)| matches!(r.state, TxnState::Active | TxnState::Committing))
+            .map(|(id, r)| (*id, r.state))
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
     /// Ids of all currently active top-level transactions.
     pub fn active_top_level(&self) -> Vec<TxnId> {
         let txns = self.txns.lock();
         let mut out: Vec<TxnId> = txns
             .iter()
             .filter(|(_, r)| {
-                r.parent.is_none()
-                    && matches!(r.state, TxnState::Active | TxnState::Committing)
+                r.parent.is_none() && matches!(r.state, TxnState::Active | TxnState::Committing)
             })
             .map(|(id, _)| *id)
             .collect();
@@ -555,7 +571,8 @@ mod tests {
         let t = tm.begin().unwrap();
         for i in 0..3 {
             let order = Arc::clone(&order);
-            tm.on_abort(t, Box::new(move || order.lock().push(i))).unwrap();
+            tm.on_abort(t, Box::new(move || order.lock().push(i)))
+                .unwrap();
         }
         tm.abort(t).unwrap();
         assert_eq!(*order.lock(), vec![2, 1, 0]);
@@ -607,7 +624,8 @@ mod tests {
         let tm = manager();
         let parent = tm.begin().unwrap();
         let child = tm.begin_nested(parent).unwrap();
-        tm.lock(child, ObjectId::new(1), LockMode::Exclusive).unwrap();
+        tm.lock(child, ObjectId::new(1), LockMode::Exclusive)
+            .unwrap();
         tm.commit(child).unwrap();
         assert_eq!(
             tm.locks().held_mode(parent, ObjectId::new(1)),
@@ -621,9 +639,11 @@ mod tests {
     fn child_can_lock_what_parent_holds() {
         let tm = manager();
         let parent = tm.begin().unwrap();
-        tm.lock(parent, ObjectId::new(1), LockMode::Exclusive).unwrap();
+        tm.lock(parent, ObjectId::new(1), LockMode::Exclusive)
+            .unwrap();
         let child = tm.begin_nested(parent).unwrap();
-        tm.lock(child, ObjectId::new(1), LockMode::Exclusive).unwrap();
+        tm.lock(child, ObjectId::new(1), LockMode::Exclusive)
+            .unwrap();
         tm.commit(child).unwrap();
         tm.commit(parent).unwrap();
     }
@@ -657,7 +677,8 @@ mod tests {
         let parent = tm.begin().unwrap();
         let child = tm.begin_nested(parent).unwrap();
         let hit2 = Arc::clone(&hit);
-        tm.on_abort(child, Box::new(move || *hit2.lock() = true)).unwrap();
+        tm.on_abort(child, Box::new(move || *hit2.lock() = true))
+            .unwrap();
         tm.commit(child).unwrap();
         // Child committed, but the parent's abort must still undo it.
         tm.abort(parent).unwrap();
@@ -682,8 +703,10 @@ mod tests {
         let tm = manager();
         let trigger = tm.begin().unwrap();
         let dependent = tm.begin().unwrap();
-        tm.dependencies()
-            .add(dependent, crate::dependency::CommitRule::IfCommitted(trigger));
+        tm.dependencies().add(
+            dependent,
+            crate::dependency::CommitRule::IfCommitted(trigger),
+        );
         tm.commit(trigger).unwrap();
         tm.commit(dependent).unwrap();
         assert_eq!(tm.state(dependent).unwrap(), TxnState::Committed);

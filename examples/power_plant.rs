@@ -48,7 +48,8 @@ fn main() -> reach::Result<()> {
         ctx.set("waterTemp", ctx.arg(0))?;
         Ok(Value::Null)
     });
-    db.methods().register_fn(get_temp, |ctx| ctx.get("waterTemp"));
+    db.methods()
+        .register_fn(get_temp, |ctx| ctx.get("waterTemp"));
 
     let (b, get_heat) = db
         .define_class("Reactor")
@@ -57,7 +58,8 @@ fn main() -> reach::Result<()> {
         .virtual_method("getHeatOutput");
     let (b, reduce_power) = b.virtual_method("reducePlannedPower");
     let reactor_cls = b.define()?;
-    db.methods().register_fn(get_heat, |ctx| ctx.get("heatOutput"));
+    db.methods()
+        .register_fn(get_heat, |ctx| ctx.get("heatOutput"));
     db.methods().register_fn(reduce_power, |ctx| {
         let factor = ctx.arg(0).as_float()?;
         let p = ctx.get("plannedPower")?.as_float()?;

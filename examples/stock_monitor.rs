@@ -56,7 +56,9 @@ fn main() -> reach::Result<()> {
                 .on(on_tick)
                 .coupling(CouplingMode::Immediate)
                 .then(move |ctx| {
-                    let Some(sys) = sys2.upgrade() else { return Ok(()) };
+                    let Some(sys) = sys2.upgrade() else {
+                        return Ok(());
+                    };
                     let oid = ctx.receiver().unwrap();
                     let p = ctx.arg(0).as_float()?;
                     let high = ctx.db.get_attr(ctx.txn, oid, "high")?.as_float()?;
@@ -75,7 +77,10 @@ fn main() -> reach::Result<()> {
     // every spike opens its own window.
     let crash_pattern = sys.define_composite(
         "spike-then-drop",
-        EventExpr::Sequence(vec![EventExpr::Primitive(spike), EventExpr::Primitive(drop)]),
+        EventExpr::Sequence(vec![
+            EventExpr::Primitive(spike),
+            EventExpr::Primitive(drop),
+        ]),
         CompositionScope::CrossTransaction,
         Lifespan::Interval(Duration::from_secs(3600)),
         ConsumptionPolicy::Continuous,
@@ -124,7 +129,7 @@ fn main() -> reach::Result<()> {
         100.0, 104.0, 110.0, // spikes
         108.0, 95.0, // drop (>10% off the 110 high)
         97.0, 99.0, 112.0, // recovery spike
-        90.0, // second crash
+        90.0,  // second crash
     ];
     for (i, p) in prices.iter().enumerate() {
         let t = db.begin()?;

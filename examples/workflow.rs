@@ -47,7 +47,8 @@ fn main() -> reach::Result<()> {
     });
 
     let sys = ReachSystem::new(Arc::clone(&db), ReachConfig::default());
-    let on_submit = sys.define_method_event("on-submit", order_cls, "submit", MethodPhase::After)?;
+    let on_submit =
+        sys.define_method_event("on-submit", order_cls, "submit", MethodPhase::After)?;
     let on_approve =
         sys.define_method_event("on-approve", order_cls, "approve", MethodPhase::After)?;
 
@@ -170,10 +171,7 @@ fn main() -> reach::Result<()> {
 
     sys.wait_quiescent();
     let t = db.begin()?;
-    println!(
-        "\norder A status: {}",
-        db.get_attr(t, order_a, "status")?
-    );
+    println!("\norder A status: {}", db.get_attr(t, order_a, "status")?);
     db.commit(t)?;
     println!(
         "shipped: {}, escalations: {}, stats: {:?}",

@@ -31,7 +31,8 @@ fn committed_objects_survive_crash_without_checkpoint() {
         let class = declare(&db);
         let t = db.begin().unwrap();
         let doc = db.create(t, class).unwrap();
-        db.invoke(t, doc, "revise", &[Value::Str("v1".into())]).unwrap();
+        db.invoke(t, doc, "revise", &[Value::Str("v1".into())])
+            .unwrap();
         db.persist_named(t, "doc", doc).unwrap();
         db.commit(t).unwrap();
         // CRASH: no checkpoint, the Database is just dropped. Dirty
@@ -42,7 +43,10 @@ fn committed_objects_survive_crash_without_checkpoint() {
         declare(&db);
         let t = db.begin().unwrap();
         let doc = db.fetch("doc").unwrap();
-        assert_eq!(db.get_attr(t, doc, "body").unwrap(), Value::Str("v1".into()));
+        assert_eq!(
+            db.get_attr(t, doc, "body").unwrap(),
+            Value::Str("v1".into())
+        );
         assert_eq!(db.get_attr(t, doc, "rev").unwrap(), Value::Int(1));
         db.commit(t).unwrap();
     }
@@ -59,14 +63,16 @@ fn uncommitted_work_vanishes_after_crash() {
         // Committed baseline.
         let t = db.begin().unwrap();
         let doc = db.create(t, class).unwrap();
-        db.invoke(t, doc, "revise", &[Value::Str("stable".into())]).unwrap();
+        db.invoke(t, doc, "revise", &[Value::Str("stable".into())])
+            .unwrap();
         db.persist_named(t, "doc", doc).unwrap();
         db.commit(t).unwrap();
         // An open transaction mutates the object, then the process dies
         // mid-flight (the storage write-back happens only at commit, so
         // this mostly exercises the loser-analysis path).
         let t2 = db.begin().unwrap();
-        db.invoke(t2, doc, "revise", &[Value::Str("doomed".into())]).unwrap();
+        db.invoke(t2, doc, "revise", &[Value::Str("doomed".into())])
+            .unwrap();
         // no commit — crash
     }
     {
@@ -94,7 +100,8 @@ fn many_transactions_then_crash_then_more_transactions() {
         for i in 0..count {
             let t = db.begin().unwrap();
             let doc = db.create(t, class).unwrap();
-            db.invoke(t, doc, "revise", &[Value::Str(format!("doc{i}"))]).unwrap();
+            db.invoke(t, doc, "revise", &[Value::Str(format!("doc{i}"))])
+                .unwrap();
             db.persist_named(t, &format!("doc{i}"), doc).unwrap();
             db.commit(t).unwrap();
             if i == count / 2 {

@@ -63,9 +63,15 @@ fn reorder_rule_spans_the_whole_stack() {
     let widget = db.create(t, item).unwrap();
     db.persist_named(t, "widget", widget).unwrap();
     db.invoke(t, widget, "take", &[Value::Int(50)]).unwrap();
-    assert_eq!(db.get_attr(t, widget, "reordered").unwrap(), Value::Bool(false));
+    assert_eq!(
+        db.get_attr(t, widget, "reordered").unwrap(),
+        Value::Bool(false)
+    );
     db.invoke(t, widget, "take", &[Value::Int(40)]).unwrap(); // stock = 10
-    assert_eq!(db.get_attr(t, widget, "reordered").unwrap(), Value::Bool(true));
+    assert_eq!(
+        db.get_attr(t, widget, "reordered").unwrap(),
+        Value::Bool(true)
+    );
     db.commit(t).unwrap();
     // The query engine sees the rule's effect.
     let t = db.begin().unwrap();
@@ -339,6 +345,9 @@ fn figure1_manifest_regenerates() {
         "asm:active-memory",
         "asm:passive-store",
     ] {
-        assert!(joined.contains(needle), "manifest missing {needle}:\n{joined}");
+        assert!(
+            joined.contains(needle),
+            "manifest missing {needle}:\n{joined}"
+        );
     }
 }

@@ -136,10 +136,21 @@ proptest! {
 
 fn wal_record() -> impl Strategy<Value = WalRecord> {
     prop_oneof![
-        any::<u64>().prop_map(|t| WalRecord::Begin { txn: TxnId::new(t.max(1)) }),
-        any::<u64>().prop_map(|t| WalRecord::Commit { txn: TxnId::new(t.max(1)) }),
-        any::<u64>().prop_map(|t| WalRecord::Abort { txn: TxnId::new(t.max(1)) }),
-        (any::<u64>(), any::<u64>(), any::<u16>(), proptest::collection::vec(any::<u8>(), 0..100))
+        any::<u64>().prop_map(|t| WalRecord::Begin {
+            txn: TxnId::new(t.max(1))
+        }),
+        any::<u64>().prop_map(|t| WalRecord::Commit {
+            txn: TxnId::new(t.max(1))
+        }),
+        any::<u64>().prop_map(|t| WalRecord::Abort {
+            txn: TxnId::new(t.max(1))
+        }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u16>(),
+            proptest::collection::vec(any::<u8>(), 0..100)
+        )
             .prop_map(|(t, p, s, d)| WalRecord::Insert {
                 txn: TxnId::new(t.max(1)),
                 page: PageId::new(p.max(1)),

@@ -464,8 +464,8 @@ pub mod prelude {
     pub use crate as prop;
     pub use crate::test_runner::Config as ProptestConfig;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
-        BoxedStrategy, Just, Strategy,
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, BoxedStrategy,
+        Just, Strategy,
     };
 }
 
@@ -480,10 +480,7 @@ mod tests {
     }
 
     fn node() -> impl Strategy<Value = Node> {
-        let leaf = prop_oneof![
-            (0i64..100).prop_map(Node::Leaf),
-            Just(Node::Leaf(0)),
-        ];
+        let leaf = prop_oneof![(0i64..100).prop_map(Node::Leaf), Just(Node::Leaf(0)),];
         leaf.prop_recursive(3, 16, 4, |inner| {
             crate::collection::vec(inner, 0..4).prop_map(Node::Branch)
         })
