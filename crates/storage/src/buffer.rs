@@ -25,7 +25,8 @@ struct Frame {
     referenced: AtomicBool,
     /// Recovery LSN: a conservative lower bound on the LSN of the first
     /// log record whose effect on this page is not yet on disk.
-    /// [`NO_REC_LSN`] while clean. Maintained with `fetch_min`, written
+    /// [`NO_REC_LSN`] while clean. Maintained with `fetch_min` inside
+    /// the page write critical section (see `with_page_mut`), written
     /// *before* the dirty bit so a dirty-page-table capture that sees
     /// `dirty` also sees a valid bound.
     rec_lsn: AtomicU64,
@@ -177,16 +178,28 @@ impl BufferPool {
     /// dirty unconditionally (callers only take `_mut` when mutating).
     pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> Result<R> {
         let frame = self.pin(id)?;
-        // rec_lsn before the dirty bit: a dirty-page-table capture that
-        // observes `dirty` must also observe a bound ≤ the first log
-        // record of this mutation (which is appended after `f` runs).
-        // fetch_min keeps the oldest bound if the frame is already dirty.
-        frame
-            .rec_lsn
-            .fetch_min(self.current_lsn(), Ordering::AcqRel);
-        frame.dirty.store(true, Ordering::Release);
         let out = {
             let mut guard = frame.page.write();
+            // Marking must happen inside the write critical section: a
+            // concurrent flush swaps `dirty` to false and then takes the
+            // page read lock, so with the marks outside the lock it
+            // could clear a dirty bit set *before* the mutation, persist
+            // the pre-mutation image, and leave the mutated page flagged
+            // clean — a later eviction would silently drop the change.
+            // Under the lock, the flush's read acquisition is granted
+            // either before ours (it writes the old image and we
+            // re-dirty afterwards) or after `f` (the image it writes
+            // already includes the mutation).
+            //
+            // rec_lsn before the dirty bit: a dirty-page-table capture
+            // that observes `dirty` must also observe a bound ≤ the
+            // first log record of this mutation (which is appended after
+            // `f` runs). fetch_min keeps the oldest bound if the frame
+            // is already dirty.
+            frame
+                .rec_lsn
+                .fetch_min(self.current_lsn(), Ordering::AcqRel);
+            frame.dirty.store(true, Ordering::Release);
             f(&mut guard)
         };
         self.unpin(&frame);
@@ -283,13 +296,22 @@ impl BufferPool {
             }
             let frame = &self.frames[idx];
             if frame.dirty.swap(false, Ordering::AcqRel) {
+                let guard = frame.page.read();
                 // As in eviction: a failed write must not leave the
                 // page clean-flagged (truncation safety).
-                if let Err(e) = self.disk.write(&frame.page.read()) {
+                if let Err(e) = self.disk.write(&guard) {
                     frame.dirty.store(true, Ordering::Release);
                     return Err(e);
                 }
+                // Reset rec_lsn while still holding the read lock. A
+                // writer updates rec_lsn only inside its write critical
+                // section, so its update is ordered either before this
+                // flush (its effect is in the image just written) or
+                // after this reset (it re-arms rec_lsn afresh) — the
+                // reset can never clobber a bound for a mutation the
+                // image does not contain.
                 frame.rec_lsn.store(NO_REC_LSN, Ordering::Release);
+                drop(guard);
                 self.metrics.pool.writebacks.inc();
             }
         }
@@ -300,8 +322,10 @@ impl BufferPool {
     /// The dirty-page table: every resident dirty page with its
     /// recovery LSN, as carried by a fuzzy checkpoint's
     /// `EndCheckpoint` record. A frame caught mid-clean (dirty bit
-    /// still set, rec_lsn already reset) is skipped — its image is on
-    /// disk.
+    /// still set, rec_lsn already reset) is skipped — safe because
+    /// rec_lsn is only reset under the page read lock after a
+    /// successful write-back, so a reset frame's on-disk image
+    /// contains every mutation marked before the reset.
     pub fn dirty_page_table(&self) -> Vec<(PageId, u64)> {
         let dir = self.dir.lock();
         let mut out = Vec::new();
@@ -477,6 +501,59 @@ mod tests {
         lsn.store(300, Ordering::SeqCst);
         p.with_page_mut(a, |pg| pg.insert(b"w").unwrap()).unwrap();
         assert_eq!(p.dirty_page_table(), vec![(a, 300)]);
+    }
+
+    #[test]
+    fn concurrent_flush_never_loses_mutations() {
+        // Regression: with_page_mut once set the dirty bit *before*
+        // taking the page write lock, so a concurrent flush_all could
+        // swap it back to false, persist the pre-mutation image, and
+        // leave the mutated page flagged clean — a later flush (or
+        // eviction) would then silently drop the change.
+        let disk = Arc::new(MemDisk::new());
+        let p = Arc::new(BufferPool::new(
+            Arc::clone(&disk) as Arc<dyn StableStorage>,
+            8,
+        ));
+        let ids: Vec<_> = (0..4).map(|_| p.allocate().unwrap()).collect();
+        for id in &ids {
+            p.with_page_mut(*id, |pg| pg.insert(&0u64.to_le_bytes()).unwrap())
+                .unwrap();
+        }
+        let stop = Arc::new(AtomicBool::new(false));
+        let flusher = {
+            let p = Arc::clone(&p);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    p.flush_all().unwrap();
+                }
+            })
+        };
+        let mut writers = Vec::new();
+        for (t, id) in ids.iter().enumerate() {
+            let p = Arc::clone(&p);
+            let id = *id;
+            writers.push(std::thread::spawn(move || {
+                for i in 1..=500u64 {
+                    p.with_page_mut(id, |pg| {
+                        pg.put_at(0, &(i * (t as u64 + 1)).to_le_bytes()).unwrap();
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in writers {
+            h.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        flusher.join().unwrap();
+        p.flush_all().unwrap();
+        // Every page's final value must have reached the device.
+        for (t, id) in ids.iter().enumerate() {
+            let raw = disk.read(*id).unwrap();
+            assert_eq!(raw.get(0).unwrap(), (500 * (t as u64 + 1)).to_le_bytes());
+        }
     }
 
     #[test]

@@ -108,6 +108,16 @@ impl ActiveTxns {
     /// checkpoint's `EndCheckpoint`, so the pre-truncation force makes
     /// it durable and the transaction can never come back as a loser
     /// whose undo records were dropped.
+    ///
+    /// If the outcome append itself fails, the entry is deliberately
+    /// **kept**: the transaction's write records are in the log with no
+    /// outcome record, so if it ever crashed in this state recovery
+    /// would need them for undo — the first-write LSN must keep pinning
+    /// truncation. The caller must then re-drive the outcome (retry the
+    /// commit, or abort) to release the pin; `sm::commit`/`sm::abort`
+    /// surface the error to the client for exactly that reason. A
+    /// read-only transaction has no first-write LSN and never pins the
+    /// cut, so a stuck entry for one is harmless.
     pub fn finish_logged(
         &self,
         txn: TxnId,

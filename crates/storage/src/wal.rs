@@ -889,6 +889,16 @@ impl WriteAheadLog {
                 out.write_all(&rest)?;
                 out.sync_data()?;
                 std::fs::rename(&tmp, &*path)?;
+                // Make the rename itself durable before any further
+                // appends: without syncing the parent directory, a
+                // power loss could leave the directory entry pointing
+                // at the old inode while later acked commits were
+                // forced into the new, now-unreachable file.
+                let dir = match path.parent() {
+                    Some(p) if !p.as_os_str().is_empty() => p,
+                    _ => std::path::Path::new("."),
+                };
+                File::open(dir)?.sync_all()?;
                 *file = OpenOptions::new().read(true).write(true).open(&*path)?;
                 *len = FIRST_LSN + keep as u64;
                 if let Some(arch) = &mut st.archive {

@@ -79,6 +79,42 @@ fn open_writer_pins_truncation_until_it_finishes() {
     assert_eq!(sm.scan(seg).unwrap().len(), 33);
 }
 
+/// A failed outcome append keeps the writer's truncation pin — with no
+/// durable Commit/Abort its write records could still be needed for
+/// undo — and a successfully retried commit releases it.
+#[test]
+fn failed_outcome_append_keeps_pin_until_retried() {
+    use reach_common::{FaultInjector, FaultPlan, FaultPoint};
+    let sm = StorageManager::new_in_memory(64).unwrap();
+    let seg = sm.create_segment("t").unwrap();
+    let w = TxnId::new(1);
+    sm.begin(w).unwrap();
+    sm.insert(w, seg, b"needs undo if orphaned").unwrap();
+    // The very next WAL append — the Commit record — fails transiently.
+    sm.wal().set_injector(FaultInjector::new(
+        FaultPlan::new().fail_at(FaultPoint::WalAppend, 1),
+    ));
+    assert!(sm.commit(w).is_err());
+    let pinned = sm.checkpoint().unwrap();
+    assert_eq!(
+        pinned.active_writers, 1,
+        "a writer whose outcome append failed must stay in the active table"
+    );
+    assert!(
+        pinned.cutoff < pinned.begin_lsn,
+        "the stuck writer's first-write LSN must bound the cut"
+    );
+    // Retrying the outcome releases the pin.
+    sm.commit(w).unwrap();
+    let released = sm.checkpoint().unwrap();
+    assert_eq!(released.active_writers, 0);
+    assert!(
+        released.cutoff > pinned.cutoff,
+        "finishing the writer must advance the cut"
+    );
+    assert_eq!(sm.scan(seg).unwrap().len(), 1);
+}
+
 /// The byte-threshold trigger takes checkpoints on its own as the log
 /// grows, and stays quiet when disarmed.
 #[test]
