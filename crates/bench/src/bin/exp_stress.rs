@@ -1,0 +1,250 @@
+//! Experiment E18 — concurrency correctness stress harness.
+//!
+//! Three oracles, one binary, all driven by the schedule-perturbing
+//! sync layer (`reach_common::sync`, built with the `sched` feature):
+//!
+//! 1. **Trace determinism** — the same seed must produce the identical
+//!    per-thread acquisition trace twice (the replay guarantee the
+//!    whole harness rests on);
+//! 2. **Serializability sweep** — randomized lock-manager workloads
+//!    under perturbed schedules; every committed history must be
+//!    conflict-serializable (checked by `reach_txn::serial`);
+//! 3. **Differential algebra fuzz** — random event-algebra expressions
+//!    and random streams through the real compositor and the naive
+//!    reference interpreter (`reach_core::oracle`); detections must be
+//!    identical per arrival and at window close, for all four SNOOP
+//!    consumption policies.
+//!
+//! Exits nonzero on the first discrepancy, printing the seed to replay.
+//!
+//! ```sh
+//! cargo run --release -p reach-bench --features sched --bin exp_stress -- \
+//!     [--seed N] [--schedules N] [--streams N] [--smoke]
+//! ```
+
+use reach_common::sync::sched;
+use reach_common::{EventTypeId, SplitMix64, TimePoint, Timestamp, TxnId};
+use reach_core::compositor::Compositor;
+use reach_core::event::{EventData, EventOccurrence};
+use reach_core::oracle::OracleCompositor;
+use reach_core::{CompositionScope, ConsumptionPolicy, EventExpr, Lifespan};
+use reach_txn::serial::{run_lock_workload, WorkloadCfg};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let mut base_seed: u64 = 0x5EED_0000;
+    let mut schedules: usize = 64;
+    let mut streams: usize = 200;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--seed" => {
+                base_seed = args
+                    .next()
+                    .and_then(|s| parse_u64(&s))
+                    .expect("--seed needs a u64 (decimal or 0x-hex)");
+            }
+            "--schedules" => {
+                schedules = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--schedules needs a usize");
+            }
+            "--streams" => {
+                streams = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--streams needs a usize");
+            }
+            "--smoke" => {
+                schedules = 8;
+                streams = 32;
+            }
+            other => panic!("unknown argument {other:?}"),
+        }
+    }
+
+    println!(
+        "== E18 concurrency stress: seed={base_seed:#x} schedules={schedules} streams={streams}"
+    );
+    let t0 = Instant::now();
+    check_trace_determinism(base_seed);
+    let committed = serializability_sweep(base_seed, schedules);
+    let firings = differential_fuzz(base_seed, streams);
+    println!(
+        "E18 OK in {:.1?}: {schedules} schedules serializable ({committed} commits), \
+         {streams} streams x 4 policies differentially equal ({firings} firings compared)",
+        t0.elapsed()
+    );
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// A fixed 4-thread lock-step workload; equal seeds must leave equal
+/// per-slot traces (and equal fingerprints) behind.
+fn check_trace_determinism(seed: u64) {
+    let run = || {
+        sched::run_seeded(seed, || {
+            let counter = Arc::new(AtomicU64::new(0));
+            let lock = Arc::new(reach_common::sync::Mutex::new(0u64));
+            let handles: Vec<_> = (0..4u64)
+                .map(|t| {
+                    let counter = Arc::clone(&counter);
+                    let lock = Arc::clone(&lock);
+                    std::thread::spawn(move || {
+                        sched::register_thread(t);
+                        for _ in 0..50 {
+                            *lock.lock() += 1;
+                            counter.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            counter.load(Ordering::Relaxed)
+        })
+    };
+    let (n1, trace1) = run();
+    let (n2, trace2) = run();
+    assert_eq!(n1, 200);
+    assert_eq!(n2, 200);
+    let (by1, by2) = (sched::by_slot(&trace1), sched::by_slot(&trace2));
+    if by1 != by2 {
+        eprintln!(
+            "FAIL: seed {seed:#x} produced different acquisition traces \
+             (fingerprints {:#x} vs {:#x})",
+            sched::fingerprint(&trace1),
+            sched::fingerprint(&trace2)
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "trace determinism: {} events, fingerprint {:#x}, stable across runs",
+        trace1.len(),
+        sched::fingerprint(&trace1)
+    );
+}
+
+fn serializability_sweep(base_seed: u64, schedules: usize) -> u64 {
+    let mut committed_total = 0;
+    for i in 0..schedules as u64 {
+        let seed = base_seed.wrapping_add(i);
+        let ((history, stats), _) =
+            sched::run_seeded(seed, || run_lock_workload(seed, WorkloadCfg::default()));
+        committed_total += stats.committed;
+        if let Some(cycle) = history.conflict_cycle() {
+            eprintln!(
+                "FAIL: non-serializable history, replay with --seed {seed:#x} --schedules 1 \
+                 (cycle {cycle:?}, committed={} deadlocks={} timeouts={})",
+                stats.committed, stats.deadlocks, stats.timeouts
+            );
+            std::process::exit(1);
+        }
+    }
+    if committed_total == 0 {
+        eprintln!("FAIL: serializability sweep committed nothing; workload broken");
+        std::process::exit(1);
+    }
+    committed_total
+}
+
+/// Random expression, depth-bounded; combinators get 2–3 parts.
+fn gen_expr(rng: &mut SplitMix64, depth: u32) -> EventExpr {
+    let prim =
+        |rng: &mut SplitMix64| EventExpr::Primitive(EventTypeId::new(1 + rng.below(4) as u64));
+    if depth == 0 || rng.chance(2, 5) {
+        return prim(rng);
+    }
+    let parts = |rng: &mut SplitMix64, depth: u32| {
+        let n = 2 + rng.below(2);
+        (0..n).map(|_| gen_expr(rng, depth - 1)).collect::<Vec<_>>()
+    };
+    match rng.below(6) {
+        0 => EventExpr::Sequence(parts(rng, depth)),
+        1 => EventExpr::Conjunction(parts(rng, depth)),
+        2 => EventExpr::Disjunction(parts(rng, depth)),
+        3 => EventExpr::Negation(Box::new(gen_expr(rng, depth - 1))),
+        4 => EventExpr::Closure(Box::new(gen_expr(rng, depth - 1))),
+        _ => EventExpr::History {
+            expr: Box::new(gen_expr(rng, depth - 1)),
+            count: 1 + rng.below(3) as u32,
+        },
+    }
+}
+
+fn differential_fuzz(base_seed: u64, streams: usize) -> u64 {
+    let mut compared = 0u64;
+    for i in 0..streams as u64 {
+        let seed = base_seed.wrapping_add(0x00D1_FF00).wrapping_add(i);
+        let mut rng = SplitMix64::new(seed);
+        let expr = gen_expr(&mut rng, 2);
+        let len = rng.below(40);
+        let stream: Vec<u64> = (0..len).map(|_| 1 + rng.below(4) as u64).collect();
+        for policy in ConsumptionPolicy::ALL {
+            compared += check_stream(&expr, policy, &stream, seed);
+        }
+    }
+    compared
+}
+
+fn check_stream(expr: &EventExpr, policy: ConsumptionPolicy, stream: &[u64], seed: u64) -> u64 {
+    let real = Compositor::new(
+        expr.clone(),
+        CompositionScope::SameTransaction,
+        Lifespan::Transaction,
+        policy,
+    );
+    let mut oracle = OracleCompositor::new(expr.clone(), policy);
+    let mut fired = 0u64;
+    let as_seqs = |cs: &[Arc<EventOccurrence>]| cs.iter().map(|o| o.seq.raw()).collect::<Vec<_>>();
+    for (i, ty) in stream.iter().enumerate() {
+        let o = Arc::new(EventOccurrence {
+            event_type: EventTypeId::new(*ty),
+            seq: Timestamp::new(i as u64 + 1),
+            at: TimePoint::from_millis(i as u64 + 1),
+            txn: Some(TxnId::new(1)),
+            top_txn: Some(TxnId::new(1)),
+            data: EventData::default(),
+            constituents: Vec::new(),
+        });
+        let r: Vec<Vec<u64>> = real
+            .feed(&o)
+            .iter()
+            .map(|c| as_seqs(&c.constituents))
+            .collect();
+        let e: Vec<Vec<u64>> = oracle.feed(&o).iter().map(|f| as_seqs(f)).collect();
+        fired += r.len() as u64;
+        if r != e {
+            eprintln!(
+                "FAIL: {policy:?} diverged at arrival {i} of stream seed {seed:#x}\n\
+                 expr: {expr:?}\n real: {r:?}\n oracle: {e:?}"
+            );
+            std::process::exit(1);
+        }
+    }
+    let r: Vec<Vec<u64>> = real
+        .close_txn(TxnId::new(1))
+        .iter()
+        .map(|c| as_seqs(&c.constituents))
+        .collect();
+    let e: Vec<Vec<u64>> = oracle.close().iter().map(|f| as_seqs(f)).collect();
+    fired += r.len() as u64;
+    if r != e {
+        eprintln!(
+            "FAIL: {policy:?} diverged at window close of stream seed {seed:#x}\n\
+             expr: {expr:?}\n real: {r:?}\n oracle: {e:?}"
+        );
+        std::process::exit(1);
+    }
+    fired
+}

@@ -4,8 +4,10 @@
 //! transactions or rules; it only provides the vocabulary the other
 //! crates speak: strongly-typed identifiers, the unified error type,
 //! the virtual clock used for temporal events, rule priorities, the
-//! deterministic fault injector, and the observability registry
-//! ([`obs::MetricsRegistry`]) every layer records into.
+//! deterministic fault injector, the observability registry
+//! ([`obs::MetricsRegistry`]) every layer records into, and the
+//! schedule-perturbing synchronization layer ([`sync`]) all crates take
+//! their locks from.
 
 #![warn(missing_docs)]
 
@@ -16,6 +18,8 @@ pub mod ids;
 pub mod metrics;
 pub mod obs;
 pub mod priority;
+pub mod rng;
+pub mod sync;
 
 pub use clock::{Clock, TimePoint, VirtualClock};
 pub use error::{ReachError, Result};
@@ -24,3 +28,4 @@ pub use ids::{ClassId, EventTypeId, IdGen, MethodId, ObjectId, PageId, RuleId, T
 pub use metrics::{Counter, Histogram, HistogramSnapshot};
 pub use obs::{MetricsRegistry, MetricsSnapshot, Span, Stage, StageSnapshot, Trace};
 pub use priority::Priority;
+pub use rng::{announce_seed, seed_from_env, SplitMix64};

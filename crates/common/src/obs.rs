@@ -24,7 +24,7 @@
 //! unconditionally on.
 
 use crate::metrics::{fmt_ns, Counter, Histogram, HistogramSnapshot};
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;

@@ -1,0 +1,633 @@
+//! Schedule-perturbing synchronization layer.
+//!
+//! Every crate in the workspace takes its `Mutex` / `RwLock` / `Condvar`
+//! from this module instead of `parking_lot` directly. In the default
+//! build the module is a **zero-cost re-export** of `parking_lot` — no
+//! wrapper types, no branches, nothing for the optimizer to even remove.
+//!
+//! With the `sched` cargo feature (enabled by the concurrency test
+//! suites and the `exp_stress` harness), the same names resolve to thin
+//! wrappers in which **every acquire and release is a perturbation
+//! point**: when the seeded scheduler is armed, each point consults a
+//! pure function of `(seed, thread slot, per-thread op index)` and
+//! either proceeds, yields the OS scheduler, or sleeps a few
+//! microseconds. The same seed therefore replays the same interleaving
+//! *pressure*, which is what turns "ran the stress test 50 times and it
+//! passed" into "seed `0x5EED` fails — go look".
+//!
+//! The scheduler is armed either explicitly ([`sched::arm`] /
+//! [`sched::run_seeded`]) or by setting the `REACH_SCHED_SEED`
+//! environment variable before the process starts. While armed, threads
+//! that registered via [`sched::register_thread`] also append every
+//! perturbation point to a global **acquisition trace**; per-slot trace
+//! streams are fully deterministic for a fixed seed (decisions depend
+//! only on `(seed, slot, index)`, and a thread's own operation sequence
+//! is program-ordered), which the harness checks by replaying a seed and
+//! comparing [`sched::by_slot`] views.
+//!
+//! Unregistered threads are still perturbed while the scheduler is
+//! armed, but do not pollute the trace — test binaries run many tests
+//! concurrently, and the trace must describe the workload under test,
+//! not its neighbours.
+
+// ------------------------------------------------------------------
+// Default build: pure re-export. The perturbing layer "compiles away"
+// by never being compiled in the first place.
+// ------------------------------------------------------------------
+
+#[cfg(not(feature = "sched"))]
+pub use parking_lot::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+#[cfg(feature = "sched")]
+pub use parking_lot::WaitTimeoutResult;
+
+#[cfg(feature = "sched")]
+pub use instrumented::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// The seeded scheduler controlling the perturbation points.
+///
+/// The full API exists in every build so tests and harnesses never need
+/// `cfg` gymnastics; without the `sched` feature the functions are
+/// no-ops, [`sched::enabled`] returns `false`, and traces are empty.
+pub mod sched {
+    /// One synchronization operation kind, as recorded in the trace.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub enum SyncOp {
+        /// A blocking `Mutex::lock` (or `try_lock`) acquisition point.
+        MutexLock,
+        /// A `Mutex` guard release.
+        MutexUnlock,
+        /// A blocking `RwLock::read` (or `try_read`) acquisition point.
+        RwRead,
+        /// A blocking `RwLock::write` (or `try_write`) acquisition point.
+        RwWrite,
+        /// Release of a read guard.
+        RwUnlockRead,
+        /// Release of a write guard.
+        RwUnlockWrite,
+        /// Entry into a `Condvar` wait (any flavour).
+        CondWait,
+    }
+
+    /// What the scheduler decided to do at a perturbation point.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub enum Decision {
+        /// Proceed immediately.
+        Run,
+        /// `std::thread::yield_now()`.
+        Yield,
+        /// Sleep for the given number of microseconds (1..=50).
+        Sleep(u16),
+    }
+
+    /// One entry of the acquisition trace.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct TraceEvent {
+        /// The registered slot of the thread that hit the point.
+        pub slot: u64,
+        /// The thread-local operation index (0-based, per arming epoch).
+        pub index: u64,
+        /// The operation that hit the point.
+        pub op: SyncOp,
+        /// What the scheduler injected.
+        pub decision: Decision,
+    }
+
+    /// Group a trace into deterministic per-slot streams (sorted by
+    /// slot; each stream sorted by per-thread index). Two runs of the
+    /// same seeded workload produce identical values here even though
+    /// the global append order races.
+    pub fn by_slot(trace: &[TraceEvent]) -> std::collections::BTreeMap<u64, Vec<TraceEvent>> {
+        let mut map: std::collections::BTreeMap<u64, Vec<TraceEvent>> =
+            std::collections::BTreeMap::new();
+        for e in trace {
+            map.entry(e.slot).or_default().push(*e);
+        }
+        for stream in map.values_mut() {
+            stream.sort_by_key(|e| e.index);
+        }
+        map
+    }
+
+    /// A stable fingerprint of the per-slot view of a trace (FNV-1a over
+    /// the sorted streams) — handy for printing and quick comparison.
+    pub fn fingerprint(trace: &[TraceEvent]) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |v: u64| {
+            for b in v.to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for (slot, stream) in by_slot(trace) {
+            mix(slot);
+            for e in stream {
+                mix(e.index);
+                mix(e.op as u64);
+                mix(match e.decision {
+                    Decision::Run => 0,
+                    Decision::Yield => 1,
+                    Decision::Sleep(us) => 2 + us as u64,
+                });
+            }
+        }
+        h
+    }
+
+    /// Whether the perturbing layer is compiled in at all.
+    pub const fn enabled() -> bool {
+        cfg!(feature = "sched")
+    }
+
+    #[cfg(feature = "sched")]
+    pub use armed::{arm, armed_seed, disarm, perturb, register_thread, run_seeded, take_trace};
+
+    #[cfg(feature = "sched")]
+    mod armed {
+        use super::{Decision, SyncOp, TraceEvent};
+        use std::cell::Cell;
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+        use std::sync::{Mutex as StdMutex, Once};
+
+        static ARMED: AtomicBool = AtomicBool::new(false);
+        static SEED: AtomicU64 = AtomicU64::new(0);
+        /// Bumped on every `arm`; lazily resets per-thread state.
+        static EPOCH: AtomicU64 = AtomicU64::new(0);
+        /// Auto-assigned slots start far above anything a test registers.
+        static NEXT_AUTO_SLOT: AtomicU64 = AtomicU64::new(1 << 32);
+        static TRACE: StdMutex<Vec<TraceEvent>> = StdMutex::new(Vec::new());
+        /// Serializes `run_seeded` sections across a test binary.
+        static EXCLUSIVE: StdMutex<()> = StdMutex::new(());
+        static ENV_ARM: Once = Once::new();
+
+        thread_local! {
+            /// (epoch, slot, next op index, registered?)
+            static THREAD: Cell<(u64, u64, u64, bool)> = const { Cell::new((0, 0, 0, false)) };
+        }
+
+        /// Arm the scheduler with `seed`: clears the trace, bumps the
+        /// epoch (resetting per-thread op indices) and turns every
+        /// perturbation point live.
+        pub fn arm(seed: u64) {
+            let mut trace = TRACE.lock().unwrap_or_else(|e| e.into_inner());
+            trace.clear();
+            SEED.store(seed, Ordering::Relaxed);
+            EPOCH.fetch_add(1, Ordering::Relaxed);
+            ARMED.store(true, Ordering::SeqCst);
+        }
+
+        /// Disarm the scheduler; perturbation points go back to a single
+        /// relaxed load + branch.
+        pub fn disarm() {
+            ARMED.store(false, Ordering::SeqCst);
+        }
+
+        /// The seed currently armed, if any.
+        pub fn armed_seed() -> Option<u64> {
+            ARMED
+                .load(Ordering::Relaxed)
+                .then(|| SEED.load(Ordering::Relaxed))
+        }
+
+        /// Give the calling thread a deterministic trace slot for the
+        /// current arming epoch (and reset its op index). Workload
+        /// threads call this with a stable id (their spawn index) so
+        /// their trace streams are comparable across runs.
+        pub fn register_thread(slot: u64) {
+            let epoch = EPOCH.load(Ordering::Relaxed);
+            THREAD.with(|t| t.set((epoch, slot, 0, true)));
+        }
+
+        /// Drain the acquisition trace accumulated since the last `arm`.
+        pub fn take_trace() -> Vec<TraceEvent> {
+            std::mem::take(&mut *TRACE.lock().unwrap_or_else(|e| e.into_inner()))
+        }
+
+        /// Arm with `seed`, run `f`, disarm, and return `f`'s result
+        /// together with the trace. Seeded sections from different tests
+        /// in one binary are serialized on an internal lock so their
+        /// traces do not interleave.
+        pub fn run_seeded<R>(seed: u64, f: impl FnOnce() -> R) -> (R, Vec<TraceEvent>) {
+            let _x = EXCLUSIVE.lock().unwrap_or_else(|e| e.into_inner());
+            arm(seed);
+            let out = f();
+            disarm();
+            (out, take_trace())
+        }
+
+        /// SplitMix64 finalizer.
+        fn mix(mut z: u64) -> u64 {
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+
+        /// The perturbation point: called by the instrumented types on
+        /// every acquire/release. Disarmed cost is one relaxed load.
+        #[inline]
+        pub fn perturb(op: SyncOp) {
+            ENV_ARM.call_once(|| {
+                if let Ok(v) = std::env::var("REACH_SCHED_SEED") {
+                    if let Some(seed) = super::super::parse_seed(&v) {
+                        arm(seed);
+                        eprintln!("[sched] armed from REACH_SCHED_SEED={seed:#x}");
+                    }
+                }
+            });
+            if !ARMED.load(Ordering::Relaxed) {
+                return;
+            }
+            let epoch = EPOCH.load(Ordering::Relaxed);
+            let (slot, index, registered) = THREAD.with(|t| {
+                let (e, mut slot, mut idx, mut reg) = t.get();
+                if e != epoch {
+                    // New arming epoch: unregistered identity, fresh index.
+                    slot = NEXT_AUTO_SLOT.fetch_add(1, Ordering::Relaxed);
+                    idx = 0;
+                    reg = false;
+                }
+                t.set((epoch, slot, idx + 1, reg));
+                (slot, idx, reg)
+            });
+            let seed = SEED.load(Ordering::Relaxed);
+            let r = mix(seed
+                ^ slot.wrapping_mul(0x9e3779b97f4a7c15)
+                ^ index.wrapping_mul(0xd1b54a32d192ed03)
+                ^ (op as u64).wrapping_mul(0x2545f4914f6cdd1d));
+            let decision = match r % 8 {
+                0..=3 => Decision::Run,
+                4 | 5 => Decision::Yield,
+                _ => Decision::Sleep((1 + (r >> 8) % 50) as u16),
+            };
+            if registered {
+                TRACE
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .push(TraceEvent {
+                        slot,
+                        index,
+                        op,
+                        decision,
+                    });
+            }
+            match decision {
+                Decision::Run => {}
+                Decision::Yield => std::thread::yield_now(),
+                Decision::Sleep(us) => {
+                    std::thread::sleep(std::time::Duration::from_micros(us as u64))
+                }
+            }
+        }
+    }
+
+    // -------------------------------------------------- disabled stubs
+
+    /// Arm the scheduler (no-op without the `sched` feature).
+    #[cfg(not(feature = "sched"))]
+    pub fn arm(_seed: u64) {}
+
+    /// Disarm the scheduler (no-op without the `sched` feature).
+    #[cfg(not(feature = "sched"))]
+    pub fn disarm() {}
+
+    /// The armed seed (always `None` without the `sched` feature).
+    #[cfg(not(feature = "sched"))]
+    pub fn armed_seed() -> Option<u64> {
+        None
+    }
+
+    /// Register the calling thread (no-op without the `sched` feature).
+    #[cfg(not(feature = "sched"))]
+    pub fn register_thread(_slot: u64) {}
+
+    /// Drain the trace (always empty without the `sched` feature).
+    #[cfg(not(feature = "sched"))]
+    pub fn take_trace() -> Vec<TraceEvent> {
+        Vec::new()
+    }
+
+    /// Run `f` (unperturbed without the `sched` feature); trace is empty.
+    #[cfg(not(feature = "sched"))]
+    pub fn run_seeded<R>(_seed: u64, f: impl FnOnce() -> R) -> (R, Vec<TraceEvent>) {
+        (f(), Vec::new())
+    }
+}
+
+/// Parse a seed from decimal or `0x`-prefixed hex.
+pub(crate) fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+// ------------------------------------------------------------------
+// Instrumented wrappers (sched builds only).
+// ------------------------------------------------------------------
+
+#[cfg(feature = "sched")]
+mod instrumented {
+    use super::sched::{perturb, SyncOp};
+    use super::WaitTimeoutResult;
+    use std::time::{Duration, Instant};
+
+    /// A `parking_lot::Mutex` whose acquire/release are perturbation
+    /// points (see the module docs).
+    pub struct Mutex<T: ?Sized> {
+        inner: parking_lot::Mutex<T>,
+    }
+
+    /// Guard for [`Mutex`]; its drop is a release perturbation point.
+    pub struct MutexGuard<'a, T: ?Sized> {
+        // `Option` so `Condvar::wait` can reach the inner guard and so
+        // `Drop` can release *before* perturbing the handoff.
+        inner: Option<parking_lot::MutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        /// Create a new instrumented mutex.
+        pub const fn new(value: T) -> Self {
+            Mutex {
+                inner: parking_lot::Mutex::new(value),
+            }
+        }
+
+        /// Consume the mutex, returning its data.
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> Mutex<T> {
+        /// Acquire, perturbing the schedule first when armed.
+        pub fn lock(&self) -> MutexGuard<'_, T> {
+            perturb(SyncOp::MutexLock);
+            MutexGuard {
+                inner: Some(self.inner.lock()),
+            }
+        }
+
+        /// Non-blocking acquire (still a perturbation point).
+        pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+            perturb(SyncOp::MutexLock);
+            self.inner.try_lock().map(|g| MutexGuard { inner: Some(g) })
+        }
+
+        /// Mutable access without locking.
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut()
+        }
+    }
+
+    impl<T: Default> Default for Mutex<T> {
+        fn default() -> Self {
+            Mutex::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for Mutex<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    impl<'a, T: ?Sized> Drop for MutexGuard<'a, T> {
+        fn drop(&mut self) {
+            drop(self.inner.take());
+            perturb(SyncOp::MutexUnlock);
+        }
+    }
+
+    impl<'a, T: ?Sized> std::ops::Deref for MutexGuard<'a, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard taken")
+        }
+    }
+
+    impl<'a, T: ?Sized> std::ops::DerefMut for MutexGuard<'a, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard taken")
+        }
+    }
+
+    /// A `parking_lot::Condvar` whose waits are perturbation points.
+    #[derive(Default)]
+    pub struct Condvar {
+        inner: parking_lot::Condvar,
+    }
+
+    impl Condvar {
+        /// Create a new instrumented condvar.
+        pub const fn new() -> Self {
+            Condvar {
+                inner: parking_lot::Condvar::new(),
+            }
+        }
+
+        /// Block until notified.
+        pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+            perturb(SyncOp::CondWait);
+            self.inner.wait(guard.inner.as_mut().expect("guard taken"));
+        }
+
+        /// Block until notified or `timeout` elapses.
+        pub fn wait_for<T>(
+            &self,
+            guard: &mut MutexGuard<'_, T>,
+            timeout: Duration,
+        ) -> WaitTimeoutResult {
+            perturb(SyncOp::CondWait);
+            self.inner
+                .wait_for(guard.inner.as_mut().expect("guard taken"), timeout)
+        }
+
+        /// Block until notified or `deadline` passes.
+        pub fn wait_until<T>(
+            &self,
+            guard: &mut MutexGuard<'_, T>,
+            deadline: Instant,
+        ) -> WaitTimeoutResult {
+            perturb(SyncOp::CondWait);
+            self.inner
+                .wait_until(guard.inner.as_mut().expect("guard taken"), deadline)
+        }
+
+        /// Wake one waiter.
+        pub fn notify_one(&self) {
+            self.inner.notify_one();
+        }
+
+        /// Wake all waiters.
+        pub fn notify_all(&self) {
+            self.inner.notify_all();
+        }
+    }
+
+    /// A `parking_lot::RwLock` whose acquire/release are perturbation
+    /// points.
+    pub struct RwLock<T: ?Sized> {
+        inner: parking_lot::RwLock<T>,
+    }
+
+    /// Shared guard for [`RwLock`]; drop is a release point.
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        inner: Option<parking_lot::RwLockReadGuard<'a, T>>,
+    }
+
+    /// Exclusive guard for [`RwLock`]; drop is a release point.
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        inner: Option<parking_lot::RwLockWriteGuard<'a, T>>,
+    }
+
+    impl<T> RwLock<T> {
+        /// Create a new instrumented rwlock.
+        pub const fn new(value: T) -> Self {
+            RwLock {
+                inner: parking_lot::RwLock::new(value),
+            }
+        }
+
+        /// Consume the lock, returning its data.
+        pub fn into_inner(self) -> T {
+            self.inner.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> RwLock<T> {
+        /// Shared acquire, perturbing first when armed.
+        pub fn read(&self) -> RwLockReadGuard<'_, T> {
+            perturb(SyncOp::RwRead);
+            RwLockReadGuard {
+                inner: Some(self.inner.read()),
+            }
+        }
+
+        /// Exclusive acquire, perturbing first when armed.
+        pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+            perturb(SyncOp::RwWrite);
+            RwLockWriteGuard {
+                inner: Some(self.inner.write()),
+            }
+        }
+
+        /// Non-blocking shared acquire (still a perturbation point).
+        pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+            perturb(SyncOp::RwRead);
+            self.inner
+                .try_read()
+                .map(|g| RwLockReadGuard { inner: Some(g) })
+        }
+
+        /// Non-blocking exclusive acquire (still a perturbation point).
+        pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+            perturb(SyncOp::RwWrite);
+            self.inner
+                .try_write()
+                .map(|g| RwLockWriteGuard { inner: Some(g) })
+        }
+
+        /// Mutable access without locking.
+        pub fn get_mut(&mut self) -> &mut T {
+            self.inner.get_mut()
+        }
+    }
+
+    impl<T: Default> Default for RwLock<T> {
+        fn default() -> Self {
+            RwLock::new(T::default())
+        }
+    }
+
+    impl<T: ?Sized + std::fmt::Debug> std::fmt::Debug for RwLock<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            self.inner.fmt(f)
+        }
+    }
+
+    impl<'a, T: ?Sized> Drop for RwLockReadGuard<'a, T> {
+        fn drop(&mut self) {
+            drop(self.inner.take());
+            perturb(SyncOp::RwUnlockRead);
+        }
+    }
+
+    impl<'a, T: ?Sized> std::ops::Deref for RwLockReadGuard<'a, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard taken")
+        }
+    }
+
+    impl<'a, T: ?Sized> Drop for RwLockWriteGuard<'a, T> {
+        fn drop(&mut self) {
+            drop(self.inner.take());
+            perturb(SyncOp::RwUnlockWrite);
+        }
+    }
+
+    impl<'a, T: ?Sized> std::ops::Deref for RwLockWriteGuard<'a, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard taken")
+        }
+    }
+
+    impl<'a, T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'a, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard taken")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn parse_seed_accepts_dec_and_hex() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0x2A"), Some(42));
+        assert_eq!(parse_seed(" 0xff "), Some(255));
+        assert_eq!(parse_seed("nope"), None);
+    }
+
+    #[test]
+    fn wrappers_behave_like_locks() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+        let rw = RwLock::new(5);
+        assert_eq!(*rw.read(), 5);
+        *rw.write() = 6;
+        assert_eq!(*rw.read(), 6);
+        assert!(rw.try_read().is_some());
+        assert!(rw.try_write().is_some());
+    }
+
+    #[test]
+    fn condvar_roundtrip() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            *m.lock() = true;
+            cv.notify_all();
+        });
+        let (m, cv) = &*pair;
+        let mut done = m.lock();
+        while !*done {
+            if cv.wait_for(&mut done, Duration::from_secs(5)).timed_out() {
+                panic!("condvar wait timed out");
+            }
+        }
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,69 @@
+//! Determinism tests for the schedule-perturbing sync layer. Only
+//! meaningful with the `sched` feature; compiles to nothing otherwise.
+#![cfg(feature = "sched")]
+
+use reach_common::sync::{sched, Mutex, RwLock};
+use std::sync::Arc;
+
+/// A fixed mutex/rwlock workload with a fixed per-thread op count, so
+/// each registered slot produces the same op sequence every run. (No
+/// condvars here: wakeup counts are inherently nondeterministic.)
+fn workload() {
+    let m = Arc::new(Mutex::new(0u64));
+    let rw = Arc::new(RwLock::new(0u64));
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let m = Arc::clone(&m);
+            let rw = Arc::clone(&rw);
+            std::thread::spawn(move || {
+                sched::register_thread(t);
+                for i in 0..50 {
+                    *m.lock() += 1;
+                    if i % 2 == 0 {
+                        *rw.write() += 1;
+                    } else {
+                        let _ = *rw.read();
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    assert_eq!(*m.lock(), 200);
+}
+
+#[test]
+fn same_seed_same_per_slot_trace() {
+    let (_, t1) = sched::run_seeded(0x5EED, workload);
+    let (_, t2) = sched::run_seeded(0x5EED, workload);
+    assert!(!t1.is_empty(), "armed workload must produce a trace");
+    assert_eq!(
+        sched::by_slot(&t1),
+        sched::by_slot(&t2),
+        "same seed must replay the same per-slot acquisition trace"
+    );
+    assert_eq!(sched::fingerprint(&t1), sched::fingerprint(&t2));
+}
+
+#[test]
+fn different_seeds_diverge() {
+    let (_, t1) = sched::run_seeded(1, workload);
+    let (_, t2) = sched::run_seeded(2, workload);
+    assert_ne!(
+        sched::by_slot(&t1),
+        sched::by_slot(&t2),
+        "different seeds should perturb differently (same ops, different decisions)"
+    );
+}
+
+#[test]
+fn disarmed_points_leave_no_trace() {
+    sched::disarm();
+    workload();
+    // Not inside run_seeded: the trace from any prior arm was drained,
+    // and disarmed perturbation points must not append.
+    let (_, trace) = sched::run_seeded(3, || ());
+    assert!(trace.is_empty());
+}

@@ -18,7 +18,7 @@
 use crate::algebra::{CompositionScope, Correlation, EventExpr, Lifespan};
 use crate::consumption::ConsumptionPolicy;
 use crate::event::EventOccurrence;
-use parking_lot::Mutex;
+use reach_common::sync::Mutex;
 use reach_common::{MetricsRegistry, TimePoint, TxnId};
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -29,7 +29,7 @@ use crate::event::{
 use crate::history::LocalHistory;
 use crate::rule::Rule;
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::{Mutex, RwLock};
+use reach_common::sync::{Mutex, RwLock};
 use reach_common::{
     ClassId, EventTypeId, IdGen, MethodId, MetricsRegistry, Stage, TimePoint, Timestamp, TxnId,
 };

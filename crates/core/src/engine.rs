@@ -27,7 +27,7 @@ use crate::eca::FireHandler;
 use crate::event::EventOccurrence;
 use crate::rule::{Rule, RuleCtx};
 use open_oodb::Database;
-use parking_lot::{Condvar, Mutex, RwLock};
+use reach_common::sync::{Condvar, Mutex, RwLock};
 use reach_common::{MetricsRegistry, ObjectId, ReachError, Result, RuleId, Stage, TxnId};
 use reach_txn::dependency::{CommitRule, Outcome};
 use std::collections::{HashMap, HashSet};

@@ -12,7 +12,7 @@
 //! drains into. Experiment E12 measures the contention difference.
 
 use crate::event::EventOccurrence;
-use parking_lot::Mutex;
+use reach_common::sync::Mutex;
 use reach_common::TxnId;
 use std::collections::VecDeque;
 use std::sync::Arc;

@@ -37,6 +37,7 @@ pub mod eca;
 pub mod engine;
 pub mod event;
 pub mod history;
+pub mod oracle;
 pub mod reach;
 pub mod rule;
 pub mod temporal;

@@ -1,0 +1,481 @@
+//! Reference interpreter for the event algebra — the differential
+//! oracle the compositor is tested against.
+//!
+//! [`crate::compositor`] is incremental: automaton instances carry
+//! position counters, winner indices and banked completions that
+//! mutate as occurrences stream in, and the pool logic implements the
+//! four SNOOP consumption policies. Efficient — and exactly the kind of
+//! code where an off-by-one survives review. This module re-implements
+//! the same semantics *naively*: no `Feed` enum, no position counters —
+//! every question (is this slot complete? where is the sequence
+//! frontier? who won the disjunction?) is recomputed from the absorbed
+//! occurrences on demand, straight from the operator definitions in
+//! [`crate::algebra`]. Slow and obvious, which is the point: proptest
+//! streams random event sequences through both implementations and any
+//! divergence in firings is a bug in one of them.
+//!
+//! The oracle interprets **one scope pool** (one transaction window for
+//! same-transaction composites, the global pool for cross-transaction
+//! ones); callers partition occurrences by scope themselves — that
+//! keeps scope routing out of the trusted base.
+
+use crate::algebra::EventExpr;
+use crate::consumption::ConsumptionPolicy;
+use crate::event::EventOccurrence;
+use std::sync::Arc;
+
+/// One firing: the constituent occurrences in tree (collection) order.
+pub type Firing = Vec<Arc<EventOccurrence>>;
+
+/// Declarative mirror of one composition attempt over `expr`.
+#[derive(Debug, Clone)]
+enum Slot {
+    Prim {
+        ty: reach_common::EventTypeId,
+        matched: Vec<Arc<EventOccurrence>>,
+    },
+    Seq(Vec<Slot>),
+    Conj(Vec<Slot>),
+    Disj {
+        parts: Vec<Slot>,
+        winner: Option<usize>,
+    },
+    Neg {
+        inner: Box<Slot>,
+        violated: bool,
+    },
+    Closure {
+        template: EventExpr,
+        current: Box<Slot>,
+        banked: Vec<Firing>,
+    },
+    History {
+        template: EventExpr,
+        current: Box<Slot>,
+        banked: Vec<Firing>,
+        target: u32,
+    },
+}
+
+fn fresh(expr: &EventExpr) -> Slot {
+    match expr {
+        EventExpr::Primitive(id) => Slot::Prim {
+            ty: *id,
+            matched: Vec::new(),
+        },
+        EventExpr::Sequence(parts) => Slot::Seq(parts.iter().map(fresh).collect()),
+        EventExpr::Conjunction(parts) => Slot::Conj(parts.iter().map(fresh).collect()),
+        EventExpr::Disjunction(parts) => Slot::Disj {
+            parts: parts.iter().map(fresh).collect(),
+            winner: None,
+        },
+        EventExpr::Negation(inner) => Slot::Neg {
+            inner: Box::new(fresh(inner)),
+            violated: false,
+        },
+        EventExpr::Closure(inner) => Slot::Closure {
+            template: (**inner).clone(),
+            current: Box::new(fresh(inner)),
+            banked: Vec::new(),
+        },
+        EventExpr::History { expr, count } => Slot::History {
+            template: (**expr).clone(),
+            current: Box::new(fresh(expr)),
+            banked: Vec::new(),
+            target: *count,
+        },
+    }
+}
+
+impl Slot {
+    /// Absorb an occurrence; `true` if any slot in the tree took it.
+    /// Straight transliteration of §3.1/§3.4 per operator:
+    ///
+    /// * a **primitive** slot matches its type; *recent* keeps only the
+    ///   newest occurrence, *cumulative* all of them, *chronicle* and
+    ///   *continuous* exactly the first;
+    /// * a **sequence** offers the occurrence to its frontier part (the
+    ///   first incomplete one); under recent/cumulative the already
+    ///   completed prefix — never the final part — may absorb a fresher
+    ///   or further occurrence first;
+    /// * a **conjunction** offers it to every part (recent/cumulative)
+    ///   or consumes it in the first accepting part (chronicle,
+    ///   continuous);
+    /// * a **disjunction** offers it to every part; the first part ever
+    ///   to complete is the winner;
+    /// * **negation** records that the forbidden event completed;
+    /// * **closure** and **history** bank each completion of their
+    ///   inner expression and start it afresh.
+    fn absorb(&mut self, occ: &Arc<EventOccurrence>, policy: ConsumptionPolicy) -> bool {
+        let accumulating = matches!(
+            policy,
+            ConsumptionPolicy::Recent | ConsumptionPolicy::Cumulative
+        );
+        match self {
+            Slot::Prim { ty, matched } => {
+                if occ.event_type != *ty {
+                    return false;
+                }
+                match policy {
+                    ConsumptionPolicy::Recent => {
+                        matched.clear();
+                        matched.push(Arc::clone(occ));
+                        true
+                    }
+                    ConsumptionPolicy::Cumulative => {
+                        matched.push(Arc::clone(occ));
+                        true
+                    }
+                    ConsumptionPolicy::Chronicle | ConsumptionPolicy::Continuous => {
+                        if matched.is_empty() {
+                            matched.push(Arc::clone(occ));
+                            true
+                        } else {
+                            false
+                        }
+                    }
+                }
+            }
+            Slot::Seq(parts) => {
+                let frontier = parts
+                    .iter()
+                    .position(|p| !p.complete())
+                    .unwrap_or(parts.len());
+                if accumulating {
+                    // The completed prefix may still absorb (a fresher
+                    // occurrence supersedes / a further one accumulates)
+                    // — but the final part never re-absorbs, or a
+                    // completed sequence could never stay consumed.
+                    let upto = frontier.min(parts.len().saturating_sub(1));
+                    for part in parts.iter_mut().take(upto) {
+                        if part.absorb(occ, policy) {
+                            return true;
+                        }
+                    }
+                }
+                match parts.get_mut(frontier) {
+                    Some(part) => part.absorb(occ, policy),
+                    None => false,
+                }
+            }
+            Slot::Conj(parts) => {
+                let mut any = false;
+                for part in parts.iter_mut() {
+                    if part.absorb(occ, policy) {
+                        any = true;
+                        if !accumulating {
+                            break;
+                        }
+                    }
+                }
+                any
+            }
+            Slot::Disj { parts, winner } => {
+                let mut any = false;
+                for (i, part) in parts.iter_mut().enumerate() {
+                    if part.absorb(occ, policy) {
+                        any = true;
+                        if winner.is_none() && part.complete() {
+                            *winner = Some(i);
+                        }
+                    }
+                }
+                any
+            }
+            Slot::Neg { inner, violated } => {
+                let took = inner.absorb(occ, policy);
+                if took && inner.complete() {
+                    *violated = true;
+                }
+                took
+            }
+            Slot::Closure {
+                template,
+                current,
+                banked,
+            } => {
+                let took = current.absorb(occ, policy);
+                if took && current.complete() {
+                    banked.push(current.constituents());
+                    **current = fresh(template);
+                }
+                took
+            }
+            Slot::History {
+                template,
+                current,
+                banked,
+                ..
+            } => {
+                let took = current.absorb(occ, policy);
+                if took && current.complete() {
+                    banked.push(current.constituents());
+                    **current = fresh(template);
+                }
+                took
+            }
+        }
+    }
+
+    /// Completion on the immediate path, recomputed from state.
+    fn complete(&self) -> bool {
+        match self {
+            Slot::Prim { matched, .. } => !matched.is_empty(),
+            Slot::Seq(parts) => parts.iter().all(|p| p.complete()),
+            Slot::Conj(parts) => parts.iter().all(|p| p.complete()),
+            Slot::Disj { winner, .. } => winner.is_some(),
+            Slot::Neg { .. } => false,
+            Slot::Closure { .. } => false,
+            Slot::History { banked, target, .. } => banked.len() as u32 >= *target,
+        }
+    }
+
+    /// Completion at window close: negation satisfied by absence,
+    /// closure by having completed at least once; everything else must
+    /// be complete or itself closable.
+    fn complete_at_close(&self) -> bool {
+        match self {
+            Slot::Prim { matched, .. } => !matched.is_empty(),
+            Slot::Seq(parts) => {
+                let frontier = parts
+                    .iter()
+                    .position(|p| !p.complete())
+                    .unwrap_or(parts.len());
+                parts[..frontier]
+                    .iter()
+                    .all(|p| p.complete() || p.complete_at_close())
+                    && parts[frontier..].iter().all(|p| p.complete_at_close())
+            }
+            Slot::Conj(parts) => parts.iter().all(|p| p.complete() || p.complete_at_close()),
+            Slot::Disj { parts, winner } => {
+                winner.is_some() || parts.iter().any(|p| p.complete_at_close())
+            }
+            Slot::Neg { violated, .. } => !violated,
+            Slot::Closure { banked, .. } => !banked.is_empty(),
+            Slot::History { banked, target, .. } => banked.len() as u32 >= *target,
+        }
+    }
+
+    /// Constituents in tree order (matching the real collector).
+    fn constituents(&self) -> Firing {
+        match self {
+            Slot::Prim { matched, .. } => matched.clone(),
+            Slot::Seq(parts) | Slot::Conj(parts) => {
+                parts.iter().flat_map(|p| p.constituents()).collect()
+            }
+            Slot::Disj { parts, winner } => match winner {
+                Some(i) => parts[*i].constituents(),
+                None => parts
+                    .iter()
+                    .find(|p| p.complete_at_close())
+                    .map(|p| p.constituents())
+                    .unwrap_or_default(),
+            },
+            Slot::Neg { .. } => Vec::new(),
+            Slot::Closure { banked, .. } | Slot::History { banked, .. } => {
+                banked.iter().flatten().cloned().collect()
+            }
+        }
+    }
+}
+
+/// The reference compositor: one pool of composition attempts over one
+/// scope, with the SNOOP policy deciding how occurrences are shared
+/// between attempts and when attempts are opened and retired.
+pub struct OracleCompositor {
+    expr: EventExpr,
+    policy: ConsumptionPolicy,
+    has_window_ops: bool,
+    pool: Vec<Slot>,
+}
+
+impl OracleCompositor {
+    /// Reference compositor for `expr` under `policy`.
+    pub fn new(expr: EventExpr, policy: ConsumptionPolicy) -> Self {
+        let has_window_ops = expr.has_window_operator();
+        OracleCompositor {
+            expr,
+            policy,
+            has_window_ops,
+            pool: Vec::new(),
+        }
+    }
+
+    /// Feed one occurrence; returns the firings it caused, in order.
+    pub fn feed(&mut self, occ: &Arc<EventOccurrence>) -> Vec<Firing> {
+        let mut fired = Vec::new();
+        match self.policy {
+            // One rolling attempt: newest (recent) or all (cumulative)
+            // occurrences folded in; firing consumes the attempt.
+            ConsumptionPolicy::Recent | ConsumptionPolicy::Cumulative => {
+                if self.pool.is_empty() {
+                    self.pool.push(fresh(&self.expr));
+                }
+                let slot = &mut self.pool[0];
+                let took = slot.absorb(occ, self.policy);
+                if took && slot.complete() {
+                    fired.push(slot.constituents());
+                    self.pool.clear();
+                }
+            }
+            // Oldest attempt that can use the occurrence consumes it;
+            // if none can, the occurrence may open a new attempt.
+            ConsumptionPolicy::Chronicle => {
+                let mut accepted = false;
+                for (i, slot) in self.pool.iter_mut().enumerate() {
+                    if slot.absorb(occ, self.policy) {
+                        accepted = true;
+                        if slot.complete() {
+                            let done = self.pool.remove(i);
+                            fired.push(done.constituents());
+                        }
+                        break;
+                    }
+                }
+                if !accepted {
+                    let mut slot = fresh(&self.expr);
+                    if slot.absorb(occ, self.policy) {
+                        if slot.complete() {
+                            fired.push(slot.constituents());
+                        } else {
+                            self.pool.push(slot);
+                        }
+                    }
+                }
+            }
+            // Every occurrence reaches every open attempt and opens one
+            // of its own.
+            ConsumptionPolicy::Continuous => {
+                let mut survivors = Vec::with_capacity(self.pool.len() + 1);
+                for mut slot in self.pool.drain(..) {
+                    let took = slot.absorb(occ, self.policy);
+                    if took && slot.complete() {
+                        fired.push(slot.constituents());
+                    } else {
+                        survivors.push(slot);
+                    }
+                }
+                let mut slot = fresh(&self.expr);
+                if slot.absorb(occ, self.policy) {
+                    if slot.complete() {
+                        fired.push(slot.constituents());
+                    } else {
+                        survivors.push(slot);
+                    }
+                }
+                self.pool = survivors;
+            }
+        }
+        fired
+    }
+
+    /// Close the scope's window (transaction end / interval expiry):
+    /// attempts whose window operators are satisfied fire; every attempt
+    /// is then discarded (§3.3).
+    pub fn close(&mut self) -> Vec<Firing> {
+        let pool = std::mem::take(&mut self.pool);
+        if !self.has_window_ops {
+            return Vec::new();
+        }
+        pool.iter()
+            .filter(|s| s.complete_at_close())
+            .map(|s| s.constituents())
+            .collect()
+    }
+
+    /// Open (semi-composed) attempts — for sanity assertions.
+    pub fn live(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventData;
+    use reach_common::{EventTypeId, TimePoint, Timestamp, TxnId};
+
+    fn occ(ty: u64, seq: u64) -> Arc<EventOccurrence> {
+        Arc::new(EventOccurrence {
+            event_type: EventTypeId::new(ty),
+            seq: Timestamp::new(seq),
+            at: TimePoint::from_millis(seq),
+            txn: Some(TxnId::new(1)),
+            top_txn: Some(TxnId::new(1)),
+            data: EventData::default(),
+            constituents: Vec::new(),
+        })
+    }
+
+    fn e(n: u64) -> EventExpr {
+        EventExpr::Primitive(EventTypeId::new(n))
+    }
+
+    fn seqs(firings: Vec<Firing>) -> Vec<Vec<u64>> {
+        firings
+            .into_iter()
+            .map(|f| f.into_iter().map(|o| o.seq.raw()).collect())
+            .collect()
+    }
+
+    /// §3.4's running example: E3 = (E1 ; E2), arrivals e1, e1', e2 —
+    /// the oracle must reproduce the paper's table for all four
+    /// policies.
+    #[test]
+    fn snoop_contexts_on_the_papers_example() {
+        let run = |policy: ConsumptionPolicy| -> Vec<Vec<u64>> {
+            let mut c = OracleCompositor::new(EventExpr::Sequence(vec![e(1), e(2)]), policy);
+            let mut all = Vec::new();
+            for a in [occ(1, 1), occ(1, 2), occ(2, 3)] {
+                all.extend(seqs(c.feed(&a)));
+            }
+            all
+        };
+        assert_eq!(run(ConsumptionPolicy::Recent), vec![vec![2, 3]]);
+        assert_eq!(run(ConsumptionPolicy::Chronicle), vec![vec![1, 3]]);
+        assert_eq!(
+            run(ConsumptionPolicy::Continuous),
+            vec![vec![1, 3], vec![2, 3]]
+        );
+        assert_eq!(run(ConsumptionPolicy::Cumulative), vec![vec![1, 2, 3]]);
+    }
+
+    #[test]
+    fn negation_fires_at_close_iff_absent() {
+        let expr = EventExpr::Sequence(vec![e(1), EventExpr::Negation(Box::new(e(2)))]);
+        let mut c = OracleCompositor::new(expr.clone(), ConsumptionPolicy::Chronicle);
+        c.feed(&occ(1, 1));
+        assert_eq!(seqs(c.close()), vec![vec![1]]);
+        let mut c = OracleCompositor::new(expr, ConsumptionPolicy::Chronicle);
+        c.feed(&occ(1, 1));
+        c.feed(&occ(2, 2));
+        assert!(c.close().is_empty());
+    }
+
+    #[test]
+    fn closure_banks_all_completions() {
+        let mut c = OracleCompositor::new(
+            EventExpr::Closure(Box::new(e(1))),
+            ConsumptionPolicy::Chronicle,
+        );
+        for s in 1..=4 {
+            assert!(c.feed(&occ(1, s)).is_empty());
+        }
+        assert_eq!(seqs(c.close()), vec![vec![1, 2, 3, 4]]);
+        assert!(c.close().is_empty(), "pool discarded at close");
+    }
+
+    #[test]
+    fn history_completes_at_count() {
+        let mut c = OracleCompositor::new(
+            EventExpr::History {
+                expr: Box::new(e(1)),
+                count: 3,
+            },
+            ConsumptionPolicy::Chronicle,
+        );
+        assert!(c.feed(&occ(1, 1)).is_empty());
+        assert!(c.feed(&occ(1, 2)).is_empty());
+        assert_eq!(seqs(c.feed(&occ(1, 3))), vec![vec![1, 2, 3]]);
+    }
+}

@@ -21,7 +21,7 @@ use crate::history::GlobalHistory;
 use crate::rule::{Rule, RuleBuilder};
 use crate::temporal::TemporalManager;
 use open_oodb::Database;
-use parking_lot::RwLock;
+use reach_common::sync::RwLock;
 use reach_common::{
     ClassId, EventTypeId, IdGen, MetricsRegistry, MetricsSnapshot, ReachError, Result, RuleId,
     Stage, TimePoint, Timestamp, TxnId,

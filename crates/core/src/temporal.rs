@@ -15,7 +15,7 @@
 
 use crate::eca::Router;
 use crate::event::{EventOccurrence, PrimitiveEvent};
-use parking_lot::Mutex;
+use reach_common::sync::Mutex;
 use reach_common::{EventTypeId, TimePoint, TxnId};
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -1,0 +1,222 @@
+//! Differential testing of the compositor against the naive reference
+//! interpreter ([`reach_core::oracle`]).
+//!
+//! Proptest generates random algebra expressions and random event
+//! streams; both implementations consume the identical stream and must
+//! produce the identical firing sequence — per arrival *and* at window
+//! close — for every SNOOP consumption policy. A final multi-threaded
+//! test feeds one shared compositor from four perturbed threads (one
+//! transaction window each) and checks every window against the
+//! single-threaded oracle.
+
+use proptest::prelude::*;
+use reach_common::sync::sched;
+use reach_common::{announce_seed, seed_from_env, EventTypeId, TimePoint, Timestamp, TxnId};
+use reach_core::compositor::Compositor;
+use reach_core::event::{EventData, EventOccurrence};
+use reach_core::oracle::OracleCompositor;
+use reach_core::{CompositionScope, ConsumptionPolicy, EventExpr, Lifespan};
+use std::sync::Arc;
+
+fn occ(ty: u64, seq: u64, txn: u64) -> Arc<EventOccurrence> {
+    Arc::new(EventOccurrence {
+        event_type: EventTypeId::new(ty),
+        seq: Timestamp::new(seq),
+        at: TimePoint::from_millis(seq),
+        txn: Some(TxnId::new(txn)),
+        top_txn: Some(TxnId::new(txn)),
+        data: EventData::default(),
+        constituents: Vec::new(),
+    })
+}
+
+/// Firings as constituent-seq lists, the comparable form.
+fn as_seqs(constituents: &[Arc<EventOccurrence>]) -> Vec<u64> {
+    constituents.iter().map(|o| o.seq.raw()).collect()
+}
+
+/// Random valid algebra expression over event types 1..=4: combinators
+/// get 2–3 parts, history counts stay small, two levels of nesting.
+fn expr_strategy() -> BoxedStrategy<EventExpr> {
+    let leaf = (1u64..5).prop_map(|n| EventExpr::Primitive(EventTypeId::new(n)));
+    leaf.prop_recursive(2, 16, 3, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(EventExpr::Sequence),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(EventExpr::Conjunction),
+            proptest::collection::vec(inner.clone(), 2..4).prop_map(EventExpr::Disjunction),
+            inner.clone().prop_map(|e| EventExpr::Negation(Box::new(e))),
+            inner.clone().prop_map(|e| EventExpr::Closure(Box::new(e))),
+            (inner, 1u32..4).prop_map(|(e, count)| EventExpr::History {
+                expr: Box::new(e),
+                count
+            }),
+        ]
+    })
+}
+
+/// Feed `stream` through the real compositor and the oracle in
+/// lock-step, panicking at the first divergence.
+fn check_differential(expr: &EventExpr, policy: ConsumptionPolicy, stream: &[u64], txn: u64) {
+    let real = Compositor::new(
+        expr.clone(),
+        CompositionScope::SameTransaction,
+        Lifespan::Transaction,
+        policy,
+    );
+    let mut oracle = OracleCompositor::new(expr.clone(), policy);
+    for (i, ty) in stream.iter().enumerate() {
+        let o = occ(*ty, i as u64 + 1, txn);
+        let real_fired: Vec<Vec<u64>> = real
+            .feed(&o)
+            .iter()
+            .map(|c| as_seqs(&c.constituents))
+            .collect();
+        let oracle_fired: Vec<Vec<u64>> = oracle.feed(&o).iter().map(|f| as_seqs(f)).collect();
+        assert_eq!(
+            real_fired, oracle_fired,
+            "{policy:?}: divergence at arrival {i} (type {ty}) of {stream:?}\nexpr: {expr:?}"
+        );
+    }
+    let real_close: Vec<Vec<u64>> = real
+        .close_txn(TxnId::new(txn))
+        .iter()
+        .map(|c| as_seqs(&c.constituents))
+        .collect();
+    let oracle_close: Vec<Vec<u64>> = oracle.close().iter().map(|f| as_seqs(f)).collect();
+    assert_eq!(
+        real_close, oracle_close,
+        "{policy:?}: window-close divergence for {stream:?}\nexpr: {expr:?}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn recent_matches_oracle(
+        expr in expr_strategy(),
+        stream in proptest::collection::vec(1u64..5, 0..40),
+    ) {
+        check_differential(&expr, ConsumptionPolicy::Recent, &stream, 1);
+    }
+
+    #[test]
+    fn chronicle_matches_oracle(
+        expr in expr_strategy(),
+        stream in proptest::collection::vec(1u64..5, 0..40),
+    ) {
+        check_differential(&expr, ConsumptionPolicy::Chronicle, &stream, 1);
+    }
+
+    #[test]
+    fn continuous_matches_oracle(
+        expr in expr_strategy(),
+        stream in proptest::collection::vec(1u64..5, 0..40),
+    ) {
+        check_differential(&expr, ConsumptionPolicy::Continuous, &stream, 1);
+    }
+
+    #[test]
+    fn cumulative_matches_oracle(
+        expr in expr_strategy(),
+        stream in proptest::collection::vec(1u64..5, 0..40),
+    ) {
+        check_differential(&expr, ConsumptionPolicy::Cumulative, &stream, 1);
+    }
+}
+
+/// Parallel delivery: four perturbed threads feed one shared compositor,
+/// each inside its own transaction window. Scope partitioning means each
+/// window must behave exactly as if fed alone — which is what the
+/// single-threaded oracle computes.
+#[test]
+fn parallel_delivery_matches_single_threaded_oracle() {
+    let base = seed_from_env(0xD1FF);
+    let exprs = [
+        EventExpr::Sequence(vec![
+            EventExpr::Primitive(EventTypeId::new(1)),
+            EventExpr::Primitive(EventTypeId::new(2)),
+        ]),
+        EventExpr::Conjunction(vec![
+            EventExpr::Primitive(EventTypeId::new(1)),
+            EventExpr::History {
+                expr: Box::new(EventExpr::Primitive(EventTypeId::new(3))),
+                count: 2,
+            },
+        ]),
+        EventExpr::Sequence(vec![
+            EventExpr::Primitive(EventTypeId::new(1)),
+            EventExpr::Negation(Box::new(EventExpr::Primitive(EventTypeId::new(2)))),
+        ]),
+    ];
+    for (which, expr) in exprs.iter().enumerate() {
+        for policy in ConsumptionPolicy::ALL {
+            let seed = base
+                .wrapping_add(which as u64)
+                .wrapping_mul(31)
+                .wrapping_add(policy as u64);
+            announce_seed("differential::parallel_delivery", seed);
+            // Per-thread streams, deterministic in the seed.
+            let mut root = reach_common::SplitMix64::new(seed);
+            let streams: Vec<Vec<u64>> = (0..4)
+                .map(|t| {
+                    let mut rng = root.fork(t + 1);
+                    (0..30).map(|_| 1 + rng.below(4) as u64).collect()
+                })
+                .collect();
+            let real = Arc::new(Compositor::new(
+                expr.clone(),
+                CompositionScope::SameTransaction,
+                Lifespan::Transaction,
+                policy,
+            ));
+            // Concurrent feeding under schedule perturbation: each
+            // thread collects the firings its own window produced.
+            let (per_txn_real, _trace) = sched::run_seeded(seed, || {
+                let handles: Vec<_> = streams
+                    .iter()
+                    .cloned()
+                    .enumerate()
+                    .map(|(t, stream)| {
+                        let real = Arc::clone(&real);
+                        std::thread::spawn(move || {
+                            sched::register_thread(t as u64);
+                            let txn = t as u64 + 1;
+                            let mut fired: Vec<Vec<u64>> = Vec::new();
+                            for (i, ty) in stream.iter().enumerate() {
+                                let o = occ(*ty, i as u64 + 1, txn);
+                                fired
+                                    .extend(real.feed(&o).iter().map(|c| as_seqs(&c.constituents)));
+                            }
+                            fired.extend(
+                                real.close_txn(TxnId::new(txn))
+                                    .iter()
+                                    .map(|c| as_seqs(&c.constituents)),
+                            );
+                            fired
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().unwrap())
+                    .collect::<Vec<_>>()
+            });
+            // Each window vs the oracle fed that window's stream alone.
+            for (t, stream) in streams.iter().enumerate() {
+                let mut oracle = OracleCompositor::new(expr.clone(), policy);
+                let mut expect: Vec<Vec<u64>> = Vec::new();
+                for (i, ty) in stream.iter().enumerate() {
+                    let o = occ(*ty, i as u64 + 1, t as u64 + 1);
+                    expect.extend(oracle.feed(&o).iter().map(|f| as_seqs(f)));
+                }
+                expect.extend(oracle.close().iter().map(|f| as_seqs(f)));
+                assert_eq!(
+                    per_txn_real[t], expect,
+                    "seed {seed:#x}: window {t} diverged under parallel delivery\n\
+                     expr: {expr:?} policy: {policy:?}"
+                );
+            }
+        }
+    }
+}

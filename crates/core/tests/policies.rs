@@ -59,8 +59,8 @@ fn order_recorder(
     ev: reach_common::EventTypeId,
     names: &[(&'static str, i32)],
     coupling: CouplingMode,
-) -> Arc<parking_lot::Mutex<Vec<&'static str>>> {
-    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+) -> Arc<reach_common::sync::Mutex<Vec<&'static str>>> {
+    let order = Arc::new(reach_common::sync::Mutex::new(Vec::new()));
     for (name, prio) in names {
         let o = Arc::clone(&order);
         let name = *name;
@@ -139,7 +139,7 @@ fn deferred_simple_events_before_composite_policy() {
             ConsumptionPolicy::Chronicle,
         )
         .unwrap();
-    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let order = Arc::new(reach_common::sync::Mutex::new(Vec::new()));
     // Register the composite-event rule FIRST so without the policy it
     // would drain first (same priority, oldest first).
     {
@@ -353,7 +353,7 @@ fn closure_composite_collapses_in_transaction() {
             ConsumptionPolicy::Chronicle,
         )
         .unwrap();
-    let sizes = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let sizes = Arc::new(reach_common::sync::Mutex::new(Vec::new()));
     let s = Arc::clone(&sizes);
     w.sys
         .define_rule(
@@ -655,7 +655,7 @@ fn same_receiver_correlation_partitions_instances() {
             Correlation::SameReceiver,
         )
         .unwrap();
-    let fired = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let fired = Arc::new(reach_common::sync::Mutex::new(Vec::new()));
     {
         let f = Arc::clone(&fired);
         w.sys

@@ -128,7 +128,7 @@ fn before_and_after_phases_are_distinct_event_types() {
     let after = sys
         .define_method_event("a", animal, "speak", MethodPhase::After)
         .unwrap();
-    let order = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let order = Arc::new(reach_common::sync::Mutex::new(Vec::new()));
     for (ev, tag) in [(before, "before"), (after, "after")] {
         let o = Arc::clone(&order);
         sys.define_rule(

@@ -155,8 +155,8 @@ fn deferred_rules_run_at_pre_commit_in_priority_order() {
     let ev = sys
         .define_method_event("after-report", w.sensor, "report", MethodPhase::After)
         .unwrap();
-    let order: Arc<parking_lot::Mutex<Vec<&'static str>>> =
-        Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let order: Arc<reach_common::sync::Mutex<Vec<&'static str>>> =
+        Arc::new(reach_common::sync::Mutex::new(Vec::new()));
     for (name, prio) in [("low", 1), ("high", 9), ("mid", 5)] {
         let order = Arc::clone(&order);
         sys.define_rule(
@@ -309,11 +309,11 @@ fn sequential_causally_dependent_starts_after_commit_only() {
     let ev = sys
         .define_method_event("after-report", w.sensor, "report", MethodPhase::After)
         .unwrap();
-    let trigger_active_during_rule = Arc::new(parking_lot::Mutex::new(None::<bool>));
+    let trigger_active_during_rule = Arc::new(reach_common::sync::Mutex::new(None::<bool>));
     let flag = Arc::clone(&trigger_active_during_rule);
     let sys2: Arc<ReachSystem> = Arc::clone(sys);
-    let trigger_holder: Arc<parking_lot::Mutex<Option<TxnId>>> =
-        Arc::new(parking_lot::Mutex::new(None));
+    let trigger_holder: Arc<reach_common::sync::Mutex<Option<TxnId>>> =
+        Arc::new(reach_common::sync::Mutex::new(None));
     let th = Arc::clone(&trigger_holder);
     sys.define_rule(
         RuleBuilder::new("seq-cd")
@@ -543,7 +543,7 @@ fn state_change_events_fire_rules() {
     let ev = sys
         .define_state_event("value-changed", w.sensor, "value")
         .unwrap();
-    let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let seen = Arc::new(reach_common::sync::Mutex::new(Vec::new()));
     let s = Arc::clone(&seen);
     sys.define_rule(
         RuleBuilder::new("watch-value")
@@ -735,7 +735,7 @@ fn user_signals_fire_rules() {
     let w = world();
     let sys = &w.sys;
     let ev = sys.define_signal("operator-alert").unwrap();
-    let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let seen = Arc::new(reach_common::sync::Mutex::new(Vec::new()));
     let s = Arc::clone(&seen);
     sys.define_rule(
         RuleBuilder::new("on-alert")

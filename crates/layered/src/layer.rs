@@ -8,7 +8,7 @@
 //! transaction.
 
 use crate::closed::ClosedOodb;
-use parking_lot::{Mutex, RwLock};
+use reach_common::sync::{Mutex, RwLock};
 use reach_common::{ClassId, IdGen, ObjectId, ReachError, Result, RuleId, TxnId};
 use reach_object::Value;
 use std::collections::HashMap;

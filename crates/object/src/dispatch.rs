@@ -21,7 +21,7 @@ use crate::method::{MethodCtx, MethodRegistry};
 use crate::schema::Schema;
 use crate::space::ObjectSpace;
 use crate::value::Value;
-use parking_lot::RwLock;
+use reach_common::sync::RwLock;
 use reach_common::{ClassId, MethodId, ObjectId, Result, Timestamp, TxnId};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -209,7 +209,7 @@ mod tests {
     use super::*;
     use crate::builder::ClassBuilder;
     use crate::value::ValueType;
-    use parking_lot::Mutex;
+    use reach_common::sync::Mutex;
 
     struct Recorder {
         calls: Mutex<Vec<(SentryPhase, String)>>,

@@ -5,7 +5,7 @@
 //! subclass instances) are computed through the schema's lineage.
 
 use crate::schema::Schema;
-use parking_lot::RwLock;
+use reach_common::sync::RwLock;
 use reach_common::{ClassId, ObjectId};
 use std::collections::{BTreeSet, HashMap};
 

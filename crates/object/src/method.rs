@@ -8,7 +8,7 @@
 use crate::dispatch::Dispatcher;
 use crate::space::ObjectSpace;
 use crate::value::Value;
-use parking_lot::RwLock;
+use reach_common::sync::RwLock;
 use reach_common::{MethodId, ObjectId, ReachError, Result, TxnId};
 use std::collections::HashMap;
 use std::sync::Arc;

@@ -14,7 +14,7 @@
 //!   the declaring class).
 
 use crate::value::{Value, ValueType};
-use parking_lot::RwLock;
+use reach_common::sync::RwLock;
 use reach_common::{ClassId, IdGen, MethodId, ReachError, Result};
 use std::collections::{HashMap, HashSet};
 

@@ -17,7 +17,7 @@
 use crate::extent::ExtentRegistry;
 use crate::schema::Schema;
 use crate::value::Value;
-use parking_lot::RwLock;
+use reach_common::sync::RwLock;
 use reach_common::{ClassId, IdGen, ObjectId, ReachError, Result, TxnId};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -348,7 +348,7 @@ mod tests {
     use super::*;
     use crate::builder::ClassBuilder;
     use crate::value::ValueType;
-    use parking_lot::Mutex;
+    use reach_common::sync::Mutex;
 
     fn setup() -> (Arc<Schema>, ObjectSpace, ClassId) {
         let schema = Arc::new(Schema::new());

@@ -7,7 +7,7 @@
 //! module owns the name space.
 
 use crate::meta::SupportModule;
-use parking_lot::RwLock;
+use reach_common::sync::RwLock;
 use reach_common::{ObjectId, ReachError, Result};
 use reach_object::Schema;
 use std::collections::BTreeMap;

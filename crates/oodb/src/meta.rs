@@ -8,7 +8,7 @@
 //! plugged, exchanged, or added — including, later, REACH's Rule PM,
 //! which is exactly how the paper extends the system.
 
-use parking_lot::RwLock;
+use reach_common::sync::RwLock;
 use reach_common::{ReachError, Result};
 use std::collections::BTreeMap;
 use std::sync::Arc;

@@ -13,7 +13,7 @@
 //! compensating operations and stay consistent for free.
 
 use crate::meta::PolicyManager;
-use parking_lot::Mutex;
+use reach_common::sync::Mutex;
 use reach_common::{ObjectId, Result, TxnId};
 use reach_object::{LifecycleSentry, ObjectSpace, ObjectState, StateChange, StateSentry, Value};
 use reach_txn::manager::ResourceManager;

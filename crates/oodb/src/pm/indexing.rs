@@ -9,7 +9,7 @@
 //! aborted transactions leave indexes consistent with no special code.
 
 use crate::meta::PolicyManager;
-use parking_lot::RwLock;
+use reach_common::sync::RwLock;
 use reach_common::{ClassId, ObjectId, ReachError, Result, TxnId};
 use reach_object::{
     LifecycleSentry, ObjectSpace, ObjectState, Schema, StateChange, StateSentry, Value,

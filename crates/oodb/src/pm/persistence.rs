@@ -22,7 +22,7 @@ use crate::dictionary::DataDictionary;
 use crate::meta::PolicyManager;
 use crate::pm::change::ChangePm;
 use crate::translation::{externalize, internalize};
-use parking_lot::{Mutex, RwLock};
+use reach_common::sync::{Mutex, RwLock};
 use reach_common::{ObjectId, ReachError, Result, TxnId};
 use reach_object::ObjectSpace;
 use reach_storage::{RecordId, SegmentId, StorageManager};

@@ -16,7 +16,7 @@
 //!
 //! Each mechanism reports observed calls to an [`EventSink`].
 
-use parking_lot::RwLock;
+use reach_common::sync::RwLock;
 use reach_common::{ClassId, MethodId, MetricsRegistry, ObjectId, Result, TxnId};
 use reach_object::{Dispatcher, ObjectSpace, Value};
 use std::collections::{HashMap, HashSet};
@@ -282,7 +282,7 @@ impl SentryMechanism for AnnounceSentry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex;
+    use reach_common::sync::Mutex;
     use reach_object::{ClassBuilder, MethodRegistry, Schema};
 
     struct Counter(Mutex<usize>);

@@ -9,7 +9,7 @@
 
 use crate::disk::StableStorage;
 use crate::page::Page;
-use parking_lot::{Mutex, RwLock};
+use reach_common::sync::{Mutex, RwLock};
 use reach_common::{MetricsRegistry, PageId, ReachError, Result};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};

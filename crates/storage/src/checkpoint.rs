@@ -34,7 +34,7 @@
 use crate::buffer::BufferPool;
 use crate::sm::SYSTEM_TXN;
 use crate::wal::{Lsn, WalRecord, WriteAheadLog};
-use parking_lot::Mutex;
+use reach_common::sync::Mutex;
 use reach_common::{Result, TxnId};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -203,7 +203,7 @@ impl Checkpointer {
         }
     }
 
-    fn run(&self, _guard: parking_lot::MutexGuard<'_, ()>) -> Result<CheckpointStats> {
+    fn run(&self, _guard: reach_common::sync::MutexGuard<'_, ()>) -> Result<CheckpointStats> {
         let (begin_lsn, _) = self.wal.append_bounded(&WalRecord::BeginCheckpoint)?;
         // Background-writer pass: most pages come back clean, so the
         // post-flush DPT is small and the cut lands near begin_lsn.

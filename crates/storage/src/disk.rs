@@ -7,8 +7,8 @@
 //! the host filesystem.
 
 use crate::page::{Page, PAGE_SIZE};
-use parking_lot::Mutex;
 use reach_common::fault::{FaultInjector, FaultPoint, WriteOutcome};
+use reach_common::sync::Mutex;
 use reach_common::{PageId, ReachError, Result};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};

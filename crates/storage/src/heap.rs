@@ -7,7 +7,7 @@
 //! directly against pages.
 
 use crate::buffer::BufferPool;
-use parking_lot::Mutex;
+use reach_common::sync::Mutex;
 use reach_common::{PageId, Result};
 use std::sync::Arc;
 

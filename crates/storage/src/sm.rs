@@ -21,7 +21,7 @@ use crate::checkpoint::{ActiveTxns, CheckpointStats, Checkpointer};
 use crate::disk::{FileDisk, MemDisk, StableStorage};
 use crate::heap::{HeapFile, RecordId};
 use crate::wal::{WalRecord, WriteAheadLog};
-use parking_lot::Mutex;
+use reach_common::sync::Mutex;
 use reach_common::{MetricsRegistry, PageId, ReachError, Result, TxnId};
 use std::collections::HashMap;
 use std::path::Path;

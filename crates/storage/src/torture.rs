@@ -24,7 +24,7 @@ use crate::recovery::{recover, RecoveryReport};
 use crate::sm::{StorageManager, SYSTEM_TXN};
 use crate::wal::{Lsn, WalRecord, WriteAheadLog};
 use reach_common::fault::{FaultInjector, FaultPlan, FaultPoint};
-use reach_common::{Result, TxnId};
+use reach_common::{Result, SplitMix64, TxnId};
 use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
@@ -58,29 +58,6 @@ impl Default for WorkloadSpec {
 /// Record state keyed by stable address: `(page, slot) -> payload`.
 pub type State = BTreeMap<(u64, u16), Vec<u8>>;
 
-/// SplitMix64, so the harness needs no RNG dependency.
-struct Rng(u64);
-
-impl Rng {
-    fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_add(0x9e3779b97f4a7c15);
-        let mut z = self.0;
-        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform in `0..n` (n > 0).
-    fn below(&mut self, n: usize) -> usize {
-        (self.next() % n as u64) as usize
-    }
-
-    /// True with probability `num/den`.
-    fn chance(&mut self, num: u64, den: u64) -> bool {
-        self.next() % den < num
-    }
-}
-
 /// Run the seeded workload against `sm`. Returns `Err` as soon as any
 /// operation hits an (injected) I/O failure — the simulated machine has
 /// lost power, so the driver stops exactly there, mimicking a real
@@ -105,7 +82,7 @@ fn run_workload_inner(
     spec: &WorkloadSpec,
     acked: &mut Vec<TxnId>,
 ) -> Result<()> {
-    let mut rng = Rng(spec.seed);
+    let mut rng = SplitMix64::new(spec.seed);
     let seg = sm.create_segment("torture")?;
     let mut live: Vec<RecordId> = Vec::new();
     let mut next_txn = 1u64;
@@ -120,13 +97,13 @@ fn run_workload_inner(
         for i in 0..n_ops {
             let roll = rng.below(10);
             if live.is_empty() || roll < 5 {
-                let payload = format!("t{}-op{}-{:08x}", txn.raw(), i, rng.next() as u32);
+                let payload = format!("t{}-op{}-{:08x}", txn.raw(), i, rng.next_u64() as u32);
                 let rid = sm.insert(txn, seg, payload.as_bytes())?;
                 live.push(rid);
                 inserted.push(rid);
             } else if roll < 8 {
                 let rid = live[rng.below(live.len())];
-                let payload = format!("t{}-up{}-{:08x}", txn.raw(), i, rng.next() as u32);
+                let payload = format!("t{}-up{}-{:08x}", txn.raw(), i, rng.next_u64() as u32);
                 sm.update(txn, seg, rid, payload.as_bytes())?;
             } else {
                 let rid = live.swap_remove(rng.below(live.len()));

@@ -30,9 +30,9 @@
 //! truncate crash-atomically: the retained tail is written to a temp
 //! file, synced, and renamed over the log.
 
-use parking_lot::{Condvar, Mutex};
 use reach_common::fault::{FaultInjector, FaultPoint, WriteOutcome};
 use reach_common::obs::Stage;
+use reach_common::sync::{Condvar, Mutex};
 use reach_common::{MetricsRegistry, PageId, ReachError, Result, TxnId};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};

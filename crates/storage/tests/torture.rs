@@ -23,7 +23,12 @@ use reach_storage::{FaultDisk, MemDisk, StableStorage, StorageManager, WriteAhea
 use std::sync::Arc;
 
 fn spec() -> WorkloadSpec {
-    WorkloadSpec::default()
+    let seed = reach_common::seed_from_env(WorkloadSpec::default().seed);
+    reach_common::announce_seed("storage::torture", seed);
+    WorkloadSpec {
+        seed,
+        ..WorkloadSpec::default()
+    }
 }
 
 #[test]

@@ -16,7 +16,7 @@
 //! Table 1 requires the dependency on **all** of them ("all commit" /
 //! "all abort"), so a dependent transaction carries a set of conditions.
 
-use parking_lot::{Condvar, Mutex};
+use reach_common::sync::{Condvar, Mutex};
 use reach_common::{ReachError, Result, TxnId};
 use std::collections::HashMap;
 use std::time::Duration;

@@ -27,8 +27,10 @@ pub mod dependency;
 pub mod events;
 pub mod locks;
 pub mod manager;
+pub mod serial;
 
 pub use dependency::{CommitRule, DependencyGraph, Outcome};
 pub use events::{TxnEvent, TxnEventKind, TxnListener};
 pub use locks::{LockManager, LockMode};
 pub use manager::{ResourceManager, TransactionManager, TxnState};
+pub use serial::{Access, AccessKind, History, Recorder, TxnRun};

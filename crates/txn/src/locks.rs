@@ -10,7 +10,7 @@
 //! ([`LockManager::transfer`]), and when it aborts they are released.
 
 use crate::deadlock::WaitsFor;
-use parking_lot::{Condvar, Mutex};
+use reach_common::sync::{Condvar, Mutex};
 use reach_common::{MetricsRegistry, ObjectId, ReachError, Result, TxnId};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;

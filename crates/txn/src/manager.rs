@@ -18,7 +18,7 @@
 use crate::dependency::{DependencyGraph, Outcome, Permission};
 use crate::events::{TxnEvent, TxnEventKind, TxnListener};
 use crate::locks::{LockManager, LockMode};
-use parking_lot::{Mutex, RwLock};
+use reach_common::sync::{Mutex, RwLock};
 use reach_common::{IdGen, MetricsRegistry, ObjectId, ReachError, Result, TxnId, VirtualClock};
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -548,7 +548,7 @@ impl std::fmt::Debug for TransactionManager {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use parking_lot::Mutex as PMutex;
+    use reach_common::sync::Mutex as PMutex;
 
     fn manager() -> TransactionManager {
         TransactionManager::new(Arc::new(VirtualClock::new_virtual()))

@@ -1,0 +1,444 @@
+//! Conflict-serializability oracle.
+//!
+//! The lock manager promises strict two-phase locking; this module
+//! checks the promise from the *outside*. Concurrent workloads record,
+//! per transaction, every read and write together with a global
+//! operation sequence number stamped **while the lock is held**, plus a
+//! commit stamp taken before any lock is released. The checker then
+//! builds the classic conflict graph — an edge `Ti → Tj` whenever `Ti`
+//! performed an operation on an object before `Tj` did and at least one
+//! of the two was a write — and a committed history is
+//! conflict-serializable iff that graph is acyclic (the serializability
+//! theorem; any cycle names the guilty transactions).
+//!
+//! Nothing here knows how the locks are implemented, which is the
+//! point: if 2PL has a hole (a lock released early, an upgrade that
+//! lets a reader slip through, a transfer that leaks), some perturbed
+//! schedule produces a cycle, and the test prints the seed plus the
+//! cycle instead of silently corrupting data three layers up.
+
+use crate::locks::{LockManager, LockMode};
+use reach_common::sync::sched;
+use reach_common::{ObjectId, ReachError, SplitMix64, TxnId};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::Duration;
+
+/// Read or write, for conflict classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// A shared-mode access.
+    Read,
+    /// An exclusive-mode access.
+    Write,
+}
+
+impl AccessKind {
+    fn conflicts_with(self, other: AccessKind) -> bool {
+        !(self == AccessKind::Read && other == AccessKind::Read)
+    }
+}
+
+/// One recorded operation: what was touched, how, and *when* in the
+/// global operation order (stamped while the protecting lock was held).
+#[derive(Debug, Clone, Copy)]
+pub struct Access {
+    /// The object accessed.
+    pub oid: ObjectId,
+    /// Read or write.
+    pub kind: AccessKind,
+    /// Global sequence number of the operation.
+    pub seq: u64,
+}
+
+/// Everything one committed transaction did.
+#[derive(Debug, Clone)]
+pub struct TxnRun {
+    /// The transaction.
+    pub txn: TxnId,
+    /// Its accesses, in its own program order.
+    pub accesses: Vec<Access>,
+    /// Global sequence stamp taken at commit, before lock release.
+    pub commit_seq: u64,
+}
+
+/// A committed history: the input to the checker. Aborted transactions
+/// are excluded by construction — they never reach [`Recorder::commit`].
+#[derive(Debug, Default, Clone)]
+pub struct History {
+    /// Committed transaction runs.
+    pub runs: Vec<TxnRun>,
+}
+
+impl History {
+    /// Build the conflict graph and return a cycle through it if one
+    /// exists (as the list of transactions on the cycle), or `None` if
+    /// the history is conflict-serializable.
+    pub fn conflict_cycle(&self) -> Option<Vec<TxnId>> {
+        let edges = self.conflict_edges();
+        // Adjacency + iterative DFS with colors.
+        let mut adj: HashMap<TxnId, Vec<TxnId>> = HashMap::new();
+        for (a, b) in &edges {
+            adj.entry(*a).or_default().push(*b);
+        }
+        #[derive(Clone, Copy, PartialEq)]
+        enum Color {
+            White,
+            Gray,
+            Black,
+        }
+        let mut color: HashMap<TxnId, Color> =
+            self.runs.iter().map(|r| (r.txn, Color::White)).collect();
+        let mut parent: HashMap<TxnId, TxnId> = HashMap::new();
+        for &start in color.keys().cloned().collect::<Vec<_>>().iter() {
+            if color[&start] != Color::White {
+                continue;
+            }
+            // Stack of (node, next child index).
+            let mut stack = vec![(start, 0usize)];
+            color.insert(start, Color::Gray);
+            while let Some(&mut (node, ref mut idx)) = stack.last_mut() {
+                let children = adj.get(&node).map(|v| v.as_slice()).unwrap_or(&[]);
+                if *idx < children.len() {
+                    let child = children[*idx];
+                    *idx += 1;
+                    match color.get(&child).copied().unwrap_or(Color::Black) {
+                        Color::White => {
+                            parent.insert(child, node);
+                            color.insert(child, Color::Gray);
+                            stack.push((child, 0));
+                        }
+                        Color::Gray => {
+                            // Found a back edge node → child: walk the
+                            // parent chain from node back to child.
+                            let mut cycle = vec![child, node];
+                            let mut cur = node;
+                            while cur != child {
+                                cur = parent[&cur];
+                                if cur != child {
+                                    cycle.push(cur);
+                                }
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        Color::Black => {}
+                    }
+                } else {
+                    color.insert(node, Color::Black);
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
+
+    /// The conflict edges `Ti → Tj` (deduplicated): some operation of
+    /// `Ti` precedes a conflicting operation of `Tj` on the same object.
+    pub fn conflict_edges(&self) -> HashSet<(TxnId, TxnId)> {
+        // Group accesses per object across all committed txns.
+        let mut per_obj: HashMap<ObjectId, Vec<(TxnId, AccessKind, u64)>> = HashMap::new();
+        for run in &self.runs {
+            for a in &run.accesses {
+                per_obj
+                    .entry(a.oid)
+                    .or_default()
+                    .push((run.txn, a.kind, a.seq));
+            }
+        }
+        let mut edges = HashSet::new();
+        for ops in per_obj.values_mut() {
+            ops.sort_by_key(|&(_, _, seq)| seq);
+            for i in 0..ops.len() {
+                for j in (i + 1)..ops.len() {
+                    let (ti, ki, _) = ops[i];
+                    let (tj, kj, _) = ops[j];
+                    if ti != tj && ki.conflicts_with(kj) {
+                        edges.insert((ti, tj));
+                    }
+                }
+            }
+        }
+        edges
+    }
+}
+
+/// Shared recorder a concurrent workload writes into. The global
+/// sequence counter doubles as the stamp source: callers stamp each
+/// access **while holding the protecting lock**, so per-object stamp
+/// order equals the real serialization order at that object.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    seq: AtomicU64,
+    runs: StdMutex<Vec<TxnRun>>,
+}
+
+impl Recorder {
+    /// New empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draw the next global sequence stamp.
+    pub fn stamp(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::SeqCst)
+    }
+
+    /// Record a committed transaction. `commit_seq` must have been
+    /// stamped before any of the transaction's locks were released.
+    pub fn commit(&self, run: TxnRun) {
+        self.runs
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(run);
+    }
+
+    /// Freeze into a checkable history.
+    pub fn into_history(self) -> History {
+        History {
+            runs: self.runs.into_inner().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Snapshot the committed runs so far without consuming the
+    /// recorder (for recorders still referenced by a resource manager).
+    pub fn snapshot(&self) -> History {
+        History {
+            runs: self.runs.lock().unwrap_or_else(|e| e.into_inner()).clone(),
+        }
+    }
+}
+
+/// Parameters for [`run_lock_workload`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadCfg {
+    /// Worker thread count.
+    pub threads: u64,
+    /// Transactions attempted per thread.
+    pub txns_per_thread: u64,
+    /// Operations per transaction.
+    pub ops_per_txn: usize,
+    /// Size of the shared object pool (smaller = more contention).
+    pub objects: u64,
+    /// Probability numerator (out of 100) that an op is a write.
+    pub write_pct: u64,
+}
+
+impl Default for WorkloadCfg {
+    fn default() -> Self {
+        WorkloadCfg {
+            threads: 4,
+            txns_per_thread: 12,
+            objects: 6,
+            ops_per_txn: 4,
+            write_pct: 50,
+        }
+    }
+}
+
+/// Outcome counts of a workload sweep, alongside the history.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct WorkloadStats {
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Victims of deadlock detection (aborted and discarded).
+    pub deadlocks: u64,
+    /// Lock-wait timeouts (aborted and discarded).
+    pub timeouts: u64,
+}
+
+/// Drive a randomized transactional workload straight against a
+/// [`LockManager`] under strict 2PL and record the committed history.
+///
+/// Each simulated transaction acquires the proper lock before each
+/// access, stamps the access while the lock is held, stamps its commit
+/// before releasing, and on `Deadlock`/`LockTimeout` releases
+/// everything and is discarded (an abort). The caller asserts
+/// [`History::conflict_cycle`] is `None`.
+pub fn run_lock_workload(seed: u64, cfg: WorkloadCfg) -> (History, WorkloadStats) {
+    let lm = Arc::new(LockManager::with_timeout(Duration::from_millis(200)));
+    let rec = Arc::new(Recorder::new());
+    let stats = Arc::new(StdMutex::new(WorkloadStats::default()));
+    let mut root = SplitMix64::new(seed);
+    let handles: Vec<_> = (0..cfg.threads)
+        .map(|t| {
+            let lm = Arc::clone(&lm);
+            let rec = Arc::clone(&rec);
+            let stats = Arc::clone(&stats);
+            let mut rng = root.fork(t + 1);
+            std::thread::spawn(move || {
+                sched::register_thread(t);
+                for i in 0..cfg.txns_per_thread {
+                    let txn = TxnId::new(1 + t * cfg.txns_per_thread + i);
+                    let outcome = run_one_txn(&lm, &rec, &mut rng, txn, &cfg);
+                    let mut s = stats.lock().unwrap_or_else(|e| e.into_inner());
+                    match outcome {
+                        Ok(()) => s.committed += 1,
+                        Err(ReachError::Deadlock(_)) => s.deadlocks += 1,
+                        Err(ReachError::LockTimeout(_)) => s.timeouts += 1,
+                        Err(e) => panic!("unexpected workload error: {e:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = *stats.lock().unwrap_or_else(|e| e.into_inner());
+    let history = Arc::try_unwrap(rec)
+        .expect("workers done; sole owner")
+        .into_history();
+    (history, stats)
+}
+
+fn run_one_txn(
+    lm: &LockManager,
+    rec: &Recorder,
+    rng: &mut SplitMix64,
+    txn: TxnId,
+    cfg: &WorkloadCfg,
+) -> Result<(), ReachError> {
+    let mut accesses: Vec<Access> = Vec::with_capacity(cfg.ops_per_txn);
+    for _ in 0..cfg.ops_per_txn {
+        let oid = ObjectId::new(1 + rng.below(cfg.objects as usize) as u64);
+        let write = rng.chance(cfg.write_pct, 100);
+        let (mode, kind) = if write {
+            (LockMode::Exclusive, AccessKind::Write)
+        } else {
+            (LockMode::Shared, AccessKind::Read)
+        };
+        if let Err(e) = lm.acquire(txn, oid, mode, &[]) {
+            lm.release_all(txn);
+            return Err(e);
+        }
+        // Stamp while the lock is held: this is what makes per-object
+        // stamp order the ground-truth serialization order.
+        accesses.push(Access {
+            oid,
+            kind,
+            seq: rec.stamp(),
+        });
+    }
+    // Commit stamp before release (strictness: nothing of ours is
+    // visible to others until after this point).
+    let commit_seq = rec.stamp();
+    rec.commit(TxnRun {
+        txn,
+        accesses,
+        commit_seq,
+    });
+    lm.release_all(txn);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TxnId {
+        TxnId::new(n)
+    }
+    fn o(n: u64) -> ObjectId {
+        ObjectId::new(n)
+    }
+
+    fn run(txn: u64, accesses: &[(u64, AccessKind, u64)], commit_seq: u64) -> TxnRun {
+        TxnRun {
+            txn: t(txn),
+            accesses: accesses
+                .iter()
+                .map(|&(oid, kind, seq)| Access {
+                    oid: o(oid),
+                    kind,
+                    seq,
+                })
+                .collect(),
+            commit_seq,
+        }
+    }
+
+    /// The classic lost update: T1 reads x, T2 reads x, T2 writes x,
+    /// T1 writes x. Edges T1→T2 (r-w) and T2→T1 (w-w): a cycle.
+    #[test]
+    fn lost_update_cycle_detected() {
+        let h = History {
+            runs: vec![
+                run(1, &[(1, AccessKind::Read, 0), (1, AccessKind::Write, 3)], 4),
+                run(2, &[(1, AccessKind::Read, 1), (1, AccessKind::Write, 2)], 5),
+            ],
+        };
+        let cycle = h.conflict_cycle().expect("lost update must be caught");
+        assert!(cycle.contains(&t(1)) && cycle.contains(&t(2)), "{cycle:?}");
+    }
+
+    /// Serial histories and read-only overlap are acyclic.
+    #[test]
+    fn serial_and_read_only_histories_pass() {
+        let serial = History {
+            runs: vec![
+                run(
+                    1,
+                    &[(1, AccessKind::Write, 0), (2, AccessKind::Write, 1)],
+                    2,
+                ),
+                run(
+                    2,
+                    &[(1, AccessKind::Write, 3), (2, AccessKind::Write, 4)],
+                    5,
+                ),
+            ],
+        };
+        assert_eq!(serial.conflict_cycle(), None);
+        let readers = History {
+            runs: vec![
+                run(1, &[(1, AccessKind::Read, 0), (1, AccessKind::Read, 2)], 4),
+                run(2, &[(1, AccessKind::Read, 1), (1, AccessKind::Read, 3)], 5),
+            ],
+        };
+        assert_eq!(readers.conflict_cycle(), None);
+        assert!(readers.conflict_edges().is_empty());
+    }
+
+    /// Three-transaction cycle through distinct objects: T1→T2 on x,
+    /// T2→T3 on y, T3→T1 on z.
+    #[test]
+    fn three_way_cycle_detected() {
+        let h = History {
+            runs: vec![
+                run(
+                    1,
+                    &[(1, AccessKind::Write, 0), (3, AccessKind::Write, 5)],
+                    6,
+                ),
+                run(
+                    2,
+                    &[(1, AccessKind::Write, 1), (2, AccessKind::Write, 2)],
+                    7,
+                ),
+                run(
+                    3,
+                    &[(2, AccessKind::Write, 3), (3, AccessKind::Write, 4)],
+                    8,
+                ),
+            ],
+        };
+        let cycle = h.conflict_cycle().expect("3-cycle must be caught");
+        assert_eq!(cycle.len(), 3, "{cycle:?}");
+    }
+
+    #[test]
+    fn small_workload_is_serializable() {
+        let (h, stats) = run_lock_workload(
+            42,
+            WorkloadCfg {
+                threads: 4,
+                txns_per_thread: 8,
+                ..WorkloadCfg::default()
+            },
+        );
+        assert!(stats.committed > 0, "workload must commit something");
+        assert_eq!(h.conflict_cycle(), None);
+    }
+}

@@ -1,0 +1,172 @@
+//! Lock-manager regressions under perturbed schedules: deadlock
+//! detection with real thread races, shared→exclusive upgrades, and
+//! wait-timeout behaviour under continuous lock churn. These are the
+//! integration-level companions to the unit tests in `locks.rs` — the
+//! schedule perturber makes the races they aim at actually happen.
+
+use reach_common::sync::sched;
+use reach_common::{announce_seed, seed_from_env, ObjectId, ReachError, TxnId};
+use reach_txn::{LockManager, LockMode};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Duration;
+
+fn t(n: u64) -> TxnId {
+    TxnId::new(n)
+}
+fn o(n: u64) -> ObjectId {
+    ObjectId::new(n)
+}
+
+/// N threads each take their home object exclusively, rendezvous, then
+/// request their neighbour's — a guaranteed wait cycle. Deadlock
+/// detection must pick at least one victim and every survivor must get
+/// through once the victims release; nothing may hang or time out.
+#[test]
+fn ring_deadlock_always_gets_a_victim_under_perturbation() {
+    let base = seed_from_env(0xDEAD);
+    for i in 0..8u64 {
+        let seed = base.wrapping_add(i);
+        announce_seed("locks_stress::ring_deadlock", seed);
+        let ((), _) = sched::run_seeded(seed, || {
+            const N: u64 = 3;
+            let lm = Arc::new(LockManager::with_timeout(Duration::from_secs(10)));
+            let barrier = Arc::new(Barrier::new(N as usize));
+            let victims = Arc::new(AtomicU64::new(0));
+            let handles: Vec<_> = (0..N)
+                .map(|k| {
+                    let lm = Arc::clone(&lm);
+                    let barrier = Arc::clone(&barrier);
+                    let victims = Arc::clone(&victims);
+                    std::thread::spawn(move || {
+                        sched::register_thread(k);
+                        let me = t(k + 1);
+                        lm.acquire(me, o(k + 1), LockMode::Exclusive, &[]).unwrap();
+                        barrier.wait();
+                        match lm.acquire(me, o((k + 1) % N + 1), LockMode::Exclusive, &[]) {
+                            Ok(()) => lm.release_all(me),
+                            Err(ReachError::Deadlock(victim)) => {
+                                assert_eq!(victim, me, "victim must be the requester");
+                                victims.fetch_add(1, Ordering::SeqCst);
+                                lm.release_all(me);
+                            }
+                            Err(e) => panic!("expected grant or deadlock, got {e:?}"),
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            let v = victims.load(Ordering::SeqCst);
+            assert!(
+                (1..N).contains(&v),
+                "ring of {N} needs 1..{N} victims, got {v}"
+            );
+        });
+    }
+}
+
+/// Upgrade deadlock: two transactions both hold shared and both request
+/// exclusive on the same object. Neither upgrade can ever be granted
+/// while the other's shared hold exists, so detection must abort one;
+/// the other must then complete its upgrade.
+#[test]
+fn concurrent_upgrade_deadlock_is_broken() {
+    let base = seed_from_env(0x06AD);
+    for i in 0..8u64 {
+        let seed = base.wrapping_add(i);
+        announce_seed("locks_stress::upgrade_deadlock", seed);
+        sched::run_seeded(seed, || {
+            let lm = Arc::new(LockManager::with_timeout(Duration::from_secs(10)));
+            lm.acquire(t(1), o(1), LockMode::Shared, &[]).unwrap();
+            lm.acquire(t(2), o(1), LockMode::Shared, &[]).unwrap();
+            let barrier = Arc::new(Barrier::new(2));
+            let handles: Vec<_> = [t(1), t(2)]
+                .into_iter()
+                .enumerate()
+                .map(|(k, me)| {
+                    let lm = Arc::clone(&lm);
+                    let barrier = Arc::clone(&barrier);
+                    std::thread::spawn(move || {
+                        sched::register_thread(k as u64);
+                        barrier.wait();
+                        match lm.acquire(me, o(1), LockMode::Exclusive, &[]) {
+                            Ok(()) => {
+                                assert_eq!(lm.held_mode(me, o(1)), Some(LockMode::Exclusive));
+                                lm.release_all(me);
+                                false
+                            }
+                            Err(ReachError::Deadlock(v)) => {
+                                assert_eq!(v, me);
+                                lm.release_all(me);
+                                true
+                            }
+                            Err(e) => panic!("expected upgrade or deadlock, got {e:?}"),
+                        }
+                    })
+                })
+                .collect();
+            let victims = handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|&was_victim| was_victim)
+                .count();
+            assert_eq!(
+                victims, 1,
+                "exactly one upgrader must be the deadlock victim"
+            );
+        });
+    }
+}
+
+/// Wait-timeout under churn: a permanent shared holder plus churning
+/// shared lockers keep an exclusive request permanently blocked. The
+/// absolute-deadline patience must fire close to the configured
+/// timeout regardless of how many wakeups the churn causes — and the
+/// perturber makes the wakeup pattern different every seed.
+#[test]
+fn timeout_under_churn_fires_on_schedule() {
+    let base = seed_from_env(0x71E0);
+    for i in 0..4u64 {
+        let seed = base.wrapping_add(i);
+        announce_seed("locks_stress::timeout_churn", seed);
+        sched::run_seeded(seed, || {
+            let lm = Arc::new(LockManager::with_timeout(Duration::from_millis(150)));
+            lm.acquire(t(100), o(1), LockMode::Shared, &[]).unwrap();
+            let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let churners: Vec<_> = (0..2u64)
+                .map(|k| {
+                    let lm = Arc::clone(&lm);
+                    let stop = Arc::clone(&stop);
+                    std::thread::spawn(move || {
+                        sched::register_thread(10 + k);
+                        let me = t(200 + k);
+                        while !stop.load(Ordering::Relaxed) {
+                            lm.acquire(me, o(1), LockMode::Shared, &[]).unwrap();
+                            lm.release_all(me);
+                        }
+                    })
+                })
+                .collect();
+            let t0 = std::time::Instant::now();
+            let err = lm
+                .acquire(t(1), o(1), LockMode::Exclusive, &[])
+                .unwrap_err();
+            let waited = t0.elapsed();
+            stop.store(true, Ordering::Relaxed);
+            for h in churners {
+                h.join().unwrap();
+            }
+            assert_eq!(err, ReachError::LockTimeout(t(1)));
+            assert!(
+                waited >= Duration::from_millis(140),
+                "gave up too early: {waited:?}"
+            );
+            assert!(
+                waited < Duration::from_secs(3),
+                "patience re-armed under churn: {waited:?}"
+            );
+        });
+    }
+}

@@ -1,8 +1,20 @@
 #!/usr/bin/env bash
 # Tier-1 gate: release build, full test suite, and a crash-point
 # torture smoke run (every WAL frame of a 200-op workload).
+#
+#   --stress   additionally run the E18 concurrency stress smoke
+#              (schedule-perturbed serializability sweep + algebra
+#              differential fuzz; see crates/bench/src/bin/exp_stress.rs)
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+STRESS=0
+for arg in "$@"; do
+  case "$arg" in
+    --stress) STRESS=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
 echo "== tier-1: release build =="
 cargo build --release
@@ -15,5 +27,10 @@ cargo run --release -p reach-bench --bin exp_torture -- 12648430 200
 
 echo "== tier-1: group-commit smoke (batching + visibility invariants) =="
 cargo run --release -p reach-bench --bin exp_commit -- --smoke
+
+if [[ "$STRESS" == 1 ]]; then
+  echo "== tier-1: concurrency stress smoke (perturbed schedules + differential fuzz) =="
+  cargo run --release -p reach-bench --features sched --bin exp_stress -- --smoke
+fi
 
 echo "== tier-1: OK =="

@@ -16,6 +16,14 @@
 //!   between runs;
 //! * string "regex" strategies only honour patterns of the form
 //!   `.{m,n}` (any other pattern falls back to short alphanumerics).
+//!
+//! Seed replay: every case's pre-generation RNG state is its *replay
+//! seed*. A failing case prints `replay with REACH_SEED=0x...`; setting
+//! that variable re-runs exactly that input first on the next run.
+//! Seeds listed as `cc <seed>` lines in
+//! `<crate>/proptest-regressions/<test_name>.txt` (the shim's analogue
+//! of proptest's regression files) are replayed before the normal case
+//! stream, so past failures stay pinned forever.
 
 use std::fmt::Debug;
 use std::ops::Range;
@@ -37,6 +45,17 @@ pub mod test_runner {
                 h = h.wrapping_mul(0x100000001b3);
             }
             TestRng { state: h }
+        }
+
+        /// Resume from an explicit replay seed (a captured `state`).
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng { state: seed }
+        }
+
+        /// The current state — capture *before* generating a case and
+        /// that case is replayable via `from_seed`.
+        pub fn state(&self) -> u64 {
+            self.state
         }
 
         pub fn next_u64(&mut self) -> u64 {
@@ -81,6 +100,8 @@ pub mod test_runner {
     pub struct FailureReporter {
         pub test: &'static str,
         pub case: u32,
+        /// Replay seed: the RNG state captured before this case.
+        pub seed: u64,
         pub input: String,
     }
 
@@ -88,10 +109,49 @@ pub mod test_runner {
         fn drop(&mut self) {
             if std::thread::panicking() {
                 eprintln!(
-                    "proptest-shim: `{}` failed at case {} with input:\n  {}",
-                    self.test, self.case, self.input
+                    "proptest-shim: `{}` failed at case {} with input:\n  {}\n\
+                     replay with REACH_SEED={seed:#x} (or pin it: add `cc {seed:#x}` to \
+                     proptest-regressions/{}.txt)",
+                    self.test,
+                    self.case,
+                    self.input,
+                    self.test,
+                    seed = self.seed,
                 );
             }
+        }
+    }
+
+    /// Replay seeds for a test: `REACH_SEED` (decimal or `0x` hex)
+    /// first, then every `cc <seed>` line of
+    /// `<manifest_dir>/proptest-regressions/<test>.txt` (missing file =
+    /// no seeds; `#` lines are comments).
+    pub fn replay_seeds(manifest_dir: &str, test: &str) -> Vec<u64> {
+        let mut seeds = Vec::new();
+        if let Ok(v) = std::env::var("REACH_SEED") {
+            if let Some(s) = parse_seed(&v) {
+                seeds.push(s);
+            }
+        }
+        let path = format!("{manifest_dir}/proptest-regressions/{test}.txt");
+        if let Ok(text) = std::fs::read_to_string(path) {
+            for line in text.lines() {
+                if let Some(rest) = line.trim().strip_prefix("cc ") {
+                    if let Some(s) = parse_seed(rest) {
+                        seeds.push(s);
+                    }
+                }
+            }
+        }
+        seeds
+    }
+
+    fn parse_seed(s: &str) -> Option<u64> {
+        let s = s.trim();
+        if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+            u64::from_str_radix(hex, 16).ok()
+        } else {
+            s.parse().ok()
         }
     }
 }
@@ -440,19 +500,35 @@ macro_rules! __proptest_impl {
         $(#[$meta])*
         fn $name() {
             let config = $cfg;
-            let mut rng =
-                $crate::test_runner::TestRng::deterministic(stringify!($name));
-            for __case in 0..config.cases {
-                let __values =
-                    $crate::Strategy::generate(&($($strat,)+), &mut rng);
+            let __strat = ($($strat,)+);
+            let mut __run_case = |__case: u32, __seed: u64, __rng: &mut $crate::test_runner::TestRng| {
+                let __values = $crate::Strategy::generate(&__strat, __rng);
                 let __reporter = $crate::test_runner::FailureReporter {
                     test: stringify!($name),
                     case: __case,
+                    seed: __seed,
                     input: format!("{:?}", __values),
                 };
                 let ($($pat,)+) = __values;
                 { $body }
                 drop(__reporter);
+            };
+            // Pinned / requested seeds first (REACH_SEED env override +
+            // committed proptest-regressions/<test>.txt lines).
+            let __replays = $crate::test_runner::replay_seeds(
+                env!("CARGO_MANIFEST_DIR"),
+                stringify!($name),
+            );
+            for (__i, __seed) in __replays.iter().enumerate() {
+                let mut __rng = $crate::test_runner::TestRng::from_seed(*__seed);
+                __run_case(__i as u32, *__seed, &mut __rng);
+            }
+            // Then the normal deterministic case stream.
+            let mut rng =
+                $crate::test_runner::TestRng::deterministic(stringify!($name));
+            for __case in 0..config.cases {
+                let __seed = rng.state();
+                __run_case(__case, __seed, &mut rng);
             }
         }
     )*};
