@@ -16,6 +16,10 @@ pub enum ReachError {
     // ---- storage manager ----
     /// An I/O failure in the underlying address space (file) manager.
     Io(String),
+    /// A *transient* I/O condition (would-block, timed-out, interrupted):
+    /// retrying the same operation can legitimately succeed, unlike
+    /// [`ReachError::Io`] which reports a hard device failure.
+    IoTransient(String),
     /// The page does not exist in the segment.
     PageNotFound(PageId),
     /// A slot lookup failed (page, slot).
@@ -85,6 +89,9 @@ pub enum ReachError {
     DependencyViolation(String),
     /// The transaction was aborted (possibly by a rule or dependency).
     TxnAborted(TxnId),
+    /// A per-request deadline expired before the operation completed.
+    /// The transaction may have been aborted by the server.
+    DeadlineExceeded,
 
     // ---- active layer ----
     /// Unknown rule.
@@ -123,6 +130,17 @@ pub enum ReachError {
     NotSupported(String),
     /// Query compilation/execution error.
     Query(String),
+
+    // ---- network / server ----
+    /// The server refused admission (session table or queue full). The
+    /// request was *not* executed; retrying after backoff is safe.
+    Overloaded(String),
+    /// The peer violated the wire protocol (bad frame, unknown opcode,
+    /// oversized payload). Not retryable: the same bytes fail again.
+    Protocol(String),
+    /// The connection closed mid-conversation. Whatever was in flight
+    /// has an unknown outcome; reconnect and re-inspect state.
+    ConnectionClosed(String),
 }
 
 impl fmt::Display for ReachError {
@@ -130,6 +148,7 @@ impl fmt::Display for ReachError {
         use ReachError::*;
         match self {
             Io(m) => write!(f, "i/o error: {m}"),
+            IoTransient(m) => write!(f, "transient i/o condition: {m}"),
             PageNotFound(p) => write!(f, "page not found: {p}"),
             SlotNotFound(p, s) => write!(f, "slot {s} not found on {p}"),
             RecordTooLarge { size, max } => {
@@ -160,6 +179,7 @@ impl fmt::Display for ReachError {
             NestedViolation(m) => write!(f, "nested transaction violation: {m}"),
             DependencyViolation(m) => write!(f, "commit dependency violation: {m}"),
             TxnAborted(t) => write!(f, "transaction aborted: {t}"),
+            DeadlineExceeded => write!(f, "request deadline exceeded"),
             RuleNotFound(r) => write!(f, "rule not found: {r}"),
             UnsupportedCoupling { event, mode } => {
                 write!(
@@ -178,6 +198,9 @@ impl fmt::Display for ReachError {
             NameNotFound(n) => write!(f, "name not bound in data dictionary: {n:?}"),
             NotSupported(m) => write!(f, "not supported on this platform: {m}"),
             Query(m) => write!(f, "query error: {m}"),
+            Overloaded(m) => write!(f, "server overloaded: {m}"),
+            Protocol(m) => write!(f, "wire protocol violation: {m}"),
+            ConnectionClosed(m) => write!(f, "connection closed: {m}"),
         }
     }
 }
@@ -189,11 +212,148 @@ impl ReachError {
     /// buffer pool drains as pins are released. Everything else —
     /// corrupt logs, missing objects, schema violations, real I/O
     /// errors — is deterministic and must not be retried blindly.
+    ///
+    /// Over the wire the same taxonomy drives client retry: an
+    /// [`ReachError::Overloaded`] rejection means the request was never
+    /// executed, a [`ReachError::ConnectionClosed`] or
+    /// [`ReachError::DeadlineExceeded`] means a fresh attempt in a new
+    /// transaction can succeed, and [`ReachError::IoTransient`] covers
+    /// would-block / timed-out socket conditions. A
+    /// [`ReachError::Protocol`] violation is deterministic — the same
+    /// bytes fail the same way — and must not be retried.
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            ReachError::Deadlock(_) | ReachError::LockTimeout(_) | ReachError::BufferPoolExhausted
+            ReachError::Deadlock(_)
+                | ReachError::LockTimeout(_)
+                | ReachError::BufferPoolExhausted
+                | ReachError::IoTransient(_)
+                | ReachError::DeadlineExceeded
+                | ReachError::Overloaded(_)
+                | ReachError::ConnectionClosed(_)
         )
+    }
+
+    /// Stable numeric code used by the wire protocol. Codes are grouped
+    /// by subsystem in decades and never reused: clients built against
+    /// an older taxonomy still classify newer errors by range. Every
+    /// variant has a distinct code (asserted by a test below).
+    pub fn wire_code(&self) -> u16 {
+        use ReachError::*;
+        match self {
+            // storage manager: 10–19
+            Io(_) => 10,
+            PageNotFound(_) => 11,
+            SlotNotFound(..) => 12,
+            RecordTooLarge { .. } => 13,
+            BufferPoolExhausted => 14,
+            WalCorrupt(_) => 15,
+            IoTransient(_) => 16,
+            // object model: 20–29
+            ClassNotFound(_) => 20,
+            ClassNameNotFound(_) => 21,
+            MethodNotFound(_) => 22,
+            MethodNameNotFound { .. } => 23,
+            AttributeNotFound { .. } => 24,
+            ObjectNotFound(_) => 25,
+            TypeMismatch { .. } => 26,
+            SchemaError(_) => 27,
+            MethodFailed(_) => 28,
+            // transactions: 30–39
+            TxnNotFound(_) => 30,
+            TxnNotActive(_) => 31,
+            Deadlock(_) => 32,
+            LockTimeout(_) => 33,
+            LockConflict(_) => 34,
+            NestedViolation(_) => 35,
+            DependencyViolation(_) => 36,
+            TxnAborted(_) => 37,
+            DeadlineExceeded => 38,
+            // active layer: 40–49
+            RuleNotFound(_) => 40,
+            UnsupportedCoupling { .. } => 41,
+            IllegalEventDefinition(_) => 42,
+            TransientReferenceEscape(_) => 43,
+            RuleEvaluation(_) => 44,
+            Parse { .. } => 45,
+            // meta architecture: 50–59
+            PolicyManagerMissing(_) => 50,
+            NameNotFound(_) => 51,
+            NotSupported(_) => 52,
+            Query(_) => 53,
+            // network / server: 60–69
+            Overloaded(_) => 60,
+            Protocol(_) => 61,
+            ConnectionClosed(_) => 62,
+        }
+    }
+
+    /// Reconstruct an error from a wire `(code, message)` pair. The
+    /// variant (and therefore [`ReachError::wire_code`] and
+    /// [`ReachError::is_transient`]) round-trips exactly; structured
+    /// payloads (ids, sizes, line numbers) are carried in the rendered
+    /// message only, so they come back as their null/zero placeholders.
+    /// Unknown codes map to [`ReachError::Protocol`] so a newer server
+    /// cannot silently masquerade as success on an older client.
+    pub fn from_wire(code: u16, message: String) -> ReachError {
+        use ReachError::*;
+        let m = message;
+        match code {
+            10 => Io(m),
+            11 => PageNotFound(PageId::new(0)),
+            12 => SlotNotFound(PageId::new(0), 0),
+            13 => RecordTooLarge { size: 0, max: 0 },
+            14 => BufferPoolExhausted,
+            15 => WalCorrupt(m),
+            16 => IoTransient(m),
+            20 => ClassNotFound(ClassId::new(0)),
+            21 => ClassNameNotFound(m),
+            22 => MethodNotFound(MethodId::new(0)),
+            23 => MethodNameNotFound {
+                class: m,
+                method: String::new(),
+            },
+            24 => AttributeNotFound {
+                class: m,
+                attribute: String::new(),
+            },
+            25 => ObjectNotFound(ObjectId::new(0)),
+            26 => TypeMismatch {
+                expected: m,
+                got: String::new(),
+            },
+            27 => SchemaError(m),
+            28 => MethodFailed(m),
+            30 => TxnNotFound(TxnId::new(0)),
+            31 => TxnNotActive(TxnId::new(0)),
+            32 => Deadlock(TxnId::new(0)),
+            33 => LockTimeout(TxnId::new(0)),
+            34 => LockConflict(m),
+            35 => NestedViolation(m),
+            36 => DependencyViolation(m),
+            37 => TxnAborted(TxnId::new(0)),
+            38 => DeadlineExceeded,
+            40 => RuleNotFound(RuleId::new(0)),
+            41 => UnsupportedCoupling {
+                event: m,
+                mode: String::new(),
+            },
+            42 => IllegalEventDefinition(m),
+            43 => TransientReferenceEscape(ObjectId::new(0)),
+            44 => RuleEvaluation(m),
+            45 => Parse {
+                line: 0,
+                message: m,
+            },
+            50 => PolicyManagerMissing(m),
+            51 => NameNotFound(m),
+            52 => NotSupported(m),
+            53 => Query(m),
+            60 => Overloaded(m),
+            61 => Protocol(m),
+            62 => ConnectionClosed(m),
+            other => Protocol(format!("unknown wire error code {other}: {m}")),
+        }
     }
 }
 
@@ -201,7 +361,21 @@ impl std::error::Error for ReachError {}
 
 impl From<std::io::Error> for ReachError {
     fn from(e: std::io::Error) -> Self {
-        ReachError::Io(e.to_string())
+        use std::io::ErrorKind::*;
+        match e.kind() {
+            // Scheduling accidents on a socket or file descriptor: the
+            // same call can succeed if repeated. Everything else is a
+            // hard failure.
+            WouldBlock | TimedOut | Interrupted => ReachError::IoTransient(e.to_string()),
+            // Unambiguously a peer going away. UnexpectedEof is *not*
+            // mapped here: on a file a short read means corruption (a
+            // hard error); the network transport classifies its own
+            // EOFs as ConnectionClosed explicitly.
+            ConnectionReset | ConnectionAborted | BrokenPipe => {
+                ReachError::ConnectionClosed(e.to_string())
+            }
+            _ => ReachError::Io(e.to_string()),
+        }
     }
 }
 
@@ -235,6 +409,116 @@ mod tests {
         assert!(!ReachError::Io("disk on fire".into()).is_transient());
         assert!(!ReachError::WalCorrupt("torn".into()).is_transient());
         assert!(!ReachError::ObjectNotFound(ObjectId::new(1)).is_transient());
+    }
+
+    /// One exemplar of every variant, used to sweep taxonomy invariants.
+    fn exemplars() -> Vec<ReachError> {
+        use ReachError::*;
+        vec![
+            Io("eio".into()),
+            IoTransient("would block".into()),
+            PageNotFound(PageId::new(7)),
+            SlotNotFound(PageId::new(7), 3),
+            RecordTooLarge { size: 9, max: 4 },
+            BufferPoolExhausted,
+            WalCorrupt("torn".into()),
+            ClassNotFound(ClassId::new(1)),
+            ClassNameNotFound("C".into()),
+            MethodNotFound(MethodId::new(1)),
+            MethodNameNotFound {
+                class: "C".into(),
+                method: "m".into(),
+            },
+            AttributeNotFound {
+                class: "C".into(),
+                attribute: "a".into(),
+            },
+            ObjectNotFound(ObjectId::new(1)),
+            TypeMismatch {
+                expected: "Int".into(),
+                got: "Str".into(),
+            },
+            SchemaError("dup".into()),
+            MethodFailed("boom".into()),
+            TxnNotFound(TxnId::new(1)),
+            TxnNotActive(TxnId::new(1)),
+            Deadlock(TxnId::new(1)),
+            LockTimeout(TxnId::new(1)),
+            LockConflict("upgrade".into()),
+            NestedViolation("child active".into()),
+            DependencyViolation("must abort".into()),
+            TxnAborted(TxnId::new(1)),
+            DeadlineExceeded,
+            RuleNotFound(RuleId::new(1)),
+            UnsupportedCoupling {
+                event: "composite".into(),
+                mode: "immediate".into(),
+            },
+            IllegalEventDefinition("no interval".into()),
+            TransientReferenceEscape(ObjectId::new(1)),
+            RuleEvaluation("cond".into()),
+            Parse {
+                line: 3,
+                message: "expected ON".into(),
+            },
+            PolicyManagerMissing("txn".into()),
+            NameNotFound("root".into()),
+            NotSupported("triggers".into()),
+            Query("bad select".into()),
+            Overloaded("session table full".into()),
+            Protocol("oversized frame".into()),
+            ConnectionClosed("peer reset".into()),
+        ]
+    }
+
+    #[test]
+    fn wire_codes_are_distinct() {
+        let all = exemplars();
+        let mut seen = std::collections::HashMap::new();
+        for e in &all {
+            if let Some(prev) = seen.insert(e.wire_code(), format!("{e:?}")) {
+                panic!("wire code {} shared by {prev} and {e:?}", e.wire_code());
+            }
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_code_and_transience() {
+        for e in exemplars() {
+            let back = ReachError::from_wire(e.wire_code(), e.to_string());
+            assert_eq!(back.wire_code(), e.wire_code(), "code drift for {e:?}");
+            assert_eq!(
+                back.is_transient(),
+                e.is_transient(),
+                "transience drift for {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_wire_code_is_protocol_error() {
+        let e = ReachError::from_wire(9999, "??".into());
+        assert!(matches!(e, ReachError::Protocol(_)));
+        assert!(!e.is_transient());
+    }
+
+    #[test]
+    fn io_kind_mapping() {
+        use std::io::{Error, ErrorKind};
+        let t: ReachError = Error::new(ErrorKind::WouldBlock, "eagain").into();
+        assert!(matches!(t, ReachError::IoTransient(_)));
+        assert!(t.is_transient());
+        let t: ReachError = Error::new(ErrorKind::TimedOut, "etimedout").into();
+        assert!(t.is_transient());
+        let c: ReachError = Error::new(ErrorKind::ConnectionReset, "econnreset").into();
+        assert!(matches!(c, ReachError::ConnectionClosed(_)));
+        assert!(c.is_transient());
+        let h: ReachError = Error::new(ErrorKind::PermissionDenied, "eacces").into();
+        assert!(matches!(h, ReachError::Io(_)));
+        assert!(!h.is_transient());
+        // Short file reads stay hard errors (storage corruption).
+        let eof: ReachError = Error::new(ErrorKind::UnexpectedEof, "short read").into();
+        assert!(matches!(eof, ReachError::Io(_)));
     }
 
     #[test]

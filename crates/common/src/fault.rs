@@ -40,17 +40,23 @@ pub enum FaultPoint {
     WalTruncate,
     /// `StableStorage::sync`.
     Sync,
+    /// A network transport read (one frame coming off the socket).
+    NetRead,
+    /// A network transport write (one frame going onto the socket).
+    NetWrite,
 }
 
 impl FaultPoint {
     /// All points, in counter-index order.
-    pub const ALL: [FaultPoint; 6] = [
+    pub const ALL: [FaultPoint; 8] = [
         FaultPoint::PageRead,
         FaultPoint::PageWrite,
         FaultPoint::WalAppend,
         FaultPoint::WalForce,
         FaultPoint::WalTruncate,
         FaultPoint::Sync,
+        FaultPoint::NetRead,
+        FaultPoint::NetWrite,
     ];
 
     /// Stable name used in error messages and reports.
@@ -62,6 +68,8 @@ impl FaultPoint {
             FaultPoint::WalForce => "wal_force",
             FaultPoint::WalTruncate => "wal_truncate",
             FaultPoint::Sync => "sync",
+            FaultPoint::NetRead => "net_read",
+            FaultPoint::NetWrite => "net_write",
         }
     }
 
@@ -73,12 +81,16 @@ impl FaultPoint {
             FaultPoint::WalForce => 3,
             FaultPoint::WalTruncate => 4,
             FaultPoint::Sync => 5,
+            FaultPoint::NetRead => 6,
+            FaultPoint::NetWrite => 7,
         }
     }
 
     /// Whether the point mutates the device. After a crash, mutating
     /// points always fail; reads keep working so a post-mortem (or a
     /// recovery run over the surviving bytes) can still look at state.
+    /// A crashed *connection* is dead in both directions, so the
+    /// network read point counts as a mutation.
     fn is_mutation(self) -> bool {
         !matches!(self, FaultPoint::PageRead)
     }
@@ -97,6 +109,13 @@ pub enum FaultMode {
     },
     /// The operation persists nothing and the device is dead afterwards.
     Crash,
+    /// The operation stalls for `millis` before proceeding normally.
+    /// Models a slow peer / congested link; used by the network
+    /// transport to exercise deadline and slow-consumer handling.
+    Stall {
+        /// How long the operation blocks before continuing.
+        millis: u64,
+    },
 }
 
 /// One scheduled fault: fire `mode` the `nth` time `point` is reached
@@ -153,6 +172,16 @@ impl FaultPlan {
         self
     }
 
+    /// Schedule a stall of `millis` at the nth occurrence of `point`.
+    pub fn stall_at(mut self, point: FaultPoint, nth: u64, millis: u64) -> Self {
+        self.triggers.push(Trigger {
+            point,
+            nth,
+            mode: FaultMode::Stall { millis },
+        });
+        self
+    }
+
     /// A pseudo-random plan of `faults` transient failures spread over
     /// the first `horizon` occurrences of each point. Deterministic for
     /// a given seed. Only `Fail` triggers are generated — torn/crash
@@ -161,9 +190,40 @@ impl FaultPlan {
         let mut rng = SplitMix64::new(seed);
         let mut plan = FaultPlan::new();
         for _ in 0..faults {
-            let point = FaultPoint::ALL[(rng.next() % FaultPoint::ALL.len() as u64) as usize];
+            // Storage points only (the first six of ALL): network
+            // points have their own sweep in `seeded_net`, and drawing
+            // from six keeps historical seeds producing the same plans.
+            let point = FaultPoint::ALL[(rng.next() % 6) as usize];
             let nth = 1 + rng.next() % horizon.max(1);
             plan = plan.fail_at(point, nth);
+        }
+        plan
+    }
+
+    /// A pseudo-random *network* plan: `faults` triggers spread over the
+    /// first `horizon` occurrences of the [`FaultPoint::NetRead`] /
+    /// [`FaultPoint::NetWrite`] points, mixing transient failures, torn
+    /// frames (partial I/O then disconnect), short stalls, and clean
+    /// disconnects. Deterministic for a given seed. One injector models
+    /// one connection, so a torn/crash trigger kills that connection
+    /// only — the torture harness hands a fresh injector to each
+    /// reconnect attempt.
+    pub fn seeded_net(seed: u64, faults: usize, horizon: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan::new();
+        for _ in 0..faults {
+            let point = if rng.next().is_multiple_of(2) {
+                FaultPoint::NetRead
+            } else {
+                FaultPoint::NetWrite
+            };
+            let nth = 1 + rng.next() % horizon.max(1);
+            plan = match rng.next() % 4 {
+                0 => plan.fail_at(point, nth),
+                1 => plan.torn_at(point, nth, (rng.next() % 16) as usize),
+                2 => plan.stall_at(point, nth, 1 + rng.next() % 20),
+                _ => plan.crash_at(point, nth),
+            };
         }
         plan
     }
@@ -187,6 +247,11 @@ pub enum WriteOutcome {
         /// Number of payload bytes that survive.
         keep: usize,
     },
+    /// Sleep for `millis`, then perform the operation normally.
+    Stall {
+        /// How long the caller must block before continuing.
+        millis: u64,
+    },
 }
 
 /// Shared, thread-safe fault-injection state. One injector is threaded
@@ -195,7 +260,7 @@ pub enum WriteOutcome {
 #[derive(Debug)]
 pub struct FaultInjector {
     plan: FaultPlan,
-    counts: [AtomicU64; 6],
+    counts: [AtomicU64; 8],
     injected: AtomicU64,
     crashed: AtomicBool,
 }
@@ -235,6 +300,7 @@ impl FaultInjector {
                         self.crashed.store(true, Ordering::Release);
                         WriteOutcome::Fail
                     }
+                    FaultMode::Stall { millis } => WriteOutcome::Stall { millis },
                 };
             }
         }
@@ -332,6 +398,46 @@ mod tests {
         );
         assert!(inj.is_crashed());
         assert_eq!(inj.check(FaultPoint::WalAppend), WriteOutcome::Fail);
+    }
+
+    #[test]
+    fn stall_proceeds_without_crashing() {
+        let inj = FaultInjector::new(FaultPlan::new().stall_at(FaultPoint::NetWrite, 2, 7));
+        assert_eq!(inj.check(FaultPoint::NetWrite), WriteOutcome::Proceed);
+        assert_eq!(
+            inj.check(FaultPoint::NetWrite),
+            WriteOutcome::Stall { millis: 7 }
+        );
+        assert!(!inj.is_crashed(), "a stall is not a crash");
+        assert_eq!(inj.check(FaultPoint::NetWrite), WriteOutcome::Proceed);
+        assert_eq!(inj.injected(), 1);
+    }
+
+    #[test]
+    fn crashed_connection_kills_net_reads_too() {
+        let inj = FaultInjector::new(FaultPlan::new().crash_at(FaultPoint::NetWrite, 1));
+        assert_eq!(inj.check(FaultPoint::NetWrite), WriteOutcome::Fail);
+        assert!(inj.is_crashed());
+        assert_eq!(inj.check(FaultPoint::NetRead), WriteOutcome::Fail);
+        assert_eq!(
+            inj.check(FaultPoint::PageRead),
+            WriteOutcome::Proceed,
+            "storage post-mortem reads survive"
+        );
+    }
+
+    #[test]
+    fn seeded_net_plans_are_deterministic_and_net_only() {
+        let a = FaultPlan::seeded_net(0x5EED, 12, 500);
+        let b = FaultPlan::seeded_net(0x5EED, 12, 500);
+        let c = FaultPlan::seeded_net(0x5EEE, 12, 500);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.triggers().len(), 12);
+        assert!(a
+            .triggers()
+            .iter()
+            .all(|t| matches!(t.point, FaultPoint::NetRead | FaultPoint::NetWrite)));
     }
 
     #[test]

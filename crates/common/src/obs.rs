@@ -317,6 +317,44 @@ pub struct CheckpointMetrics {
     pub truncated_bytes: Counter,
 }
 
+/// Network-server counters (recorded by `reach-server`; ungated — the
+/// admission/shed decisions they witness must be observable in tests
+/// and `exp_serve` without enabling the firing-path spans).
+#[derive(Default)]
+pub struct ServerMetrics {
+    /// Sessions admitted (a connection that got a session slot).
+    pub sessions_opened: Counter,
+    /// Sessions that ended (any reason).
+    pub sessions_closed: Counter,
+    /// Connections rejected at admission with `Overloaded`.
+    pub admissions_rejected: Counter,
+    /// Requests fully processed (ok or error response sent).
+    pub requests: Counter,
+    /// Latency from frame decode to response enqueue.
+    pub request_latency: Histogram,
+    /// Requests answered with an error response.
+    pub request_errors: Counter,
+    /// Requests rejected because their deadline had already expired,
+    /// or whose lock wait was cut short by the deadline.
+    pub deadline_rejections: Counter,
+    /// Sessions disconnected because their write queue stayed full.
+    pub slow_consumer_disconnects: Counter,
+    /// Idle sessions reaped (their open transactions aborted).
+    pub idle_reaped: Counter,
+    /// Orphaned transactions aborted on disconnect/reap/shutdown.
+    pub orphan_aborts: Counter,
+    /// Rule-firing / dead-letter notifications pushed to subscribers.
+    pub notifications_sent: Counter,
+    /// Frames rejected as protocol violations.
+    pub protocol_errors: Counter,
+    /// Payload bytes read off sockets.
+    pub bytes_read: Counter,
+    /// Payload bytes written to sockets.
+    pub bytes_written: Counter,
+    /// Request handlers that panicked (caught; connection dropped).
+    pub panics: Counter,
+}
+
 /// The shared observability registry.
 ///
 /// One per storage manager; every layer above holds a clone of the same
@@ -343,6 +381,8 @@ pub struct MetricsRegistry {
     pub recovery: RecoveryMetrics,
     /// Checkpoint/truncation counters (ungated).
     pub ckpt: CheckpointMetrics,
+    /// Network-server counters (ungated).
+    pub server: ServerMetrics,
 }
 
 impl Default for MetricsRegistry {
@@ -372,6 +412,7 @@ impl MetricsRegistry {
             events: EventMetrics::default(),
             recovery: RecoveryMetrics::default(),
             ckpt: CheckpointMetrics::default(),
+            server: ServerMetrics::default(),
         }
     }
 
@@ -502,6 +543,21 @@ impl MetricsRegistry {
             ckpt_taken: self.ckpt.taken.get(),
             ckpt_truncations: self.ckpt.truncations.get(),
             ckpt_truncated_bytes: self.ckpt.truncated_bytes.get(),
+            server_sessions_opened: self.server.sessions_opened.get(),
+            server_sessions_closed: self.server.sessions_closed.get(),
+            server_admissions_rejected: self.server.admissions_rejected.get(),
+            server_requests: self.server.requests.get(),
+            server_request_latency: self.server.request_latency.snapshot(),
+            server_request_errors: self.server.request_errors.get(),
+            server_deadline_rejections: self.server.deadline_rejections.get(),
+            server_slow_consumer_disconnects: self.server.slow_consumer_disconnects.get(),
+            server_idle_reaped: self.server.idle_reaped.get(),
+            server_orphan_aborts: self.server.orphan_aborts.get(),
+            server_notifications_sent: self.server.notifications_sent.get(),
+            server_protocol_errors: self.server.protocol_errors.get(),
+            server_bytes_read: self.server.bytes_read.get(),
+            server_bytes_written: self.server.bytes_written.get(),
+            server_panics: self.server.panics.get(),
         }
     }
 
@@ -576,6 +632,21 @@ pub struct MetricsSnapshot {
     pub ckpt_taken: u64,
     pub ckpt_truncations: u64,
     pub ckpt_truncated_bytes: u64,
+    pub server_sessions_opened: u64,
+    pub server_sessions_closed: u64,
+    pub server_admissions_rejected: u64,
+    pub server_requests: u64,
+    pub server_request_latency: HistogramSnapshot,
+    pub server_request_errors: u64,
+    pub server_deadline_rejections: u64,
+    pub server_slow_consumer_disconnects: u64,
+    pub server_idle_reaped: u64,
+    pub server_orphan_aborts: u64,
+    pub server_notifications_sent: u64,
+    pub server_protocol_errors: u64,
+    pub server_bytes_read: u64,
+    pub server_bytes_written: u64,
+    pub server_panics: u64,
 }
 
 impl MetricsSnapshot {
@@ -683,6 +754,33 @@ impl MetricsSnapshot {
             "checkpoints: taken {}  truncations {}  truncated bytes {}",
             self.ckpt_taken, self.ckpt_truncations, self.ckpt_truncated_bytes,
         );
+        if self.server_sessions_opened + self.server_admissions_rejected > 0 {
+            let _ = writeln!(out, "-- server --");
+            let _ = writeln!(
+                out,
+                "sessions {} opened / {} closed  shed {}  requests {} (p50 {}, p99 {})  errors {}  deadline-rejects {}",
+                self.server_sessions_opened,
+                self.server_sessions_closed,
+                self.server_admissions_rejected,
+                self.server_requests,
+                fmt_ns(self.server_request_latency.quantile(0.5)),
+                fmt_ns(self.server_request_latency.quantile(0.99)),
+                self.server_request_errors,
+                self.server_deadline_rejections,
+            );
+            let _ = writeln!(
+                out,
+                "slow-consumer disconnects {}  idle-reaped {}  orphan-aborts {}  notifications {}  protocol-errors {}  bytes {} in / {} out  panics {}",
+                self.server_slow_consumer_disconnects,
+                self.server_idle_reaped,
+                self.server_orphan_aborts,
+                self.server_notifications_sent,
+                self.server_protocol_errors,
+                self.server_bytes_read,
+                self.server_bytes_written,
+                self.server_panics,
+            );
+        }
         out
     }
 }

@@ -28,7 +28,9 @@ use crate::event::EventOccurrence;
 use crate::rule::{Rule, RuleCtx};
 use open_oodb::Database;
 use reach_common::sync::{Condvar, Mutex, RwLock};
-use reach_common::{MetricsRegistry, ObjectId, ReachError, Result, RuleId, Stage, TxnId};
+use reach_common::{
+    EventTypeId, MetricsRegistry, ObjectId, ReachError, Result, RuleId, Stage, TxnId,
+};
 use reach_txn::dependency::{CommitRule, Outcome};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
@@ -155,6 +157,23 @@ impl RetryPolicy {
     }
 }
 
+/// A rule action that actually ran (condition held, action returned),
+/// reported to firing listeners registered with
+/// [`Engine::add_firing_listener`]. This is the hook the network server
+/// uses to push rule-firing notifications to subscribed clients.
+#[derive(Debug, Clone)]
+pub struct FiringNotice {
+    /// The rule that fired.
+    pub rule: RuleId,
+    /// Its registered name.
+    pub rule_name: String,
+    /// The event type of the triggering occurrence.
+    pub event_type: EventTypeId,
+}
+
+/// Callback invoked after every executed rule action.
+pub type FiringListener = Box<dyn Fn(&FiringNotice) + Send + Sync>;
+
 /// A detached rule firing the engine could not complete. Firings are
 /// never silently dropped: whatever the engine gives up on lands here,
 /// with the final error and the number of attempts made.
@@ -199,6 +218,7 @@ pub struct Engine {
     dep_timeout: Duration,
     retry: RwLock<RetryPolicy>,
     dead_letters: Mutex<Vec<DeadLetter>>,
+    firing_listeners: RwLock<Vec<FiringListener>>,
 }
 
 impl Engine {
@@ -220,6 +240,7 @@ impl Engine {
             dep_timeout: Duration::from_secs(10),
             retry: RwLock::new(RetryPolicy::default()),
             dead_letters: Mutex::new(Vec::new()),
+            firing_listeners: RwLock::new(Vec::new()),
         })
     }
 
@@ -239,6 +260,30 @@ impl Engine {
     /// Drain the dead-letter record (e.g. after an operator handled it).
     pub fn take_dead_letters(&self) -> Vec<DeadLetter> {
         std::mem::take(&mut *self.dead_letters.lock())
+    }
+
+    /// Register a listener called after every executed rule action
+    /// (any coupling mode), from the executing thread. Listeners must
+    /// be fast and must not call back into the engine.
+    pub fn add_firing_listener(&self, listener: FiringListener) {
+        self.firing_listeners.write().push(listener);
+    }
+
+    /// Tell every registered listener `rule` just ran its action for
+    /// `occ`. The empty-listener fast path is one RwLock read.
+    fn notify_firing(&self, rule: &Rule, occ: &EventOccurrence) {
+        let listeners = self.firing_listeners.read();
+        if listeners.is_empty() {
+            return;
+        }
+        let notice = FiringNotice {
+            rule: rule.id,
+            rule_name: rule.name.clone(),
+            event_type: occ.event_type,
+        };
+        for l in listeners.iter() {
+            l(&notice);
+        }
     }
 
     /// Record a firing the engine is abandoning for good. Transient
@@ -352,6 +397,7 @@ impl Engine {
         match rule.execute(&ctx) {
             Ok(true) => {
                 self.metrics.engine.actions_executed.inc();
+                self.notify_firing(rule, occ);
                 Ok(true)
             }
             Ok(false) => {
@@ -384,6 +430,7 @@ impl Engine {
         match rule.run_action(&ctx) {
             Ok(()) => {
                 self.metrics.engine.actions_executed.inc();
+                self.notify_firing(rule, occ);
                 Ok(())
             }
             Err(e) => {

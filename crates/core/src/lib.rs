@@ -45,7 +45,10 @@ pub mod temporal;
 pub use algebra::{CompositionScope, Correlation, EventExpr, Lifespan};
 pub use consumption::ConsumptionPolicy;
 pub use coupling::{supported, CouplingMode, EventCategory};
-pub use engine::{DeadLetter, ExecutionStrategy, RetryPolicy, StatsSnapshot, TieBreak};
+pub use engine::{
+    DeadLetter, ExecutionStrategy, FiringListener, FiringNotice, RetryPolicy, StatsSnapshot,
+    TieBreak,
+};
 pub use event::{EventData, EventOccurrence, EventSpec, PrimitiveEvent};
 pub use reach::{ReachConfig, ReachSystem};
 pub use rule::{Rule, RuleBuilder, RuleCtx};

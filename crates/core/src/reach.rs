@@ -228,6 +228,19 @@ impl ReachSystem {
         self.engine.dead_letters()
     }
 
+    /// Drain the dead-letter record, leaving it empty. The network
+    /// server uses this to forward gave-up firings to subscribers
+    /// exactly once.
+    pub fn take_dead_letters(&self) -> Vec<DeadLetter> {
+        self.engine.take_dead_letters()
+    }
+
+    /// Register a listener called after every executed rule action —
+    /// the subscription hook for rule-firing notifications.
+    pub fn add_firing_listener(&self, listener: crate::engine::FiringListener) {
+        self.engine.add_firing_listener(listener);
+    }
+
     // ---- event type definitions ----
 
     /// `event after class::method(...)` — a method-invocation event.

@@ -219,3 +219,86 @@ fn permanent_failure_is_dead_lettered_without_retry() {
     assert_eq!(dead[0].attempts, 1);
     assert_eq!(dead[0].error, ReachError::MethodFailed("boom".into()));
 }
+
+/// `take_dead_letters` drains the record exactly once: the caller gets
+/// every record accumulated so far, a second drain is empty, and
+/// `dead_letters` (the inspect API) does not consume. This is the
+/// contract the server's notification pump relies on to forward each
+/// gave-up firing to subscribers exactly once.
+#[test]
+fn take_dead_letters_drains_exactly_once() {
+    let (sys, class) = world();
+    let ev = sys
+        .define_method_event("e", class, "poke", MethodPhase::After)
+        .unwrap();
+    sys.define_rule(
+        RuleBuilder::new("always-broken")
+            .on(ev)
+            .coupling(CouplingMode::Detached)
+            .then(move |_| Err(ReachError::MethodFailed("boom".into()))),
+    )
+    .unwrap();
+
+    let oid = persistent_obj(&sys, class);
+    let db = sys.db();
+    for i in 0..3 {
+        let t = db.begin().unwrap();
+        db.invoke(t, oid, "poke", &[Value::Int(i)]).unwrap();
+        db.commit(t).unwrap();
+    }
+    sys.wait_quiescent();
+
+    // Inspect does not consume.
+    assert_eq!(sys.dead_letters().len(), 3);
+    assert_eq!(sys.dead_letters().len(), 3);
+    // Drain consumes everything, exactly once.
+    let drained = sys.take_dead_letters();
+    assert_eq!(drained.len(), 3);
+    assert!(drained.iter().all(|d| d.rule_name == "always-broken"));
+    assert!(sys.take_dead_letters().is_empty());
+    assert!(sys.dead_letters().is_empty());
+
+    // New give-ups land in the (now empty) record again.
+    let t = db.begin().unwrap();
+    db.invoke(t, oid, "poke", &[Value::Int(9)]).unwrap();
+    db.commit(t).unwrap();
+    sys.wait_quiescent();
+    assert_eq!(sys.take_dead_letters().len(), 1);
+}
+
+/// Firing listeners observe every executed action with the rule id,
+/// name and triggering event type — the server's subscription hook.
+#[test]
+fn firing_listeners_observe_executed_actions() {
+    let (sys, class) = world();
+    let ev = sys
+        .define_method_event("e", class, "poke", MethodPhase::After)
+        .unwrap();
+    let rule = sys
+        .define_rule(
+            RuleBuilder::new("observed")
+                .on(ev)
+                .coupling(CouplingMode::Immediate)
+                .then(move |_| Ok(())),
+        )
+        .unwrap();
+    let seen = Arc::new(reach_common::sync::Mutex::new(Vec::new()));
+    {
+        let seen = Arc::clone(&seen);
+        sys.add_firing_listener(Box::new(move |n| {
+            seen.lock()
+                .push((n.rule, n.rule_name.clone(), n.event_type));
+        }));
+    }
+
+    let oid = persistent_obj(&sys, class);
+    let db = sys.db();
+    let t = db.begin().unwrap();
+    db.invoke(t, oid, "poke", &[Value::Int(1)]).unwrap();
+    db.commit(t).unwrap();
+    sys.wait_quiescent();
+
+    let seen = seen.lock();
+    assert_eq!(seen.len(), 1, "one action, one notice");
+    assert_eq!(seen[0], (rule, "observed".to_string(), ev));
+}

@@ -1,0 +1,479 @@
+//! `reach-client`: a reconnecting client for the REACH wire protocol.
+//!
+//! The client owns one connection at a time and transparently
+//! reconnects with bounded exponential backoff when a *transient*
+//! error surfaces ([`ReachError::is_transient`]). Retry is safe for
+//! every operation except one case: once a **Commit** request frame
+//! has been written, a transport failure leaves the outcome ambiguous
+//! (the server may or may not have committed), so the error is
+//! surfaced to the caller instead of retried — re-read your data to
+//! find out. Every other operation either never started or names a
+//! transaction the server aborted when the old connection died, so a
+//! retry is answered truthfully (typically `TxnNotFound`).
+//!
+//! Subscriptions are per-connection state: after a reconnect the
+//! caller must issue [`Client::subscribe`] again.
+
+use crate::transport::{TcpTransport, Transport};
+use crate::wire::{
+    error_from_wire, Notification, Request, Response, WireDeadLetter, PROTOCOL_VERSION,
+};
+use reach_common::{ObjectId, ReachError, Result, RuleId, TxnId};
+use reach_object::Value;
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+/// Client tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// Per-request deadline sent to the server, in milliseconds
+    /// (0 = no deadline).
+    pub deadline_ms: u32,
+    /// How long to wait for a response before treating the connection
+    /// as wedged (dropped and, where safe, retried).
+    pub response_timeout: Duration,
+    /// Read-timeout tick of the underlying transport.
+    pub read_tick: Duration,
+    /// Total connection+request attempts before giving up.
+    pub max_attempts: u32,
+    /// First reconnect backoff; doubles per attempt.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            deadline_ms: 2_000,
+            response_timeout: Duration::from_secs(10),
+            read_tick: Duration::from_millis(25),
+            max_attempts: 5,
+            backoff_base: Duration::from_millis(10),
+            backoff_max: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Produces a fresh transport per (re)connection attempt — the seam
+/// where tests splice in [`FaultTransport`](crate::FaultTransport).
+pub type TransportFactory = Box<dyn FnMut() -> Result<Box<dyn Transport>> + Send>;
+
+struct Conn {
+    transport: Box<dyn Transport>,
+    session: u64,
+    next_request: u64,
+}
+
+/// A reconnecting REACH client.
+pub struct Client {
+    factory: TransportFactory,
+    cfg: ClientConfig,
+    conn: Option<Conn>,
+    /// Server pushes received while waiting for a response.
+    notifications: VecDeque<Notification>,
+}
+
+impl Client {
+    /// Connect to a server at `addr` over plain TCP.
+    pub fn connect(addr: &str, cfg: ClientConfig) -> Result<Client> {
+        let addr = addr.to_string();
+        let tick = cfg.read_tick;
+        Self::with_factory(
+            Box::new(move || {
+                Ok(Box::new(TcpTransport::connect(&addr, Some(tick))?) as Box<dyn Transport>)
+            }),
+            cfg,
+        )
+    }
+
+    /// Connect using a custom transport factory (fault injection).
+    /// Transient dial/handshake failures are retried with the same
+    /// bounded backoff as requests.
+    pub fn with_factory(factory: TransportFactory, cfg: ClientConfig) -> Result<Client> {
+        let mut c = Client {
+            factory,
+            cfg,
+            conn: None,
+            notifications: VecDeque::new(),
+        };
+        let mut attempt = 0u32;
+        loop {
+            match c.ensure_connected() {
+                Ok(()) => return Ok(c),
+                Err(e) => {
+                    c.conn = None;
+                    attempt += 1;
+                    if !e.is_transient() || attempt >= c.cfg.max_attempts {
+                        return Err(e);
+                    }
+                    std::thread::sleep(c.backoff(attempt - 1));
+                }
+            }
+        }
+    }
+
+    /// The server-assigned id of the current session, if connected.
+    pub fn session(&self) -> Option<u64> {
+        self.conn.as_ref().map(|c| c.session)
+    }
+
+    /// Override the per-request deadline (milliseconds, 0 = none).
+    pub fn set_deadline_ms(&mut self, deadline_ms: u32) {
+        self.cfg.deadline_ms = deadline_ms;
+    }
+
+    fn backoff(&self, attempt: u32) -> Duration {
+        let exp = self
+            .cfg
+            .backoff_base
+            .saturating_mul(1u32 << attempt.min(16));
+        exp.min(self.cfg.backoff_max)
+    }
+
+    /// Dial and run the Hello handshake. Request ids restart at 1 per
+    /// connection, so the server's admission rejection (addressed to
+    /// id 1) always matches the pending Hello.
+    fn ensure_connected(&mut self) -> Result<()> {
+        if self.conn.is_some() {
+            return Ok(());
+        }
+        let mut transport = (self.factory)()?;
+        transport.write_frame(
+            &Request::Hello {
+                version: PROTOCOL_VERSION,
+            }
+            .encode(1, 0),
+        )?;
+        let deadline = Instant::now() + self.cfg.response_timeout;
+        loop {
+            if Instant::now() >= deadline {
+                return Err(ReachError::IoTransient(
+                    "timed out waiting for handshake".into(),
+                ));
+            }
+            let payload = match transport.read_frame() {
+                Ok(p) => p,
+                Err(ReachError::IoTransient(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            let (request_id, resp) = Response::decode(&payload)?;
+            match resp {
+                Response::HelloOk { session, .. } if request_id == 1 => {
+                    self.conn = Some(Conn {
+                        transport,
+                        session,
+                        next_request: 2,
+                    });
+                    return Ok(());
+                }
+                Response::Err { code, message } => {
+                    return Err(error_from_wire(code, message));
+                }
+                Response::Notification(n) => self.notifications.push_back(n),
+                other => {
+                    return Err(ReachError::Protocol(format!(
+                        "unexpected handshake response {other:?}"
+                    )));
+                }
+            }
+        }
+    }
+
+    /// Send `req` and wait for its response on the current connection.
+    /// Any `Err` here means the connection is no longer trustworthy.
+    fn roundtrip_once(&mut self, req: &Request) -> Result<Response> {
+        self.ensure_connected()?;
+        let deadline_ms = self.cfg.deadline_ms;
+        let response_timeout = self.cfg.response_timeout;
+        let conn = self.conn.as_mut().expect("just connected");
+        let id = conn.next_request;
+        conn.next_request += 1;
+        conn.transport.write_frame(&req.encode(id, deadline_ms))?;
+        let deadline = Instant::now() + response_timeout;
+        loop {
+            if Instant::now() >= deadline {
+                return Err(ReachError::IoTransient(
+                    "timed out waiting for response".into(),
+                ));
+            }
+            let payload = match conn.transport.read_frame() {
+                Ok(p) => p,
+                Err(ReachError::IoTransient(_)) => continue,
+                Err(e) => return Err(e),
+            };
+            let (request_id, resp) = Response::decode(&payload)?;
+            if request_id == 0 {
+                if let Response::Notification(n) = resp {
+                    self.notifications.push_back(n);
+                    continue;
+                }
+                return Err(ReachError::Protocol(
+                    "non-notification frame with request id 0".into(),
+                ));
+            }
+            if request_id != id {
+                // A stale response from a previous incarnation of this
+                // id space cannot exist (ids are per-connection), so
+                // this is a protocol violation.
+                return Err(ReachError::Protocol(format!(
+                    "response for request {request_id}, expected {id}"
+                )));
+            }
+            if let Response::Err { code, message } = resp {
+                return Err(error_from_wire(code, message));
+            }
+            return Ok(resp);
+        }
+    }
+
+    /// Run `req` with reconnect/retry on transient failures.
+    ///
+    /// `retry_after_send` must be `false` for Commit: a transport error
+    /// after the frame went out leaves the outcome ambiguous, and
+    /// retrying could double-apply or mask a real commit.
+    fn call(&mut self, req: &Request, retry_after_send: bool) -> Result<Response> {
+        let mut attempt = 0u32;
+        loop {
+            let had_conn = self.conn.is_some();
+            match self.roundtrip_once(req) {
+                Ok(resp) => return Ok(resp),
+                Err(e) => {
+                    let transport_error = matches!(
+                        e,
+                        ReachError::ConnectionClosed(_) | ReachError::IoTransient(_)
+                    );
+                    if transport_error {
+                        // This connection is done; the server aborts
+                        // the session's transactions on disconnect.
+                        self.conn = None;
+                    }
+                    // A commit whose frame may have reached the server
+                    // must not be retried: surface the ambiguity.
+                    if transport_error && had_conn && !retry_after_send {
+                        return Err(e);
+                    }
+                    attempt += 1;
+                    if !e.is_transient() || attempt >= self.cfg.max_attempts {
+                        return Err(e);
+                    }
+                    std::thread::sleep(self.backoff(attempt - 1));
+                }
+            }
+        }
+    }
+
+    fn expect_ok(resp: Response) -> Result<()> {
+        match resp {
+            Response::Ok => Ok(()),
+            other => Err(ReachError::Protocol(format!("expected Ok, got {other:?}"))),
+        }
+    }
+
+    /// Begin a transaction owned by this session.
+    pub fn begin(&mut self) -> Result<TxnId> {
+        match self.call(&Request::Begin, true)? {
+            Response::Txn(t) => Ok(t),
+            other => Err(ReachError::Protocol(format!("expected Txn, got {other:?}"))),
+        }
+    }
+
+    /// Commit `txn`. **Not retried** once the request was sent: a
+    /// transport error here means the outcome is unknown — reconnect
+    /// and re-read to find out.
+    pub fn commit(&mut self, txn: TxnId) -> Result<()> {
+        Self::expect_ok(self.call(&Request::Commit { txn }, false)?)
+    }
+
+    /// Abort `txn`.
+    pub fn abort(&mut self, txn: TxnId) -> Result<()> {
+        Self::expect_ok(self.call(&Request::Abort { txn }, true)?)
+    }
+
+    /// Create an object of `class` with attribute `overrides`.
+    pub fn create(
+        &mut self,
+        txn: TxnId,
+        class: &str,
+        overrides: &[(&str, Value)],
+    ) -> Result<ObjectId> {
+        let req = Request::Create {
+            txn,
+            class: class.into(),
+            overrides: overrides
+                .iter()
+                .map(|(n, v)| ((*n).to_string(), v.clone()))
+                .collect(),
+        };
+        match self.call(&req, true)? {
+            Response::Oid(o) => Ok(o),
+            other => Err(ReachError::Protocol(format!("expected Oid, got {other:?}"))),
+        }
+    }
+
+    /// Read an attribute.
+    pub fn get(&mut self, txn: TxnId, oid: ObjectId, attr: &str) -> Result<Value> {
+        let req = Request::Get {
+            txn,
+            oid,
+            attr: attr.into(),
+        };
+        match self.call(&req, true)? {
+            Response::Value(v) => Ok(v),
+            other => Err(ReachError::Protocol(format!(
+                "expected Value, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Write an attribute.
+    pub fn set(&mut self, txn: TxnId, oid: ObjectId, attr: &str, value: Value) -> Result<()> {
+        let req = Request::Set {
+            txn,
+            oid,
+            attr: attr.into(),
+            value,
+        };
+        Self::expect_ok(self.call(&req, true)?)
+    }
+
+    /// Invoke a method (sentries run server-side).
+    pub fn invoke(
+        &mut self,
+        txn: TxnId,
+        oid: ObjectId,
+        method: &str,
+        args: &[Value],
+    ) -> Result<Value> {
+        let req = Request::Invoke {
+            txn,
+            oid,
+            method: method.into(),
+            args: args.to_vec(),
+        };
+        match self.call(&req, true)? {
+            Response::Value(v) => Ok(v),
+            other => Err(ReachError::Protocol(format!(
+                "expected Value, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Make an object persistent.
+    pub fn persist(&mut self, txn: TxnId, oid: ObjectId) -> Result<()> {
+        Self::expect_ok(self.call(&Request::Persist { txn, oid }, true)?)
+    }
+
+    /// Make an object persistent under a dictionary name.
+    pub fn persist_named(&mut self, txn: TxnId, name: &str, oid: ObjectId) -> Result<()> {
+        let req = Request::PersistNamed {
+            txn,
+            name: name.into(),
+            oid,
+        };
+        Self::expect_ok(self.call(&req, true)?)
+    }
+
+    /// Resolve a dictionary name.
+    pub fn fetch_root(&mut self, name: &str) -> Result<ObjectId> {
+        let req = Request::FetchRoot { name: name.into() };
+        match self.call(&req, true)? {
+            Response::Oid(o) => Ok(o),
+            other => Err(ReachError::Protocol(format!("expected Oid, got {other:?}"))),
+        }
+    }
+
+    /// Parse and install a rule from rule-language source.
+    pub fn define_rule(&mut self, source: &str) -> Result<RuleId> {
+        let req = Request::DefineRule {
+            source: source.into(),
+        };
+        match self.call(&req, true)? {
+            Response::Rule(rid) => Ok(rid),
+            other => Err(ReachError::Protocol(format!(
+                "expected Rule, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Define an application signal event type.
+    pub fn define_signal(&mut self, name: &str) -> Result<()> {
+        let req = Request::DefineSignal { name: name.into() };
+        Self::expect_ok(self.call(&req, true)?)
+    }
+
+    /// Raise a signal, optionally inside one of this session's txns.
+    pub fn raise_signal(&mut self, txn: Option<TxnId>, name: &str, args: Vec<Value>) -> Result<()> {
+        let req = Request::RaiseSignal {
+            txn,
+            name: name.into(),
+            args,
+        };
+        Self::expect_ok(self.call(&req, true)?)
+    }
+
+    /// Choose server pushes for this connection (reset by reconnects).
+    pub fn subscribe(&mut self, firings: bool, dead_letters: bool) -> Result<()> {
+        let req = Request::Subscribe {
+            firings,
+            dead_letters,
+        };
+        Self::expect_ok(self.call(&req, true)?)
+    }
+
+    /// Drain the server's dead-letter record.
+    pub fn drain_dead_letters(&mut self) -> Result<Vec<WireDeadLetter>> {
+        match self.call(&Request::DrainDeadLetters, true)? {
+            Response::DeadLetters(list) => Ok(list),
+            other => Err(ReachError::Protocol(format!(
+                "expected DeadLetters, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call(&Request::Ping, true)? {
+            Response::Pong => Ok(()),
+            other => Err(ReachError::Protocol(format!(
+                "expected Pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Wait up to `timeout` for the next server push. Pushes received
+    /// while waiting for responses are buffered and returned first.
+    pub fn recv_notification(&mut self, timeout: Duration) -> Result<Option<Notification>> {
+        if let Some(n) = self.notifications.pop_front() {
+            return Ok(Some(n));
+        }
+        self.ensure_connected()?;
+        let deadline = Instant::now() + timeout;
+        let conn = self.conn.as_mut().expect("just connected");
+        loop {
+            if Instant::now() >= deadline {
+                return Ok(None);
+            }
+            let payload = match conn.transport.read_frame() {
+                Ok(p) => p,
+                Err(ReachError::IoTransient(_)) => continue,
+                Err(e) => {
+                    self.conn = None;
+                    return Err(e);
+                }
+            };
+            let (request_id, resp) = Response::decode(&payload)?;
+            match (request_id, resp) {
+                (0, Response::Notification(n)) => return Ok(Some(n)),
+                _ => {
+                    // A response with no request outstanding: the
+                    // connection state is inconsistent, drop it.
+                    self.conn = None;
+                    return Err(ReachError::Protocol(
+                        "unsolicited non-notification frame".into(),
+                    ));
+                }
+            }
+        }
+    }
+}

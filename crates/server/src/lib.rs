@@ -1,0 +1,37 @@
+//! # reach-server — the REACH network layer
+//!
+//! Exposes a [`ReachSystem`](reach_core::ReachSystem) over TCP with a
+//! length-prefixed binary protocol ([`wire`]), a hardened threaded
+//! server ([`server`]) and a reconnecting client ([`client`]).
+//!
+//! Robustness is the point, not an afterthought:
+//!
+//! * **Admission control** — a bounded session table; excess
+//!   connections get an explicit [`ReachError::Overloaded`] frame,
+//!   never a silent queue.
+//! * **Deadlines** — every request carries a millisecond budget that
+//!   propagates into lock waits server-side.
+//! * **Bounded write queues** — a slow consumer is disconnected before
+//!   it can wedge server memory.
+//! * **Idle reaping & orphan aborts** — a vanished client's
+//!   transactions are aborted, upholding the visibility invariant: *a
+//!   client that saw a commit ack can always re-read its writes; a
+//!   client that saw an error or disconnect observes either all of its
+//!   transaction or none of it.*
+//! * **Fault-injected transport** — [`FaultTransport`] drives partial
+//!   reads/writes, torn frames, stalls and disconnects from the same
+//!   deterministic seeds the storage torture tests use.
+//!
+//! [`ReachError::Overloaded`]: reach_common::ReachError::Overloaded
+
+pub mod client;
+pub mod server;
+pub mod transport;
+pub mod wire;
+
+pub use client::{Client, ClientConfig, TransportFactory};
+pub use server::{serve, ServerConfig, ServerHandle};
+pub use transport::{FaultTransport, TcpTransport, Transport};
+pub use wire::{
+    Notification, Request, Response, WireDeadLetter, MAX_FRAME, MAX_VALUE_DEPTH, PROTOCOL_VERSION,
+};

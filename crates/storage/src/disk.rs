@@ -211,6 +211,10 @@ impl StableStorage for FaultDisk {
     fn read(&self, id: PageId) -> Result<Page> {
         match self.injector.check(FaultPoint::PageRead) {
             WriteOutcome::Proceed => self.inner.read(id),
+            WriteOutcome::Stall { millis } => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+                self.inner.read(id)
+            }
             _ => Err(Self::injected(FaultPoint::PageRead)),
         }
     }
@@ -233,12 +237,20 @@ impl StableStorage for FaultDisk {
                 self.inner.write(&Page::from_bytes(&img)?)?;
                 Err(Self::injected(FaultPoint::PageWrite))
             }
+            WriteOutcome::Stall { millis } => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+                self.inner.write(page)
+            }
         }
     }
 
     fn sync(&self) -> Result<()> {
         match self.injector.check(FaultPoint::Sync) {
             WriteOutcome::Proceed => self.inner.sync(),
+            WriteOutcome::Stall { millis } => {
+                std::thread::sleep(std::time::Duration::from_millis(millis));
+                self.inner.sync()
+            }
             _ => Err(Self::injected(FaultPoint::Sync)),
         }
     }

@@ -604,6 +604,9 @@ impl WriteAheadLog {
                         frame.len()
                     )));
                 }
+                WriteOutcome::Stall { millis } => {
+                    std::thread::sleep(std::time::Duration::from_millis(millis));
+                }
             }
         }
         let (lsn, end) = {
@@ -714,8 +717,12 @@ impl WriteAheadLog {
     /// appends.
     fn sync_sink(&self, window_ns: u64) -> Result<Lsn> {
         if let Some(inj) = self.injector() {
-            if inj.check(FaultPoint::WalForce) != WriteOutcome::Proceed {
-                return Err(ReachError::Io("injected fault at wal_force".into()));
+            match inj.check(FaultPoint::WalForce) {
+                WriteOutcome::Proceed => {}
+                WriteOutcome::Stall { millis } => {
+                    std::thread::sleep(std::time::Duration::from_millis(millis));
+                }
+                _ => return Err(ReachError::Io("injected fault at wal_force".into())),
             }
         }
         let m = self.metrics().filter(|m| m.on());
@@ -848,8 +855,12 @@ impl WriteAheadLog {
     /// both of which recover correctly. Returns the bytes dropped.
     pub fn truncate_prefix(&self, cut: Lsn) -> Result<u64> {
         if let Some(inj) = self.injector() {
-            if inj.check(FaultPoint::WalTruncate) != WriteOutcome::Proceed {
-                return Err(ReachError::Io("injected fault at wal_truncate".into()));
+            match inj.check(FaultPoint::WalTruncate) {
+                WriteOutcome::Proceed => {}
+                WriteOutcome::Stall { millis } => {
+                    std::thread::sleep(std::time::Duration::from_millis(millis));
+                }
+                _ => return Err(ReachError::Io("injected fault at wal_truncate".into())),
             }
         }
         // Forced only grows, so reading it before taking the sink lock

@@ -40,6 +40,10 @@ struct Inner {
     waits: WaitsFor,
     /// Reverse index: locks held per transaction (for release_all).
     held: HashMap<TxnId, HashSet<ObjectId>>,
+    /// Per-transaction absolute lock-wait deadlines. A blocked request
+    /// gives up at min(default patience, this deadline) — the hook the
+    /// server uses to propagate per-request deadlines into lock waits.
+    deadlines: HashMap<TxnId, std::time::Instant>,
 }
 
 /// The lock manager.
@@ -68,6 +72,7 @@ impl LockManager {
                 locks: HashMap::new(),
                 waits: WaitsFor::new(),
                 held: HashMap::new(),
+                deadlines: HashMap::new(),
             }),
             changed: Condvar::new(),
             timeout,
@@ -135,7 +140,13 @@ impl LockManager {
                 finish_wait(wait_started);
                 return Err(ReachError::Deadlock(txn));
             }
-            let dl = *deadline.get_or_insert_with(|| std::time::Instant::now() + self.timeout);
+            let mut dl = *deadline.get_or_insert_with(|| std::time::Instant::now() + self.timeout);
+            // A per-txn deadline can only shorten the wait, never extend
+            // it. Read under the inner lock each pass so a deadline set
+            // after the wait began still applies.
+            if let Some(txn_dl) = inner.deadlines.get(&txn) {
+                dl = dl.min(*txn_dl);
+            }
             let timed_out = self.changed.wait_until(&mut inner, dl).timed_out();
             if timed_out {
                 inner.waits.clear(txn);
@@ -187,9 +198,30 @@ impl LockManager {
             .collect()
     }
 
+    /// Bound (or unbound, with `None`) every lock wait `txn` makes from
+    /// now on: a blocked request gives up with `LockTimeout` at
+    /// min(default patience, `deadline`). Waiters already blocked pick
+    /// the new deadline up on their next wakeup; `notify_all` forces
+    /// one so a shortened deadline takes effect promptly. Cleared
+    /// automatically by [`LockManager::release_all`].
+    pub fn set_deadline(&self, txn: TxnId, deadline: Option<std::time::Instant>) {
+        let mut inner = self.inner.lock();
+        match deadline {
+            Some(d) => {
+                inner.deadlines.insert(txn, d);
+            }
+            None => {
+                inner.deadlines.remove(&txn);
+            }
+        }
+        drop(inner);
+        self.changed.notify_all();
+    }
+
     /// Release every lock held by `txn` (end of transaction).
     pub fn release_all(&self, txn: TxnId) {
         let mut inner = self.inner.lock();
+        inner.deadlines.remove(&txn);
         if let Some(oids) = inner.held.remove(&txn) {
             for oid in oids {
                 if let Some(state) = inner.locks.get_mut(&oid) {
@@ -394,6 +426,62 @@ mod tests {
         assert!(
             waited < Duration::from_secs(2),
             "patience re-armed under churn: waited {waited:?} for a 150ms timeout"
+        );
+    }
+
+    /// A per-txn deadline must cut a lock wait short of the manager's
+    /// default patience — the propagation path for per-request
+    /// deadlines from the network server.
+    #[test]
+    fn txn_deadline_shortens_lock_wait() {
+        let lm = LockManager::with_timeout(Duration::from_secs(30));
+        lm.acquire(t(1), o(1), LockMode::Exclusive, &[]).unwrap();
+        lm.set_deadline(
+            t(2),
+            Some(std::time::Instant::now() + Duration::from_millis(80)),
+        );
+        let t0 = std::time::Instant::now();
+        let err = lm.acquire(t(2), o(1), LockMode::Shared, &[]).unwrap_err();
+        assert_eq!(err, ReachError::LockTimeout(t(2)));
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "deadline did not bound the wait: {:?}",
+            t0.elapsed()
+        );
+    }
+
+    /// Shortening an already-blocked waiter's deadline takes effect:
+    /// `set_deadline` notifies, and the waiter re-reads the map.
+    #[test]
+    fn deadline_set_mid_wait_applies() {
+        let lm = Arc::new(LockManager::with_timeout(Duration::from_secs(30)));
+        lm.acquire(t(1), o(1), LockMode::Exclusive, &[]).unwrap();
+        let lm2 = Arc::clone(&lm);
+        let h = std::thread::spawn(move || lm2.acquire(t(2), o(1), LockMode::Exclusive, &[]));
+        std::thread::sleep(Duration::from_millis(50));
+        lm.set_deadline(
+            t(2),
+            Some(std::time::Instant::now() + Duration::from_millis(50)),
+        );
+        let res = h.join().unwrap();
+        assert_eq!(res.unwrap_err(), ReachError::LockTimeout(t(2)));
+    }
+
+    /// release_all clears the deadline: a reincarnated txn id waits
+    /// with the default patience again.
+    #[test]
+    fn release_all_clears_deadline() {
+        let lm = LockManager::with_timeout(Duration::from_millis(200));
+        lm.set_deadline(t(2), Some(std::time::Instant::now()));
+        lm.release_all(t(2));
+        lm.acquire(t(1), o(1), LockMode::Exclusive, &[]).unwrap();
+        let t0 = std::time::Instant::now();
+        let err = lm.acquire(t(2), o(1), LockMode::Shared, &[]).unwrap_err();
+        assert_eq!(err, ReachError::LockTimeout(t(2)));
+        assert!(
+            t0.elapsed() >= Duration::from_millis(150),
+            "stale deadline survived release_all: gave up after {:?}",
+            t0.elapsed()
         );
     }
 

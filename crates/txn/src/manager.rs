@@ -302,6 +302,14 @@ impl TransactionManager {
         self.locks.acquire(txn, oid, mode, &ancestors)
     }
 
+    /// Bound every lock wait `txn` makes from now on by an absolute
+    /// deadline (`None` removes the bound). Used by the network server
+    /// to propagate per-request deadlines into lock waits; cleared
+    /// automatically when the transaction releases its locks.
+    pub fn set_deadline(&self, txn: TxnId, deadline: Option<std::time::Instant>) {
+        self.locks.set_deadline(txn, deadline);
+    }
+
     // ---- commit / abort ----
 
     /// Commit a transaction. For subtransactions this transfers locks and

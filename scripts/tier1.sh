@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 gate: release build, full test suite, and a crash-point
-# torture smoke run (every WAL frame of a 200-op workload).
+# Tier-1 gate: release build, full test suite, and the smoke runs of
+# the crash-point torture, group-commit, and server-overload harnesses.
+# Every experiment invocation runs under a hard timeout so a wedged
+# harness fails the gate instead of hanging it.
 #
 #   --stress   additionally run the E18 concurrency stress smoke
 #              (schedule-perturbed serializability sweep + algebra
@@ -16,6 +18,10 @@ for arg in "$@"; do
   esac
 done
 
+# Hard wall-clock bound per experiment run (seconds). The smokes all
+# finish in well under a minute; ten is a hang, not a slow machine.
+EXP_TIMEOUT=600
+
 echo "== tier-1: release build =="
 cargo build --release
 
@@ -23,14 +29,17 @@ echo "== tier-1: tests =="
 cargo test -q
 
 echo "== tier-1: crash-point torture smoke (200 ops, every WAL frame) =="
-cargo run --release -p reach-bench --bin exp_torture -- 12648430 200
+timeout "$EXP_TIMEOUT" cargo run --release -p reach-bench --bin exp_torture -- 12648430 200
 
 echo "== tier-1: group-commit smoke (batching + visibility invariants) =="
-cargo run --release -p reach-bench --bin exp_commit -- --smoke
+timeout "$EXP_TIMEOUT" cargo run --release -p reach-bench --bin exp_commit -- --smoke
+
+echo "== tier-1: server overload smoke (explicit shedding + bounded p99) =="
+timeout "$EXP_TIMEOUT" cargo run --release -p reach-bench --bin exp_serve -- --smoke
 
 if [[ "$STRESS" == 1 ]]; then
   echo "== tier-1: concurrency stress smoke (perturbed schedules + differential fuzz) =="
-  cargo run --release -p reach-bench --features sched --bin exp_stress -- --smoke
+  timeout "$EXP_TIMEOUT" cargo run --release -p reach-bench --features sched --bin exp_stress -- --smoke
 fi
 
 echo "== tier-1: OK =="
