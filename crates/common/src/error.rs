@@ -92,6 +92,10 @@ pub enum ReachError {
     /// A per-request deadline expired before the operation completed.
     /// The transaction may have been aborted by the server.
     DeadlineExceeded,
+    /// A write (or other mutating operation) was attempted inside a
+    /// read-only snapshot transaction. Begin a regular transaction for
+    /// writes; snapshot transactions only read.
+    ReadOnlyTxn(TxnId),
 
     // ---- active layer ----
     /// Unknown rule.
@@ -180,6 +184,7 @@ impl fmt::Display for ReachError {
             DependencyViolation(m) => write!(f, "commit dependency violation: {m}"),
             TxnAborted(t) => write!(f, "transaction aborted: {t}"),
             DeadlineExceeded => write!(f, "request deadline exceeded"),
+            ReadOnlyTxn(t) => write!(f, "{t} is read-only: writes need a regular transaction"),
             RuleNotFound(r) => write!(f, "rule not found: {r}"),
             UnsupportedCoupling { event, mode } => {
                 write!(
@@ -269,6 +274,7 @@ impl ReachError {
             DependencyViolation(_) => 36,
             TxnAborted(_) => 37,
             DeadlineExceeded => 38,
+            ReadOnlyTxn(_) => 39,
             // active layer: 40–49
             RuleNotFound(_) => 40,
             UnsupportedCoupling { .. } => 41,
@@ -333,6 +339,7 @@ impl ReachError {
             36 => DependencyViolation(m),
             37 => TxnAborted(TxnId::new(0)),
             38 => DeadlineExceeded,
+            39 => ReadOnlyTxn(TxnId::new(0)),
             40 => RuleNotFound(RuleId::new(0)),
             41 => UnsupportedCoupling {
                 event: m,
@@ -449,6 +456,7 @@ mod tests {
             DependencyViolation("must abort".into()),
             TxnAborted(TxnId::new(1)),
             DeadlineExceeded,
+            ReadOnlyTxn(TxnId::new(1)),
             RuleNotFound(RuleId::new(1)),
             UnsupportedCoupling {
                 event: "composite".into(),

@@ -211,6 +211,18 @@ pub struct TxnMetrics {
     pub lock_wait_latency: Histogram,
     /// Deadlocks detected (victim aborted with `ReachError::Deadlock`).
     pub deadlocks: Counter,
+    /// Lock-manager grants (every acquire/try_acquire that succeeded).
+    /// The MVCC zero-lock claim is asserted against this counter:
+    /// snapshot readers must leave it untouched.
+    pub lock_acquisitions: Counter,
+    /// Read-only snapshot transactions begun.
+    pub snapshot_begins: Counter,
+    /// Snapshot reads served (each with zero lock-manager traffic).
+    pub snapshot_reads: Counter,
+    /// Object versions published by committing writers.
+    pub versions_published: Counter,
+    /// Object versions reclaimed by snapshot-watermark GC.
+    pub versions_reclaimed: Counter,
 }
 
 /// Per-sentry-mechanism detection counters (recorded by `reach-oodb`).
@@ -499,6 +511,11 @@ impl MetricsRegistry {
             lock_waits: self.txn.lock_waits.get(),
             lock_wait_latency: self.txn.lock_wait_latency.snapshot(),
             deadlocks: self.txn.deadlocks.get(),
+            lock_acquisitions: self.txn.lock_acquisitions.get(),
+            snapshot_begins: self.txn.snapshot_begins.get(),
+            snapshot_reads: self.txn.snapshot_reads.get(),
+            versions_published: self.txn.versions_published.get(),
+            versions_reclaimed: self.txn.versions_reclaimed.get(),
             sentry_useful: [
                 self.sentry.inline_detections.get(),
                 self.sentry.trap_detections.get(),
@@ -605,6 +622,11 @@ pub struct MetricsSnapshot {
     pub lock_waits: u64,
     pub lock_wait_latency: HistogramSnapshot,
     pub deadlocks: u64,
+    pub lock_acquisitions: u64,
+    pub snapshot_begins: u64,
+    pub snapshot_reads: u64,
+    pub versions_published: u64,
+    pub versions_reclaimed: u64,
     /// Useful detections per mechanism: inline, trap, surrogate, announce.
     pub sentry_useful: [u64; 4],
     /// Useless interceptions per mechanism (announce is always 0).
@@ -723,6 +745,15 @@ impl MetricsSnapshot {
             self.lock_waits,
             fmt_ns(self.lock_wait_latency.mean_ns()),
             self.deadlocks,
+        );
+        let _ = writeln!(
+            out,
+            "snapshots: ro-begins {}  reads {}  lock-grants {}  versions published {} / reclaimed {}",
+            self.snapshot_begins,
+            self.snapshot_reads,
+            self.lock_acquisitions,
+            self.versions_published,
+            self.versions_reclaimed,
         );
         let _ = writeln!(out, "-- storage --");
         let _ = writeln!(

@@ -164,6 +164,15 @@ impl ReachSystem {
         &self.db
     }
 
+    /// Begin a read-only snapshot transaction: condition-evaluation
+    /// style workloads (many reads, no writes) run against the
+    /// committed state at their begin stamp without acquiring locks, so
+    /// they never wait behind rule-triggering writers. See
+    /// [`Database::begin_read_only`].
+    pub fn begin_read_only(&self) -> Result<reach_common::TxnId> {
+        self.db.begin_read_only()
+    }
+
     pub fn router(&self) -> &Arc<Router> {
         &self.router
     }

@@ -17,6 +17,7 @@ use crate::pm::change::ChangePm;
 use crate::pm::indexing::IndexingPm;
 use crate::pm::persistence::PersistencePm;
 use crate::pm::query::{Plan, QueryPm};
+use crate::pm::snapshot::SnapshotPm;
 use crate::pm::transaction::TransactionPm;
 use reach_common::{ClassId, MetricsRegistry, ObjectId, ReachError, Result, TxnId, VirtualClock};
 use reach_object::{ClassBuilder, Dispatcher, MethodRegistry, ObjectSpace, Schema, Value};
@@ -59,6 +60,7 @@ pub struct Database {
     indexing: Arc<IndexingPm>,
     query: Arc<QueryPm>,
     txn_pm: Arc<TransactionPm>,
+    snapshot: Arc<SnapshotPm>,
 }
 
 impl Database {
@@ -119,6 +121,10 @@ impl Database {
         // objects at commit *before* the change PM drops its log.
         tm.add_resource_manager(Arc::clone(&persistence) as Arc<dyn ResourceManager>);
         tm.add_resource_manager(Arc::clone(&change) as Arc<dyn ResourceManager>);
+        // MVCC bridge: committed write sets become version-chain entries
+        // at commit (publish-then-advance); snapshot reads resolve here.
+        let snapshot = SnapshotPm::new(Arc::clone(&change), Arc::clone(&space));
+        tm.add_version_publisher(Arc::clone(&snapshot) as Arc<dyn reach_txn::VersionPublisher>);
         let query = Arc::new(QueryPm::new(
             Arc::clone(&space),
             Arc::clone(&dispatcher),
@@ -131,6 +137,7 @@ impl Database {
         meta.plug(Arc::clone(&indexing) as Arc<dyn PolicyManager>);
         meta.plug(Arc::clone(&query) as Arc<dyn PolicyManager>);
         meta.plug(Arc::clone(&txn_pm) as Arc<dyn PolicyManager>);
+        meta.plug(Arc::clone(&snapshot) as Arc<dyn PolicyManager>);
         meta.add_support(Arc::clone(&dictionary) as Arc<dyn crate::meta::SupportModule>);
         meta.add_support(Arc::new(crate::asm::ActiveMemorySpace::new(Arc::clone(
             &space,
@@ -154,6 +161,7 @@ impl Database {
             indexing,
             query,
             txn_pm,
+            snapshot,
         }))
     }
 
@@ -205,6 +213,9 @@ impl Database {
     pub fn transaction_pm(&self) -> &Arc<TransactionPm> {
         &self.txn_pm
     }
+    pub fn snapshot_pm(&self) -> &Arc<SnapshotPm> {
+        &self.snapshot
+    }
 
     /// Start defining a class.
     pub fn define_class(&self, name: &str) -> ClassBuilder<'_> {
@@ -215,6 +226,14 @@ impl Database {
 
     pub fn begin(&self) -> Result<TxnId> {
         self.tm.begin()
+    }
+
+    /// Begin a read-only snapshot transaction: reads resolve against
+    /// the newest committed versions at the transaction's begin stamp
+    /// and acquire **no locks** — they never block behind writers. Any
+    /// mutation through it fails with [`ReachError::ReadOnlyTxn`].
+    pub fn begin_read_only(&self) -> Result<TxnId> {
+        self.tm.begin_read_only()
     }
 
     pub fn begin_nested(&self, parent: TxnId) -> Result<TxnId> {
@@ -237,11 +256,22 @@ impl Database {
         }
     }
 
+    /// Mutations guard: active, and not a read-only snapshot (creation
+    /// and persistence bypass the lock manager, so [`TransactionManager::lock`]'s
+    /// own read-only check never sees them).
+    fn check_writable(&self, txn: TxnId) -> Result<()> {
+        self.check_active(txn)?;
+        if self.tm.is_read_only(txn) {
+            return Err(ReachError::ReadOnlyTxn(txn));
+        }
+        Ok(())
+    }
+
     // ---- objects ----
 
     /// Create an object with class defaults.
     pub fn create(&self, txn: TxnId, class: ClassId) -> Result<ObjectId> {
-        self.check_active(txn)?;
+        self.check_writable(txn)?;
         self.space.create(txn, class)
     }
 
@@ -252,7 +282,7 @@ impl Database {
         class: ClassId,
         overrides: &[(&str, Value)],
     ) -> Result<ObjectId> {
-        self.check_active(txn)?;
+        self.check_writable(txn)?;
         self.space.create_with(txn, class, overrides)
     }
 
@@ -271,9 +301,22 @@ impl Database {
         self.dispatcher.invoke(&self.space, txn, oid, method, args)
     }
 
-    /// Read an attribute under a shared lock.
+    /// Read an attribute. Writer transactions take a shared lock and
+    /// read the live object; read-only snapshot transactions resolve
+    /// the committed version at their begin stamp, lock-free.
     pub fn get_attr(&self, txn: TxnId, oid: ObjectId, attr: &str) -> Result<Value> {
         self.check_active(txn)?;
+        if self.tm.is_read_only(txn) {
+            // `snapshot_stamp` also enforces an expired per-request
+            // deadline: a lock-free read has no wait to interrupt.
+            let stamp = self.tm.snapshot_stamp(txn)?;
+            let state = self
+                .snapshot
+                .read(oid, stamp)?
+                .ok_or(ReachError::ObjectNotFound(oid))?;
+            let slot = self.schema.attr_slot(state.class, attr)?;
+            return Ok(state.attrs[slot].clone());
+        }
         self.tm.lock(txn, oid, LockMode::Shared)?;
         self.space.get_attr(oid, attr)
     }
@@ -289,7 +332,7 @@ impl Database {
 
     /// Make an object persistent (written back at commit).
     pub fn persist(&self, txn: TxnId, oid: ObjectId) -> Result<()> {
-        self.check_active(txn)?;
+        self.check_writable(txn)?;
         self.persistence.persist(txn, oid)
     }
 
@@ -571,6 +614,89 @@ mod tests {
         db.commit(txn).unwrap();
         assert!(db.invoke(txn, oid, "inc", &[]).is_err());
         assert!(db.create(txn, class).is_err());
+    }
+
+    #[test]
+    fn snapshot_read_ignores_later_and_uncommitted_writes() {
+        let (db, class) = counter_db();
+        let t0 = db.begin().unwrap();
+        let oid = db.create(t0, class).unwrap();
+        db.set_attr(t0, oid, "n", Value::Int(1)).unwrap();
+        db.commit(t0).unwrap();
+        let reader = db.begin_read_only().unwrap();
+        // A writer mutates in place (uncommitted) — invisible.
+        let w1 = db.begin().unwrap();
+        db.set_attr(w1, oid, "n", Value::Int(50)).unwrap();
+        assert_eq!(db.get_attr(reader, oid, "n").unwrap(), Value::Int(1));
+        db.commit(w1).unwrap();
+        // Committed after the reader's stamp — still invisible.
+        assert_eq!(db.get_attr(reader, oid, "n").unwrap(), Value::Int(1));
+        db.commit(reader).unwrap();
+        // A fresh snapshot sees the new committed state.
+        let reader2 = db.begin_read_only().unwrap();
+        assert_eq!(db.get_attr(reader2, oid, "n").unwrap(), Value::Int(50));
+        db.commit(reader2).unwrap();
+    }
+
+    #[test]
+    fn snapshot_read_never_blocks_behind_exclusive_lock() {
+        let (db, class) = counter_db();
+        db.metrics().enable();
+        let t0 = db.begin().unwrap();
+        let oid = db.create(t0, class).unwrap();
+        db.commit(t0).unwrap();
+        // Writer parks on the exclusive lock for the whole read.
+        let writer = db.begin().unwrap();
+        db.set_attr(writer, oid, "n", Value::Int(7)).unwrap();
+        let grants = db.metrics().txn.lock_acquisitions.get();
+        let reader = db.begin_read_only().unwrap();
+        assert_eq!(db.get_attr(reader, oid, "n").unwrap(), Value::Int(0));
+        db.commit(reader).unwrap();
+        assert_eq!(
+            db.metrics().txn.lock_acquisitions.get(),
+            grants,
+            "snapshot read touched the lock manager"
+        );
+        db.abort(writer).unwrap();
+    }
+
+    #[test]
+    fn snapshot_sees_deletes_and_creates_at_its_stamp() {
+        let (db, class) = counter_db();
+        let t0 = db.begin().unwrap();
+        let doomed = db.create(t0, class).unwrap();
+        db.commit(t0).unwrap();
+        let reader = db.begin_read_only().unwrap();
+        let w = db.begin().unwrap();
+        db.delete_object(w, doomed).unwrap();
+        let newborn = db.create(w, class).unwrap();
+        db.commit(w).unwrap();
+        // The snapshot predates both the delete and the create.
+        assert_eq!(db.get_attr(reader, doomed, "n").unwrap(), Value::Int(0));
+        assert!(db.get_attr(reader, newborn, "n").is_err());
+        db.commit(reader).unwrap();
+        let reader2 = db.begin_read_only().unwrap();
+        assert!(db.get_attr(reader2, doomed, "n").is_err());
+        assert_eq!(db.get_attr(reader2, newborn, "n").unwrap(), Value::Int(0));
+        db.commit(reader2).unwrap();
+    }
+
+    #[test]
+    fn read_only_transactions_reject_mutations() {
+        let (db, class) = counter_db();
+        let t0 = db.begin().unwrap();
+        let oid = db.create(t0, class).unwrap();
+        db.commit(t0).unwrap();
+        let r = db.begin_read_only().unwrap();
+        let is_ro_err = |e: ReachError| matches!(e, ReachError::ReadOnlyTxn(_));
+        assert!(is_ro_err(db.create(r, class).unwrap_err()));
+        assert!(is_ro_err(
+            db.set_attr(r, oid, "n", Value::Int(1)).unwrap_err()
+        ));
+        assert!(is_ro_err(db.invoke(r, oid, "inc", &[]).unwrap_err()));
+        assert!(is_ro_err(db.delete_object(r, oid).unwrap_err()));
+        assert!(is_ro_err(db.persist(r, oid).unwrap_err()));
+        db.commit(r).unwrap();
     }
 
     #[test]

@@ -41,5 +41,6 @@ pub use pm::change::ChangePm;
 pub use pm::indexing::IndexingPm;
 pub use pm::persistence::PersistencePm;
 pub use pm::query::{Expr, Query, QueryPm};
+pub use pm::snapshot::SnapshotPm;
 pub use pm::transaction::TransactionPm;
 pub use reach_storage::CheckpointStats;

@@ -19,6 +19,7 @@ use reach_object::{LifecycleSentry, ObjectSpace, ObjectState, StateChange, State
 use reach_txn::manager::ResourceManager;
 use reach_txn::TransactionManager;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Weak};
 
 #[derive(Debug, Clone)]
@@ -42,6 +43,11 @@ pub struct ChangePm {
     tm: Weak<TransactionManager>,
     space: Arc<ObjectSpace>,
     log: Mutex<HashMap<TxnId, Vec<Change>>>,
+    /// Commit-time parking lot for the MVCC bridge: when capture is on,
+    /// `commit_top` moves the transaction's log here instead of dropping
+    /// it, and the version publisher drains it after publication.
+    pending_publish: Mutex<HashMap<TxnId, Vec<Change>>>,
+    capture: AtomicBool,
 }
 
 impl ChangePm {
@@ -50,10 +56,19 @@ impl ChangePm {
             tm,
             space: Arc::clone(&space),
             log: Mutex::new(HashMap::new()),
+            pending_publish: Mutex::new(HashMap::new()),
+            capture: AtomicBool::new(false),
         });
         space.add_state_sentry(Arc::clone(&pm) as Arc<dyn StateSentry>);
         space.add_lifecycle_sentry(Arc::clone(&pm) as Arc<dyn LifecycleSentry>);
         pm
+    }
+
+    /// Retain committed write sets for the MVCC version publisher (which
+    /// must call [`ChangePm::finish_publish`] to drain them). Off by
+    /// default so a ChangePm used without a publisher never accumulates.
+    pub fn enable_publish_capture(&self) {
+        self.capture.store(true, Ordering::SeqCst);
     }
 
     /// Resolve the owning *top-level* transaction of an event, if the
@@ -134,6 +149,83 @@ impl ChangePm {
     pub fn pending(&self, top: TxnId) -> usize {
         self.log.lock().get(&top).map_or(0, |v| v.len())
     }
+
+    // ---- MVCC publication support ----
+
+    /// The committed write set parked by `commit_top` for `top`: each
+    /// written object with whether its final state is *deleted*. Objects
+    /// appear once, in first-touch order.
+    pub fn publish_set(&self, top: TxnId) -> Vec<(ObjectId, bool)> {
+        let pending = self.pending_publish.lock();
+        let mut order = Vec::new();
+        let mut alive: HashMap<ObjectId, bool> = HashMap::new();
+        if let Some(changes) = pending.get(&top) {
+            for c in changes {
+                let (oid, is_delete) = match c {
+                    Change::Attr { oid, .. } | Change::Create { oid } => (*oid, false),
+                    Change::Delete { oid, .. } => (*oid, true),
+                };
+                if !alive.contains_key(&oid) {
+                    order.push(oid);
+                }
+                alive.insert(oid, !is_delete);
+            }
+        }
+        order.into_iter().map(|oid| (oid, !alive[&oid])).collect()
+    }
+
+    /// Drop the parked write set of `top` (publication done).
+    pub fn finish_publish(&self, top: TxnId) {
+        self.pending_publish.lock().remove(&top);
+    }
+
+    /// The newest *committed* state of `oid`, reconstructed by undoing
+    /// any in-flight (or committing-but-unpublished) transaction's
+    /// changes on top of the in-place object state. `Ok(None)` means
+    /// the object does not exist in committed state.
+    ///
+    /// Strict 2PL makes this well-defined: at most one transaction holds
+    /// the exclusive lock, so at most one log (active or parked) has
+    /// entries for `oid`. The space is read *before* the logs — if a
+    /// writer mutates between the two reads, its freshly recorded undo
+    /// entry re-derives the same pre-image (applying `old` to a state
+    /// that still holds `old` is a no-op), so the interleaving is
+    /// harmless.
+    pub fn committed_base(&self, oid: ObjectId) -> Result<Option<ObjectState>> {
+        let mut state = match self.space.snapshot(oid) {
+            Ok(s) => Some(s),
+            Err(reach_common::ReachError::ObjectNotFound(_)) => None,
+            Err(e) => return Err(e),
+        };
+        let undo: Vec<Change> = {
+            let log = self.log.lock();
+            let pending = self.pending_publish.lock();
+            log.values()
+                .chain(pending.values())
+                .flat_map(|changes| changes.iter())
+                .filter(|c| match c {
+                    Change::Attr { oid: o, .. }
+                    | Change::Create { oid: o }
+                    | Change::Delete { oid: o, .. } => *o == oid,
+                })
+                .cloned()
+                .collect()
+        };
+        let schema = self.space.schema();
+        for change in undo.into_iter().rev() {
+            match change {
+                Change::Attr { attribute, old, .. } => {
+                    if let Some(s) = state.as_mut() {
+                        let slot = schema.attr_slot(s.class, &attribute)?;
+                        s.attrs[slot] = old;
+                    }
+                }
+                Change::Create { .. } => state = None,
+                Change::Delete { state: saved, .. } => state = Some(saved),
+            }
+        }
+        Ok(state)
+    }
 }
 
 impl StateSentry for ChangePm {
@@ -192,7 +284,18 @@ impl ResourceManager for ChangePm {
     }
 
     fn commit_top(&self, txn: TxnId) -> Result<()> {
-        self.log.lock().remove(&txn);
+        // The write set is final here (locks still held). With MVCC
+        // capture on, park it for the version publisher — which runs
+        // after every resource manager, still under those locks — rather
+        // than dropping it.
+        let entry = self.log.lock().remove(&txn);
+        if self.capture.load(Ordering::SeqCst) {
+            if let Some(changes) = entry {
+                if !changes.is_empty() {
+                    self.pending_publish.lock().insert(txn, changes);
+                }
+            }
+        }
         Ok(())
     }
 

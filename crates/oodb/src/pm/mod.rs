@@ -5,4 +5,5 @@ pub mod change;
 pub mod indexing;
 pub mod persistence;
 pub mod query;
+pub mod snapshot;
 pub mod transaction;

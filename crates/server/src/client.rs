@@ -278,6 +278,17 @@ impl Client {
         }
     }
 
+    /// Begin a read-only snapshot transaction owned by this session:
+    /// `get` resolves against the committed state at its begin stamp
+    /// without acquiring any locks, so it never waits behind writers.
+    /// Mutations through it fail with `ReadOnlyTxn`.
+    pub fn begin_read_only(&mut self) -> Result<TxnId> {
+        match self.call(&Request::BeginReadOnly, true)? {
+            Response::Txn(t) => Ok(t),
+            other => Err(ReachError::Protocol(format!("expected Txn, got {other:?}"))),
+        }
+    }
+
     /// Commit `txn`. **Not retried** once the request was sent: a
     /// transport error here means the outcome is unknown — reconnect
     /// and re-read to find out.

@@ -626,6 +626,11 @@ fn execute(
             session.txns.lock().insert(t);
             Ok(Response::Txn(t))
         }
+        Request::BeginReadOnly => {
+            let t = db.begin_read_only()?;
+            session.txns.lock().insert(t);
+            Ok(Response::Txn(t))
+        }
         Request::Commit { txn } => {
             owned(session, txn)?;
             session.txns.lock().remove(&txn);

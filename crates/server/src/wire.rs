@@ -34,6 +34,10 @@ pub enum Request {
     },
     /// Begin a top-level transaction owned by this session.
     Begin,
+    /// Begin a read-only snapshot transaction owned by this session:
+    /// reads resolve at its begin stamp without acquiring locks;
+    /// mutations through it fail with `ReadOnlyTxn`.
+    BeginReadOnly,
     /// Commit a transaction this session owns.
     Commit {
         /// The transaction to commit.
@@ -530,6 +534,7 @@ impl Request {
             }
             Request::DrainDeadLetters => out.push(16),
             Request::Ping => out.push(17),
+            Request::BeginReadOnly => out.push(18),
         }
         out
     }
@@ -603,6 +608,7 @@ impl Request {
             }
             16 => Request::DrainDeadLetters,
             17 => Request::Ping,
+            18 => Request::BeginReadOnly,
             op => return Err(ReachError::Protocol(format!("unknown opcode {op}"))),
         };
         r.finish()?;

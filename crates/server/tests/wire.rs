@@ -119,6 +119,7 @@ fn request_strategy() -> BoxedStrategy<Request> {
         }),
         Just(Request::DrainDeadLetters),
         Just(Request::Ping),
+        Just(Request::BeginReadOnly),
     ]
     .boxed()
 }

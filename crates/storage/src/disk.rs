@@ -37,6 +37,7 @@ pub struct MemDisk {
 }
 
 impl MemDisk {
+    /// An empty in-memory device; page ids start at 1.
     pub fn new() -> Self {
         MemDisk {
             pages: Mutex::new(Vec::new()),
@@ -178,6 +179,7 @@ pub struct FaultDisk {
 }
 
 impl FaultDisk {
+    /// Wrap `inner` so every page read/write consults `injector` first.
     pub fn new(inner: Arc<dyn StableStorage>, injector: Arc<FaultInjector>) -> Self {
         FaultDisk { inner, injector }
     }

@@ -14,11 +14,14 @@ use std::sync::Arc;
 /// Durable address of a record: page + slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RecordId {
+    /// Page the record lives on.
     pub page: PageId,
+    /// Slot within the page's directory.
     pub slot: u16,
 }
 
 impl RecordId {
+    /// Address the record at `(page, slot)`.
     pub fn new(page: PageId, slot: u16) -> Self {
         RecordId { page, slot }
     }

@@ -22,6 +22,8 @@
 //! * **the storage manager facade** ([`sm`]) — named segments, object
 //!   allocation, and the transactional hooks the Transaction PM drives.
 
+#![warn(missing_docs)]
+
 pub mod buffer;
 pub mod checkpoint;
 pub mod disk;

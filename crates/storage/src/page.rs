@@ -63,6 +63,7 @@ impl Page {
 
     // ---- header accessors ----
 
+    /// The page's stable identifier, read from the header.
     pub fn id(&self) -> PageId {
         PageId::new(u64::from_le_bytes(self.data[0..8].try_into().unwrap()))
     }
@@ -77,6 +78,7 @@ impl Page {
         u64::from_le_bytes(self.data[8..16].try_into().unwrap())
     }
 
+    /// Stamp the page with the LSN of the record that just changed it.
     pub fn set_lsn(&mut self, lsn: u64) {
         self.data[8..16].copy_from_slice(&lsn.to_le_bytes());
     }

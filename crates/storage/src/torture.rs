@@ -31,9 +31,11 @@ use std::sync::Arc;
 /// Tuning knobs for the deterministic workload.
 #[derive(Debug, Clone, Copy)]
 pub struct WorkloadSpec {
+    /// PRNG seed; one seed determines the whole operation stream.
     pub seed: u64,
     /// Minimum number of record operations (insert/update/delete).
     pub ops: usize,
+    /// Buffer-pool frames for the machine under test.
     pub pool_frames: usize,
     /// Sprinkle explicit checkpoints through the workload (the crash
     /// sweeps keep this on so checkpoint and truncation frames are
@@ -207,7 +209,9 @@ pub fn visible_state(sm: &StorageManager) -> Result<State> {
 /// Outcome of one crash-point run, for reporting.
 #[derive(Debug, Clone)]
 pub struct CrashPointResult {
+    /// The WAL frame index the machine was crashed at.
     pub crash_at_frame: usize,
+    /// What recovery did on reboot.
     pub report: RecoveryReport,
     /// Torn-tail bytes discarded, read back from the rebooted storage
     /// manager's metrics registry (the single source `exp_torture` and

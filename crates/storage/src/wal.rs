@@ -54,41 +54,67 @@ pub const FIRST_LSN: Lsn = 8;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WalRecord {
     /// Transaction start.
-    Begin { txn: TxnId },
+    Begin {
+        /// The starting transaction.
+        txn: TxnId,
+    },
     /// Transaction successfully committed (log forced first).
-    Commit { txn: TxnId },
+    Commit {
+        /// The committing transaction.
+        txn: TxnId,
+    },
     /// Transaction rolled back (all undo already applied).
-    Abort { txn: TxnId },
+    Abort {
+        /// The aborting transaction.
+        txn: TxnId,
+    },
     /// A record was inserted at (page, slot).
     Insert {
+        /// The inserting transaction.
         txn: TxnId,
+        /// Page the record landed on.
         page: PageId,
+        /// Slot within the page.
         slot: u16,
+        /// The inserted bytes (the redo image; undo deletes the slot).
         payload: Vec<u8>,
     },
     /// A record was updated in place.
     Update {
+        /// The updating transaction.
         txn: TxnId,
+        /// Page holding the record.
         page: PageId,
+        /// Slot within the page.
         slot: u16,
+        /// Pre-update bytes (the undo image).
         before: Vec<u8>,
+        /// Post-update bytes (the redo image).
         after: Vec<u8>,
     },
     /// A record was deleted; `before` is kept for undo.
     Delete {
+        /// The deleting transaction.
         txn: TxnId,
+        /// Page the record lived on.
         page: PageId,
+        /// Slot within the page.
         slot: u16,
+        /// The deleted bytes (the undo image).
         before: Vec<u8>,
     },
     /// Compensation record: the redo image of an undo step. `undo_next`
     /// points at the next record of the same txn still to be undone.
     Clr {
+        /// The transaction being rolled back.
         txn: TxnId,
+        /// Page the undo step touched.
         page: PageId,
+        /// Slot within the page.
         slot: u16,
         /// `Some(image)` restores the image; `None` deletes the slot.
         restore: Option<Vec<u8>>,
+        /// LSN of the next record of the same txn still to be undone.
         undo_next: Lsn,
     },
     /// Start of a fuzzy checkpoint. Appended before the checkpointer

@@ -16,6 +16,7 @@ pub struct WaitsFor {
 }
 
 impl WaitsFor {
+    /// An empty graph.
     pub fn new() -> Self {
         Self::default()
     }
@@ -82,6 +83,7 @@ impl WaitsFor {
         self.edges.len()
     }
 
+    /// Whether no transaction is waiting.
     pub fn is_empty(&self) -> bool {
         self.edges.is_empty()
     }

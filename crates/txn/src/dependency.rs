@@ -24,7 +24,9 @@ use std::time::Duration;
 /// Final fate of a transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
+    /// The transaction committed.
     Committed,
+    /// The transaction aborted.
     Aborted,
 }
 
@@ -79,6 +81,7 @@ pub enum Permission {
 }
 
 impl DependencyGraph {
+    /// An empty dependency graph.
     pub fn new() -> Self {
         DependencyGraph {
             inner: Mutex::new(Inner::default()),

@@ -25,16 +25,20 @@ pub enum TxnEventKind {
 /// One flow-control event occurrence.
 #[derive(Debug, Clone)]
 pub struct TxnEvent {
+    /// What happened.
     pub kind: TxnEventKind,
+    /// The transaction it happened to.
     pub txn: TxnId,
     /// `None` for top-level transactions.
     pub parent: Option<TxnId>,
     /// The enclosing top-level transaction (== `txn` when top-level).
     pub top_level: TxnId,
+    /// When it happened (virtual clock).
     pub at: TimePoint,
 }
 
 /// Subscriber to flow-control events.
 pub trait TxnListener: Send + Sync {
+    /// Called synchronously for every lifecycle event.
     fn on_txn_event(&self, event: &TxnEvent);
 }

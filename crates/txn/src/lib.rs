@@ -20,17 +20,29 @@
 //!   ([`events`]), and resource (lock) transfer between transactions
 //!   ([`locks`]) for the exclusive mode;
 //! * **strict two-phase locking** with deadlock detection ([`locks`],
-//!   [`deadlock`]).
+//!   [`deadlock`]) for writers, and **multi-version snapshot reads**
+//!   for read-only transactions ([`mvcc`]) — readers capture a commit
+//!   stamp at begin and never touch the lock manager at all;
+//! * **correctness oracles** that check both protocols from the
+//!   outside: conflict-graph serializability for the 2PL path and
+//!   snapshot consistency for the MVCC path ([`serial`]).
+
+#![warn(missing_docs)]
 
 pub mod deadlock;
 pub mod dependency;
 pub mod events;
 pub mod locks;
 pub mod manager;
+pub mod mvcc;
 pub mod serial;
 
 pub use dependency::{CommitRule, DependencyGraph, Outcome};
 pub use events::{TxnEvent, TxnEventKind, TxnListener};
 pub use locks::{LockManager, LockMode};
 pub use manager::{ResourceManager, TransactionManager, TxnState};
-pub use serial::{Access, AccessKind, History, Recorder, TxnRun};
+pub use mvcc::{CommitTs, SnapshotRegistry, Version, VersionPublisher, VersionStore};
+pub use serial::{
+    Access, AccessKind, History, MvccStats, MvccWorkloadCfg, Recorder, SiTxn, SnapshotHistory,
+    SnapshotRead, SnapshotRun, TxnRun, WriterCommit,
+};

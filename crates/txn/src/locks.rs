@@ -19,7 +19,9 @@ use std::time::Duration;
 /// Lock modes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum LockMode {
+    /// Shared (read) — compatible with other shared holds.
     Shared,
+    /// Exclusive (write) — compatible with nothing.
     Exclusive,
 }
 
@@ -55,6 +57,7 @@ pub struct LockManager {
 }
 
 impl LockManager {
+    /// A manager with the default 5 s lock-wait patience.
     pub fn new() -> Self {
         Self::with_timeout(Duration::from_secs(5))
     }
@@ -116,6 +119,9 @@ impl LockManager {
                 }
                 inner.held.entry(txn).or_default().insert(oid);
                 inner.waits.clear(txn);
+                if self.metrics.on() {
+                    self.metrics.txn.lock_acquisitions.inc();
+                }
                 finish_wait(wait_started);
                 return Ok(());
             }
@@ -172,6 +178,9 @@ impl LockManager {
                 *entry = LockMode::Exclusive;
             }
             inner.held.entry(txn).or_default().insert(oid);
+            if self.metrics.on() {
+                self.metrics.txn.lock_acquisitions.inc();
+            }
             Ok(true)
         } else {
             Ok(false)
@@ -216,6 +225,16 @@ impl LockManager {
         }
         drop(inner);
         self.changed.notify_all();
+    }
+
+    /// The absolute deadline currently bound to `txn`, if any. Lock
+    /// waits consult the deadline map from inside the condvar loop;
+    /// lock-*free* snapshot reads have no such loop, so the snapshot
+    /// read path checks this accessor at entry instead — an expired
+    /// per-request deadline must fail a read that never blocks exactly
+    /// as it fails one that does.
+    pub fn deadline_of(&self, txn: TxnId) -> Option<std::time::Instant> {
+        self.inner.lock().deadlines.get(&txn).copied()
     }
 
     /// Release every lock held by `txn` (end of transaction).

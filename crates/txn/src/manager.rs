@@ -18,18 +18,24 @@
 use crate::dependency::{DependencyGraph, Outcome, Permission};
 use crate::events::{TxnEvent, TxnEventKind, TxnListener};
 use crate::locks::{LockManager, LockMode};
+use crate::mvcc::{CommitTs, SnapshotRegistry, VersionPublisher};
 use reach_common::sync::{Mutex, RwLock};
 use reach_common::{IdGen, MetricsRegistry, ObjectId, ReachError, Result, TxnId, VirtualClock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Lifecycle state of a transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TxnState {
+    /// Running; operations are accepted.
     Active,
+    /// Commit in progress (pre-commit hooks, durability).
     Committing,
+    /// Durably committed.
     Committed,
+    /// Rolled back.
     Aborted,
 }
 
@@ -66,6 +72,11 @@ struct TxnRecord {
     on_abort: Vec<Action>,
     /// Work run after successful top-level commit (FIFO).
     on_commit: Vec<Action>,
+    /// `Some(stamp)` for read-only snapshot transactions: every read
+    /// resolves against the committed-version store at this stamp, no
+    /// locks are ever acquired, and commit/abort only release the
+    /// snapshot registration (resource managers never hear about it).
+    snapshot: Option<CommitTs>,
 }
 
 /// The transaction manager.
@@ -80,9 +91,21 @@ pub struct TransactionManager {
     /// Patience for causal-dependency waits at commit.
     dep_timeout: Duration,
     metrics: Arc<MetricsRegistry>,
+    /// The commit-timestamp authority: the last commit whose versions
+    /// are *fully published*. Snapshot stamps are plain loads of this.
+    commit_ts: AtomicU64,
+    /// Serializes version publication with the commit-clock advance
+    /// (publish-then-advance), and snapshot stamping with both.
+    publish_gate: Mutex<()>,
+    /// Live snapshot stamps; the oldest pins version GC.
+    snapshots: SnapshotRegistry,
+    /// Version stores fed at writer commit, reclaimed at watermark
+    /// advance.
+    publishers: RwLock<Vec<Arc<dyn VersionPublisher>>>,
 }
 
 impl TransactionManager {
+    /// A manager with a private (unrecorded) metrics registry.
     pub fn new(clock: Arc<VirtualClock>) -> Self {
         Self::with_metrics(clock, MetricsRegistry::new_shared())
     }
@@ -103,6 +126,10 @@ impl TransactionManager {
             ids: IdGen::new(),
             dep_timeout: Duration::from_secs(10),
             metrics,
+            commit_ts: AtomicU64::new(0),
+            publish_gate: Mutex::new(()),
+            snapshots: SnapshotRegistry::new(),
+            publishers: RwLock::new(Vec::new()),
         }
     }
 
@@ -111,14 +138,17 @@ impl TransactionManager {
         &self.metrics
     }
 
+    /// The virtual clock events are stamped with.
     pub fn clock(&self) -> &Arc<VirtualClock> {
         &self.clock
     }
 
+    /// The lock manager writers acquire through.
     pub fn locks(&self) -> &Arc<LockManager> {
         &self.locks
     }
 
+    /// The commit/abort dependency graph (coupling modes).
     pub fn dependencies(&self) -> &Arc<DependencyGraph> {
         &self.deps
     }
@@ -131,6 +161,24 @@ impl TransactionManager {
     /// Register a resource manager (storage, object-space change log).
     pub fn add_resource_manager(&self, rm: Arc<dyn ResourceManager>) {
         self.resources.write().push(rm);
+    }
+
+    /// Register a version store to feed at writer commit (publication
+    /// happens after durability, before lock release) and reclaim when
+    /// the snapshot watermark advances.
+    pub fn add_version_publisher(&self, p: Arc<dyn VersionPublisher>) {
+        self.publishers.write().push(p);
+    }
+
+    /// The current snapshot stamp source: the newest commit timestamp
+    /// whose versions are fully published.
+    pub fn commit_stamp(&self) -> CommitTs {
+        self.commit_ts.load(Ordering::SeqCst)
+    }
+
+    /// Read-only snapshot transactions currently live.
+    pub fn live_snapshots(&self) -> u64 {
+        self.snapshots.live_readers()
     }
 
     fn emit(&self, kind: TxnEventKind, txn: TxnId, parent: Option<TxnId>, top: TxnId) {
@@ -170,6 +218,7 @@ impl TransactionManager {
                 pre_commit: Vec::new(),
                 on_abort: Vec::new(),
                 on_commit: Vec::new(),
+                snapshot: None,
             },
         );
         if self.metrics.on() {
@@ -177,6 +226,88 @@ impl TransactionManager {
         }
         self.emit(TxnEventKind::Begin, id, None, id);
         Ok(id)
+    }
+
+    /// Begin a read-only snapshot transaction.
+    ///
+    /// The transaction captures the current commit stamp and every read
+    /// resolves against the committed-version store at that stamp — it
+    /// acquires **no locks**, never blocks behind writers, and is never
+    /// announced to resource managers (it has nothing to make durable;
+    /// its commit is the E16 read-only fast path taken to its logical
+    /// end). Attempting to lock or write through it fails with
+    /// [`ReachError::ReadOnlyTxn`].
+    ///
+    /// The stamp is taken under the publish gate, so it can neither
+    /// split a commit's publication in half nor race the garbage
+    /// collector: by the time the stamp is visible in the snapshot
+    /// registry, every version at or below it is in the store and
+    /// pinned.
+    pub fn begin_read_only(&self) -> Result<TxnId> {
+        let id: TxnId = self.ids.next();
+        let stamp = {
+            let _gate = self.publish_gate.lock();
+            let stamp = self.commit_ts.load(Ordering::SeqCst);
+            self.snapshots.register(stamp);
+            stamp
+        };
+        self.txns.lock().insert(
+            id,
+            TxnRecord {
+                parent: None,
+                top: id,
+                state: TxnState::Active,
+                children: Vec::new(),
+                active_children: 0,
+                savepoints: Vec::new(),
+                pre_commit: Vec::new(),
+                on_abort: Vec::new(),
+                on_commit: Vec::new(),
+                snapshot: Some(stamp),
+            },
+        );
+        if self.metrics.on() {
+            self.metrics.txn.begins.inc();
+            self.metrics.txn.snapshot_begins.inc();
+        }
+        self.emit(TxnEventKind::Begin, id, None, id);
+        Ok(id)
+    }
+
+    /// Whether `txn` is a read-only snapshot transaction.
+    pub fn is_read_only(&self, txn: TxnId) -> bool {
+        self.txns
+            .lock()
+            .get(&txn)
+            .is_some_and(|r| r.snapshot.is_some())
+    }
+
+    /// The snapshot stamp of read-only transaction `txn`, checked for
+    /// use by one more read: the transaction must still be active, and
+    /// an expired per-request deadline fails the read *here* — a
+    /// lock-free read has no condvar wait for the deadline to interrupt
+    /// (see [`TransactionManager::set_deadline`]), so the entry check
+    /// is the only place it can be honoured.
+    pub fn snapshot_stamp(&self, txn: TxnId) -> Result<CommitTs> {
+        let stamp = {
+            let txns = self.txns.lock();
+            let rec = txns.get(&txn).ok_or(ReachError::TxnNotFound(txn))?;
+            if rec.state != TxnState::Active {
+                return Err(ReachError::TxnNotActive(txn));
+            }
+            rec.snapshot.ok_or_else(|| {
+                ReachError::NotSupported(format!("{txn} is not a read-only snapshot transaction"))
+            })?
+        };
+        if let Some(dl) = self.locks.deadline_of(txn) {
+            if std::time::Instant::now() >= dl {
+                return Err(ReachError::DeadlineExceeded);
+            }
+        }
+        if self.metrics.on() {
+            self.metrics.txn.snapshot_reads.inc();
+        }
+        Ok(stamp)
     }
 
     /// Begin a closed nested subtransaction of `parent`.
@@ -188,6 +319,9 @@ impl TransactionManager {
                 .ok_or(ReachError::TxnNotFound(parent))?;
             if rec.state != TxnState::Active && rec.state != TxnState::Committing {
                 return Err(ReachError::TxnNotActive(parent));
+            }
+            if rec.snapshot.is_some() {
+                return Err(ReachError::ReadOnlyTxn(parent));
             }
             rec.active_children += 1;
             rec.top
@@ -216,6 +350,7 @@ impl TransactionManager {
                     pre_commit: Vec::new(),
                     on_abort: Vec::new(),
                     on_commit: Vec::new(),
+                    snapshot: None,
                 },
             );
         }
@@ -296,8 +431,14 @@ impl TransactionManager {
 
     // ---- locking ----
 
-    /// Acquire a lock honouring nested-transaction ancestry.
+    /// Acquire a lock honouring nested-transaction ancestry. Read-only
+    /// snapshot transactions are refused: their whole point is zero
+    /// lock-manager traffic, and silently taking a lock here would let
+    /// one block behind a writer after all.
     pub fn lock(&self, txn: TxnId, oid: ObjectId, mode: LockMode) -> Result<()> {
+        if self.is_read_only(txn) {
+            return Err(ReachError::ReadOnlyTxn(txn));
+        }
         let ancestors = self.ancestors(txn);
         self.locks.acquire(txn, oid, mode, &ancestors)
     }
@@ -317,7 +458,7 @@ impl TransactionManager {
     /// deferred queue, honours causal dependencies, makes effects durable
     /// and fires `Committed`.
     pub fn commit(&self, txn: TxnId) -> Result<()> {
-        let (parent, top) = {
+        let (parent, top, read_only) = {
             let txns = self.txns.lock();
             let rec = txns.get(&txn).ok_or(ReachError::TxnNotFound(txn))?;
             if rec.state != TxnState::Active {
@@ -329,8 +470,11 @@ impl TransactionManager {
                     rec.active_children
                 )));
             }
-            (rec.parent, rec.top)
+            (rec.parent, rec.top, rec.snapshot.is_some())
         };
+        if read_only {
+            return self.finish_read_only(txn, true);
+        }
         match parent {
             Some(p) => self.commit_child(txn, p, top),
             None => self.commit_top(txn),
@@ -416,6 +560,26 @@ impl TransactionManager {
                 return Err(e);
             }
         }
+        // Version publication: every resource manager has reported
+        // durable and the 2PL locks are still held, so the write set is
+        // stable and crash-proof. Publish the new versions first, then
+        // advance the commit clock — a snapshot stamp is a plain load
+        // of the clock, so no reader can ever adopt a stamp whose
+        // versions are not yet fully in the store (publish-then-advance;
+        // the DESIGN.md §4 visibility safety argument).
+        {
+            let publishers = self.publishers.read().clone();
+            let _gate = self.publish_gate.lock();
+            let ts = self.commit_ts.load(Ordering::SeqCst) + 1;
+            let mut published = 0usize;
+            for p in &publishers {
+                published += p.publish(txn, ts);
+            }
+            self.commit_ts.store(ts, Ordering::SeqCst);
+            if published > 0 && self.metrics.on() {
+                self.metrics.txn.versions_published.add(published as u64);
+            }
+        }
         let on_commit = {
             let mut txns = self.txns.lock();
             let rec = txns.get_mut(&txn).unwrap();
@@ -447,13 +611,16 @@ impl TransactionManager {
 
     /// Abort a transaction (and, recursively, its active subtransactions).
     pub fn abort(&self, txn: TxnId) -> Result<()> {
-        let (parent, top, state) = {
+        let (parent, top, state, read_only) = {
             let txns = self.txns.lock();
             let rec = txns.get(&txn).ok_or(ReachError::TxnNotFound(txn))?;
-            (rec.parent, rec.top, rec.state)
+            (rec.parent, rec.top, rec.state, rec.snapshot.is_some())
         };
         if state == TxnState::Committed || state == TxnState::Aborted {
             return Err(ReachError::TxnNotActive(txn));
+        }
+        if read_only {
+            return self.finish_read_only(txn, false);
         }
         // Abort active children first, deepest effects undone first.
         let children: Vec<TxnId> = {
@@ -507,6 +674,81 @@ impl TransactionManager {
         }
         self.emit(TxnEventKind::Aborted, txn, parent, top);
         Ok(())
+    }
+
+    /// End a read-only snapshot transaction. Commit and abort are the
+    /// same operation apart from the recorded outcome and which hook
+    /// list runs: there is nothing to make durable and no lock to
+    /// release — only the snapshot registration to drop, which may
+    /// advance the GC watermark and reclaim versions.
+    fn finish_read_only(&self, txn: TxnId, commit: bool) -> Result<()> {
+        let (stamp, hooks) = {
+            let mut txns = self.txns.lock();
+            let rec = txns.get_mut(&txn).ok_or(ReachError::TxnNotFound(txn))?;
+            if rec.state != TxnState::Active {
+                return Err(ReachError::TxnNotActive(txn));
+            }
+            let stamp = rec.snapshot.expect("caller routed a snapshot txn");
+            rec.pre_commit.clear();
+            let hooks = if commit {
+                rec.state = TxnState::Committed;
+                rec.on_abort.clear();
+                std::mem::take(&mut rec.on_commit)
+            } else {
+                rec.state = TxnState::Aborted;
+                rec.on_commit.clear();
+                let mut a = std::mem::take(&mut rec.on_abort);
+                a.reverse();
+                a
+            };
+            (stamp, hooks)
+        };
+        // Clear any per-request deadline the server bound to this txn
+        // (writers get this from release_all, which never runs here).
+        self.locks.set_deadline(txn, None);
+        self.snapshots.release(stamp);
+        self.vacuum_versions();
+        if self.metrics.on() {
+            if commit {
+                self.metrics.txn.commits.inc();
+            } else {
+                self.metrics.txn.aborts.inc();
+            }
+        }
+        self.emit(
+            if commit {
+                TxnEventKind::Committed
+            } else {
+                TxnEventKind::Aborted
+            },
+            txn,
+            None,
+            txn,
+        );
+        for h in hooks {
+            h();
+        }
+        Ok(())
+    }
+
+    /// Reclaim versions below the oldest live snapshot (or everything
+    /// but the newest version per object when no snapshot is live).
+    fn vacuum_versions(&self) {
+        let publishers = self.publishers.read().clone();
+        if publishers.is_empty() {
+            return;
+        }
+        let watermark = self
+            .snapshots
+            .oldest()
+            .unwrap_or_else(|| self.commit_ts.load(Ordering::SeqCst) + 1);
+        let mut reclaimed = 0usize;
+        for p in &publishers {
+            reclaimed += p.vacuum(watermark);
+        }
+        if reclaimed > 0 && self.metrics.on() {
+            self.metrics.txn.versions_reclaimed.add(reclaimed as u64);
+        }
     }
 
     /// Number of transactions the manager has ever seen (introspection).
@@ -869,5 +1111,219 @@ mod tests {
         assert_eq!(tm.active_top_level(), vec![a, b]);
         tm.commit(b).unwrap();
         assert_eq!(tm.active_top_level(), vec![a]);
+    }
+
+    // ---- MVCC snapshot transactions ----
+
+    use crate::mvcc::{CommitTs, VersionPublisher, VersionStore};
+
+    type StagedWrites = HashMap<TxnId, Vec<(ObjectId, Option<u64>)>>;
+
+    /// A version publisher for tests: writers stage values, publication
+    /// at commit moves them into the version store — the same shape the
+    /// object layer's bridge has, minus the object space.
+    struct TestPublisher {
+        store: VersionStore<u64>,
+        pending: PMutex<StagedWrites>,
+    }
+
+    impl TestPublisher {
+        fn new() -> Arc<Self> {
+            Arc::new(TestPublisher {
+                store: VersionStore::new(),
+                pending: PMutex::new(HashMap::new()),
+            })
+        }
+        fn stage(&self, txn: TxnId, oid: ObjectId, val: Option<u64>) {
+            self.pending.lock().entry(txn).or_default().push((oid, val));
+        }
+    }
+
+    impl VersionPublisher for TestPublisher {
+        fn publish(&self, txn: TxnId, ts: CommitTs) -> usize {
+            let writes = self.pending.lock().remove(&txn).unwrap_or_default();
+            let n = writes.len();
+            for (oid, val) in writes {
+                self.store.publish(oid, ts, val);
+            }
+            n
+        }
+        fn vacuum(&self, watermark: CommitTs) -> usize {
+            self.store.vacuum(watermark)
+        }
+    }
+
+    fn write_and_commit(tm: &TransactionManager, p: &TestPublisher, oid: ObjectId, val: u64) {
+        let t = tm.begin().unwrap();
+        tm.lock(t, oid, LockMode::Exclusive).unwrap();
+        p.stage(t, oid, Some(val));
+        tm.commit(t).unwrap();
+    }
+
+    #[test]
+    fn snapshot_reads_see_only_the_committed_prefix() {
+        let tm = manager();
+        let p = TestPublisher::new();
+        tm.add_version_publisher(Arc::clone(&p) as Arc<dyn VersionPublisher>);
+        let oid = ObjectId::new(1);
+        write_and_commit(&tm, &p, oid, 10);
+        let reader = tm.begin_read_only().unwrap();
+        let stamp = tm.snapshot_stamp(reader).unwrap();
+        // A later commit must stay invisible to the open snapshot.
+        write_and_commit(&tm, &p, oid, 20);
+        assert_eq!(
+            p.store.read_at(oid, stamp).and_then(|v| v.payload),
+            Some(10)
+        );
+        assert_eq!(tm.commit_stamp(), 2, "two commits advanced the clock");
+        tm.commit(reader).unwrap();
+        // A fresh snapshot adopts the newest published state.
+        let reader2 = tm.begin_read_only().unwrap();
+        let stamp2 = tm.snapshot_stamp(reader2).unwrap();
+        assert_eq!(
+            p.store.read_at(oid, stamp2).and_then(|v| v.payload),
+            Some(20)
+        );
+        tm.commit(reader2).unwrap();
+    }
+
+    #[test]
+    fn snapshot_reader_acquires_zero_locks_while_writer_holds_exclusive() {
+        let metrics = MetricsRegistry::new_shared();
+        metrics.enable();
+        let tm = TransactionManager::with_metrics(
+            Arc::new(VirtualClock::new_virtual()),
+            metrics.clone(),
+        );
+        let p = TestPublisher::new();
+        tm.add_version_publisher(Arc::clone(&p) as Arc<dyn VersionPublisher>);
+        let oid = ObjectId::new(7);
+        write_and_commit(&tm, &p, oid, 1);
+        // A writer parks on an exclusive lock across the whole read.
+        let writer = tm.begin().unwrap();
+        tm.lock(writer, oid, LockMode::Exclusive).unwrap();
+        let grants_before = metrics.txn.lock_acquisitions.get();
+        let reader = tm.begin_read_only().unwrap();
+        let stamp = tm.snapshot_stamp(reader).unwrap();
+        assert_eq!(p.store.read_at(oid, stamp).and_then(|v| v.payload), Some(1));
+        tm.commit(reader).unwrap();
+        assert_eq!(
+            metrics.txn.lock_acquisitions.get(),
+            grants_before,
+            "snapshot read went through the lock manager"
+        );
+        assert_eq!(metrics.txn.snapshot_begins.get(), 1);
+        assert_eq!(metrics.txn.snapshot_reads.get(), 1);
+        tm.abort(writer).unwrap();
+    }
+
+    #[test]
+    fn expired_deadline_fails_snapshot_read_at_entry() {
+        let tm = manager();
+        let reader = tm.begin_read_only().unwrap();
+        assert!(tm.snapshot_stamp(reader).is_ok());
+        tm.set_deadline(
+            reader,
+            Some(std::time::Instant::now() - Duration::from_millis(1)),
+        );
+        assert!(
+            matches!(tm.snapshot_stamp(reader), Err(ReachError::DeadlineExceeded)),
+            "a lock-free read has no wait to interrupt; the entry check must fire"
+        );
+        // The transaction itself is still alive and can be finished.
+        tm.abort(reader).unwrap();
+    }
+
+    #[test]
+    fn read_only_txn_rejects_locks_and_subtransactions() {
+        let tm = manager();
+        let reader = tm.begin_read_only().unwrap();
+        assert!(matches!(
+            tm.lock(reader, ObjectId::new(1), LockMode::Exclusive),
+            Err(ReachError::ReadOnlyTxn(t)) if t == reader
+        ));
+        assert!(matches!(
+            tm.begin_nested(reader),
+            Err(ReachError::ReadOnlyTxn(t)) if t == reader
+        ));
+        tm.commit(reader).unwrap();
+    }
+
+    #[test]
+    fn live_snapshot_pins_versions_and_release_reclaims() {
+        let tm = manager();
+        let p = TestPublisher::new();
+        tm.add_version_publisher(Arc::clone(&p) as Arc<dyn VersionPublisher>);
+        let oid = ObjectId::new(3);
+        write_and_commit(&tm, &p, oid, 1);
+        let reader = tm.begin_read_only().unwrap();
+        let stamp = tm.snapshot_stamp(reader).unwrap();
+        write_and_commit(&tm, &p, oid, 2);
+        write_and_commit(&tm, &p, oid, 3);
+        assert_eq!(tm.live_snapshots(), 1);
+        assert_eq!(
+            p.store.versions_of(oid),
+            3,
+            "the open snapshot pins superseded versions"
+        );
+        assert_eq!(p.store.read_at(oid, stamp).and_then(|v| v.payload), Some(1));
+        tm.commit(reader).unwrap();
+        assert_eq!(tm.live_snapshots(), 0);
+        assert_eq!(
+            p.store.versions_of(oid),
+            1,
+            "last reader out triggers the vacuum down to the newest version"
+        );
+    }
+
+    #[test]
+    fn read_only_txns_never_reach_resource_managers() {
+        struct CountingRm(PMutex<usize>);
+        impl ResourceManager for CountingRm {
+            fn begin_top(&self, _t: TxnId) -> Result<()> {
+                *self.0.lock() += 1;
+                Ok(())
+            }
+            fn savepoint(&self, _t: TxnId) -> Result<u64> {
+                *self.0.lock() += 1;
+                Ok(0)
+            }
+            fn rollback_to(&self, _t: TxnId, _sp: u64) -> Result<()> {
+                *self.0.lock() += 1;
+                Ok(())
+            }
+            fn commit_top(&self, _t: TxnId) -> Result<()> {
+                *self.0.lock() += 1;
+                Ok(())
+            }
+            fn abort_top(&self, _t: TxnId) -> Result<()> {
+                *self.0.lock() += 1;
+                Ok(())
+            }
+        }
+        let tm = manager();
+        let rm = Arc::new(CountingRm(PMutex::new(0)));
+        tm.add_resource_manager(Arc::clone(&rm) as Arc<dyn ResourceManager>);
+        let r1 = tm.begin_read_only().unwrap();
+        let r2 = tm.begin_read_only().unwrap();
+        tm.commit(r1).unwrap();
+        tm.abort(r2).unwrap();
+        assert_eq!(
+            *rm.0.lock(),
+            0,
+            "snapshot txns have nothing to make durable"
+        );
+    }
+
+    #[test]
+    fn snapshot_commit_runs_on_commit_hooks() {
+        let tm = manager();
+        let ran = Arc::new(PMutex::new(false));
+        let r = tm.begin_read_only().unwrap();
+        let flag = Arc::clone(&ran);
+        tm.on_commit(r, Box::new(move || *flag.lock() = true))
+            .unwrap();
+        tm.commit(r).unwrap();
+        assert!(*ran.lock());
     }
 }

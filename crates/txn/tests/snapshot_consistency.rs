@@ -1,0 +1,202 @@
+//! Snapshot-consistency oracle over perturbed concurrent schedules.
+//!
+//! MVCC's promise is narrower than serializability but absolute: a
+//! read-only transaction sees *exactly* the committed prefix at its
+//! stamp — never a later commit, never half of one — while acquiring
+//! zero locks. These tests drive mixed writer/snapshot workloads under
+//! the seeded schedule perturber and replay every reader's observations
+//! against the independent commits log (`SnapshotHistory`), and pin the
+//! GC watermark behaviour at the boundaries: a live snapshot holds
+//! history, the last release reclaims it.
+
+use reach_common::sync::sched;
+use reach_common::{announce_seed, seed_from_env, ObjectId, VirtualClock};
+use reach_txn::serial::{run_mvcc_workload, MvccWorkloadCfg};
+use reach_txn::{CommitTs, TransactionManager, VersionPublisher, VersionStore};
+use std::sync::{Arc, Mutex as StdMutex};
+
+/// The acceptance-criteria sweep: 64 seeded schedules, strict-2PL
+/// writers churning against lock-free snapshot readers, every reader
+/// checked for a consistent committed prefix and the whole run checked
+/// for zero reader lock acquisitions.
+#[test]
+fn mvcc_histories_are_snapshot_consistent_across_seed_matrix() {
+    let base = seed_from_env(0x5EED_CAFE);
+    let mut snapshot_reads_total = 0;
+    let mut committed_total = 0;
+    for i in 0..64u64 {
+        let seed = base.wrapping_add(i);
+        announce_seed("snapshot_consistency::matrix", seed);
+        let ((history, stats), _trace) =
+            sched::run_seeded(seed, || run_mvcc_workload(seed, MvccWorkloadCfg::default()));
+        committed_total += stats.committed_writers;
+        snapshot_reads_total += stats.snapshot_reads;
+        if let Some(v) = history.snapshot_violation() {
+            panic!(
+                "seed {seed:#x}: snapshot violation: {v} (committed={} snapshots={})",
+                stats.committed_writers, stats.snapshots
+            );
+        }
+        assert_eq!(
+            stats.metered_lock_grants,
+            stats.writer_lock_grants,
+            "seed {seed:#x}: snapshot readers acquired \
+             {} lock(s); readers must never block or be blocked",
+            stats.metered_lock_grants - stats.writer_lock_grants
+        );
+    }
+    assert!(
+        committed_total > 64 && snapshot_reads_total > 256,
+        "matrix barely did anything (committed={committed_total}, \
+         reads={snapshot_reads_total}); workload broken?"
+    );
+}
+
+/// High-contention variant: writers hammering 2 objects while readers
+/// sweep them — maximum publish/read interleaving pressure on the
+/// baseline-seeding and publish-then-advance paths.
+#[test]
+fn hot_spot_snapshots_stay_consistent() {
+    let base = seed_from_env(0x5EED_F00D);
+    for i in 0..16u64 {
+        let seed = base.wrapping_add(i);
+        announce_seed("snapshot_consistency::hot_spot", seed);
+        let cfg = MvccWorkloadCfg {
+            writers: 4,
+            readers: 4,
+            txns_per_writer: 8,
+            writes_per_txn: 2,
+            snapshots_per_reader: 8,
+            reads_per_snapshot: 2,
+            objects: 2,
+        };
+        let ((history, stats), _) = sched::run_seeded(seed, || run_mvcc_workload(seed, cfg));
+        assert!(
+            stats.committed_writers > 0,
+            "seed {seed:#x}: hot spot starved all writers"
+        );
+        assert_eq!(
+            history.snapshot_violation(),
+            None,
+            "seed {seed:#x}: hot-spot snapshot violation"
+        );
+        assert_eq!(stats.metered_lock_grants, stats.writer_lock_grants);
+    }
+}
+
+/// A minimal publisher over a bare `VersionStore`, for driving the GC
+/// watermark through the real manager: each commit publishes one
+/// pre-staged `(oid, value)`.
+struct OneShot {
+    store: VersionStore<u64>,
+    staged: StdMutex<Vec<(reach_common::TxnId, ObjectId, u64)>>,
+}
+
+impl VersionPublisher for OneShot {
+    fn publish(&self, txn: reach_common::TxnId, ts: CommitTs) -> usize {
+        let mut staged = self.staged.lock().unwrap();
+        let mut n = 0;
+        staged.retain(|(t, oid, v)| {
+            if *t == txn {
+                self.store.publish(*oid, ts, Some(*v));
+                n += 1;
+                false
+            } else {
+                true
+            }
+        });
+        n
+    }
+
+    fn vacuum(&self, watermark: CommitTs) -> usize {
+        self.store.vacuum(watermark)
+    }
+}
+
+fn commit_write(tm: &TransactionManager, p: &OneShot, oid: ObjectId, v: u64) {
+    let txn = tm.begin().unwrap();
+    tm.lock(txn, oid, reach_txn::LockMode::Exclusive).unwrap();
+    p.staged.lock().unwrap().push((txn, oid, v));
+    tm.commit(txn).unwrap();
+}
+
+/// GC boundary: a live snapshot pins every version it can see; commits
+/// stacked on top do not grow garbage past the pin; releasing the
+/// *last* reader reclaims everything below the new watermark in one
+/// sweep.
+#[test]
+fn live_snapshot_pins_history_and_last_release_reclaims() {
+    let tm = TransactionManager::new(Arc::new(VirtualClock::new_virtual()));
+    let p = Arc::new(OneShot {
+        store: VersionStore::new(),
+        staged: StdMutex::new(Vec::new()),
+    });
+    tm.add_version_publisher(Arc::clone(&p) as Arc<dyn VersionPublisher>);
+    let oid = ObjectId::new(1);
+
+    commit_write(&tm, &p, oid, 10);
+    let old = tm.begin_read_only().unwrap();
+    let stamp = tm.snapshot_stamp(old).unwrap();
+
+    // Five more commits while the old snapshot is live: its version
+    // must survive every post-commit vacuum.
+    for v in 11..16 {
+        commit_write(&tm, &p, oid, v);
+        assert_eq!(
+            p.store.read_at(oid, stamp).and_then(|v| v.payload),
+            Some(10),
+            "pinned version reclaimed while its reader is live"
+        );
+    }
+    assert_eq!(p.store.versions_of(oid), 6);
+
+    // A second, newer reader: releasing the *old* one must not let GC
+    // jump past the newer stamp.
+    let newer = tm.begin_read_only().unwrap();
+    let newer_stamp = tm.snapshot_stamp(newer).unwrap();
+    tm.commit(old).unwrap();
+    assert_eq!(
+        p.store.read_at(oid, newer_stamp).and_then(|v| v.payload),
+        Some(15),
+        "newer snapshot lost its version when the older reader left"
+    );
+
+    // Last reader out: watermark jumps to clock+1, one version (the
+    // newest) survives.
+    tm.commit(newer).unwrap();
+    assert_eq!(p.store.versions_of(oid), 1);
+    assert_eq!(
+        p.store.read_at(oid, newer_stamp).and_then(|v| v.payload),
+        Some(15),
+        "newest committed version must always survive vacuum"
+    );
+}
+
+/// Re-registering at the same stamp (two readers sharing a snapshot)
+/// must hold the pin until *both* release.
+#[test]
+fn shared_stamp_released_only_when_both_readers_finish() {
+    let tm = TransactionManager::new(Arc::new(VirtualClock::new_virtual()));
+    let p = Arc::new(OneShot {
+        store: VersionStore::new(),
+        staged: StdMutex::new(Vec::new()),
+    });
+    tm.add_version_publisher(Arc::clone(&p) as Arc<dyn VersionPublisher>);
+    let oid = ObjectId::new(7);
+
+    commit_write(&tm, &p, oid, 1);
+    let a = tm.begin_read_only().unwrap();
+    let b = tm.begin_read_only().unwrap();
+    let stamp = tm.snapshot_stamp(a).unwrap();
+    assert_eq!(stamp, tm.snapshot_stamp(b).unwrap(), "same stamp expected");
+
+    commit_write(&tm, &p, oid, 2);
+    tm.abort(a).unwrap(); // snapshot abort == commit: just a release
+    assert_eq!(
+        p.store.read_at(oid, stamp).and_then(|v| v.payload),
+        Some(1),
+        "stamp still pinned by reader b"
+    );
+    tm.commit(b).unwrap();
+    assert_eq!(p.store.versions_of(oid), 1);
+}

@@ -37,6 +37,9 @@ timeout "$EXP_TIMEOUT" cargo run --release -p reach-bench --bin exp_commit -- --
 echo "== tier-1: server overload smoke (explicit shedding + bounded p99) =="
 timeout "$EXP_TIMEOUT" cargo run --release -p reach-bench --bin exp_serve -- --smoke
 
+echo "== tier-1: snapshot-read smoke (zero reader locks under writer churn) =="
+timeout "$EXP_TIMEOUT" cargo run --release -p reach-bench --bin exp_snapshot -- --smoke
+
 if [[ "$STRESS" == 1 ]]; then
   echo "== tier-1: concurrency stress smoke (perturbed schedules + differential fuzz) =="
   timeout "$EXP_TIMEOUT" cargo run --release -p reach-bench --features sched --bin exp_stress -- --smoke
