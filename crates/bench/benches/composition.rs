@@ -76,7 +76,7 @@ fn bench_fanout(c: &mut Criterion) {
                     .define_composite(
                         &format!("c{i}"),
                         EventExpr::History {
-                            expr: Box::new(EventExpr::Primitive(ev)),
+                            expr: Arc::new(EventExpr::Primitive(ev)),
                             count: 3,
                         },
                         CompositionScope::CrossTransaction,

@@ -20,6 +20,7 @@ use reach_core::eca::CompositionMode;
 use reach_core::event::MethodPhase;
 use reach_core::{CompositionScope, ConsumptionPolicy, EventExpr, Lifespan, ReachConfig};
 use reach_object::Value;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Returns (application-thread events/s, end-to-end events/s, completions).
@@ -48,7 +49,7 @@ fn throughput(mode: CompositionMode, compositors: usize, events: usize) -> (f64,
         // composite manager's local history, which is how we count them
         // (no rules attached — this isolates composition cost).
         let branch = |n: u32| EventExpr::History {
-            expr: Box::new(EventExpr::Primitive(ev)),
+            expr: Arc::new(EventExpr::Primitive(ev)),
             count: n,
         };
         let comp = sys

@@ -86,7 +86,7 @@ fn run_workload(events: usize, enable_metrics: bool) -> (reach_bench::SensorWorl
         .define_composite_correlated(
             "sensor-storm",
             EventExpr::History {
-                expr: Box::new(EventExpr::Primitive(anomaly_sig)),
+                expr: Arc::new(EventExpr::Primitive(anomaly_sig)),
                 count: 3,
             },
             CompositionScope::CrossTransaction,

@@ -173,10 +173,10 @@ fn gen_expr(rng: &mut SplitMix64, depth: u32) -> EventExpr {
         0 => EventExpr::Sequence(parts(rng, depth)),
         1 => EventExpr::Conjunction(parts(rng, depth)),
         2 => EventExpr::Disjunction(parts(rng, depth)),
-        3 => EventExpr::Negation(Box::new(gen_expr(rng, depth - 1))),
-        4 => EventExpr::Closure(Box::new(gen_expr(rng, depth - 1))),
+        3 => EventExpr::Negation(Arc::new(gen_expr(rng, depth - 1))),
+        4 => EventExpr::Closure(Arc::new(gen_expr(rng, depth - 1))),
         _ => EventExpr::History {
-            expr: Box::new(gen_expr(rng, depth - 1)),
+            expr: Arc::new(gen_expr(rng, depth - 1)),
             count: 1 + rng.below(3) as u32,
         },
     }

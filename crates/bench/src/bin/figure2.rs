@@ -14,6 +14,7 @@ use reach_core::{
     RuleBuilder,
 };
 use reach_object::Value;
+use std::sync::Arc;
 
 fn main() {
     let w = sensor_world(1, ReachConfig::default()).unwrap();
@@ -35,7 +36,7 @@ fn main() {
         .define_composite(
             "composite-event",
             EventExpr::History {
-                expr: Box::new(EventExpr::Primitive(method_ev)),
+                expr: Arc::new(EventExpr::Primitive(method_ev)),
                 count: 2,
             },
             CompositionScope::SameTransaction,

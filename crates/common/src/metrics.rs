@@ -18,6 +18,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// beyond any latency this system produces.
 pub const BUCKETS: usize = 48;
 
+/// Smallest duration the bucket array cannot represent: anything at or
+/// above this still lands in the top bucket (so bucket sums equal
+/// `count`), but is additionally tallied in the histogram's `overflow`
+/// counter so saturated percentiles can be flagged instead of silently
+/// reported as the top-bucket bound.
+pub const OVERFLOW_NS: u64 = 1u64 << (BUCKETS - 1);
+
 /// A monotonically increasing event counter.
 ///
 /// `inc`/`add` are relaxed atomic adds: safe from any thread, never a
@@ -98,6 +105,7 @@ pub struct Histogram {
     count: AtomicU64,
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
+    overflow: AtomicU64,
     buckets: [AtomicU64; BUCKETS],
 }
 
@@ -117,6 +125,7 @@ impl Histogram {
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
             buckets: [ZERO; BUCKETS],
         }
     }
@@ -127,6 +136,9 @@ impl Histogram {
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        if ns >= OVERFLOW_NS {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        }
         self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -145,6 +157,7 @@ impl Histogram {
             count: self.count.load(Ordering::Relaxed),
             sum_ns: self.sum_ns.load(Ordering::Relaxed),
             max_ns: self.max_ns.load(Ordering::Relaxed),
+            overflow: self.overflow.load(Ordering::Relaxed),
             buckets,
         }
     }
@@ -160,6 +173,10 @@ pub struct HistogramSnapshot {
     pub sum_ns: u64,
     /// Largest observed duration (ns).
     pub max_ns: u64,
+    /// Observations at or beyond [`OVERFLOW_NS`]. They still count in
+    /// the top bucket, but any percentile whose rank lands among them is
+    /// saturated — the bucket resolution can no longer tell them apart.
+    pub overflow: u64,
     /// Per-bucket observation counts (see [`bucket_index`]).
     pub buckets: [u64; BUCKETS],
 }
@@ -170,6 +187,7 @@ impl Default for HistogramSnapshot {
             count: 0,
             sum_ns: 0,
             max_ns: 0,
+            overflow: 0,
             buckets: [0; BUCKETS],
         }
     }
@@ -181,6 +199,7 @@ impl HistogramSnapshot {
         self.count += other.count;
         self.sum_ns += other.sum_ns;
         self.max_ns = self.max_ns.max(other.max_ns);
+        self.overflow += other.overflow;
         for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *dst += src;
         }
@@ -208,6 +227,18 @@ impl HistogramSnapshot {
             }
         }
         self.max_ns
+    }
+
+    /// Whether the `q`-quantile is saturated: its rank falls among the
+    /// overflowed observations, so [`HistogramSnapshot::quantile`] can
+    /// only report the top-bucket bound (capped at `max_ns`), not a real
+    /// bucket boundary. Reports should flag such figures.
+    pub fn saturated(&self, q: f64) -> bool {
+        if self.overflow == 0 || self.count == 0 {
+            return false;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        rank > self.count - self.overflow
     }
 }
 
@@ -300,6 +331,42 @@ mod tests {
         assert_eq!(s.quantile(1.0), 1_000_000, "p100 capped at max");
         assert_eq!(s.mean_ns(), (99 * 100 + 1_000_000) / 100);
         assert_eq!(HistogramSnapshot::default().quantile(0.99), 0);
+    }
+
+    #[test]
+    fn overflow_samples_are_counted_and_flag_saturated_percentiles() {
+        let h = Histogram::new();
+        for _ in 0..97 {
+            h.record(1_000); // well inside the bucket range
+        }
+        h.record(OVERFLOW_NS); // first unrepresentable duration
+        h.record(OVERFLOW_NS * 3);
+        h.record(u64::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.overflow, 3);
+        // Bucket sums still account for every observation (the top
+        // bucket absorbs the overflow), so merges stay consistent.
+        assert_eq!(s.buckets.iter().sum::<u64>(), 100);
+        assert_eq!(s.buckets[BUCKETS - 1], 3);
+        // p50 is honest; p99 and p100 land among the overflowed samples
+        // and must be flagged as saturated.
+        assert!(!s.saturated(0.5));
+        assert!(s.saturated(0.98));
+        assert!(s.saturated(0.99));
+        assert!(s.saturated(1.0));
+        // The boundary: rank 97 is the last in-range observation.
+        assert!(!s.saturated(0.97));
+        // Merging propagates the overflow count.
+        let mut m = HistogramSnapshot::default();
+        m.merge(&s);
+        m.merge(&s);
+        assert_eq!(m.overflow, 6);
+        assert!(m.saturated(0.99));
+        // A histogram with no overflow never reports saturation.
+        let ok = Histogram::new();
+        ok.record(OVERFLOW_NS - 1);
+        assert!(!ok.snapshot().saturated(1.0));
     }
 
     #[test]

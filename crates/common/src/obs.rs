@@ -295,6 +295,9 @@ pub struct EventMetrics {
     pub instances_pressure_gcd: Counter,
     /// High-water mark of live instances (updated at snapshot time).
     pub instances_peak: Counter,
+    /// Highest occupied occurrence-slab slot count any single compositor
+    /// reached (constituent storage; generations freed per window).
+    pub occ_slab_peak: Counter,
 }
 
 /// Recovery figures, written once per reboot by `reach-storage`'s
@@ -543,6 +546,7 @@ impl MetricsRegistry {
             instances_discarded: self.events.instances_discarded.get(),
             instances_pressure_gcd: self.events.instances_pressure_gcd.get(),
             instances_peak: self.events.instances_peak.get(),
+            occ_slab_peak: self.events.occ_slab_peak.get(),
             immediate_runs: self.engine.immediate_runs.get(),
             deferred_runs: self.engine.deferred_runs.get(),
             detached_runs: self.engine.detached_runs.get(),
@@ -637,6 +641,7 @@ pub struct MetricsSnapshot {
     pub instances_discarded: u64,
     pub instances_pressure_gcd: u64,
     pub instances_peak: u64,
+    pub occ_slab_peak: u64,
     pub immediate_runs: u64,
     pub deferred_runs: u64,
     pub detached_runs: u64,
@@ -671,6 +676,18 @@ pub struct MetricsSnapshot {
     pub server_panics: u64,
 }
 
+/// Render a quantile figure, suffixed with `!` when the histogram's
+/// overflow count says the percentile is saturated (the true value is
+/// somewhere at or beyond the bucket range and cannot be resolved).
+fn fmt_quantile(h: &HistogramSnapshot, q: f64) -> String {
+    let s = fmt_ns(h.quantile(q));
+    if h.saturated(q) {
+        format!("{s}!")
+    } else {
+        s
+    }
+}
+
 impl MetricsSnapshot {
     /// Render the human-readable per-stage report.
     pub fn render(&self) -> String {
@@ -687,28 +704,37 @@ impl MetricsSnapshot {
             "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10}",
             "stage", "count", "mean", "p50", "p99", "max"
         );
+        let mut overflowed = 0u64;
         for s in &self.stages {
+            overflowed += s.latency.overflow;
             let _ = writeln!(
                 out,
                 "{:<16} {:>10} {:>10} {:>10} {:>10} {:>10}",
                 s.stage.name(),
                 s.count,
                 fmt_ns(s.latency.mean_ns()),
-                fmt_ns(s.latency.quantile(0.5)),
-                fmt_ns(s.latency.quantile(0.99)),
+                fmt_quantile(&s.latency, 0.5),
+                fmt_quantile(&s.latency, 0.99),
                 fmt_ns(s.latency.max_ns),
+            );
+        }
+        if overflowed > 0 {
+            let _ = writeln!(
+                out,
+                "(! = saturated percentile: {overflowed} sample(s) overflowed the histogram range)"
             );
         }
         let _ = writeln!(out, "-- events --");
         let _ = writeln!(
             out,
-            "detected {}  composites-completed {}  instances created {} / discarded {} (pressure {}) / peak {}",
+            "detected {}  composites-completed {}  instances created {} / discarded {} (pressure {}) / peak {}  slab-peak {}",
             self.events_detected,
             self.composites_completed,
             self.instances_created,
             self.instances_discarded,
             self.instances_pressure_gcd,
             self.instances_peak,
+            self.occ_slab_peak,
         );
         let _ = writeln!(out, "-- sentries (useful/useless) --");
         let mech = ["inline-wrapper", "root-class-trap", "surrogate", "announce"];
@@ -794,8 +820,8 @@ impl MetricsSnapshot {
                 self.server_sessions_closed,
                 self.server_admissions_rejected,
                 self.server_requests,
-                fmt_ns(self.server_request_latency.quantile(0.5)),
-                fmt_ns(self.server_request_latency.quantile(0.99)),
+                fmt_quantile(&self.server_request_latency, 0.5),
+                fmt_quantile(&self.server_request_latency, 0.99),
                 self.server_request_errors,
                 self.server_deadline_rejections,
             );

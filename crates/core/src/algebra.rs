@@ -29,6 +29,7 @@
 //! implicit validity interval are illegal".
 
 use reach_common::{EventTypeId, ReachError, Result};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Whether a composite's primitives must all originate in one
@@ -75,11 +76,18 @@ pub enum EventExpr {
     /// Any one.
     Disjunction(Vec<EventExpr>),
     /// Absence within the validity window.
-    Negation(Box<EventExpr>),
+    ///
+    /// Recursive operands are `Arc`, not `Box`: compositors instantiate
+    /// one automaton per in-flight composition attempt and window
+    /// operators keep a handle to their sub-expression as a rebuild
+    /// template, so sharing the immutable expression structure makes
+    /// instantiation (and `EventExpr::clone`) O(1) in expression depth
+    /// instead of a deep copy per instance.
+    Negation(Arc<EventExpr>),
     /// One or more occurrences within the window, collapsed.
-    Closure(Box<EventExpr>),
+    Closure(Arc<EventExpr>),
     /// Exactly `count` occurrences.
-    History { expr: Box<EventExpr>, count: u32 },
+    History { expr: Arc<EventExpr>, count: u32 },
 }
 
 impl EventExpr {
@@ -191,7 +199,7 @@ mod tests {
         let expr = EventExpr::Sequence(vec![
             e(1),
             EventExpr::Conjunction(vec![e(2), e(1)]),
-            EventExpr::Negation(Box::new(e(3))),
+            EventExpr::Negation(Arc::new(e(3))),
         ]);
         assert_eq!(
             expr.referenced_types(),
@@ -206,13 +214,13 @@ mod tests {
     #[test]
     fn window_operator_detection() {
         assert!(!e(1).has_window_operator());
-        assert!(EventExpr::Negation(Box::new(e(1))).has_window_operator());
+        assert!(EventExpr::Negation(Arc::new(e(1))).has_window_operator());
         assert!(
-            EventExpr::Sequence(vec![e(1), EventExpr::Closure(Box::new(e(2)))])
+            EventExpr::Sequence(vec![e(1), EventExpr::Closure(Arc::new(e(2)))])
                 .has_window_operator()
         );
         assert!(!EventExpr::History {
-            expr: Box::new(e(1)),
+            expr: Arc::new(e(1)),
             count: 3
         }
         .has_window_operator());
@@ -223,7 +231,7 @@ mod tests {
         assert!(EventExpr::Sequence(vec![e(1)]).validate().is_err());
         assert!(EventExpr::Sequence(vec![e(1), e(2)]).validate().is_ok());
         assert!(EventExpr::History {
-            expr: Box::new(e(1)),
+            expr: Arc::new(e(1)),
             count: 0
         }
         .validate()

@@ -17,7 +17,7 @@
 
 use crate::algebra::{CompositionScope, Correlation, EventExpr, Lifespan};
 use crate::consumption::ConsumptionPolicy;
-use crate::event::EventOccurrence;
+use crate::event::{EventOccurrence, OccHandle, OccSlab};
 use reach_common::sync::Mutex;
 use reach_common::{MetricsRegistry, TimePoint, TxnId};
 use std::collections::HashMap;
@@ -34,11 +34,17 @@ pub enum Feed {
     Complete,
 }
 
-/// One composition-graph instance.
+/// One composition-graph instance. Absorbed occurrences live in the
+/// owning compositor's [`OccSlab`]; the instance holds only handles,
+/// all allocated under the instance's slab *generation* — freed in one
+/// sweep by [`Automaton::retire`] when the composition window closes.
 #[derive(Debug)]
 pub struct Automaton {
     root: Node,
     policy: ConsumptionPolicy,
+    /// Slab generation this instance allocates under (`u64::MAX` for
+    /// standalone instances built outside a compositor).
+    gen: u64,
     /// Clock time of the first absorbed occurrence (anchors interval
     /// lifespans).
     pub started_at: Option<TimePoint>,
@@ -48,7 +54,7 @@ pub struct Automaton {
 enum Node {
     Prim {
         ty: reach_common::EventTypeId,
-        matched: Vec<Arc<EventOccurrence>>,
+        matched: Vec<OccHandle>,
     },
     Seq {
         parts: Vec<Node>,
@@ -66,14 +72,17 @@ enum Node {
         violated: bool,
     },
     Closure {
-        template: EventExpr,
+        /// Shared handle to the immutable sub-expression — rebuilt from
+        /// on every sub-completion, never deep-cloned.
+        template: Arc<EventExpr>,
         current: Box<Node>,
-        completions: Vec<Vec<Arc<EventOccurrence>>>,
+        completions: Vec<Vec<OccHandle>>,
     },
     History {
-        template: EventExpr,
+        /// Shared handle, as in [`Node::Closure`].
+        template: Arc<EventExpr>,
         current: Box<Node>,
-        completions: Vec<Vec<Arc<EventOccurrence>>>,
+        completions: Vec<Vec<OccHandle>>,
         target: u32,
     },
 }
@@ -100,12 +109,12 @@ fn build(expr: &EventExpr) -> Node {
             violated: false,
         },
         EventExpr::Closure(inner) => Node::Closure {
-            template: (**inner).clone(),
+            template: Arc::clone(inner),
             current: Box::new(build(inner)),
             completions: Vec::new(),
         },
         EventExpr::History { expr, count } => Node::History {
-            template: (**expr).clone(),
+            template: Arc::clone(expr),
             current: Box::new(build(expr)),
             completions: Vec::new(),
             target: *count,
@@ -114,7 +123,13 @@ fn build(expr: &EventExpr) -> Node {
 }
 
 impl Node {
-    fn feed(&mut self, occ: &Arc<EventOccurrence>, policy: ConsumptionPolicy) -> Feed {
+    fn feed(
+        &mut self,
+        occ: &Arc<EventOccurrence>,
+        policy: ConsumptionPolicy,
+        slab: &mut OccSlab,
+        gen: u64,
+    ) -> Feed {
         match self {
             Node::Prim { ty, matched } => {
                 if occ.event_type != *ty {
@@ -122,19 +137,22 @@ impl Node {
                 }
                 match policy {
                     ConsumptionPolicy::Recent => {
-                        // Most recent occurrence supersedes.
-                        matched.clear();
-                        matched.push(Arc::clone(occ));
+                        // Most recent occurrence supersedes; the
+                        // superseded slot recycles immediately.
+                        for h in matched.drain(..) {
+                            slab.free_one(h);
+                        }
+                        matched.push(slab.alloc(gen, Arc::clone(occ)));
                         Feed::Complete
                     }
                     ConsumptionPolicy::Cumulative => {
-                        matched.push(Arc::clone(occ));
+                        matched.push(slab.alloc(gen, Arc::clone(occ)));
                         Feed::Complete
                     }
                     // Chronicle / continuous: one occurrence per slot.
                     _ => {
                         if matched.is_empty() {
-                            matched.push(Arc::clone(occ));
+                            matched.push(slab.alloc(gen, Arc::clone(occ)));
                             Feed::Complete
                         } else {
                             Feed::Ignored
@@ -151,7 +169,7 @@ impl Node {
                 ) {
                     let upto = (*pos).min(parts.len().saturating_sub(1));
                     for part in parts.iter_mut().take(upto) {
-                        if part.feed(occ, policy) != Feed::Ignored {
+                        if part.feed(occ, policy, slab, gen) != Feed::Ignored {
                             return Feed::Progress;
                         }
                     }
@@ -159,7 +177,7 @@ impl Node {
                 if *pos >= parts.len() {
                     return Feed::Ignored;
                 }
-                match parts[*pos].feed(occ, policy) {
+                match parts[*pos].feed(occ, policy, slab, gen) {
                     Feed::Ignored => Feed::Ignored,
                     Feed::Progress => Feed::Progress,
                     Feed::Complete => {
@@ -177,7 +195,7 @@ impl Node {
             Node::Conj { parts } => {
                 let mut any = false;
                 for part in parts.iter_mut() {
-                    if part.feed(occ, policy) != Feed::Ignored {
+                    if part.feed(occ, policy, slab, gen) != Feed::Ignored {
                         any = true;
                         // Recent/cumulative keep feeding so every
                         // matching slot sees the occurrence; chronicle
@@ -201,7 +219,7 @@ impl Node {
             Node::Disj { parts, winner } => {
                 let mut any = false;
                 for (i, part) in parts.iter_mut().enumerate() {
-                    if part.feed(occ, policy) != Feed::Ignored {
+                    if part.feed(occ, policy, slab, gen) != Feed::Ignored {
                         any = true;
                         if part.complete() && winner.is_none() {
                             *winner = Some(i);
@@ -217,7 +235,7 @@ impl Node {
                 }
             }
             Node::Neg { inner, violated } => {
-                match inner.feed(occ, policy) {
+                match inner.feed(occ, policy, slab, gen) {
                     Feed::Ignored => Feed::Ignored,
                     Feed::Progress => Feed::Progress,
                     Feed::Complete => {
@@ -234,7 +252,7 @@ impl Node {
                 template,
                 current,
                 completions,
-            } => match current.feed(occ, policy) {
+            } => match current.feed(occ, policy, slab, gen) {
                 Feed::Ignored => Feed::Ignored,
                 Feed::Progress => Feed::Progress,
                 Feed::Complete => {
@@ -250,7 +268,7 @@ impl Node {
                 current,
                 completions,
                 target,
-            } => match current.feed(occ, policy) {
+            } => match current.feed(occ, policy, slab, gen) {
                 Feed::Ignored => Feed::Ignored,
                 Feed::Progress => Feed::Progress,
                 Feed::Complete => {
@@ -311,8 +329,9 @@ impl Node {
         }
     }
 
-    /// Gather constituents in completion order.
-    fn collect(&self) -> Vec<Arc<EventOccurrence>> {
+    /// Gather constituent handles in completion order — plain index
+    /// copies, no refcount traffic at any tree level.
+    fn collect(&self) -> Vec<OccHandle> {
         match self {
             Node::Prim { matched, .. } => matched.clone(),
             Node::Seq { parts, .. } | Node::Conj { parts } => {
@@ -328,24 +347,37 @@ impl Node {
             },
             Node::Neg { .. } => Vec::new(),
             Node::Closure { completions, .. } | Node::History { completions, .. } => {
-                completions.iter().flatten().cloned().collect()
+                completions.iter().flatten().copied().collect()
             }
         }
     }
 }
 
 impl Automaton {
+    /// A standalone instance (no slab generation bound) — only useful
+    /// for inspecting the built node tree; feeding it still works but
+    /// its slots are reclaimed only by an explicit [`Automaton::retire`].
     pub fn new(expr: &EventExpr, policy: ConsumptionPolicy) -> Self {
         Automaton {
             root: build(expr),
             policy,
+            gen: u64::MAX,
             started_at: None,
         }
     }
 
-    /// Feed one occurrence.
-    pub fn feed(&mut self, occ: &Arc<EventOccurrence>) -> Feed {
-        let r = self.root.feed(occ, self.policy);
+    /// An instance bound to a fresh generation of `slab` — how the
+    /// compositor creates every pooled instance.
+    pub fn new_in(expr: &EventExpr, policy: ConsumptionPolicy, slab: &mut OccSlab) -> Self {
+        let mut a = Self::new(expr, policy);
+        a.gen = slab.open_gen();
+        a
+    }
+
+    /// Feed one occurrence; absorbed occurrences are stored in `slab`
+    /// under this instance's generation.
+    pub fn feed(&mut self, occ: &Arc<EventOccurrence>, slab: &mut OccSlab) -> Feed {
+        let r = self.root.feed(occ, self.policy, slab, self.gen);
         if r != Feed::Ignored && self.started_at.is_none() {
             self.started_at = Some(occ.at);
         }
@@ -367,10 +399,24 @@ impl Automaton {
         self.root.complete_at_close()
     }
 
-    /// Whether the window-close check can ever differ from the feed
-    /// check (i.e. the expression contains negation/closure).
-    pub fn constituents(&self) -> Vec<Arc<EventOccurrence>> {
-        self.root.collect()
+    /// Resolve the constituents in completion order. Must be called
+    /// *before* [`Automaton::retire`] — this is the one place handles
+    /// are turned back into `Arc`s, so completions escape the slab by
+    /// value and can never dangle.
+    pub fn constituents(&self, slab: &OccSlab) -> Vec<Arc<EventOccurrence>> {
+        self.root
+            .collect()
+            .into_iter()
+            .filter_map(|h| slab.get(h).cloned())
+            .collect()
+    }
+
+    /// Close this instance's composition window: free its whole slab
+    /// generation in one sweep (§3.3 — "the whole composition graph
+    /// instance ... is simply removed"). Consumes the instance so no
+    /// handle can be resolved afterwards.
+    pub fn retire(self, slab: &mut OccSlab) {
+        slab.free_gen(self.gen);
     }
 }
 
@@ -405,6 +451,13 @@ pub struct Completion {
     pub at_window_close: bool,
 }
 
+/// Instance pools plus the occurrence slab they allocate from — one
+/// mutex so a feed touches a single lock.
+struct CompState {
+    instances: HashMap<ScopeKey, Vec<Automaton>>,
+    slab: OccSlab,
+}
+
 /// The compositor for one composite event type.
 pub struct Compositor {
     expr: EventExpr,
@@ -413,7 +466,7 @@ pub struct Compositor {
     policy: ConsumptionPolicy,
     correlation: Correlation,
     has_window_ops: bool,
-    instances: Mutex<HashMap<ScopeKey, Vec<Automaton>>>,
+    state: Mutex<CompState>,
     /// Shared observability registry; instance accounting (§3.3 GC
     /// visibility) is recorded here when observability is enabled.
     metrics: Arc<MetricsRegistry>,
@@ -446,7 +499,10 @@ impl Compositor {
             policy,
             correlation,
             has_window_ops,
-            instances: Mutex::new(HashMap::new()),
+            state: Mutex::new(CompState {
+                instances: HashMap::new(),
+                slab: OccSlab::new(),
+            }),
             metrics: MetricsRegistry::new_shared(),
         }
     }
@@ -489,24 +545,26 @@ impl Compositor {
             return Vec::new();
         };
         let obs = self.metrics.on();
-        let mut instances = self.instances.lock();
+        let mut state = self.state.lock();
+        let CompState { instances, slab } = &mut *state;
         let pool = instances.entry(key).or_default();
         let mut fired = Vec::new();
         match self.policy {
             ConsumptionPolicy::Recent | ConsumptionPolicy::Cumulative => {
                 if pool.is_empty() {
-                    pool.push(Automaton::new(&self.expr, self.policy));
+                    pool.push(Automaton::new_in(&self.expr, self.policy, slab));
                     if obs {
                         self.metrics.events.instances_created.inc();
                     }
                 }
-                let inst = &mut pool[0];
-                if inst.feed(occ) == Feed::Complete {
+                if pool[0].feed(occ, slab) == Feed::Complete {
+                    // Recent/cumulative pools hold exactly one instance.
+                    let inst = pool.pop().expect("fed instance present");
                     fired.push(Completion {
-                        constituents: inst.constituents(),
+                        constituents: inst.constituents(slab),
                         at_window_close: false,
                     });
-                    pool.clear();
+                    inst.retire(slab);
                 }
             }
             ConsumptionPolicy::Chronicle => {
@@ -515,7 +573,7 @@ impl Compositor {
                 let mut accepted = false;
                 let mut complete_idx = None;
                 for (i, inst) in pool.iter_mut().enumerate() {
-                    match inst.feed(occ) {
+                    match inst.feed(occ, slab) {
                         Feed::Ignored => continue,
                         Feed::Progress => {
                             accepted = true;
@@ -531,31 +589,36 @@ impl Compositor {
                 if let Some(i) = complete_idx {
                     let inst = pool.remove(i);
                     fired.push(Completion {
-                        constituents: inst.constituents(),
+                        constituents: inst.constituents(slab),
                         at_window_close: false,
                     });
+                    inst.retire(slab);
                 }
                 if !accepted {
-                    let mut inst = Automaton::new(&self.expr, self.policy);
-                    match inst.feed(occ) {
+                    let mut inst = Automaton::new_in(&self.expr, self.policy, slab);
+                    match inst.feed(occ, slab) {
                         Feed::Progress => {
                             pool.push(inst);
                             if obs {
                                 self.metrics.events.instances_created.inc();
                             }
                             if pool.len() > MAX_POOL {
-                                pool.remove(0); // discard oldest (§3.3 pressure GC)
+                                // Discard oldest (§3.3 pressure GC).
+                                pool.remove(0).retire(slab);
                                 if obs {
                                     self.metrics.events.instances_discarded.inc();
                                     self.metrics.events.instances_pressure_gcd.inc();
                                 }
                             }
                         }
-                        Feed::Complete => fired.push(Completion {
-                            constituents: inst.constituents(),
-                            at_window_close: false,
-                        }),
-                        Feed::Ignored => {} // irrelevant occurrence
+                        Feed::Complete => {
+                            fired.push(Completion {
+                                constituents: inst.constituents(slab),
+                                at_window_close: false,
+                            });
+                            inst.retire(slab);
+                        }
+                        Feed::Ignored => inst.retire(slab), // irrelevant occurrence
                     }
                 }
             }
@@ -564,31 +627,40 @@ impl Compositor {
                 // open a window of its own.
                 let mut survivors = Vec::with_capacity(pool.len() + 1);
                 for mut inst in pool.drain(..) {
-                    match inst.feed(occ) {
-                        Feed::Complete => fired.push(Completion {
-                            constituents: inst.constituents(),
-                            at_window_close: false,
-                        }),
+                    match inst.feed(occ, slab) {
+                        Feed::Complete => {
+                            fired.push(Completion {
+                                constituents: inst.constituents(slab),
+                                at_window_close: false,
+                            });
+                            inst.retire(slab);
+                        }
                         _ => survivors.push(inst),
                     }
                 }
-                let mut fresh = Automaton::new(&self.expr, self.policy);
-                match fresh.feed(occ) {
+                let mut fresh = Automaton::new_in(&self.expr, self.policy, slab);
+                match fresh.feed(occ, slab) {
                     Feed::Progress => {
                         survivors.push(fresh);
                         if obs {
                             self.metrics.events.instances_created.inc();
                         }
                     }
-                    Feed::Complete => fired.push(Completion {
-                        constituents: fresh.constituents(),
-                        at_window_close: false,
-                    }),
-                    Feed::Ignored => {}
+                    Feed::Complete => {
+                        fired.push(Completion {
+                            constituents: fresh.constituents(slab),
+                            at_window_close: false,
+                        });
+                        fresh.retire(slab);
+                    }
+                    Feed::Ignored => fresh.retire(slab),
                 }
                 if survivors.len() > MAX_POOL {
                     let excess = survivors.len() - MAX_POOL;
-                    survivors.drain(..excess); // discard oldest windows
+                    // Discard oldest windows.
+                    for old in survivors.drain(..excess) {
+                        old.retire(slab);
+                    }
                     if obs {
                         self.metrics.events.instances_discarded.add(excess as u64);
                         self.metrics
@@ -606,6 +678,10 @@ impl Compositor {
         if obs {
             let live: usize = instances.values().map(|p| p.len()).sum();
             self.metrics.events.instances_peak.record_max(live as u64);
+            self.metrics
+                .events
+                .occ_slab_peak
+                .record_max(slab.high_water() as u64);
         }
         fired
     }
@@ -618,8 +694,11 @@ impl Compositor {
         if self.scope != CompositionScope::SameTransaction {
             return Vec::new();
         }
-        let pools: Vec<Vec<Automaton>> = {
-            let mut instances = self.instances.lock();
+        let mut fired = Vec::new();
+        let mut discarded = 0u64;
+        {
+            let mut state = self.state.lock();
+            let CompState { instances, slab } = &mut *state;
             let keys: Vec<ScopeKey> = instances
                 .keys()
                 .filter(|k| {
@@ -628,26 +707,25 @@ impl Compositor {
                 })
                 .copied()
                 .collect();
-            keys.into_iter()
-                .filter_map(|k| instances.remove(&k))
-                .collect()
-        };
-        if self.metrics.on() {
-            let n: usize = pools.iter().map(|p| p.len()).sum();
-            self.metrics.events.instances_discarded.add(n as u64);
-        }
-        let mut fired = Vec::new();
-        if self.has_window_ops {
-            for pool in pools {
+            for k in keys {
+                let Some(pool) = instances.remove(&k) else {
+                    continue;
+                };
                 for inst in pool {
-                    if inst.complete_at_close() {
+                    discarded += 1;
+                    if self.has_window_ops && inst.complete_at_close() {
                         fired.push(Completion {
-                            constituents: inst.constituents(),
+                            constituents: inst.constituents(slab),
                             at_window_close: true,
                         });
                     }
+                    // Window closed: free the whole generation.
+                    inst.retire(slab);
                 }
             }
+        }
+        if discarded > 0 && self.metrics.on() {
+            self.metrics.events.instances_discarded.add(discarded);
         }
         fired
     }
@@ -660,24 +738,29 @@ impl Compositor {
         };
         let mut fired = Vec::new();
         let mut expired = 0u64;
-        let mut instances = self.instances.lock();
+        let mut state = self.state.lock();
+        let CompState { instances, slab } = &mut *state;
         for pool in instances.values_mut() {
-            pool.retain(|inst| {
-                let Some(started) = inst.started_at else {
-                    return true;
+            let mut i = 0;
+            while i < pool.len() {
+                let elapsed = match pool[i].started_at {
+                    Some(started) => started.plus(window) <= now,
+                    None => false,
                 };
-                if started.plus(window) > now {
-                    return true;
+                if !elapsed {
+                    i += 1;
+                    continue;
                 }
+                let inst = pool.remove(i);
                 if self.has_window_ops && inst.complete_at_close() {
                     fired.push(Completion {
-                        constituents: inst.constituents(),
+                        constituents: inst.constituents(slab),
                         at_window_close: true,
                     });
                 }
+                inst.retire(slab);
                 expired += 1;
-                false // expired: remove
-            });
+            }
         }
         instances.retain(|_, pool| !pool.is_empty());
         if expired > 0 && self.metrics.on() {
@@ -689,7 +772,13 @@ impl Compositor {
     /// Number of live (semi-composed) instances — what §3.3's GC keeps
     /// bounded.
     pub fn live_instances(&self) -> usize {
-        self.instances.lock().values().map(|p| p.len()).sum()
+        self.state.lock().instances.values().map(|p| p.len()).sum()
+    }
+
+    /// Occupied occurrence-slab slots (constituents of semi-composed
+    /// instances awaiting their window close).
+    pub fn slab_live(&self) -> usize {
+        self.state.lock().slab.live()
     }
 }
 
@@ -778,7 +867,7 @@ mod tests {
     fn history_counts_occurrences() {
         let c = cross(
             EventExpr::History {
-                expr: Box::new(e(1)),
+                expr: Arc::new(e(1)),
                 count: 3,
             },
             ConsumptionPolicy::Chronicle,
@@ -867,7 +956,7 @@ mod tests {
     fn negation_fires_at_window_close_iff_absent() {
         // Neg(e2) within a transaction window.
         let c = Compositor::new(
-            EventExpr::Sequence(vec![e(1), EventExpr::Negation(Box::new(e(2)))]),
+            EventExpr::Sequence(vec![e(1), EventExpr::Negation(Arc::new(e(2)))]),
             CompositionScope::SameTransaction,
             Lifespan::Transaction,
             ConsumptionPolicy::Chronicle,
@@ -886,7 +975,7 @@ mod tests {
     #[test]
     fn closure_collapses_multiple_occurrences() {
         let c = Compositor::new(
-            EventExpr::Closure(Box::new(e(1))),
+            EventExpr::Closure(Arc::new(e(1))),
             CompositionScope::SameTransaction,
             Lifespan::Transaction,
             ConsumptionPolicy::Chronicle,
@@ -922,7 +1011,7 @@ mod tests {
     #[test]
     fn interval_expiry_fires_negation() {
         let c = Compositor::new(
-            EventExpr::Sequence(vec![e(1), EventExpr::Negation(Box::new(e(2)))]),
+            EventExpr::Sequence(vec![e(1), EventExpr::Negation(Arc::new(e(2)))]),
             CompositionScope::CrossTransaction,
             Lifespan::Interval(std::time::Duration::from_millis(100)),
             ConsumptionPolicy::Chronicle,
@@ -951,13 +1040,63 @@ mod tests {
     }
 
     #[test]
+    fn slab_slots_reclaimed_at_fire_and_window_close() {
+        // Fire path: constituents leave the slab with the completion.
+        let c = cross(
+            EventExpr::Sequence(vec![e(1), e(2)]),
+            ConsumptionPolicy::Chronicle,
+        );
+        c.feed(&occ(1, 1, Some(1)));
+        assert_eq!(c.slab_live(), 1);
+        let fired = c.feed(&occ(2, 2, Some(1)));
+        assert_eq!(fired[0].constituents.len(), 2);
+        assert_eq!(c.slab_live(), 0, "generation freed at fire");
+        // Ignored occurrences never occupy a slot.
+        c.feed(&occ(99, 3, Some(1)));
+        assert_eq!(c.slab_live(), 0);
+
+        // Window-close path: closure banks occurrences until EOT, then
+        // the whole generation is freed after resolution.
+        let w = Compositor::new(
+            EventExpr::Closure(Arc::new(e(1))),
+            CompositionScope::SameTransaction,
+            Lifespan::Transaction,
+            ConsumptionPolicy::Chronicle,
+        );
+        for s in 1..=4 {
+            w.feed(&occ(1, s, Some(10)));
+        }
+        assert_eq!(w.slab_live(), 4);
+        let fired = w.close_txn(TxnId::new(10));
+        assert_eq!(fired[0].constituents.len(), 4);
+        assert_eq!(w.slab_live(), 0, "generation freed at window close");
+    }
+
+    #[test]
+    fn recent_supersede_recycles_slots_eagerly() {
+        let c = cross(
+            EventExpr::Sequence(vec![e(1), e(2)]),
+            ConsumptionPolicy::Recent,
+        );
+        for s in 1..=10 {
+            c.feed(&occ(1, s, Some(1)));
+        }
+        // Ten e1 arrivals, but only the most recent occupies a slot.
+        assert_eq!(c.slab_live(), 1, "superseded slots recycle eagerly");
+        let fired = c.feed(&occ(2, 11, Some(1)));
+        assert_eq!(fired[0].constituents.len(), 2);
+        assert_eq!(fired[0].constituents[0].seq.raw(), 10);
+        assert_eq!(c.slab_live(), 0);
+    }
+
+    #[test]
     fn nested_expression() {
         // ( (e1 ; e2) | TIMES(2, e3) )
         let c = cross(
             EventExpr::Disjunction(vec![
                 EventExpr::Sequence(vec![e(1), e(2)]),
                 EventExpr::History {
-                    expr: Box::new(e(3)),
+                    expr: Arc::new(e(3)),
                     count: 2,
                 },
             ]),

@@ -28,7 +28,7 @@ use crate::event::{
 };
 use crate::history::LocalHistory;
 use crate::rule::Rule;
-use crossbeam::channel::{unbounded, Sender};
+use crossbeam::channel::{bounded, Sender, TrySendError};
 use reach_common::sync::{Mutex, RwLock};
 use reach_common::{
     ClassId, EventTypeId, IdGen, MethodId, MetricsRegistry, Stage, TimePoint, Timestamp, TxnId,
@@ -133,6 +133,24 @@ impl EcaManager {
     }
 }
 
+/// Capacity of each compositor worker's inbox. Inboxes used to be
+/// unbounded: a raiser faster than a compositor grew the queue (and the
+/// process) without limit. Bounded inboxes give natural admission
+/// control — a producer that outruns §6.3's "small compositors" blocks
+/// at the boundary instead of queueing gigabytes.
+pub const INBOX_CAP: usize = 1024;
+
+std::thread_local! {
+    /// Whether the current thread is a compositor worker. Workers must
+    /// never block on a downstream inbox: a completion cascade (or a
+    /// rule raising fresh events) may route back through an upstream
+    /// worker, and two workers blocking on each other's full inboxes
+    /// would deadlock. Workers instead `try_send` and fall back to
+    /// feeding the compositor inline; only application threads take
+    /// the blocking backpressure path.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
 /// Message protocol for composite-manager worker threads.
 enum WorkerMsg {
     Feed(Arc<EventOccurrence>),
@@ -167,6 +185,29 @@ type WorkerHandle = (Sender<WorkerMsg>, std::thread::JoinHandle<()>);
 pub trait FireHandler: Send + Sync {
     /// Fire `rules` (already filtered to enabled) for `occ`.
     fn fire(&self, rules: Vec<Arc<Rule>>, occ: Arc<EventOccurrence>);
+
+    /// Fire the same rule set for every occurrence of a batch, in
+    /// event order. The default loops over [`FireHandler::fire`]; the
+    /// engine overrides it to order and partition the rule set once
+    /// for the whole batch.
+    fn fire_batch(&self, rules: Vec<Arc<Rule>>, occs: &[Arc<EventOccurrence>]) {
+        for occ in occs {
+            self.fire(rules.clone(), Arc::clone(occ));
+        }
+    }
+}
+
+/// One observed method invocation inside a batched raise — the
+/// per-call fields of [`Router::raise_method`].
+pub struct MethodObservation<'a> {
+    pub txn: TxnId,
+    pub top: TxnId,
+    pub at: TimePoint,
+    pub receiver: reach_common::ObjectId,
+    pub class: ClassId,
+    pub method: MethodId,
+    pub phase: MethodPhase,
+    pub args: &'a reach_object::Args,
 }
 
 /// The event router: detector index + manager table + delivery.
@@ -184,6 +225,15 @@ pub struct Router {
     flow_index: RwLock<HashMap<FlowPoint, Vec<EventTypeId>>>,
     signal_index: RwLock<HashMap<String, Vec<EventTypeId>>>,
     ids: IdGen,
+    /// Registered method-event counts per phase (`[Before, After]`) —
+    /// the sentry's cheap gate: when a phase has no registrations
+    /// anywhere, a raise for it cannot match and is skipped before the
+    /// txn resolution and index lookup.
+    method_phase_count: [AtomicU64; 2],
+    /// Registered flow-event count — the [`Router::raise_flow`] gate.
+    /// Every begin/commit of every (sub)transaction reports a flow
+    /// point; with zero flow registrations the raise is one load.
+    flow_count: AtomicU64,
     seq: AtomicU64,
     mode: RwLock<CompositionMode>,
     workers: Mutex<HashMap<EventTypeId, WorkerHandle>>,
@@ -214,6 +264,8 @@ impl Router {
             flow_index: RwLock::new(HashMap::new()),
             signal_index: RwLock::new(HashMap::new()),
             ids: IdGen::new(),
+            method_phase_count: [AtomicU64::new(0), AtomicU64::new(0)],
+            flow_count: AtomicU64::new(0),
             seq: AtomicU64::new(1),
             mode: RwLock::new(CompositionMode::Synchronous),
             workers: Mutex::new(HashMap::new()),
@@ -261,6 +313,11 @@ impl Router {
                         .entry((*class, *method, *phase))
                         .or_default()
                         .push(id);
+                    let slot = match phase {
+                        MethodPhase::Before => 0,
+                        MethodPhase::After => 1,
+                    };
+                    self.method_phase_count[slot].fetch_add(1, Ordering::Release);
                 }
                 PrimitiveEvent::StateChange { class, attribute } => {
                     self.state_index
@@ -285,6 +342,7 @@ impl Router {
                 }
                 PrimitiveEvent::Flow { point } => {
                     self.flow_index.write().entry(*point).or_default().push(id);
+                    self.flow_count.fetch_add(1, Ordering::Release);
                 }
                 PrimitiveEvent::UserSignal { name } => {
                     self.signal_index
@@ -316,6 +374,24 @@ impl Router {
             self.spawn_worker(&mgr);
         }
         id
+    }
+
+    /// Whether any method event of `phase` is registered anywhere.
+    /// One relaxed-side atomic load — the sentries consult this before
+    /// paying for a raise that cannot match (E13's hot path raises the
+    /// before phase 50k times against zero registrations otherwise).
+    /// Whether any flow event is registered anywhere (see
+    /// [`Router::raise_flow`]).
+    pub fn observes_flow(&self) -> bool {
+        self.flow_count.load(Ordering::Acquire) > 0
+    }
+
+    pub fn observes_method_phase(&self, phase: MethodPhase) -> bool {
+        let slot = match phase {
+            MethodPhase::Before => 0,
+            MethodPhase::After => 1,
+        };
+        self.method_phase_count[slot].load(Ordering::Acquire) > 0
     }
 
     /// Look up a manager.
@@ -374,7 +450,7 @@ impl Router {
         if workers.contains_key(&mgr.event_type) {
             return;
         }
-        let (tx, rx) = unbounded::<WorkerMsg>();
+        let (tx, rx) = bounded::<WorkerMsg>(INBOX_CAP);
         let router = Arc::clone(self);
         let ty = mgr.event_type;
         let outer_mgr = Arc::clone(mgr);
@@ -382,6 +458,7 @@ impl Router {
         let handle = std::thread::Builder::new()
             .name(format!("eca-{}", mgr.name))
             .spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
                 while let Ok(msg) = rx.recv() {
                     match msg {
                         WorkerMsg::Feed(occ) => router.feed_compositor(&mgr, &occ),
@@ -412,7 +489,7 @@ impl Router {
         class: ClassId,
         method: MethodId,
         phase: MethodPhase,
-        args: &[reach_object::Value],
+        args: &reach_object::Args,
     ) {
         let types = self.lookup_method(class, method, phase);
         for ty in types {
@@ -424,7 +501,7 @@ impl Router {
                 top_txn: Some(top),
                 data: EventData {
                     receiver: Some(receiver),
-                    args: args.to_vec(),
+                    args: args.clone(),
                     ..Default::default()
                 },
                 constituents: Vec::new(),
@@ -435,6 +512,62 @@ impl Router {
                 )
             });
             self.deliver(occ);
+        }
+    }
+
+    /// Batched [`Router::raise_method`]: amortize the detector-index
+    /// lookup, occurrence construction and delivery over runs of equal
+    /// `(class, method, phase)` — the shape a telemetry batch has.
+    ///
+    /// When a run maps to a *single* event type, its occurrences are
+    /// delivered as one batch (see [`Router::deliver_batch`] for the
+    /// ordering contract). Keys with several registered event types
+    /// keep the per-call type interleaving of the unbatched path.
+    pub fn raise_method_batch(self: &Arc<Self>, batch: &[MethodObservation<'_>]) {
+        let mut i = 0;
+        while i < batch.len() {
+            let key = (batch[i].class, batch[i].method, batch[i].phase);
+            let mut j = i + 1;
+            while j < batch.len() && (batch[j].class, batch[j].method, batch[j].phase) == key {
+                j += 1;
+            }
+            let types = self.lookup_method(key.0, key.1, key.2);
+            let make_occ = |m: &MethodObservation<'_>, ty: EventTypeId| {
+                Arc::new(EventOccurrence {
+                    event_type: ty,
+                    seq: self.next_seq(),
+                    at: m.at,
+                    txn: Some(m.txn),
+                    top_txn: Some(m.top),
+                    data: EventData {
+                        receiver: Some(m.receiver),
+                        args: m.args.clone(),
+                        ..Default::default()
+                    },
+                    constituents: Vec::new(),
+                })
+            };
+            if types.len() == 1 {
+                let ty = types[0];
+                self.trace.log(|| {
+                    format!(
+                        "method-event batch x{} (class {}, {}, {:?}) -> ECA-manager[{ty}]",
+                        j - i,
+                        key.0,
+                        key.1,
+                        key.2
+                    )
+                });
+                let occs: Vec<_> = batch[i..j].iter().map(|m| make_occ(m, ty)).collect();
+                self.deliver_batch(occs);
+            } else {
+                for m in &batch[i..j] {
+                    for &ty in &types {
+                        self.deliver(make_occ(m, ty));
+                    }
+                }
+            }
+            i = j;
         }
     }
 
@@ -590,6 +723,9 @@ impl Router {
 
     /// A transaction flow point was reached.
     pub fn raise_flow(self: &Arc<Self>, txn: TxnId, top: TxnId, at: TimePoint, point: FlowPoint) {
+        if !self.observes_flow() {
+            return;
+        }
         let types = self
             .flow_index
             .read()
@@ -620,6 +756,7 @@ impl Router {
         receiver: Option<reach_common::ObjectId>,
         args: Vec<reach_object::Value>,
     ) {
+        let args: reach_object::Args = args.into();
         let types = self
             .signal_index
             .read()
@@ -708,21 +845,121 @@ impl Router {
                     mgr.name, sub_mgr.name
                 )
             });
-            // Fast path: the manager's cached worker channel.
-            let sent = {
-                let tx = sub_mgr.worker_tx.read();
-                match &*tx {
-                    Some(tx) => tx.send(WorkerMsg::Feed(Arc::clone(&occ))).is_ok(),
-                    None => false,
-                }
-            };
-            if !sent {
+            // Fast path: the manager's cached worker inbox.
+            if !self.send_feed(&sub_mgr, &occ) {
                 self.feed_compositor(&sub_mgr, &occ);
             }
         }
         if let Some(t0) = t0 {
             self.metrics
                 .record_span(Stage::EcaManager, t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Deliver a batch of occurrences of **one event type** (in `seq`
+    /// order), amortizing the per-event costs of [`Router::deliver`]:
+    /// one manager lookup, one history append, one rules/subscribers/
+    /// observers snapshot and one metrics stamp for the whole batch.
+    ///
+    /// Ordering contract, relative to per-event delivery:
+    /// * rule firing sequences are identical — occurrences go through
+    ///   the engine in event order, and events raised *by* a fired rule
+    ///   are still delivered inline before the next occurrence fires;
+    /// * when the type has composite subscribers, the exact per-event
+    ///   interleaving `[observers, fire, feed]` is kept per occurrence;
+    /// * when it has none (nothing to feed), passive observers see the
+    ///   whole batch before the first rule fires — observers cannot
+    ///   veto or fire, so firing sequences are unaffected, and the
+    ///   engine can amortize scheduling over the batch;
+    /// * the batch is recorded into the local history up front, so a
+    ///   rule reading its own manager's history mid-batch sees events
+    ///   of later batch occurrences already recorded.
+    pub fn deliver_batch(self: &Arc<Self>, occs: Vec<Arc<EventOccurrence>>) {
+        if occs.len() <= 1 {
+            if let Some(occ) = occs.into_iter().next() {
+                self.deliver(occ);
+            }
+            return;
+        }
+        debug_assert!(occs.windows(2).all(|w| w[0].event_type == w[1].event_type));
+        let Some(mgr) = self.manager(occs[0].event_type) else {
+            return;
+        };
+        let t0 = self.metrics.span_start();
+        if t0.is_some() {
+            self.metrics.events.detected.add(occs.len() as u64);
+        }
+        self.trace.log(|| {
+            format!(
+                "ECA-manager[{}] creates {} Event objects (batch)",
+                mgr.name,
+                occs.len()
+            )
+        });
+        mgr.history.record_batch(&occs);
+        let observers = self.observers.read().clone();
+        let rules = mgr.rules();
+        let handler = if rules.is_empty() {
+            None
+        } else {
+            self.handler.read().clone()
+        };
+        let subscribers = mgr.subscribers();
+        if subscribers.is_empty() {
+            for occ in &occs {
+                for obs in &observers {
+                    obs(occ);
+                }
+            }
+            if let Some(h) = handler {
+                h.fire_batch(rules, &occs);
+            }
+        } else {
+            let sub_mgrs: Vec<_> = subscribers
+                .iter()
+                .filter_map(|s| self.manager(*s))
+                .collect();
+            for occ in &occs {
+                for obs in &observers {
+                    obs(occ);
+                }
+                if let Some(h) = &handler {
+                    h.fire(rules.clone(), Arc::clone(occ));
+                }
+                for sub_mgr in &sub_mgrs {
+                    if !self.send_feed(sub_mgr, occ) {
+                        self.feed_compositor(sub_mgr, occ);
+                    }
+                }
+            }
+        }
+        if let Some(t0) = t0 {
+            self.metrics
+                .record_span(Stage::EcaManager, t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Try to hand an occurrence to `sub_mgr`'s worker inbox. Returns
+    /// false (caller feeds inline) when the manager has no worker
+    /// (synchronous mode), the worker is gone, or — for compositor
+    /// worker threads only — the bounded inbox is full. Application
+    /// threads block on a full inbox instead: that is the admission
+    /// control the bound exists for, and it preserves per-compositor
+    /// FIFO order. Workers must not block (see [`IN_WORKER`]), so under
+    /// overload a cascading completion is composed inline by the
+    /// sending worker; the compositor's own lock keeps that safe.
+    fn send_feed(&self, sub_mgr: &EcaManager, occ: &Arc<EventOccurrence>) -> bool {
+        let tx = sub_mgr.worker_tx.read();
+        let Some(tx) = &*tx else {
+            return false;
+        };
+        if IN_WORKER.with(|w| w.get()) {
+            match tx.try_send(WorkerMsg::Feed(Arc::clone(occ))) {
+                Ok(()) => true,
+                Err(TrySendError::Full(_)) | Err(TrySendError::Disconnected(_)) => false,
+            }
+        } else {
+            tx.send(WorkerMsg::Feed(Arc::clone(occ))).is_ok()
         }
     }
 
@@ -860,7 +1097,7 @@ impl Router {
             workers
                 .values()
                 .filter_map(|(tx, _)| {
-                    let (ack_tx, ack_rx) = unbounded();
+                    let (ack_tx, ack_rx) = bounded(1);
                     tx.send(WorkerMsg::Flush(ack_tx)).ok().map(|_| ack_rx)
                 })
                 .collect()

@@ -33,6 +33,7 @@ use reach_common::{
 };
 use reach_txn::dependency::{CommitRule, Outcome};
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicIsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -88,6 +89,71 @@ impl ActionPool {
             all_ok &= ack_rx.recv().unwrap_or(false);
         }
         all_ok
+    }
+}
+
+/// Standing workers for detached rule firings. A thread spawn per
+/// detached firing dominates the detached path under load (E13 fires
+/// ~1.6k detached rules per run). The pool parks a few workers and
+/// falls back to a fresh thread whenever none is idle, so the blocking
+/// dependency waits of the causally-dependent modes never queue behind
+/// a busy worker — detached concurrency is preserved exactly, only the
+/// spawn cost of the common case is amortized.
+struct DetachedPool {
+    tx: crossbeam::channel::Sender<Box<dyn FnOnce() + Send>>,
+    /// Workers parked in `recv` and not yet reserved by a submission.
+    /// Every successful reservation (CAS decrement) pairs with exactly
+    /// one queued job, so a job never waits behind a blocked one.
+    idle: AtomicIsize,
+}
+
+impl DetachedPool {
+    fn new(workers: usize) -> Arc<Self> {
+        let (tx, rx) = crossbeam::channel::unbounded::<Box<dyn FnOnce() + Send>>();
+        let pool = Arc::new(DetachedPool {
+            tx,
+            idle: AtomicIsize::new(0),
+        });
+        for i in 0..workers {
+            let rx = rx.clone();
+            let pool2 = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name(format!("reach-detached-{i}"))
+                .spawn(move || {
+                    while let Ok(job) = rx.recv() {
+                        job();
+                        pool2.idle.fetch_add(1, Ordering::Release);
+                    }
+                })
+                .expect("spawn detached worker");
+        }
+        pool.idle.store(workers as isize, Ordering::Release);
+        pool
+    }
+
+    /// Run `job` on a parked worker, or a fresh thread if none is idle.
+    fn run(&self, job: Box<dyn FnOnce() + Send>) {
+        let mut idle = self.idle.load(Ordering::Acquire);
+        loop {
+            if idle <= 0 {
+                std::thread::spawn(job);
+                return;
+            }
+            match self.idle.compare_exchange_weak(
+                idle,
+                idle - 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(current) => idle = current,
+            }
+        }
+        if let Err(crossbeam::channel::SendError(job)) = self.tx.send(job) {
+            // Workers gone (engine tearing down): degrade to a thread.
+            self.idle.fetch_add(1, Ordering::Release);
+            std::thread::spawn(job);
+        }
     }
 }
 
@@ -199,7 +265,7 @@ pub struct Engine {
     /// subtransaction (the naive design) instead of as queries in the
     /// triggering transaction. Default false; the `ablation` bench
     /// measures the difference.
-    conditions_in_subtxn: RwLock<bool>,
+    conditions_in_subtxn: std::sync::atomic::AtomicBool,
     deferred: Mutex<HashMap<TxnId, Vec<Pending>>>,
     hooked: Mutex<HashSet<TxnId>>,
     /// Transactions spawned to run detached rules. Their flow-control
@@ -210,6 +276,8 @@ pub struct Engine {
     rule_txns: Mutex<HashSet<TxnId>>,
     /// Standing workers for parallel immediate actions (lazy).
     pool: Mutex<Option<Arc<ActionPool>>>,
+    /// Standing workers for detached firings (lazy).
+    detached_pool: Mutex<Option<Arc<DetachedPool>>>,
     inflight: Mutex<usize>,
     idle: Condvar,
     /// Stack-wide registry; rule accounting lands in `metrics.engine`
@@ -229,11 +297,12 @@ impl Engine {
             strategy: RwLock::new(ExecutionStrategy::Serial),
             tiebreak: RwLock::new(TieBreak::OldestFirst),
             simple_events_first: RwLock::new(false),
-            conditions_in_subtxn: RwLock::new(false),
+            conditions_in_subtxn: std::sync::atomic::AtomicBool::new(false),
             deferred: Mutex::new(HashMap::new()),
             hooked: Mutex::new(HashSet::new()),
             rule_txns: Mutex::new(HashSet::new()),
             pool: Mutex::new(None),
+            detached_pool: Mutex::new(None),
             inflight: Mutex::new(0),
             idle: Condvar::new(),
             metrics,
@@ -320,7 +389,7 @@ impl Engine {
 
     /// Ablation: run immediate conditions in their own subtransactions.
     pub fn set_conditions_in_subtxn(&self, on: bool) {
-        *self.conditions_in_subtxn.write() = on;
+        self.conditions_in_subtxn.store(on, Ordering::Release);
     }
 
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -457,7 +526,7 @@ impl Engine {
         occ: &Arc<EventOccurrence>,
     ) -> Result<bool> {
         self.metrics.engine.immediate_runs.inc();
-        if *self.conditions_in_subtxn.read() {
+        if self.conditions_in_subtxn.load(Ordering::Acquire) {
             // Ablation path: the naive design pays a subtransaction per
             // condition evaluation.
             let tm = self.db.txn_manager();
@@ -640,6 +709,33 @@ impl Engine {
         }
     }
 
+    /// Enqueue a whole batch of deferred firings for one top-level
+    /// transaction under a single lock pass. The pre-commit drain
+    /// sorts by (priority, simple-first, rule age), which orders
+    /// entries of *different* rules deterministically regardless of
+    /// enqueue order, and the sort is stable, so entries of the same
+    /// rule keep their event order — batching the enqueue leaves the
+    /// drain order identical to per-event scheduling.
+    fn enqueue_deferred_batch(self: &Arc<Self>, top: TxnId, entries: Vec<Pending>) {
+        if entries.is_empty() {
+            return;
+        }
+        self.deferred.lock().entry(top).or_default().extend(entries);
+        let mut hooked = self.hooked.lock();
+        if hooked.insert(top) {
+            let engine = Arc::clone(self);
+            let res = self
+                .db
+                .txn_manager()
+                .defer(top, Box::new(move || engine.drain_deferred(top)));
+            if res.is_err() {
+                hooked.remove(&top);
+                self.deferred.lock().remove(&top);
+                self.metrics.engine.failures.inc();
+            }
+        }
+    }
+
     /// Drain the deferred batch of `top` at pre-commit, ordered. Rules
     /// scheduled *during* the drain form a later batch (the transaction
     /// manager keeps calling back until the queue is dry).
@@ -783,7 +879,7 @@ impl Engine {
         };
         *self.inflight.lock() += 1;
         let engine = Arc::clone(self);
-        std::thread::spawn(move || {
+        let job = Box::new(move || {
             engine.run_detached(
                 rule,
                 occ,
@@ -798,6 +894,17 @@ impl Engine {
                 engine.idle.notify_all();
             }
         });
+        let pool = {
+            let mut guard = self.detached_pool.lock();
+            Arc::clone(guard.get_or_insert_with(|| {
+                let n = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(2)
+                    .max(2);
+                DetachedPool::new(n)
+            }))
+        };
+        pool.run(job);
     }
 
     fn run_detached(
@@ -962,6 +1069,60 @@ impl Engine {
                 .record_span(Stage::Engine, t0.elapsed().as_nanos() as u64);
         }
     }
+
+    /// Batched [`Engine::fire_all`]: order the rule set once, then
+    /// schedule and fire per occurrence in event order. Each
+    /// occurrence still sees the exact per-event sequence — deferred/
+    /// detached scheduling in priority order, then its immediate batch
+    /// — so firing sequences are identical to per-event dispatch.
+    pub fn fire_batch(self: &Arc<Self>, mut rules: Vec<Arc<Rule>>, occs: &[Arc<EventOccurrence>]) {
+        let t0 = self.metrics.span_start();
+        self.order(&mut rules);
+        let n_immediate = rules
+            .iter()
+            .filter(|r| r.coupling == CouplingMode::Immediate)
+            .count();
+        // Deferred firings for the batch are collected per top-level
+        // transaction run and enqueued in one lock pass (see
+        // `enqueue_deferred_batch` for why the drain order is
+        // unaffected).
+        let mut deferred: Vec<Pending> = Vec::new();
+        let mut deferred_top: Option<TxnId> = None;
+        for occ in occs {
+            let mut immediate = Vec::with_capacity(n_immediate);
+            for rule in &rules {
+                match rule.coupling {
+                    CouplingMode::Immediate => immediate.push(Arc::clone(rule)),
+                    CouplingMode::Deferred => match occ.top_txn {
+                        Some(top) => {
+                            if deferred_top != Some(top) {
+                                if let Some(prev) = deferred_top {
+                                    self.enqueue_deferred_batch(
+                                        prev,
+                                        std::mem::take(&mut deferred),
+                                    );
+                                }
+                                deferred_top = Some(top);
+                            }
+                            deferred.push((Arc::clone(rule), Arc::clone(occ), false));
+                        }
+                        None => self.metrics.engine.failures.inc(),
+                    },
+                    mode => self.spawn_detached(Arc::clone(rule), Arc::clone(occ), mode),
+                }
+            }
+            if !immediate.is_empty() {
+                self.fire_immediate(immediate, occ);
+            }
+        }
+        if let Some(top) = deferred_top {
+            self.enqueue_deferred_batch(top, deferred);
+        }
+        if let Some(t0) = t0 {
+            self.metrics
+                .record_span(Stage::Engine, t0.elapsed().as_nanos() as u64);
+        }
+    }
 }
 
 /// Adapter installing an [`Engine`] as the router's fire handler.
@@ -970,5 +1131,9 @@ pub struct EngineHandler(pub Arc<Engine>);
 impl FireHandler for EngineHandler {
     fn fire(&self, rules: Vec<Arc<Rule>>, occ: Arc<EventOccurrence>) {
         self.0.fire_all(rules, occ);
+    }
+
+    fn fire_batch(&self, rules: Vec<Arc<Rule>>, occs: &[Arc<EventOccurrence>]) {
+        self.0.fire_batch(rules, occs);
     }
 }

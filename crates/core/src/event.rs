@@ -13,7 +13,7 @@ use crate::algebra::{CompositionScope, Correlation, EventExpr, Lifespan};
 use crate::consumption::ConsumptionPolicy;
 use crate::coupling::EventCategory;
 use reach_common::{ClassId, EventTypeId, MethodId, ObjectId, TimePoint, Timestamp, TxnId};
-use reach_object::Value;
+use reach_object::{Args, Value};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -116,8 +116,11 @@ impl EventSpec {
 pub struct EventData {
     /// Receiver of a method event / subject of a state or lifecycle event.
     pub receiver: Option<ObjectId>,
-    /// Method arguments (method events) or signal payload.
-    pub args: Vec<Value>,
+    /// Method arguments (method events) or signal payload — shared
+    /// with the originating `MethodCall`, so copying an occurrence (or
+    /// raising one per registered event type) bumps a refcount instead
+    /// of cloning values.
+    pub args: Args,
     /// Attribute name (state-change events).
     pub attribute: Option<String>,
     /// Old value (state-change events).
@@ -193,6 +196,146 @@ impl EventOccurrence {
     }
 }
 
+/// Handle into an [`OccSlab`] — a slot index plus the slot's tag at
+/// allocation time. Copying a handle is two `u32` moves; no refcount
+/// traffic. A handle outliving its slot (tag mismatch after the slot
+/// was freed and reused) resolves to `None` instead of aliasing the
+/// new tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OccHandle {
+    slot: u32,
+    tag: u32,
+}
+
+struct OccSlot {
+    /// Bumped every time the slot is freed, invalidating old handles.
+    tag: u32,
+    occ: Option<Arc<EventOccurrence>>,
+}
+
+/// Generation-indexed slab of event occurrences backing the compositors'
+/// constituent storage (§6.3's hot path).
+///
+/// Semi-composed automaton instances used to hold `Arc<EventOccurrence>`
+/// clones directly, and gathering constituents re-cloned every `Arc` at
+/// each tree level. With the slab, instances hold [`OccHandle`]s (plain
+/// indices), and the occurrences themselves live in slots grouped into
+/// *generations* — one generation per composition window (automaton
+/// instance). When the window closes (the instance fires, its life-span
+/// elapses, its transaction ends, or pressure GC discards it), the
+/// whole generation is freed in one sweep and its slots recycle through
+/// a free list; steady-state composition allocates no slot storage at
+/// all once the slab has reached its working-set size.
+///
+/// Handles never escape the compositor: completions are resolved back
+/// to `Arc<EventOccurrence>` *before* the generation is freed, so the
+/// engine-facing API is unchanged and no occurrence can dangle.
+pub struct OccSlab {
+    slots: Vec<OccSlot>,
+    free: Vec<u32>,
+    /// Open generation → handles allocated under it.
+    gens: std::collections::HashMap<u64, Vec<OccHandle>>,
+    next_gen: u64,
+    live: usize,
+    high_water: usize,
+}
+
+impl Default for OccSlab {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OccSlab {
+    pub fn new() -> Self {
+        OccSlab {
+            slots: Vec::new(),
+            free: Vec::new(),
+            gens: std::collections::HashMap::new(),
+            next_gen: 0,
+            live: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Open a new generation (one per composition window).
+    pub fn open_gen(&mut self) -> u64 {
+        let g = self.next_gen;
+        self.next_gen += 1;
+        self.gens.insert(g, Vec::new());
+        g
+    }
+
+    /// Store an occurrence under `gen`, returning its handle.
+    pub fn alloc(&mut self, gen: u64, occ: Arc<EventOccurrence>) -> OccHandle {
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i as usize].occ = Some(occ);
+                i
+            }
+            None => {
+                let i = self.slots.len() as u32;
+                self.slots.push(OccSlot {
+                    tag: 0,
+                    occ: Some(occ),
+                });
+                i
+            }
+        };
+        let h = OccHandle {
+            slot,
+            tag: self.slots[slot as usize].tag,
+        };
+        self.gens.entry(gen).or_default().push(h);
+        self.live += 1;
+        self.high_water = self.high_water.max(self.live);
+        h
+    }
+
+    /// Resolve a handle. `None` iff the handle's slot was freed since.
+    pub fn get(&self, h: OccHandle) -> Option<&Arc<EventOccurrence>> {
+        let slot = self.slots.get(h.slot as usize)?;
+        if slot.tag != h.tag {
+            return None;
+        }
+        slot.occ.as_ref()
+    }
+
+    /// Free one slot early (a superseded `recent`-context constituent).
+    /// The handle stays in its generation's list; the tag check makes
+    /// the later generation sweep skip it.
+    pub fn free_one(&mut self, h: OccHandle) {
+        if let Some(slot) = self.slots.get_mut(h.slot as usize) {
+            if slot.tag == h.tag && slot.occ.is_some() {
+                slot.occ = None;
+                slot.tag = slot.tag.wrapping_add(1);
+                self.free.push(h.slot);
+                self.live -= 1;
+            }
+        }
+    }
+
+    /// Close a generation: free every slot allocated under it.
+    pub fn free_gen(&mut self, gen: u64) {
+        let Some(handles) = self.gens.remove(&gen) else {
+            return;
+        };
+        for h in handles {
+            self.free_one(h);
+        }
+    }
+
+    /// Occupied slots right now.
+    pub fn live(&self) -> usize {
+        self.live
+    }
+
+    /// Most slots ever occupied at once (working-set size).
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,5 +406,40 @@ mod tests {
         let mid = Arc::new(occ(2, None, vec![Arc::clone(&leaf)]));
         let root = occ(3, None, vec![mid]);
         assert_eq!(root.first_primitive().event_type, EventTypeId::new(1));
+    }
+
+    #[test]
+    fn slab_recycles_slots_per_generation() {
+        let mut slab = OccSlab::new();
+        let g1 = slab.open_gen();
+        let h1 = slab.alloc(g1, Arc::new(occ(1, Some(1), vec![])));
+        let h2 = slab.alloc(g1, Arc::new(occ(2, Some(1), vec![])));
+        assert_eq!(slab.live(), 2);
+        assert_eq!(slab.get(h1).unwrap().event_type, EventTypeId::new(1));
+        slab.free_gen(g1);
+        assert_eq!(slab.live(), 0);
+        // Stale handles miss: the tag was bumped on free.
+        assert!(slab.get(h1).is_none());
+        assert!(slab.get(h2).is_none());
+        // A later generation reuses the slots without growing the slab.
+        let g2 = slab.open_gen();
+        let h3 = slab.alloc(g2, Arc::new(occ(3, Some(2), vec![])));
+        let _h4 = slab.alloc(g2, Arc::new(occ(4, Some(2), vec![])));
+        assert_eq!(slab.high_water(), 2, "slots recycled, no growth");
+        assert_eq!(slab.get(h3).unwrap().event_type, EventTypeId::new(3));
+    }
+
+    #[test]
+    fn slab_free_one_is_idempotent_under_gen_sweep() {
+        let mut slab = OccSlab::new();
+        let g = slab.open_gen();
+        let h = slab.alloc(g, Arc::new(occ(1, Some(1), vec![])));
+        slab.free_one(h); // recent-context supersede
+        assert_eq!(slab.live(), 0);
+        let h2 = slab.alloc(g, Arc::new(occ(2, Some(1), vec![])));
+        assert_eq!(h2.slot, h.slot, "slot recycled within the generation");
+        slab.free_gen(g); // must not double-free h / free h2 twice
+        assert_eq!(slab.live(), 0);
+        assert!(slab.get(h2).is_none());
     }
 }

@@ -43,6 +43,19 @@ impl LocalHistory {
         ring.push_back(occ);
     }
 
+    /// Record a whole batch under one lock acquisition — the batched
+    /// delivery path appends here once per event-type run instead of
+    /// once per occurrence.
+    pub fn record_batch(&self, occs: &[Arc<EventOccurrence>]) {
+        let mut ring = self.ring.lock();
+        for occ in occs {
+            if ring.len() == self.capacity {
+                ring.pop_front();
+            }
+            ring.push_back(Arc::clone(occ));
+        }
+    }
+
     /// Occurrences belonging to `txn`'s top level, removed from the
     /// local ring — the collector calls this after EOT.
     pub fn drain_for_txn(&self, top: TxnId) -> Vec<Arc<EventOccurrence>> {

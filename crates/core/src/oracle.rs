@@ -45,12 +45,12 @@ enum Slot {
         violated: bool,
     },
     Closure {
-        template: EventExpr,
+        template: Arc<EventExpr>,
         current: Box<Slot>,
         banked: Vec<Firing>,
     },
     History {
-        template: EventExpr,
+        template: Arc<EventExpr>,
         current: Box<Slot>,
         banked: Vec<Firing>,
         target: u32,
@@ -74,12 +74,12 @@ fn fresh(expr: &EventExpr) -> Slot {
             violated: false,
         },
         EventExpr::Closure(inner) => Slot::Closure {
-            template: (**inner).clone(),
+            template: Arc::clone(inner),
             current: Box::new(fresh(inner)),
             banked: Vec::new(),
         },
         EventExpr::History { expr, count } => Slot::History {
-            template: (**expr).clone(),
+            template: Arc::clone(expr),
             current: Box::new(fresh(expr)),
             banked: Vec::new(),
             target: *count,
@@ -442,7 +442,7 @@ mod tests {
 
     #[test]
     fn negation_fires_at_close_iff_absent() {
-        let expr = EventExpr::Sequence(vec![e(1), EventExpr::Negation(Box::new(e(2)))]);
+        let expr = EventExpr::Sequence(vec![e(1), EventExpr::Negation(Arc::new(e(2)))]);
         let mut c = OracleCompositor::new(expr.clone(), ConsumptionPolicy::Chronicle);
         c.feed(&occ(1, 1));
         assert_eq!(seqs(c.close()), vec![vec![1]]);
@@ -455,7 +455,7 @@ mod tests {
     #[test]
     fn closure_banks_all_completions() {
         let mut c = OracleCompositor::new(
-            EventExpr::Closure(Box::new(e(1))),
+            EventExpr::Closure(Arc::new(e(1))),
             ConsumptionPolicy::Chronicle,
         );
         for s in 1..=4 {
@@ -469,7 +469,7 @@ mod tests {
     fn history_completes_at_count() {
         let mut c = OracleCompositor::new(
             EventExpr::History {
-                expr: Box::new(e(1)),
+                expr: Arc::new(e(1)),
                 count: 3,
             },
             ConsumptionPolicy::Chronicle,

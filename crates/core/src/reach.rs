@@ -694,6 +694,12 @@ impl MethodBridge {
 
 impl MethodSentry for MethodBridge {
     fn before(&self, call: &MethodCall) -> Result<()> {
+        // No before-phase method event is registered anywhere: the
+        // raise cannot match and no immediate rule can veto, so skip
+        // the txn resolution, index lookup and activity check outright.
+        if !self.0.router.observes_method_phase(MethodPhase::Before) {
+            return Ok(());
+        }
         self.raise(call, MethodPhase::Before);
         // An immediate rule may have aborted the triggering transaction
         // (consistency veto): refuse to run the method body then.
@@ -704,7 +710,59 @@ impl MethodSentry for MethodBridge {
     }
 
     fn after(&self, call: &MethodCall, _result: &Result<Value>) {
+        if !self.0.router.observes_method_phase(MethodPhase::After) {
+            return;
+        }
         self.raise(call, MethodPhase::After);
+    }
+
+    /// Batched after-detection: translate the whole batch into router
+    /// observations and raise them in one pass, amortizing the
+    /// txn→top resolution, the clock read and the metrics stamps.
+    /// (All calls get the batch-end clock reading as their time point;
+    /// under the virtual clock that is exactly what per-call raising
+    /// yields too, since the clock only moves on explicit ticks.)
+    fn after_batch(&self, calls: &[(MethodCall, Result<Value>)]) {
+        let sys = &self.0;
+        if !sys.router.observes_method_phase(MethodPhase::After) {
+            return;
+        }
+        let t0 = sys.db.metrics().span_start();
+        let now = sys.db.clock().now();
+        let mut last: Option<(TxnId, TxnId)> = None;
+        let mut obs = Vec::with_capacity(calls.len());
+        for (call, _result) in calls {
+            if call.txn.is_null() {
+                continue; // events outside transactions are not observable
+            }
+            let top = match last {
+                Some((txn, top)) if txn == call.txn => top,
+                _ => match sys.db.txn_manager().top_of(call.txn) {
+                    Ok(top) => {
+                        last = Some((call.txn, top));
+                        top
+                    }
+                    Err(_) => continue,
+                },
+            };
+            obs.push(crate::eca::MethodObservation {
+                txn: call.txn,
+                top,
+                at: now,
+                receiver: call.receiver,
+                class: call.class,
+                method: call.method,
+                phase: MethodPhase::After,
+                args: &call.args,
+            });
+        }
+        sys.router.raise_method_batch(&obs);
+        if let Some(t0) = t0 {
+            let m = sys.db.metrics();
+            m.sentry.inline_invocations.add(obs.len() as u64);
+            m.sentry.inline_detections.add(obs.len() as u64);
+            m.record_span(Stage::Sentry, t0.elapsed().as_nanos() as u64);
+        }
     }
 }
 
@@ -780,18 +838,20 @@ struct FlowBridge(Arc<ReachSystem>);
 impl TxnListener for FlowBridge {
     fn on_txn_event(&self, event: &TxnEvent) {
         let sys = &self.0;
-        // Rule-spawned transactions do not raise flow-control events
-        // (termination guard), but their composition state and histories
-        // are still cleaned up below.
-        let suppress_flow = sys.engine.is_rule_txn(event.top_level);
         let point = match event.kind {
             TxnEventKind::Begin => FlowPoint::Begin,
             TxnEventKind::PreCommit => FlowPoint::PreCommit,
             TxnEventKind::Committed => FlowPoint::Commit,
             TxnEventKind::Aborted => FlowPoint::Abort,
         };
+        // Rule-spawned transactions do not raise flow-control events
+        // (termination guard), but their composition state and histories
+        // are still cleaned up below. Both the rule-txn test (a mutex)
+        // and the raise itself are skipped entirely when no flow event
+        // is registered — this listener runs twice per subtransaction,
+        // so with zero flow rules it must stay at one atomic load.
         let raise = |txn, top, at, point| {
-            if !suppress_flow {
+            if sys.router.observes_flow() && !sys.engine.is_rule_txn(event.top_level) {
                 sys.router.raise_flow(txn, top, at, point);
             }
         };

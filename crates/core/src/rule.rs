@@ -248,7 +248,7 @@ mod tests {
             top_txn: Some(TxnId::new(1)),
             data: EventData {
                 receiver: Some(reach_common::ObjectId::new(9)),
-                args: vec![Value::Int(42)],
+                args: vec![Value::Int(42)].into(),
                 ..Default::default()
             },
             constituents: Vec::new(),
@@ -297,7 +297,7 @@ mod tests {
         assert_eq!(hits.load(Ordering::SeqCst), 1);
         // Condition false → action does not run.
         let mut cold = occurrence();
-        cold.data.args = vec![Value::Int(1)];
+        cold.data.args = vec![Value::Int(1)].into();
         let ctx = RuleCtx {
             db: &db,
             txn: TxnId::new(1),

@@ -192,7 +192,7 @@ fn concurrent_transactions_feeding_one_cross_tx_composite() {
         .define_composite(
             "ten",
             EventExpr::History {
-                expr: Box::new(EventExpr::Primitive(ev)),
+                expr: Arc::new(EventExpr::Primitive(ev)),
                 count: 10,
             },
             CompositionScope::CrossTransaction,

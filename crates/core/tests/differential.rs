@@ -44,10 +44,10 @@ fn expr_strategy() -> BoxedStrategy<EventExpr> {
             proptest::collection::vec(inner.clone(), 2..4).prop_map(EventExpr::Sequence),
             proptest::collection::vec(inner.clone(), 2..4).prop_map(EventExpr::Conjunction),
             proptest::collection::vec(inner.clone(), 2..4).prop_map(EventExpr::Disjunction),
-            inner.clone().prop_map(|e| EventExpr::Negation(Box::new(e))),
-            inner.clone().prop_map(|e| EventExpr::Closure(Box::new(e))),
+            inner.clone().prop_map(|e| EventExpr::Negation(Arc::new(e))),
+            inner.clone().prop_map(|e| EventExpr::Closure(Arc::new(e))),
             (inner, 1u32..4).prop_map(|(e, count)| EventExpr::History {
-                expr: Box::new(e),
+                expr: Arc::new(e),
                 count
             }),
         ]
@@ -140,13 +140,13 @@ fn parallel_delivery_matches_single_threaded_oracle() {
         EventExpr::Conjunction(vec![
             EventExpr::Primitive(EventTypeId::new(1)),
             EventExpr::History {
-                expr: Box::new(EventExpr::Primitive(EventTypeId::new(3))),
+                expr: Arc::new(EventExpr::Primitive(EventTypeId::new(3))),
                 count: 2,
             },
         ]),
         EventExpr::Sequence(vec![
             EventExpr::Primitive(EventTypeId::new(1)),
-            EventExpr::Negation(Box::new(EventExpr::Primitive(EventTypeId::new(2)))),
+            EventExpr::Negation(Arc::new(EventExpr::Primitive(EventTypeId::new(2)))),
         ]),
     ];
     for (which, expr) in exprs.iter().enumerate() {

@@ -94,7 +94,7 @@ fn e13_workload_touches_every_firing_path_stage() {
         .define_composite_correlated(
             "sensor-storm",
             EventExpr::History {
-                expr: Box::new(EventExpr::Primitive(anomaly)),
+                expr: Arc::new(EventExpr::Primitive(anomaly)),
                 count: 3,
             },
             CompositionScope::CrossTransaction,

@@ -131,7 +131,7 @@ fn deferred_simple_events_before_composite_policy() {
         .define_composite(
             "pair",
             EventExpr::History {
-                expr: Box::new(EventExpr::Primitive(simple)),
+                expr: Arc::new(EventExpr::Primitive(simple)),
                 count: 1,
             },
             CompositionScope::SameTransaction,
@@ -234,7 +234,7 @@ fn composite_of_composites() {
         .define_composite(
             "two-hits",
             EventExpr::History {
-                expr: Box::new(EventExpr::Primitive(e1)),
+                expr: Arc::new(EventExpr::Primitive(e1)),
                 count: 2,
             },
             CompositionScope::CrossTransaction,
@@ -247,7 +247,7 @@ fn composite_of_composites() {
         .define_composite(
             "two-pairs",
             EventExpr::History {
-                expr: Box::new(EventExpr::Primitive(inner)),
+                expr: Arc::new(EventExpr::Primitive(inner)),
                 count: 2,
             },
             CompositionScope::CrossTransaction,
@@ -300,7 +300,7 @@ fn negation_composite_same_txn_end_to_end() {
             "hit-unacked",
             EventExpr::Sequence(vec![
                 EventExpr::Primitive(e1),
-                EventExpr::Negation(Box::new(EventExpr::Primitive(e2))),
+                EventExpr::Negation(Arc::new(EventExpr::Primitive(e2))),
             ]),
             CompositionScope::SameTransaction,
             Lifespan::Transaction,
@@ -347,7 +347,7 @@ fn closure_composite_collapses_in_transaction() {
         .sys
         .define_composite(
             "hit-burst",
-            EventExpr::Closure(Box::new(EventExpr::Primitive(e1))),
+            EventExpr::Closure(Arc::new(EventExpr::Primitive(e1))),
             CompositionScope::SameTransaction,
             Lifespan::Transaction,
             ConsumptionPolicy::Chronicle,
@@ -395,7 +395,7 @@ fn aborted_transaction_revokes_its_events_from_cross_tx_composites() {
         .define_composite(
             "pair",
             EventExpr::History {
-                expr: Box::new(EventExpr::Primitive(e1)),
+                expr: Arc::new(EventExpr::Primitive(e1)),
                 count: 2,
             },
             CompositionScope::SameTransaction,
@@ -646,7 +646,7 @@ fn same_receiver_correlation_partitions_instances() {
         .define_composite_correlated(
             "three-hits-same-obj",
             EventExpr::History {
-                expr: Box::new(EventExpr::Primitive(ev)),
+                expr: Arc::new(EventExpr::Primitive(ev)),
                 count: 3,
             },
             CompositionScope::CrossTransaction,
@@ -708,7 +708,7 @@ fn uncorrelated_composite_mixes_receivers() {
         .define_composite(
             "three-hits-any",
             EventExpr::History {
-                expr: Box::new(EventExpr::Primitive(ev)),
+                expr: Arc::new(EventExpr::Primitive(ev)),
                 count: 3,
             },
             CompositionScope::CrossTransaction,

@@ -456,7 +456,7 @@ fn composite_sequence_fires_deferred_rule_in_same_transaction() {
         .define_composite(
             "report-twice",
             EventExpr::History {
-                expr: Box::new(EventExpr::Primitive(ev)),
+                expr: Arc::new(EventExpr::Primitive(ev)),
                 count: 2,
             },
             CompositionScope::SameTransaction,
@@ -505,7 +505,7 @@ fn cross_transaction_composite_with_detached_rule() {
         .define_composite(
             "two-reports-any-tx",
             EventExpr::History {
-                expr: Box::new(EventExpr::Primitive(ev)),
+                expr: Arc::new(EventExpr::Primitive(ev)),
                 count: 2,
             },
             CompositionScope::CrossTransaction,
@@ -859,7 +859,7 @@ fn parallel_composition_mode_reaches_the_same_result() {
         .define_composite(
             "three",
             EventExpr::History {
-                expr: Box::new(EventExpr::Primitive(ev)),
+                expr: Arc::new(EventExpr::Primitive(ev)),
                 count: 3,
             },
             CompositionScope::CrossTransaction,
@@ -956,7 +956,7 @@ fn figure2_trace_records_the_message_flow() {
         .define_composite(
             "pair",
             EventExpr::History {
-                expr: Box::new(EventExpr::Primitive(ev)),
+                expr: Arc::new(EventExpr::Primitive(ev)),
                 count: 2,
             },
             CompositionScope::SameTransaction,

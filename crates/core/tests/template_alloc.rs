@@ -1,0 +1,85 @@
+//! Regression test for the compositor template deep-clone bug: every
+//! automaton instantiation (and every sub-completion reset inside
+//! window operators) used to deep-clone the full `EventExpr` template
+//! via `(**inner).clone()`, so allocation bytes scaled with the
+//! *square* of expression depth and with instantiation count times
+//! depth. Templates are now shared behind `Arc`, making expression
+//! clones allocation-free and instantiation linear in depth.
+
+use reach_common::EventTypeId;
+use reach_core::algebra::EventExpr;
+use reach_core::compositor::Automaton;
+use reach_core::ConsumptionPolicy;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// System allocator wrapper that tallies allocated bytes. Test binaries
+/// get exactly one global allocator, so this file holds a single test.
+struct CountingAlloc;
+
+static ALLOCATED: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATED.fetch_add(layout.size(), Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// `Closure(Closure(...(Prim)))`, `depth` levels deep.
+fn nested_closure(depth: usize) -> EventExpr {
+    let mut expr = EventExpr::Primitive(EventTypeId::new(1));
+    for _ in 0..depth {
+        expr = EventExpr::Closure(Arc::new(expr));
+    }
+    expr
+}
+
+fn bytes_of(f: impl FnOnce()) -> usize {
+    let before = ALLOCATED.load(Ordering::Relaxed);
+    f();
+    ALLOCATED.load(Ordering::Relaxed) - before
+}
+
+#[test]
+fn instantiation_does_not_deep_clone_templates() {
+    let shallow = nested_closure(16);
+    let deep = nested_closure(64);
+
+    // Cloning an expression shares the Arc-ed operand instead of
+    // copying the subtree: no allocation at all for unary chains.
+    let cloned = bytes_of(|| {
+        let c = deep.clone();
+        std::hint::black_box(&c);
+    });
+    assert_eq!(
+        cloned, 0,
+        "EventExpr::clone must share, not copy, window-operator operands"
+    );
+
+    // Instantiating an automaton allocates the mutable node tree —
+    // linear in depth. The old code additionally deep-cloned each
+    // level's template (quadratic): depth 64 vs 16 would be ~16x, the
+    // shared-template version is ~4x. Assert well under the quadratic
+    // signature, with slack for allocator rounding.
+    let b16 = bytes_of(|| {
+        let a = Automaton::new(&shallow, ConsumptionPolicy::Chronicle);
+        std::hint::black_box(&a);
+    });
+    let b64 = bytes_of(|| {
+        let a = Automaton::new(&deep, ConsumptionPolicy::Chronicle);
+        std::hint::black_box(&a);
+    });
+    assert!(b16 > 0 && b64 > 0, "automaton building allocates nodes");
+    assert!(
+        b64 < b16 * 8,
+        "instantiation bytes must scale linearly with depth, not quadratically: depth16={b16}B depth64={b64}B"
+    );
+}

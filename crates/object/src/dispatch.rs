@@ -20,7 +20,7 @@
 use crate::method::{MethodCtx, MethodRegistry};
 use crate::schema::Schema;
 use crate::space::ObjectSpace;
-use crate::value::Value;
+use crate::value::{Args, Value};
 use reach_common::sync::RwLock;
 use reach_common::{ClassId, MethodId, ObjectId, Result, Timestamp, TxnId};
 use std::collections::HashSet;
@@ -42,7 +42,9 @@ pub struct MethodCall {
     pub class: ClassId,
     pub method: MethodId,
     pub method_name: Arc<str>,
-    pub args: Vec<Value>,
+    /// Shared argument payload — one copy per invocation, refcounted
+    /// into every occurrence raised for it.
+    pub args: Args,
     /// Monotonic sequence number — the event timestamp source.
     pub seq: Timestamp,
 }
@@ -54,6 +56,17 @@ pub trait MethodSentry: Send + Sync {
     fn before(&self, call: &MethodCall) -> Result<()>;
     /// Called after the body returns.
     fn after(&self, call: &MethodCall, result: &Result<Value>);
+
+    /// Called once at the end of a batched invocation with every
+    /// monitored call of the batch and its result, in invocation
+    /// order. The default falls back to per-call
+    /// [`MethodSentry::after`]; event detectors override it to
+    /// amortize per-event dispatch over the whole batch.
+    fn after_batch(&self, calls: &[(MethodCall, Result<Value>)]) {
+        for (call, result) in calls {
+            self.after(call, result);
+        }
+    }
 }
 
 /// Virtual-dispatch engine with the sentry interception point.
@@ -150,7 +163,7 @@ impl Dispatcher {
             class,
             method,
             method_name: Arc::from(method_name),
-            args: args.to_vec(),
+            args: Args::copy_from(args),
             seq: Timestamp::new(self.seq.fetch_add(1, Ordering::Relaxed)),
         };
         let sentries = self.sentries.read().clone();
@@ -169,6 +182,121 @@ impl Dispatcher {
             s.after(&call, &result);
         }
         result
+    }
+
+    /// Invoke a batch of calls within `txn`, raising the monitored
+    /// after-events **once at the end of the batch** instead of after
+    /// each body.
+    ///
+    /// Per call the order is unchanged: before-sentries run (and can
+    /// veto) immediately before each body. What moves is the after
+    /// phase: the after-event of call *i* is observed only after every
+    /// body of the batch has run (or the batch stopped at an error).
+    /// The first error ends the batch; after-events of the calls that
+    /// already ran — including the failing one, matching the per-call
+    /// path where `after` sees the `Err` result — are still raised.
+    pub fn invoke_batch(
+        &self,
+        space: &ObjectSpace,
+        txn: TxnId,
+        calls: &[(ObjectId, &str, &[Value])],
+    ) -> Result<Vec<Value>> {
+        let mut results = Vec::with_capacity(calls.len());
+        let mut pending: Vec<(MethodCall, Result<Value>)> = Vec::new();
+        let mut sentries: Option<Vec<Arc<dyn MethodSentry>>> = None;
+        let mut failure: Option<reach_common::ReachError> = None;
+        // Resolution cache for a run of calls sharing (class, method
+        // name) — the common batch shape is one method over receivers
+        // of one class, where vtable resolution, body lookup, the
+        // monitor test and the name Arc are all per-call repeats of
+        // the same answer. A monitor()/unmonitor() racing the batch
+        // may be observed only from the next resolution run, exactly
+        // as a racing per-call loop may observe it only from some call
+        // onward.
+        let mut resolved: Option<(Arc<str>, ClassId, MethodId, crate::method::MethodBody, bool)> =
+            None;
+        'calls: for &(receiver, method_name, args) in calls {
+            macro_rules! try_or_break {
+                ($e:expr) => {
+                    match $e {
+                        Ok(v) => v,
+                        Err(e) => {
+                            failure = Some(e);
+                            break 'calls;
+                        }
+                    }
+                };
+            }
+            let class = try_or_break!(space.class_of(receiver));
+            let (name, method, body, hit) = match &resolved {
+                Some((n, c, m, b, h)) if *c == class && &**n == method_name => {
+                    (Arc::clone(n), *m, Arc::clone(b), *h)
+                }
+                _ => {
+                    let method = try_or_break!(self.schema.resolve_method(class, method_name));
+                    let body = try_or_break!(self.methods.body(method));
+                    let hit = self.monitor_count.load(Ordering::Acquire) > 0
+                        && self.monitor_hit(class, method);
+                    let name: Arc<str> = Arc::from(method_name);
+                    resolved = Some((Arc::clone(&name), class, method, Arc::clone(&body), hit));
+                    (name, method, body, hit)
+                }
+            };
+            if !hit {
+                let ctx = MethodCtx {
+                    space,
+                    dispatcher: self,
+                    txn,
+                    self_oid: receiver,
+                    args,
+                };
+                results.push(try_or_break!(body(&ctx)));
+                continue;
+            }
+            let call = MethodCall {
+                txn,
+                receiver,
+                class,
+                method,
+                method_name: name,
+                args: Args::copy_from(args),
+                seq: Timestamp::new(self.seq.fetch_add(1, Ordering::Relaxed)),
+            };
+            let chain = sentries.get_or_insert_with(|| self.sentries.read().clone());
+            for s in chain.iter() {
+                if let Err(e) = s.before(&call) {
+                    failure = Some(e);
+                    break 'calls;
+                }
+            }
+            let ctx = MethodCtx {
+                space,
+                dispatcher: self,
+                txn,
+                self_oid: receiver,
+                args,
+            };
+            let result = body(&ctx);
+            match &result {
+                Ok(v) => results.push(v.clone()),
+                Err(e) => failure = Some(e.clone()),
+            }
+            let stop = failure.is_some();
+            pending.push((call, result));
+            if stop {
+                break;
+            }
+        }
+        if !pending.is_empty() {
+            let chain = sentries.unwrap_or_else(|| self.sentries.read().clone());
+            for s in &chain {
+                s.after_batch(&pending);
+            }
+        }
+        match failure {
+            None => Ok(results),
+            Some(e) => Err(e),
+        }
     }
 
     /// Monitoring test that honours inheritance: the pair is monitored if

@@ -21,6 +21,76 @@ pub enum Value {
     List(Vec<Value>),
 }
 
+/// A shared, immutable argument payload.
+///
+/// A monitored method call's arguments flow from the dispatcher through
+/// the sentry chain into every event occurrence raised for it. Behind
+/// an `Arc` slice the values are copied out of the caller's slice
+/// exactly once; every hop after that — the `MethodCall`, each
+/// registered event type's occurrence, composite constituents, history
+/// entries — is a refcount bump instead of a fresh `Vec`. The empty
+/// payload is one process-wide allocation, so argument-less events
+/// allocate nothing.
+#[derive(Debug, Clone)]
+pub struct Args(std::sync::Arc<[Value]>);
+
+impl Args {
+    /// The shared empty payload (no allocation per call).
+    pub fn empty() -> Args {
+        static EMPTY: std::sync::OnceLock<std::sync::Arc<[Value]>> = std::sync::OnceLock::new();
+        Args(std::sync::Arc::clone(
+            EMPTY.get_or_init(|| std::sync::Arc::from(Vec::new())),
+        ))
+    }
+
+    /// Copy a slice into a fresh shared payload (empty slices reuse the
+    /// shared empty allocation).
+    pub fn copy_from(values: &[Value]) -> Args {
+        if values.is_empty() {
+            Args::empty()
+        } else {
+            Args(std::sync::Arc::from(values))
+        }
+    }
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args::empty()
+    }
+}
+
+impl std::ops::Deref for Args {
+    type Target = [Value];
+    fn deref(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl PartialEq for Args {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl From<Vec<Value>> for Args {
+    fn from(values: Vec<Value>) -> Self {
+        if values.is_empty() {
+            Args::empty()
+        } else {
+            Args(std::sync::Arc::from(values))
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Args {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
 /// The static type of a value (used in attribute declarations).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ValueType {

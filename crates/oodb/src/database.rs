@@ -301,6 +301,34 @@ impl Database {
         self.dispatcher.invoke(&self.space, txn, oid, method, args)
     }
 
+    /// Invoke a batch of (possibly sentried) methods within one
+    /// transaction — the hot-path variant of calling [`Database::invoke`]
+    /// per entry. Two costs are amortized over the batch: each distinct
+    /// receiver is locked once (strict 2PL holds the locks to EOT
+    /// anyway, so per-call re-acquisition is pure overhead), and
+    /// monitored *after*-events are raised once at the end of the batch
+    /// (before-sentries still run per call, preserving the veto).
+    /// Results come back in call order; the first error stops the batch
+    /// — calls already executed stay executed, exactly as a mid-
+    /// transaction error in the unbatched loop would leave them.
+    pub fn invoke_batch(
+        &self,
+        txn: TxnId,
+        calls: &[(ObjectId, &str, &[Value])],
+    ) -> Result<Vec<Value>> {
+        self.check_active(txn)?;
+        let mut locked: Vec<ObjectId> = Vec::new();
+        for &(oid, _, _) in calls {
+            // Batches cycle through a small receiver set; a linear scan
+            // beats hashing at that size and allocates nothing extra.
+            if !locked.contains(&oid) {
+                self.tm.lock(txn, oid, LockMode::Exclusive)?;
+                locked.push(oid);
+            }
+        }
+        self.dispatcher.invoke_batch(&self.space, txn, calls)
+    }
+
     /// Read an attribute. Writer transactions take a shared lock and
     /// read the live object; read-only snapshot transactions resolve
     /// the committed version at their begin stamp, lock-free.

@@ -87,6 +87,10 @@ impl VersionPublisher for SnapshotPm {
     fn vacuum(&self, watermark: CommitTs) -> usize {
         self.store.vacuum(watermark)
     }
+
+    fn longest_chain(&self) -> usize {
+        self.store.longest_chain()
+    }
 }
 
 impl PolicyManager for SnapshotPm {

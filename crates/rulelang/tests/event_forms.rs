@@ -110,7 +110,7 @@ fn composite_clause_references_a_registered_composite() {
     sys.define_composite(
         "three-fills",
         EventExpr::History {
-            expr: Box::new(EventExpr::Primitive(fill_ev)),
+            expr: Arc::new(EventExpr::Primitive(fill_ev)),
             count: 3,
         },
         CompositionScope::SameTransaction,

@@ -26,6 +26,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// Writer-path vacuum trigger: when any version publisher retains a
+/// chain longer than this after a publish, the committing writer runs a
+/// vacuum itself instead of waiting for a snapshot-stamp release (which
+/// a stamp-free, write-heavy workload never produces). The watermark is
+/// still computed against the oldest live snapshot, so a triggered
+/// vacuum can never reclaim a version a reader might resolve to.
+pub const VACUUM_CHAIN_THRESHOLD: usize = 64;
+
 /// Lifecycle state of a transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TxnState {
@@ -85,8 +93,12 @@ pub struct TransactionManager {
     locks: Arc<LockManager>,
     deps: Arc<DependencyGraph>,
     txns: Mutex<HashMap<TxnId, TxnRecord>>,
-    listeners: RwLock<Vec<Arc<dyn TxnListener>>>,
-    resources: RwLock<Vec<Arc<dyn ResourceManager>>>,
+    /// Registries are read-mostly and sit on the begin/commit hot path
+    /// of every (sub)transaction, so reads snapshot an `Arc` to the
+    /// current Vec instead of cloning the Vec itself; writers swap in
+    /// a rebuilt Vec (copy-on-write).
+    listeners: RwLock<Arc<Vec<Arc<dyn TxnListener>>>>,
+    resources: RwLock<Arc<Vec<Arc<dyn ResourceManager>>>>,
     ids: IdGen,
     /// Patience for causal-dependency waits at commit.
     dep_timeout: Duration,
@@ -101,7 +113,7 @@ pub struct TransactionManager {
     snapshots: SnapshotRegistry,
     /// Version stores fed at writer commit, reclaimed at watermark
     /// advance.
-    publishers: RwLock<Vec<Arc<dyn VersionPublisher>>>,
+    publishers: RwLock<Arc<Vec<Arc<dyn VersionPublisher>>>>,
 }
 
 impl TransactionManager {
@@ -121,15 +133,15 @@ impl TransactionManager {
             )),
             deps: Arc::new(DependencyGraph::new()),
             txns: Mutex::new(HashMap::new()),
-            listeners: RwLock::new(Vec::new()),
-            resources: RwLock::new(Vec::new()),
+            listeners: RwLock::new(Arc::new(Vec::new())),
+            resources: RwLock::new(Arc::new(Vec::new())),
             ids: IdGen::new(),
             dep_timeout: Duration::from_secs(10),
             metrics,
             commit_ts: AtomicU64::new(0),
             publish_gate: Mutex::new(()),
             snapshots: SnapshotRegistry::new(),
-            publishers: RwLock::new(Vec::new()),
+            publishers: RwLock::new(Arc::new(Vec::new())),
         }
     }
 
@@ -155,19 +167,28 @@ impl TransactionManager {
 
     /// Subscribe to flow-control events.
     pub fn add_listener(&self, l: Arc<dyn TxnListener>) {
-        self.listeners.write().push(l);
+        let mut reg = self.listeners.write();
+        let mut v = (**reg).clone();
+        v.push(l);
+        *reg = Arc::new(v);
     }
 
     /// Register a resource manager (storage, object-space change log).
     pub fn add_resource_manager(&self, rm: Arc<dyn ResourceManager>) {
-        self.resources.write().push(rm);
+        let mut reg = self.resources.write();
+        let mut v = (**reg).clone();
+        v.push(rm);
+        *reg = Arc::new(v);
     }
 
     /// Register a version store to feed at writer commit (publication
     /// happens after durability, before lock release) and reclaim when
     /// the snapshot watermark advances.
     pub fn add_version_publisher(&self, p: Arc<dyn VersionPublisher>) {
-        self.publishers.write().push(p);
+        let mut reg = self.publishers.write();
+        let mut v = (**reg).clone();
+        v.push(p);
+        *reg = Arc::new(v);
     }
 
     /// The current snapshot stamp source: the newest commit timestamp
@@ -182,7 +203,7 @@ impl TransactionManager {
     }
 
     fn emit(&self, kind: TxnEventKind, txn: TxnId, parent: Option<TxnId>, top: TxnId) {
-        let listeners = self.listeners.read().clone();
+        let listeners = Arc::clone(&self.listeners.read());
         if listeners.is_empty() {
             return;
         }
@@ -193,7 +214,7 @@ impl TransactionManager {
             top_level: top,
             at: self.clock.now(),
         };
-        for l in &listeners {
+        for l in listeners.iter() {
             l.on_txn_event(&event);
         }
     }
@@ -203,7 +224,8 @@ impl TransactionManager {
     /// Begin a top-level transaction.
     pub fn begin(&self) -> Result<TxnId> {
         let id: TxnId = self.ids.next();
-        for rm in self.resources.read().iter() {
+        let rms = Arc::clone(&self.resources.read());
+        for rm in rms.iter() {
             rm.begin_top(id)?;
         }
         self.txns.lock().insert(
@@ -327,7 +349,7 @@ impl TransactionManager {
             rec.top
         };
         let savepoints: Vec<u64> = {
-            let rms = self.resources.read().clone();
+            let rms = Arc::clone(&self.resources.read());
             let mut sps = Vec::with_capacity(rms.len());
             for rm in rms.iter() {
                 sps.push(rm.savepoint(top)?);
@@ -436,10 +458,28 @@ impl TransactionManager {
     /// lock-manager traffic, and silently taking a lock here would let
     /// one block behind a writer after all.
     pub fn lock(&self, txn: TxnId, oid: ObjectId, mode: LockMode) -> Result<()> {
-        if self.is_read_only(txn) {
-            return Err(ReachError::ReadOnlyTxn(txn));
-        }
-        let ancestors = self.ancestors(txn);
+        // One registry pass covers both the read-only check and the
+        // ancestor chain — this runs on every object access, and paying
+        // the registry mutex twice per call dominated the lock-grant
+        // stage in the E15 profile.
+        let ancestors = {
+            let txns = self.txns.lock();
+            match txns.get(&txn) {
+                Some(rec) if rec.snapshot.is_some() => {
+                    return Err(ReachError::ReadOnlyTxn(txn));
+                }
+                Some(rec) => {
+                    let mut out = Vec::new();
+                    let mut cur = rec.parent;
+                    while let Some(p) = cur {
+                        out.push(p);
+                        cur = txns.get(&p).and_then(|r| r.parent);
+                    }
+                    out
+                }
+                None => Vec::new(),
+            }
+        };
         self.locks.acquire(txn, oid, mode, &ancestors)
     }
 
@@ -547,7 +587,7 @@ impl TransactionManager {
                 return Err(e);
             }
         }
-        let rms = self.resources.read().clone();
+        let rms = Arc::clone(&self.resources.read());
         for (i, rm) in rms.iter().enumerate() {
             if let Err(e) = rm.commit_top(txn) {
                 // A resource manager refused durability (e.g. storage
@@ -568,16 +608,32 @@ impl TransactionManager {
         // versions are not yet fully in the store (publish-then-advance;
         // the DESIGN.md §4 visibility safety argument).
         {
-            let publishers = self.publishers.read().clone();
+            let publishers = Arc::clone(&self.publishers.read());
             let _gate = self.publish_gate.lock();
             let ts = self.commit_ts.load(Ordering::SeqCst) + 1;
             let mut published = 0usize;
-            for p in &publishers {
+            for p in publishers.iter() {
                 published += p.publish(txn, ts);
             }
             self.commit_ts.store(ts, Ordering::SeqCst);
             if published > 0 && self.metrics.on() {
                 self.metrics.txn.versions_published.add(published as u64);
+            }
+            // Writer-triggered vacuum backstop: snapshot-stamp release
+            // is the primary GC trigger, but a write-heavy workload
+            // that never begins a read-only transaction would grow
+            // chains without bound. When any publisher's longest chain
+            // exceeds the threshold, vacuum right here (the watermark
+            // computation is snapshot-aware, so live readers still pin
+            // whatever they need). The O(1) longest-chain poll keeps
+            // the common commit path free of any GC cost.
+            if published > 0
+                && publishers
+                    .iter()
+                    .any(|p| p.longest_chain() > VACUUM_CHAIN_THRESHOLD)
+            {
+                drop(_gate);
+                self.vacuum_versions();
             }
         }
         let on_commit = {
@@ -646,7 +702,7 @@ impl TransactionManager {
         for action in on_abort.into_iter().rev() {
             action();
         }
-        let rms = self.resources.read().clone();
+        let rms = Arc::clone(&self.resources.read());
         match parent {
             Some(p) => {
                 // Subtransaction: roll the shared top-level back to the
@@ -734,16 +790,31 @@ impl TransactionManager {
     /// Reclaim versions below the oldest live snapshot (or everything
     /// but the newest version per object when no snapshot is live).
     fn vacuum_versions(&self) {
-        let publishers = self.publishers.read().clone();
+        let publishers = Arc::clone(&self.publishers.read());
         if publishers.is_empty() {
             return;
         }
-        let watermark = self
-            .snapshots
-            .oldest()
-            .unwrap_or_else(|| self.commit_ts.load(Ordering::SeqCst) + 1);
+        // The watermark must be computed atomically with respect to
+        // reader registration: `oldest()` and the `commit_ts + 1`
+        // fallback read at different instants let a reader register an
+        // *older* stamp in the gap (oldest() sees no reader, the clock
+        // then advances, and the fallback produces a watermark above
+        // the new reader's stamp) — and the vacuum would reclaim the
+        // base version that reader resolves to. `begin_read_only`
+        // registers stamps and committing writers advance the clock
+        // under the publish gate, so holding it here makes the pair
+        // (live-snapshot check, clock read) a consistent cut. The
+        // reclaim itself can safely run outside the gate: the clock
+        // only grows, so any later-registered stamp is >= watermark-1
+        // and its base version (newest below the watermark) survives.
+        let watermark = {
+            let _gate = self.publish_gate.lock();
+            self.snapshots
+                .oldest()
+                .unwrap_or_else(|| self.commit_ts.load(Ordering::SeqCst) + 1)
+        };
         let mut reclaimed = 0usize;
-        for p in &publishers {
+        for p in publishers.iter() {
             reclaimed += p.vacuum(watermark);
         }
         if reclaimed > 0 && self.metrics.on() {
@@ -1151,6 +1222,9 @@ mod tests {
         fn vacuum(&self, watermark: CommitTs) -> usize {
             self.store.vacuum(watermark)
         }
+        fn longest_chain(&self) -> usize {
+            self.store.longest_chain()
+        }
     }
 
     fn write_and_commit(tm: &TransactionManager, p: &TestPublisher, oid: ObjectId, val: u64) {
@@ -1158,6 +1232,47 @@ mod tests {
         tm.lock(t, oid, LockMode::Exclusive).unwrap();
         p.stage(t, oid, Some(val));
         tm.commit(t).unwrap();
+    }
+
+    #[test]
+    fn version_chains_stay_bounded_under_stamp_free_commits() {
+        // Regression: vacuum used to run only on snapshot-stamp
+        // release, so 10k commits with no read-only transaction ever
+        // open grew the chain to 10k versions. The writer-path
+        // threshold trigger must keep it bounded.
+        let tm = manager();
+        let p = TestPublisher::new();
+        tm.add_version_publisher(Arc::clone(&p) as Arc<dyn VersionPublisher>);
+        let oid = ObjectId::new(3);
+        for v in 0..10_000u64 {
+            write_and_commit(&tm, &p, oid, v);
+        }
+        let retained = p.store.versions_of(oid);
+        assert!(
+            retained <= VACUUM_CHAIN_THRESHOLD + 1,
+            "chain must stay bounded without snapshot readers: {retained} versions retained"
+        );
+        assert!(p.store.longest_chain() <= VACUUM_CHAIN_THRESHOLD + 1);
+        // The newest committed state is always preserved.
+        assert_eq!(
+            p.store
+                .read_at(oid, tm.commit_stamp())
+                .and_then(|v| v.payload),
+            Some(9_999)
+        );
+        // A live snapshot still pins its base version across the
+        // triggered vacuums that further commits produce.
+        let reader = tm.begin_read_only().unwrap();
+        let stamp = tm.snapshot_stamp(reader).unwrap();
+        for v in 0..(2 * VACUUM_CHAIN_THRESHOLD as u64 + 10) {
+            write_and_commit(&tm, &p, oid, 100_000 + v);
+        }
+        assert_eq!(
+            p.store.read_at(oid, stamp).and_then(|v| v.payload),
+            Some(9_999),
+            "writer-triggered vacuum must never reclaim a pinned base"
+        );
+        tm.commit(reader).unwrap();
     }
 
     #[test]

@@ -34,6 +34,7 @@
 use reach_common::sync::Mutex;
 use reach_common::{ObjectId, Result, TxnId};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// A commit timestamp drawn from the transaction manager's commit
 /// clock. `0` is the baseline (state that predates every MVCC-era
@@ -63,6 +64,15 @@ pub struct Version<T> {
 /// oracle workloads with plain integers.
 pub struct VersionStore<T> {
     chains: Mutex<HashMap<ObjectId, Vec<Version<T>>>>,
+    /// Length of the longest chain, maintained incrementally by
+    /// [`VersionStore::publish`] and recomputed by
+    /// [`VersionStore::vacuum`]. Lets a committing writer decide in
+    /// O(1) whether chains have grown enough to warrant a vacuum —
+    /// without this, a write-heavy workload that never opens a
+    /// read-only (snapshot) transaction accumulates versions
+    /// unboundedly, because vacuum otherwise only runs on
+    /// snapshot-stamp release.
+    longest: AtomicUsize,
 }
 
 impl<T> Default for VersionStore<T> {
@@ -76,7 +86,13 @@ impl<T> VersionStore<T> {
     pub fn new() -> Self {
         VersionStore {
             chains: Mutex::new(HashMap::new()),
+            longest: AtomicUsize::new(0),
         }
+    }
+
+    /// Length of the longest version chain (O(1); see the field doc).
+    pub fn longest_chain(&self) -> usize {
+        self.longest.load(Ordering::Relaxed)
     }
 }
 
@@ -94,6 +110,7 @@ impl<T: Clone> VersionStore<T> {
             Some(last) if last.ts == ts => last.payload = payload,
             _ => chain.push(Version { ts, payload }),
         }
+        self.longest.fetch_max(chain.len(), Ordering::Relaxed);
     }
 
     /// Seed the baseline version of `oid` if (and only if) it has no
@@ -169,6 +186,7 @@ impl<T: Clone> VersionStore<T> {
     pub fn vacuum(&self, watermark: CommitTs) -> usize {
         let mut chains = self.chains.lock();
         let mut dropped = 0;
+        let mut longest = 0;
         for chain in chains.values_mut() {
             // Index of the newest version strictly below the watermark:
             // everything before it is unreachable by any live or future
@@ -176,7 +194,9 @@ impl<T: Clone> VersionStore<T> {
             let keep_from = chain.iter().rposition(|v| v.ts < watermark).unwrap_or(0);
             dropped += keep_from;
             chain.drain(..keep_from);
+            longest = longest.max(chain.len());
         }
+        self.longest.store(longest, Ordering::Relaxed);
         dropped
     }
 
@@ -252,6 +272,16 @@ pub trait VersionPublisher: Send + Sync {
 
     /// Reclaim versions below `watermark`. Returns versions dropped.
     fn vacuum(&self, watermark: CommitTs) -> usize;
+
+    /// Length of the longest version chain this publisher retains.
+    /// The transaction manager polls this after each publish to decide
+    /// whether to vacuum from the *writer* path — the backstop that
+    /// keeps chains bounded when no snapshot reader ever registers
+    /// (stamp release being the only other vacuum trigger). The
+    /// default `0` opts a publisher out of writer-triggered vacuums.
+    fn longest_chain(&self) -> usize {
+        0
+    }
 }
 
 #[cfg(test)]

@@ -552,6 +552,10 @@ impl crate::mvcc::VersionPublisher for WorkloadPublisher {
     fn vacuum(&self, watermark: CommitTs) -> usize {
         self.store.vacuum(watermark)
     }
+
+    fn longest_chain(&self) -> usize {
+        self.store.longest_chain()
+    }
 }
 
 /// Drive writers (strict 2PL through a real

@@ -80,7 +80,7 @@ fn main() -> reach::Result<()> {
     let storm = sys.define_composite(
         "link-down-storm",
         EventExpr::History {
-            expr: Box::new(EventExpr::Primitive(down_sig)),
+            expr: Arc::new(EventExpr::Primitive(down_sig)),
             count: 3,
         },
         CompositionScope::CrossTransaction,

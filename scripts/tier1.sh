@@ -4,16 +4,21 @@
 # Every experiment invocation runs under a hard timeout so a wedged
 # harness fails the gate instead of hanging it.
 #
-#   --stress   additionally run the E18 concurrency stress smoke
-#              (schedule-perturbed serializability sweep + algebra
-#              differential fuzz; see crates/bench/src/bin/exp_stress.rs)
+#   --stress       additionally run the E18 concurrency stress smoke
+#                  (schedule-perturbed serializability sweep + algebra
+#                  differential fuzz; see crates/bench/src/bin/exp_stress.rs)
+#   --bench-check  additionally run the E13 throughput smoke and fail
+#                  if events/s lands >10% below the committed gate in
+#                  BENCH_E13.json (gate_events_per_s)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 STRESS=0
+BENCH_CHECK=0
 for arg in "$@"; do
   case "$arg" in
     --stress) STRESS=1 ;;
+    --bench-check) BENCH_CHECK=1 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -43,6 +48,23 @@ timeout "$EXP_TIMEOUT" cargo run --release -p reach-bench --bin exp_snapshot -- 
 if [[ "$STRESS" == 1 ]]; then
   echo "== tier-1: concurrency stress smoke (perturbed schedules + differential fuzz) =="
   timeout "$EXP_TIMEOUT" cargo run --release -p reach-bench --features sched --bin exp_stress -- --smoke
+fi
+
+if [[ "$BENCH_CHECK" == 1 ]]; then
+  echo "== tier-1: E13 throughput gate (>10% regression vs committed gate fails) =="
+  # Read the gate BEFORE the run: exp_throughput rewrites BENCH_E13.json.
+  gate=$(sed -n 's/^  "gate_events_per_s": \([0-9]*\).*/\1/p' BENCH_E13.json)
+  if [[ -z "$gate" ]]; then
+    echo "BENCH_E13.json missing or has no gate_events_per_s" >&2; exit 1
+  fi
+  timeout "$EXP_TIMEOUT" cargo run --release -p reach-bench --bin exp_throughput -- --smoke
+  fresh=$(sed -n 's/^  "events_per_s": \([0-9]*\).*/\1/p' BENCH_E13.json)
+  floor=$((gate * 9 / 10))
+  echo "   measured ${fresh} events/s, gate ${gate} (floor ${floor})"
+  if (( fresh < floor )); then
+    echo "E13 throughput regression: ${fresh} events/s < ${floor} (90% of gate ${gate})" >&2
+    exit 1
+  fi
 fi
 
 echo "== tier-1: OK =="

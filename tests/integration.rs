@@ -280,7 +280,7 @@ fn parallel_everything_stress() {
         .define_composite(
             "ping-pair",
             EventExpr::History {
-                expr: Box::new(EventExpr::Primitive(ev)),
+                expr: Arc::new(EventExpr::Primitive(ev)),
                 count: 2,
             },
             CompositionScope::CrossTransaction,
