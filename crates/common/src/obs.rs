@@ -332,6 +332,29 @@ pub struct CheckpointMetrics {
     pub truncated_bytes: Counter,
 }
 
+/// Persistent-index counters (recorded by `reach-storage`'s B+Tree and
+/// index facade; gated like the WAL family — the hot sentry path pays
+/// one branch when metrics are off).
+#[derive(Default)]
+pub struct IndexMetrics {
+    /// Logical `(key, oid)` insertions applied to a persistent tree.
+    pub inserts: Counter,
+    /// Logical `(key, oid)` deletions applied to a persistent tree.
+    pub deletes: Counter,
+    /// Point lookups served.
+    pub lookups: Counter,
+    /// Range scans served.
+    pub range_scans: Counter,
+    /// Node page images written (every physically-logged tree write).
+    pub node_writes: Counter,
+    /// Node splits performed (leaf + internal).
+    pub node_splits: Counter,
+    /// Root splits (tree grew a level).
+    pub root_splits: Counter,
+    /// Logical index operations undone (abort or restart-undo).
+    pub undone: Counter,
+}
+
 /// Network-server counters (recorded by `reach-server`; ungated — the
 /// admission/shed decisions they witness must be observable in tests
 /// and `exp_serve` without enabling the firing-path spans).
@@ -396,6 +419,8 @@ pub struct MetricsRegistry {
     pub recovery: RecoveryMetrics,
     /// Checkpoint/truncation counters (ungated).
     pub ckpt: CheckpointMetrics,
+    /// Persistent-index counters.
+    pub index: IndexMetrics,
     /// Network-server counters (ungated).
     pub server: ServerMetrics,
 }
@@ -427,6 +452,7 @@ impl MetricsRegistry {
             events: EventMetrics::default(),
             recovery: RecoveryMetrics::default(),
             ckpt: CheckpointMetrics::default(),
+            index: IndexMetrics::default(),
             server: ServerMetrics::default(),
         }
     }
@@ -564,6 +590,14 @@ impl MetricsRegistry {
             ckpt_taken: self.ckpt.taken.get(),
             ckpt_truncations: self.ckpt.truncations.get(),
             ckpt_truncated_bytes: self.ckpt.truncated_bytes.get(),
+            index_inserts: self.index.inserts.get(),
+            index_deletes: self.index.deletes.get(),
+            index_lookups: self.index.lookups.get(),
+            index_range_scans: self.index.range_scans.get(),
+            index_node_writes: self.index.node_writes.get(),
+            index_node_splits: self.index.node_splits.get(),
+            index_root_splits: self.index.root_splits.get(),
+            index_undone: self.index.undone.get(),
             server_sessions_opened: self.server.sessions_opened.get(),
             server_sessions_closed: self.server.sessions_closed.get(),
             server_admissions_rejected: self.server.admissions_rejected.get(),
@@ -659,6 +693,14 @@ pub struct MetricsSnapshot {
     pub ckpt_taken: u64,
     pub ckpt_truncations: u64,
     pub ckpt_truncated_bytes: u64,
+    pub index_inserts: u64,
+    pub index_deletes: u64,
+    pub index_lookups: u64,
+    pub index_range_scans: u64,
+    pub index_node_writes: u64,
+    pub index_node_splits: u64,
+    pub index_root_splits: u64,
+    pub index_undone: u64,
     pub server_sessions_opened: u64,
     pub server_sessions_closed: u64,
     pub server_admissions_rejected: u64,
@@ -811,6 +853,21 @@ impl MetricsSnapshot {
             "checkpoints: taken {}  truncations {}  truncated bytes {}",
             self.ckpt_taken, self.ckpt_truncations, self.ckpt_truncated_bytes,
         );
+        if self.index_inserts + self.index_deletes + self.index_lookups + self.index_range_scans > 0
+        {
+            let _ = writeln!(
+                out,
+                "index: ins {}  del {}  lookups {}  ranges {}  node writes {}  splits {} ({} root)  undone {}",
+                self.index_inserts,
+                self.index_deletes,
+                self.index_lookups,
+                self.index_range_scans,
+                self.index_node_writes,
+                self.index_node_splits,
+                self.index_root_splits,
+                self.index_undone,
+            );
+        }
         if self.server_sessions_opened + self.server_admissions_rejected > 0 {
             let _ = writeln!(out, "-- server --");
             let _ = writeln!(

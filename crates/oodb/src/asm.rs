@@ -74,7 +74,7 @@ impl AddressSpace for PassiveStoreSpace {
     }
     fn population(&self) -> Result<usize> {
         let seg = self.sm.segment(&self.segment_name)?;
-        Ok(self.sm.scan(seg)?.len())
+        self.sm.scan_count(seg)
     }
 }
 

@@ -109,7 +109,7 @@ impl Database {
         ));
         let dictionary = Arc::new(DataDictionary::new(Arc::clone(&schema)));
         // Sentry-driven PMs first so they observe everything that follows.
-        let indexing = IndexingPm::new(&space);
+        let indexing = IndexingPm::new(&space, &tm, Arc::clone(&sm));
         let change = ChangePm::new(Arc::downgrade(&tm), Arc::clone(&space));
         let persistence = PersistencePm::new(
             Arc::clone(&sm),
@@ -117,8 +117,12 @@ impl Database {
             Arc::clone(&change),
             Arc::clone(&dictionary),
         )?;
-        // Resource-manager order matters: persistence writes back dirty
-        // objects at commit *before* the change PM drops its log.
+        // Resource-manager order matters: indexing flushes its buffered
+        // B+Tree operations inside the transaction's WAL window (the
+        // persistence PM's commit_top holds the sm.commit durability
+        // point), then persistence writes back dirty objects, and the
+        // change PM drops its log last.
+        tm.add_resource_manager(Arc::clone(&indexing) as Arc<dyn ResourceManager>);
         tm.add_resource_manager(Arc::clone(&persistence) as Arc<dyn ResourceManager>);
         tm.add_resource_manager(Arc::clone(&change) as Arc<dyn ResourceManager>);
         // MVCC bridge: committed write sets become version-chain entries
@@ -563,6 +567,121 @@ mod tests {
         assert_eq!(hits, vec![kept]);
         assert!(matches!(plan, Plan::IndexEq { .. }));
         db.commit(t2).unwrap();
+    }
+
+    #[test]
+    fn index_shadow_matches_persistent_tree_at_every_quiescent_point() {
+        // The differential-oracle contract: after every commit and
+        // every abort, the in-memory shadow and the WAL-logged B+Tree
+        // hold exactly the same (memcomparable key, oid) pairs.
+        let db = Database::in_memory().unwrap();
+        let class = db
+            .define_class("Doc")
+            .attr("size", ValueType::Int, Value::Int(0))
+            .define()
+            .unwrap();
+        db.create_index(class, "size").unwrap();
+        db.indexing_pm().verify_shadow().unwrap();
+
+        let t0 = db.begin().unwrap();
+        let mut oids = Vec::new();
+        for i in 0..20 {
+            oids.push(
+                db.create_with(t0, class, &[("size", Value::Int(i % 7))])
+                    .unwrap(),
+            );
+        }
+        db.commit(t0).unwrap();
+        db.indexing_pm().verify_shadow().unwrap();
+
+        // Updates, a delete, and a subtransaction rollback in one txn.
+        let t1 = db.begin().unwrap();
+        db.set_attr(t1, oids[0], "size", Value::Int(100)).unwrap();
+        db.delete_object(t1, oids[1]).unwrap();
+        let child = db.begin_nested(t1).unwrap();
+        db.set_attr(child, oids[2], "size", Value::Int(200))
+            .unwrap();
+        db.create_with(child, class, &[("size", Value::Int(300))])
+            .unwrap();
+        db.abort(child).unwrap();
+        db.commit(t1).unwrap();
+        db.indexing_pm().verify_shadow().unwrap();
+
+        // A full abort leaves both structures at the pre-txn state.
+        let t2 = db.begin().unwrap();
+        db.set_attr(t2, oids[3], "size", Value::Int(400)).unwrap();
+        db.delete_object(t2, oids[4]).unwrap();
+        db.create_with(t2, class, &[("size", Value::Int(500))])
+            .unwrap();
+        db.abort(t2).unwrap();
+        db.indexing_pm().verify_shadow().unwrap();
+
+        // And the rolled-back child's values never reached either side.
+        let t3 = db.begin().unwrap();
+        let (hits, _) = db
+            .query_with_plan(t3, "select d from Doc d where d.size == 200")
+            .unwrap();
+        assert!(hits.is_empty());
+        db.commit(t3).unwrap();
+    }
+
+    #[test]
+    fn index_survives_process_restart_without_faulting_objects() {
+        // The restart payoff of persistent indexes: after reopen, the
+        // index answers from the recovered B+Tree (adopted into the
+        // shadow by decoding stored keys) before any object is resident.
+        let dir = std::env::temp_dir().join(format!("reach-idx-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let declare = |db: &Database| -> ClassId {
+            db.define_class("Doc")
+                .attr("size", ValueType::Int, Value::Int(0))
+                .define()
+                .unwrap()
+        };
+        let stored;
+        {
+            let db = Database::open(&dir, DatabaseConfig::default()).unwrap();
+            let class = declare(&db);
+            db.create_index(class, "size").unwrap();
+            let txn = db.begin().unwrap();
+            let oid = db
+                .create_with(txn, class, &[("size", Value::Int(42))])
+                .unwrap();
+            for i in 0..10 {
+                db.create_with(txn, class, &[("size", Value::Int(i))])
+                    .unwrap();
+            }
+            db.persist_named(txn, "the-doc", oid).unwrap();
+            db.commit(txn).unwrap();
+            stored = oid;
+            db.indexing_pm().verify_shadow().unwrap();
+            db.checkpoint().unwrap();
+        }
+        {
+            let db = Database::open(&dir, DatabaseConfig::default()).unwrap();
+            let class = declare(&db);
+            // Nothing resident yet: create_index must adopt the
+            // recovered persistent tree rather than scan the extent.
+            db.create_index(class, "size").unwrap();
+            db.indexing_pm().verify_shadow().unwrap();
+            let hits = db
+                .indexing_pm()
+                .lookup_eq(class, "size", &Value::Int(42))
+                .unwrap();
+            assert_eq!(hits, vec![stored]);
+            // The index keeps absorbing changes after the restart.
+            let txn = db.begin().unwrap();
+            let oid = db.fetch("the-doc").unwrap();
+            db.set_attr(txn, oid, "size", Value::Int(43)).unwrap();
+            db.commit(txn).unwrap();
+            db.indexing_pm().verify_shadow().unwrap();
+            assert!(db
+                .indexing_pm()
+                .lookup_eq(class, "size", &Value::Int(42))
+                .unwrap()
+                .is_empty());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,22 +1,48 @@
-//! The Indexing PM: attribute indexes maintained by sentries.
+//! The Indexing PM: attribute indexes maintained by sentries, persisted
+//! through the storage manager's WAL-logged B+Trees.
 //!
 //! The paper's future-work section singles out "index maintenance PMs
 //! with the active database paradigm" — indexes kept consistent by
 //! reacting to events rather than by code woven into every write path.
 //! This PM does exactly that: it subscribes to the state-change and
-//! lifecycle sentries and updates its B-trees from the event stream.
-//! Because undo (Change PM) also goes through the public mutation API,
-//! aborted transactions leave indexes consistent with no special code.
+//! lifecycle sentries and updates its indexes from the event stream.
+//!
+//! Each index exists twice, deliberately:
+//!
+//! * a **persistent B+Tree** ([`reach_storage::BTree`] behind
+//!   [`StorageManager::index_insert`]) keyed by the attribute value's
+//!   memcomparable encoding ([`Value::index_key`]) — WAL-logged,
+//!   buffer-pool-resident, crash-recovered; this is what makes
+//!   rule-condition evaluation fast *after a restart*;
+//! * an **in-memory `BTreeMap` shadow** — the differential oracle. The
+//!   planner reads the shadow (no I/O on the query path); torture and
+//!   stress runs call [`IndexingPm::verify_shadow`] to compare the two
+//!   structures pair-for-pair.
+//!
+//! Transactional protocol: sentry events update the shadow eagerly (the
+//! Change PM's undo also goes through the public mutation API, so
+//! aborted transactions leave the shadow consistent with no special
+//! code) and *buffer* the corresponding persistent operations per
+//! top-level transaction. The buffer flushes into the storage manager
+//! at `commit_top` — before the Persistence PM's durability point, so
+//! the logical IndexInsert/IndexDelete records sit inside the
+//! transaction's WAL window and a crash mid-commit undoes them. On
+//! abort the buffer is dropped: the persistent tree was never touched.
+//! Subtransaction rollback truncates the buffer to the savepoint taken
+//! at the child's begin, while the Change PM's compensating events
+//! (which run under `TxnId::NULL`) repair the shadow only.
 
 use crate::meta::PolicyManager;
-use reach_common::sync::RwLock;
+use reach_common::sync::{Mutex, RwLock};
 use reach_common::{ClassId, ObjectId, ReachError, Result, TxnId};
 use reach_object::{
     LifecycleSentry, ObjectSpace, ObjectState, Schema, StateChange, StateSentry, Value,
 };
-use std::collections::{BTreeMap, BTreeSet};
+use reach_storage::StorageManager;
+use reach_txn::{ResourceManager, TransactionManager};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::ops::Bound;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// `Value` wrapper ordered by [`Value::compare`] so it can key a B-tree.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,36 +67,119 @@ type Tree = BTreeMap<IndexKey, BTreeSet<ObjectId>>;
 struct Index {
     class: ClassId,
     attribute: String,
+    /// In-memory shadow — planner's read path and differential oracle.
     tree: Tree,
+    /// Persistent B+Tree id in the storage manager's index catalog.
+    store_id: u64,
+}
+
+/// One buffered persistent-tree operation, keyed to its index.
+struct IndexOp {
+    store_id: u64,
+    key: Vec<u8>,
+    oid: u64,
+    insert: bool,
 }
 
 /// The indexing policy manager.
 pub struct IndexingPm {
     schema: Arc<Schema>,
+    /// Resolves event transactions to their top level (and runs the
+    /// internal bulk-load transaction of `create_index`).
+    tm: Weak<TransactionManager>,
+    sm: Arc<StorageManager>,
     indexes: RwLock<Vec<Index>>,
+    /// Persistent ops buffered per top-level transaction, flushed at
+    /// `commit_top`, dropped at `abort_top`, truncated on subtransaction
+    /// rollback.
+    buffers: Mutex<HashMap<TxnId, Vec<IndexOp>>>,
 }
 
 impl IndexingPm {
-    /// Create the PM and subscribe it to the space's sentries.
-    pub fn new(space: &ObjectSpace) -> Arc<Self> {
+    /// Create the PM and subscribe it to the space's sentries. The
+    /// caller must also register it as the **first** resource manager —
+    /// its commit flush has to precede the Persistence PM's
+    /// `sm.commit` durability point.
+    pub fn new(
+        space: &ObjectSpace,
+        tm: &Arc<TransactionManager>,
+        sm: Arc<StorageManager>,
+    ) -> Arc<Self> {
         let pm = Arc::new(IndexingPm {
             schema: Arc::clone(space.schema()),
+            tm: Arc::downgrade(tm),
+            sm,
             indexes: RwLock::new(Vec::new()),
+            buffers: Mutex::new(HashMap::new()),
         });
         space.add_state_sentry(Arc::clone(&pm) as Arc<dyn StateSentry>);
         space.add_lifecycle_sentry(Arc::clone(&pm) as Arc<dyn LifecycleSentry>);
         pm
     }
 
-    /// Build an index on `class.attribute` over the current (deep)
-    /// extent; future changes are absorbed from the event stream.
+    /// Build an index on `class.attribute`; future changes are absorbed
+    /// from the event stream.
+    ///
+    /// The persistent tree is named `idx.<class>.<attribute>` (class
+    /// ids are stable because the schema lives in code, re-declared in
+    /// the same order each run). Two bootstrap paths:
+    ///
+    /// * live extent empty, persistent tree non-empty — the restart
+    ///   path: the shadow is rebuilt by *decoding* the stored
+    ///   memcomparable keys, no object needs to be faulted in;
+    /// * otherwise the shadow is built from the (deep) extent and the
+    ///   persistent tree is reconciled to it under an internal
+    ///   transaction (also the drop-then-recreate repair path).
     pub fn create_index(&self, space: &ObjectSpace, class: ClassId, attribute: &str) -> Result<()> {
         // Validate the attribute exists.
         self.schema.attr_slot(class, attribute)?;
+        if self
+            .indexes
+            .read()
+            .iter()
+            .any(|i| i.class == class && i.attribute == attribute)
+        {
+            return Err(ReachError::SchemaError(format!(
+                "index on {class}.{attribute} already exists"
+            )));
+        }
+        let store_id = self
+            .sm
+            .create_index(&format!("idx.{}.{}", class.raw(), attribute))?;
+        let persisted: BTreeSet<(Vec<u8>, u64)> = self
+            .sm
+            .index_range(store_id, Bound::Unbounded, Bound::Unbounded)?
+            .into_iter()
+            .collect();
+        let extent = space.extents().extent_deep(&self.schema, class);
         let mut tree: Tree = BTreeMap::new();
-        for oid in space.extents().extent_deep(&self.schema, class) {
-            let v = space.get_attr(oid, attribute)?;
-            tree.entry(IndexKey(v)).or_default().insert(oid);
+        if extent.is_empty() && !persisted.is_empty() {
+            for (key, oid) in &persisted {
+                let v = Value::decode_index_key(key)?;
+                tree.entry(IndexKey(v))
+                    .or_default()
+                    .insert(ObjectId::new(*oid));
+            }
+        } else {
+            for oid in extent {
+                let v = space.get_attr(oid, attribute)?;
+                tree.entry(IndexKey(v)).or_default().insert(oid);
+            }
+            let want = flatten(&tree);
+            if want != persisted {
+                let tm = self
+                    .tm
+                    .upgrade()
+                    .ok_or_else(|| ReachError::Io("transaction manager gone".into()))?;
+                let txn = tm.begin()?;
+                for (k, o) in persisted.difference(&want) {
+                    self.sm.index_delete(txn, store_id, k, *o)?;
+                }
+                for (k, o) in want.difference(&persisted) {
+                    self.sm.index_insert(txn, store_id, k, *o)?;
+                }
+                tm.commit(txn)?;
+            }
         }
         let mut indexes = self.indexes.write();
         if indexes
@@ -85,11 +194,14 @@ impl IndexingPm {
             class,
             attribute: attribute.to_string(),
             tree,
+            store_id,
         });
         Ok(())
     }
 
-    /// Drop an index; true if one existed.
+    /// Drop an index; true if one existed. Only the in-memory side is
+    /// removed — the persistent tree stays in the catalog and is
+    /// reconciled (or adopted) if the index is re-created.
     pub fn drop_index(&self, class: ClassId, attribute: &str) -> bool {
         let mut indexes = self.indexes.write();
         let before = indexes.len();
@@ -106,7 +218,7 @@ impl IndexingPm {
             .any(|i| i.attribute == attribute && self.schema.is_subclass(class, i.class))
     }
 
-    /// Exact-match lookup.
+    /// Exact-match lookup (served from the shadow — no I/O).
     pub fn lookup_eq(
         &self,
         class: ClassId,
@@ -117,6 +229,10 @@ impl IndexingPm {
         let idx = indexes
             .iter()
             .find(|i| i.attribute == attribute && self.schema.is_subclass(class, i.class))?;
+        let m = self.sm.metrics();
+        if m.on() {
+            m.index.lookups.inc();
+        }
         Some(
             idx.tree
                 .get(&IndexKey(value.clone()))
@@ -125,7 +241,7 @@ impl IndexingPm {
         )
     }
 
-    /// Range lookup with inclusive/exclusive bounds.
+    /// Range lookup with inclusive/exclusive bounds (shadow-served).
     pub fn lookup_range(
         &self,
         class: ClassId,
@@ -137,6 +253,10 @@ impl IndexingPm {
         let idx = indexes
             .iter()
             .find(|i| i.attribute == attribute && self.schema.is_subclass(class, i.class))?;
+        let m = self.sm.metrics();
+        if m.on() {
+            m.index.range_scans.inc();
+        }
         let lo = map_bound(low);
         let hi = map_bound(high);
         let mut out = Vec::new();
@@ -151,6 +271,50 @@ impl IndexingPm {
         self.indexes.read().len()
     }
 
+    /// Differential check: every index's persistent B+Tree must hold
+    /// exactly the shadow's `(memcomparable key, oid)` pairs. Call at a
+    /// quiescent point (between transactions) — mid-transaction the
+    /// shadow legitimately runs ahead of the unflushed buffer.
+    pub fn verify_shadow(&self) -> Result<()> {
+        let indexes = self.indexes.read();
+        for idx in indexes.iter() {
+            let want = flatten(&idx.tree);
+            let got: BTreeSet<(Vec<u8>, u64)> = self
+                .sm
+                .index_range(idx.store_id, Bound::Unbounded, Bound::Unbounded)?
+                .into_iter()
+                .collect();
+            if got != want {
+                return Err(ReachError::Io(format!(
+                    "index shadow divergence on {}.{}: persistent tree holds {} pairs, \
+                     shadow holds {}",
+                    idx.class,
+                    idx.attribute,
+                    got.len(),
+                    want.len()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolve the owning top-level transaction of an event. `NULL`
+    /// (Change PM compensations) and unmanaged transactions buffer
+    /// nothing — their shadow effect is the whole story.
+    fn top_of(&self, txn: TxnId) -> Option<TxnId> {
+        if txn.is_null() {
+            return None;
+        }
+        let tm = self.tm.upgrade()?;
+        tm.top_of(txn).ok()
+    }
+
+    fn buffer_ops(&self, top: TxnId, ops: Vec<IndexOp>) {
+        if !ops.is_empty() {
+            self.buffers.lock().entry(top).or_default().extend(ops);
+        }
+    }
+
     fn apply_to_matching<F: FnMut(&mut Index)>(&self, class: ClassId, attribute: &str, mut f: F) {
         let mut indexes = self.indexes.write();
         for idx in indexes.iter_mut() {
@@ -160,10 +324,12 @@ impl IndexingPm {
         }
     }
 
-    fn index_object(&self, oid: ObjectId, state: &ObjectState, insert: bool) {
+    fn index_object(&self, txn: TxnId, oid: ObjectId, state: &ObjectState, insert: bool) {
         let Ok(attrs) = self.schema.attributes(state.class) else {
             return;
         };
+        let top = self.top_of(txn);
+        let mut ops: Vec<IndexOp> = Vec::new();
         let mut indexes = self.indexes.write();
         for idx in indexes.iter_mut() {
             if !self.schema.is_subclass(state.class, idx.class) {
@@ -171,6 +337,14 @@ impl IndexingPm {
             }
             if let Some(slot) = attrs.iter().position(|a| a.name == idx.attribute) {
                 let key = IndexKey(state.attrs[slot].clone());
+                if top.is_some() {
+                    ops.push(IndexOp {
+                        store_id: idx.store_id,
+                        key: key.0.index_key(),
+                        oid: oid.raw(),
+                        insert,
+                    });
+                }
                 if insert {
                     idx.tree.entry(key).or_default().insert(oid);
                 } else if let Some(set) = idx.tree.get_mut(&key) {
@@ -181,12 +355,42 @@ impl IndexingPm {
                 }
             }
         }
+        drop(indexes);
+        if let Some(top) = top {
+            self.buffer_ops(top, ops);
+        }
     }
+}
+
+/// A shadow tree's pairs in the persistent representation.
+fn flatten(tree: &Tree) -> BTreeSet<(Vec<u8>, u64)> {
+    tree.iter()
+        .flat_map(|(k, oids)| {
+            let key = k.0.index_key();
+            oids.iter().map(move |o| (key.clone(), o.raw()))
+        })
+        .collect()
 }
 
 impl StateSentry for IndexingPm {
     fn on_change(&self, change: &StateChange) {
+        let top = self.top_of(change.txn);
+        let mut ops: Vec<IndexOp> = Vec::new();
         self.apply_to_matching(change.class, &change.attribute, |idx| {
+            if top.is_some() {
+                ops.push(IndexOp {
+                    store_id: idx.store_id,
+                    key: change.old.index_key(),
+                    oid: change.oid.raw(),
+                    insert: false,
+                });
+                ops.push(IndexOp {
+                    store_id: idx.store_id,
+                    key: change.new.index_key(),
+                    oid: change.oid.raw(),
+                    insert: true,
+                });
+            }
             let old_key = IndexKey(change.old.clone());
             if let Some(set) = idx.tree.get_mut(&old_key) {
                 set.remove(&change.oid);
@@ -199,16 +403,68 @@ impl StateSentry for IndexingPm {
                 .or_default()
                 .insert(change.oid);
         });
+        if let Some(top) = top {
+            self.buffer_ops(top, ops);
+        }
     }
 }
 
 impl LifecycleSentry for IndexingPm {
-    fn on_create(&self, _txn: TxnId, oid: ObjectId, state: &ObjectState) {
-        self.index_object(oid, state, true);
+    fn on_create(&self, txn: TxnId, oid: ObjectId, state: &ObjectState) {
+        self.index_object(txn, oid, state, true);
     }
 
-    fn on_delete(&self, _txn: TxnId, oid: ObjectId, state: &ObjectState) {
-        self.index_object(oid, state, false);
+    fn on_delete(&self, txn: TxnId, oid: ObjectId, state: &ObjectState) {
+        self.index_object(txn, oid, state, false);
+    }
+}
+
+impl ResourceManager for IndexingPm {
+    fn begin_top(&self, _txn: TxnId) -> Result<()> {
+        // Buffers are created lazily on the first buffered op.
+        Ok(())
+    }
+
+    fn savepoint(&self, top: TxnId) -> Result<u64> {
+        Ok(self
+            .buffers
+            .lock()
+            .get(&top)
+            .map(|b| b.len() as u64)
+            .unwrap_or(0))
+    }
+
+    fn rollback_to(&self, top: TxnId, savepoint: u64) -> Result<()> {
+        // Drop the child's buffered ops; the Change PM's compensating
+        // events (running under NULL) repair the shadow, so after both
+        // the two structures agree again.
+        if let Some(buf) = self.buffers.lock().get_mut(&top) {
+            buf.truncate(savepoint as usize);
+        }
+        Ok(())
+    }
+
+    fn commit_top(&self, txn: TxnId) -> Result<()> {
+        // Flush in event order under the committing transaction; the
+        // logical WAL records land before the Persistence PM's
+        // `sm.commit`, so a crash mid-commit rolls them back through
+        // the tree. A compensated pair (insert then delete of the same
+        // entry) nets out by sequential application.
+        let ops = self.buffers.lock().remove(&txn).unwrap_or_default();
+        for op in ops {
+            if op.insert {
+                self.sm.index_insert(txn, op.store_id, &op.key, op.oid)?;
+            } else {
+                self.sm.index_delete(txn, op.store_id, &op.key, op.oid)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn abort_top(&self, txn: TxnId) -> Result<()> {
+        // Never flushed — the persistent tree was never touched.
+        self.buffers.lock().remove(&txn);
+        Ok(())
     }
 }
 
@@ -217,7 +473,7 @@ impl PolicyManager for IndexingPm {
         "indexing"
     }
     fn name(&self) -> &'static str {
-        "sentry-maintained-btree"
+        "sentry-maintained-persistent-btree"
     }
 }
 

@@ -89,17 +89,31 @@ impl PersistencePm {
         pm.load_existing().map(|_| pm)
     }
 
-    /// Rebuild the location index and name roots from storage.
+    /// Rebuild the location index and name roots from storage. Walks
+    /// the objects segment in place (borrowed payloads — only the oid
+    /// header is decoded, nothing is copied) instead of materializing
+    /// every stored object into a scan vector.
     fn load_existing(&self) -> Result<()> {
         let mut locations = self.locations.lock();
-        for (rid, bytes) in self.sm.scan(self.objects_seg)? {
-            let (oid, _) = internalize(&bytes)?;
-            locations.insert(oid, rid);
-            self.space.mark_persistent_known(oid);
+        let mut bad = None;
+        self.sm
+            .for_each_while(self.objects_seg, |rid, bytes| match internalize(bytes) {
+                Ok((oid, _)) => {
+                    locations.insert(oid, rid);
+                    self.space.mark_persistent_known(oid);
+                    std::ops::ControlFlow::Continue(())
+                }
+                Err(e) => {
+                    bad = Some(e);
+                    std::ops::ControlFlow::Break(())
+                }
+            })?;
+        if let Some(e) = bad {
+            return Err(e);
         }
         drop(locations);
         // Roots: a single record of `name_len name oid` triples.
-        if let Some((rid, bytes)) = self.sm.scan(self.roots_seg)?.into_iter().next() {
+        if let Some((rid, bytes)) = self.sm.scan_first(self.roots_seg)? {
             self.dictionary.load(decode_roots(&bytes)?);
             *self.roots_record.lock() = (Some(rid), Some(bytes));
         }

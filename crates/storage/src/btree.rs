@@ -1,0 +1,886 @@
+//! A WAL-logged, buffer-pool-resident B+Tree — the persistent half of
+//! the Indexing PM's sentry-maintained extent indexes.
+//!
+//! The tree is a *multimap* from memcomparable byte keys to `u64`
+//! object ids: entries are `(key, oid)` pairs ordered pairwise
+//! (byte-lexicographic key, then oid), so duplicate keys are natural
+//! and deletion is exact. Each node occupies slot 0 of one pooled page,
+//! so index pages ride the existing buffer-pool machinery for free:
+//! they appear in the dirty-page table, fuzzy checkpoints capture their
+//! rec-LSNs, eviction honors the WAL flush barrier, and log truncation
+//! bounds apply unchanged.
+//!
+//! # Crash safety: right links instead of physical undo
+//!
+//! Every page image the tree writes is logged *physically* under
+//! [`SYSTEM_TXN`](crate::sm::StorageManager) (an `Update`/`Insert` of
+//! slot 0 with before/after images). System records are always redo
+//! winners and never undone, so recovery replays tree structure exactly
+//! as it was built — but a crash can still land *between* the page
+//! writes of one split. The tree therefore keeps Lehman–Yao style
+//! right-sibling links with exclusive high keys and writes splits
+//! right-node-first: after any prefix of a split's page writes the tree
+//! is searchable (a reader that overshoots a node's high key moves
+//! right), at worst leaving an orphan page or a separator the parent
+//! has not absorbed yet. That is why *logical* user-level operations
+//! ([`WalRecord::IndexInsert`]/[`WalRecord::IndexDelete`]) never need
+//! physical undo: undoing one simply re-descends the current (always
+//! consistent) tree and applies the inverse, generating fresh system
+//! page writes.
+//!
+//! Deletion is lazy, PostgreSQL-style: entries are removed in place and
+//! structurally empty nodes stay linked (scans skip them, and a later
+//! insert into their key range reuses them). "Merges" therefore cannot
+//! tear either — there are no multi-page delete-side structure changes
+//! to tear.
+
+use crate::buffer::BufferPool;
+use crate::page::MAX_RECORD;
+use crate::wal::{WalRecord, WriteAheadLog};
+use reach_common::sync::Mutex;
+use reach_common::{PageId, ReachError, Result};
+use std::ops::Bound;
+use std::sync::Arc;
+
+/// Largest key the tree accepts. Keeps every node's worst-case
+/// transient size (split threshold plus one oversized entry) well under
+/// [`MAX_RECORD`], so a node image always fits in slot 0 of a page.
+pub const MAX_KEY: usize = 1024;
+
+/// Split a node once its serialized image exceeds this. Half the page
+/// budget: even a node one `MAX_KEY` entry past the threshold still
+/// fits a page with room to spare.
+const SPLIT_BYTES: usize = MAX_RECORD / 2;
+
+/// One `(key, oid)` pair — the unit the multimap stores and orders.
+type Entry = (Vec<u8>, u64);
+
+/// A search position in `(key, oid)` pair order. Mutations descend to
+/// an exact pair; range bounds descend to "just before the first entry
+/// with `key`" or "just after the last". Encodes `Bound` semantics
+/// without inventing sentinel oids.
+#[derive(Clone, Copy)]
+enum Pos<'a> {
+    /// Just before `(key, 0)`.
+    Before(&'a [u8]),
+    /// Exactly at `(key, oid)`.
+    Pair(&'a [u8], u64),
+    /// Just after `(key, u64::MAX)`.
+    AfterAll(&'a [u8]),
+}
+
+impl<'a> Pos<'a> {
+    /// Does this position fall strictly before separator `sep`? A
+    /// position equal to a separator belongs to the *right* child: the
+    /// separator is always the first pair of the right node.
+    fn lt_pair(&self, sep: &Entry) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            Pos::Before(k) => matches!(k.cmp(&sep.0.as_slice()), Less | Equal),
+            Pos::Pair(k, oid) => match k.cmp(&sep.0.as_slice()) {
+                Less => true,
+                Equal => *oid < sep.1,
+                Greater => false,
+            },
+            Pos::AfterAll(k) => matches!(k.cmp(&sep.0.as_slice()), Less),
+        }
+    }
+}
+
+/// An in-memory node image, (de)serialized to slot 0 of its page.
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf {
+        /// Right sibling in the leaf chain (range scans follow this).
+        right: Option<PageId>,
+        /// Exclusive upper bound of this node's key range; `None` on
+        /// the rightmost node of the level (+infinity).
+        high: Option<Entry>,
+        /// Sorted `(key, oid)` pairs.
+        entries: Vec<Entry>,
+    },
+    Internal {
+        /// Right sibling at this level (move-right target).
+        right: Option<PageId>,
+        /// Exclusive upper bound, as for leaves.
+        high: Option<Entry>,
+        /// `children.len() == seps.len() + 1`; child `i` covers
+        /// positions in `[seps[i-1], seps[i])` within the node range.
+        children: Vec<PageId>,
+        /// Separator pairs between consecutive children.
+        seps: Vec<Entry>,
+    },
+}
+
+impl Node {
+    fn right(&self) -> Option<PageId> {
+        match self {
+            Node::Leaf { right, .. } | Node::Internal { right, .. } => *right,
+        }
+    }
+
+    fn high(&self) -> Option<&Entry> {
+        match self {
+            Node::Leaf { high, .. } | Node::Internal { high, .. } => high.as_ref(),
+        }
+    }
+
+    /// Number of entries (leaf) or separators (internal) — the split
+    /// knob counts these.
+    fn load(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => entries.len(),
+            Node::Internal { seps, .. } => seps.len(),
+        }
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        fn put_opt_page(out: &mut Vec<u8>, p: &Option<PageId>) {
+            match p {
+                Some(p) => {
+                    out.push(1);
+                    out.extend_from_slice(&p.raw().to_le_bytes());
+                }
+                None => out.push(0),
+            }
+        }
+        fn put_pair(out: &mut Vec<u8>, e: &Entry) {
+            out.extend_from_slice(&(e.0.len() as u32).to_le_bytes());
+            out.extend_from_slice(&e.0);
+            out.extend_from_slice(&e.1.to_le_bytes());
+        }
+        fn put_opt_pair(out: &mut Vec<u8>, e: &Option<Entry>) {
+            match e {
+                Some(e) => {
+                    out.push(1);
+                    put_pair(out, e);
+                }
+                None => out.push(0),
+            }
+        }
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Node::Leaf {
+                right,
+                high,
+                entries,
+            } => {
+                out.push(1);
+                put_opt_page(&mut out, right);
+                put_opt_pair(&mut out, high);
+                out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+                for e in entries {
+                    put_pair(&mut out, e);
+                }
+            }
+            Node::Internal {
+                right,
+                high,
+                children,
+                seps,
+            } => {
+                out.push(0);
+                put_opt_page(&mut out, right);
+                put_opt_pair(&mut out, high);
+                out.extend_from_slice(&(children.len() as u32).to_le_bytes());
+                out.extend_from_slice(&children[0].raw().to_le_bytes());
+                for (s, c) in seps.iter().zip(children[1..].iter()) {
+                    put_pair(&mut out, s);
+                    out.extend_from_slice(&c.raw().to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    fn decode(buf: &[u8]) -> Result<Node> {
+        let corrupt = || ReachError::Io("corrupt index node".into());
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> Result<&[u8]> {
+            if pos + n > buf.len() {
+                return Err(corrupt());
+            }
+            let s = &buf[pos..pos + n];
+            pos += n;
+            Ok(s)
+        };
+        macro_rules! u8v {
+            () => {
+                take(1)?[0]
+            };
+        }
+        macro_rules! u32v {
+            () => {
+                u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize
+            };
+        }
+        macro_rules! u64v {
+            () => {
+                u64::from_le_bytes(take(8)?.try_into().unwrap())
+            };
+        }
+        macro_rules! pair {
+            () => {{
+                let n = u32v!();
+                let key = take(n)?.to_vec();
+                let oid = u64v!();
+                (key, oid)
+            }};
+        }
+        let tag = u8v!();
+        let right = if u8v!() == 1 {
+            Some(PageId::new(u64v!()))
+        } else {
+            None
+        };
+        let high = if u8v!() == 1 { Some(pair!()) } else { None };
+        match tag {
+            1 => {
+                let n = u32v!();
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(pair!());
+                }
+                Ok(Node::Leaf {
+                    right,
+                    high,
+                    entries,
+                })
+            }
+            0 => {
+                let n = u32v!();
+                if n == 0 {
+                    return Err(corrupt());
+                }
+                let mut children = Vec::with_capacity(n);
+                let mut seps = Vec::with_capacity(n.saturating_sub(1));
+                children.push(PageId::new(u64v!()));
+                for _ in 1..n {
+                    seps.push(pair!());
+                    children.push(PageId::new(u64v!()));
+                }
+                Ok(Node::Internal {
+                    right,
+                    high,
+                    children,
+                    seps,
+                })
+            }
+            _ => Err(corrupt()),
+        }
+    }
+}
+
+/// The persistent B+Tree. Stateless apart from the root page id; all
+/// node state lives in the buffer pool. Callers must serialize
+/// *mutating* operations per tree (the storage manager holds a lock
+/// around its index catalog ops); concurrent readers of an otherwise
+/// quiescent tree are fine.
+pub struct BTree {
+    pool: Arc<BufferPool>,
+    wal: Arc<WriteAheadLog>,
+    root: Mutex<PageId>,
+    /// Test knob: split once a node holds this many entries/separators,
+    /// regardless of byte size — forces boundary fanouts cheaply.
+    max_node_entries: Option<usize>,
+}
+
+impl BTree {
+    /// Create an empty tree: one leaf root.
+    pub fn create(
+        pool: Arc<BufferPool>,
+        wal: Arc<WriteAheadLog>,
+        max_node_entries: Option<usize>,
+    ) -> Result<BTree> {
+        let root = pool.allocate()?;
+        let tree = BTree {
+            pool,
+            wal,
+            root: Mutex::new(root),
+            max_node_entries,
+        };
+        tree.write_node(
+            root,
+            &Node::Leaf {
+                right: None,
+                high: None,
+                entries: Vec::new(),
+            },
+        )?;
+        Ok(tree)
+    }
+
+    /// Open an existing tree at `root` (as persisted in the index
+    /// catalog). A stale root — one superseded by a root split whose
+    /// catalog update was lost in a crash — is safe: the old root is
+    /// the leftmost node of its level and right links reach everything.
+    pub fn open(
+        pool: Arc<BufferPool>,
+        wal: Arc<WriteAheadLog>,
+        root: PageId,
+        max_node_entries: Option<usize>,
+    ) -> BTree {
+        BTree {
+            pool,
+            wal,
+            root: Mutex::new(root),
+            max_node_entries,
+        }
+    }
+
+    /// Current root page id — callers persist this in their catalog
+    /// after mutations (root splits move it).
+    pub fn root(&self) -> PageId {
+        *self.root.lock()
+    }
+
+    fn read_node(&self, id: PageId) -> Result<Node> {
+        let bytes = self
+            .pool
+            .with_page(id, |pg| pg.get(0).map(|b| b.to_vec()))??;
+        Node::decode(&bytes)
+    }
+
+    /// Write a node image to slot 0 of its page, logging the write
+    /// physically under the system transaction *after* the page
+    /// mutation (same order as the heap paths, keeping the frame's
+    /// rec-LSN conservative).
+    fn write_node(&self, id: PageId, node: &Node) -> Result<()> {
+        let after = node.encode();
+        let before = self
+            .pool
+            .with_page_mut(id, |pg| -> Result<Option<Vec<u8>>> {
+                let before = pg.get(0).ok().map(|b| b.to_vec());
+                pg.put_at(0, &after)?;
+                Ok(before)
+            })??;
+        let rec = match before {
+            Some(before) => WalRecord::Update {
+                txn: crate::sm::SYSTEM_TXN,
+                page: id,
+                slot: 0,
+                before,
+                after,
+            },
+            None => WalRecord::Insert {
+                txn: crate::sm::SYSTEM_TXN,
+                page: id,
+                slot: 0,
+                payload: after,
+            },
+        };
+        self.wal.append(&rec)?;
+        let m = self.pool.metrics();
+        if m.on() {
+            m.index.node_writes.inc();
+        }
+        Ok(())
+    }
+
+    fn overflows(&self, node: &Node) -> bool {
+        if let Some(cap) = self.max_node_entries {
+            if node.load() > cap {
+                return true;
+            }
+        }
+        node.encode().len() > SPLIT_BYTES
+    }
+
+    /// Descend from the root toward `pos`, moving right past split
+    /// siblings, returning the leaf page id and the stack of internal
+    /// pages traversed (deepest last).
+    fn descend(&self, pos: Pos<'_>) -> Result<(PageId, Vec<PageId>)> {
+        let mut path = Vec::new();
+        let mut id = self.root();
+        loop {
+            let node = self.read_node(id)?;
+            if let Some(h) = node.high() {
+                if !pos.lt_pair(h) {
+                    // Overshot: a split moved our range to the right
+                    // sibling before the parent absorbed the separator.
+                    id = node.right().expect("bounded node without right link");
+                    continue;
+                }
+            }
+            match node {
+                Node::Leaf { .. } => return Ok((id, path)),
+                Node::Internal { children, seps, .. } => {
+                    path.push(id);
+                    let mut child = children[0];
+                    for (i, s) in seps.iter().enumerate() {
+                        if pos.lt_pair(s) {
+                            break;
+                        }
+                        child = children[i + 1];
+                    }
+                    id = child;
+                }
+            }
+        }
+    }
+
+    /// Split `id` (already oversized, image in `node`) into itself and
+    /// a fresh right sibling; returns the separator pair and the new
+    /// sibling id. Writes right node first so every crash prefix is
+    /// searchable via right links.
+    fn split(&self, id: PageId, node: Node) -> Result<(Entry, PageId)> {
+        let new_id = self.pool.allocate()?;
+        let (left, right_node, sep) = match node {
+            Node::Leaf {
+                right,
+                high,
+                mut entries,
+            } => {
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].clone();
+                (
+                    Node::Leaf {
+                        right: Some(new_id),
+                        high: Some(sep.clone()),
+                        entries,
+                    },
+                    Node::Leaf {
+                        right,
+                        high,
+                        entries: right_entries,
+                    },
+                    sep,
+                )
+            }
+            Node::Internal {
+                right,
+                high,
+                mut children,
+                mut seps,
+            } => {
+                // Push up the middle separator: left keeps children
+                // [..=mid], right takes [mid+1..].
+                let mid = seps.len() / 2;
+                let right_seps = seps.split_off(mid + 1);
+                let sep = seps.pop().expect("internal split needs >= 2 seps");
+                let right_children = children.split_off(mid + 1);
+                (
+                    Node::Internal {
+                        right: Some(new_id),
+                        high: Some(sep.clone()),
+                        children,
+                        seps,
+                    },
+                    Node::Internal {
+                        right,
+                        high,
+                        children: right_children,
+                        seps: right_seps,
+                    },
+                    sep,
+                )
+            }
+        };
+        self.write_node(new_id, &right_node)?;
+        self.write_node(id, &left)?;
+        let m = self.pool.metrics();
+        if m.on() {
+            m.index.node_splits.inc();
+        }
+        Ok((sep, new_id))
+    }
+
+    /// Insert separator `sep` (pointing at `child`) into the parent
+    /// level, walking right from the remembered `parent` if splits
+    /// moved the range, splitting upward as needed. An empty remaining
+    /// `path` means the split reached the old root: grow a new one.
+    fn insert_sep(&self, mut path: Vec<PageId>, mut sep: Entry, mut child: PageId) -> Result<()> {
+        loop {
+            let Some(mut id) = path.pop() else {
+                // Root split: the old root keeps its page (it is the
+                // leftmost node of its level); a fresh page becomes the
+                // new root above it.
+                let old_root = self.root();
+                let new_root = self.pool.allocate()?;
+                self.write_node(
+                    new_root,
+                    &Node::Internal {
+                        right: None,
+                        high: None,
+                        children: vec![old_root, child],
+                        seps: vec![sep],
+                    },
+                )?;
+                *self.root.lock() = new_root;
+                let m = self.pool.metrics();
+                if m.on() {
+                    m.index.root_splits.inc();
+                }
+                return Ok(());
+            };
+            // Move right to the node whose range covers the separator.
+            let mut node = loop {
+                let node = self.read_node(id)?;
+                match node.high() {
+                    Some(h) if !Pos::Pair(&sep.0, sep.1).lt_pair(h) => {
+                        id = node.right().expect("bounded node without right link");
+                    }
+                    _ => break node,
+                }
+            };
+            let Node::Internal {
+                ref mut children,
+                ref mut seps,
+                ..
+            } = node
+            else {
+                return Err(ReachError::Io("separator landed on a leaf".into()));
+            };
+            let at = seps.binary_search_by(|s| s.cmp(&sep)).unwrap_or_else(|i| i);
+            seps.insert(at, sep);
+            children.insert(at + 1, child);
+            if !self.overflows(&node) {
+                return self.write_node(id, &node);
+            }
+            let (up_sep, up_child) = self.split(id, node)?;
+            sep = up_sep;
+            child = up_child;
+        }
+    }
+
+    /// Insert `(key, oid)`. Returns `false` (and writes nothing) if the
+    /// pair is already present.
+    pub fn insert(&self, key: &[u8], oid: u64) -> Result<bool> {
+        if key.len() > MAX_KEY {
+            return Err(ReachError::RecordTooLarge {
+                size: key.len(),
+                max: MAX_KEY,
+            });
+        }
+        let (leaf_id, path) = self.descend(Pos::Pair(key, oid))?;
+        let mut node = self.read_node(leaf_id)?;
+        let Node::Leaf {
+            ref mut entries, ..
+        } = node
+        else {
+            return Err(ReachError::Io("descend ended on internal node".into()));
+        };
+        let pair = (key.to_vec(), oid);
+        let at = match entries.binary_search(&pair) {
+            Ok(_) => return Ok(false),
+            Err(i) => i,
+        };
+        entries.insert(at, pair);
+        if !self.overflows(&node) {
+            self.write_node(leaf_id, &node)?;
+            return Ok(true);
+        }
+        let (sep, new_right) = self.split(leaf_id, node)?;
+        self.insert_sep(path, sep, new_right)?;
+        Ok(true)
+    }
+
+    /// Delete `(key, oid)`. Returns `false` if absent. Lazy: the node
+    /// keeps its place in the tree even when it empties.
+    pub fn delete(&self, key: &[u8], oid: u64) -> Result<bool> {
+        let (leaf_id, _path) = self.descend(Pos::Pair(key, oid))?;
+        let mut node = self.read_node(leaf_id)?;
+        let Node::Leaf {
+            ref mut entries, ..
+        } = node
+        else {
+            return Err(ReachError::Io("descend ended on internal node".into()));
+        };
+        let pair = (key.to_vec(), oid);
+        match entries.binary_search(&pair) {
+            Ok(i) => {
+                entries.remove(i);
+                self.write_node(leaf_id, &node)?;
+                Ok(true)
+            }
+            Err(_) => Ok(false),
+        }
+    }
+
+    /// Is `(key, oid)` present?
+    pub fn contains(&self, key: &[u8], oid: u64) -> Result<bool> {
+        Ok(self.lookup(key)?.contains(&oid))
+    }
+
+    /// All oids stored under exactly `key`, ascending.
+    pub fn lookup(&self, key: &[u8]) -> Result<Vec<u64>> {
+        let m = self.pool.metrics();
+        if m.on() {
+            m.index.lookups.inc();
+        }
+        Ok(self
+            .range(Bound::Included(key), Bound::Included(key))?
+            .into_iter()
+            .map(|(_, oid)| oid)
+            .collect())
+    }
+
+    /// Range scan in ascending `(key, oid)` order, with `Bound`
+    /// semantics matching the query planner's (`Excluded` skips every
+    /// oid under that key).
+    pub fn range(&self, low: Bound<&[u8]>, high: Bound<&[u8]>) -> Result<Vec<Entry>> {
+        let m = self.pool.metrics();
+        if m.on() {
+            m.index.range_scans.inc();
+        }
+        let mut out = Vec::new();
+        let mut id = match low {
+            Bound::Included(k) => self.descend(Pos::Before(k))?.0,
+            Bound::Excluded(k) => self.descend(Pos::AfterAll(k))?.0,
+            Bound::Unbounded => self.leftmost_leaf()?,
+        };
+        loop {
+            let node = self.read_node(id)?;
+            let Node::Leaf { right, entries, .. } = node else {
+                return Err(ReachError::Io("leaf chain hit internal node".into()));
+            };
+            for (k, oid) in entries {
+                let past_low = match low {
+                    Bound::Included(l) => k.as_slice() >= l,
+                    Bound::Excluded(l) => k.as_slice() > l,
+                    Bound::Unbounded => true,
+                };
+                if !past_low {
+                    continue;
+                }
+                let within_high = match high {
+                    Bound::Included(h) => k.as_slice() <= h,
+                    Bound::Excluded(h) => k.as_slice() < h,
+                    Bound::Unbounded => true,
+                };
+                if !within_high {
+                    return Ok(out);
+                }
+                out.push((k, oid));
+            }
+            match right {
+                Some(r) => id = r,
+                None => return Ok(out),
+            }
+        }
+    }
+
+    /// Total number of `(key, oid)` pairs (walks the leaf chain).
+    pub fn len(&self) -> Result<usize> {
+        let mut n = 0usize;
+        let mut id = self.leftmost_leaf()?;
+        loop {
+            let node = self.read_node(id)?;
+            let Node::Leaf { right, entries, .. } = node else {
+                return Err(ReachError::Io("leaf chain hit internal node".into()));
+            };
+            n += entries.len();
+            match right {
+                Some(r) => id = r,
+                None => return Ok(n),
+            }
+        }
+    }
+
+    /// Whether the tree holds no pairs.
+    pub fn is_empty(&self) -> Result<bool> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Tree height (levels from root to leaf), for tests and stats.
+    pub fn depth(&self) -> Result<usize> {
+        let mut d = 1usize;
+        let mut id = self.root();
+        loop {
+            match self.read_node(id)? {
+                Node::Leaf { .. } => return Ok(d),
+                Node::Internal { children, .. } => {
+                    d += 1;
+                    id = children[0];
+                }
+            }
+        }
+    }
+
+    fn leftmost_leaf(&self) -> Result<PageId> {
+        let mut id = self.root();
+        loop {
+            match self.read_node(id)? {
+                Node::Leaf { .. } => return Ok(id),
+                Node::Internal { children, .. } => id = children[0],
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disk::MemDisk;
+    use std::collections::BTreeSet;
+
+    fn fixture() -> (Arc<BufferPool>, Arc<WriteAheadLog>) {
+        let disk: Arc<dyn crate::disk::StableStorage> = Arc::new(MemDisk::new());
+        let pool = Arc::new(BufferPool::new(disk, 64));
+        let wal = Arc::new(WriteAheadLog::in_memory());
+        (pool, wal)
+    }
+
+    fn key(i: u32) -> Vec<u8> {
+        format!("k{i:08}").into_bytes()
+    }
+
+    #[test]
+    fn insert_lookup_delete_roundtrip() {
+        let (pool, wal) = fixture();
+        let t = BTree::create(pool, wal, Some(4)).unwrap();
+        for i in 0..50u32 {
+            assert!(t.insert(&key(i), u64::from(i)).unwrap());
+        }
+        assert!(t.depth().unwrap() > 1, "fanout 4 must grow the tree");
+        for i in 0..50u32 {
+            assert_eq!(t.lookup(&key(i)).unwrap(), vec![u64::from(i)]);
+        }
+        assert!(!t.insert(&key(7), 7).unwrap(), "duplicate pair rejected");
+        assert!(t.delete(&key(7), 7).unwrap());
+        assert!(!t.delete(&key(7), 7).unwrap());
+        assert!(t.lookup(&key(7)).unwrap().is_empty());
+        assert_eq!(t.len().unwrap(), 49);
+    }
+
+    #[test]
+    fn duplicate_keys_collect_all_oids() {
+        let (pool, wal) = fixture();
+        let t = BTree::create(pool, wal, Some(4)).unwrap();
+        for oid in 0..20u64 {
+            assert!(t.insert(b"dup", oid).unwrap());
+        }
+        assert_eq!(t.lookup(b"dup").unwrap(), (0..20).collect::<Vec<_>>());
+        assert!(t.delete(b"dup", 11).unwrap());
+        let oids = t.lookup(b"dup").unwrap();
+        assert_eq!(oids.len(), 19);
+        assert!(!oids.contains(&11));
+    }
+
+    #[test]
+    fn boundary_fanouts_split_correctly() {
+        // The smallest legal fanouts stress every split path: a leaf
+        // split with 2 entries, an internal split with 2 separators.
+        for cap in [2usize, 3, 4, 5] {
+            let (pool, wal) = fixture();
+            let t = BTree::create(pool, wal, Some(cap)).unwrap();
+            let mut expect = BTreeSet::new();
+            for i in 0..120u32 {
+                // Interleave the key space so splits hit non-rightmost
+                // nodes too.
+                let k = key(i.wrapping_mul(7919) % 256);
+                t.insert(&k, u64::from(i)).unwrap();
+                expect.insert((k, u64::from(i)));
+            }
+            let got: BTreeSet<_> = t
+                .range(Bound::Unbounded, Bound::Unbounded)
+                .unwrap()
+                .into_iter()
+                .collect();
+            assert_eq!(got, expect, "fanout {cap}");
+        }
+    }
+
+    #[test]
+    fn underflow_mass_delete_then_reuse() {
+        let (pool, wal) = fixture();
+        let t = BTree::create(pool, wal, Some(3)).unwrap();
+        for i in 0..60u32 {
+            t.insert(&key(i), 1).unwrap();
+        }
+        for i in 0..60u32 {
+            assert!(t.delete(&key(i), 1).unwrap());
+        }
+        assert!(t.is_empty().unwrap());
+        assert!(t
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .unwrap()
+            .is_empty());
+        // Emptied nodes still own their ranges: reinsertion reuses them.
+        for i in 0..60u32 {
+            assert!(t.insert(&key(i), 2).unwrap());
+        }
+        assert_eq!(t.len().unwrap(), 60);
+        assert_eq!(t.lookup(&key(30)).unwrap(), vec![2]);
+    }
+
+    #[test]
+    fn range_bounds_match_planner_semantics() {
+        let (pool, wal) = fixture();
+        let t = BTree::create(pool, wal, Some(4)).unwrap();
+        for i in 0..30u32 {
+            t.insert(&key(i), u64::from(i)).unwrap();
+        }
+        let keys = |lo: Bound<&[u8]>, hi: Bound<&[u8]>| -> Vec<u64> {
+            t.range(lo, hi)
+                .unwrap()
+                .into_iter()
+                .map(|(_, o)| o)
+                .collect()
+        };
+        let k5 = key(5);
+        let k9 = key(9);
+        assert_eq!(
+            keys(Bound::Included(&k5), Bound::Included(&k9)),
+            vec![5, 6, 7, 8, 9]
+        );
+        assert_eq!(
+            keys(Bound::Excluded(&k5), Bound::Excluded(&k9)),
+            vec![6, 7, 8]
+        );
+        assert_eq!(
+            keys(Bound::Unbounded, Bound::Excluded(&k5)),
+            vec![0, 1, 2, 3, 4]
+        );
+        assert_eq!(
+            keys(Bound::Included(&key(28)), Bound::Unbounded),
+            vec![28, 29]
+        );
+        // Empty and inverted ranges yield nothing.
+        assert!(keys(Bound::Excluded(&k5), Bound::Included(&k5)).is_empty());
+        assert!(keys(Bound::Included(&k9), Bound::Excluded(&k5)).is_empty());
+        // Reverse iteration of an ascending scan is exact.
+        let rev: Vec<u64> = keys(Bound::Included(&k5), Bound::Included(&k9))
+            .into_iter()
+            .rev()
+            .collect();
+        assert_eq!(rev, vec![9, 8, 7, 6, 5]);
+    }
+
+    #[test]
+    fn byte_size_split_without_entry_cap() {
+        let (pool, wal) = fixture();
+        let t = BTree::create(pool, wal, None).unwrap();
+        // ~600-byte keys overflow the byte budget after a handful of
+        // inserts, forcing size-driven splits.
+        for i in 0..64u32 {
+            let mut k = vec![b'x'; 600];
+            k.extend_from_slice(&key(i));
+            assert!(t.insert(&k, u64::from(i)).unwrap());
+        }
+        assert!(t.depth().unwrap() > 1);
+        assert_eq!(t.len().unwrap(), 64);
+        let err = t.insert(&vec![0u8; MAX_KEY + 1], 1).unwrap_err();
+        assert!(matches!(err, ReachError::RecordTooLarge { .. }));
+    }
+
+    #[test]
+    fn stale_root_reopen_still_reaches_everything() {
+        let (pool, wal) = fixture();
+        let t = BTree::create(Arc::clone(&pool), Arc::clone(&wal), Some(2)).unwrap();
+        let stale_root = t.root();
+        for i in 0..40u32 {
+            t.insert(&key(i), u64::from(i)).unwrap();
+        }
+        assert_ne!(t.root(), stale_root, "fanout 2 must split the root");
+        // Reopen at the pre-split root, as if the catalog update was
+        // lost in a crash: right links still reach every entry.
+        let reopened = BTree::open(pool, wal, stale_root, Some(2));
+        for i in 0..40u32 {
+            assert_eq!(reopened.lookup(&key(i)).unwrap(), vec![u64::from(i)]);
+        }
+        assert!(reopened.insert(&key(99), 99).unwrap());
+        assert_eq!(reopened.lookup(&key(99)).unwrap(), vec![99]);
+    }
+}

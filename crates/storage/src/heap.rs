@@ -112,17 +112,38 @@ impl HeapFile {
             .with_page_mut(rid.page, |pg| pg.delete(rid.slot))?
     }
 
-    /// Visit every live record. The callback may not mutate the file.
-    pub fn for_each(&self, mut f: impl FnMut(RecordId, &[u8])) -> Result<()> {
+    /// Visit live records until the visitor breaks. Payloads are handed
+    /// out as borrowed slices — nothing is cloned unless the visitor
+    /// copies — and `ControlFlow::Break` stops the walk without pinning
+    /// the remaining pages. The callback may not mutate the file.
+    pub fn for_each_while(
+        &self,
+        mut f: impl FnMut(RecordId, &[u8]) -> std::ops::ControlFlow<()>,
+    ) -> Result<()> {
         let pages = self.pages();
         for pid in pages {
-            self.pool.with_page(pid, |pg| {
+            let flow = self.pool.with_page(pid, |pg| {
                 for slot in pg.live_slots() {
-                    f(RecordId::new(pid, slot), pg.get(slot).expect("live slot"));
+                    let flow = f(RecordId::new(pid, slot), pg.get(slot).expect("live slot"));
+                    if flow.is_break() {
+                        return flow;
+                    }
                 }
+                std::ops::ControlFlow::Continue(())
             })?;
+            if flow.is_break() {
+                break;
+            }
         }
         Ok(())
+    }
+
+    /// Visit every live record. The callback may not mutate the file.
+    pub fn for_each(&self, mut f: impl FnMut(RecordId, &[u8])) -> Result<()> {
+        self.for_each_while(|rid, data| {
+            f(rid, data);
+            std::ops::ControlFlow::Continue(())
+        })
     }
 
     /// Materialized scan (convenience over [`HeapFile::for_each`]).
@@ -132,16 +153,32 @@ impl HeapFile {
         Ok(out)
     }
 
-    /// Number of live records (full scan).
+    /// The first live record, if any — stops at the first hit instead
+    /// of materializing the whole file.
+    pub fn first(&self) -> Result<Option<(RecordId, Vec<u8>)>> {
+        let mut out = None;
+        self.for_each_while(|rid, data| {
+            out = Some((rid, data.to_vec()));
+            std::ops::ControlFlow::Break(())
+        })?;
+        Ok(out)
+    }
+
+    /// Number of live records (full walk, but no payload copies).
     pub fn len(&self) -> Result<usize> {
         let mut n = 0;
         self.for_each(|_, _| n += 1)?;
         Ok(n)
     }
 
-    /// Whether the file holds no live records.
+    /// Whether the file holds no live records (stops at the first one).
     pub fn is_empty(&self) -> Result<bool> {
-        Ok(self.len()? == 0)
+        let mut empty = true;
+        self.for_each_while(|_, _| {
+            empty = false;
+            std::ops::ControlFlow::Break(())
+        })?;
+        Ok(empty)
     }
 }
 
@@ -207,6 +244,35 @@ mod tests {
         assert_eq!(values, vec![b"b".to_vec(), b"c".to_vec()]);
         assert_eq!(h.len().unwrap(), 2);
         assert!(scan.iter().any(|(rid, _)| *rid == c));
+    }
+
+    #[test]
+    fn for_each_while_stops_at_break() {
+        let h = heap();
+        for i in 0..10u8 {
+            h.insert(&[i]).unwrap();
+        }
+        let mut seen = 0;
+        h.for_each_while(|_, data| {
+            seen += 1;
+            if data[0] == 3 {
+                std::ops::ControlFlow::Break(())
+            } else {
+                std::ops::ControlFlow::Continue(())
+            }
+        })
+        .unwrap();
+        assert_eq!(seen, 4, "walk must stop at the break, not finish");
+        let (rid, bytes) = h.first().unwrap().unwrap();
+        assert_eq!(bytes, vec![0]);
+        assert!(!h.is_empty().unwrap());
+        h.delete(rid).unwrap();
+        assert_eq!(h.first().unwrap().unwrap().1, vec![1]);
+        for (rid, _) in h.scan().unwrap() {
+            h.delete(rid).unwrap();
+        }
+        assert!(h.is_empty().unwrap());
+        assert!(h.first().unwrap().is_none());
     }
 
     #[test]

@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod btree;
 pub mod buffer;
 pub mod checkpoint;
 pub mod disk;
@@ -34,6 +35,7 @@ pub mod sm;
 pub mod torture;
 pub mod wal;
 
+pub use btree::BTree;
 pub use buffer::BufferPool;
 pub use checkpoint::CheckpointStats;
 pub use disk::{FaultDisk, FileDisk, MemDisk, StableStorage};

@@ -169,10 +169,17 @@ pub fn recover(sm: &StorageManager) -> Result<RecoveryReport> {
     let mut ops: HashMap<TxnId, Vec<(Lsn, WalRecord)>> = HashMap::new();
     for (lsn, rec) in &log {
         match rec {
-            WalRecord::Clr { txn, .. } => *clr_count.entry(*txn).or_default() += 1,
+            WalRecord::Clr { txn, .. } | WalRecord::IndexClr { txn, .. } => {
+                *clr_count.entry(*txn).or_default() += 1
+            }
+            // Logical index records joined the redo pass as no-ops (the
+            // tree's physical SYSTEM_TXN writes carried all redo); here
+            // they join undo, where `undo_one` re-descends the tree.
             WalRecord::Insert { txn, .. }
             | WalRecord::Update { txn, .. }
-            | WalRecord::Delete { txn, .. } => {
+            | WalRecord::Delete { txn, .. }
+            | WalRecord::IndexInsert { txn, .. }
+            | WalRecord::IndexDelete { txn, .. } => {
                 ops.entry(*txn).or_default().push((*lsn, rec.clone()));
             }
             _ => {}

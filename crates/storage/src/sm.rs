@@ -8,7 +8,9 @@
 //!
 //! The segment catalog itself lives on page 1 of the device (created on
 //! first use) and is logged under the reserved [`SYSTEM_TXN`], which
-//! recovery always treats as committed.
+//! recovery always treats as committed. Slot 1 of the same page holds
+//! the persistent-index catalog (name → B+Tree root), maintained the
+//! same way.
 //!
 //! **Known limit**: the catalog is one record on one page, so the sum
 //! of all segments' page lists must fit in ~8 KiB — roughly 1 000 heap
@@ -16,6 +18,7 @@
 //! `RecordTooLarge` at the catalog write. Fine for the reproduction's
 //! scale; a production system would chain catalog pages.
 
+use crate::btree::BTree;
 use crate::buffer::BufferPool;
 use crate::checkpoint::{ActiveTxns, CheckpointStats, Checkpointer};
 use crate::disk::{FileDisk, MemDisk, StableStorage};
@@ -53,6 +56,12 @@ pub struct StorageManager {
     catalog: Mutex<Catalog>,
     /// Page holding the serialized catalog (page 1, slot 0).
     catalog_page: PageId,
+    /// Serializes index structural operations and index-catalog writes.
+    /// The index catalog itself lives on the catalog page, slot 1, and
+    /// is read on demand — the page is authoritative, so recovery-time
+    /// undo (which runs before any in-memory state is rebuilt) sees
+    /// exactly the post-redo tree roots.
+    index_lock: Mutex<()>,
     /// Live transactions with write counts and first-write LSNs — feeds
     /// the read-only commit fast path (a txn with zero writes has
     /// nothing to force) and the checkpoint's active-writer table.
@@ -150,6 +159,7 @@ impl StorageManager {
                 next_seg: 1,
             }),
             catalog_page,
+            index_lock: Mutex::new(()),
             active,
             ckpt,
         };
@@ -320,14 +330,18 @@ impl StorageManager {
         // operations they already undid.
         let undone: usize = mine
             .iter()
-            .filter(|(_, r)| matches!(r, WalRecord::Clr { .. }))
+            .filter(|(_, r)| matches!(r, WalRecord::Clr { .. } | WalRecord::IndexClr { .. }))
             .count();
         let ops: Vec<(u64, WalRecord)> = mine
             .drain(..)
             .filter(|(_, r)| {
                 matches!(
                     r,
-                    WalRecord::Insert { .. } | WalRecord::Update { .. } | WalRecord::Delete { .. }
+                    WalRecord::Insert { .. }
+                        | WalRecord::Update { .. }
+                        | WalRecord::Delete { .. }
+                        | WalRecord::IndexInsert { .. }
+                        | WalRecord::IndexDelete { .. }
                 )
             })
             .collect();
@@ -391,6 +405,29 @@ impl StorageManager {
                 })?;
                 self.pool
                     .with_page_mut(*page, |pg| pg.put_at(*slot, before))??;
+            }
+            // Logical index undo: re-descend the *current* tree and
+            // apply the inverse, then write the compensation record.
+            // Mutation-first makes a torn restart-undo idempotent: the
+            // repeat just deletes an absent pair / re-inserts a present
+            // one, both no-ops under set semantics.
+            WalRecord::IndexInsert {
+                index, key, oid, ..
+            } => {
+                self.index_undo(*index, key, *oid, false)?;
+                self.wal.append(&WalRecord::IndexClr {
+                    txn,
+                    undo_next: lsn,
+                })?;
+            }
+            WalRecord::IndexDelete {
+                index, key, oid, ..
+            } => {
+                self.index_undo(*index, key, *oid, true)?;
+                self.wal.append(&WalRecord::IndexClr {
+                    txn,
+                    undo_next: lsn,
+                })?;
             }
             _ => {}
         }
@@ -458,6 +495,234 @@ impl StorageManager {
         self.heap(seg)?.scan()
     }
 
+    /// Walk a segment's live records as borrowed slices, stopping when
+    /// the visitor breaks — no payload is copied and no `Vec` is built.
+    pub fn for_each_while(
+        &self,
+        seg: SegmentId,
+        f: impl FnMut(RecordId, &[u8]) -> std::ops::ControlFlow<()>,
+    ) -> Result<()> {
+        self.heap(seg)?.for_each_while(f)
+    }
+
+    /// Number of live records in a segment without materializing them.
+    pub fn scan_count(&self, seg: SegmentId) -> Result<usize> {
+        self.heap(seg)?.len()
+    }
+
+    /// The segment's first live record, if any — stops at the first hit.
+    pub fn scan_first(&self, seg: SegmentId) -> Result<Option<(RecordId, Vec<u8>)>> {
+        self.heap(seg)?.first()
+    }
+
+    // ---- persistent B+Tree indexes ----
+    //
+    // The index catalog — (name, id, root page, fanout knob) per index —
+    // lives in slot 1 of the catalog page, logged under SYSTEM_TXN like
+    // the segment catalog in slot 0. User-level index mutations are
+    // additionally logged *logically* (IndexInsert/IndexDelete under the
+    // mutating transaction) so abort and restart-undo can reverse them
+    // through the tree, while the tree's own page writes are physical
+    // SYSTEM_TXN records replayed by redo.
+
+    /// Create a persistent index; returns the existing id if the name
+    /// is taken (reopen path).
+    pub fn create_index(&self, name: &str) -> Result<u64> {
+        self.create_index_with(name, None)
+    }
+
+    /// [`StorageManager::create_index`] with an explicit max-entries
+    /// fanout knob (tests and torture force boundary fanouts with it;
+    /// the knob is persisted so reopen splits identically).
+    pub fn create_index_with(&self, name: &str, max_node_entries: Option<usize>) -> Result<u64> {
+        let _g = self.index_lock.lock();
+        let (mut entries, next) = self.load_index_entries()?;
+        if let Some(e) = entries.iter().find(|e| e.name == name) {
+            return Ok(e.id);
+        }
+        let tree = BTree::create(
+            Arc::clone(&self.pool),
+            Arc::clone(&self.wal),
+            max_node_entries,
+        )?;
+        let id = next;
+        entries.push(IndexEntry {
+            name: name.to_string(),
+            id,
+            root: tree.root(),
+            max_node_entries: max_node_entries.map_or(0, |n| n as u32),
+        });
+        self.store_index_entries(&entries, next + 1)?;
+        Ok(id)
+    }
+
+    /// All persistent indexes as `(name, id)` pairs.
+    pub fn index_names(&self) -> Result<Vec<(String, u64)>> {
+        let _g = self.index_lock.lock();
+        let (entries, _) = self.load_index_entries()?;
+        Ok(entries.into_iter().map(|e| (e.name, e.id)).collect())
+    }
+
+    /// Insert `(key, oid)` into index `index` under `txn`, logging the
+    /// operation logically for undo. Returns `false` (and logs nothing)
+    /// if the pair is already present.
+    pub fn index_insert(&self, txn: TxnId, index: u64, key: &[u8], oid: u64) -> Result<bool> {
+        let _g = self.index_lock.lock();
+        let (mut entries, next) = self.load_index_entries()?;
+        let tree = open_entry_tree(self, &entries, index)?;
+        if tree.contains(key, oid)? {
+            return Ok(false);
+        }
+        // Logical record first: if the tree mutation's physical records
+        // are torn away by a crash, the surviving logical record still
+        // drives a (no-op) undo; the reverse order could leak a
+        // half-applied loser insert with nothing to undo it.
+        self.active.note_write(txn, &self.wal);
+        self.wal.append(&WalRecord::IndexInsert {
+            txn,
+            index,
+            key: key.to_vec(),
+            oid,
+        })?;
+        tree.insert(key, oid)?;
+        self.persist_root_if_moved(&mut entries, next, index, &tree)?;
+        let m = self.metrics();
+        if m.on() {
+            m.index.inserts.inc();
+        }
+        Ok(true)
+    }
+
+    /// Delete `(key, oid)` from index `index` under `txn`. Returns
+    /// `false` (and logs nothing) if the pair is absent.
+    pub fn index_delete(&self, txn: TxnId, index: u64, key: &[u8], oid: u64) -> Result<bool> {
+        let _g = self.index_lock.lock();
+        let (mut entries, next) = self.load_index_entries()?;
+        let tree = open_entry_tree(self, &entries, index)?;
+        if !tree.contains(key, oid)? {
+            return Ok(false);
+        }
+        self.active.note_write(txn, &self.wal);
+        self.wal.append(&WalRecord::IndexDelete {
+            txn,
+            index,
+            key: key.to_vec(),
+            oid,
+        })?;
+        tree.delete(key, oid)?;
+        self.persist_root_if_moved(&mut entries, next, index, &tree)?;
+        let m = self.metrics();
+        if m.on() {
+            m.index.deletes.inc();
+        }
+        Ok(true)
+    }
+
+    /// Point lookup: all oids under exactly `key`, ascending.
+    pub fn index_lookup(&self, index: u64, key: &[u8]) -> Result<Vec<u64>> {
+        let _g = self.index_lock.lock();
+        let (entries, _) = self.load_index_entries()?;
+        open_entry_tree(self, &entries, index)?.lookup(key)
+    }
+
+    /// Range scan in ascending `(key, oid)` order with planner `Bound`
+    /// semantics.
+    pub fn index_range(
+        &self,
+        index: u64,
+        low: std::ops::Bound<&[u8]>,
+        high: std::ops::Bound<&[u8]>,
+    ) -> Result<Vec<(Vec<u8>, u64)>> {
+        let _g = self.index_lock.lock();
+        let (entries, _) = self.load_index_entries()?;
+        open_entry_tree(self, &entries, index)?.range(low, high)
+    }
+
+    /// Number of `(key, oid)` pairs in the index.
+    pub fn index_len(&self, index: u64) -> Result<usize> {
+        let _g = self.index_lock.lock();
+        let (entries, _) = self.load_index_entries()?;
+        open_entry_tree(self, &entries, index)?.len()
+    }
+
+    /// Apply a logical undo step: delete (`insert == false`) or
+    /// re-insert (`insert == true`) a pair through the current tree.
+    /// Missing indexes are tolerated (idempotence under torn catalogs).
+    fn index_undo(&self, index: u64, key: &[u8], oid: u64, insert: bool) -> Result<()> {
+        let _g = self.index_lock.lock();
+        let (mut entries, next) = self.load_index_entries()?;
+        let Ok(tree) = open_entry_tree(self, &entries, index) else {
+            return Ok(());
+        };
+        if insert {
+            tree.insert(key, oid)?;
+        } else {
+            tree.delete(key, oid)?;
+        }
+        self.persist_root_if_moved(&mut entries, next, index, &tree)?;
+        let m = self.metrics();
+        if m.on() {
+            m.index.undone.inc();
+        }
+        Ok(())
+    }
+
+    fn persist_root_if_moved(
+        &self,
+        entries: &mut [IndexEntry],
+        next: u64,
+        index: u64,
+        tree: &BTree,
+    ) -> Result<()> {
+        let entry = entries
+            .iter_mut()
+            .find(|e| e.id == index)
+            .expect("entry existed when the tree was opened");
+        if entry.root != tree.root() {
+            entry.root = tree.root();
+            self.store_index_entries(entries, next)?;
+        }
+        Ok(())
+    }
+
+    fn load_index_entries(&self) -> Result<(Vec<IndexEntry>, u64)> {
+        let raw = self
+            .pool
+            .with_page(self.catalog_page, |pg| pg.get(1).map(|b| b.to_vec()).ok())?;
+        match raw {
+            Some(bytes) => decode_index_catalog(&bytes),
+            None => Ok((Vec::new(), 1)),
+        }
+    }
+
+    /// Persist the index catalog to slot 1 (logged under
+    /// [`SYSTEM_TXN`], same idiom as the segment catalog).
+    fn store_index_entries(&self, entries: &[IndexEntry], next_index: u64) -> Result<()> {
+        let after = encode_index_catalog(entries, next_index);
+        let before = self
+            .pool
+            .with_page(self.catalog_page, |pg| pg.get(1).map(|b| b.to_vec()).ok())?;
+        let rec = match before {
+            Some(before) => WalRecord::Update {
+                txn: SYSTEM_TXN,
+                page: self.catalog_page,
+                slot: 1,
+                before,
+                after: after.clone(),
+            },
+            None => WalRecord::Insert {
+                txn: SYSTEM_TXN,
+                page: self.catalog_page,
+                slot: 1,
+                payload: after.clone(),
+            },
+        };
+        self.wal.append(&rec)?;
+        self.pool
+            .with_page_mut(self.catalog_page, |pg| pg.put_at(1, &after))??;
+        Ok(())
+    }
+
     /// Take a fuzzy checkpoint now: `BeginCheckpoint`, pool flush,
     /// dirty-page + active-writer capture, `EndCheckpoint`, force, then
     /// truncate the log below the safe cut. See [`crate::checkpoint`]
@@ -480,6 +745,84 @@ impl std::fmt::Debug for StorageManager {
             .field("pages", &self.pool.disk().page_count())
             .finish()
     }
+}
+
+// ---- index catalog ----
+
+/// One persistent index in the catalog (slot 1 of the catalog page).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct IndexEntry {
+    name: String,
+    id: u64,
+    /// Root page as of the last persisted structure change. May lag a
+    /// crash-torn root split — safe, because an old root is the
+    /// leftmost node of its level and right links reach everything.
+    root: PageId,
+    /// Max-entries fanout knob (0 = byte-budget default), persisted so
+    /// reopen splits identically.
+    max_node_entries: u32,
+}
+
+fn open_entry_tree(sm: &StorageManager, entries: &[IndexEntry], index: u64) -> Result<BTree> {
+    let e = entries
+        .iter()
+        .find(|e| e.id == index)
+        .ok_or_else(|| ReachError::NameNotFound(format!("index {index}")))?;
+    let cap = if e.max_node_entries == 0 {
+        None
+    } else {
+        Some(e.max_node_entries as usize)
+    };
+    Ok(BTree::open(
+        Arc::clone(&sm.pool),
+        Arc::clone(&sm.wal),
+        e.root,
+        cap,
+    ))
+}
+
+fn encode_index_catalog(entries: &[IndexEntry], next_index: u64) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&next_index.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        out.extend_from_slice(&(e.name.len() as u32).to_le_bytes());
+        out.extend_from_slice(e.name.as_bytes());
+        out.extend_from_slice(&e.id.to_le_bytes());
+        out.extend_from_slice(&e.root.raw().to_le_bytes());
+        out.extend_from_slice(&e.max_node_entries.to_le_bytes());
+    }
+    out
+}
+
+fn decode_index_catalog(buf: &[u8]) -> Result<(Vec<IndexEntry>, u64)> {
+    let corrupt = || ReachError::WalCorrupt("index catalog corrupt".into());
+    let mut pos = 0usize;
+    let mut take = |n: usize| -> Result<&[u8]> {
+        if pos + n > buf.len() {
+            return Err(corrupt());
+        }
+        let s = &buf[pos..pos + n];
+        pos += n;
+        Ok(s)
+    };
+    let next_index = u64::from_le_bytes(take(8)?.try_into().unwrap());
+    let n = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+    let mut entries = Vec::with_capacity(n);
+    for _ in 0..n {
+        let name_len = u32::from_le_bytes(take(4)?.try_into().unwrap()) as usize;
+        let name = String::from_utf8(take(name_len)?.to_vec()).map_err(|_| corrupt())?;
+        let id = u64::from_le_bytes(take(8)?.try_into().unwrap());
+        let root = PageId::new(u64::from_le_bytes(take(8)?.try_into().unwrap()));
+        let max_node_entries = u32::from_le_bytes(take(4)?.try_into().unwrap());
+        entries.push(IndexEntry {
+            name,
+            id,
+            root,
+            max_node_entries,
+        });
+    }
+    Ok((entries, next_index))
 }
 
 // ---- catalog (de)serialization ----
@@ -663,5 +1006,137 @@ mod tests {
         let seg = s.segment("docs").unwrap();
         assert_eq!(s.get(seg, rid).unwrap(), b"durable doc");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn index_catalog_round_trips() {
+        let entries = vec![
+            IndexEntry {
+                name: "idx.person.age".to_string(),
+                id: 1,
+                root: PageId::new(9),
+                max_node_entries: 0,
+            },
+            IndexEntry {
+                name: "idx.doc.title".to_string(),
+                id: 2,
+                root: PageId::new(12),
+                max_node_entries: 4,
+            },
+        ];
+        let enc = encode_index_catalog(&entries, 3);
+        let (dec, next) = decode_index_catalog(&enc).unwrap();
+        assert_eq!(dec, entries);
+        assert_eq!(next, 3);
+        assert!(decode_index_catalog(&enc[..enc.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn index_create_is_idempotent_by_name() {
+        let s = sm();
+        let a = s.create_index("idx.a").unwrap();
+        let b = s.create_index("idx.a").unwrap();
+        let c = s.create_index("idx.b").unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        let names = s.index_names().unwrap();
+        assert_eq!(names.len(), 2);
+        assert!(names.contains(&("idx.a".to_string(), a)));
+    }
+
+    #[test]
+    fn index_insert_lookup_delete_under_commit() {
+        let s = sm();
+        let idx = s.create_index("idx").unwrap();
+        let txn = TxnId::new(1);
+        s.begin(txn).unwrap();
+        assert!(s.index_insert(txn, idx, b"alpha", 10).unwrap());
+        assert!(s.index_insert(txn, idx, b"alpha", 11).unwrap());
+        assert!(!s.index_insert(txn, idx, b"alpha", 10).unwrap());
+        assert!(s.index_insert(txn, idx, b"beta", 20).unwrap());
+        s.commit(txn).unwrap();
+        assert_eq!(s.index_lookup(idx, b"alpha").unwrap(), vec![10, 11]);
+        assert_eq!(s.index_len(idx).unwrap(), 3);
+        let t2 = TxnId::new(2);
+        s.begin(t2).unwrap();
+        assert!(s.index_delete(t2, idx, b"alpha", 10).unwrap());
+        assert!(!s.index_delete(t2, idx, b"alpha", 10).unwrap());
+        s.commit(t2).unwrap();
+        assert_eq!(s.index_lookup(idx, b"alpha").unwrap(), vec![11]);
+        use std::ops::Bound;
+        let all = s
+            .index_range(idx, Bound::Unbounded, Bound::Unbounded)
+            .unwrap();
+        assert_eq!(all, vec![(b"alpha".to_vec(), 11), (b"beta".to_vec(), 20)]);
+    }
+
+    #[test]
+    fn index_abort_rolls_back_inserts_and_deletes() {
+        let s = sm();
+        let idx = s.create_index_with("idx", Some(3)).unwrap();
+        let t0 = TxnId::new(1);
+        s.begin(t0).unwrap();
+        for i in 0..20u64 {
+            s.index_insert(t0, idx, format!("k{i:03}").as_bytes(), i)
+                .unwrap();
+        }
+        s.commit(t0).unwrap();
+        let before = s
+            .index_range(idx, std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)
+            .unwrap();
+        // A transaction that inserts (forcing splits at fanout 3) and
+        // deletes, then aborts: logical undo must restore the exact set
+        // even though the split page writes stay (they're SYSTEM_TXN).
+        let t1 = TxnId::new(2);
+        s.begin(t1).unwrap();
+        for i in 100..140u64 {
+            s.index_insert(t1, idx, format!("k{i:03}").as_bytes(), i)
+                .unwrap();
+        }
+        for i in (0..20u64).step_by(2) {
+            s.index_delete(t1, idx, format!("k{i:03}").as_bytes(), i)
+                .unwrap();
+        }
+        s.abort(t1).unwrap();
+        let after = s
+            .index_range(idx, std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)
+            .unwrap();
+        assert_eq!(after, before);
+    }
+
+    #[test]
+    fn index_survives_crash_reopen() {
+        let disk: Arc<dyn StableStorage> = Arc::new(MemDisk::new());
+        let wal = Arc::new(WriteAheadLog::in_memory());
+        let (s, _) = StorageManager::open_with(Arc::clone(&disk), Arc::clone(&wal), 64).unwrap();
+        let idx = s.create_index_with("idx", Some(4)).unwrap();
+        let t = TxnId::new(1);
+        s.begin(t).unwrap();
+        for i in 0..50u64 {
+            s.index_insert(t, idx, format!("key{i:04}").as_bytes(), i)
+                .unwrap();
+        }
+        s.commit(t).unwrap();
+        // A loser in flight at the crash: must be undone on reopen.
+        let loser = TxnId::new(2);
+        s.begin(loser).unwrap();
+        s.index_insert(loser, idx, b"phantom", 999).unwrap();
+        s.index_delete(loser, idx, b"key0007", 7).unwrap();
+        // Crash: reopen over the surviving device and log image. Nothing
+        // was checkpointed, so redo replays every tree page write.
+        let wal2 = Arc::new(WriteAheadLog::in_memory_from(wal.image().unwrap()));
+        let (s2, report) = StorageManager::open_with(disk, wal2, 64).unwrap();
+        assert_eq!(report.losers, vec![loser]);
+        let idx2 = s2
+            .index_names()
+            .unwrap()
+            .into_iter()
+            .find(|(n, _)| n == "idx")
+            .map(|(_, id)| id)
+            .unwrap();
+        assert_eq!(idx2, idx);
+        assert_eq!(s2.index_len(idx2).unwrap(), 50);
+        assert!(s2.index_lookup(idx2, b"phantom").unwrap().is_empty());
+        assert_eq!(s2.index_lookup(idx2, b"key0007").unwrap(), vec![7]);
     }
 }

@@ -514,3 +514,189 @@ pub fn torture_truncate_crash(spec: &WorkloadSpec, oracle: &[(Lsn, WalRecord)], 
     );
     assert_eq!(visible_state(&sm2).unwrap(), expected);
 }
+
+// ---- index torture ----
+//
+// The same oracle discipline, applied to the persistent B+Tree: the
+// index workload's correctness is defined by the *logical*
+// IndexInsert/IndexDelete records of committed transactions alone, so
+// the harness never trusts the tree's physical page writes (splits,
+// catalog updates, CLR-driven repairs) to define what "correct" means.
+
+/// Name under which the index torture workload creates its tree.
+pub const TORTURE_INDEX: &str = "torture-idx";
+
+/// The exact `(key, oid)` pair set an index should hold.
+pub type IndexState = std::collections::BTreeSet<(Vec<u8>, u64)>;
+
+/// Run the seeded index workload against `sm`: transactions of
+/// inserts/deletes against one tree built with fanout 4 (so even a
+/// small run splits leaves, splits internals, and grows the root),
+/// 1-in-6 aborts exercising logical undo through the tree, and
+/// checkpoints putting tree pages into the dirty-page table.
+pub fn run_index_workload(sm: &StorageManager, spec: &WorkloadSpec) -> Result<()> {
+    let mut rng = SplitMix64::new(spec.seed ^ 0x1D0C5);
+    let idx = sm.create_index_with(TORTURE_INDEX, Some(4))?;
+    let mut live: Vec<(Vec<u8>, u64)> = Vec::new();
+    let mut next_oid = 1u64;
+    let mut next_txn = 1u64;
+    let mut done = 0usize;
+    while done < spec.ops {
+        let txn = TxnId::new(next_txn);
+        next_txn += 1;
+        sm.begin(txn)?;
+        let n_ops = 2 + rng.below(4); // 2..=5 ops per transaction
+        let mut inserted: Vec<(Vec<u8>, u64)> = Vec::new();
+        let mut deleted: Vec<(Vec<u8>, u64)> = Vec::new();
+        for _ in 0..n_ops {
+            let roll = rng.below(10);
+            if live.is_empty() || roll < 6 {
+                // Fresh oids keep pairs unique; a small key domain keeps
+                // duplicate keys (multiple oids per key) common.
+                let key = format!("k{:04}", rng.below(300)).into_bytes();
+                let oid = next_oid;
+                next_oid += 1;
+                sm.index_insert(txn, idx, &key, oid)?;
+                live.push((key.clone(), oid));
+                inserted.push((key, oid));
+            } else {
+                let (key, oid) = live.swap_remove(rng.below(live.len()));
+                sm.index_delete(txn, idx, &key, oid)?;
+                deleted.push((key, oid));
+            }
+        }
+        done += n_ops;
+        if rng.chance(1, 6) {
+            sm.abort(txn)?;
+            live.retain(|p| !inserted.contains(p));
+            live.extend(deleted.into_iter().filter(|p| !inserted.contains(p)));
+        } else {
+            sm.commit(txn)?;
+        }
+        if rng.chance(1, 4) && spec.manual_checkpoints {
+            sm.checkpoint()?;
+        }
+    }
+    Ok(())
+}
+
+/// Fault-free oracle run of the index workload (archive mode, complete
+/// frame history) — see [`oracle_frames`].
+pub fn index_oracle_frames(spec: &WorkloadSpec) -> Result<Vec<(Lsn, WalRecord)>> {
+    let disk: Arc<dyn StableStorage> = Arc::new(MemDisk::new());
+    let wal = Arc::new(WriteAheadLog::in_memory());
+    wal.set_archive(true);
+    let (sm, _) = StorageManager::open_with(disk, Arc::clone(&wal), spec.pool_frames)?;
+    run_index_workload(&sm, spec)?;
+    wal.scan_all()
+}
+
+/// The pair set exactly the committed transactions in `prefix` built,
+/// from their logical records applied in log order. The tree's physical
+/// SYSTEM_TXN page writes contribute nothing — they are mechanism, not
+/// meaning.
+pub fn committed_index_state(prefix: &[(Lsn, WalRecord)]) -> IndexState {
+    let winners: HashSet<TxnId> = prefix
+        .iter()
+        .filter_map(|(_, r)| match r {
+            WalRecord::Commit { txn } => Some(*txn),
+            _ => None,
+        })
+        .collect();
+    let mut state = IndexState::new();
+    for (_, rec) in prefix {
+        match rec {
+            WalRecord::IndexInsert { txn, key, oid, .. } if winners.contains(txn) => {
+                state.insert((key.clone(), *oid));
+            }
+            WalRecord::IndexDelete { txn, key, oid, .. } if winners.contains(txn) => {
+                state.remove(&(key.clone(), *oid));
+            }
+            _ => {}
+        }
+    }
+    state
+}
+
+/// The pair set actually visible through the recovered index (a full
+/// ascending range scan). A crash that predates the committed catalog
+/// entry means no index exists — the empty set is then the only correct
+/// answer.
+pub fn visible_index_state(sm: &StorageManager) -> Result<IndexState> {
+    let Some((_, id)) = sm
+        .index_names()?
+        .into_iter()
+        .find(|(n, _)| n == TORTURE_INDEX)
+    else {
+        return Ok(IndexState::new());
+    };
+    Ok(sm
+        .index_range(id, std::ops::Bound::Unbounded, std::ops::Bound::Unbounded)?
+        .into_iter()
+        .collect())
+}
+
+/// Index-workload analogue of [`torture_at`]: crash at WAL frame `n`
+/// (1-based), reboot over the surviving bytes, recover, and verify the
+/// recovered tree equals the committed pair set — then verify recovery
+/// is idempotent. Crash points land inside leaf splits, internal
+/// splits, root growth, catalog updates, and restart-undo of loser
+/// inserts/deletes; the B-link invariant (right links + exclusive high
+/// keys) is what makes every such prefix searchable.
+pub fn index_torture_at(
+    spec: &WorkloadSpec,
+    oracle: &[(Lsn, WalRecord)],
+    n: usize,
+) -> CrashPointResult {
+    assert!(n >= 1 && n <= oracle.len());
+    let disk = Arc::new(MemDisk::new());
+    let wal = Arc::new(WriteAheadLog::in_memory());
+    wal.set_injector(FaultInjector::new(
+        FaultPlan::new().crash_at(FaultPoint::WalAppend, n as u64),
+    ));
+    let (sm, _) = StorageManager::open_with(
+        Arc::clone(&disk) as Arc<dyn StableStorage>,
+        Arc::clone(&wal),
+        spec.pool_frames,
+    )
+    .expect("fresh open cannot fault before the first append");
+    let run = run_index_workload(&sm, spec);
+    assert!(
+        run.is_err(),
+        "index crash at frame {n} of {} must stop the workload",
+        oracle.len()
+    );
+    drop(sm); // the buffer pool dies with the machine — no flush
+
+    // ---- reboot ----
+    let image = wal.image().expect("in-memory image");
+    let revived = Arc::new(WriteAheadLog::in_memory_from(image));
+    let (sm2, report) = StorageManager::open_with(
+        Arc::clone(&disk) as Arc<dyn StableStorage>,
+        revived,
+        spec.pool_frames,
+    )
+    .unwrap_or_else(|e| panic!("index recovery after crash at frame {n} failed: {e}"));
+    let salvaged_bytes = sm2.metrics().recovery.salvaged_bytes.get();
+
+    let expected = committed_index_state(&oracle[..n - 1]);
+    let got = visible_index_state(&sm2).unwrap();
+    assert_eq!(
+        got, expected,
+        "index divergence after crash at frame {n}: committed pairs lost or loser pairs leaked"
+    );
+
+    // Recovery must be idempotent: running it again changes nothing.
+    let second = recover(&sm2).unwrap();
+    assert!(
+        second.losers.is_empty() && second.undone == 0,
+        "second recovery after index crash at frame {n} was not a no-op: {second:?}"
+    );
+    assert_eq!(visible_index_state(&sm2).unwrap(), expected);
+
+    CrashPointResult {
+        crash_at_frame: n,
+        report,
+        salvaged_bytes,
+    }
+}

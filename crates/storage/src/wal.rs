@@ -117,6 +117,45 @@ pub enum WalRecord {
         /// LSN of the next record of the same txn still to be undone.
         undo_next: Lsn,
     },
+    /// Logical index insertion: `(key, oid)` entered `index` on behalf
+    /// of `txn`. Redo is a no-op (the B+Tree's page writes are logged
+    /// physically under the system transaction and replayed there);
+    /// undo re-descends the *current* tree and deletes the pair, so
+    /// structure changes (splits) made on the way in never need
+    /// physical undo.
+    IndexInsert {
+        /// The inserting transaction.
+        txn: TxnId,
+        /// The index the pair entered (catalog id).
+        index: u64,
+        /// Memcomparable key bytes.
+        key: Vec<u8>,
+        /// The indexed object/record id.
+        oid: u64,
+    },
+    /// Logical index deletion: `(key, oid)` left `index` on behalf of
+    /// `txn`. Undo re-inserts the pair through the current tree.
+    IndexDelete {
+        /// The deleting transaction.
+        txn: TxnId,
+        /// The index the pair left (catalog id).
+        index: u64,
+        /// Memcomparable key bytes.
+        key: Vec<u8>,
+        /// The indexed object/record id.
+        oid: u64,
+    },
+    /// Compensation record for one undone logical index operation.
+    /// Carries no image: the compensating tree mutation is logged
+    /// physically under the system transaction, and re-applying a
+    /// logical undo is idempotent (set semantics), so restart-undo
+    /// only needs the progress count.
+    IndexClr {
+        /// The transaction being rolled back.
+        txn: TxnId,
+        /// LSN of the next record of the same txn still to be undone.
+        undo_next: Lsn,
+    },
     /// Start of a fuzzy checkpoint. Appended before the checkpointer
     /// gathers its tables; its LSN anchors the truncation cut so the
     /// Begin/End pair itself always survives truncation.
@@ -143,7 +182,10 @@ impl WalRecord {
             | WalRecord::Insert { txn, .. }
             | WalRecord::Update { txn, .. }
             | WalRecord::Delete { txn, .. }
-            | WalRecord::Clr { txn, .. } => Some(*txn),
+            | WalRecord::Clr { txn, .. }
+            | WalRecord::IndexInsert { txn, .. }
+            | WalRecord::IndexDelete { txn, .. }
+            | WalRecord::IndexClr { txn, .. } => Some(*txn),
             WalRecord::BeginCheckpoint | WalRecord::EndCheckpoint { .. } => None,
         }
     }
@@ -225,6 +267,35 @@ impl WalRecord {
                     None => out.push(0),
                 }
             }
+            WalRecord::IndexInsert {
+                txn,
+                index,
+                key,
+                oid,
+            } => {
+                out.push(10);
+                out.extend_from_slice(&txn.raw().to_le_bytes());
+                out.extend_from_slice(&index.to_le_bytes());
+                out.extend_from_slice(&oid.to_le_bytes());
+                put_bytes(&mut out, key);
+            }
+            WalRecord::IndexDelete {
+                txn,
+                index,
+                key,
+                oid,
+            } => {
+                out.push(11);
+                out.extend_from_slice(&txn.raw().to_le_bytes());
+                out.extend_from_slice(&index.to_le_bytes());
+                out.extend_from_slice(&oid.to_le_bytes());
+                put_bytes(&mut out, key);
+            }
+            WalRecord::IndexClr { txn, undo_next } => {
+                out.push(12);
+                out.extend_from_slice(&txn.raw().to_le_bytes());
+                out.extend_from_slice(&undo_next.to_le_bytes());
+            }
             WalRecord::BeginCheckpoint => {
                 out.push(8);
             }
@@ -291,6 +362,22 @@ impl WalRecord {
                     undo_next,
                 }
             }
+            10 => WalRecord::IndexInsert {
+                txn: TxnId::new(c.u64()?),
+                index: c.u64()?,
+                oid: c.u64()?,
+                key: c.bytes()?,
+            },
+            11 => WalRecord::IndexDelete {
+                txn: TxnId::new(c.u64()?),
+                index: c.u64()?,
+                oid: c.u64()?,
+                key: c.bytes()?,
+            },
+            12 => WalRecord::IndexClr {
+                txn: TxnId::new(c.u64()?),
+                undo_next: c.u64()?,
+            },
             8 => WalRecord::BeginCheckpoint,
             9 => {
                 let nd = c.u32()? as usize;
@@ -999,6 +1086,22 @@ mod tests {
                 slot: 2,
                 restore: None,
                 undo_next: 0,
+            },
+            WalRecord::IndexInsert {
+                txn: TxnId::new(1),
+                index: 3,
+                key: b"k\x00ey".to_vec(),
+                oid: 77,
+            },
+            WalRecord::IndexDelete {
+                txn: TxnId::new(1),
+                index: 3,
+                key: Vec::new(),
+                oid: 78,
+            },
+            WalRecord::IndexClr {
+                txn: TxnId::new(1),
+                undo_next: 40,
             },
             WalRecord::BeginCheckpoint,
             WalRecord::EndCheckpoint {

@@ -15,9 +15,9 @@
 use reach_common::fault::{FaultInjector, FaultPlan, FaultPoint};
 use reach_common::TxnId;
 use reach_storage::torture::{
-    committed_state, oracle_force_count, oracle_frames, oracle_truncate_count, run_workload,
-    torture_at, torture_crash_during_recovery, torture_force_crash, torture_truncate_crash,
-    visible_state, WorkloadSpec,
+    committed_state, index_oracle_frames, index_torture_at, oracle_force_count, oracle_frames,
+    oracle_truncate_count, run_workload, torture_at, torture_crash_during_recovery,
+    torture_force_crash, torture_truncate_crash, visible_state, WorkloadSpec,
 };
 use reach_storage::{FaultDisk, MemDisk, StableStorage, StorageManager, WriteAheadLog};
 use std::sync::Arc;
@@ -42,6 +42,27 @@ fn crash_sweep_covers_every_wal_frame() {
     );
     for n in 1..=oracle.len() {
         torture_at(&spec, &oracle, n);
+    }
+}
+
+#[test]
+fn index_crash_sweep_covers_every_wal_frame() {
+    // The B+Tree analogue of the sweep above: crash at every WAL frame
+    // of a split/abort index workload (fanout 4, so leaf splits,
+    // internal splits, and root growth are all in the frame space) and
+    // require the recovered tree to equal the committed pair set. The
+    // smaller op count keeps the sweep quadratic-but-bounded — each
+    // index op logs one logical frame plus several physical node
+    // writes, so the frame space is already several times `ops`.
+    let spec = WorkloadSpec { ops: 120, ..spec() };
+    let oracle = index_oracle_frames(&spec).unwrap();
+    assert!(
+        oracle.len() >= 200,
+        "index workload too small to be a torture test: only {} frames",
+        oracle.len()
+    );
+    for n in 1..=oracle.len() {
+        index_torture_at(&spec, &oracle, n);
     }
 }
 

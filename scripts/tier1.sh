@@ -7,9 +7,10 @@
 #   --stress       additionally run the E18 concurrency stress smoke
 #                  (schedule-perturbed serializability sweep + algebra
 #                  differential fuzz; see crates/bench/src/bin/exp_stress.rs)
-#   --bench-check  additionally run the E13 throughput smoke and fail
-#                  if events/s lands >10% below the committed gate in
-#                  BENCH_E13.json (gate_events_per_s)
+#   --bench-check  additionally run the E13 throughput and E21 index
+#                  smokes and fail if either lands >10% below its
+#                  committed gate (gate_events_per_s in BENCH_E13.json,
+#                  gate_lookups_per_s in BENCH_E21.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -63,6 +64,21 @@ if [[ "$BENCH_CHECK" == 1 ]]; then
   echo "   measured ${fresh} events/s, gate ${gate} (floor ${floor})"
   if (( fresh < floor )); then
     echo "E13 throughput regression: ${fresh} events/s < ${floor} (90% of gate ${gate})" >&2
+    exit 1
+  fi
+
+  echo "== tier-1: E21 index-lookup gate (>10% regression vs committed gate fails) =="
+  # Same protocol as E13: read the gate BEFORE exp_index rewrites the file.
+  gate=$(sed -n 's/^  "gate_lookups_per_s": \([0-9]*\).*/\1/p' BENCH_E21.json)
+  if [[ -z "$gate" ]]; then
+    echo "BENCH_E21.json missing or has no gate_lookups_per_s" >&2; exit 1
+  fi
+  timeout "$EXP_TIMEOUT" cargo run --release -p reach-bench --bin exp_index -- --smoke
+  fresh=$(sed -n 's/^  "lookups_per_s": \([0-9]*\).*/\1/p' BENCH_E21.json)
+  floor=$((gate * 9 / 10))
+  echo "   measured ${fresh} lookups/s, gate ${gate} (floor ${floor})"
+  if (( fresh < floor )); then
+    echo "E21 index-lookup regression: ${fresh} lookups/s < ${floor} (90% of gate ${gate})" >&2
     exit 1
   fi
 fi
