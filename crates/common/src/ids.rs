@@ -89,6 +89,21 @@ define_id!(
     "pg:"
 );
 
+/// The shard that owns `oid` in an `shards`-way hash partition.
+///
+/// This is the single placement function of the sharded deployment:
+/// the allocation side ([`IdGen::configure_residue`]), the router, and
+/// the server's `ShardOf` opcode all answer through it, so placement
+/// is a pure, restart-stable function of the oid alone.
+#[inline]
+pub const fn shard_of(oid: ObjectId, shards: u32) -> u32 {
+    if shards <= 1 {
+        0
+    } else {
+        (oid.raw() % shards as u64) as u32
+    }
+}
+
 /// Monotonic logical timestamp used to order event occurrences and to
 /// implement the oldest-/newest-rule-first tie-break policies of §6.4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
@@ -122,6 +137,11 @@ impl fmt::Display for Timestamp {
 #[derive(Debug)]
 pub struct IdGen {
     next: AtomicU64,
+    /// Issue step (default 1). A sharded deployment configures stride =
+    /// shard count and a distinct residue per shard, so every id a
+    /// shard allocates satisfies `id % stride == residue` — the hash
+    /// partition and the allocation agree by construction.
+    stride: AtomicU64,
 }
 
 impl IdGen {
@@ -129,6 +149,7 @@ impl IdGen {
     pub fn new() -> Self {
         IdGen {
             next: AtomicU64::new(1),
+            stride: AtomicU64::new(1),
         }
     }
 
@@ -137,13 +158,33 @@ impl IdGen {
     pub fn starting_at(first: u64) -> Self {
         IdGen {
             next: AtomicU64::new(first.max(1)),
+            stride: AtomicU64::new(1),
         }
+    }
+
+    /// Restrict this generator to the residue class `residue` modulo
+    /// `stride`: every subsequently issued id satisfies
+    /// `id % stride == residue`. The next issue point advances to the
+    /// smallest qualifying value ≥ the current one (and ≥ 1), so
+    /// re-configuring after a restart never reissues an id.
+    pub fn configure_residue(&self, residue: u64, stride: u64) {
+        assert!(stride > 0 && residue < stride, "residue must be < stride");
+        self.stride.store(stride, Ordering::Relaxed);
+        let mut cur = self.next.load(Ordering::Relaxed).max(1);
+        if cur % stride != residue {
+            cur = cur - (cur % stride) + residue;
+            if cur < self.next.load(Ordering::Relaxed).max(1) {
+                cur += stride;
+            }
+        }
+        self.next.store(cur.max(1), Ordering::Relaxed);
     }
 
     /// Issue the next raw id.
     #[inline]
     pub fn next_raw(&self) -> u64 {
-        self.next.fetch_add(1, Ordering::Relaxed)
+        self.next
+            .fetch_add(self.stride.load(Ordering::Relaxed), Ordering::Relaxed)
     }
 
     /// Issue the next id as type `T`.

@@ -24,7 +24,9 @@ pub mod sync;
 pub use clock::{Clock, TimePoint, VirtualClock};
 pub use error::{ReachError, Result};
 pub use fault::{FaultInjector, FaultMode, FaultPlan, FaultPoint, WriteOutcome};
-pub use ids::{ClassId, EventTypeId, IdGen, MethodId, ObjectId, PageId, RuleId, Timestamp, TxnId};
+pub use ids::{
+    shard_of, ClassId, EventTypeId, IdGen, MethodId, ObjectId, PageId, RuleId, Timestamp, TxnId,
+};
 pub use metrics::{Counter, Histogram, HistogramSnapshot};
 pub use obs::{MetricsRegistry, MetricsSnapshot, Span, Stage, StageSnapshot, Trace};
 pub use priority::Priority;

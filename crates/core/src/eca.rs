@@ -22,6 +22,7 @@
 //! non-immediate rules can hang off composites, so normal processing
 //! never waits — only commit does).
 
+use crate::algebra::CompositionScope;
 use crate::compositor::{Completion, Compositor};
 use crate::event::{
     CompositeSpec, EventData, EventOccurrence, EventSpec, FlowPoint, MethodPhase, PrimitiveEvent,
@@ -177,6 +178,10 @@ pub enum CompositionMode {
 /// A passive delivery observer.
 pub type Observer = Arc<dyn Fn(&EventOccurrence) + Send + Sync>;
 
+/// Composition ownership predicate: may this router's compositor for
+/// the given event type be fed? (See `Router::set_composition_gate`.)
+pub type CompositionGate = Arc<dyn Fn(EventTypeId) -> bool + Send + Sync>;
+
 /// Channel + join handle of one composite manager's worker thread.
 type WorkerHandle = (Sender<WorkerMsg>, std::thread::JoinHandle<()>);
 
@@ -234,10 +239,21 @@ pub struct Router {
     /// Every begin/commit of every (sub)transaction reports a flow
     /// point; with zero flow registrations the raise is one load.
     flow_count: AtomicU64,
-    seq: AtomicU64,
+    /// The event sequence clock. Normally private to this router; a
+    /// sharded deployment injects one shared clock into every shard's
+    /// router so occurrence `seq` values form a single global order and
+    /// cross-shard history merges need no translation.
+    seq: Arc<AtomicU64>,
     mode: RwLock<CompositionMode>,
     workers: Mutex<HashMap<EventTypeId, WorkerHandle>>,
     handler: RwLock<Option<Arc<dyn FireHandler>>>,
+    /// Composition ownership gate. In a sharded deployment every shard
+    /// registers every composite type (so event-type ids align across
+    /// shards), but only the *owning* shard's compositor may be fed —
+    /// otherwise each shard would compose the same global stream and
+    /// fire the composite's rules once per shard. `None` (single-node
+    /// default) composes everything locally.
+    composition_gate: RwLock<Option<CompositionGate>>,
     /// Passive observers of every delivered occurrence (the temporal
     /// manager watches for anchors of relative events here).
     observers: RwLock<Vec<Observer>>,
@@ -253,6 +269,17 @@ impl Router {
     /// A router recording into the stack-wide `metrics` registry (the
     /// plain [`Router::new`] gets a private, disabled one).
     pub fn with_metrics(schema: Arc<Schema>, metrics: Arc<MetricsRegistry>) -> Arc<Self> {
+        Self::with_seq_clock(schema, metrics, Arc::new(AtomicU64::new(1)))
+    }
+
+    /// A router stamping occurrences from an externally owned sequence
+    /// clock — the distribution layer hands the same clock to every
+    /// shard so `seq` is a total order across the deployment.
+    pub fn with_seq_clock(
+        schema: Arc<Schema>,
+        metrics: Arc<MetricsRegistry>,
+        seq: Arc<AtomicU64>,
+    ) -> Arc<Self> {
         Arc::new(Router {
             schema,
             managers: RwLock::new(HashMap::new()),
@@ -266,10 +293,11 @@ impl Router {
             ids: IdGen::new(),
             method_phase_count: [AtomicU64::new(0), AtomicU64::new(0)],
             flow_count: AtomicU64::new(0),
-            seq: AtomicU64::new(1),
+            seq,
             mode: RwLock::new(CompositionMode::Synchronous),
             workers: Mutex::new(HashMap::new()),
             handler: RwLock::new(None),
+            composition_gate: RwLock::new(None),
             observers: RwLock::new(Vec::new()),
             trace: Arc::new(Trace::default()),
             metrics,
@@ -291,9 +319,44 @@ impl Router {
         self.observers.write().push(f);
     }
 
+    /// Install the composition ownership gate (see the field docs).
+    /// The distribution layer passes `|ty| owner(ty) == this_shard`.
+    pub fn set_composition_gate(&self, gate: CompositionGate) {
+        *self.composition_gate.write() = Some(gate);
+    }
+
+    /// Whether this router instance may feed `mgr`'s compositor with an
+    /// occurrence of local (`remote == false`) or remote origin.
+    ///
+    /// Same-transaction-scoped composites always compose locally and
+    /// never accept remote constituents: their windows are bound to
+    /// *local* transaction boundaries, and transaction identifiers are
+    /// per-shard, so a remote occurrence's `txn` cannot be correlated
+    /// with any window on this shard. Cross-transaction composites are
+    /// fed only on their owning shard (the gate), from both the local
+    /// raise path and remote committed streams.
+    fn composes(&self, mgr: &EcaManager, remote: bool) -> bool {
+        let cross_txn = matches!(
+            &mgr.spec,
+            EventSpec::Composite(spec) if spec.scope == CompositionScope::CrossTransaction
+        );
+        if !cross_txn {
+            return !remote;
+        }
+        match &*self.composition_gate.read() {
+            Some(gate) => gate(mgr.event_type),
+            None => true,
+        }
+    }
+
     /// Next global event sequence number.
     fn next_seq(&self) -> Timestamp {
         Timestamp::new(self.seq.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The sequence clock this router stamps occurrences from.
+    pub fn seq_clock(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.seq)
     }
 
     // ---- registration ----
@@ -839,6 +902,9 @@ impl Router {
             let Some(sub_mgr) = self.manager(sub) else {
                 continue;
             };
+            if !self.composes(&sub_mgr, false) {
+                continue;
+            }
             self.trace.log(|| {
                 format!(
                     "ECA-manager[{}] propagates -> composite ECA-manager[{}]",
@@ -853,6 +919,30 @@ impl Router {
         if let Some(t0) = t0 {
             self.metrics
                 .record_span(Stage::EcaManager, t0.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Deliver an occurrence that was detected — and whose primitive
+    /// rules already fired — on another shard. Only composite
+    /// subscribers are fed: the owning shard recorded the occurrence in
+    /// its history, notified its observers and ran its rules, so here
+    /// the occurrence exists solely to complete cross-shard
+    /// compositions (whose completions then fire *this* shard's rules
+    /// through the ordinary [`Router::deliver`] of the composite).
+    pub fn deliver_remote(self: &Arc<Self>, occ: Arc<EventOccurrence>) {
+        let Some(mgr) = self.manager(occ.event_type) else {
+            return;
+        };
+        for sub in mgr.subscribers() {
+            let Some(sub_mgr) = self.manager(sub) else {
+                continue;
+            };
+            if !self.composes(&sub_mgr, true) {
+                continue;
+            }
+            if !self.send_feed(&sub_mgr, &occ) {
+                self.feed_compositor(&sub_mgr, &occ);
+            }
         }
     }
 
@@ -918,6 +1008,7 @@ impl Router {
             let sub_mgrs: Vec<_> = subscribers
                 .iter()
                 .filter_map(|s| self.manager(*s))
+                .filter(|m| self.composes(m, false))
                 .collect();
             for occ in &occs {
                 for obs in &observers {

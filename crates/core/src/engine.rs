@@ -249,6 +249,14 @@ pub struct DeadLetter {
     pub rule_name: String,
     pub error: ReachError,
     pub attempts: u32,
+    /// The shard this engine runs as (0 in a single-node deployment).
+    /// Without it, a multi-shard operator draining dead letters cannot
+    /// tell *where* the firing was abandoned.
+    pub shard: u32,
+    /// The transaction whose event triggered the firing (first origin
+    /// of the occurrence; `None` for detached/temporal occurrences with
+    /// no transactional origin).
+    pub origin: Option<TxnId>,
 }
 
 type Pending = (Arc<Rule>, Arc<EventOccurrence>, bool);
@@ -287,6 +295,8 @@ pub struct Engine {
     retry: RwLock<RetryPolicy>,
     dead_letters: Mutex<Vec<DeadLetter>>,
     firing_listeners: RwLock<Vec<FiringListener>>,
+    /// Shard label stamped onto dead letters (0 = single node).
+    shard_id: std::sync::atomic::AtomicU32,
 }
 
 impl Engine {
@@ -310,6 +320,7 @@ impl Engine {
             retry: RwLock::new(RetryPolicy::default()),
             dead_letters: Mutex::new(Vec::new()),
             firing_listeners: RwLock::new(Vec::new()),
+            shard_id: std::sync::atomic::AtomicU32::new(0),
         })
     }
 
@@ -357,8 +368,11 @@ impl Engine {
 
     /// Record a firing the engine is abandoning for good. Transient
     /// errors that exhausted their retry budget additionally bump
-    /// `gave_up`; nothing is ever dropped without a trace.
-    fn give_up(&self, rule: &Rule, error: ReachError, attempts: u32) {
+    /// `gave_up`; nothing is ever dropped without a trace. `origins`
+    /// are the triggering occurrence's origin transactions — the first
+    /// is recorded so a drained dead letter names the transaction (and
+    /// via [`Engine::set_shard_id`] the shard) it came from.
+    fn give_up(&self, rule: &Rule, origins: &[TxnId], error: ReachError, attempts: u32) {
         self.metrics.engine.failures.inc();
         if error.is_transient() {
             self.metrics.engine.gave_up.inc();
@@ -368,7 +382,16 @@ impl Engine {
             rule_name: rule.name.clone(),
             error,
             attempts,
+            shard: self.shard_id.load(std::sync::atomic::Ordering::Relaxed),
+            origin: origins.first().copied(),
         });
+    }
+
+    /// Label this engine with its shard index so abandoned firings are
+    /// attributable in a multi-shard deployment. Defaults to 0.
+    pub fn set_shard_id(&self, shard: u32) {
+        self.shard_id
+            .store(shard, std::sync::atomic::Ordering::Relaxed);
     }
 
     pub fn set_strategy(&self, s: ExecutionStrategy) {
@@ -811,6 +834,10 @@ impl Engine {
     /// §3.2: "References to transient objects are not allowed since
     /// these objects may disappear as soon as the originating
     /// transaction completes."
+    ///
+    /// An oid outside this space's partition belongs to another shard,
+    /// which only ships *committed* (hence persistent) occurrences; a
+    /// foreign receiver is therefore never a transient escape here.
     fn transient_refs(&self, occ: &EventOccurrence) -> Option<ObjectId> {
         let space = self.db.space();
         fn walk(e: &EventOccurrence, f: &impl Fn(ObjectId) -> bool) -> Option<ObjectId> {
@@ -826,7 +853,7 @@ impl Engine {
             }
             None
         }
-        walk(occ, &|oid| space.is_persistent(oid))
+        walk(occ, &|oid| space.is_persistent(oid) || !space.is_local(oid))
     }
 
     fn spawn_detached(
@@ -870,7 +897,7 @@ impl Engine {
                     Some(txn)
                 }
                 Err(e) => {
-                    self.give_up(&rule, e, 1);
+                    self.give_up(&rule, &origins, e, 1);
                     return;
                 }
             }
@@ -929,7 +956,7 @@ impl Engine {
                         return;
                     }
                     Err(e) => {
-                        self.give_up(&rule, e, 1);
+                        self.give_up(&rule, &origins, e, 1);
                         return;
                     }
                 }
@@ -950,7 +977,7 @@ impl Engine {
                 let t = match tm.begin() {
                     Ok(t) => t,
                     Err(e) => {
-                        self.give_up(&rule, e, attempt);
+                        self.give_up(&rule, &origins, e, attempt);
                         return;
                     }
                 };
@@ -1010,7 +1037,7 @@ impl Engine {
                 self.metrics.engine.retries.inc();
                 std::thread::sleep(policy.backoff(attempt));
             } else {
-                self.give_up(&rule, err, attempt);
+                self.give_up(&rule, &origins, err, attempt);
                 return;
             }
         }

@@ -52,6 +52,11 @@ pub struct ReachConfig {
     /// (checked after each commit/abort); `None` leaves checkpoints to
     /// explicit [`ReachSystem::checkpoint`] calls.
     pub checkpoint_bytes: Option<u64>,
+    /// Event-sequence clock shared with other engine instances. The
+    /// distribution layer hands every shard the same clock so `seq`
+    /// values totally order occurrences across the deployment; `None`
+    /// gives the router a private clock (the single-node default).
+    pub shared_seq: Option<Arc<AtomicU64>>,
 }
 
 impl Default for ReachConfig {
@@ -62,6 +67,7 @@ impl Default for ReachConfig {
             group_commit: true,
             group_window: None,
             checkpoint_bytes: None,
+            shared_seq: None,
         }
     }
 }
@@ -95,7 +101,11 @@ pub struct ReachSystem {
 impl ReachSystem {
     /// Build a REACH system over a database.
     pub fn new(db: Arc<Database>, config: ReachConfig) -> Arc<Self> {
-        let router = Router::with_metrics(Arc::clone(db.schema()), Arc::clone(db.metrics()));
+        let seq = config
+            .shared_seq
+            .clone()
+            .unwrap_or_else(|| Arc::new(AtomicU64::new(1)));
+        let router = Router::with_seq_clock(Arc::clone(db.schema()), Arc::clone(db.metrics()), seq);
         router.set_mode(config.composition);
         db.storage().wal().set_group_commit(config.group_commit);
         if let Some(window) = config.group_window {

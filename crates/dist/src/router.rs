@@ -1,0 +1,86 @@
+//! Hash partitioning of objects over shards.
+//!
+//! Placement must be computable by every node (and every reboot of
+//! every node) without coordination, so it is a pure function of the
+//! object identifier: [`reach_common::shard_of`]. The object allocator
+//! of shard `i` is configured to hand out identifiers `≡ i (mod N)`
+//! (see `ObjectSpace::configure_oid_allocation`), which makes the
+//! partition total *and* self-describing — routing an oid never needs
+//! a directory lookup.
+
+use reach_common::{shard_of, ObjectId};
+use reach_object::Value;
+
+/// Routes objects (and the calls that touch them) to shards.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRouter {
+    shards: u32,
+}
+
+impl ShardRouter {
+    /// A router over `shards ≥ 1` partitions.
+    pub fn new(shards: u32) -> Self {
+        assert!(shards >= 1, "a deployment has at least one shard");
+        Self { shards }
+    }
+
+    /// Number of partitions.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// The shard that owns `oid`. Stable across restarts: a pure
+    /// function of the identifier.
+    pub fn shard_of(&self, oid: ObjectId) -> u32 {
+        shard_of(oid, self.shards)
+    }
+
+    /// Every shard a method call can reach: the receiver's shard plus
+    /// the shard of every object reference reachable from the argument
+    /// values (recursing through lists). Sorted and deduplicated. The
+    /// transaction enlists all of them before invoking, so the 2PC
+    /// participant set is known up front.
+    pub fn shards_of_call(&self, receiver: ObjectId, args: &[Value]) -> Vec<u32> {
+        let mut out = vec![self.shard_of(receiver)];
+        for v in args {
+            self.collect(v, &mut out);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Every object reference reachable from `args` (recursing through
+    /// lists), in encounter order.
+    pub fn reachable_oids(args: &[Value]) -> Vec<ObjectId> {
+        let mut out = Vec::new();
+        for v in args {
+            Self::collect_oids(v, &mut out);
+        }
+        out
+    }
+
+    fn collect(&self, v: &Value, out: &mut Vec<u32>) {
+        match v {
+            Value::Ref(oid) => out.push(self.shard_of(*oid)),
+            Value::List(items) => {
+                for item in items {
+                    self.collect(item, out);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn collect_oids(v: &Value, out: &mut Vec<ObjectId>) {
+        match v {
+            Value::Ref(oid) => out.push(*oid),
+            Value::List(items) => {
+                for item in items {
+                    Self::collect_oids(item, out);
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! Shard-routing properties.
+//!
+//! The partition must be total (every oid has exactly one owner in
+//! range), stable across restarts (pure function of the identifier —
+//! two independently built routers always agree), and consistent with
+//! the strided allocators: every id shard `i`'s generator issues routes
+//! back to shard `i`, including after a simulated restart re-applies
+//! the residue configuration at an arbitrary resume point.
+//!
+//! `shards_of_call` must enlist exactly the shards reachable from the
+//! receiver plus every `Value::Ref` nested anywhere under the argument
+//! list (recursing through `Value::List`) — checked against an
+//! independent brute-force walker over arbitrarily nested value trees.
+//!
+//! Seeding follows the suite convention: the proptest shim replays
+//! `REACH_SEED` and the pinned `proptest-regressions` seeds before its
+//! deterministic case stream.
+
+use proptest::prelude::*;
+use reach_common::{shard_of, IdGen, ObjectId};
+use reach_dist::ShardRouter;
+use reach_object::Value;
+
+/// Arbitrary argument trees: scalar leaves, refs, and nested lists.
+fn value_strategy() -> BoxedStrategy<Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (0u64..200).prop_map(|n| Value::Str(format!("s{n}"))),
+        (1u64..1_000_000).prop_map(|r| Value::Ref(ObjectId::new(r))),
+        (1u64..1_000_000).prop_map(|r| Value::Ref(ObjectId::new(r))),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(Value::List)
+    })
+}
+
+/// Brute-force reference walk, written independently of the router.
+fn refs_of(v: &Value, out: &mut Vec<ObjectId>) {
+    match v {
+        Value::Ref(oid) => out.push(*oid),
+        Value::List(items) => {
+            for item in items {
+                refs_of(item, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Totality + restart stability of the pure partition function.
+    #[test]
+    fn partition_is_total_and_stable(
+        raw in 1u64..u64::MAX,
+        shards in 1u32..17,
+    ) {
+        let oid = ObjectId::new(raw);
+        let router = ShardRouter::new(shards);
+        let owner = router.shard_of(oid);
+        prop_assert!(owner < shards, "owner out of range");
+        // A "rebooted" router (fresh construction, no shared state)
+        // and the raw partition function both agree.
+        prop_assert_eq!(ShardRouter::new(shards).shard_of(oid), owner);
+        prop_assert_eq!(shard_of(oid, shards), owner);
+    }
+
+    /// Every id a shard's strided generator issues routes back to that
+    /// shard — before and after a restart resumes issuing at an
+    /// arbitrary later point.
+    #[test]
+    fn strided_allocation_routes_home(
+        shards in 1u32..9,
+        residue_pick in 0u32..8,
+        burst in 1usize..64,
+        resume_at in 1u64..100_000,
+    ) {
+        let residue = (residue_pick % shards) as u64;
+        let router = ShardRouter::new(shards);
+
+        let gen = IdGen::new();
+        gen.configure_residue(residue, shards as u64);
+        for _ in 0..burst {
+            let oid: ObjectId = gen.next();
+            prop_assert_eq!(router.shard_of(oid), residue as u32);
+        }
+
+        // Restart: the catalog replays a high-water mark, then the
+        // shard re-applies its residue configuration.
+        let rebooted = IdGen::starting_at(resume_at);
+        rebooted.configure_residue(residue, shards as u64);
+        for _ in 0..burst {
+            let oid: ObjectId = rebooted.next();
+            prop_assert!(oid.raw() >= resume_at.min(oid.raw()));
+            prop_assert_eq!(router.shard_of(oid), residue as u32);
+        }
+    }
+
+    /// `shards_of_call` == sorted/deduped brute force over the receiver
+    /// and every oid reachable from the argument trees; and
+    /// `reachable_oids` reproduces the walk in encounter order.
+    #[test]
+    fn call_routing_matches_brute_force(
+        shards in 1u32..9,
+        receiver_raw in 1u64..1_000_000,
+        args in proptest::collection::vec(value_strategy(), 0..6),
+    ) {
+        let router = ShardRouter::new(shards);
+        let receiver = ObjectId::new(receiver_raw);
+
+        let mut oids = Vec::new();
+        for v in &args {
+            refs_of(v, &mut oids);
+        }
+        prop_assert_eq!(ShardRouter::reachable_oids(&args), oids.clone());
+
+        let mut want: Vec<u32> = std::iter::once(receiver)
+            .chain(oids)
+            .map(|oid| router.shard_of(oid))
+            .collect();
+        want.sort_unstable();
+        want.dedup();
+        let got = router.shards_of_call(receiver, &args);
+        prop_assert_eq!(&got, &want, "participant set diverged");
+        // The set is usable as a 2PC participant list: non-empty,
+        // in-range, strictly sorted.
+        prop_assert!(!got.is_empty());
+        prop_assert!(got.iter().all(|s| *s < shards));
+        prop_assert!(got.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,386 @@
+//! 2PC crash-point torture sweep.
+//!
+//! Runs a seeded 100-transaction cross-shard workload (each global
+//! transaction inserts one record on each of 2–3 participant shards)
+//! through the presumed-abort coordinator, and crashes — one run per
+//! crash point — the **coordinator** at every [`Boundary`] crossing of
+//! the whole workload, and **each participant** at every local message
+//! boundary (before/after its `Prepare` force, before/after applying
+//! the decision). Crash semantics are pessimistic: every node reboots
+//! from the `durable_image()` of its log — unforced tails (including
+//! the coordinator's advisory `CoordAbort` records) are lost, so the
+//! *presumption* of abort is what recovery actually exercises.
+//!
+//! After each crash the oracle asserts:
+//!
+//! * every globally-acknowledged commit has a durable `CoordCommit`;
+//! * atomicity: a global transaction's records are present on **all**
+//!   of its participant shards iff its gid is durably committed, and
+//!   on **none** otherwise (presumed abort of the undecided);
+//! * in-doubt participants resolve from the coordinator log, and
+//!   re-crashing after resolution re-converges to the same state
+//!   (idempotent re-recovery).
+
+use reach_common::{announce_seed, seed_from_env, ReachError, Result, SplitMix64, TxnId};
+use reach_dist::{scan_decisions, Boundary, Coordinator, DecisionLog, Participant};
+use reach_storage::{MemDisk, SegmentId, StableStorage, StorageManager, WriteAheadLog};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+const SHARDS: usize = 3;
+const TXNS: u64 = 100;
+const FRAMES: usize = 128;
+const SEG: &str = "data";
+
+fn seed() -> u64 {
+    let seed = seed_from_env(0xD157_27C0);
+    announce_seed("dist::torture_2pc", seed);
+    seed
+}
+
+/// Which process the injector kills.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// The coordinator dies at a protocol [`Boundary`].
+    Coordinator,
+    /// A participant dies at one of its local message boundaries.
+    Participant,
+}
+
+/// Global crash-point counter: every boundary crossing of the selected
+/// mode increments it; crossing number `target` crashes.
+struct Injector {
+    mode: Mode,
+    counter: AtomicU64,
+    target: u64,
+}
+
+impl Injector {
+    fn new(mode: Mode, target: u64) -> Arc<Self> {
+        Arc::new(Self {
+            mode,
+            counter: AtomicU64::new(0),
+            target,
+        })
+    }
+
+    /// Count a crossing; `true` means "crash here".
+    fn trip(&self, mode: Mode) -> bool {
+        if self.mode != mode {
+            return false;
+        }
+        self.counter.fetch_add(1, Ordering::SeqCst) + 1 == self.target
+    }
+
+    fn total(&self) -> u64 {
+        self.counter.load(Ordering::SeqCst)
+    }
+}
+
+/// One shard: stable device + log + storage manager.
+struct Site {
+    shard: u32,
+    disk: Arc<MemDisk>,
+    sm: Arc<StorageManager>,
+    seg: SegmentId,
+    dead: AtomicBool,
+}
+
+impl Site {
+    fn fresh(shard: u32) -> Site {
+        let disk = Arc::new(MemDisk::new());
+        let wal = Arc::new(WriteAheadLog::in_memory());
+        let (sm, _) =
+            StorageManager::open_with(Arc::clone(&disk) as Arc<dyn StableStorage>, wal, FRAMES)
+                .expect("fresh site");
+        let seg = sm.create_segment(SEG).expect("segment");
+        Site {
+            shard,
+            disk,
+            sm: Arc::new(sm),
+            seg,
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    fn kill(&self) -> ReachError {
+        self.dead.store(true, Ordering::SeqCst);
+        ReachError::Io(format!("participant {} crashed", self.shard))
+    }
+
+    fn is_dead(&self) -> bool {
+        self.dead.load(Ordering::SeqCst)
+    }
+}
+
+/// A site acting as participant for one global transaction, with the
+/// participant-side crash injection wrapped around every message.
+struct TxnPart<'a> {
+    site: &'a Site,
+    txn: TxnId,
+    inj: &'a Injector,
+}
+
+impl Participant for TxnPart<'_> {
+    fn shard(&self) -> u32 {
+        self.site.shard
+    }
+
+    fn prepare(&self, gid: u64) -> Result<()> {
+        // Crash before the local Prepare force: nothing durable, the
+        // prepare "message" never arrived.
+        if self.site.is_dead() || self.inj.trip(Mode::Participant) {
+            return Err(self.site.kill());
+        }
+        self.site.sm.prepare(self.txn, gid)?;
+        // Crash after the force but before the ack: the coordinator
+        // sees a failure and votes abort, while this site reboots into
+        // the in-doubt state.
+        if self.inj.trip(Mode::Participant) {
+            return Err(self.site.kill());
+        }
+        Ok(())
+    }
+
+    fn decide(&self, commit: bool) -> Result<()> {
+        // Crash before applying the decision: still in doubt.
+        if self.site.is_dead() || self.inj.trip(Mode::Participant) {
+            return Err(self.site.kill());
+        }
+        if commit {
+            self.site.sm.decide_commit(self.txn)?;
+        } else {
+            self.site.sm.decide_abort(self.txn)?;
+        }
+        // Crash after applying, before the ack reaches the coordinator.
+        if self.inj.trip(Mode::Participant) {
+            return Err(self.site.kill());
+        }
+        Ok(())
+    }
+
+    fn rollback(&self) -> Result<()> {
+        if self.site.is_dead() {
+            return Err(ReachError::Io("participant dead".into()));
+        }
+        self.site.sm.abort(self.txn)
+    }
+}
+
+/// One global transaction of the workload.
+struct Attempt {
+    idx: u64,
+    gid: u64,
+    shards: Vec<usize>,
+}
+
+fn payload(idx: u64, shard: usize) -> Vec<u8> {
+    format!("t{idx:04}-s{shard}").into_bytes()
+}
+
+/// Outcome of one (possibly crashed) workload execution.
+struct Run {
+    attempts: Vec<Attempt>,
+    acked: Vec<u64>, // gids whose commit returned Ok to the application
+    disks: Vec<Arc<MemDisk>>,
+    site_images: Vec<Vec<u8>>,
+    coord_image: Vec<u8>,
+    boundaries_crossed: u64,
+}
+
+/// Execute the seeded workload, crashing at `target` (use `u64::MAX`
+/// for a clean dry run that counts the boundary space).
+fn run_workload(seed: u64, mode: Mode, target: u64) -> Run {
+    let inj = Injector::new(mode, target);
+    let sites: Vec<Site> = (0..SHARDS as u32).map(Site::fresh).collect();
+    let coord = Coordinator::in_memory();
+    {
+        let inj = Arc::clone(&inj);
+        coord.set_crash_hook(Arc::new(move |_b: Boundary| inj.trip(Mode::Coordinator)));
+    }
+    let mut rng = SplitMix64::new(seed);
+    let mut attempts = Vec::new();
+    let mut acked = Vec::new();
+    for i in 0..TXNS {
+        // 2 or 3 distinct participant shards, seeded.
+        let mut pool: Vec<usize> = (0..SHARDS).collect();
+        let k = 2 + rng.below(2);
+        let mut shards = Vec::with_capacity(k);
+        for _ in 0..k {
+            shards.push(pool.remove(rng.below(pool.len())));
+        }
+        shards.sort_unstable();
+        let txn = TxnId::new(1_000 + i);
+        let gid = coord.next_gid();
+        let mut began = true;
+        for &s in &shards {
+            if sites[s].sm.begin(txn).is_err()
+                || sites[s]
+                    .sm
+                    .insert(txn, sites[s].seg, &payload(i, s))
+                    .is_err()
+            {
+                began = false;
+                break;
+            }
+        }
+        attempts.push(Attempt {
+            idx: i,
+            gid,
+            shards: shards.clone(),
+        });
+        if !began {
+            break;
+        }
+        let parts: Vec<TxnPart> = shards
+            .iter()
+            .map(|&s| TxnPart {
+                site: &sites[s],
+                txn,
+                inj: &inj,
+            })
+            .collect();
+        let refs: Vec<&dyn Participant> = parts.iter().map(|p| p as &dyn Participant).collect();
+        match coord.commit_gid(gid, &refs) {
+            Ok(()) => acked.push(gid),
+            Err(_) => break, // the crash halts the workload
+        }
+    }
+    Run {
+        attempts,
+        acked,
+        site_images: sites
+            .iter()
+            .map(|s| s.sm.wal().durable_image().expect("image"))
+            .collect(),
+        coord_image: coord.wal().durable_image().expect("coord image"),
+        disks: sites.iter().map(|s| Arc::clone(&s.disk)).collect(),
+        boundaries_crossed: inj.total(),
+    }
+}
+
+/// Reboot every node from its crash image, resolve in-doubt
+/// transactions from the coordinator log, and return the recovered
+/// managers plus the decision log.
+fn reboot(run: &Run, images: &[Vec<u8>]) -> (Vec<Arc<StorageManager>>, DecisionLog, Vec<usize>) {
+    let coord_wal = WriteAheadLog::in_memory_from(run.coord_image.clone());
+    let decisions = scan_decisions(&coord_wal).expect("decision scan");
+    let mut sms = Vec::new();
+    let mut in_doubt_counts = Vec::new();
+    for (s, image) in images.iter().enumerate() {
+        let wal = Arc::new(WriteAheadLog::in_memory_from(image.clone()));
+        let (sm, report) = StorageManager::open_with(
+            Arc::clone(&run.disks[s]) as Arc<dyn StableStorage>,
+            wal,
+            FRAMES,
+        )
+        .expect("reboot");
+        in_doubt_counts.push(report.in_doubt.len());
+        reach_dist::coord::resolve_in_doubt(&sm, &report.in_doubt, &decisions).expect("resolve");
+        sms.push(Arc::new(sm));
+    }
+    (sms, decisions, in_doubt_counts)
+}
+
+fn visible(sm: &StorageManager) -> Vec<Vec<u8>> {
+    // A crash before the first force can lose even the catalog record
+    // creating the segment — then nothing is visible, by definition.
+    let Ok(seg) = sm.segment(SEG) else {
+        return Vec::new();
+    };
+    let mut rows: Vec<Vec<u8>> = sm
+        .scan(seg)
+        .expect("scan")
+        .into_iter()
+        .map(|(_, payload)| payload)
+        .collect();
+    rows.sort();
+    rows
+}
+
+/// The oracle for one crashed run.
+fn check(run: &Run, label: &str) {
+    let (sms, decisions, _) = reboot(run, &run.site_images);
+    // 1. Acked implies durably committed.
+    for gid in &run.acked {
+        assert!(
+            decisions.is_committed(*gid),
+            "{label}: acked gid {gid} has no durable CoordCommit"
+        );
+    }
+    // 2. Atomicity + presumed abort, per attempted transaction.
+    for a in &run.attempts {
+        let committed = decisions.is_committed(a.gid);
+        for &s in &a.shards {
+            let rows = visible(&sms[s]);
+            let present = rows.contains(&payload(a.idx, s));
+            assert_eq!(
+                present, committed,
+                "{label}: txn {} gid {} on shard {s}: present={present} committed={committed}",
+                a.idx, a.gid
+            );
+        }
+    }
+    // 3. Idempotent re-recovery: crash again right after resolution,
+    // reboot from the new durable images, resolve again — the visible
+    // state must not move.
+    let first: Vec<Vec<Vec<u8>>> = sms.iter().map(|sm| visible(sm)).collect();
+    let images2: Vec<Vec<u8>> = sms
+        .iter()
+        .map(|sm| sm.wal().durable_image().expect("image"))
+        .collect();
+    drop(sms);
+    let (sms2, _, _) = reboot(run, &images2);
+    let second: Vec<Vec<Vec<u8>>> = sms2.iter().map(|sm| visible(sm)).collect();
+    assert_eq!(first, second, "{label}: re-recovery moved the state");
+}
+
+fn sweep(mode: Mode, name: &str) {
+    let seed = seed();
+    let dry = run_workload(seed, mode, u64::MAX);
+    assert_eq!(
+        dry.acked.len() as u64,
+        TXNS,
+        "dry run must commit every transaction"
+    );
+    let total = dry.boundaries_crossed;
+    assert!(
+        total > 400,
+        "{name}: boundary space suspiciously small: {total}"
+    );
+    for target in 1..=total {
+        let run = run_workload(seed, mode, target);
+        assert!(
+            run.acked.len() as u64 <= TXNS,
+            "{name}: impossible ack count"
+        );
+        check(&run, &format!("{name} crash at boundary {target}/{total}"));
+    }
+}
+
+#[test]
+fn coordinator_crash_sweep_covers_every_boundary() {
+    sweep(Mode::Coordinator, "coordinator");
+}
+
+#[test]
+fn participant_crash_sweep_covers_every_boundary() {
+    sweep(Mode::Participant, "participant");
+}
+
+/// A clean (crash-free) pass: everything commits, everything is
+/// present everywhere, and no transaction is in doubt on reboot.
+#[test]
+fn clean_run_commits_everything() {
+    let seed = seed();
+    let run = run_workload(seed, Mode::Coordinator, u64::MAX);
+    assert_eq!(run.acked.len() as u64, TXNS);
+    let (sms, decisions, in_doubt) = reboot(&run, &run.site_images);
+    assert!(in_doubt.iter().all(|&n| n == 0), "clean run left doubt");
+    for a in &run.attempts {
+        assert!(decisions.is_committed(a.gid));
+        for &s in &a.shards {
+            assert!(visible(&sms[s]).contains(&payload(a.idx, s)));
+        }
+    }
+}

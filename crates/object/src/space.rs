@@ -98,6 +98,9 @@ pub struct ObjectSpace {
     lifecycle_sentries: RwLock<Vec<Arc<dyn LifecycleSentry>>>,
     fault: RwLock<Option<FaultHandler>>,
     ids: IdGen,
+    /// `(residue, stride)` of the oid partition this space allocates
+    /// from; `(0, 1)` (single-node) makes every oid local.
+    partition: RwLock<(u64, u64)>,
 }
 
 impl ObjectSpace {
@@ -111,6 +114,7 @@ impl ObjectSpace {
             lifecycle_sentries: RwLock::new(Vec::new()),
             fault: RwLock::new(None),
             ids: IdGen::new(),
+            partition: RwLock::new((0, 1)),
         }
     }
 
@@ -125,6 +129,25 @@ impl ObjectSpace {
     /// Install the persistence fault handler (Persistence PM).
     pub fn set_fault_handler(&self, h: FaultHandler) {
         *self.fault.write() = Some(h);
+    }
+
+    /// Restrict oid allocation to the residue class `residue` modulo
+    /// `stride`. A sharded deployment calls this with its shard index
+    /// and the shard count so `oid % shards` names the owning shard —
+    /// the partition function and the allocator agree by construction,
+    /// and the assignment is stable across restarts because it depends
+    /// only on the oid value.
+    pub fn configure_oid_allocation(&self, residue: u64, stride: u64) {
+        self.ids.configure_residue(residue, stride);
+        *self.partition.write() = (residue, stride.max(1));
+    }
+
+    /// Whether `oid` belongs to this space's partition. Always true on
+    /// a single node; in a sharded deployment a foreign oid is owned —
+    /// and its persistence tracked — by another shard's space.
+    pub fn is_local(&self, oid: ObjectId) -> bool {
+        let (residue, stride) = *self.partition.read();
+        stride <= 1 || oid.raw() % stride == residue
     }
 
     /// Register a state-change sentry.

@@ -91,6 +91,15 @@ impl Database {
         Self::assemble(sm, config)
     }
 
+    /// Assemble a database over an already-opened storage manager. This
+    /// is the distribution layer's entry point: a shard resolves any
+    /// in-doubt 2PC transactions against the coordinator log at the
+    /// storage level *before* the object layer loads persisted state,
+    /// then hands the clean storage manager here.
+    pub fn open_with_storage(sm: Arc<StorageManager>, config: DatabaseConfig) -> Result<Arc<Self>> {
+        Self::assemble(sm, config)
+    }
+
     fn assemble(sm: Arc<StorageManager>, config: DatabaseConfig) -> Result<Arc<Self>> {
         let schema = Arc::new(Schema::new());
         let methods = Arc::new(MethodRegistry::new());
@@ -250,6 +259,20 @@ impl Database {
 
     pub fn abort(&self, txn: TxnId) -> Result<()> {
         self.tm.abort(txn)
+    }
+
+    /// Two-phase commit, phase one: run pre-commit work, write back and
+    /// force-log everything needed to commit `txn` under global
+    /// transaction `gid`, then park it in-doubt with locks pinned. The
+    /// coordinator's [`Self::decide`] finishes it either way.
+    pub fn prepare(&self, txn: TxnId, gid: u64) -> Result<()> {
+        self.tm.prepare(txn, gid)
+    }
+
+    /// Two-phase commit, phase two: apply the coordinator's decision to
+    /// a transaction parked by [`Self::prepare`].
+    pub fn decide(&self, txn: TxnId, commit: bool) -> Result<()> {
+        self.tm.decide(txn, commit)
     }
 
     fn check_active(&self, txn: TxnId) -> Result<()> {

@@ -461,6 +461,15 @@ impl ResourceManager for IndexingPm {
         Ok(())
     }
 
+    fn prepare_top(&self, txn: TxnId, _gid: u64) -> Result<()> {
+        // 2PC phase one: flush the buffered tree operations now so they
+        // sit below the Prepare record the Persistence PM forces next.
+        // The eventual commit decision finds the buffer already drained
+        // (`commit_top` then no-ops); an abort decision rolls the
+        // logical records back through the tree like any other undo.
+        self.commit_top(txn)
+    }
+
     fn abort_top(&self, txn: TxnId) -> Result<()> {
         // Never flushed — the persistent tree was never touched.
         self.buffers.lock().remove(&txn);

@@ -53,6 +53,10 @@ pub struct PersistencePm {
     /// Observers of `persist()` calls — the paper's `persist`
     /// DB-internal event (§3.1) is detected here.
     persist_hooks: RwLock<Vec<PersistHook>>,
+    /// Transactions whose write-back already ran under `prepare_top`
+    /// (2PC): their `commit_top` must only seal the decision, not
+    /// repeat the write-back.
+    prepared: Mutex<std::collections::HashSet<TxnId>>,
 }
 
 /// Observer of `persist()` calls.
@@ -80,6 +84,7 @@ impl PersistencePm {
             pending: Mutex::new(HashMap::new()),
             roots_record: Mutex::new((None, None)),
             persist_hooks: RwLock::new(Vec::new()),
+            prepared: Mutex::new(std::collections::HashSet::new()),
         });
         let weak = Arc::downgrade(&pm);
         space.set_fault_handler(Arc::new(move |oid| match weak.upgrade() {
@@ -94,7 +99,19 @@ impl PersistencePm {
     /// header is decoded, nothing is copied) instead of materializing
     /// every stored object into a scan vector.
     fn load_existing(&self) -> Result<()> {
+        self.load_locations()?;
+        // Roots: a single record of `name_len name oid` triples.
+        if let Some((rid, bytes)) = self.sm.scan_first(self.roots_seg)? {
+            self.dictionary.load(decode_roots(&bytes)?);
+            *self.roots_record.lock() = (Some(rid), Some(bytes));
+        }
+        Ok(())
+    }
+
+    /// Rebuild the oid → record-id index from the objects segment.
+    fn load_locations(&self) -> Result<()> {
         let mut locations = self.locations.lock();
+        locations.clear();
         let mut bad = None;
         self.sm
             .for_each_while(self.objects_seg, |rid, bytes| match internalize(bytes) {
@@ -110,12 +127,6 @@ impl PersistencePm {
             })?;
         if let Some(e) = bad {
             return Err(e);
-        }
-        drop(locations);
-        // Roots: a single record of `name_len name oid` triples.
-        if let Some((rid, bytes)) = self.sm.scan_first(self.roots_seg)? {
-            self.dictionary.load(decode_roots(&bytes)?);
-            *self.roots_record.lock() = (Some(rid), Some(bytes));
         }
         Ok(())
     }
@@ -219,6 +230,12 @@ impl ResourceManager for PersistencePm {
     }
 
     fn commit_top(&self, txn: TxnId) -> Result<()> {
+        // 2PC commit decision: the write-back already happened under
+        // `prepare_top` and sits below the forced Prepare record; only
+        // the Commit record remains.
+        if self.prepared.lock().remove(&txn) {
+            return self.sm.decide_commit(txn);
+        }
         // 1. Newly persisted objects.
         let pending = self.pending.lock().remove(&txn).unwrap_or_default();
         let mut written = std::collections::HashSet::new();
@@ -247,12 +264,51 @@ impl ResourceManager for PersistencePm {
         self.sm.commit(txn)
     }
 
+    fn prepare_top(&self, txn: TxnId, gid: u64) -> Result<()> {
+        // The same write-back as `commit_top` steps 1–4, then the
+        // forced Prepare record instead of the Commit: everything the
+        // eventual commit decision needs is durable, and everything an
+        // abort decision must undo is WAL-covered.
+        let pending = self.pending.lock().remove(&txn).unwrap_or_default();
+        let mut written = std::collections::HashSet::new();
+        for oid in pending {
+            if self.space.is_resident(oid) && written.insert(oid) {
+                self.write_back(txn, oid)?;
+            }
+        }
+        for oid in self.change.touched(txn) {
+            if !written.contains(&oid) && self.space.is_persistent(oid) && self.is_stored(oid) {
+                self.write_back(txn, oid)?;
+                written.insert(oid);
+            }
+        }
+        for oid in self.change.deleted(txn) {
+            let rid = self.locations.lock().remove(&oid);
+            if let Some(rid) = rid {
+                self.sm.delete(txn, self.objects_seg, rid)?;
+            }
+        }
+        self.save_roots(txn)?;
+        self.sm.prepare(txn, gid)?;
+        self.prepared.lock().insert(txn);
+        Ok(())
+    }
+
     fn abort_top(&self, txn: TxnId) -> Result<()> {
+        let was_prepared = self.prepared.lock().remove(&txn);
         self.pending.lock().remove(&txn);
         // An abort may have rolled back a roots update this PM already
         // cached; drop the cache so the next commit rewrites them.
         self.roots_record.lock().1 = None;
-        self.sm.abort(txn)
+        self.sm.abort(txn)?;
+        if was_prepared {
+            // The undone prepare write-back created/removed stored
+            // records behind the location index; rebuild it from the
+            // (now rolled-back) segment. Rare path: only a coordinator
+            // abort decision after a successful local prepare lands here.
+            self.load_locations()?;
+        }
+        Ok(())
     }
 }
 

@@ -442,6 +442,16 @@ impl Client {
         }
     }
 
+    /// Ask which shard owns `oid`; returns `(shard, shard_count)`.
+    pub fn shard_of(&mut self, oid: ObjectId) -> Result<(u32, u32)> {
+        match self.call(&Request::ShardOf { oid }, true)? {
+            Response::Shard { shard, shards } => Ok((shard, shards)),
+            other => Err(ReachError::Protocol(format!(
+                "expected Shard, got {other:?}"
+            ))),
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<()> {
         match self.call(&Request::Ping, true)? {

@@ -60,6 +60,13 @@ pub struct ServerConfig {
     pub read_tick: Duration,
     /// Reaper thread wake interval.
     pub reap_interval: Duration,
+    /// Which shard of a sharded deployment this server fronts
+    /// (0 for a single-node deployment).
+    pub shard_id: u32,
+    /// Total shard count of the deployment (1 = unsharded). `ShardOf`
+    /// answers with `shard_of(oid, shards)` so clients can route
+    /// requests to the owning shard.
+    pub shards: u32,
 }
 
 impl Default for ServerConfig {
@@ -72,6 +79,8 @@ impl Default for ServerConfig {
             drain_timeout: Duration::from_secs(5),
             read_tick: Duration::from_millis(50),
             reap_interval: Duration::from_millis(100),
+            shard_id: 0,
+            shards: 1,
         }
     }
 }
@@ -169,6 +178,8 @@ fn dead_letter_to_wire(d: &DeadLetter) -> WireDeadLetter {
         code: d.error.wire_code(),
         message: d.error.to_string(),
         attempts: d.attempts,
+        shard: d.shard,
+        origin_txn: d.origin.map(|t| t.raw()).unwrap_or(0),
     }
 }
 
@@ -752,5 +763,9 @@ fn execute(
             Ok(Response::DeadLetters(list))
         }
         Request::Ping => Ok(Response::Pong),
+        Request::ShardOf { oid } => Ok(Response::Shard {
+            shard: reach_common::shard_of(oid, shared.cfg.shards.max(1)),
+            shards: shared.cfg.shards.max(1),
+        }),
     }
 }

@@ -139,6 +139,11 @@ pub enum Request {
     DrainDeadLetters,
     /// Liveness probe.
     Ping,
+    /// Resolve which shard owns an object id (shard-aware routing).
+    ShardOf {
+        /// Object whose owning shard is wanted.
+        oid: ObjectId,
+    },
 }
 
 /// A dead-letter record as carried on the wire.
@@ -154,6 +159,10 @@ pub struct WireDeadLetter {
     pub message: String,
     /// Attempts made before giving up.
     pub attempts: u32,
+    /// Shard the firing was abandoned on (0 = single node).
+    pub shard: u32,
+    /// Raw id of the originating transaction (0 = none known).
+    pub origin_txn: u64,
 }
 
 /// One server response (or, with `request_id 0`, a push notification).
@@ -189,6 +198,13 @@ pub enum Response {
     DeadLetters(Vec<WireDeadLetter>),
     /// Server push: a subscribed event happened (`request_id 0`).
     Notification(Notification),
+    /// Shard placement for an object (ShardOf).
+    Shard {
+        /// Shard that owns the queried oid.
+        shard: u32,
+        /// Total shard count in the deployment.
+        shards: u32,
+    },
 }
 
 /// Server-push payloads.
@@ -535,6 +551,10 @@ impl Request {
             Request::DrainDeadLetters => out.push(16),
             Request::Ping => out.push(17),
             Request::BeginReadOnly => out.push(18),
+            Request::ShardOf { oid } => {
+                out.push(19);
+                put_u64(&mut out, oid.raw());
+            }
         }
         out
     }
@@ -609,6 +629,7 @@ impl Request {
             16 => Request::DrainDeadLetters,
             17 => Request::Ping,
             18 => Request::BeginReadOnly,
+            19 => Request::ShardOf { oid: oid(&mut r)? },
             op => return Err(ReachError::Protocol(format!("unknown opcode {op}"))),
         };
         r.finish()?;
@@ -622,6 +643,8 @@ fn put_dead_letter(out: &mut Vec<u8>, d: &WireDeadLetter) {
     put_u16(out, d.code);
     put_str(out, &d.message);
     put_u32(out, d.attempts);
+    put_u32(out, d.shard);
+    put_u64(out, d.origin_txn);
 }
 
 fn dead_letter(r: &mut Reader<'_>) -> Result<WireDeadLetter> {
@@ -631,6 +654,8 @@ fn dead_letter(r: &mut Reader<'_>) -> Result<WireDeadLetter> {
         code: r.u16()?,
         message: r.str()?,
         attempts: r.u32()?,
+        shard: r.u32()?,
+        origin_txn: r.u64()?,
     })
 }
 
@@ -695,6 +720,11 @@ impl Response {
                     }
                 }
             }
+            Response::Shard { shard, shards } => {
+                out.push(10);
+                put_u32(&mut out, *shard);
+                put_u32(&mut out, *shards);
+            }
         }
         out
     }
@@ -739,6 +769,10 @@ impl Response {
                     )));
                 }
             }),
+            10 => Response::Shard {
+                shard: r.u32()?,
+                shards: r.u32()?,
+            },
             tag => return Err(ReachError::Protocol(format!("unknown response tag {tag}"))),
         };
         r.finish()?;

@@ -34,14 +34,17 @@ fn dead_letter_strategy() -> BoxedStrategy<WireDeadLetter> {
         any::<u16>(),
         ".{0,24}",
         any::<u32>(),
+        (any::<u32>(), any::<u64>()),
     )
         .prop_map(
-            |(rule, rule_name, code, message, attempts)| WireDeadLetter {
+            |(rule, rule_name, code, message, attempts, (shard, origin_txn))| WireDeadLetter {
                 rule: RuleId::new(rule),
                 rule_name,
                 code,
                 message,
                 attempts,
+                shard,
+                origin_txn,
             },
         )
         .boxed()
@@ -120,6 +123,9 @@ fn request_strategy() -> BoxedStrategy<Request> {
         Just(Request::DrainDeadLetters),
         Just(Request::Ping),
         Just(Request::BeginReadOnly),
+        any::<u64>().prop_map(|o| Request::ShardOf {
+            oid: ObjectId::new(o)
+        }),
     ]
     .boxed()
 }
@@ -145,6 +151,7 @@ fn response_strategy() -> BoxedStrategy<Response> {
             })
         }),
         dead_letter_strategy().prop_map(|d| Response::Notification(Notification::DeadLetter(d))),
+        (any::<u32>(), any::<u32>()).prop_map(|(shard, shards)| Response::Shard { shard, shards }),
     ]
     .boxed()
 }

@@ -130,6 +130,23 @@ impl ActiveTxns {
         Ok((wrote, end))
     }
 
+    /// Re-register an in-doubt transaction after recovery with the
+    /// first-write LSN its surviving records start at. The entry pins
+    /// log truncation exactly like a live writer's would, so a
+    /// checkpoint taken while the coordinator's decision is outstanding
+    /// can never drop the records an eventual abort still needs.
+    /// Idempotent: restoring twice (crash during resolution, recover
+    /// again) just overwrites the same entry.
+    pub fn restore(&self, txn: TxnId, first_write_lsn: Lsn) {
+        if txn == SYSTEM_TXN {
+            return;
+        }
+        let mut map = self.map.lock();
+        let e = map.entry(txn).or_default();
+        e.first_write_lsn = Some(first_write_lsn);
+        e.writes = e.writes.max(1);
+    }
+
     /// The active *writer* table for an `EndCheckpoint` record.
     pub fn snapshot(&self) -> Vec<(TxnId, Lsn)> {
         let mut out: Vec<(TxnId, Lsn)> = self

@@ -42,6 +42,12 @@ pub struct RecoveryReport {
     /// LSN the redo pass started at (0 = no usable checkpoint, replay
     /// the whole surviving log).
     pub redo_start: Lsn,
+    /// Prepared-but-undecided transactions with their global txn ids:
+    /// neither winner nor loser until the coordinator log resolves them
+    /// (`decide_commit` if it holds a `CoordCommit{gid}`, otherwise
+    /// presumed abort → `decide_abort`). Their effects were redone and
+    /// their records re-pin log truncation.
+    pub in_doubt: Vec<(TxnId, u64)>,
 }
 
 /// Run crash recovery against `sm`'s WAL and pages.
@@ -78,7 +84,9 @@ pub fn recover(sm: &StorageManager) -> Result<RecoveryReport> {
     winners.insert(SYSTEM_TXN);
     finished.insert(SYSTEM_TXN);
     let mut seen: HashSet<TxnId> = HashSet::new();
-    for (_, rec) in &log {
+    let mut prepared: HashMap<TxnId, u64> = HashMap::new();
+    let mut first_lsn: HashMap<TxnId, Lsn> = HashMap::new();
+    for (lsn, rec) in &log {
         match rec {
             WalRecord::Commit { txn } => {
                 winners.insert(*txn);
@@ -91,6 +99,10 @@ pub fn recover(sm: &StorageManager) -> Result<RecoveryReport> {
             _ => {
                 if let Some(t) = rec.txn() {
                     seen.insert(t);
+                    first_lsn.entry(t).or_insert(*lsn);
+                    if let WalRecord::Prepare { gid, .. } = rec {
+                        prepared.insert(t, *gid);
+                    }
                 }
             }
         }
@@ -104,7 +116,23 @@ pub fn recover(sm: &StorageManager) -> Result<RecoveryReport> {
             seen.insert(*txn);
         }
     }
-    let mut losers: Vec<TxnId> = seen.difference(&finished).copied().collect();
+    // Prepared-but-undecided transactions are *in doubt*: the forced
+    // Prepare promised the coordinator a commit is still possible, so
+    // they are excluded from undo and left pinning the log until the
+    // coordinator log (or its presumed-abort silence) decides them.
+    let mut in_doubt: Vec<(TxnId, u64)> = prepared
+        .iter()
+        .filter(|(t, _)| !finished.contains(t))
+        .map(|(t, g)| (*t, *g))
+        .collect();
+    in_doubt.sort();
+    report.in_doubt = in_doubt.clone();
+    let doubt_set: HashSet<TxnId> = in_doubt.iter().map(|(t, _)| *t).collect();
+    let mut losers: Vec<TxnId> = seen
+        .difference(&finished)
+        .filter(|t| !doubt_set.contains(t))
+        .copied()
+        .collect();
     losers.sort();
     report.losers = losers.clone();
 
@@ -195,6 +223,13 @@ pub fn recover(sm: &StorageManager) -> Result<RecoveryReport> {
         }
         sm.wal().append(&WalRecord::Abort { txn: *loser })?;
     }
+    // In-doubt transactions re-enter the active table with their first
+    // surviving LSN so post-recovery checkpoints cannot truncate the
+    // records an eventual abort decision still needs.
+    for (txn, _) in &in_doubt {
+        let pin = first_lsn.get(txn).copied().unwrap_or(report.redo_start);
+        sm.restore_prepared(*txn, pin);
+    }
     sm.wal().force()?;
     sm.pool().flush_all()?;
     // Publish the figures into the shared registry so exp_torture and
@@ -283,6 +318,50 @@ mod tests {
         assert_eq!(report.redone, 1);
         assert!(report.losers.is_empty());
         assert_eq!(sm.scan(seg).unwrap().len(), 21);
+    }
+
+    #[test]
+    fn prepared_transactions_are_in_doubt_not_losers() {
+        let sm = StorageManager::new_in_memory(64).unwrap();
+        let seg = sm.create_segment("t").unwrap();
+        let t = TxnId::new(7);
+        sm.begin(t).unwrap();
+        let rid = sm.insert(t, seg, b"doubtful").unwrap();
+        sm.prepare(t, 42).unwrap();
+
+        let r1 = recover(&sm).unwrap();
+        assert!(r1.losers.is_empty());
+        assert_eq!(r1.undone, 0);
+        assert_eq!(r1.in_doubt, vec![(t, 42)]);
+        // Effects were redone (repeat history), awaiting the decision.
+        assert_eq!(sm.get(seg, rid).unwrap(), b"doubtful");
+        // Re-recovery before resolution reports the same doubt.
+        let r2 = recover(&sm).unwrap();
+        assert_eq!(r2.in_doubt, vec![(t, 42)]);
+
+        // Presumed abort: no coordinator decision → roll it back.
+        sm.decide_abort(t).unwrap();
+        assert!(sm.get(seg, rid).is_err());
+        let r3 = recover(&sm).unwrap();
+        assert!(r3.in_doubt.is_empty());
+        assert!(r3.losers.is_empty());
+    }
+
+    #[test]
+    fn prepared_transaction_commits_across_reboot() {
+        let sm = StorageManager::new_in_memory(64).unwrap();
+        let seg = sm.create_segment("t").unwrap();
+        let t = TxnId::new(9);
+        sm.begin(t).unwrap();
+        let rid = sm.insert(t, seg, b"kept").unwrap();
+        sm.prepare(t, 43).unwrap();
+        let r = recover(&sm).unwrap();
+        assert_eq!(r.in_doubt, vec![(t, 43)]);
+        sm.decide_commit(t).unwrap();
+        assert_eq!(sm.get(seg, rid).unwrap(), b"kept");
+        let r2 = recover(&sm).unwrap();
+        assert!(r2.in_doubt.is_empty());
+        assert_eq!(sm.get(seg, rid).unwrap(), b"kept");
     }
 
     #[test]

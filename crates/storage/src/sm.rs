@@ -317,6 +317,53 @@ impl StorageManager {
         Ok(())
     }
 
+    /// Two-phase commit, phase one: force-log a [`WalRecord::Prepare`]
+    /// binding `txn` to global transaction `gid`. After this returns,
+    /// the participant can commit `txn` regardless of crashes — every
+    /// record needed for redo sits below the forced Prepare — and must
+    /// not unilaterally abort it: the outcome now belongs to the
+    /// coordinator. The active-table entry is deliberately *kept* (the
+    /// usual outcome records drop it), so a prepared transaction pins
+    /// log truncation at its first write until [`Self::decide_commit`]
+    /// or [`Self::decide_abort`] resolves it, possibly after a reboot.
+    pub fn prepare(&self, txn: TxnId, gid: u64) -> Result<()> {
+        // The Prepare record itself counts as a write: a prepared
+        // read-only txn must still survive truncation until decided.
+        self.active.note_write(txn, &self.wal);
+        let (_, end) = self.wal.append_bounded(&WalRecord::Prepare { txn, gid })?;
+        self.wal.force_up_to(end)?;
+        Ok(())
+    }
+
+    /// Two-phase commit, commit decision: append and force the Commit
+    /// record. Unlike [`Self::commit`] the force is unconditional — the
+    /// caller may be resolving an in-doubt transaction after a reboot,
+    /// where the active table no longer knows whether it wrote.
+    pub fn decide_commit(&self, txn: TxnId) -> Result<()> {
+        let (_, end) = self
+            .active
+            .finish_logged(txn, &self.wal, &WalRecord::Commit { txn })?;
+        self.wal.force_up_to(end)?;
+        let _ = self.ckpt.maybe_checkpoint();
+        Ok(())
+    }
+
+    /// Two-phase commit, abort decision (also the presumed-abort path
+    /// for an in-doubt transaction whose coordinator log has no
+    /// decision). Scan-driven like [`Self::abort`], so it works equally
+    /// before and after a reboot.
+    pub fn decide_abort(&self, txn: TxnId) -> Result<()> {
+        self.abort(txn)
+    }
+
+    /// Re-register an in-doubt (prepared, undecided) transaction after
+    /// recovery so checkpoints keep its log records until a decision
+    /// arrives; `first_write_lsn` is the earliest surviving record of
+    /// the transaction.
+    pub(crate) fn restore_prepared(&self, txn: TxnId, first_write_lsn: u64) {
+        self.active.restore(txn, first_write_lsn);
+    }
+
     /// Abort: undo this transaction's logged operations in reverse order,
     /// writing CLRs, then append the abort record.
     pub fn abort(&self, txn: TxnId) -> Result<()> {

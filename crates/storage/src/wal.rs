@@ -170,6 +170,34 @@ pub enum WalRecord {
         /// Active writing transactions with their first-write LSNs.
         active: Vec<(TxnId, Lsn)>,
     },
+    /// Two-phase commit: the participant has force-logged everything it
+    /// needs to commit `txn` and is now *in doubt*, bound by the
+    /// coordinator's decision for global transaction `gid`. Recovery
+    /// treats a prepared-but-undecided txn as neither winner nor loser
+    /// until the coordinator log resolves it (presumed abort: no
+    /// decision record means abort).
+    Prepare {
+        /// The prepared local transaction.
+        txn: TxnId,
+        /// The global transaction id assigned by the coordinator.
+        gid: u64,
+    },
+    /// Coordinator log only: the global transaction committed. Forced
+    /// before any participant is told to commit; its absence after a
+    /// crash means the global transaction aborted (presumed abort).
+    CoordCommit {
+        /// The committed global transaction id.
+        gid: u64,
+        /// Participant shard ids, for audit and resolution.
+        participants: Vec<u32>,
+    },
+    /// Coordinator log only: the global transaction aborted. Written
+    /// lazily (presumed abort makes it advisory, not required), but it
+    /// lets resolution answer without waiting for doubt to expire.
+    CoordAbort {
+        /// The aborted global transaction id.
+        gid: u64,
+    },
 }
 
 impl WalRecord {
@@ -185,8 +213,12 @@ impl WalRecord {
             | WalRecord::Clr { txn, .. }
             | WalRecord::IndexInsert { txn, .. }
             | WalRecord::IndexDelete { txn, .. }
-            | WalRecord::IndexClr { txn, .. } => Some(*txn),
-            WalRecord::BeginCheckpoint | WalRecord::EndCheckpoint { .. } => None,
+            | WalRecord::IndexClr { txn, .. }
+            | WalRecord::Prepare { txn, .. } => Some(*txn),
+            WalRecord::BeginCheckpoint
+            | WalRecord::EndCheckpoint { .. }
+            | WalRecord::CoordCommit { .. }
+            | WalRecord::CoordAbort { .. } => None,
         }
     }
 
@@ -312,6 +344,23 @@ impl WalRecord {
                     out.extend_from_slice(&first_lsn.to_le_bytes());
                 }
             }
+            WalRecord::Prepare { txn, gid } => {
+                out.push(13);
+                out.extend_from_slice(&txn.raw().to_le_bytes());
+                out.extend_from_slice(&gid.to_le_bytes());
+            }
+            WalRecord::CoordCommit { gid, participants } => {
+                out.push(14);
+                out.extend_from_slice(&gid.to_le_bytes());
+                out.extend_from_slice(&(participants.len() as u32).to_le_bytes());
+                for p in participants {
+                    out.extend_from_slice(&p.to_le_bytes());
+                }
+            }
+            WalRecord::CoordAbort { gid } => {
+                out.push(15);
+                out.extend_from_slice(&gid.to_le_bytes());
+            }
         }
         out
     }
@@ -392,6 +441,20 @@ impl WalRecord {
                 }
                 WalRecord::EndCheckpoint { dirty, active }
             }
+            13 => WalRecord::Prepare {
+                txn: TxnId::new(c.u64()?),
+                gid: c.u64()?,
+            },
+            14 => {
+                let gid = c.u64()?;
+                let n = c.u32()? as usize;
+                let mut participants = Vec::with_capacity(n);
+                for _ in 0..n {
+                    participants.push(c.u32()?);
+                }
+                WalRecord::CoordCommit { gid, participants }
+            }
+            15 => WalRecord::CoordAbort { gid: c.u64()? },
             k => return Err(ReachError::WalCorrupt(format!("unknown record kind {k}"))),
         };
         Ok(rec)
@@ -1108,6 +1171,19 @@ mod tests {
                 dirty: vec![(PageId::new(4), 16), (PageId::new(7), 48)],
                 active: vec![(TxnId::new(1), 24), (TxnId::new(9), 56)],
             },
+            WalRecord::Prepare {
+                txn: TxnId::new(1),
+                gid: 900,
+            },
+            WalRecord::CoordCommit {
+                gid: 900,
+                participants: vec![0, 2, 5],
+            },
+            WalRecord::CoordCommit {
+                gid: 901,
+                participants: Vec::new(),
+            },
+            WalRecord::CoordAbort { gid: 902 },
             WalRecord::Commit { txn: TxnId::new(1) },
             WalRecord::Abort { txn: TxnId::new(2) },
         ]

@@ -57,7 +57,7 @@ struct Stripe {
 /// The lock manager.
 ///
 /// The lock table is *striped*: an object's entry lives in one of
-/// [`STRIPES`] independently-locked shards chosen by oid hash, so
+/// `STRIPES` independently-locked shards chosen by oid hash, so
 /// transactions touching disjoint objects no longer serialize on one
 /// global table mutex (the E15 profile showed ~60k grants per E13 run
 /// funnelling through it while detached rule transactions ran

@@ -41,6 +41,11 @@ pub enum TxnState {
     Active,
     /// Commit in progress (pre-commit hooks, durability).
     Committing,
+    /// Two-phase commit: prepared and in doubt. Every resource manager
+    /// has force-logged what it needs to commit; locks stay pinned and
+    /// only the coordinator's decision ([`TransactionManager::decide`])
+    /// moves the transaction on.
+    Prepared,
     /// Durably committed.
     Committed,
     /// Rolled back.
@@ -61,6 +66,14 @@ pub trait ResourceManager: Send + Sync {
     fn commit_top(&self, txn: TxnId) -> Result<()>;
     /// Undo all of `txn`'s effects (top-level abort).
     fn abort_top(&self, txn: TxnId) -> Result<()>;
+    /// Two-phase commit, phase one: force-log everything needed to make
+    /// `txn` durable under global transaction `gid`, without releasing
+    /// anything. After `Ok`, a later `commit_top` must succeed without
+    /// further risk and `abort_top` must still fully undo. The default
+    /// suits managers whose `commit_top` carries no durability risk.
+    fn prepare_top(&self, _txn: TxnId, _gid: u64) -> Result<()> {
+        Ok(())
+    }
 }
 
 type Hook = Box<dyn FnOnce() -> Result<()> + Send>;
@@ -392,11 +405,12 @@ impl TransactionManager {
             .ok_or(ReachError::TxnNotFound(txn))
     }
 
-    /// Whether the transaction is active (or committing).
+    /// Whether the transaction is active (or committing, or prepared —
+    /// an in-doubt transaction still holds locks and is very much live).
     pub fn is_active(&self, txn: TxnId) -> bool {
         matches!(
             self.state(txn),
-            Ok(TxnState::Active) | Ok(TxnState::Committing)
+            Ok(TxnState::Active) | Ok(TxnState::Committing) | Ok(TxnState::Prepared)
         )
     }
 
@@ -546,8 +560,11 @@ impl TransactionManager {
         Ok(())
     }
 
-    fn commit_top(&self, txn: TxnId) -> Result<()> {
-        let commit_t0 = self.metrics.span_start();
+    /// The shared front half of a top-level commit *and* of a 2PC
+    /// prepare: state to Committing, pre-commit hooks drained, causal
+    /// dependencies honoured. Any failure has already aborted the
+    /// transaction when this returns `Err`.
+    fn commit_prologue(&self, txn: TxnId) -> Result<()> {
         {
             let mut txns = self.txns.lock();
             txns.get_mut(&txn).unwrap().state = TxnState::Committing;
@@ -574,19 +591,24 @@ impl TransactionManager {
         // Causal dependencies (this transaction may itself be a detached
         // rule execution): wait for permission.
         match self.deps.wait(txn, self.dep_timeout) {
-            Ok(Permission::Commit) => {}
+            Ok(Permission::Commit) => Ok(()),
             Ok(Permission::MustAbort) => {
                 self.abort(txn)?;
-                return Err(ReachError::DependencyViolation(format!(
+                Err(ReachError::DependencyViolation(format!(
                     "{txn} aborted: causal dependency resolved against it"
-                )));
+                )))
             }
             Ok(Permission::Wait) => unreachable!("wait() never returns Wait"),
             Err(e) => {
                 self.abort(txn)?;
-                return Err(e);
+                Err(e)
             }
         }
+    }
+
+    fn commit_top(&self, txn: TxnId) -> Result<()> {
+        let commit_t0 = self.metrics.span_start();
+        self.commit_prologue(txn)?;
         let rms = Arc::clone(&self.resources.read());
         for (i, rm) in rms.iter().enumerate() {
             if let Err(e) = rm.commit_top(txn) {
@@ -600,6 +622,100 @@ impl TransactionManager {
                 return Err(e);
             }
         }
+        self.finish_commit_top(txn, commit_t0)
+    }
+
+    /// Two-phase commit, phase one. Runs the full commit prologue
+    /// (pre-commit hooks, causal dependencies), then asks every
+    /// resource manager to `prepare_top` — for the WAL-backed manager
+    /// that write-backs the transaction's effects and force-logs a
+    /// Prepare record. On success the transaction parks in
+    /// [`TxnState::Prepared`]: its 2PL locks stay held and MVCC
+    /// publication has *not* happened, so no reader can observe the
+    /// in-doubt effects until [`Self::decide`] commits them. Any
+    /// failure aborts the transaction (still unilateral before the
+    /// prepare record is durable).
+    pub fn prepare(&self, txn: TxnId, gid: u64) -> Result<()> {
+        {
+            let txns = self.txns.lock();
+            let rec = txns.get(&txn).ok_or(ReachError::TxnNotFound(txn))?;
+            if rec.state != TxnState::Active {
+                return Err(ReachError::TxnNotActive(txn));
+            }
+            if rec.parent.is_some() {
+                return Err(ReachError::NestedViolation(format!(
+                    "{txn} is a subtransaction; only top-level transactions prepare"
+                )));
+            }
+            if rec.active_children > 0 {
+                return Err(ReachError::NestedViolation(format!(
+                    "{txn} has {} active subtransactions",
+                    rec.active_children
+                )));
+            }
+            if rec.snapshot.is_some() {
+                // Read-only snapshot transactions have nothing to
+                // prepare; vote yes by committing locally right away.
+                drop(txns);
+                return self.finish_read_only(txn, true);
+            }
+        }
+        self.commit_prologue(txn)?;
+        let rms = Arc::clone(&self.resources.read());
+        for rm in rms.iter() {
+            if let Err(e) = rm.prepare_top(txn, gid) {
+                self.abort(txn)?;
+                return Err(e);
+            }
+        }
+        let mut txns = self.txns.lock();
+        txns.get_mut(&txn).unwrap().state = TxnState::Prepared;
+        Ok(())
+    }
+
+    /// Two-phase commit, phase two: apply the coordinator's decision to
+    /// a prepared transaction. A commit decision runs every resource
+    /// manager's `commit_top` (which after a successful prepare must
+    /// not fail; an error here is surfaced for retry, *not* turned into
+    /// an abort — the decision is already durable at the coordinator)
+    /// and then the normal commit epilogue: version publication, lock
+    /// release, listeners, post-commit work. An abort decision is the
+    /// ordinary abort path, which `TxnState::Prepared` deliberately
+    /// does not block.
+    pub fn decide(&self, txn: TxnId, commit: bool) -> Result<()> {
+        {
+            let txns = self.txns.lock();
+            let rec = txns.get(&txn).ok_or(ReachError::TxnNotFound(txn))?;
+            if rec.state != TxnState::Prepared {
+                return Err(ReachError::TxnNotActive(txn));
+            }
+        }
+        if !commit {
+            return self.abort(txn);
+        }
+        let commit_t0 = self.metrics.span_start();
+        {
+            let mut txns = self.txns.lock();
+            txns.get_mut(&txn).unwrap().state = TxnState::Committing;
+        }
+        let rms = Arc::clone(&self.resources.read());
+        for rm in rms.iter() {
+            if let Err(e) = rm.commit_top(txn) {
+                // Re-park as Prepared so the caller can re-drive the
+                // decision; aborting would contradict the coordinator.
+                let mut txns = self.txns.lock();
+                txns.get_mut(&txn).unwrap().state = TxnState::Prepared;
+                return Err(e);
+            }
+        }
+        self.finish_commit_top(txn, commit_t0)
+    }
+
+    /// The back half of a top-level commit, shared by the one-phase
+    /// path and a 2PC commit decision: version publication, state to
+    /// Committed, lock release, dependency bookkeeping, listeners and
+    /// post-commit actions.
+    fn finish_commit_top(&self, txn: TxnId, commit_t0: Option<std::time::Instant>) -> Result<()> {
         // Version publication: every resource manager has reported
         // durable and the 2PL locks are still held, so the write set is
         // stable and crash-proof. Publish the new versions first, then
@@ -835,7 +951,12 @@ impl TransactionManager {
         let txns = self.txns.lock();
         let mut out: Vec<(TxnId, TxnState)> = txns
             .iter()
-            .filter(|(_, r)| matches!(r.state, TxnState::Active | TxnState::Committing))
+            .filter(|(_, r)| {
+                matches!(
+                    r.state,
+                    TxnState::Active | TxnState::Committing | TxnState::Prepared
+                )
+            })
             .map(|(id, r)| (*id, r.state))
             .collect();
         out.sort_by_key(|(id, _)| *id);
@@ -848,7 +969,11 @@ impl TransactionManager {
         let mut out: Vec<TxnId> = txns
             .iter()
             .filter(|(_, r)| {
-                r.parent.is_none() && matches!(r.state, TxnState::Active | TxnState::Committing)
+                r.parent.is_none()
+                    && matches!(
+                        r.state,
+                        TxnState::Active | TxnState::Committing | TxnState::Prepared
+                    )
             })
             .map(|(id, _)| *id)
             .collect();
@@ -1171,6 +1296,71 @@ mod tests {
         );
         // And released afterwards.
         assert_eq!(tm.locks().held_mode(t, ObjectId::new(9)), None);
+    }
+
+    /// A prepared transaction pins its locks until the coordinator's
+    /// decision and is visible as live to introspection; a commit
+    /// decision runs the full epilogue, an abort decision rolls back.
+    #[test]
+    fn prepared_transactions_pin_locks_until_decided() {
+        #[derive(Default)]
+        struct Rm {
+            log: PMutex<Vec<String>>,
+        }
+        impl ResourceManager for Rm {
+            fn begin_top(&self, _t: TxnId) -> Result<()> {
+                Ok(())
+            }
+            fn savepoint(&self, _t: TxnId) -> Result<u64> {
+                Ok(0)
+            }
+            fn rollback_to(&self, _t: TxnId, _sp: u64) -> Result<()> {
+                Ok(())
+            }
+            fn commit_top(&self, _t: TxnId) -> Result<()> {
+                self.log.lock().push("commit".into());
+                Ok(())
+            }
+            fn abort_top(&self, _t: TxnId) -> Result<()> {
+                self.log.lock().push("abort".into());
+                Ok(())
+            }
+            fn prepare_top(&self, _t: TxnId, gid: u64) -> Result<()> {
+                self.log.lock().push(format!("prepare {gid}"));
+                Ok(())
+            }
+        }
+        let tm = manager();
+        let rm = Arc::new(Rm::default());
+        tm.add_resource_manager(Arc::clone(&rm) as Arc<dyn ResourceManager>);
+
+        let t = tm.begin().unwrap();
+        let oid = ObjectId::new(77);
+        tm.lock(t, oid, LockMode::Exclusive).unwrap();
+        tm.prepare(t, 5).unwrap();
+        assert_eq!(tm.state(t).unwrap(), TxnState::Prepared);
+        assert!(tm.is_active(t));
+        assert!(tm.active_top_level().contains(&t));
+        // Locks stay pinned across the in-doubt window.
+        assert!(tm.locks().held_mode(t, oid).is_some());
+        // A second prepare or a plain commit is refused while in doubt.
+        assert!(tm.prepare(t, 5).is_err());
+        assert!(tm.commit(t).is_err());
+        tm.decide(t, true).unwrap();
+        assert_eq!(tm.state(t).unwrap(), TxnState::Committed);
+        assert_eq!(tm.locks().held_mode(t, oid), None);
+        assert_eq!(*rm.log.lock(), vec!["prepare 5", "commit"]);
+
+        let a = tm.begin().unwrap();
+        tm.lock(a, oid, LockMode::Exclusive).unwrap();
+        tm.prepare(a, 6).unwrap();
+        tm.decide(a, false).unwrap();
+        assert_eq!(tm.state(a).unwrap(), TxnState::Aborted);
+        assert_eq!(tm.locks().held_mode(a, oid), None);
+        assert_eq!(
+            *rm.log.lock(),
+            vec!["prepare 5", "commit", "prepare 6", "abort"]
+        );
     }
 
     #[test]

@@ -7,10 +7,11 @@
 #   --stress       additionally run the E18 concurrency stress smoke
 #                  (schedule-perturbed serializability sweep + algebra
 #                  differential fuzz; see crates/bench/src/bin/exp_stress.rs)
-#   --bench-check  additionally run the E13 throughput and E21 index
-#                  smokes and fail if either lands >10% below its
-#                  committed gate (gate_events_per_s in BENCH_E13.json,
-#                  gate_lookups_per_s in BENCH_E21.json)
+#   --bench-check  additionally run the E13 throughput, E21 index, and
+#                  E22 distributed-commit smokes and fail if any lands
+#                  >10% below its committed gate (gate_events_per_s in
+#                  BENCH_E13.json, gate_lookups_per_s in BENCH_E21.json,
+#                  gate_commits_per_s in BENCH_E22.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -46,6 +47,9 @@ timeout "$EXP_TIMEOUT" cargo run --release -p reach-bench --bin exp_serve -- --s
 echo "== tier-1: snapshot-read smoke (zero reader locks under writer churn) =="
 timeout "$EXP_TIMEOUT" cargo run --release -p reach-bench --bin exp_snapshot -- --smoke
 
+echo "== tier-1: distributed-commit smoke (2PC invariants at 2/4 shards) =="
+timeout "$EXP_TIMEOUT" cargo run --release -p reach-bench --bin exp_dist -- --smoke
+
 if [[ "$STRESS" == 1 ]]; then
   echo "== tier-1: concurrency stress smoke (perturbed schedules + differential fuzz) =="
   timeout "$EXP_TIMEOUT" cargo run --release -p reach-bench --features sched --bin exp_stress -- --smoke
@@ -79,6 +83,21 @@ if [[ "$BENCH_CHECK" == 1 ]]; then
   echo "   measured ${fresh} lookups/s, gate ${gate} (floor ${floor})"
   if (( fresh < floor )); then
     echo "E21 index-lookup regression: ${fresh} lookups/s < ${floor} (90% of gate ${gate})" >&2
+    exit 1
+  fi
+
+  echo "== tier-1: E22 distributed-commit gate (>10% regression vs committed gate fails) =="
+  # Same protocol again: read the gate BEFORE exp_dist rewrites the file.
+  gate=$(sed -n 's/^  "gate_commits_per_s": \([0-9]*\).*/\1/p' BENCH_E22.json)
+  if [[ -z "$gate" ]]; then
+    echo "BENCH_E22.json missing or has no gate_commits_per_s" >&2; exit 1
+  fi
+  timeout "$EXP_TIMEOUT" cargo run --release -p reach-bench --bin exp_dist -- --smoke
+  fresh=$(sed -n 's/^  "commits_per_s": \([0-9]*\).*/\1/p' BENCH_E22.json)
+  floor=$((gate * 9 / 10))
+  echo "   measured ${fresh} cross-shard commits/s, gate ${gate} (floor ${floor})"
+  if (( fresh < floor )); then
+    echo "E22 distributed-commit regression: ${fresh} commits/s < ${floor} (90% of gate ${gate})" >&2
     exit 1
   fi
 fi
